@@ -1,0 +1,29 @@
+//! Benchmarks of the future-work extensions (minimum spanning forest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::workloads::Workload;
+use st_core::mst;
+use st_graph::WeightedGraph;
+
+fn scale() -> usize {
+    let l: u32 = std::env::var("ST_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    1usize << l
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let g = Workload::RandomM15.build(scale(), 5);
+    let wg = WeightedGraph::with_random_weights(&g, 1_000_000, 9);
+    let mut group = c.benchmark_group("mst");
+    group.sample_size(10);
+    group.bench_function("kruskal", |b| b.iter(|| mst::kruskal(&wg)));
+    for p in [1usize, 4] {
+        group.bench_function(format!("boruvka_p{p}"), |b| b.iter(|| mst::boruvka(&wg, p)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the SMP substrate primitives the algorithms sit
+//! on: barrier episodes, work-queue operations, lock acquisition, and
+//! graph generation throughput.
+
+use std::collections::VecDeque;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_bench::workloads::Workload;
+use st_smp::barrier::BarrierToken;
+use st_smp::{run_team, DisseminationBarrier, SenseBarrier, SpinLock, StealPolicy, TicketLock, WorkQueue};
+
+/// Cost of one software-barrier episode at several team sizes — the
+/// model's λ_B term — for both barrier constructions.
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_episode");
+    group.sample_size(10);
+    for p in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("sense", p), &p, |b, &p| {
+            b.iter(|| {
+                let bar = SenseBarrier::new(p);
+                run_team(p, |_| {
+                    let token = BarrierToken::new();
+                    for _ in 0..100 {
+                        bar.wait(&token);
+                    }
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dissemination", p), &p, |b, &p| {
+            b.iter(|| {
+                let bar = DisseminationBarrier::new(p);
+                run_team(p, |ctx| {
+                    let token = bar.token(ctx.rank());
+                    for _ in 0..100 {
+                        bar.wait(&token);
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Work-queue push/pop and steal throughput.
+fn bench_work_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("work_queue");
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let q = WorkQueue::new();
+            for i in 0..10_000u32 {
+                q.push(i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    group.bench_function("steal_half_rounds", |b| {
+        b.iter(|| {
+            let q = WorkQueue::new();
+            q.push_all(0..10_000u32);
+            let mut buf = VecDeque::new();
+            while q.steal_into(&mut buf, StealPolicy::Half) > 0 {
+                buf.clear();
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Lock acquisition under no contention (the per-root graft cost floor
+/// of the SV lock variant).
+fn bench_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locks_uncontended");
+    let spin = SpinLock::new(0u64);
+    group.bench_function("spinlock", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                *spin.lock() += 1;
+            }
+        })
+    });
+    let ticket = TicketLock::new(0u64);
+    group.bench_function("ticketlock", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                *ticket.lock() += 1;
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Generator throughput for the heavier experiment inputs.
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for w in [
+        Workload::RandomM15,
+        Workload::Ad3,
+        Workload::GeoFlat,
+        Workload::Mesh2D60,
+    ] {
+        group.bench_function(w.id(), |b| b.iter(|| w.build(1 << 12, 3)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_barrier,
+    bench_work_queue,
+    bench_locks,
+    bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # st-bench — the experiment harness
+//!
+//! Regenerates every result figure of the paper (see DESIGN.md §3 for
+//! the experiment index):
+//!
+//! * [`workloads`] — the paper's input families at any scale, with the
+//!   exact parameters of Figs. 3–4 as presets.
+//! * [`runner`] — runs one (workload, algorithm, p) cell either in
+//!   **model mode** (the deterministic Helman–JáJá executor of
+//!   `st-model`, used for figure shapes — see DESIGN.md §4) or in
+//!   **wall mode** (real threads on the host, used for correctness and
+//!   host-relative timings).
+//! * [`report`] — table/CSV/JSON rendering of result rows.
+//!
+//! The `figures` binary ties these together:
+//!
+//! ```text
+//! cargo run -p st-bench --release --bin figures -- fig3
+//! cargo run -p st-bench --release --bin figures -- fig4 --panel random
+//! cargo run -p st-bench --release --bin figures -- all --scale 16
+//! ```
+
+pub mod report;
+pub mod runner;
+pub mod timing;
+pub mod workloads;
+
+pub use runner::{run_cell, Algorithm, Mode, ResultRow};
+pub use workloads::Workload;

@@ -1,0 +1,165 @@
+//! Rendering result rows as aligned tables, CSV, and JSON lines.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::runner::ResultRow;
+
+/// Formats seconds with sensible precision for a log-log-plot reading.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Renders rows as an aligned text table grouped the way the paper's
+/// plots read: one line per (algorithm, p), with the sequential row
+/// first as the reference line.
+pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no rows)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:<11} {:>9} {:>11} {:>3} {:>12} {:>9} {:>6}",
+        "workload", "algorithm", "n", "m", "p", "time", "speedup", "iters"
+    );
+    // Reference: the sequential time for the same (workload, n, mode).
+    let seq_time = |row: &ResultRow| -> Option<f64> {
+        rows.iter()
+            .find(|r| {
+                r.workload == row.workload
+                    && r.n == row.n
+                    && r.mode == row.mode
+                    && r.algorithm == "seq"
+            })
+            .map(|r| r.seconds)
+    };
+    for r in rows {
+        let speedup = match seq_time(r) {
+            Some(seq) if r.algorithm != "seq" && r.seconds > 0.0 => {
+                format!("{:>8.2}x", seq / r.seconds)
+            }
+            _ => format!("{:>9}", "-"),
+        };
+        let iters = r
+            .iterations
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<14} {:<11} {:>9} {:>11} {:>3} {:>12} {} {:>6}",
+            r.workload,
+            r.algorithm,
+            r.n,
+            r.m,
+            r.p,
+            fmt_seconds(r.seconds),
+            speedup,
+            iters
+        );
+    }
+    out
+}
+
+/// Writes rows as CSV (with header).
+pub fn write_csv<W: Write>(mut w: W, rows: &[ResultRow]) -> io::Result<()> {
+    writeln!(
+        w,
+        "workload,algorithm,mode,n,m,p,seconds,iterations,multi_colored,fallback"
+    )?;
+    for r in rows {
+        writeln!(
+            w,
+            "{},{},{:?},{},{},{},{},{},{},{}",
+            r.workload,
+            r.algorithm,
+            r.mode,
+            r.n,
+            r.m,
+            r.p,
+            r.seconds,
+            r.iterations.map(|v| v.to_string()).unwrap_or_default(),
+            r.multi_colored.map(|v| v.to_string()).unwrap_or_default(),
+            r.fallback.map(|v| v.to_string()).unwrap_or_default(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Saves rows as JSON lines next to the CSV, for machine consumption.
+pub fn save_results(dir: &Path, name: &str, rows: &[ResultRow]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let csv_path = dir.join(format!("{name}.csv"));
+    write_csv(std::fs::File::create(&csv_path)?, rows)?;
+    let json_path = dir.join(format!("{name}.jsonl"));
+    let mut f = std::fs::File::create(&json_path)?;
+    for r in rows {
+        let line = serde_json::to_string(r).map_err(io::Error::other)?;
+        writeln!(f, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Mode;
+
+    fn row(algorithm: &str, p: usize, seconds: f64) -> ResultRow {
+        ResultRow {
+            workload: "random".into(),
+            algorithm: algorithm.into(),
+            mode: Mode::Model,
+            n: 1000,
+            m: 1500,
+            p,
+            seconds,
+            iterations: None,
+            multi_colored: None,
+            fallback: None,
+        }
+    }
+
+    #[test]
+    fn table_contains_speedup_column() {
+        let rows = vec![row("seq", 1, 1.0), row("bader-cong", 8, 0.2)];
+        let t = render_table("Fig X", &rows);
+        assert!(t.contains("5.00x"), "{t}");
+        assert!(t.contains("Fig X"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let rows = vec![row("seq", 1, 0.5)];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &rows).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().next().unwrap().starts_with("workload,"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.500 s");
+        assert_eq!(fmt_seconds(0.0025), "2.500 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.5 µs");
+    }
+
+    #[test]
+    fn save_results_writes_both_files() {
+        let dir = std::env::temp_dir().join(format!("st_bench_report_{}", std::process::id()));
+        save_results(&dir, "t", &[row("seq", 1, 1.0)]).unwrap();
+        assert!(dir.join("t.csv").exists());
+        assert!(dir.join("t.jsonl").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,150 @@
+//! Robust wall-clock measurement helpers.
+//!
+//! Wall timings on a shared (and here, single-core) host are noisy;
+//! every wall-mode cell reports the **median** of several runs, with the
+//! spread kept for the record.
+
+use std::time::Instant;
+
+/// Summary of repeated measurements (seconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Individual run times, in execution order.
+    pub runs: Vec<f64>,
+}
+
+impl Measurement {
+    /// Median run time (the headline number).
+    pub fn median(&self) -> f64 {
+        let mut sorted = self.runs.clone();
+        sorted.sort_by(f64::total_cmp);
+        match sorted.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => sorted[n / 2],
+            n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+        }
+    }
+
+    /// Fastest run.
+    pub fn min(&self) -> f64 {
+        self.runs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest run.
+    pub fn max(&self) -> f64 {
+        self.runs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.runs.iter().sum::<f64>() / self.runs.len() as f64
+        }
+    }
+
+    /// Relative spread (max − min) / median; large values flag noisy
+    /// cells.
+    pub fn spread(&self) -> f64 {
+        let med = self.median();
+        if med == 0.0 {
+            0.0
+        } else {
+            (self.max() - self.min()) / med
+        }
+    }
+}
+
+/// Runs `f` `reps` times, timing each run.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn measure<F: FnMut()>(reps: usize, mut f: F) -> Measurement {
+    assert!(reps > 0, "need at least one repetition");
+    let mut runs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        runs.push(start.elapsed().as_secs_f64());
+    }
+    Measurement { runs }
+}
+
+/// Like [`measure`], but keeps the last run's return value (so the
+/// caller can validate the output it just timed).
+pub fn measure_with_result<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (Measurement, T) {
+    assert!(reps > 0, "need at least one repetition");
+    let mut runs = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        runs.push(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (Measurement { runs }, last.expect("reps > 0"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let m = Measurement {
+            runs: vec![3.0, 1.0, 2.0],
+        };
+        assert_eq!(m.median(), 2.0);
+        let m = Measurement {
+            runs: vec![4.0, 1.0, 2.0, 3.0],
+        };
+        assert_eq!(m.median(), 2.5);
+    }
+
+    #[test]
+    fn min_max_mean_spread() {
+        let m = Measurement {
+            runs: vec![1.0, 2.0, 4.0],
+        };
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 4.0);
+        assert!((m.mean() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((m.spread() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_measurement_is_zeroes() {
+        let m = Measurement { runs: vec![] };
+        assert_eq!(m.median(), 0.0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.spread(), 0.0);
+    }
+
+    #[test]
+    fn measure_counts_reps() {
+        let mut calls = 0;
+        let m = measure(5, || calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(m.runs.len(), 5);
+        assert!(m.runs.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn measure_with_result_returns_last() {
+        let mut i = 0;
+        let (m, last) = measure_with_result(3, || {
+            i += 1;
+            i
+        });
+        assert_eq!(m.runs.len(), 3);
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_reps_rejected() {
+        measure(0, || {});
+    }
+}

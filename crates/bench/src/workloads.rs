@@ -1,0 +1,199 @@
+//! The paper's experiment inputs (§4 "Experimental Data"), scale-
+//! parameterized.
+//!
+//! The paper's Fig. 4 uses n = 1M vertices throughout; the harness
+//! accepts any scale so the same workloads drive quick wall-clock runs,
+//! full-scale model runs, and Criterion micro-benchmarks.
+
+use serde::{Deserialize, Serialize};
+use st_graph::gen;
+use st_graph::label::{random_permutation, relabel};
+use st_graph::CsrGraph;
+
+/// One experiment input family with the paper's parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// 2D torus, row-major labeling (Fig. 4 panel a).
+    TorusRowMajor,
+    /// 2D torus, random labeling (Fig. 4 panel b).
+    TorusRandom,
+    /// Random graph with m = 20M ≈ n log n at n = 1M, i.e.
+    /// m = n·log₂(n)/1.048… — scaled as m = n·20 · (n/1M)⁰ shape; we use
+    /// m = n·log₂(n)·(20/20) ≈ n·log₂(n) (Fig. 4 panel c).
+    RandomNLogN,
+    /// Random graph with m = 1.5 n (Fig. 3's scalability study).
+    RandomM15,
+    /// 2D mesh with 60% edge probability (Fig. 4 panel d).
+    Mesh2D60,
+    /// 3D mesh with 40% edge probability (Fig. 4 panel e).
+    Mesh3D40,
+    /// Geometric k-nearest-neighbor graph with k = 3 (Fig. 4 panel f).
+    Ad3,
+    /// Geographic graph, flat mode (Fig. 4 panel g).
+    GeoFlat,
+    /// Geographic graph, hierarchical mode (Fig. 4 panel h).
+    GeoHier,
+    /// Degenerate chain, sequential labeling (Fig. 4 panel i).
+    ChainSeq,
+    /// Degenerate chain, random labeling (Fig. 4 panel j).
+    ChainRandom,
+}
+
+impl Workload {
+    /// All ten Fig. 4 panels in paper order.
+    pub fn fig4_panels() -> [Workload; 10] {
+        use Workload::*;
+        [
+            TorusRowMajor,
+            TorusRandom,
+            RandomNLogN,
+            Mesh2D60,
+            Mesh3D40,
+            Ad3,
+            GeoFlat,
+            GeoHier,
+            ChainSeq,
+            ChainRandom,
+        ]
+    }
+
+    /// Stable identifier used on the command line and in CSV output.
+    pub fn id(&self) -> &'static str {
+        use Workload::*;
+        match self {
+            TorusRowMajor => "torus-rowmajor",
+            TorusRandom => "torus-random",
+            RandomNLogN => "random",
+            RandomM15 => "random-m15",
+            Mesh2D60 => "mesh2d60",
+            Mesh3D40 => "mesh3d40",
+            Ad3 => "ad3",
+            GeoFlat => "geo-flat",
+            GeoHier => "geo-hier",
+            ChainSeq => "chain-seq",
+            ChainRandom => "chain-random",
+        }
+    }
+
+    /// Parses a command-line panel identifier.
+    pub fn from_id(id: &str) -> Option<Workload> {
+        Workload::fig4_panels()
+            .into_iter()
+            .chain([Workload::RandomM15])
+            .find(|w| w.id() == id)
+    }
+
+    /// Human-readable description matching the paper's terminology.
+    pub fn description(&self) -> &'static str {
+        use Workload::*;
+        match self {
+            TorusRowMajor => "2D torus, row-major vertex labels",
+            TorusRandom => "2D torus, random vertex labels",
+            RandomNLogN => "random graph, m = n log n",
+            RandomM15 => "random graph, m = 1.5 n",
+            Mesh2D60 => "2D mesh, 60% edge probability (2D60)",
+            Mesh3D40 => "3D mesh, 40% edge probability (3D40)",
+            Ad3 => "geometric graph, k = 3 nearest neighbors (AD3)",
+            GeoFlat => "geographic graph, flat mode",
+            GeoHier => "geographic graph, hierarchical mode",
+            ChainSeq => "degenerate chain, sequential labels",
+            ChainRandom => "degenerate chain, random labels",
+        }
+    }
+
+    /// Builds the graph at approximately `n` vertices.
+    ///
+    /// Exact vertex counts differ slightly per family (tori need square
+    /// factors, the hierarchy rounds up); the returned graph's true n is
+    /// authoritative.
+    pub fn build(&self, n: usize, seed: u64) -> CsrGraph {
+        use Workload::*;
+        match self {
+            TorusRowMajor => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                gen::torus2d(side, side)
+            }
+            TorusRandom => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                let g = gen::torus2d(side, side);
+                relabel(&g, &random_permutation(g.num_vertices(), seed ^ 0xBEEF))
+            }
+            RandomNLogN => {
+                let m = (n as f64 * (n.max(2) as f64).log2()) as usize;
+                let max = n * n.saturating_sub(1) / 2;
+                gen::random_gnm(n, m.min(max), seed)
+            }
+            RandomM15 => gen::random_gnm(n, 3 * n / 2, seed),
+            Mesh2D60 => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                gen::mesh2d_p(side, side, 0.6, seed)
+            }
+            Mesh3D40 => {
+                let side = (n as f64).cbrt().round().max(1.0) as usize;
+                gen::mesh3d_p(side, side, side, 0.4, seed)
+            }
+            Ad3 => gen::ad3(n, seed),
+            GeoFlat => {
+                gen::geographic_flat(n, gen::GeoFlatParams::with_target_degree(n, 4.0), seed)
+            }
+            GeoHier => gen::geographic_hier(gen::GeoHierParams::with_approx_n(n), seed),
+            ChainSeq => gen::chain(n),
+            ChainRandom => {
+                let g = gen::chain(n);
+                relabel(&g, &random_permutation(n, seed ^ 0xC0FFEE))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        for w in Workload::fig4_panels().into_iter().chain([Workload::RandomM15]) {
+            assert_eq!(Workload::from_id(w.id()), Some(w));
+        }
+        assert_eq!(Workload::from_id("nope"), None);
+    }
+
+    #[test]
+    fn all_panels_build_small() {
+        for w in Workload::fig4_panels() {
+            let g = w.build(512, 7);
+            assert!(g.num_vertices() >= 256, "{} too small", w.id());
+            assert!(g.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn torus_labelings_are_isomorphic() {
+        let a = Workload::TorusRowMajor.build(400, 1);
+        let b = Workload::TorusRandom.build(400, 1);
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn random_m15_edge_count() {
+        let g = Workload::RandomM15.build(1000, 2);
+        assert_eq!(g.num_edges(), 1500);
+    }
+
+    #[test]
+    fn chain_families() {
+        let g = Workload::ChainSeq.build(100, 0);
+        assert_eq!(g.num_edges(), 99);
+        let h = Workload::ChainRandom.build(100, 0);
+        assert_eq!(h.num_edges(), 99);
+        assert_ne!(g, h);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for w in [Workload::RandomNLogN, Workload::GeoFlat, Workload::Ad3] {
+            assert_eq!(w.build(300, 5), w.build(300, 5));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The Hirschberg–Chandra–Sarwate (HCS) algorithm, adapted for SMPs.
+//!
+//! The paper implemented HCS alongside SV and found "similar complexities
+//! and running time … when implemented on an SMP, and hence, we leave it
+//! out of further discussion" (§2). It is included here for completeness
+//! and as a second, *deterministic* parallel baseline.
+//!
+//! Structure: like SV it alternates hooking and pointer jumping, but
+//! instead of an arbitrary-write election it computes, for every tree
+//! root, the **minimum** neighboring root label (the CREW-style
+//! min-reduction at the heart of Hirschberg et al.'s algorithm) and
+//! hooks to that. Hook targets are chosen by `fetch_min` on a packed
+//! (root, edge) key, so the output is independent of both the processor
+//! count and the scheduling — handy as a determinism oracle in tests.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_smp::team::block_range;
+use st_smp::{run_team, AtomicU32Array};
+
+use crate::orient::orient_forest;
+use crate::result::{AlgoStats, SpanningForest};
+
+/// Raw result of the HCS engine (same shape as
+/// [`SvOutcome`](crate::sv::SvOutcome)).
+#[derive(Clone, Debug)]
+pub struct HcsOutcome {
+    /// One graph edge per hook; together a spanning forest.
+    pub tree_edges: Vec<(VertexId, VertexId)>,
+    /// Final hook array: component root labels.
+    pub labels: Vec<VertexId>,
+    /// Hook-and-shortcut iterations (including the final empty one).
+    pub iterations: usize,
+    /// Total hooks.
+    pub grafts: usize,
+    /// Total pointer-jumping rounds.
+    pub shortcut_rounds: usize,
+    /// Barrier episodes used.
+    pub barriers: usize,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+/// Packs a candidate (target root, edge index) so that `fetch_min` picks
+/// the smallest target root, tie-broken by the smallest edge index.
+#[inline]
+fn pack(target: VertexId, edge: usize) -> u64 {
+    ((target as u64) << 32) | edge as u64
+}
+
+/// Runs min-hook-and-shortcut with `p` processors.
+pub fn hcs_core(g: &CsrGraph, p: usize) -> HcsOutcome {
+    assert!(p > 0, "need at least one processor");
+    let n = g.num_vertices();
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let m = edges.len();
+    assert!(m < u32::MAX as usize, "edge index must fit the packed key");
+
+    let d = AtomicU32Array::from_vec((0..n as VertexId).collect());
+    let cand: Box<[AtomicU64]> = (0..n).map(|_| AtomicU64::new(EMPTY)).collect();
+
+    let hook_epoch = AtomicU64::new(EMPTY);
+    // Parity slots: see the matching comment in `sv.rs` — a single slot
+    // races between a fast rank's next-round store and a slow rank's
+    // current-round read.
+    let shortcut_epoch = [AtomicU64::new(EMPTY), AtomicU64::new(EMPTY)];
+    let shortcut_rounds_total = AtomicUsize::new(0);
+    let barriers = AtomicUsize::new(0);
+    let iterations = AtomicUsize::new(0);
+
+    let per_rank: Vec<Vec<(VertexId, VertexId)>> = run_team(p, |ctx| {
+        let rank = ctx.rank();
+        let my_edges = block_range(rank, p, m);
+        let my_verts = block_range(rank, p, n);
+        let mut my_tree_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let bar = |counter: &AtomicUsize| {
+            if ctx.barrier() {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+
+        let mut iter: u64 = 0;
+        let mut sc_stamp: u64 = 0;
+        loop {
+            // Reset candidate slots.
+            for v in my_verts.clone() {
+                cand[v].store(EMPTY, Ordering::Relaxed);
+            }
+            bar(&barriers);
+
+            // Min-reduction: every edge offers each endpoint's root the
+            // other endpoint's root, if smaller.
+            for e in my_edges.clone() {
+                let (u, v) = edges[e];
+                let du = d.load(u as usize, Ordering::Relaxed);
+                let dv = d.load(v as usize, Ordering::Relaxed);
+                if du == dv {
+                    continue;
+                }
+                if dv < du {
+                    cand[du as usize].fetch_min(pack(dv, e), Ordering::Relaxed);
+                } else {
+                    cand[dv as usize].fetch_min(pack(du, e), Ordering::Relaxed);
+                }
+            }
+            bar(&barriers);
+
+            // Hook: every root with a candidate hooks to the minimum.
+            for v in my_verts.clone() {
+                if d.load(v, Ordering::Relaxed) != v as VertexId {
+                    continue; // not a root
+                }
+                let c = cand[v].load(Ordering::Relaxed);
+                if c == EMPTY {
+                    continue;
+                }
+                let target = (c >> 32) as VertexId;
+                let e = (c & 0xFFFF_FFFF) as usize;
+                debug_assert!(target < v as VertexId);
+                d.store(v, target, Ordering::Release);
+                my_tree_edges.push(edges[e]);
+                hook_epoch.store(iter, Ordering::Release);
+            }
+            bar(&barriers);
+
+            let changed = hook_epoch.load(Ordering::Acquire) == iter;
+            if rank == 0 {
+                iterations.fetch_add(1, Ordering::Relaxed);
+            }
+            if !changed {
+                break;
+            }
+
+            // Shortcut to rooted stars (same protocol as SV).
+            loop {
+                let mut local_changed = false;
+                for v in my_verts.clone() {
+                    let dv = d.load(v, Ordering::Acquire);
+                    let ddv = d.load(dv as usize, Ordering::Acquire);
+                    if dv != ddv {
+                        d.store(v, ddv, Ordering::Release);
+                        local_changed = true;
+                    }
+                }
+                let slot = &shortcut_epoch[(sc_stamp % 2) as usize];
+                if local_changed {
+                    slot.store(sc_stamp, Ordering::Release);
+                }
+                bar(&barriers);
+                let again = slot.load(Ordering::Acquire) == sc_stamp;
+                sc_stamp += 1;
+                if rank == 0 {
+                    shortcut_rounds_total.fetch_add(1, Ordering::Relaxed);
+                }
+                if !again {
+                    break;
+                }
+            }
+            iter += 1;
+        }
+        my_tree_edges
+    });
+
+    let tree_edges: Vec<(VertexId, VertexId)> = per_rank.into_iter().flatten().collect();
+    let grafts = tree_edges.len();
+    HcsOutcome {
+        tree_edges,
+        labels: d.into(),
+        iterations: iterations.load(Ordering::Relaxed),
+        grafts,
+        shortcut_rounds: shortcut_rounds_total.load(Ordering::Relaxed),
+        barriers: barriers.load(Ordering::Relaxed),
+    }
+}
+
+/// Full HCS spanning forest: hooks, then parallel orientation.
+pub fn spanning_forest(g: &CsrGraph, p: usize) -> SpanningForest {
+    let out = hcs_core(g, p);
+    let parents = orient_forest(g.num_vertices(), &out.tree_edges, p);
+    let roots: Vec<VertexId> = parents
+        .iter()
+        .enumerate()
+        .filter(|&(_, &pp)| pp == NO_VERTEX)
+        .map(|(v, _)| v as VertexId)
+        .collect();
+    let stats = AlgoStats {
+        components: roots.len(),
+        iterations: out.iterations,
+        grafts: out.grafts,
+        shortcut_rounds: out.shortcut_rounds,
+        barriers: out.barriers,
+        ..AlgoStats::default()
+    };
+    SpanningForest {
+        parents,
+        roots,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::gen;
+    use st_graph::validate::{count_components, is_spanning_forest};
+
+    fn check(g: &CsrGraph, p: usize) -> SpanningForest {
+        let f = spanning_forest(g, p);
+        assert!(is_spanning_forest(g, &f.parents), "invalid HCS forest p={p}");
+        f
+    }
+
+    #[test]
+    fn torus_and_random() {
+        check(&gen::torus2d(14, 14), 4);
+        check(&gen::random_gnm(1_200, 2_000, 9), 4);
+    }
+
+    #[test]
+    fn disconnected() {
+        let g = gen::mesh2d_p(20, 20, 0.5, 1);
+        let f = check(&g, 3);
+        assert_eq!(f.roots.len(), count_components(&g));
+    }
+
+    #[test]
+    fn tree_edges_are_deterministic_across_p() {
+        // Min-hooking with packed fetch_min is schedule-independent.
+        let g = gen::random_gnm(800, 1_300, 4);
+        let mut e1 = hcs_core(&g, 1).tree_edges;
+        let mut e4 = hcs_core(&g, 4).tree_edges;
+        e1.sort_unstable();
+        e4.sort_unstable();
+        assert_eq!(e1, e4);
+    }
+
+    #[test]
+    fn graft_count_matches() {
+        let g = gen::random_gnm(400, 500, 2);
+        let out = hcs_core(&g, 4);
+        assert_eq!(out.grafts, 400 - count_components(&g));
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        // Min-hooking guarantees every component's label is its minimum
+        // vertex id.
+        let g = gen::random_gnm(300, 400, 8);
+        let out = hcs_core(&g, 2);
+        let ref_labels = st_graph::validate::component_labels(&g);
+        let mut min_of_comp = std::collections::HashMap::new();
+        for v in 0..300u32 {
+            min_of_comp.entry(ref_labels[v as usize]).or_insert(v);
+        }
+        for v in 0..300usize {
+            assert_eq!(out.labels[v], min_of_comp[&ref_labels[v]]);
+        }
+    }
+
+    #[test]
+    fn chain_iterations_logarithmic() {
+        let g = gen::chain(1 << 12);
+        let out = hcs_core(&g, 2);
+        assert!(out.iterations <= 16, "iterations = {}", out.iterations);
+    }
+
+    #[test]
+    fn empty_and_singletons() {
+        let out = hcs_core(&CsrGraph::empty(5), 2);
+        assert_eq!(out.grafts, 0);
+        assert_eq!(out.labels, vec![0, 1, 2, 3, 4]);
+    }
+}

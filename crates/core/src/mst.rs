@@ -1,0 +1,335 @@
+//! Minimum spanning forest — the paper's stated future work.
+//!
+//! "We plan to apply the techniques discussed in this paper to other
+//! related graph problems, for instance, minimum spanning tree (forest)"
+//! (§5). This module does exactly that with the same substrate the
+//! spanning-tree algorithms use:
+//!
+//! * [`kruskal`] — the sequential baseline (sort + union-find), the
+//!   comparator the Chung–Condon study the paper cites also measures
+//!   against.
+//! * [`boruvka`] — parallel Borůvka with the HCS-style atomic
+//!   min-reduction: every component finds its lexicographically minimum
+//!   incident edge by `fetch_min` over packed (weight, edge-id) keys,
+//!   hooks across it (mutual pairs broken toward the smaller root), and
+//!   pointer-jumps back to rooted stars — the graft-and-shortcut
+//!   skeleton with "minimum" instead of "any".
+//!
+//! Packing the unique edge id into the low bits makes every component's
+//! minimum *strict*, which is what rules out hook cycles longer than the
+//! mutual pair: in any would-be cycle of chosen edges, the largest edge
+//! cannot be its tail component's minimum because the previous cycle
+//! edge is also incident to it and smaller.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use st_graph::dsu::DisjointSets;
+use st_graph::weighted::{Weight, WeightedGraph};
+use st_graph::VertexId;
+use st_smp::team::block_range;
+use st_smp::{run_team, AtomicU32Array};
+
+/// Result of a minimum-spanning-forest computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MstResult {
+    /// The forest edges (one per union), as graph edges.
+    pub tree_edges: Vec<(VertexId, VertexId)>,
+    /// Sum of the forest's edge weights.
+    pub total_weight: u64,
+    /// Borůvka iterations (1 for Kruskal).
+    pub iterations: usize,
+    /// Barrier episodes (0 for Kruskal).
+    pub barriers: usize,
+}
+
+/// Sequential Kruskal: the baseline.
+///
+/// ```
+/// use st_core::mst;
+/// use st_graph::WeightedGraph;
+///
+/// let wg = WeightedGraph::from_weighted_edges(
+///     3,
+///     vec![(0, 1, 5), (1, 2, 2), (0, 2, 9)],
+/// );
+/// let k = mst::kruskal(&wg);
+/// assert_eq!(k.total_weight, 7); // edges (1,2) and (0,1)
+/// assert_eq!(k.total_weight, mst::boruvka(&wg, 2).total_weight);
+/// ```
+pub fn kruskal(wg: &WeightedGraph) -> MstResult {
+    let n = wg.num_vertices();
+    let mut edges: Vec<(Weight, VertexId, VertexId)> = wg
+        .weighted_edges()
+        .map(|(u, v, w)| (w, u, v))
+        .collect();
+    edges.sort_unstable();
+    let mut dsu = DisjointSets::new(n);
+    let mut tree_edges = Vec::new();
+    let mut total_weight = 0u64;
+    for (w, u, v) in edges {
+        if dsu.union(u, v) {
+            tree_edges.push((u, v));
+            total_weight += w as u64;
+        }
+    }
+    MstResult {
+        tree_edges,
+        total_weight,
+        iterations: 1,
+        barriers: 0,
+    }
+}
+
+const EMPTY: u64 = u64::MAX;
+
+#[inline]
+fn pack(w: Weight, edge: usize) -> u64 {
+    ((w as u64) << 32) | edge as u64
+}
+
+/// Parallel Borůvka minimum spanning forest with `p` processors.
+pub fn boruvka(wg: &WeightedGraph, p: usize) -> MstResult {
+    assert!(p > 0, "need at least one processor");
+    let n = wg.num_vertices();
+    let edges: Vec<(VertexId, VertexId, Weight)> = wg.weighted_edges().collect();
+    let m = edges.len();
+    assert!(m < u32::MAX as usize, "edge index must fit the packed key");
+
+    let d = AtomicU32Array::from_vec((0..n as VertexId).collect());
+    // Iteration-start snapshot of d (rooted stars), for race-free hook
+    // targets.
+    let snap = AtomicU32Array::new(n, 0);
+    let best: Box<[AtomicU64]> = (0..n).map(|_| AtomicU64::new(EMPTY)).collect();
+
+    let hook_epoch = AtomicU64::new(EMPTY);
+    let shortcut_epoch = [AtomicU64::new(EMPTY), AtomicU64::new(EMPTY)];
+    let barriers = AtomicUsize::new(0);
+    let iterations = AtomicUsize::new(0);
+
+    type RankOut = (Vec<(VertexId, VertexId)>, u64);
+    let per_rank: Vec<RankOut> = run_team(p, |ctx| {
+        let rank = ctx.rank();
+        let my_edges = block_range(rank, p, m);
+        let my_verts = block_range(rank, p, n);
+        let mut my_tree_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut my_weight = 0u64;
+        let bar = |counter: &AtomicUsize| {
+            if ctx.barrier() {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+
+        let mut iter: u64 = 0;
+        let mut sc_stamp: u64 = 0;
+        loop {
+            // --- Reset best slots and snapshot d (rooted stars).
+            for v in my_verts.clone() {
+                best[v].store(EMPTY, Ordering::Relaxed);
+                snap.store(v, d.load(v, Ordering::Relaxed), Ordering::Relaxed);
+            }
+            bar(&barriers);
+
+            // --- Min-reduction: every edge offers itself to both
+            // endpoint roots.
+            for e in my_edges.clone() {
+                let (u, v, w) = edges[e];
+                let du = snap.load(u as usize, Ordering::Relaxed);
+                let dv = snap.load(v as usize, Ordering::Relaxed);
+                if du == dv {
+                    continue;
+                }
+                let key = pack(w, e);
+                best[du as usize].fetch_min(key, Ordering::Relaxed);
+                best[dv as usize].fetch_min(key, Ordering::Relaxed);
+            }
+            bar(&barriers);
+
+            // --- Hook: every root crosses its strict-minimum edge;
+            // mutual pairs break toward the smaller root.
+            for v in my_verts.clone() {
+                if snap.load(v, Ordering::Relaxed) != v as VertexId {
+                    continue; // not a root at iteration start
+                }
+                let key = best[v].load(Ordering::Relaxed);
+                if key == EMPTY {
+                    continue;
+                }
+                let e = (key & 0xFFFF_FFFF) as usize;
+                let (eu, ev, w) = edges[e];
+                let ru = snap.load(eu as usize, Ordering::Relaxed);
+                let rv = snap.load(ev as usize, Ordering::Relaxed);
+                let other = if ru == v as VertexId { rv } else { ru };
+                debug_assert!(ru == v as VertexId || rv == v as VertexId);
+                // Mutual-minimum pair: both roots chose edge e. Only the
+                // larger root hooks, so the pair contributes one tree
+                // edge and no 2-cycle.
+                if best[other as usize].load(Ordering::Relaxed) == key && (v as VertexId) < other {
+                    continue;
+                }
+                d.store(v, other, Ordering::Release);
+                my_tree_edges.push((eu, ev));
+                my_weight += w as u64;
+                hook_epoch.store(iter, Ordering::Release);
+            }
+            bar(&barriers);
+
+            let changed = hook_epoch.load(Ordering::Acquire) == iter;
+            if rank == 0 {
+                iterations.fetch_add(1, Ordering::Relaxed);
+            }
+            if !changed {
+                break;
+            }
+
+            // --- Shortcut to rooted stars (parity-slot protocol, as in
+            // SV/HCS).
+            loop {
+                let mut local_changed = false;
+                for v in my_verts.clone() {
+                    let dv = d.load(v, Ordering::Acquire);
+                    let ddv = d.load(dv as usize, Ordering::Acquire);
+                    if dv != ddv {
+                        d.store(v, ddv, Ordering::Release);
+                        local_changed = true;
+                    }
+                }
+                let slot = &shortcut_epoch[(sc_stamp % 2) as usize];
+                if local_changed {
+                    slot.store(sc_stamp, Ordering::Release);
+                }
+                bar(&barriers);
+                let again = slot.load(Ordering::Acquire) == sc_stamp;
+                sc_stamp += 1;
+                if !again {
+                    break;
+                }
+            }
+            iter += 1;
+        }
+        (my_tree_edges, my_weight)
+    });
+
+    let mut tree_edges = Vec::new();
+    let mut total_weight = 0u64;
+    for (edges, w) in per_rank {
+        tree_edges.extend(edges);
+        total_weight += w;
+    }
+    MstResult {
+        tree_edges,
+        total_weight,
+        iterations: iterations.load(Ordering::Relaxed),
+        barriers: barriers.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orient::orient_forest;
+    use st_graph::gen::{complete, random_connected, random_gnm, torus2d};
+    use st_graph::validate::{count_components, is_spanning_forest};
+
+    fn check_agreement(wg: &WeightedGraph, p: usize) {
+        let k = kruskal(wg);
+        let b = boruvka(wg, p);
+        assert_eq!(
+            k.total_weight, b.total_weight,
+            "MSF weights disagree (p = {p})"
+        );
+        assert_eq!(k.tree_edges.len(), b.tree_edges.len());
+        // Borůvka's edges must form a spanning forest of the topology.
+        let parents = orient_forest(wg.num_vertices(), &b.tree_edges, p);
+        assert!(is_spanning_forest(wg.topology(), &parents));
+    }
+
+    #[test]
+    fn hand_checked_mst() {
+        // Square with diagonal: 0-1 (1), 1-2 (2), 2-3 (3), 3-0 (4),
+        // 0-2 (5). MST = {0-1, 1-2, 2-3} with weight 6.
+        let wg = WeightedGraph::from_weighted_edges(
+            4,
+            vec![(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)],
+        );
+        let k = kruskal(&wg);
+        assert_eq!(k.total_weight, 6);
+        let b = boruvka(&wg, 2);
+        assert_eq!(b.total_weight, 6);
+        let mut be = b.tree_edges.clone();
+        be.sort_unstable();
+        assert_eq!(be, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn random_graphs_agree_across_p() {
+        for seed in 0..4 {
+            let g = random_gnm(300, 500, seed);
+            let wg = WeightedGraph::with_random_weights(&g, 1000, seed);
+            for p in [1usize, 2, 4] {
+                check_agreement(&wg, p);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_minimum_spanning_forest() {
+        let g = random_gnm(200, 120, 7); // disconnected
+        let wg = WeightedGraph::with_random_weights(&g, 50, 3);
+        let k = kruskal(&wg);
+        assert_eq!(k.tree_edges.len(), 200 - count_components(&g));
+        check_agreement(&wg, 4);
+    }
+
+    #[test]
+    fn duplicate_weights_are_fine() {
+        // All weights equal: any spanning forest is minimum; totals must
+        // still agree (matroid property), and the strict (weight, id)
+        // tie-break keeps Borůvka cycle-free.
+        let g = torus2d(10, 10);
+        let wg = WeightedGraph::with_random_weights(&g, 1, 0);
+        check_agreement(&wg, 4);
+        assert_eq!(kruskal(&wg).total_weight, 99);
+    }
+
+    #[test]
+    fn boruvka_iterations_are_logarithmic() {
+        let g = random_connected(4_096, 4_096, 5);
+        let wg = WeightedGraph::with_random_weights(&g, 10_000, 6);
+        let b = boruvka(&wg, 4);
+        assert!(
+            b.iterations <= 15,
+            "Borůvka took {} iterations on 4k vertices",
+            b.iterations
+        );
+        check_agreement(&wg, 4);
+    }
+
+    #[test]
+    fn complete_graph_mst() {
+        let g = complete(40);
+        let wg = WeightedGraph::with_random_weights(&g, 500, 9);
+        check_agreement(&wg, 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let wg = WeightedGraph::from_weighted_edges(5, Vec::new());
+        let k = kruskal(&wg);
+        assert_eq!(k.total_weight, 0);
+        assert!(k.tree_edges.is_empty());
+        let b = boruvka(&wg, 2);
+        assert_eq!(b.total_weight, 0);
+        assert_eq!(b.iterations, 1);
+    }
+
+    #[test]
+    fn boruvka_is_deterministic_across_p() {
+        let g = random_gnm(500, 900, 2);
+        let wg = WeightedGraph::with_random_weights(&g, 100, 4);
+        let mut e1 = boruvka(&wg, 1).tree_edges;
+        let mut e4 = boruvka(&wg, 4).tree_edges;
+        e1.sort_unstable();
+        e4.sort_unstable();
+        assert_eq!(e1, e4, "strict-min hooking is schedule-independent");
+    }
+}

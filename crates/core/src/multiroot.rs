@@ -1,0 +1,334 @@
+//! Multi-root concurrent traversal — an extension beyond the paper.
+//!
+//! The paper's driver (and [`crate::bader_cong`]) handles one component
+//! per barrier-delimited round, absorbing sub-stub components
+//! sequentially. This module explores the other end of the design
+//! space: **all components at once**. Idle processors claim fresh roots
+//! from a shared cursor and grow trees concurrently; when two trees
+//! touch (a worker finds a neighbor colored by a different tree), the
+//! crossing edge is recorded as a *conflict*. After quiescence, a
+//! union-find pass over the conflict edges picks one merge edge per
+//! tree pair and splices the trees by **re-rooting**: the parent chain
+//! from the merge point up to its root is reversed and attached across
+//! the conflict edge — an O(depth) pointer reversal that is always safe
+//! on a valid forest, in any merge order.
+//!
+//! Why every component still ends up as exactly one tree: whenever
+//! vertices v (tree A) and w (tree B ≠ A) are adjacent, whichever worker
+//! examines the edge last sees the other side's color and records the
+//! conflict, so the conflict graph connects all trees sharing a
+//! component, and the union-find pass merges them all.
+//!
+//! Trade-off vs. the round driver: no barriers at all and full
+//! processor utilization across many medium components, in exchange for
+//! the sequential O(conflicts × depth) merge pass — best when
+//! components are numerous and shallow (2D60-like inputs), worst when a
+//! single deep component attracts many speculative root claims.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_graph::dsu::DisjointSets;
+use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_smp::pad::CacheAligned;
+use st_smp::steal::WorkQueue;
+use st_smp::{run_team, AtomicU32Array, IdleOutcome, TerminationDetector};
+
+use crate::result::{AlgoStats, SpanningForest};
+use crate::traversal::TraversalConfig;
+
+/// Color value meaning "not yet claimed".
+const UNCLAIMED: u32 = 0;
+
+/// Computes a spanning forest with the multi-root concurrent strategy.
+///
+/// `cfg.starvation_threshold` is ignored (there is no fallback: idle
+/// processors claim new roots instead of starving); the steal policy,
+/// idle timeout, and seed apply as in the round driver.
+pub fn spanning_forest_multiroot(
+    g: &CsrGraph,
+    p: usize,
+    cfg: TraversalConfig,
+) -> SpanningForest {
+    assert!(p > 0, "need at least one processor");
+    let n = g.num_vertices();
+    if n == 0 {
+        return SpanningForest {
+            parents: Vec::new(),
+            roots: Vec::new(),
+            stats: AlgoStats::default(),
+        };
+    }
+
+    // color[v]: UNCLAIMED, or 1 + the id of the root whose tree claimed v.
+    let color = AtomicU32Array::new(n, UNCLAIMED);
+    let parent = AtomicU32Array::new(n, st_graph::NO_VERTEX);
+    let queues: Vec<CacheAligned<WorkQueue<VertexId>>> =
+        (0..p).map(|_| CacheAligned::new(WorkQueue::new())).collect();
+    let detector = TerminationDetector::new(p);
+    let cursor = AtomicUsize::new(0);
+    let steals = AtomicUsize::new(0);
+    let stolen_items = AtomicUsize::new(0);
+    let multi_colored = AtomicUsize::new(0);
+    // Roots claimed, in claim order (for stats; merged roots drop out of
+    // the final root set).
+    let claimed_roots = Mutex::new(Vec::<VertexId>::new());
+
+    // Claims the next unclaimed vertex as a fresh root.
+    let claim_root = || -> Option<VertexId> {
+        loop {
+            let pos = cursor.fetch_add(1, Ordering::Relaxed);
+            if pos >= n {
+                return None;
+            }
+            if color.try_claim(pos, UNCLAIMED, pos as u32 + 1) {
+                claimed_roots.lock().unwrap().push(pos as VertexId);
+                return Some(pos as VertexId);
+            }
+        }
+    };
+
+    type RankOut = (usize, Vec<(VertexId, VertexId)>);
+    let per_rank: Vec<RankOut> = run_team(p, |ctx| {
+        let rank = ctx.rank();
+        let my_q = &*queues[rank];
+        let mut rng =
+            SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut processed = 0usize;
+        let mut conflicts: Vec<(VertexId, VertexId)> = Vec::new();
+
+        loop {
+            while let Some(v) = my_q.pop() {
+                let my_tree = color.load(v as usize, Ordering::Acquire);
+                debug_assert_ne!(my_tree, UNCLAIMED);
+                for &w in g.neighbors(v) {
+                    let c = color.load(w as usize, Ordering::Acquire);
+                    if c == UNCLAIMED {
+                        if color.try_claim(w as usize, UNCLAIMED, my_tree) {
+                            parent.store(w as usize, v, Ordering::Release);
+                            my_q.push(w);
+                        } else {
+                            // Lost the claim; whoever won may be another
+                            // tree.
+                            multi_colored.fetch_add(1, Ordering::Relaxed);
+                            let c2 = color.load(w as usize, Ordering::Acquire);
+                            if c2 != my_tree {
+                                conflicts.push((v, w));
+                            }
+                        }
+                    } else if c != my_tree {
+                        conflicts.push((v, w));
+                    }
+                }
+                processed += 1;
+                if detector.approx_sleeping() > 0 && my_q.approx_len() > 1 {
+                    detector.notify_work();
+                }
+            }
+            // Local queue empty: steal, then claim a fresh root, then
+            // sleep.
+            if try_steal(&queues, rank, p, &mut rng, cfg, &steals, &stolen_items) {
+                continue;
+            }
+            if let Some(r) = claim_root() {
+                my_q.push(r);
+                continue;
+            }
+            match detector.idle_wait(cfg.idle_timeout) {
+                IdleOutcome::AllDone => break,
+                IdleOutcome::Starved => unreachable!("threshold disabled"),
+                IdleOutcome::Retry => continue,
+            }
+        }
+        (processed, conflicts)
+    });
+
+    // --- Sequential merge pass: one merge edge per tree pair.
+    let mut parents: Vec<VertexId> = parent.into();
+    let colors = color.snapshot();
+    let mut dsu = DisjointSets::new(n);
+    let mut merges = 0usize;
+    let mut processed_total = Vec::with_capacity(p);
+    let mut all_conflicts: Vec<(VertexId, VertexId)> = Vec::new();
+    for (count, conflicts) in per_rank {
+        processed_total.push(count);
+        all_conflicts.extend(conflicts);
+    }
+    for (v, w) in all_conflicts {
+        let tv = colors[v as usize] - 1;
+        let tw = colors[w as usize] - 1;
+        if !dsu.union(tv, tw) {
+            continue; // trees already merged via another edge
+        }
+        // Re-root v's current tree at v and hang it under w.
+        let mut prev = w;
+        let mut cur = v;
+        while cur != NO_VERTEX {
+            let next = parents[cur as usize];
+            parents[cur as usize] = prev;
+            prev = cur;
+            cur = next;
+        }
+        merges += 1;
+    }
+
+    let roots: Vec<VertexId> = parents
+        .iter()
+        .enumerate()
+        .filter(|&(_, &pp)| pp == NO_VERTEX)
+        .map(|(v, _)| v as VertexId)
+        .collect();
+    let claimed = claimed_roots.into_inner().unwrap().len();
+    let stats = AlgoStats {
+        components: roots.len(),
+        multi_colored: multi_colored.load(Ordering::Relaxed),
+        steals: steals.load(Ordering::Relaxed),
+        stolen_items: stolen_items.load(Ordering::Relaxed),
+        per_proc_processed: processed_total,
+        // Record speculative claims merged away in the grafts slot: the
+        // closest existing notion (merges = claims - components).
+        grafts: merges,
+        iterations: claimed,
+        barriers: 0,
+        ..AlgoStats::default()
+    };
+    SpanningForest {
+        parents,
+        roots,
+        stats,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_steal(
+    queues: &[CacheAligned<WorkQueue<VertexId>>],
+    rank: usize,
+    p: usize,
+    rng: &mut SmallRng,
+    cfg: TraversalConfig,
+    steals: &AtomicUsize,
+    stolen_items: &AtomicUsize,
+) -> bool {
+    if p == 1 {
+        return false;
+    }
+    let mut buf = VecDeque::new();
+    for _ in 0..p {
+        let victim = rng.gen_range(0..p);
+        if victim == rank || queues[victim].appears_empty() {
+            continue;
+        }
+        let got = queues[victim].steal_into(&mut buf, cfg.steal_policy);
+        if got > 0 {
+            queues[rank].push_all(buf);
+            steals.fetch_add(1, Ordering::Relaxed);
+            stolen_items.fetch_add(got, Ordering::Relaxed);
+            return true;
+        }
+    }
+    for offset in 1..p {
+        let victim = (rank + offset) % p;
+        let got = queues[victim].steal_into(&mut buf, cfg.steal_policy);
+        if got > 0 {
+            queues[rank].push_all(buf);
+            steals.fetch_add(1, Ordering::Relaxed);
+            stolen_items.fetch_add(got, Ordering::Relaxed);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::gen;
+    use st_graph::validate::{count_components, is_spanning_forest};
+
+    fn check(g: &CsrGraph, p: usize) -> SpanningForest {
+        let f = spanning_forest_multiroot(g, p, TraversalConfig::default());
+        assert!(
+            is_spanning_forest(g, &f.parents),
+            "invalid multiroot forest at p = {p}"
+        );
+        assert_eq!(f.num_trees(), count_components(g), "p = {p}");
+        f
+    }
+
+    #[test]
+    fn connected_graphs() {
+        for p in [1usize, 2, 4, 8] {
+            check(&gen::torus2d(20, 20), p);
+            check(&gen::random_connected(2_000, 3_000, 7), p);
+        }
+    }
+
+    #[test]
+    fn many_components_without_barriers() {
+        let g = gen::mesh2d_p(40, 40, 0.55, 3);
+        let f = check(&g, 4);
+        assert_eq!(f.stats.barriers, 0, "multiroot mode uses no barriers");
+        // Speculative claims beyond the component count were merged away.
+        assert_eq!(
+            f.stats.iterations - f.stats.grafts,
+            f.num_trees(),
+            "claims - merges = final trees"
+        );
+    }
+
+    #[test]
+    fn chain_forces_cross_tree_merges() {
+        // Idle processors claim roots mid-chain, so trees must merge.
+        let g = gen::chain(20_000);
+        let f = check(&g, 4);
+        assert_eq!(f.num_trees(), 1);
+    }
+
+    #[test]
+    fn star_with_speculative_leaf_claims() {
+        let g = gen::star(5_000);
+        let f = check(&g, 8);
+        assert_eq!(f.num_trees(), 1);
+    }
+
+    #[test]
+    fn repeated_runs_stay_valid() {
+        let g = gen::ad3(1_500, 9);
+        let reference = count_components(&g);
+        for seed in 0..10 {
+            let cfg = TraversalConfig {
+                seed,
+                ..TraversalConfig::default()
+            };
+            let f = spanning_forest_multiroot(&g, 4, cfg);
+            assert!(is_spanning_forest(&g, &f.parents), "seed {seed}");
+            assert_eq!(f.num_trees(), reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scale_free_hubs() {
+        let g = gen::rmat(11, 6, gen::RmatParams::standard(), 3);
+        check(&g, 4);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let f = spanning_forest_multiroot(&CsrGraph::empty(0), 2, TraversalConfig::default());
+        assert!(f.parents.is_empty());
+        let f = check(&CsrGraph::empty(6), 3);
+        assert_eq!(f.num_trees(), 6);
+    }
+
+    #[test]
+    fn agrees_with_round_driver_on_structure() {
+        let g = gen::mesh3d_p(12, 12, 12, 0.4, 5);
+        let round = crate::bader_cong::BaderCong::with_defaults().spanning_forest(&g, 4);
+        let multi = check(&g, 4);
+        assert_eq!(round.num_trees(), multi.num_trees());
+        assert_eq!(round.num_tree_edges(), multi.num_tree_edges());
+    }
+}

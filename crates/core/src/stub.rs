@@ -1,0 +1,198 @@
+//! Phase 1: the stub spanning tree.
+//!
+//! "One processor generates a stub spanning tree, that is, a small
+//! portion of the spanning tree by randomly walking the graph for O(p)
+//! steps. The vertices of the stub spanning tree are evenly distributed
+//! into each processor's queue, and each processor traverses from the
+//! first element in its queue." (§2)
+//!
+//! The walk only moves to unvisited neighbors (each step extends the
+//! tree); when it reaches a vertex with no unvisited neighbor it
+//! backtracks along the walk, so on high-diameter graphs the stub still
+//! collects up to the requested number of vertices. Shorter-than-
+//! requested stubs (tiny components) are fine — the remaining processors
+//! start by stealing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+
+/// A stub spanning tree: vertices in walk order with their tree parents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StubTree {
+    /// Vertices in the order the walk visited them; `vertices[0]` is the
+    /// root.
+    pub vertices: Vec<VertexId>,
+    /// `parents[i]` is the tree parent of `vertices[i]`
+    /// ([`NO_VERTEX`] for the root).
+    pub parents: Vec<VertexId>,
+}
+
+impl StubTree {
+    /// Number of stub vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the stub is empty (never produced by
+    /// [`grow_stub`]; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Grows a stub spanning tree of up to `target` vertices from `root` by
+/// a random walk over unvisited vertices, with backtracking.
+///
+/// `already_visited(v)` reports vertices claimed by earlier rounds (other
+/// components' traversals); the walk never enters them. The root itself
+/// must be unvisited.
+pub fn grow_stub(
+    g: &CsrGraph,
+    root: VertexId,
+    target: usize,
+    seed: u64,
+    already_visited: impl Fn(VertexId) -> bool,
+) -> StubTree {
+    debug_assert!(!already_visited(root), "stub root must be unvisited");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut vertices = vec![root];
+    let mut parents = vec![NO_VERTEX];
+    if target <= 1 {
+        return StubTree { vertices, parents };
+    }
+    // Membership test local to this walk (the walk touches O(target)
+    // vertices, so a hash set beats an O(n) bitmap).
+    let mut in_stub: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
+    in_stub.insert(root);
+
+    // Walk with backtracking: `path` holds the current position's chain.
+    let mut path = vec![root];
+    let mut candidates: Vec<VertexId> = Vec::new();
+    while vertices.len() < target {
+        let Some(&cur) = path.last() else { break };
+        candidates.clear();
+        candidates.extend(
+            g.neighbors(cur)
+                .iter()
+                .copied()
+                .filter(|&w| !in_stub.contains(&w) && !already_visited(w)),
+        );
+        if candidates.is_empty() {
+            path.pop();
+            continue;
+        }
+        let next = candidates[rng.gen_range(0..candidates.len())];
+        in_stub.insert(next);
+        vertices.push(next);
+        parents.push(cur);
+        path.push(next);
+    }
+    StubTree { vertices, parents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::gen::{chain, complete, star, torus2d};
+    use st_graph::validate::is_spanning_forest;
+
+    fn never_visited(_: VertexId) -> bool {
+        false
+    }
+
+    /// Checks the stub is a valid tree over its own vertex set: parents
+    /// are earlier stub vertices connected by graph edges.
+    fn assert_stub_is_tree(g: &CsrGraph, stub: &StubTree) {
+        assert_eq!(stub.vertices.len(), stub.parents.len());
+        assert_eq!(stub.parents[0], NO_VERTEX);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(stub.vertices[0]);
+        for i in 1..stub.len() {
+            let v = stub.vertices[i];
+            let p = stub.parents[i];
+            assert!(seen.contains(&p), "parent {p} not an earlier stub vertex");
+            assert!(
+                g.neighbors(v).contains(&p),
+                "stub edge ({v}, {p}) not in graph"
+            );
+            assert!(seen.insert(v), "vertex {v} appears twice in the stub");
+        }
+    }
+
+    #[test]
+    fn stub_on_torus_reaches_target() {
+        let g = torus2d(20, 20);
+        let stub = grow_stub(&g, 0, 16, 7, never_visited);
+        assert_eq!(stub.len(), 16);
+        assert_stub_is_tree(&g, &stub);
+    }
+
+    #[test]
+    fn stub_on_chain_backtracks_to_target() {
+        // Starting mid-chain, the walk hits an end and must backtrack.
+        let g = chain(100);
+        let stub = grow_stub(&g, 95, 10, 3, never_visited);
+        assert_eq!(stub.len(), 10);
+        assert_stub_is_tree(&g, &stub);
+    }
+
+    #[test]
+    fn stub_capped_by_component_size() {
+        let g = chain(5);
+        let stub = grow_stub(&g, 2, 50, 0, never_visited);
+        assert_eq!(stub.len(), 5, "stub covers the whole tiny component");
+        assert_stub_is_tree(&g, &stub);
+        // A full-component stub is itself a spanning forest of the chain.
+        let mut parents = vec![NO_VERTEX; 5];
+        for (i, &v) in stub.vertices.iter().enumerate() {
+            parents[v as usize] = stub.parents[i];
+        }
+        assert!(is_spanning_forest(&g, &parents));
+    }
+
+    #[test]
+    fn stub_respects_already_visited() {
+        let g = chain(10);
+        // Vertices >= 5 belong to an earlier traversal.
+        let stub = grow_stub(&g, 2, 50, 1, |v| v >= 5);
+        assert!(stub.vertices.iter().all(|&v| v < 5));
+        assert_eq!(stub.len(), 5);
+    }
+
+    #[test]
+    fn stub_target_one_is_just_the_root() {
+        let g = complete(10);
+        let stub = grow_stub(&g, 3, 1, 0, never_visited);
+        assert_eq!(stub.vertices, vec![3]);
+        assert_eq!(stub.parents, vec![NO_VERTEX]);
+    }
+
+    #[test]
+    fn stub_on_star_walks_through_hub() {
+        let g = star(50);
+        let stub = grow_stub(&g, 5, 8, 2, never_visited);
+        assert_eq!(stub.len(), 8);
+        assert_stub_is_tree(&g, &stub);
+    }
+
+    #[test]
+    fn stub_is_deterministic_in_seed() {
+        let g = torus2d(10, 10);
+        assert_eq!(
+            grow_stub(&g, 0, 12, 9, never_visited),
+            grow_stub(&g, 0, 12, 9, never_visited)
+        );
+        assert_ne!(
+            grow_stub(&g, 0, 12, 9, never_visited),
+            grow_stub(&g, 0, 12, 10, never_visited)
+        );
+    }
+
+    #[test]
+    fn isolated_root_yields_singleton() {
+        let g = CsrGraph::empty(3);
+        let stub = grow_stub(&g, 1, 8, 0, never_visited);
+        assert_eq!(stub.vertices, vec![1]);
+    }
+}

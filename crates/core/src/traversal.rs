@@ -1,0 +1,498 @@
+//! The work-stealing graph-traversal engine (phase 2 of the new
+//! algorithm, Alg. 1 of the paper).
+//!
+//! Each processor runs the modified BFS of Alg. 1 against shared atomic
+//! `color` and `parent` arrays; idle processors steal queue segments from
+//! random victims, and the [`TerminationDetector`] turns "everyone is
+//! asleep" into completion and "threshold asleep" into a starvation
+//! abort.
+//!
+//! ## The benign race (paper §2, Fig. 1)
+//!
+//! Two processors may both observe a vertex `w` uncolored and both color
+//! it, enqueue it, and write `parent[w]`. The paper argues this is safe:
+//! whichever parent write lands last is an edge of the graph, so the
+//! tree stays valid; and when `w`'s unvisited children are later claimed
+//! by either copy, their parent is `w` regardless. We reproduce exactly
+//! this protocol — the losing processor *also* enqueues `w` — and count
+//! the collisions (`multi_colored`) to reproduce the paper's "fewer than
+//! ten vertices in millions" measurement.
+//!
+//! The engine is also reused to orient Shiloach–Vishkin's undirected
+//! tree-edge output into rooted parent arrays (see [`crate::orient`]),
+//! which keeps the SV pipeline parallel end to end.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_graph::{CsrGraph, VertexId};
+use st_smp::pad::CacheAligned;
+use st_smp::steal::{StealPolicy, WorkQueue};
+use st_smp::{IdleOutcome, TerminationDetector};
+
+/// Color value meaning "not yet visited".
+pub const UNCOLORED: u32 = 0;
+
+/// Tuning knobs of the traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraversalConfig {
+    /// How much a thief takes from a victim.
+    pub steal_policy: StealPolicy,
+    /// How long an idle processor sleeps before re-scanning for victims.
+    pub idle_timeout: Duration,
+    /// Sleeping-processor count that aborts the traversal
+    /// ([`None`] disables the starvation detector, matching the paper's
+    /// observation that it "will almost never be triggered").
+    pub starvation_threshold: Option<usize>,
+    /// Seed for the per-processor victim-selection RNGs.
+    pub seed: u64,
+    /// How many vertices the owner dequeues per queue-lock acquisition
+    /// (the `ablate_chunk` knob). 1 reproduces the paper's per-vertex
+    /// protocol exactly; larger batches amortize lock traffic at the
+    /// cost of making the in-flight batch unstealable.
+    pub local_batch: usize,
+}
+
+impl Default for TraversalConfig {
+    fn default() -> Self {
+        Self {
+            steal_policy: StealPolicy::Half,
+            idle_timeout: Duration::from_micros(200),
+            starvation_threshold: None,
+            seed: 0x5eed,
+            local_batch: 1,
+        }
+    }
+}
+
+/// Why a traversal round ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraversalOutcome {
+    /// Quiescence: every reachable vertex has been processed.
+    Completed,
+    /// The starvation threshold fired; the caller should fall back.
+    Starved,
+}
+
+/// Shared state of one traversal session. Created once per algorithm run
+/// and reused across per-component rounds.
+pub struct Traversal<'g> {
+    g: &'g CsrGraph,
+    /// `color[v]`: [`UNCOLORED`] or the 1-based label of a processor that
+    /// colored v.
+    pub color: st_smp::AtomicU32Array,
+    /// `parent[v]`: tree parent, or [`st_graph::NO_VERTEX`].
+    pub parent: st_smp::AtomicU32Array,
+    queues: Vec<CacheAligned<WorkQueue<VertexId>>>,
+    detector: TerminationDetector,
+    cfg: TraversalConfig,
+    starved: AtomicBool,
+    multi_colored: AtomicUsize,
+    steals: AtomicUsize,
+    stolen_items: AtomicUsize,
+}
+
+impl<'g> Traversal<'g> {
+    /// Fresh traversal state for `p` processors over `g`: everything
+    /// uncolored, all queues empty.
+    pub fn new(g: &'g CsrGraph, p: usize, cfg: TraversalConfig) -> Self {
+        assert!(p > 0, "traversal needs at least one processor");
+        let n = g.num_vertices();
+        let detector = match cfg.starvation_threshold {
+            Some(t) => TerminationDetector::with_threshold(p, t),
+            None => TerminationDetector::new(p),
+        };
+        Self {
+            g,
+            color: st_smp::AtomicU32Array::new(n, UNCOLORED),
+            parent: st_smp::AtomicU32Array::new(n, st_graph::NO_VERTEX),
+            queues: (0..p).map(|_| CacheAligned::new(WorkQueue::new())).collect(),
+            detector,
+            cfg,
+            starved: AtomicBool::new(false),
+            multi_colored: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            stolen_items: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// True when `v` has been colored.
+    pub fn is_colored(&self, v: VertexId) -> bool {
+        self.color.load(v as usize, Ordering::Acquire) != UNCOLORED
+    }
+
+    /// Colors `v` (with the out-of-band label p+1), sets its parent, and
+    /// enqueues it on `rank`'s queue. Used by the driver to seed stub
+    /// vertices and roots before a round starts (single-threaded phase).
+    pub fn seed(&self, rank: usize, v: VertexId, parent: VertexId) {
+        let label = self.queues.len() as u32 + 1;
+        self.color.store(v as usize, label, Ordering::Release);
+        self.parent.store(v as usize, parent, Ordering::Release);
+        self.queues[rank].push(v);
+    }
+
+    /// Colors `v` and sets its parent *without* enqueueing it. Used by
+    /// the driver for components the stub walk covered entirely: their
+    /// vertices need no traversal round at all.
+    pub fn mark(&self, v: VertexId, parent: VertexId) {
+        let label = self.queues.len() as u32 + 1;
+        self.color.store(v as usize, label, Ordering::Release);
+        self.parent.store(v as usize, parent, Ordering::Release);
+    }
+
+    /// Resets the detector and round-local flags between per-component
+    /// rounds. Must only be called while no worker is inside
+    /// [`run_worker`](Self::run_worker) (i.e. between barriers).
+    pub fn begin_round(&self) {
+        debug_assert!(self.queues.iter().all(|q| q.is_empty() || !self.starved.load(Ordering::Relaxed)));
+        self.detector.reset();
+        self.starved.store(false, Ordering::Release);
+    }
+
+    /// Runs processor `rank`'s share of the current round. Returns the
+    /// number of vertices this processor dequeued and processed, plus the
+    /// round outcome. All `p` processors must call this exactly once per
+    /// round.
+    pub fn run_worker(&self, rank: usize) -> (usize, TraversalOutcome) {
+        let p = self.queues.len();
+        let my_label = rank as u32 + 1;
+        let my_q = &*self.queues[rank];
+        let mut rng = SmallRng::seed_from_u64(
+            self.cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut processed = 0usize;
+        let batch_size = self.cfg.local_batch.max(1);
+        // Owner-local batch: vertices dequeued but not yet processed.
+        // With the default batch of 1 this stays empty and the protocol
+        // is exactly Alg. 1.
+        let mut batch: VecDeque<VertexId> = VecDeque::new();
+
+        loop {
+            // Drain local work (Alg. 1 lines 2.1-2.7).
+            loop {
+                let v = match batch.pop_front() {
+                    Some(v) => v,
+                    None => {
+                        if my_q.pop_chunk(&mut batch, batch_size) == 0 {
+                            break;
+                        }
+                        batch.pop_front().expect("pop_chunk reported items")
+                    }
+                };
+                for &w in self.g.neighbors(v) {
+                    if self.color.load(w as usize, Ordering::Acquire) == UNCOLORED {
+                        if !self.color.try_claim(w as usize, UNCOLORED, my_label) {
+                            // Benign race: someone colored w between our
+                            // load and CAS. Count it and proceed exactly
+                            // as the paper's unconditional-store protocol
+                            // does — overwrite the parent and enqueue.
+                            self.multi_colored.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.parent.store(w as usize, v, Ordering::Release);
+                        my_q.push(w);
+                    }
+                }
+                processed += 1;
+                // Wake sleepers when we have surplus stealable work.
+                if self.detector.approx_sleeping() > 0 && my_q.approx_len() > 1 {
+                    self.detector.notify_work();
+                }
+                if self.starved.load(Ordering::Acquire) {
+                    return (processed, TraversalOutcome::Starved);
+                }
+            }
+
+            // Local queue empty: try to steal.
+            if self.try_steal(rank, p, &mut rng) {
+                continue;
+            }
+
+            match self.detector.idle_wait(self.cfg.idle_timeout) {
+                IdleOutcome::AllDone => return (processed, TraversalOutcome::Completed),
+                IdleOutcome::Starved => {
+                    self.starved.store(true, Ordering::Release);
+                    return (processed, TraversalOutcome::Starved);
+                }
+                IdleOutcome::Retry => continue,
+            }
+        }
+    }
+
+    /// One steal sweep: a few random probes, then a deterministic scan.
+    /// Stolen items land in our own queue (so they stay stealable by
+    /// others). Returns true when anything was stolen.
+    fn try_steal(&self, rank: usize, p: usize, rng: &mut SmallRng) -> bool {
+        if p == 1 {
+            return false;
+        }
+        let mut buf = VecDeque::new();
+        // Random probes (the paper: "randomly checks other processors'
+        // queues").
+        for _ in 0..p {
+            let victim = rng.gen_range(0..p);
+            if victim == rank || self.queues[victim].appears_empty() {
+                continue;
+            }
+            let got = self.queues[victim].steal_into(&mut buf, self.cfg.steal_policy);
+            if got > 0 {
+                self.finish_steal(rank, buf, got);
+                return true;
+            }
+        }
+        // Deterministic sweep so a lone victim cannot be missed forever.
+        for offset in 1..p {
+            let victim = (rank + offset) % p;
+            let got = self.queues[victim].steal_into(&mut buf, self.cfg.steal_policy);
+            if got > 0 {
+                self.finish_steal(rank, buf, got);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish_steal(&self, rank: usize, buf: VecDeque<VertexId>, got: usize) {
+        self.queues[rank].push_all(buf);
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.stolen_items.fetch_add(got, Ordering::Relaxed);
+    }
+
+    /// Runs a whole multi-round session on a single team of `p` threads.
+    ///
+    /// Between rounds, rank 0 calls `prepare(self, round_index)` (all
+    /// other ranks wait at a barrier) to seed the next round's queues —
+    /// e.g. growing a stub tree for the next component. `prepare`
+    /// returning `false` ends the session. Spawning the team once and
+    /// cycling rounds with two barriers each is what keeps
+    /// many-component graphs (2D60, sparse random) cheap.
+    ///
+    /// Returns per-rank processed counts, the number of barrier episodes
+    /// executed, and the session outcome ([`TraversalOutcome::Starved`]
+    /// as soon as any round starves).
+    pub fn run_rounds<F>(&self, prepare: F) -> (Vec<usize>, usize, TraversalOutcome)
+    where
+        F: FnMut(&Self, usize) -> bool + Send,
+    {
+        use st_smp::SpinLock;
+        let p = self.processors();
+        let prepare = SpinLock::new(prepare);
+        let finished = AtomicBool::new(false);
+        let any_starved = AtomicBool::new(false);
+        let barriers = AtomicUsize::new(0);
+        let processed = st_smp::run_team(p, |ctx| {
+            let mut total = 0usize;
+            let mut round = 0usize;
+            loop {
+                if ctx.rank() == 0 {
+                    self.begin_round();
+                    let more = (prepare.lock())(self, round);
+                    if !more {
+                        finished.store(true, Ordering::Release);
+                    }
+                }
+                if ctx.barrier() {
+                    barriers.fetch_add(1, Ordering::Relaxed);
+                }
+                if finished.load(Ordering::Acquire) {
+                    break;
+                }
+                let (count, outcome) = self.run_worker(ctx.rank());
+                total += count;
+                if ctx.barrier() {
+                    barriers.fetch_add(1, Ordering::Relaxed);
+                }
+                if outcome == TraversalOutcome::Starved {
+                    any_starved.store(true, Ordering::Release);
+                    break;
+                }
+                round += 1;
+            }
+            total
+        });
+        let outcome = if any_starved.load(Ordering::Acquire) {
+            TraversalOutcome::Starved
+        } else {
+            TraversalOutcome::Completed
+        };
+        (processed, barriers.load(Ordering::Relaxed), outcome)
+    }
+
+    /// Collisions observed so far (see module docs).
+    pub fn multi_colored(&self) -> usize {
+        self.multi_colored.load(Ordering::Relaxed)
+    }
+
+    /// Successful steals so far.
+    pub fn steals(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Total items moved by steals so far.
+    pub fn stolen_items(&self) -> usize {
+        self.stolen_items.load(Ordering::Relaxed)
+    }
+
+    /// Extracts the parent array (call after all workers joined).
+    pub fn into_parents(self) -> Vec<VertexId> {
+        self.parent.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::gen::{chain, complete, random_connected, star, torus2d};
+    use st_graph::validate::is_spanning_tree;
+    use st_graph::NO_VERTEX;
+    use st_smp::run_team;
+
+    /// Runs a single-round traversal seeded with one root on a connected
+    /// graph.
+    fn traverse(g: &CsrGraph, p: usize, root: VertexId, cfg: TraversalConfig) -> Traversal<'_> {
+        let t = Traversal::new(g, p, cfg);
+        t.begin_round();
+        t.seed(0, root, NO_VERTEX);
+        run_team(p, |ctx| {
+            let (_, outcome) = t.run_worker(ctx.rank());
+            assert_eq!(outcome, TraversalOutcome::Completed);
+        });
+        t
+    }
+
+    #[test]
+    fn single_processor_matches_bfs_reachability() {
+        let g = torus2d(10, 10);
+        let t = traverse(&g, 1, 0, TraversalConfig::default());
+        let parents = t.into_parents();
+        assert!(is_spanning_tree(&g, &parents, 0));
+    }
+
+    #[test]
+    fn multi_processor_produces_valid_tree() {
+        let g = random_connected(2_000, 3_000, 11);
+        for p in [2, 4, 8] {
+            let t = traverse(&g, p, 0, TraversalConfig::default());
+            let parents = t.into_parents();
+            assert!(is_spanning_tree(&g, &parents, 0), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn star_graph_with_stealing_is_correct() {
+        // All work lives in one queue after the hub is processed; other
+        // processors make progress only by stealing. (Whether steals
+        // actually occur is scheduler-dependent on an oversubscribed
+        // host, so only correctness is asserted here; steal mechanics
+        // are covered deterministically in st-smp and st-model.)
+        let g = star(5_000);
+        let t = traverse(&g, 4, 0, TraversalConfig::default());
+        let parents = t.into_parents();
+        assert!(is_spanning_tree(&g, &parents, 0));
+    }
+
+    #[test]
+    fn steal_policies_all_correct() {
+        let g = random_connected(1_000, 1_500, 3);
+        for policy in [StealPolicy::Half, StealPolicy::One, StealPolicy::Chunk(16)] {
+            let cfg = TraversalConfig {
+                steal_policy: policy,
+                ..TraversalConfig::default()
+            };
+            let t = traverse(&g, 4, 0, cfg);
+            let parents = t.into_parents();
+            assert!(is_spanning_tree(&g, &parents, 0), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn starvation_triggers_on_chain() {
+        // A long chain with a single seed: one processor crawls, the
+        // rest starve. With threshold p-1 the round must abort.
+        let g = chain(50_000);
+        let cfg = TraversalConfig {
+            starvation_threshold: Some(3),
+            ..TraversalConfig::default()
+        };
+        let t = Traversal::new(&g, 4, cfg);
+        t.begin_round();
+        t.seed(0, 0, NO_VERTEX);
+        let outcomes = run_team(4, |ctx| t.run_worker(ctx.rank()).1);
+        assert!(
+            outcomes.iter().all(|&o| o == TraversalOutcome::Starved),
+            "expected starvation, got {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn complete_graph_single_frontier_wave() {
+        let g = complete(300);
+        let t = traverse(&g, 4, 0, TraversalConfig::default());
+        let parents = t.into_parents();
+        assert!(is_spanning_tree(&g, &parents, 0));
+    }
+
+    #[test]
+    fn multiple_seeds_partition_work() {
+        // Seeding each processor's queue with distinct chain vertices
+        // (as the stub tree does) lets all processors work on a chain.
+        let n = 10_000;
+        let g = chain(n);
+        let p = 4;
+        let t = Traversal::new(&g, p, TraversalConfig::default());
+        t.begin_round();
+        // Seed a contiguous prefix walk 0-1-2-...-(2p-1), round-robin.
+        t.seed(0, 0, NO_VERTEX);
+        for v in 1..(2 * p as u32) {
+            t.seed((v as usize) % p, v, v - 1);
+        }
+        let processed: Vec<usize> = run_team(p, |ctx| {
+            let (count, outcome) = t.run_worker(ctx.rank());
+            assert_eq!(outcome, TraversalOutcome::Completed);
+            count
+        });
+        // Everyone processed at least its seeds; the far-end processor
+        // does the bulk (the chain is pathological by design).
+        assert!(processed.iter().sum::<usize>() >= n);
+        let parents = t.into_parents();
+        assert!(is_spanning_tree(&g, &parents, 0));
+    }
+
+    #[test]
+    fn local_batch_sizes_are_correct() {
+        let g = random_connected(3_000, 4_000, 17);
+        for batch in [1usize, 4, 32] {
+            let cfg = TraversalConfig {
+                local_batch: batch,
+                ..TraversalConfig::default()
+            };
+            let t = traverse(&g, 4, 0, cfg);
+            let parents = t.into_parents();
+            assert!(is_spanning_tree(&g, &parents, 0), "batch {batch}");
+        }
+        // Zero batch clamps to 1 instead of hanging.
+        let cfg = TraversalConfig {
+            local_batch: 0,
+            ..TraversalConfig::default()
+        };
+        let t = traverse(&g, 2, 0, cfg);
+        assert!(is_spanning_tree(&g, &t.into_parents(), 0));
+    }
+
+    #[test]
+    fn seeded_colors_are_respected() {
+        let g = chain(5);
+        let t = Traversal::new(&g, 2, TraversalConfig::default());
+        t.begin_round();
+        t.seed(0, 2, NO_VERTEX);
+        assert!(t.is_colored(2));
+        assert!(!t.is_colored(1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Degenerate chain graphs — the paper's pathological family.
+
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// Degenerate chain (path) graph: vertices 0 − 1 − 2 − … − (n−1).
+///
+/// Diameter n − 1, every internal vertex of degree 2. This is the paper's
+/// worst case for the work-stealing traversal (a busy processor's queue
+/// holds a single frontier vertex, so there is nothing to steal) and the
+/// input that motivates both the degree-2 preprocessing
+/// ([`preprocess`](crate::preprocess)) and the condition-variable
+/// starvation detector. Fig. 4's bottom row uses this family with
+/// sequential and random labelings.
+pub fn chain(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle graph: the chain plus the closing edge (n−1, 0). Needs n ≥ 3 to
+/// be simple; smaller n degrade gracefully (n = 2 is a single edge,
+/// n ≤ 1 is edgeless).
+pub fn cycle(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    if n >= 3 {
+        b.add_edge(n as VertexId - 1, 0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::count_components;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(10);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(9), 1);
+        for v in 1..9 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(count_components(&g), 1);
+    }
+
+    #[test]
+    fn chain_tiny() {
+        assert_eq!(chain(0).num_vertices(), 0);
+        assert_eq!(chain(1).num_edges(), 0);
+        assert_eq!(chain(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(count_components(&g), 1);
+    }
+
+    #[test]
+    fn cycle_small_cases() {
+        assert_eq!(cycle(2).num_edges(), 1);
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(cycle(3).num_edges(), 3);
+    }
+}

@@ -1,0 +1,341 @@
+//! Geographic (Internet-topology) graphs after Calvert, Doar & Zegura,
+//! the paper's "Geographic Graphs" family in flat and hierarchical modes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// Parameters of the flat geographic (Waxman-style) model.
+///
+/// Vertices are placed uniformly at random in the unit square; each pair
+/// at Euclidean distance d ≤ `radius` is connected with probability
+/// `alpha · exp(−d / (beta · radius))`. Pairs beyond `radius` are never
+/// connected, which (a) matches the locality of wide-area links the model
+/// captures and (b) lets generation use a bucket grid instead of the
+/// all-pairs scan, making n = 1M inputs feasible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoFlatParams {
+    /// Maximum link probability (at distance 0).
+    pub alpha: f64,
+    /// Decay of link probability with distance, relative to `radius`.
+    pub beta: f64,
+    /// Hard connection cutoff distance.
+    pub radius: f64,
+}
+
+impl GeoFlatParams {
+    /// Chooses `radius` so the expected mean degree is approximately
+    /// `target_degree` for `n` vertices (ignoring boundary effects).
+    ///
+    /// Expected degree ≈ n · α · 2π(βR)² · (1 − e^{−1/β}(1 + 1/β)),
+    /// from integrating the Waxman kernel over the disc of radius R.
+    pub fn with_target_degree(n: usize, target_degree: f64) -> Self {
+        let alpha = 0.9;
+        let beta = 0.5;
+        let kernel = 2.0 * std::f64::consts::PI
+            * beta
+            * beta
+            * (1.0 - (-1.0 / beta).exp() * (1.0 + 1.0 / beta));
+        let radius = (target_degree / (n as f64 * alpha * kernel)).sqrt();
+        Self {
+            alpha,
+            beta,
+            radius: radius.min(std::f64::consts::SQRT_2),
+        }
+    }
+}
+
+impl Default for GeoFlatParams {
+    /// Defaults tuned for a mean degree near 4 at n = 10⁴; prefer
+    /// [`GeoFlatParams::with_target_degree`] for other sizes.
+    fn default() -> Self {
+        Self::with_target_degree(10_000, 4.0)
+    }
+}
+
+/// Flat-mode geographic graph: distance-dependent random links between
+/// uniformly placed vertices.
+pub fn geographic_flat(n: usize, params: GeoFlatParams, seed: u64) -> CsrGraph {
+    assert!(n >= 1, "geographic graph needs at least one vertex");
+    assert!(params.radius > 0.0, "radius must be positive");
+    assert!(
+        (0.0..=1.0).contains(&params.alpha),
+        "alpha must be a probability"
+    );
+    let mut rng = rng_from_seed(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+    // Bucket grid with cell size >= radius, so candidate pairs live in the
+    // 3 x 3 cell neighborhood.
+    let cells_per_side = ((1.0 / params.radius).floor() as usize).clamp(1, 4096);
+    let cell_size = 1.0 / cells_per_side as f64;
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        (
+            ((p.0 / cell_size) as usize).min(cells_per_side - 1),
+            ((p.1 / cell_size) as usize).min(cells_per_side - 1),
+        )
+    };
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells_per_side + cx].push(i as VertexId);
+    }
+
+    let r2 = params.radius * params.radius;
+    let mut b = GraphBuilder::new(n);
+    let try_pair = |u: VertexId, v: VertexId, rng: &mut StdRng, b: &mut GraphBuilder| {
+        let (ux, uy) = points[u as usize];
+        let (vx, vy) = points[v as usize];
+        let d2 = (ux - vx).powi(2) + (uy - vy).powi(2);
+        if d2 > r2 {
+            return;
+        }
+        let d = d2.sqrt();
+        let p = params.alpha * (-d / (params.beta * params.radius)).exp();
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            b.add_edge(u, v);
+        }
+    };
+    for cy in 0..cells_per_side {
+        for cx in 0..cells_per_side {
+            let home = &buckets[cy * cells_per_side + cx];
+            // Pairs within the home cell.
+            for (i, &u) in home.iter().enumerate() {
+                for &v in &home[i + 1..] {
+                    try_pair(u, v, &mut rng, &mut b);
+                }
+            }
+            // Pairs against "forward" neighbor cells only, so each cell
+            // pair is visited once: E, SW, S, SE.
+            for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                let nx = cx as isize + dx;
+                let ny = cy as isize + dy;
+                if nx < 0 || ny < 0 || nx as usize >= cells_per_side || ny as usize >= cells_per_side
+                {
+                    continue;
+                }
+                let other = &buckets[ny as usize * cells_per_side + nx as usize];
+                for &u in home {
+                    for &v in other {
+                        try_pair(u, v, &mut rng, &mut b);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Parameters of the hierarchical geographic model: a backbone whose
+/// vertices anchor domains, whose vertices anchor subdomains — the
+/// paper's sketch of the Internet's transit/stub structure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoHierParams {
+    /// Number of backbone vertices.
+    pub backbones: usize,
+    /// Domain vertices attached to each backbone vertex.
+    pub domains_per_backbone: usize,
+    /// Subdomain vertices attached to each domain vertex.
+    pub verts_per_domain: usize,
+    /// Extra long-haul edges added among backbone vertices beyond the
+    /// connecting tree.
+    pub backbone_extra_edges: usize,
+    /// Probability of a local cross-link between sibling vertices in the
+    /// same domain / subdomain cluster.
+    pub local_link_prob: f64,
+}
+
+impl GeoHierParams {
+    /// Total vertex count B·(1 + D·(1 + S)).
+    pub fn total_vertices(&self) -> usize {
+        self.backbones * (1 + self.domains_per_backbone * (1 + self.verts_per_domain))
+    }
+
+    /// Parameters whose [`total_vertices`](Self::total_vertices) is close
+    /// to (and at least) `n`, with a 1 : 16 : 256 backbone : domain :
+    /// subdomain split.
+    pub fn with_approx_n(n: usize) -> Self {
+        let backbones = ((n as f64 / 273.0).cbrt().ceil() as usize).max(2);
+        let mut p = Self {
+            backbones,
+            domains_per_backbone: 16,
+            verts_per_domain: 16,
+            backbone_extra_edges: backbones / 2,
+            local_link_prob: 0.05,
+        };
+        while p.total_vertices() < n {
+            p.backbones += 1;
+            p.backbone_extra_edges = p.backbones / 2;
+        }
+        p
+    }
+}
+
+impl Default for GeoHierParams {
+    fn default() -> Self {
+        Self {
+            backbones: 8,
+            domains_per_backbone: 4,
+            verts_per_domain: 8,
+            backbone_extra_edges: 4,
+            local_link_prob: 0.05,
+        }
+    }
+}
+
+/// Hierarchical-mode geographic graph.
+///
+/// Backbone vertices are connected by a random attachment tree plus
+/// `backbone_extra_edges` random long-haul links; every domain vertex
+/// links to its backbone anchor, every subdomain vertex to its domain
+/// anchor, and sibling vertices cross-link with `local_link_prob`. The
+/// result is connected by construction, mirroring how the transit
+/// hierarchy keeps the Internet connected.
+pub fn geographic_hier(params: GeoHierParams, seed: u64) -> CsrGraph {
+    assert!(params.backbones >= 1, "need at least one backbone vertex");
+    assert!(
+        (0.0..=1.0).contains(&params.local_link_prob),
+        "local_link_prob must be a probability"
+    );
+    let n = params.total_vertices();
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::new(n);
+
+    // Vertex ids: backbone 0..B, then domains, then subdomains, assigned
+    // as we go.
+    let bb = params.backbones as VertexId;
+    // Backbone tree + extra edges.
+    for v in 1..bb {
+        let u = rng.gen_range(0..v);
+        b.add_edge(u, v);
+    }
+    for _ in 0..params.backbone_extra_edges {
+        if bb >= 2 {
+            let u = rng.gen_range(0..bb);
+            let v = rng.gen_range(0..bb);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+
+    let mut next: VertexId = bb;
+    for backbone in 0..bb {
+        let mut domain_anchors = Vec::with_capacity(params.domains_per_backbone);
+        for _ in 0..params.domains_per_backbone {
+            let dom = next;
+            next += 1;
+            b.add_edge(backbone, dom);
+            domain_anchors.push(dom);
+        }
+        // Sibling cross-links among the backbone's domains.
+        for (i, &d1) in domain_anchors.iter().enumerate() {
+            for &d2 in &domain_anchors[i + 1..] {
+                if rng.gen_bool(params.local_link_prob) {
+                    b.add_edge(d1, d2);
+                }
+            }
+        }
+        for &dom in &domain_anchors {
+            let mut subs = Vec::with_capacity(params.verts_per_domain);
+            for _ in 0..params.verts_per_domain {
+                let s = next;
+                next += 1;
+                b.add_edge(dom, s);
+                subs.push(s);
+            }
+            for (i, &s1) in subs.iter().enumerate() {
+                for &s2 in &subs[i + 1..] {
+                    if rng.gen_bool(params.local_link_prob) {
+                        b.add_edge(s1, s2);
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(next as usize, n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::count_components;
+
+    #[test]
+    fn flat_target_degree_is_roughly_met() {
+        let n = 4000;
+        let g = geographic_flat(n, GeoFlatParams::with_target_degree(n, 4.0), 3);
+        let mean = 2.0 * g.num_edges() as f64 / n as f64;
+        // Boundary effects depress the mean a little; accept a wide band.
+        assert!((2.5..5.5).contains(&mean), "mean degree {mean}");
+        assert!(g.has_no_self_loops());
+        assert!(g.has_no_parallel_edges());
+    }
+
+    #[test]
+    fn flat_is_deterministic() {
+        let p = GeoFlatParams::with_target_degree(500, 4.0);
+        assert_eq!(geographic_flat(500, p, 1), geographic_flat(500, p, 1));
+        assert_ne!(geographic_flat(500, p, 1), geographic_flat(500, p, 2));
+    }
+
+    #[test]
+    fn flat_single_vertex() {
+        let g = geographic_flat(1, GeoFlatParams::default(), 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn flat_respects_radius_cutoff() {
+        // A tiny radius on few points yields no (or almost no) edges.
+        let p = GeoFlatParams {
+            alpha: 1.0,
+            beta: 0.5,
+            radius: 1e-6,
+        };
+        let g = geographic_flat(50, p, 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn hier_is_connected_by_construction() {
+        let params = GeoHierParams::default();
+        let g = geographic_hier(params, 9);
+        assert_eq!(g.num_vertices(), params.total_vertices());
+        assert_eq!(count_components(&g), 1);
+    }
+
+    #[test]
+    fn hier_with_approx_n_reaches_n() {
+        for n in [100usize, 1000, 50_000] {
+            let p = GeoHierParams::with_approx_n(n);
+            assert!(p.total_vertices() >= n);
+            // Not wildly larger either (within 2x for these sizes).
+            assert!(p.total_vertices() <= 2 * n + 600);
+        }
+    }
+
+    #[test]
+    fn hier_is_deterministic() {
+        let p = GeoHierParams::default();
+        assert_eq!(geographic_hier(p, 5), geographic_hier(p, 5));
+    }
+
+    #[test]
+    fn hier_minimal_params() {
+        let p = GeoHierParams {
+            backbones: 1,
+            domains_per_backbone: 0,
+            verts_per_domain: 0,
+            backbone_extra_edges: 0,
+            local_link_prob: 0.0,
+        };
+        let g = geographic_hier(p, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

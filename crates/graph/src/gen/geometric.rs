@@ -1,0 +1,244 @@
+//! Geometric k-nearest-neighbor graphs (the paper's "Geometric Graphs and
+//! AD3" family, after Moret & Shapiro's MST study).
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// Geometric k-NN graph: `n` points uniform in the unit square, each
+/// vertex connected to its `k` nearest neighbors (Euclidean).
+///
+/// The union of the directed k-NN relations is taken as an undirected
+/// simple graph, so degrees range from k up to ~6k in practice.
+///
+/// Uses a uniform grid with expanding ring search, giving expected
+/// O(n·k) construction rather than the naive O(n²).
+pub fn geometric_knn(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 1, "geometric graph needs at least one vertex");
+    let k = k.min(n.saturating_sub(1));
+    if k == 0 {
+        return CsrGraph::empty(n);
+    }
+    let mut rng = rng_from_seed(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let grid = PointGrid::build(&points, (k + 1) as f64);
+
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    let mut best: Vec<(f64, VertexId)> = Vec::with_capacity(4 * (k + 1));
+    for (i, &p) in points.iter().enumerate() {
+        best.clear();
+        grid.k_nearest(&points, p, i as VertexId, k, &mut best);
+        for &(_, j) in best.iter() {
+            b.add_edge(i as VertexId, j);
+        }
+    }
+    b.build()
+}
+
+/// AD3: the geometric graph with k = 3, the "tertiary" input used by
+/// Greiner, Hsu et al., Krishnamurthy et al., and Goddard et al.
+pub fn ad3(n: usize, seed: u64) -> CsrGraph {
+    geometric_knn(n, 3, seed)
+}
+
+/// Uniform bucket grid over the unit square for neighbor queries.
+struct PointGrid {
+    cells_per_side: usize,
+    cell_size: f64,
+    /// CSR-style bucketing: `starts[c]..starts[c+1]` indexes `members`.
+    starts: Vec<usize>,
+    members: Vec<VertexId>,
+}
+
+impl PointGrid {
+    /// Builds a grid sized so the expected bucket occupancy is roughly
+    /// `target_per_cell`.
+    fn build(points: &[(f64, f64)], target_per_cell: f64) -> Self {
+        let n = points.len();
+        let cells_per_side = ((n as f64 / target_per_cell).sqrt().ceil() as usize).max(1);
+        let cell_size = 1.0 / cells_per_side as f64;
+        let num_cells = cells_per_side * cells_per_side;
+        let cell_of = |p: (f64, f64)| -> usize {
+            let cx = ((p.0 / cell_size) as usize).min(cells_per_side - 1);
+            let cy = ((p.1 / cell_size) as usize).min(cells_per_side - 1);
+            cy * cells_per_side + cx
+        };
+        let mut counts = vec![0usize; num_cells + 1];
+        for &p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..num_cells {
+            counts[c + 1] += counts[c];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut members = vec![0 as VertexId; n];
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            members[cursor[c]] = i as VertexId;
+            cursor[c] += 1;
+        }
+        Self {
+            cells_per_side,
+            cell_size,
+            starts,
+            members,
+        }
+    }
+
+    fn bucket(&self, cx: usize, cy: usize) -> &[VertexId] {
+        let c = cy * self.cells_per_side + cx;
+        &self.members[self.starts[c]..self.starts[c + 1]]
+    }
+
+    /// Collects the k nearest neighbors of `query` (excluding vertex
+    /// `exclude`) into `out` as (distance², id) pairs.
+    ///
+    /// Correctness of the ring cutoff: any point in a cell at Chebyshev
+    /// cell-distance d from the query's cell is at Euclidean distance
+    /// ≥ (d − 1)·cell_size, so once the kth-best distance is ≤
+    /// r·cell_size after scanning rings 0..=r, no unscanned point can
+    /// improve the result.
+    fn k_nearest(
+        &self,
+        points: &[(f64, f64)],
+        query: (f64, f64),
+        exclude: VertexId,
+        k: usize,
+        out: &mut Vec<(f64, VertexId)>,
+    ) {
+        let side = self.cells_per_side;
+        let qcx = ((query.0 / self.cell_size) as usize).min(side - 1);
+        let qcy = ((query.1 / self.cell_size) as usize).min(side - 1);
+        let consider = |cx: usize, cy: usize, out: &mut Vec<(f64, VertexId)>| {
+            for &j in self.bucket(cx, cy) {
+                if j == exclude {
+                    continue;
+                }
+                let (px, py) = points[j as usize];
+                let d2 = (px - query.0).powi(2) + (py - query.1).powi(2);
+                if out.len() < k {
+                    out.push((d2, j));
+                    if out.len() == k {
+                        out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                    }
+                } else if d2 < out[k - 1].0 {
+                    // Insertion into the small sorted top-k list.
+                    let pos = out.partition_point(|e| e.0 <= d2);
+                    out.pop();
+                    out.insert(pos, (d2, j));
+                }
+            }
+        };
+        let max_ring = side; // enough to cover the whole square
+        for r in 0..=max_ring {
+            // Scan the ring of cells at Chebyshev distance exactly r.
+            let x_lo = qcx.saturating_sub(r);
+            let x_hi = (qcx + r).min(side - 1);
+            let y_lo = qcy.saturating_sub(r);
+            let y_hi = (qcy + r).min(side - 1);
+            for cy in y_lo..=y_hi {
+                for cx in x_lo..=x_hi {
+                    let cheb = cx.abs_diff(qcx).max(cy.abs_diff(qcy));
+                    if cheb == r {
+                        consider(cx, cy, out);
+                    }
+                }
+            }
+            if out.len() >= k {
+                let worst = out[k - 1].0.sqrt();
+                if worst <= r as f64 * self.cell_size {
+                    break;
+                }
+            }
+        }
+        out.truncate(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::count_components;
+
+    /// Brute-force k-NN oracle.
+    fn knn_brute(points: &[(f64, f64)], i: usize, k: usize) -> Vec<VertexId> {
+        let mut d: Vec<(f64, VertexId)> = points
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(j, &(x, y))| {
+                (
+                    (x - points[i].0).powi(2) + (y - points[i].1).powi(2),
+                    j as VertexId,
+                )
+            })
+            .collect();
+        d.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        d.truncate(k);
+        d.into_iter().map(|(_, j)| j).collect()
+    }
+
+    #[test]
+    fn grid_knn_matches_brute_force() {
+        let mut rng = rng_from_seed(77);
+        let points: Vec<(f64, f64)> =
+            (0..200).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let grid = PointGrid::build(&points, 4.0);
+        let mut out = Vec::new();
+        for i in 0..points.len() {
+            out.clear();
+            grid.k_nearest(&points, points[i], i as VertexId, 5, &mut out);
+            let mut got: Vec<VertexId> = out.iter().map(|&(_, j)| j).collect();
+            let mut want = knn_brute(&points, i, 5);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "mismatch at query {i}");
+        }
+    }
+
+    #[test]
+    fn knn_graph_min_degree_is_k() {
+        let g = geometric_knn(300, 3, 2);
+        assert_eq!(g.num_vertices(), 300);
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 3, "vertex {v} has degree {}", g.degree(v));
+        }
+        assert!(g.has_no_self_loops());
+        assert!(g.has_no_parallel_edges());
+    }
+
+    #[test]
+    fn ad3_is_k3() {
+        let a = ad3(100, 5);
+        let b = geometric_knn(100, 3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_small_n_clamps_k() {
+        let g = geometric_knn(3, 10, 0);
+        // k clamps to n - 1 = 2; the 3 points form a triangle.
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let g = geometric_knn(5, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn knn_is_deterministic() {
+        assert_eq!(geometric_knn(128, 4, 9), geometric_knn(128, 4, 9));
+    }
+
+    #[test]
+    fn knn_mostly_connected_for_moderate_k() {
+        // k-NN graphs with k >= 3 on a few hundred uniform points have at
+        // most a handful of components; sanity-check it's not shattered.
+        let g = geometric_knn(400, 4, 13);
+        assert!(count_components(&g) <= 8);
+    }
+}

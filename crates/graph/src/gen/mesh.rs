@@ -1,0 +1,126 @@
+//! Irregular mesh generators: the paper's 2D60 and 3D40 families.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// 2D mesh (no wraparound) where each potential mesh edge is present
+/// independently with probability `p`.
+///
+/// `mesh2d_p(rows, cols, 0.6, seed)` is the paper's **2D60** family.
+/// The result is generally disconnected, which is why all algorithms in
+/// this reproduction compute spanning *forests*.
+pub fn mesh2d_p(rows: usize, cols: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1, "mesh dimensions must be >= 1");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let n = rows.checked_mul(cols).expect("mesh vertex count overflows");
+    let idx = |r: usize, c: usize| -> VertexId { (r * cols + c) as VertexId };
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::with_capacity(n, (2.0 * n as f64 * p) as usize);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = idx(r, c);
+            if c + 1 < cols && rng.gen_bool(p) {
+                b.add_edge(v, idx(r, c + 1));
+            }
+            if r + 1 < rows && rng.gen_bool(p) {
+                b.add_edge(v, idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3D mesh (no wraparound) where each potential mesh edge is present
+/// independently with probability `p`.
+///
+/// `mesh3d_p(x, y, z, 0.4, seed)` is the paper's **3D40** family.
+pub fn mesh3d_p(x: usize, y: usize, z: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(x >= 1 && y >= 1 && z >= 1, "mesh dimensions must be >= 1");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let n = x
+        .checked_mul(y)
+        .and_then(|xy| xy.checked_mul(z))
+        .expect("mesh vertex count overflows");
+    let idx = |i: usize, j: usize, k: usize| -> VertexId { ((i * y + j) * z + k) as VertexId };
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::with_capacity(n, (3.0 * n as f64 * p) as usize);
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                let v = idx(i, j, k);
+                if i + 1 < x && rng.gen_bool(p) {
+                    b.add_edge(v, idx(i + 1, j, k));
+                }
+                if j + 1 < y && rng.gen_bool(p) {
+                    b.add_edge(v, idx(i, j + 1, k));
+                }
+                if k + 1 < z && rng.gen_bool(p) {
+                    b.add_edge(v, idx(i, j, k + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh2d_full_probability_is_grid() {
+        let g = mesh2d_p(4, 5, 1.0, 0);
+        assert_eq!(g.num_vertices(), 20);
+        // Grid edges: 4*(5-1) horizontal + (4-1)*5 vertical = 16 + 15.
+        assert_eq!(g.num_edges(), 31);
+    }
+
+    #[test]
+    fn mesh2d_zero_probability_is_empty() {
+        let g = mesh2d_p(4, 5, 0.0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn mesh2d_60_density_is_plausible() {
+        let g = mesh2d_p(64, 64, 0.6, 7);
+        let full = 64 * 63 * 2;
+        let frac = g.num_edges() as f64 / full as f64;
+        assert!(
+            (0.55..0.65).contains(&frac),
+            "edge fraction {frac} too far from 0.6"
+        );
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn mesh3d_full_probability_edge_count() {
+        let g = mesh3d_p(3, 3, 3, 1.0, 0);
+        assert_eq!(g.num_vertices(), 27);
+        // 3 directions * 2*3*3 missing-boundary count: per direction
+        // (3-1)*3*3 = 18 edges.
+        assert_eq!(g.num_edges(), 54);
+    }
+
+    #[test]
+    fn mesh3d_40_density_is_plausible() {
+        let g = mesh3d_p(16, 16, 16, 0.4, 11);
+        let full = 3 * 15 * 16 * 16;
+        let frac = g.num_edges() as f64 / full as f64;
+        assert!(
+            (0.35..0.45).contains(&frac),
+            "edge fraction {frac} too far from 0.4"
+        );
+    }
+
+    #[test]
+    fn mesh_is_deterministic_per_seed() {
+        let a = mesh2d_p(10, 10, 0.5, 3);
+        let b = mesh2d_p(10, 10, 0.5, 3);
+        let c = mesh2d_p(10, 10, 0.5, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,107 @@
+//! Auxiliary graph families used by tests, examples, and ablations.
+
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// Star graph: vertex 0 adjacent to every other vertex.
+///
+/// Exercises the extreme-hub case: the sequential BFS frontier after the
+/// root is the entire graph, and all parallelism in the traversal comes
+/// from stealing pieces of one huge queue.
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `n` vertices, heap-indexed (vertex v has
+/// children 2v+1 and 2v+2).
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        b.add_edge((v - 1) / 2, v);
+    }
+    b.build()
+}
+
+/// 2D grid without wraparound (`rows × cols`), row-major labels.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be >= 1");
+    let n = rows.checked_mul(cols).expect("grid vertex count overflows");
+    let idx = |r: usize, c: usize| -> VertexId { (r * cols + c) as VertexId };
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::count_components;
+
+    #[test]
+    fn star_shape() {
+        let g = star(8);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.degree(0), 7);
+        for v in 1..8 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn complete_tiny() {
+        assert_eq!(complete(0).num_vertices(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+        assert_eq!(complete(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 1); // leaf
+        assert_eq!(count_components(&g), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(count_components(&g), 1);
+        // Corner has degree 2, interior degree up to 4.
+        assert_eq!(g.degree(0), 2);
+    }
+}

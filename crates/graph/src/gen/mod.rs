@@ -1,0 +1,77 @@
+//! Graph generators for every input family in the paper's experimental
+//! study (§4 "Experimental Data"), plus auxiliary families used by the
+//! test suite.
+//!
+//! Paper families:
+//!
+//! * **2D Torus** — [`torus2d`]: each vertex connected to its four mesh
+//!   neighbors with wraparound.
+//! * **2D60** — [`mesh2d_p`] with probability 0.6: 2D mesh with each edge
+//!   present with probability 60%.
+//! * **3D40** — [`mesh3d_p`] with probability 0.4.
+//! * **Random graph** — [`random_gnm`]: m unique edges added uniformly at
+//!   random (the LEDA-style construction the paper cites).
+//! * **Geometric / AD3** — [`geometric_knn`]: n points uniform in the unit
+//!   square, each connected to its k nearest neighbors; [`ad3`] is k = 3.
+//! * **Geographic (flat)** — [`geographic_flat`]: Waxman-style
+//!   distance-dependent edges between randomly placed vertices
+//!   (Calvert–Doar–Zegura Internet models).
+//! * **Geographic (hierarchical)** — [`geographic_hier`]: backbone /
+//!   domain / subdomain Internet structure.
+//! * **Degenerate chain** — [`chain`]: the pathological
+//!   diameter-(n−1) path graph.
+//!
+//! Every generator is a pure function of its parameters and the `seed`,
+//! so experiments replay bit-identically.
+
+mod chain;
+mod geographic;
+mod geometric;
+mod mesh;
+mod misc;
+mod random;
+mod scale_free;
+mod torus;
+
+pub use chain::{chain, cycle};
+pub use geographic::{geographic_flat, geographic_hier, GeoFlatParams, GeoHierParams};
+pub use geometric::{ad3, geometric_knn};
+pub use mesh::{mesh2d_p, mesh3d_p};
+pub use misc::{binary_tree, complete, grid2d, star};
+pub use random::{random_connected, random_gnm};
+pub use scale_free::{rmat, watts_strogatz, RmatParams};
+pub use torus::{torus2d, torus3d};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The deterministic RNG every generator uses, constructed from a user
+/// seed. StdRng (ChaCha12) is stable across platforms and releases within
+/// rand 0.8, which keeps the experiment corpus reproducible.
+pub(crate) fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn rng_differs_by_seed() {
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(2);
+        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+}

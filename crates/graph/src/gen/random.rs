@@ -1,0 +1,143 @@
+//! Uniform random graphs G(n, m).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// Random graph with `n` vertices and exactly `m` unique edges added
+/// uniformly at random (rejection-sampling duplicates and self-loops).
+///
+/// This matches the paper's description: "We create a random graph of n
+/// vertices and m edges by randomly adding m unique edges to the vertex
+/// set", the construction used by LEDA. Fig. 3 uses m = 1.5 n; Fig. 4's
+/// random panel uses n = 1M, m = 20M ≈ n log n.
+///
+/// # Panics
+///
+/// Panics when `m` exceeds the number of distinct vertex pairs
+/// n·(n−1)/2, which would make rejection sampling diverge.
+pub fn random_gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 1, "random graph needs at least one vertex");
+    let max_edges = n * n.saturating_sub(1) / 2;
+    assert!(
+        m <= max_edges,
+        "requested m = {m} exceeds max simple edges {max_edges} for n = {n}"
+    );
+    let mut rng = rng_from_seed(seed);
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// Random *connected* graph: a uniformly random spanning tree (random
+/// attachment) plus `extra` additional unique random edges.
+///
+/// Used by tests and examples that need a guaranteed single component with
+/// random topology; the paper's random family does not guarantee
+/// connectivity, so this is auxiliary.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 1, "random graph needs at least one vertex");
+    let max_extra = n * n.saturating_sub(1) / 2 - n.saturating_sub(1);
+    assert!(
+        extra <= max_extra,
+        "requested extra = {extra} exceeds available non-tree edges {max_extra}"
+    );
+    let mut rng = rng_from_seed(seed);
+    let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(n + extra);
+    let mut b = GraphBuilder::with_capacity(n, n + extra);
+    // Random attachment tree: vertex v >= 1 links to a uniform earlier
+    // vertex. Guarantees connectivity with n - 1 edges.
+    for v in 1..n as VertexId {
+        let u = rng.gen_range(0..v);
+        let key = (u, v);
+        seen.insert(key);
+        b.add_edge(u, v);
+    }
+    let mut added = 0usize;
+    while added < extra {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::count_components;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = random_gnm(100, 150, 5);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 150);
+        assert!(g.has_no_self_loops());
+        assert!(g.has_no_parallel_edges());
+    }
+
+    #[test]
+    fn gnm_is_deterministic() {
+        assert_eq!(random_gnm(50, 75, 9), random_gnm(50, 75, 9));
+        assert_ne!(random_gnm(50, 75, 9), random_gnm(50, 75, 10));
+    }
+
+    #[test]
+    fn gnm_can_fill_the_complete_graph() {
+        let g = random_gnm(6, 15, 1);
+        assert_eq!(g.num_edges(), 15);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max simple edges")]
+    fn gnm_rejects_impossible_m() {
+        random_gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn gnm_single_vertex() {
+        let g = random_gnm(1, 0, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let g = random_connected(200, 100, seed);
+            assert_eq!(count_components(&g), 1);
+            assert_eq!(g.num_edges(), 199 + 100);
+        }
+    }
+
+    #[test]
+    fn random_connected_tree_only() {
+        let g = random_connected(64, 0, 3);
+        assert_eq!(g.num_edges(), 63);
+        assert_eq!(count_components(&g), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Skewed-degree and small-world generators (extensions beyond the
+//! paper's corpus).
+//!
+//! The paper's future work plans validation "on larger SMPs … on other
+//! vendors' platforms"; follow-on studies of exactly this algorithm
+//! family (Bader & Cong's later journal version and the SSCA#2
+//! benchmark work) added scale-free inputs because their extreme degree
+//! skew stresses work stealing much harder than the 2004 corpus. These
+//! generators supply that stress locally:
+//!
+//! * [`rmat`] — the recursive-matrix (R-MAT) generator with the
+//!   standard (a, b, c, d) quadrant probabilities; power-law-ish degree
+//!   distribution, tiny diameter.
+//! * [`watts_strogatz`] — ring lattice with random rewiring; tunable
+//!   between the regular torus-like and random-graph-like regimes.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// R-MAT quadrant probabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (the "hub" mass).
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The classic (0.57, 0.19, 0.19, 0.05) parameterization.
+    pub fn standard() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    /// The implied bottom-right probability d = 1 − a − b − c.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// R-MAT graph over `n = 2^scale` vertices with approximately
+/// `edge_factor · n` undirected edges (duplicates and self-loops are
+/// dropped, so the simple-edge count is somewhat lower — hub collisions
+/// are the point of the distribution).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    assert!((1..=30).contains(&scale), "scale out of range");
+    assert!(
+        params.a > 0.0 && params.b >= 0.0 && params.c >= 0.0 && params.d() >= 0.0,
+        "quadrant probabilities must be a valid distribution"
+    );
+    let n = 1usize << scale;
+    let target_edges = n.saturating_mul(edge_factor);
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::with_capacity(n, target_edges);
+    for _ in 0..target_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph: a ring where each vertex connects
+/// to its `k` nearest ring neighbors on each side, with every edge
+/// rewired to a random endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 3, "ring needs at least 3 vertices");
+    assert!(k >= 1 && 2 * k < n, "k must satisfy 1 <= k < n/2");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint uniformly (self-loops and
+                // duplicates collapse in the builder, matching the
+                // usual implementation's retry-free variant).
+                let w = rng.gen_range(0..n);
+                b.add_edge(u as VertexId, w as VertexId);
+            } else {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{degree_histogram, profile};
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let g = rmat(10, 8, RmatParams::standard(), 3);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 4_000, "m = {}", g.num_edges());
+        assert!(g.has_no_self_loops());
+        assert!(g.has_no_parallel_edges());
+        assert_eq!(g, rmat(10, 8, RmatParams::standard(), 3));
+        assert_ne!(g, rmat(10, 8, RmatParams::standard(), 4));
+    }
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        let g = rmat(11, 8, RmatParams::standard(), 7);
+        let p = profile(&g);
+        // Hubs: max degree far above the mean — the defining contrast
+        // with the paper's bounded-degree meshes.
+        assert!(
+            p.max_degree as f64 > 8.0 * p.mean_degree,
+            "max {} vs mean {:.1}",
+            p.max_degree,
+            p.mean_degree
+        );
+    }
+
+    #[test]
+    fn rmat_uniform_params_resemble_random() {
+        let uniform = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
+        let g = rmat(10, 6, uniform, 1);
+        let p = profile(&g);
+        // No extreme hubs under uniform quadrants.
+        assert!(p.max_degree < 40, "max degree {}", p.max_degree);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid distribution")]
+    fn rmat_rejects_bad_probs() {
+        rmat(
+            5,
+            4,
+            RmatParams {
+                a: 0.9,
+                b: 0.2,
+                c: 0.2,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(50, 2, 0.0, 5);
+        assert_eq!(g.num_edges(), 100);
+        let h = degree_histogram(&g);
+        assert_eq!(h[4], 50, "every vertex has exactly 2k = 4 neighbors");
+        let p = profile(&g);
+        assert_eq!(p.components, 1);
+        // Regular ring: diameter ~ n / (2k).
+        assert!(p.diameter_lb >= 10);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_shrinks_diameter() {
+        let regular = profile(&watts_strogatz(400, 2, 0.0, 9));
+        let small_world = profile(&watts_strogatz(400, 2, 0.3, 9));
+        assert!(
+            small_world.diameter_lb < regular.diameter_lb / 2,
+            "rewiring should shorten paths: {} vs {}",
+            small_world.diameter_lb,
+            regular.diameter_lb
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_is_deterministic() {
+        assert_eq!(watts_strogatz(80, 3, 0.2, 2), watts_strogatz(80, 3, 0.2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must satisfy")]
+    fn watts_strogatz_rejects_big_k() {
+        watts_strogatz(10, 5, 0.1, 0);
+    }
+
+    #[test]
+    fn algorithms_handle_skewed_graphs() {
+        // The real point: the spanning-tree algorithms cope with hubs.
+        let g = rmat(11, 8, RmatParams::standard(), 11);
+        let f = crate::validate::component_labels(&g);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Torus generators (regular meshes with wraparound).
+
+use crate::repr::{CsrGraph, GraphBuilder, VertexId};
+
+/// 2D torus: `rows × cols` vertices in row-major order, each connected to
+/// its four neighbors with wraparound.
+///
+/// This is the paper's "2D Torus" family. With the default row-major
+/// labeling, consecutive vertex ids are mesh-adjacent, which is the
+/// labeling that favors Shiloach–Vishkin; apply
+/// [`label::random_permutation`](crate::label::random_permutation) for the
+/// adversarial labeling of Fig. 4's second torus panel.
+///
+/// Dimensions of 1 or 2 collapse duplicate wraparound edges, so e.g. a
+/// 2 × 2 torus is the 4-cycle.
+pub fn torus2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1, "torus dimensions must be >= 1");
+    let n = rows
+        .checked_mul(cols)
+        .expect("torus vertex count overflows");
+    let idx = |r: usize, c: usize| -> VertexId { (r * cols + c) as VertexId };
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = idx(r, c);
+            // Right and down neighbors cover each undirected edge once.
+            b.add_edge(v, idx(r, (c + 1) % cols));
+            b.add_edge(v, idx((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// 3D torus: `x × y × z` vertices, six-connected with wraparound.
+///
+/// Not in the paper's corpus but used by tests and ablations as a regular
+/// 3D topology counterpart to `3D40`.
+pub fn torus3d(x: usize, y: usize, z: usize) -> CsrGraph {
+    assert!(x >= 1 && y >= 1 && z >= 1, "torus dimensions must be >= 1");
+    let n = x
+        .checked_mul(y)
+        .and_then(|xy| xy.checked_mul(z))
+        .expect("torus vertex count overflows");
+    let idx = |i: usize, j: usize, k: usize| -> VertexId { ((i * y + j) * z + k) as VertexId };
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                let v = idx(i, j, k);
+                b.add_edge(v, idx((i + 1) % x, j, k));
+                b.add_edge(v, idx(i, (j + 1) % y, k));
+                b.add_edge(v, idx(i, j, (k + 1) % z));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::count_components;
+
+    #[test]
+    fn torus2d_is_4_regular() {
+        let g = torus2d(8, 8);
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(g.num_edges(), 128);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.is_symmetric());
+        assert!(g.has_no_self_loops());
+    }
+
+    #[test]
+    fn torus2d_is_connected() {
+        let g = torus2d(5, 7);
+        assert_eq!(count_components(&g), 1);
+    }
+
+    #[test]
+    fn degenerate_torus_dimensions() {
+        // 1 x 1: single vertex, wraparound edges are self-loops -> dropped.
+        let g = torus2d(1, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+
+        // 1 x 4: ring of 4.
+        let g = torus2d(1, 4);
+        assert_eq!(g.num_edges(), 4);
+
+        // 2 x 2: wraparound duplicates collapse to the 4-cycle.
+        let g = torus2d(2, 2);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_no_parallel_edges());
+    }
+
+    #[test]
+    fn torus3d_is_6_regular() {
+        let g = torus3d(4, 3, 5);
+        assert_eq!(g.num_vertices(), 60);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 6);
+        }
+        assert_eq!(count_components(&g), 1);
+    }
+
+    #[test]
+    fn torus2d_rowmajor_adjacency() {
+        let g = torus2d(3, 4);
+        // Vertex 0 = (0,0): right (0,1)=1, left (0,3)=3, down (1,0)=4,
+        // up (2,0)=8.
+        let mut n0: Vec<_> = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 3, 4, 8]);
+    }
+}

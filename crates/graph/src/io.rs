@@ -1,0 +1,180 @@
+//! Plain-text graph persistence.
+//!
+//! Format (whitespace-separated):
+//!
+//! ```text
+//! # optional comment lines
+//! n m
+//! u v        (m lines, one undirected edge each, 0-based ids)
+//! ```
+//!
+//! This is the minimal interchange the benchmark harness and the examples
+//! use to save generated inputs and share them across runs.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::repr::{CsrGraph, EdgeList, VertexId};
+
+/// Writes `g` in edge-list format to `w`.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads a graph in edge-list format from `r`.
+///
+/// Lines starting with `#` or `%` are comments. Errors on malformed
+/// counts, out-of-range endpoints, or a mismatched edge count.
+pub fn read_edge_list<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let r = BufReader::new(r);
+    let mut lines = r.lines();
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+                    continue;
+                }
+                break t.to_owned();
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "missing header line",
+                ))
+            }
+        }
+    };
+    let mut it = header.split_whitespace();
+    let parse = |s: Option<&str>, what: &str| -> io::Result<usize> {
+        s.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("missing {what}")))?
+            .parse::<usize>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}: {e}")))
+    };
+    let n = parse(it.next(), "vertex count")?;
+    let m = parse(it.next(), "edge count")?;
+    if n > VertexId::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "vertex count exceeds VertexId range",
+        ));
+    }
+
+    let mut el = EdgeList::with_capacity(n, m);
+    let mut read_edges = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u = parse(it.next(), "edge endpoint")?;
+        let v = parse(it.next(), "edge endpoint")?;
+        if u >= n || v >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge ({u}, {v}) out of range for n = {n}"),
+            ));
+        }
+        el.push(u as VertexId, v as VertexId);
+        read_edges += 1;
+    }
+    if read_edges != m {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("header declares {m} edges but file contains {read_edges}"),
+        ));
+    }
+    Ok(CsrGraph::from_edge_list(&el))
+}
+
+/// Writes `g` to the file at `path`.
+pub fn save<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Reads a graph from the file at `path`.
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_gnm, torus2d};
+
+    fn roundtrip_mem(g: &CsrGraph) -> CsrGraph {
+        let mut buf = Vec::new();
+        write_edge_list(g, &mut buf).unwrap();
+        read_edge_list(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = random_gnm(50, 80, 1);
+        let h = roundtrip_mem(&g);
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.num_edges(), h.num_edges());
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = h.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_edgeless() {
+        let g = CsrGraph::empty(4);
+        let h = roundtrip_mem(&g);
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n% another\n3 2\n0 1\n# inline comment line\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(read_edge_list("".as_bytes()).is_err());
+        assert!(read_edge_list("# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_counts() {
+        assert!(read_edge_list("x y\n".as_bytes()).is_err());
+        assert!(read_edge_list("3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        assert!(read_edge_list("2 1\n0 5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        assert!(read_edge_list("3 2\n0 1\n".as_bytes()).is_err());
+        assert!(read_edge_list("3 1\n0 1\n1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = torus2d(6, 6);
+        let path = std::env::temp_dir().join(format!("st_graph_io_test_{}.el", std::process::id()));
+        save(&g, &path).unwrap();
+        let h = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.num_edges(), h.num_edges());
+    }
+}

@@ -1,0 +1,168 @@
+//! Vertex relabeling.
+//!
+//! The paper observes that Shiloach–Vishkin is *labeling-sensitive*: the
+//! same torus takes one iteration under row-major labels and up to
+//! log n iterations under a random permutation, while the new algorithm
+//! is labeling-oblivious. Fig. 4's torus and chain panels exist in both
+//! labelings, produced with these helpers.
+
+use rand::seq::SliceRandom;
+
+use crate::gen;
+use crate::repr::{CsrGraph, EdgeList, VertexId};
+
+/// The identity permutation of length n.
+pub fn identity_permutation(n: usize) -> Vec<VertexId> {
+    (0..n as VertexId).collect()
+}
+
+/// A uniform random permutation of length n (Fisher–Yates).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut perm = identity_permutation(n);
+    perm.shuffle(&mut gen::rng_from_seed(seed));
+    perm
+}
+
+/// The inverse of a permutation: `inverse(p)[p[v]] == v`.
+///
+/// # Panics
+///
+/// Panics (in debug builds, via index checks in release) if `perm` is not
+/// a permutation of `0..n`.
+pub fn inverse_permutation(perm: &[VertexId]) -> Vec<VertexId> {
+    let mut inv = vec![0 as VertexId; perm.len()];
+    let mut seen = vec![false; perm.len()];
+    for (v, &p) in perm.iter().enumerate() {
+        assert!(!seen[p as usize], "not a permutation: {p} repeats");
+        seen[p as usize] = true;
+        inv[p as usize] = v as VertexId;
+    }
+    inv
+}
+
+/// Rebuilds `g` with vertex v renamed to `perm[v]`.
+///
+/// The result is isomorphic to the input; only the integer names (and
+/// hence the memory layout and the vertex order every algorithm iterates
+/// in) change.
+pub fn relabel(g: &CsrGraph, perm: &[VertexId]) -> CsrGraph {
+    assert_eq!(
+        perm.len(),
+        g.num_vertices(),
+        "permutation length must equal vertex count"
+    );
+    debug_assert_eq!(inverse_permutation(perm).len(), perm.len());
+    let mut el = EdgeList::with_capacity(g.num_vertices(), g.num_edges());
+    for (u, v) in g.edges() {
+        el.push(perm[u as usize], perm[v as usize]);
+    }
+    CsrGraph::from_edge_list(&el)
+}
+
+/// Maps a parent array computed on a relabeled graph back to original
+/// vertex names: if `parents` answers for graph `relabel(g, perm)`, the
+/// result answers for `g`.
+///
+/// Entries equal to [`NO_VERTEX`](crate::repr::NO_VERTEX) (roots /
+/// unreached) are preserved.
+pub fn unrelabel_parents(parents: &[VertexId], perm: &[VertexId]) -> Vec<VertexId> {
+    use crate::repr::NO_VERTEX;
+    let inv = inverse_permutation(perm);
+    let mut out = vec![NO_VERTEX; parents.len()];
+    for v in 0..parents.len() {
+        let relabeled_parent = parents[perm[v] as usize];
+        out[v] = if relabeled_parent == NO_VERTEX {
+            NO_VERTEX
+        } else {
+            inv[relabeled_parent as usize]
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain, torus2d};
+    use crate::validate::count_components;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = identity_permutation(5);
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let p = random_permutation(100, 3);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity_permutation(100));
+        assert_ne!(p, identity_permutation(100)); // vanishingly unlikely
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let p = random_permutation(64, 8);
+        let inv = inverse_permutation(&p);
+        for v in 0..64 {
+            assert_eq!(inv[p[v] as usize], v as VertexId);
+            assert_eq!(p[inv[v] as usize], v as VertexId);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn inverse_rejects_non_permutation() {
+        inverse_permutation(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = torus2d(6, 6);
+        let p = random_permutation(36, 5);
+        let h = relabel(&g, &p);
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert_eq!(count_components(&h), 1);
+        // Degrees are preserved under the permutation.
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), h.degree(p[v as usize]));
+        }
+    }
+
+    #[test]
+    fn relabel_identity_is_noop_up_to_order() {
+        let g = chain(10);
+        let h = relabel(&g, &identity_permutation(10));
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = h.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relabel_adjacency_follows_permutation() {
+        let g = chain(4); // 0-1-2-3
+        let perm = vec![2, 0, 3, 1]; // old -> new names
+        let h = relabel(&g, &perm);
+        // Old edge (0,1) -> (2,0); (1,2) -> (0,3); (2,3) -> (3,1).
+        let mut e: Vec<_> = h.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 2), (0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn unrelabel_parents_roundtrip() {
+        use crate::repr::NO_VERTEX;
+        // Chain 0-1-2-3 relabeled by perm; BFS tree from new-name of 0.
+        let perm = vec![2, 0, 3, 1];
+        // On the relabeled graph (edges above), take the tree rooted at 2
+        // (= old 0): 2's child 0 (old 1), 0's child 3 (old 2), 3's child 1
+        // (old 3).
+        let relabeled_parents = vec![2, 3, NO_VERTEX, 0];
+        let orig = unrelabel_parents(&relabeled_parents, &perm);
+        assert_eq!(orig, vec![NO_VERTEX, 0, 1, 2]);
+    }
+}

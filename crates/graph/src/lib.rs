@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # st-graph — graph substrate for the SMP spanning-tree study
+//!
+//! This crate provides everything the spanning-tree algorithms of
+//! Bader & Cong (IPDPS 2004) consume:
+//!
+//! * [`repr`] — compressed sparse row ([`CsrGraph`]) and edge-list
+//!   ([`EdgeList`]) representations with a deduplicating [`GraphBuilder`].
+//! * [`gen`] — the paper's eight experiment graph families (2D torus,
+//!   2D60/3D40 meshes, random G(n, m), geometric k-NN and AD3, geographic
+//!   flat/hierarchical, degenerate chain) plus auxiliary families used by
+//!   the tests.
+//! * [`label`] — vertex relabeling (row-major vs. random permutation), which
+//!   the paper shows strongly affects Shiloach–Vishkin but not the new
+//!   algorithm.
+//! * [`preprocess`] — the degree-2 chain-elimination preprocessing step
+//!   described in §2 of the paper.
+//! * [`validate`] — spanning-tree/forest verification oracles and a
+//!   reference sequential connected-components implementation.
+//! * [`io`] — plain-text edge-list persistence.
+//!
+//! All generators are deterministic functions of an explicit seed so that
+//! every experiment in the benchmark harness is reproducible.
+
+pub mod dsu;
+pub mod gen;
+pub mod io;
+pub mod label;
+pub mod preprocess;
+pub mod repr;
+pub mod stats;
+pub mod subgraph;
+pub mod validate;
+pub mod weighted;
+
+pub use dsu::DisjointSets;
+pub use repr::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
+pub use weighted::{Weight, WeightedGraph};
+
+/// Convenience prelude bringing the common types and traits into scope.
+pub mod prelude {
+    pub use crate::gen;
+    pub use crate::label::{identity_permutation, random_permutation, relabel};
+    pub use crate::repr::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
+    pub use crate::validate::{is_spanning_forest, is_spanning_tree, ForestCheck};
+}

@@ -1,0 +1,453 @@
+//! Degree-2 chain elimination.
+//!
+//! §2 of the paper: "When an input graph contains vertices of degree two,
+//! these vertices along with a corresponding tree edge can be eliminated
+//! as a simple preprocessing step." A maximal path u − x₁ − x₂ − … − xₖ − w
+//! whose internal vertices all have degree 2 contributes a forced
+//! sub-path to *any* spanning forest, so the xᵢ can be removed, the path
+//! replaced by a direct u − w edge, and the forced parent pointers
+//! replayed after the main algorithm finishes.
+//!
+//! The transformation must be reversible and composable with any
+//! spanning-forest algorithm, so [`eliminate_degree2`] returns a
+//! [`Reduction`] that maps a forest of the reduced graph back to a forest
+//! of the original graph via [`Reduction::expand_parents`].
+
+use crate::repr::{CsrGraph, EdgeList, VertexId, NO_VERTEX};
+
+/// The result of degree-2 elimination: the reduced graph plus everything
+/// needed to reconstruct a spanning forest of the original graph.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The reduced graph (eliminated vertices removed, chains contracted
+    /// to single edges).
+    pub reduced: CsrGraph,
+    /// For each kept vertex (reduced id) its original id.
+    pub kept_original_ids: Vec<VertexId>,
+    /// For each original vertex, its reduced id, or [`NO_VERTEX`] if it
+    /// was eliminated.
+    pub original_to_reduced: Vec<VertexId>,
+    /// Contracted chains: (endpoint_u, interior vertices in order from u
+    /// to w, endpoint_w), all in *original* ids. Pure cycles of degree-2
+    /// vertices have `u == w` and are recorded with the full interior.
+    chains: Vec<ChainRecord>,
+}
+
+#[derive(Clone, Debug)]
+struct ChainRecord {
+    /// Original id of the endpoint adjacent to `interior[0]`.
+    u: VertexId,
+    /// Interior (eliminated) vertices, original ids, ordered from u to w.
+    interior: Vec<VertexId>,
+    /// Original id of the endpoint adjacent to `interior.last()`.
+    w: VertexId,
+    /// Whether the reduced graph carries a contracted u − w edge for this
+    /// chain (false when it would duplicate an existing edge or be a
+    /// self-loop, in which case one interior tree edge is dropped — the
+    /// "corresponding tree edge" of the paper — and the chain interior
+    /// hangs off u only up to the break point).
+    carried: bool,
+}
+
+/// Statistics of a reduction, for benches and EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Vertices eliminated.
+    pub eliminated: usize,
+    /// Chains contracted.
+    pub chains: usize,
+    /// Edges in the reduced graph.
+    pub reduced_edges: usize,
+}
+
+impl Reduction {
+    /// Summary statistics.
+    pub fn stats(&self) -> ReductionStats {
+        ReductionStats {
+            eliminated: self.original_to_reduced
+                .iter()
+                .filter(|&&r| r == NO_VERTEX)
+                .count(),
+            chains: self.chains.len(),
+            reduced_edges: self.reduced.num_edges(),
+        }
+    }
+
+    /// Expands a spanning forest of the reduced graph (parents in reduced
+    /// ids) to a spanning forest of the original graph (parents in
+    /// original ids).
+    pub fn expand_parents(&self, reduced_parents: &[VertexId]) -> Vec<VertexId> {
+        assert_eq!(
+            reduced_parents.len(),
+            self.reduced.num_vertices(),
+            "parent array does not match the reduced graph"
+        );
+        let n = self.original_to_reduced.len();
+        let mut parents = vec![NO_VERTEX; n];
+        // Kept vertices copy their (translated) parent.
+        for (rid, &orig) in self.kept_original_ids.iter().enumerate() {
+            let rp = reduced_parents[rid];
+            parents[orig as usize] = if rp == NO_VERTEX {
+                NO_VERTEX
+            } else {
+                self.kept_original_ids[rp as usize]
+            };
+        }
+        // Replay each chain.
+        for chain in &self.chains {
+            if chain.carried {
+                // The contracted edge u - w may or may not be a tree edge
+                // of the reduced forest. If the reduced forest has
+                // parent(u') = w' or parent(w') = u' via *this* contracted
+                // edge we cannot distinguish it from a parallel original
+                // edge; either way it is safe to route the chain as the
+                // tree path, because the contracted edge exists only if
+                // the chain does.
+                let (u, w) = (chain.u as usize, chain.w as usize);
+                let ru = self.original_to_reduced[chain.u as usize];
+                let rw = self.original_to_reduced[chain.w as usize];
+                let u_points_to_w = reduced_parents[ru as usize] != NO_VERTEX
+                    && self.kept_original_ids[reduced_parents[ru as usize] as usize] as usize == w;
+                let w_points_to_u = reduced_parents[rw as usize] != NO_VERTEX
+                    && self.kept_original_ids[reduced_parents[rw as usize] as usize] as usize == u;
+                if u_points_to_w && parents[u] as usize == w {
+                    // Redirect u's parent through the chain toward w.
+                    let mut prev = chain.w;
+                    for &x in chain.interior.iter().rev() {
+                        parents[x as usize] = prev;
+                        prev = x;
+                    }
+                    parents[u] = prev;
+                } else if w_points_to_u && parents[w] as usize == u {
+                    let mut prev = chain.u;
+                    for &x in chain.interior.iter() {
+                        parents[x as usize] = prev;
+                        prev = x;
+                    }
+                    parents[w] = prev;
+                } else {
+                    // Contracted edge is a non-tree edge: hang the chain
+                    // off u (all interior vertices chain toward u); the
+                    // final interior-w edge is the dropped non-tree edge.
+                    let mut prev = chain.u;
+                    for &x in chain.interior.iter() {
+                        parents[x as usize] = prev;
+                        prev = x;
+                    }
+                }
+            } else {
+                // No contracted edge was carried (duplicate or
+                // self-loop): the chain interior always hangs off u; the
+                // interior-w edge (or the cycle-closing edge) is the
+                // dropped non-tree edge.
+                let mut prev = chain.u;
+                for &x in chain.interior.iter() {
+                    parents[x as usize] = prev;
+                    prev = x;
+                }
+            }
+        }
+        parents
+    }
+}
+
+/// Eliminates maximal chains of degree-2 vertices from `g`.
+///
+/// Vertices of degree 2 whose removal is safe (interior of a path between
+/// two higher/lower-degree endpoints, or part of a pure cycle) are
+/// removed; each chain becomes a single u − w edge in the reduced graph
+/// unless that edge would be a self-loop or a duplicate, in which case it
+/// is dropped and recorded as such.
+///
+/// Pure cycle components where *every* vertex has degree 2 keep one
+/// designated vertex as the survivor (u == w) and drop the closing edge.
+pub fn eliminate_degree2(g: &CsrGraph) -> Reduction {
+    let n = g.num_vertices();
+    let is_interior = |v: VertexId| g.degree(v) == 2;
+
+    let mut in_chain = vec![false; n];
+    let mut chains: Vec<ChainRecord> = Vec::new();
+
+    // Pass 1: chains anchored at non-degree-2 endpoints. Start from each
+    // endpoint's degree-2 neighbor and walk until a non-degree-2 vertex.
+    for u in 0..n as VertexId {
+        if is_interior(u) {
+            continue;
+        }
+        for &first in g.neighbors(u) {
+            if !is_interior(first) || in_chain[first as usize] {
+                continue;
+            }
+            // Walk the chain from u through `first`.
+            let mut interior = Vec::new();
+            let mut prev = u;
+            let mut cur = first;
+            while is_interior(cur) && !in_chain[cur as usize] {
+                in_chain[cur as usize] = true;
+                interior.push(cur);
+                let nb = g.neighbors(cur);
+                let next = if nb[0] == prev { nb[1] } else { nb[0] };
+                prev = cur;
+                cur = next;
+            }
+            if interior.is_empty() {
+                continue;
+            }
+            // If the walk re-entered an already-claimed interior vertex
+            // (possible only if two walks raced; single-threaded here, so
+            // only when cur == u through a 2-cycle — impossible in simple
+            // graphs), cur is the far endpoint.
+            chains.push(ChainRecord {
+                u,
+                interior,
+                w: cur,
+                carried: false, // fixed up below
+            });
+        }
+    }
+
+    // Pass 2: pure cycles of degree-2 vertices (components never touched
+    // by pass 1). Keep one survivor vertex per cycle.
+    for s in 0..n as VertexId {
+        if !is_interior(s) || in_chain[s as usize] {
+            continue;
+        }
+        // Walk the cycle starting at s; s is the survivor.
+        let mut interior = Vec::new();
+        let mut prev = s;
+        let mut cur = g.neighbors(s)[0];
+        while cur != s {
+            debug_assert!(is_interior(cur));
+            in_chain[cur as usize] = true;
+            interior.push(cur);
+            let nb = g.neighbors(cur);
+            let next = if nb[0] == prev { nb[1] } else { nb[0] };
+            prev = cur;
+            cur = next;
+        }
+        // Survivor keeps u == w == s; the closing edge is dropped.
+        chains.push(ChainRecord {
+            u: s,
+            interior,
+            w: s,
+            carried: false,
+        });
+    }
+
+    // Build the reduced vertex set.
+    let mut original_to_reduced = vec![NO_VERTEX; n];
+    let mut kept_original_ids = Vec::with_capacity(n);
+    for v in 0..n as VertexId {
+        if !in_chain[v as usize] {
+            original_to_reduced[v as usize] = kept_original_ids.len() as VertexId;
+            kept_original_ids.push(v);
+        }
+    }
+
+    // Build reduced edges: all original edges between kept vertices, plus
+    // one contracted edge per chain when it is simple and new.
+    let rn = kept_original_ids.len();
+    let mut el = EdgeList::with_capacity(rn, g.num_edges());
+    for (a, b) in g.edges() {
+        let ra = original_to_reduced[a as usize];
+        let rb = original_to_reduced[b as usize];
+        if ra != NO_VERTEX && rb != NO_VERTEX {
+            el.push(ra, rb);
+        }
+    }
+    let mut existing: std::collections::HashSet<(VertexId, VertexId)> = el
+        .iter()
+        .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+        .collect();
+    for chain in &mut chains {
+        let ru = original_to_reduced[chain.u as usize];
+        let rw = original_to_reduced[chain.w as usize];
+        if ru == rw {
+            continue; // cycle back to the same kept vertex: drop
+        }
+        let key = if ru < rw { (ru, rw) } else { (rw, ru) };
+        if existing.insert(key) {
+            el.push(ru, rw);
+            chain.carried = true;
+        }
+    }
+    el.dedup_simple();
+    let reduced = CsrGraph::from_edge_list(&el);
+
+    Reduction {
+        reduced,
+        kept_original_ids,
+        original_to_reduced,
+        chains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain as chain_graph, cycle, grid2d, random_connected, torus2d};
+    use crate::validate::{check_spanning_forest, count_components, is_spanning_forest};
+
+    /// BFS spanning forest of an arbitrary graph (reference).
+    fn bfs_forest(g: &CsrGraph) -> Vec<VertexId> {
+        let n = g.num_vertices();
+        let mut parents = vec![NO_VERTEX; n];
+        let mut seen = vec![false; n];
+        let mut q = std::collections::VecDeque::new();
+        for s in 0..n as VertexId {
+            if seen[s as usize] {
+                continue;
+            }
+            seen[s as usize] = true;
+            q.push_back(s);
+            while let Some(v) = q.pop_front() {
+                for &w in g.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        parents[w as usize] = v;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        parents
+    }
+
+    fn roundtrip(g: &CsrGraph) {
+        let red = eliminate_degree2(g);
+        assert_eq!(
+            count_components(&red.reduced),
+            count_components(g),
+            "reduction must preserve component count"
+        );
+        let reduced_parents = bfs_forest(&red.reduced);
+        assert!(is_spanning_forest(&red.reduced, &reduced_parents));
+        let full = red.expand_parents(&reduced_parents);
+        let check = check_spanning_forest(g, &full);
+        assert!(check.is_valid(), "expanded forest invalid: {check:?}");
+    }
+
+    #[test]
+    fn pure_chain_reduces_to_endpoints() {
+        let g = chain_graph(10);
+        let red = eliminate_degree2(&g);
+        // Interior 1..8 eliminated, endpoints 0 and 9 kept.
+        assert_eq!(red.reduced.num_vertices(), 2);
+        assert_eq!(red.reduced.num_edges(), 1);
+        assert_eq!(red.stats().eliminated, 8);
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn cycle_reduces_to_survivor() {
+        let g = cycle(12);
+        let red = eliminate_degree2(&g);
+        assert_eq!(red.reduced.num_vertices(), 1);
+        assert_eq!(red.reduced.num_edges(), 0);
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn torus_has_no_degree2() {
+        let g = torus2d(4, 4);
+        let red = eliminate_degree2(&g);
+        assert_eq!(red.reduced.num_vertices(), g.num_vertices());
+        assert_eq!(red.reduced.num_edges(), g.num_edges());
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn lollipop_roundtrip() {
+        // Triangle 0-1-2 with a tail 2-3-4-5.
+        let mut el = EdgeList::new(6);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.push(2, 0);
+        el.push(2, 3);
+        el.push(3, 4);
+        el.push(4, 5);
+        let g = CsrGraph::from_edge_list(&el);
+        let red = eliminate_degree2(&g);
+        // 3 and 4 are interior; 5 is a leaf (degree 1) kept; the triangle
+        // vertices have degrees 2, 2, 3 — wait: 0 and 1 have degree 2, so
+        // they are eliminated too, chain 2-0-1-2 contracts around the
+        // triangle.
+        assert!(red.stats().eliminated >= 2);
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn theta_graph_duplicate_contraction() {
+        // Two parallel chains between hubs 0 and 5:
+        // 0-1-2-5 and 0-3-4-5, plus a direct edge 0-5. Contracting both
+        // chains would create duplicate 0-5 edges.
+        let mut el = EdgeList::new(6);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.push(2, 5);
+        el.push(0, 3);
+        el.push(3, 4);
+        el.push(4, 5);
+        el.push(0, 5);
+        let g = CsrGraph::from_edge_list(&el);
+        let red = eliminate_degree2(&g);
+        assert_eq!(red.reduced.num_vertices(), 2);
+        // Only one 0-5 edge may survive in the simple reduced graph.
+        assert_eq!(red.reduced.num_edges(), 1);
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn two_vertex_cycle_chain() {
+        // Path of length 2 between the same endpoints: 0-1-2, 0-2 edge.
+        // Vertex 1 contracts onto an existing 0-2 edge.
+        let g = cycle(3);
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn disconnected_mixture_roundtrip() {
+        // A chain component, a cycle component, and an isolated vertex.
+        let mut el = EdgeList::new(10);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.push(2, 3); // chain 0-1-2-3
+        el.push(4, 5);
+        el.push(5, 6);
+        el.push(6, 4); // triangle 4-5-6
+        // 7, 8, 9 isolated
+        let g = CsrGraph::from_edge_list(&el);
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn random_graphs_roundtrip() {
+        for seed in 0..10 {
+            let g = random_connected(60, 20, seed);
+            roundtrip(&g);
+        }
+    }
+
+    #[test]
+    fn grid_roundtrip() {
+        roundtrip(&grid2d(7, 9));
+    }
+
+    #[test]
+    fn star_of_chains_roundtrip() {
+        // Hub 0 with three chains of length 3 hanging off it.
+        let mut el = EdgeList::new(10);
+        let mut next = 1u32;
+        for _ in 0..3 {
+            el.push(0, next);
+            el.push(next, next + 1);
+            el.push(next + 1, next + 2);
+            next += 3;
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        let red = eliminate_degree2(&g);
+        // Chain interiors eliminated; leaves kept (degree 1).
+        assert!(red.stats().eliminated == 6);
+        roundtrip(&g);
+    }
+}

@@ -1,0 +1,103 @@
+//! Deduplicating graph builder.
+
+use super::{CsrGraph, EdgeList, VertexId};
+
+/// Accumulates undirected edges and produces a simple [`CsrGraph`]
+/// (no self-loops, no parallel edges).
+///
+/// Generators that may produce duplicates (random G(n, m) candidates,
+/// geometric k-NN where u's nearest neighbor also selects u, geographic
+/// models, …) all funnel through this builder so that every experiment
+/// input is a simple graph, as the paper's generators produce.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    edges: EdgeList,
+}
+
+impl GraphBuilder {
+    /// A builder over `n` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            edges: EdgeList::new(num_vertices),
+        }
+    }
+
+    /// A builder over `n` vertices with room for `cap` edges.
+    pub fn with_capacity(num_vertices: usize, cap: usize) -> Self {
+        Self {
+            edges: EdgeList::with_capacity(num_vertices, cap),
+        }
+    }
+
+    /// Adds the undirected edge {u, v}; self-loops are silently dropped at
+    /// [`build`](Self::build) time, duplicates collapse.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.edges.push(u, v);
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, it: I) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of vertices the builder covers.
+    pub fn num_vertices(&self) -> usize {
+        self.edges.num_vertices()
+    }
+
+    /// Number of (possibly duplicate) edges added so far.
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a simple CSR graph.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.dedup_simple();
+        CsrGraph::from_edge_list(&self.edges)
+    }
+
+    /// Finalizes into a deduplicated edge list instead of a CSR graph.
+    pub fn build_edge_list(mut self) -> EdgeList {
+        self.edges.dedup_simple();
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_dedups() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(1, 1).add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_no_self_loops());
+        assert!(g.has_no_parallel_edges());
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut b = GraphBuilder::with_capacity(4, 3);
+        b.extend(vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.num_pending_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn build_edge_list_is_canonical() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0).add_edge(0, 2).add_edge(1, 0);
+        let el = b.build_edge_list();
+        assert_eq!(el.as_slice(), &[(0, 1), (0, 2)]);
+    }
+}

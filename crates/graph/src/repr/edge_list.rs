@@ -1,0 +1,172 @@
+//! Flat undirected edge list.
+
+use super::VertexId;
+
+/// A list of undirected edges over a fixed vertex set `0..n`.
+///
+/// This is the interchange format between generators, I/O, and the CSR
+/// builder. It performs no deduplication itself; see
+/// [`GraphBuilder`](super::GraphBuilder).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeList {
+    /// An empty edge list over `n` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        assert!(
+            num_vertices <= VertexId::MAX as usize,
+            "vertex count exceeds VertexId range"
+        );
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// An empty edge list over `n` vertices with capacity for `cap` edges.
+    pub fn with_capacity(num_vertices: usize, cap: usize) -> Self {
+        let mut el = Self::new(num_vertices);
+        el.edges.reserve(cap);
+        el
+    }
+
+    /// Builds from parts, validating endpoints.
+    pub fn from_edges(num_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
+        let el = Self {
+            num_vertices,
+            edges,
+        };
+        assert!(
+            el.edges
+                .iter()
+                .all(|&(u, v)| (u as usize) < num_vertices && (v as usize) < num_vertices),
+            "edge endpoint out of range"
+        );
+        el
+    }
+
+    /// Appends the undirected edge {u, v}.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    #[inline]
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge endpoint out of range: ({u}, {v}) with n = {}",
+            self.num_vertices
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Number of vertices n.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of stored edges (duplicates included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates over the stored edges.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, (VertexId, VertexId)> {
+        self.edges.iter()
+    }
+
+    /// The underlying edge vector.
+    #[inline]
+    pub fn as_slice(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Removes self-loops and duplicate undirected edges in place
+    /// (canonicalizing each edge as (min, max) then sort + dedup).
+    /// Returns the number of edges removed.
+    pub fn dedup_simple(&mut self) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|&(u, v)| u != v);
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        before - self.edges.len()
+    }
+
+    /// Consumes the list, returning the raw edges.
+    pub fn into_edges(self) -> Vec<(VertexId, VertexId)> {
+        self.edges
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeList {
+    type Item = &'a (VertexId, VertexId);
+    type IntoIter = std::slice::Iter<'a, (VertexId, VertexId)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut el = EdgeList::new(4);
+        assert!(el.is_empty());
+        el.push(0, 1);
+        el.push(2, 3);
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.num_vertices(), 4);
+    }
+
+    #[test]
+    fn dedup_removes_loops_and_duplicates() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 0); // duplicate in reverse orientation
+        el.push(2, 2); // self-loop
+        el.push(1, 2);
+        let removed = el.dedup_simple();
+        assert_eq!(removed, 2);
+        assert_eq!(el.as_slice(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn from_edges_validates() {
+        let el = EdgeList::from_edges(3, vec![(0, 2), (1, 2)]);
+        assert_eq!(el.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_bad_endpoint() {
+        EdgeList::from_edges(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        let collected: Vec<_> = (&el).into_iter().copied().collect();
+        assert_eq!(collected, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Graph statistics and workload characterization.
+//!
+//! The paper's performance story is topology-driven: "the running time
+//! of our new approach is dependent on the topology" (§3), diameter
+//! decides whether work stealing can balance load (Palmer's theorem
+//! that almost all random graphs have diameter two is the paper's
+//! argument), and degree structure decides how much the degree-2
+//! preprocessing helps. This module measures those properties so the
+//! benchmark harness can report *why* an input behaves the way it does.
+
+use std::collections::VecDeque;
+
+use crate::repr::{CsrGraph, VertexId};
+use crate::validate::component_labels;
+
+/// Single-source BFS distances (`u32::MAX` for unreachable vertices).
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source` within its component (max finite BFS
+/// distance).
+pub fn eccentricity(g: &CsrGraph, source: VertexId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower bound on the diameter of `start`'s component by the standard
+/// double-sweep heuristic: BFS from `start`, then BFS from the farthest
+/// vertex found. Exact on trees; a strong lower bound in general.
+pub fn double_sweep_diameter(g: &CsrGraph, start: VertexId) -> u32 {
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != u32::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    eccentricity(g, far)
+}
+
+/// Histogram of vertex degrees: `histogram[d]` = number of vertices of
+/// degree d (length = max degree + 1; empty for the empty graph).
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut h: Vec<usize> = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        if d >= h.len() {
+            h.resize(d + 1, 0);
+        }
+        h[d] += 1;
+    }
+    h
+}
+
+/// Full characterization of a workload graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphProfile {
+    /// Vertices.
+    pub n: usize,
+    /// Undirected edges.
+    pub m: usize,
+    /// Connected components.
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Double-sweep diameter lower bound of the largest component.
+    pub diameter_lb: u32,
+    /// Mean degree 2m/n.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Fraction of vertices with degree 2 (the preprocessing target).
+    pub degree2_fraction: f64,
+    /// Fraction of isolated vertices.
+    pub isolated_fraction: f64,
+}
+
+/// Computes a [`GraphProfile`].
+pub fn profile(g: &CsrGraph) -> GraphProfile {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n == 0 {
+        return GraphProfile {
+            n,
+            m,
+            components: 0,
+            largest_component: 0,
+            diameter_lb: 0,
+            mean_degree: 0.0,
+            max_degree: 0,
+            degree2_fraction: 0.0,
+            isolated_fraction: 0.0,
+        };
+    }
+    let labels = component_labels(g);
+    let num_components = labels.iter().copied().max().map_or(0, |x| x as usize + 1);
+    let mut sizes = vec![0usize; num_components];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let (largest_label, &largest_component) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &s)| s)
+        .unwrap_or((0, &0));
+    // A representative vertex of the largest component.
+    let rep = labels
+        .iter()
+        .position(|&l| l as usize == largest_label)
+        .unwrap_or(0) as VertexId;
+    let ds = g.degree_stats();
+    GraphProfile {
+        n,
+        m,
+        components: num_components,
+        largest_component,
+        diameter_lb: double_sweep_diameter(g, rep),
+        mean_degree: ds.mean,
+        max_degree: ds.max,
+        degree2_fraction: ds.degree_two as f64 / n as f64,
+        isolated_fraction: ds.isolated as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain, complete, cycle, random_gnm, star, torus2d};
+
+    #[test]
+    fn bfs_distances_on_chain() {
+        let g = chain(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn distances_mark_unreachable() {
+        let g = random_gnm(10, 0, 0);
+        let d = bfs_distances(&g, 3);
+        assert_eq!(d[3], 0);
+        assert!(d.iter().enumerate().all(|(v, &x)| v == 3 || x == u32::MAX));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        assert_eq!(eccentricity(&chain(10), 0), 9);
+        assert_eq!(eccentricity(&chain(10), 5), 5);
+        assert_eq!(double_sweep_diameter(&chain(10), 5), 9);
+        assert_eq!(double_sweep_diameter(&cycle(8), 0), 4);
+        assert_eq!(double_sweep_diameter(&complete(6), 2), 1);
+    }
+
+    #[test]
+    fn torus_diameter() {
+        // 6x6 torus: diameter = 3 + 3 = 6.
+        assert_eq!(double_sweep_diameter(&torus2d(6, 6), 0), 6);
+    }
+
+    #[test]
+    fn histogram_shapes() {
+        let h = degree_histogram(&star(5));
+        // Four leaves of degree 1, one hub of degree 4.
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+        assert!(degree_histogram(&CsrGraph::empty(0)).is_empty());
+        assert_eq!(degree_histogram(&CsrGraph::empty(3)), vec![3]);
+    }
+
+    #[test]
+    fn profile_of_random_graph() {
+        let g = random_gnm(500, 400, 3);
+        let p = profile(&g);
+        assert_eq!(p.n, 500);
+        assert_eq!(p.m, 400);
+        assert!(p.components > 1);
+        assert!(p.largest_component <= 500);
+        assert!((p.mean_degree - 1.6).abs() < 1e-9);
+        assert!(p.isolated_fraction > 0.0);
+    }
+
+    #[test]
+    fn profile_of_chain_sees_high_diameter_and_degree2() {
+        let p = profile(&chain(100));
+        assert_eq!(p.components, 1);
+        assert_eq!(p.diameter_lb, 99);
+        assert!((p.degree2_fraction - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_of_empty_graph() {
+        let p = profile(&CsrGraph::empty(0));
+        assert_eq!(p.n, 0);
+        assert_eq!(p.components, 0);
+    }
+
+    #[test]
+    fn paper_claim_random_graphs_have_tiny_diameter() {
+        // Palmer's theorem (§3): almost all random graphs have diameter
+        // two — at sufficient density. Check a dense-ish G(n, m).
+        let g = random_gnm(400, 12_000, 1);
+        let p = profile(&g);
+        assert_eq!(p.components, 1);
+        assert!(p.diameter_lb <= 3, "diameter_lb = {}", p.diameter_lb);
+    }
+}

@@ -1,0 +1,192 @@
+//! Subgraph extraction.
+//!
+//! Applications routinely run the spanning-tree machinery on a piece of
+//! a larger graph — the giant component of a damaged mesh, one domain of
+//! a hierarchical network — so the substrate provides induced subgraphs
+//! with id mappings both ways.
+
+use crate::repr::{CsrGraph, EdgeList, VertexId, NO_VERTEX};
+use crate::validate::component_labels;
+
+/// An induced subgraph with its vertex-id mappings.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced subgraph (vertices renumbered `0..k`).
+    pub graph: CsrGraph,
+    /// For each subgraph vertex, its id in the original graph.
+    pub to_original: Vec<VertexId>,
+    /// For each original vertex, its subgraph id, or [`NO_VERTEX`].
+    pub from_original: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Translates a parent array computed on the subgraph back to
+    /// original ids (entries for vertices outside the subgraph are
+    /// [`NO_VERTEX`]).
+    pub fn lift_parents(&self, sub_parents: &[VertexId]) -> Vec<VertexId> {
+        assert_eq!(sub_parents.len(), self.graph.num_vertices());
+        let mut out = vec![NO_VERTEX; self.from_original.len()];
+        for (sv, &orig) in self.to_original.iter().enumerate() {
+            let sp = sub_parents[sv];
+            out[orig as usize] = if sp == NO_VERTEX {
+                NO_VERTEX
+            } else {
+                self.to_original[sp as usize]
+            };
+        }
+        out
+    }
+}
+
+/// The subgraph induced by `vertices` (duplicates ignored; order defines
+/// the new ids).
+pub fn induced_subgraph(g: &CsrGraph, vertices: &[VertexId]) -> Subgraph {
+    let n = g.num_vertices();
+    let mut from_original = vec![NO_VERTEX; n];
+    let mut to_original = Vec::with_capacity(vertices.len());
+    for &v in vertices {
+        assert!((v as usize) < n, "vertex {v} out of range");
+        if from_original[v as usize] == NO_VERTEX {
+            from_original[v as usize] = to_original.len() as VertexId;
+            to_original.push(v);
+        }
+    }
+    let mut el = EdgeList::new(to_original.len());
+    for &v in &to_original {
+        let sv = from_original[v as usize];
+        for &w in g.neighbors(v) {
+            let sw = from_original[w as usize];
+            if sw != NO_VERTEX && sv < sw {
+                el.push(sv, sw);
+            }
+        }
+    }
+    Subgraph {
+        graph: CsrGraph::from_edge_list(&el),
+        to_original,
+        from_original,
+    }
+}
+
+/// The subgraph induced by the largest connected component of `g`
+/// (ties broken toward the smaller component label). Returns an empty
+/// subgraph for the empty graph.
+pub fn largest_component(g: &CsrGraph) -> Subgraph {
+    let labels = component_labels(g);
+    let num = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    if num == 0 {
+        return induced_subgraph(g, &[]);
+    }
+    let mut sizes = vec![0usize; num];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let members: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| labels[v as usize] == best)
+        .collect();
+    induced_subgraph(g, &members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain, random_gnm, torus2d};
+    use crate::validate::{count_components, is_spanning_forest};
+
+    #[test]
+    fn induced_on_a_triangle_plus_tail() {
+        // Triangle 0-1-2 with a tail 2-3; induce on {0, 1, 2}.
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.push(2, 0);
+        el.push(2, 3);
+        let g = CsrGraph::from_edge_list(&el);
+        let s = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(s.graph.num_vertices(), 3);
+        assert_eq!(s.graph.num_edges(), 3);
+        assert_eq!(s.to_original, vec![0, 1, 2]);
+        assert_eq!(s.from_original[3], NO_VERTEX);
+    }
+
+    #[test]
+    fn induced_respects_ordering_and_duplicates() {
+        let g = chain(5);
+        let s = induced_subgraph(&g, &[3, 1, 3, 2]);
+        assert_eq!(s.to_original, vec![3, 1, 2]);
+        // Edges 1-2 and 2-3 survive.
+        assert_eq!(s.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn largest_component_of_disconnected() {
+        let g = random_gnm(300, 200, 5);
+        let s = largest_component(&g);
+        assert_eq!(count_components(&s.graph), 1);
+        let labels = component_labels(&g);
+        let mut sizes = std::collections::HashMap::new();
+        for &l in &labels {
+            *sizes.entry(l).or_insert(0usize) += 1;
+        }
+        let max = sizes.values().copied().max().unwrap();
+        assert_eq!(s.graph.num_vertices(), max);
+    }
+
+    #[test]
+    fn largest_component_of_connected_is_whole_graph() {
+        let g = torus2d(6, 6);
+        let s = largest_component(&g);
+        assert_eq!(s.graph.num_vertices(), 36);
+        assert_eq!(s.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn lift_parents_roundtrip() {
+        let g = random_gnm(200, 150, 8);
+        let s = largest_component(&g);
+        // A BFS forest of the subgraph lifts to valid parents on the
+        // original ids for the component's vertices.
+        let mut parents_sub = vec![NO_VERTEX; s.graph.num_vertices()];
+        let mut seen = vec![false; s.graph.num_vertices()];
+        let mut q = std::collections::VecDeque::new();
+        seen[0] = true;
+        q.push_back(0 as VertexId);
+        while let Some(v) = q.pop_front() {
+            for &w in s.graph.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    parents_sub[w as usize] = v;
+                    q.push_back(w);
+                }
+            }
+        }
+        assert!(is_spanning_forest(&s.graph, &parents_sub));
+        let lifted = s.lift_parents(&parents_sub);
+        // Every lifted edge is a real original edge.
+        for (v, &p) in lifted.iter().enumerate() {
+            if p != NO_VERTEX {
+                assert!(g.neighbors(v as VertexId).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = induced_subgraph(&CsrGraph::empty(3), &[]);
+        assert_eq!(s.graph.num_vertices(), 0);
+        let s = largest_component(&CsrGraph::empty(0));
+        assert_eq!(s.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn induced_rejects_bad_ids() {
+        induced_subgraph(&chain(3), &[5]);
+    }
+}

@@ -1,0 +1,377 @@
+//! Correctness oracles: connectivity reference and spanning-tree/forest
+//! verification.
+//!
+//! Every algorithm in the workspace is checked against these oracles in
+//! unit, integration, and property tests. Verification is independent of
+//! how a tree was produced: it only needs the graph and a parent array.
+
+use crate::repr::{CsrGraph, VertexId, NO_VERTEX};
+
+/// Labels each vertex with a component id in `0..num_components`
+/// (sequential BFS sweep — the reference implementation).
+pub fn component_labels(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut next_label = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = next_label;
+        queue.push_back(s as VertexId);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = next_label;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn count_components(g: &CsrGraph) -> usize {
+    let labels = component_labels(g);
+    labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+/// Outcome of a spanning-forest check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForestCheck {
+    /// The parent array encodes a valid spanning forest.
+    Valid {
+        /// Number of roots (= number of trees = number of components).
+        roots: usize,
+        /// Number of tree edges (= n − roots).
+        tree_edges: usize,
+    },
+    /// The parent array is not a valid spanning forest; the string
+    /// explains the first violation found.
+    Invalid(String),
+}
+
+impl ForestCheck {
+    /// True for [`ForestCheck::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ForestCheck::Valid { .. })
+    }
+}
+
+/// Verifies that `parents` encodes a spanning forest of `g`.
+///
+/// A valid spanning forest satisfies, with R = #{v : parents\[v\] =
+/// [`NO_VERTEX`]}:
+///
+/// 1. `parents.len() == n`;
+/// 2. every non-root parent pointer is a real edge of `g`;
+/// 3. parent chains are acyclic (every chain ends at a root);
+/// 4. R equals the number of connected components of `g`.
+///
+/// Conditions 2–3 make the parent edges a forest with one tree per root,
+/// each tree confined to a single component; condition 4 then forces
+/// exactly one tree per component, i.e. every tree spans its component.
+pub fn check_spanning_forest(g: &CsrGraph, parents: &[VertexId]) -> ForestCheck {
+    let n = g.num_vertices();
+    if parents.len() != n {
+        return ForestCheck::Invalid(format!(
+            "parent array has length {} but graph has {} vertices",
+            parents.len(),
+            n
+        ));
+    }
+
+    let mut roots = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for v in 0..n {
+        let p = parents[v];
+        if p == NO_VERTEX {
+            roots += 1;
+            continue;
+        }
+        if p as usize >= n {
+            return ForestCheck::Invalid(format!("vertex {v} has out-of-range parent {p}"));
+        }
+        if p as usize == v {
+            return ForestCheck::Invalid(format!("vertex {v} is its own parent"));
+        }
+        if !g.neighbors(v as VertexId).contains(&p) {
+            return ForestCheck::Invalid(format!(
+                "parent edge ({v}, {p}) does not exist in the graph"
+            ));
+        }
+    }
+
+    // Cycle detection along parent chains: 0 = unvisited, 1 = on the
+    // current chain, 2 = known-good.
+    let mut state = vec![0u8; n];
+    let mut chain: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        chain.clear();
+        let mut v = start;
+        loop {
+            if state[v] == 1 {
+                return ForestCheck::Invalid(format!("parent chain cycles at vertex {v}"));
+            }
+            if state[v] == 2 {
+                break;
+            }
+            state[v] = 1;
+            chain.push(v);
+            let p = parents[v];
+            if p == NO_VERTEX {
+                break;
+            }
+            v = p as usize;
+        }
+        for &u in &chain {
+            state[u] = 2;
+        }
+    }
+
+    let components = count_components(g);
+    if roots != components {
+        return ForestCheck::Invalid(format!(
+            "forest has {roots} roots but the graph has {components} components"
+        ));
+    }
+    ForestCheck::Valid {
+        roots,
+        tree_edges: n - roots,
+    }
+}
+
+/// True when `parents` encodes a spanning forest of `g`.
+pub fn is_spanning_forest(g: &CsrGraph, parents: &[VertexId]) -> bool {
+    check_spanning_forest(g, parents).is_valid()
+}
+
+/// True when `parents` encodes a spanning *tree* of `g` rooted at `root`:
+/// the graph is connected, `root` is the unique root, and the forest
+/// check passes.
+pub fn is_spanning_tree(g: &CsrGraph, parents: &[VertexId], root: VertexId) -> bool {
+    if (root as usize) >= g.num_vertices() {
+        return false;
+    }
+    if parents.len() != g.num_vertices() || parents[root as usize] != NO_VERTEX {
+        return false;
+    }
+    match check_spanning_forest(g, parents) {
+        ForestCheck::Valid { roots, .. } => roots == 1,
+        ForestCheck::Invalid(_) => false,
+    }
+}
+
+/// Depth of every vertex in the forest (root depth 0); useful for
+/// diagnosing tree shape in benches and tests.
+///
+/// # Panics
+///
+/// Panics if the parent chains cycle; verify with
+/// [`check_spanning_forest`] first.
+#[allow(clippy::needless_range_loop)]
+pub fn forest_depths(parents: &[VertexId]) -> Vec<u32> {
+    let n = parents.len();
+    let mut depth = vec![u32::MAX; n];
+    let mut chain = Vec::new();
+    for start in 0..n {
+        if depth[start] != u32::MAX {
+            continue;
+        }
+        chain.clear();
+        let mut v = start;
+        // Walk up the parent chain until a vertex of known depth or a
+        // root, collecting the unknown vertices along the way.
+        let mut next_depth = loop {
+            if depth[v] != u32::MAX {
+                break depth[v] + 1;
+            }
+            chain.push(v);
+            assert!(chain.len() <= n, "parent chains cycle; not a forest");
+            let p = parents[v];
+            if p == NO_VERTEX {
+                depth[v] = 0;
+                chain.pop();
+                break 1;
+            }
+            v = p as usize;
+        };
+        for &u in chain.iter().rev() {
+            depth[u] = next_depth;
+            next_depth += 1;
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{chain, complete, torus2d};
+    use crate::repr::EdgeList;
+
+    fn path4() -> CsrGraph {
+        chain(4)
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut el = EdgeList::new(6);
+        el.push(0, 1);
+        el.push(2, 3);
+        // 4, 5 isolated
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(count_components(&g), 4);
+        let labels = component_labels(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        assert_eq!(count_components(&CsrGraph::empty(0)), 0);
+        assert_eq!(count_components(&CsrGraph::empty(3)), 3);
+    }
+
+    #[test]
+    fn valid_tree_on_path() {
+        let g = path4();
+        let parents = vec![NO_VERTEX, 0, 1, 2];
+        assert!(is_spanning_tree(&g, &parents, 0));
+        assert!(is_spanning_forest(&g, &parents));
+        assert_eq!(
+            check_spanning_forest(&g, &parents),
+            ForestCheck::Valid {
+                roots: 1,
+                tree_edges: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let g = path4();
+        let parents = vec![NO_VERTEX, 0, 1, 2];
+        assert!(!is_spanning_tree(&g, &parents, 1));
+        assert!(!is_spanning_tree(&g, &parents, 99));
+    }
+
+    #[test]
+    fn rejects_non_edge_parent() {
+        let g = path4();
+        let parents = vec![NO_VERTEX, 0, 0, 2]; // (2, 0) is not an edge
+        assert!(!is_spanning_forest(&g, &parents));
+        assert!(matches!(
+            check_spanning_forest(&g, &parents),
+            ForestCheck::Invalid(msg) if msg.contains("does not exist")
+        ));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let g = crate::gen::cycle(3);
+        let parents = vec![1, 2, 0];
+        assert!(matches!(
+            check_spanning_forest(&g, &parents),
+            ForestCheck::Invalid(msg) if msg.contains("cycles")
+        ));
+    }
+
+    #[test]
+    fn rejects_self_parent() {
+        let g = path4();
+        let parents = vec![NO_VERTEX, 1, 1, 2];
+        assert!(matches!(
+            check_spanning_forest(&g, &parents),
+            ForestCheck::Invalid(msg) if msg.contains("own parent")
+        ));
+    }
+
+    #[test]
+    fn rejects_too_many_roots() {
+        let g = path4();
+        let parents = vec![NO_VERTEX, 0, NO_VERTEX, 2]; // 2 roots, 1 component
+        assert!(matches!(
+            check_spanning_forest(&g, &parents),
+            ForestCheck::Invalid(msg) if msg.contains("roots")
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = path4();
+        assert!(!is_spanning_forest(&g, &[NO_VERTEX, 0, 1]));
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let mut el = EdgeList::new(5);
+        el.push(0, 1);
+        el.push(2, 3);
+        let g = CsrGraph::from_edge_list(&el);
+        let parents = vec![NO_VERTEX, 0, NO_VERTEX, 2, NO_VERTEX];
+        assert_eq!(
+            check_spanning_forest(&g, &parents),
+            ForestCheck::Valid {
+                roots: 3,
+                tree_edges: 2
+            }
+        );
+        // A spanning tree claim must fail on a disconnected graph.
+        assert!(!is_spanning_tree(&g, &parents, 0));
+    }
+
+    #[test]
+    fn complete_graph_star_tree() {
+        let g = complete(6);
+        let mut parents = vec![0 as VertexId; 6];
+        parents[0] = NO_VERTEX;
+        assert!(is_spanning_tree(&g, &parents, 0));
+        let depths = forest_depths(&parents);
+        assert_eq!(depths, vec![0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn torus_bfs_tree_is_valid() {
+        // Build a BFS tree by hand with the reference traversal.
+        let g = torus2d(5, 5);
+        let mut parents = vec![NO_VERTEX; 25];
+        let mut seen = [false; 25];
+        let mut q = std::collections::VecDeque::new();
+        seen[0] = true;
+        q.push_back(0 as VertexId);
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    parents[w as usize] = v;
+                    q.push_back(w);
+                }
+            }
+        }
+        assert!(is_spanning_tree(&g, &parents, 0));
+        let depths = forest_depths(&parents);
+        // Torus 5x5 has eccentricity 4 from any vertex.
+        assert_eq!(*depths.iter().max().unwrap(), 4);
+    }
+
+    #[test]
+    fn depths_on_path() {
+        let parents = vec![NO_VERTEX, 0, 1, 2];
+        assert_eq!(forest_depths(&parents), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn depths_panic_on_cycle() {
+        forest_depths(&[1, 0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Edge-weighted graphs, for the minimum-spanning-forest extension.
+//!
+//! The paper's future work names "minimum spanning tree (forest)" as the
+//! next target for its techniques; [`WeightedGraph`] carries the weights
+//! in an array parallel to the CSR target array, so the traversal-style
+//! access pattern (and the cost model's accounting) stays identical to
+//! the unweighted case.
+
+use crate::gen::rng_from_seed;
+use crate::repr::{CsrGraph, EdgeList, VertexId};
+use rand::Rng;
+
+/// Edge weight type: `u32` keeps (weight, edge-id) packable into a
+/// single `u64` for atomic min-reduction in parallel Borůvka.
+pub type Weight = u32;
+
+/// An undirected graph with a weight per edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedGraph {
+    csr: CsrGraph,
+    /// Weight of each directed arc, aligned with
+    /// [`CsrGraph::raw_targets`]; the two arcs of an undirected edge
+    /// carry equal weights.
+    arc_weights: Box<[Weight]>,
+}
+
+impl WeightedGraph {
+    /// Builds from weighted undirected edges. Duplicate edges collapse
+    /// keeping the **minimum** weight (the only one an MST could use);
+    /// self-loops are dropped.
+    pub fn from_weighted_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
+        let mut best: std::collections::HashMap<(VertexId, VertexId), Weight> =
+            std::collections::HashMap::new();
+        for (u, v, w) in edges {
+            assert!(
+                (u as usize) < num_vertices && (v as usize) < num_vertices,
+                "edge endpoint out of range"
+            );
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            best.entry(key)
+                .and_modify(|cur| *cur = (*cur).min(w))
+                .or_insert(w);
+        }
+        let mut el = EdgeList::with_capacity(num_vertices, best.len());
+        let mut canonical: Vec<((VertexId, VertexId), Weight)> = best.into_iter().collect();
+        canonical.sort_unstable();
+        for &((u, v), _) in &canonical {
+            el.push(u, v);
+        }
+        let csr = CsrGraph::from_edge_list(&el);
+        // Assign arc weights by looking up each arc's canonical edge.
+        let lookup: std::collections::HashMap<(VertexId, VertexId), Weight> =
+            canonical.into_iter().collect();
+        let mut arc_weights = Vec::with_capacity(csr.raw_targets().len());
+        for u in csr.vertices() {
+            for &v in csr.neighbors(u) {
+                let key = if u < v { (u, v) } else { (v, u) };
+                arc_weights.push(lookup[&key]);
+            }
+        }
+        Self {
+            csr,
+            arc_weights: arc_weights.into_boxed_slice(),
+        }
+    }
+
+    /// Attaches deterministic pseudo-random weights in `1..=max_weight`
+    /// to an existing graph.
+    pub fn with_random_weights(g: &CsrGraph, max_weight: Weight, seed: u64) -> Self {
+        assert!(max_weight >= 1, "weights must be positive");
+        let mut rng = rng_from_seed(seed);
+        let edges: Vec<(VertexId, VertexId, Weight)> = g
+            .edges()
+            .map(|(u, v)| (u, v, rng.gen_range(1..=max_weight)))
+            .collect();
+        Self::from_weighted_edges(g.num_vertices(), edges)
+    }
+
+    /// The underlying unweighted topology.
+    pub fn topology(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Neighbors of `v` with their edge weights.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let offsets = self.csr.raw_offsets();
+        let lo = offsets[v as usize];
+        let hi = offsets[v as usize + 1];
+        self.csr.raw_targets()[lo..hi]
+            .iter()
+            .zip(self.arc_weights[lo..hi].iter())
+            .map(|(&t, &w)| (t, w))
+    }
+
+    /// Every undirected edge once, as (u, v, weight) with u ≤ v.
+    pub fn weighted_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.csr.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u <= v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Weight of the arc at raw index `arc` (aligned with
+    /// [`CsrGraph::raw_targets`]).
+    pub fn arc_weight(&self, arc: usize) -> Weight {
+        self.arc_weights[arc]
+    }
+
+    /// Total weight of an edge set given as (u, v) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair is not an edge of the graph.
+    pub fn edge_set_weight(&self, edges: &[(VertexId, VertexId)]) -> u64 {
+        edges
+            .iter()
+            .map(|&(u, v)| {
+                self.neighbors(u)
+                    .find(|&(t, _)| t == v)
+                    .map(|(_, w)| w as u64)
+                    .unwrap_or_else(|| panic!("({u}, {v}) is not an edge"))
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_connected, torus2d};
+
+    #[test]
+    fn construction_and_symmetric_weights() {
+        let wg = WeightedGraph::from_weighted_edges(3, vec![(0, 1, 5), (1, 2, 7)]);
+        assert_eq!(wg.num_edges(), 2);
+        let w01 = wg.neighbors(0).find(|&(v, _)| v == 1).unwrap().1;
+        let w10 = wg.neighbors(1).find(|&(v, _)| v == 0).unwrap().1;
+        assert_eq!(w01, 5);
+        assert_eq!(w10, 5);
+    }
+
+    #[test]
+    fn duplicates_keep_min_weight_and_loops_drop() {
+        let wg = WeightedGraph::from_weighted_edges(
+            3,
+            vec![(0, 1, 9), (1, 0, 4), (0, 1, 6), (2, 2, 1)],
+        );
+        assert_eq!(wg.num_edges(), 1);
+        assert_eq!(wg.neighbors(0).next().unwrap().1, 4);
+    }
+
+    #[test]
+    fn random_weights_are_deterministic_and_in_range() {
+        let g = torus2d(6, 6);
+        let a = WeightedGraph::with_random_weights(&g, 100, 3);
+        let b = WeightedGraph::with_random_weights(&g, 100, 3);
+        assert_eq!(a, b);
+        for (_, _, w) in a.weighted_edges() {
+            assert!((1..=100).contains(&w));
+        }
+        assert_eq!(a.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn weighted_edges_listed_once() {
+        let g = random_connected(50, 30, 1);
+        let wg = WeightedGraph::with_random_weights(&g, 10, 2);
+        assert_eq!(wg.weighted_edges().count(), g.num_edges());
+    }
+
+    #[test]
+    fn edge_set_weight_sums() {
+        let wg = WeightedGraph::from_weighted_edges(4, vec![(0, 1, 2), (1, 2, 3), (2, 3, 4)]);
+        assert_eq!(wg.edge_set_weight(&[(0, 1), (2, 3)]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an edge")]
+    fn edge_set_weight_rejects_non_edges() {
+        let wg = WeightedGraph::from_weighted_edges(4, vec![(0, 1, 2)]);
+        wg.edge_set_weight(&[(0, 3)]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Closed-form §3 predictions.
+//!
+//! The paper derives, for realistic problem sizes (n ≫ p²):
+//!
+//! * **New algorithm**:
+//!   `T(n, p) ≤ ⟨5n/p + 2m/p + O(p); O((n + m)/p); 2⟩`
+//! * **SV**, assuming the worst case of log n iterations:
+//!   `T(n, p) ≤ ⟨(n log²n)/p + (4m log n)/p + 2 log n; O((n log²n + m log n)/p); 4 log n⟩`
+//!
+//! and concludes the randomized approach does roughly log n times less
+//! work per iteration, touches memory non-contiguously a constant number
+//! of times per input element, and synchronizes O(1) times instead of
+//! O(log n).
+
+use crate::machine::MachineProfile;
+
+/// A Helman–JáJá cost triplet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Triplet {
+    /// Maximum non-contiguous memory accesses per processor.
+    pub t_m: f64,
+    /// Maximum local computation per processor (operation count).
+    pub t_c: f64,
+    /// Barrier synchronizations.
+    pub b: f64,
+}
+
+impl Triplet {
+    /// Predicted wall-clock seconds under `machine` with `p` processors.
+    pub fn predicted_seconds(&self, machine: &MachineProfile, p: usize) -> f64 {
+        (self.t_m * machine.effective_mem_ns(p)
+            + self.t_c * machine.op_ns
+            + self.b * machine.barrier_ns(p))
+            * 1e-9
+    }
+}
+
+/// §3 prediction for the new SMP algorithm.
+pub fn new_algorithm(n: usize, m: usize, p: usize) -> Triplet {
+    let (nf, mf, pf) = (n as f64, m as f64, p as f64);
+    Triplet {
+        t_m: 5.0 * nf / pf + 2.0 * mf / pf + pf,
+        t_c: (nf + mf) / pf,
+        b: 2.0,
+    }
+}
+
+/// §3 prediction for the sequential BFS baseline (the same memory-access
+/// accounting with p = 1 and no barriers or stub overhead).
+pub fn sequential(n: usize, m: usize) -> Triplet {
+    let (nf, mf) = (n as f64, m as f64);
+    Triplet {
+        t_m: 5.0 * nf + 2.0 * mf,
+        t_c: nf + mf,
+        b: 0.0,
+    }
+}
+
+/// §3 worst-case prediction for SV (log n iterations).
+pub fn sv_worst_case(n: usize, m: usize, p: usize) -> Triplet {
+    let (nf, mf, pf) = (n as f64, m as f64, p as f64);
+    let log_n = (nf.max(2.0)).log2();
+    Triplet {
+        t_m: nf * log_n * log_n / pf + 4.0 * mf * log_n / pf + 2.0 * log_n,
+        t_c: (nf * log_n * log_n + mf * log_n) / pf,
+        b: 4.0 * log_n,
+    }
+}
+
+/// §3 prediction for SV given a measured iteration count (the paper:
+/// "for the best case, one iteration of the algorithm may be
+/// sufficient"). Each iteration costs two graft passes of 2m/p + 1
+/// non-contiguous accesses and a pointer-jumping step of (n log n)/p.
+pub fn sv_with_iterations(n: usize, m: usize, p: usize, iterations: usize) -> Triplet {
+    let (nf, mf, pf, i) = (n as f64, m as f64, p as f64, iterations.max(1) as f64);
+    let log_n = (nf.max(2.0)).log2();
+    Triplet {
+        t_m: i * (2.0 * (2.0 * mf / pf + 1.0) + nf * log_n / pf),
+        t_c: i * ((nf * log_n + mf) / pf),
+        b: 4.0 * i,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 1 << 20;
+    const M: usize = 3 * (1 << 20) / 2;
+
+    #[test]
+    fn new_algorithm_scales_inversely_with_p() {
+        let t1 = new_algorithm(N, M, 1);
+        let t8 = new_algorithm(N, M, 8);
+        assert!(t8.t_m < t1.t_m / 7.0);
+        assert_eq!(t8.b, 2.0);
+    }
+
+    #[test]
+    fn sv_does_asymptotically_more_work() {
+        let new = new_algorithm(N, M, 8);
+        let sv = sv_worst_case(N, M, 8);
+        assert!(sv.t_m > 10.0 * new.t_m, "SV should cost ≫ the new algorithm");
+        assert!(sv.b > new.b);
+    }
+
+    #[test]
+    fn predicted_speedup_over_sequential_is_in_paper_band() {
+        // Fig. 3: random graph, m = 1.5 n, p = 8, speedup 4.5–5.5.
+        let machine = MachineProfile::e4500();
+        let seq = sequential(N, M).predicted_seconds(&machine, 1);
+        let par = new_algorithm(N, M, 8).predicted_seconds(&machine, 8);
+        let speedup = seq / par;
+        assert!(
+            (3.5..7.0).contains(&speedup),
+            "analytic speedup {speedup:.2} far outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn sv_with_few_iterations_still_beats_worst_case() {
+        let best = sv_with_iterations(N, M, 8, 1);
+        let worst = sv_worst_case(N, M, 8);
+        assert!(best.t_m < worst.t_m);
+    }
+
+    #[test]
+    fn pram_profile_reduces_to_op_counts() {
+        let t = Triplet {
+            t_m: 100.0,
+            t_c: 50.0,
+            b: 5.0,
+        };
+        let secs = t.predicted_seconds(&MachineProfile::pram(), 4);
+        assert!((secs - 150e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # st-model — the Helman–JáJá SMP complexity model
+//!
+//! §3 of the paper analyses both algorithms in the SMP model of Helman &
+//! JáJá: running time is the triplet **T(n, p) = ⟨T_M; T_C; B⟩** where
+//! T_M is the maximum number of *non-contiguous memory accesses* by any
+//! processor, T_C the maximum local computation, and B the number of
+//! barrier synchronizations. "This model, in comparison with PRAM, is
+//! more realistic in that it penalizes algorithms with non-contiguous
+//! memory accesses that often result in cache misses and algorithms with
+//! more synchronization events."
+//!
+//! This crate provides three layers:
+//!
+//! * [`machine`] — machine profiles turning the triplet into seconds
+//!   (default: a Sun E4500-like profile — the paper's testbed — with its
+//!   published worst-case memory latency and a bandwidth-contention
+//!   term).
+//! * [`analytic`] — the closed-form §3 predictions for both algorithms.
+//! * [`sim`] — **deterministic instrumented executors**: step-faithful
+//!   simulations of the sequential BFS, the Bader–Cong traversal, and
+//!   SV on p virtual processors that count T_M / T_C / B exactly for a
+//!   given input graph. These regenerate the paper's figures on a host
+//!   whose physical core count (one, in this reproduction environment)
+//!   cannot exhibit real parallel speedup — see DESIGN.md §4 for the
+//!   substitution argument.
+//!
+//! The simulators produce the same spanning forests as the real
+//! implementations' semantics (validated in tests), so their cost
+//! counts correspond to real executions rather than to an abstraction.
+
+pub mod analytic;
+pub mod machine;
+pub mod predict;
+pub mod sim;
+
+pub use machine::MachineProfile;
+pub use predict::{speedup_curve, SimAlgorithm, SpeedupCurve};
+pub use sim::{CostReport, PhaseCost};

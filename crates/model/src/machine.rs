@@ -1,0 +1,104 @@
+//! Machine profiles: from cost triplets to seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Calibration of an SMP for the Helman–JáJá model.
+///
+/// Predicted time of a phase is
+/// `max_p(T_M · mem_ns · contention(p) + T_C · op_ns) + B · barrier_ns(p)`
+/// where `contention(p) = 1 + mem_contention · (p − 1)` models the shared
+/// memory bus: the E4500's processors contend for one Sun Gigaplane, and
+/// the paper's own introduction flags "memory bandwidth is limited" as
+/// the gap between real SMPs and the PRAM.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineProfile {
+    /// Cost of one non-contiguous memory access, ns (a cache miss).
+    pub mem_ns: f64,
+    /// Cost of one unit of local computation, ns.
+    pub op_ns: f64,
+    /// Base cost of one software-barrier episode, ns, scaled by
+    /// `barrier_per_proc_ns · p`.
+    pub barrier_base_ns: f64,
+    /// Additional barrier cost per participating processor, ns.
+    pub barrier_per_proc_ns: f64,
+    /// Per-extra-processor memory slowdown fraction (bus contention).
+    pub mem_contention: f64,
+}
+
+impl MachineProfile {
+    /// A Sun Enterprise 4500-like profile: 400 MHz UltraSPARC II
+    /// (≈ 2.5 ns per simple operation), several-hundred-ns memory
+    /// latency (the Starfire-class worst case is 450 ns; the E4500's
+    /// typical miss is lower), software barriers in the tens of
+    /// microseconds, and mild bus contention.
+    pub fn e4500() -> Self {
+        Self {
+            mem_ns: 270.0,
+            op_ns: 2.5,
+            barrier_base_ns: 10_000.0,
+            barrier_per_proc_ns: 2_000.0,
+            mem_contention: 0.08,
+        }
+    }
+
+    /// An idealized PRAM-like profile: uniform unit costs, free barriers.
+    /// Useful in tests to reason about operation counts directly.
+    pub fn pram() -> Self {
+        Self {
+            mem_ns: 1.0,
+            op_ns: 1.0,
+            barrier_base_ns: 0.0,
+            barrier_per_proc_ns: 0.0,
+            mem_contention: 0.0,
+        }
+    }
+
+    /// Effective memory-access cost with `p` processors sharing the bus.
+    pub fn effective_mem_ns(&self, p: usize) -> f64 {
+        self.mem_ns * (1.0 + self.mem_contention * (p.saturating_sub(1)) as f64)
+    }
+
+    /// Cost of one barrier episode with `p` participants, ns.
+    pub fn barrier_ns(&self, p: usize) -> f64 {
+        self.barrier_base_ns + self.barrier_per_proc_ns * p as f64
+    }
+}
+
+impl Default for MachineProfile {
+    fn default() -> Self {
+        Self::e4500()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_grows_with_p() {
+        let m = MachineProfile::e4500();
+        assert_eq!(m.effective_mem_ns(1), m.mem_ns);
+        assert!(m.effective_mem_ns(8) > m.effective_mem_ns(2));
+    }
+
+    #[test]
+    fn pram_is_uniform() {
+        let m = MachineProfile::pram();
+        assert_eq!(m.effective_mem_ns(14), 1.0);
+        assert_eq!(m.barrier_ns(14), 0.0);
+    }
+
+    #[test]
+    fn barrier_scales_with_team() {
+        let m = MachineProfile::e4500();
+        assert!(m.barrier_ns(8) > m.barrier_ns(2));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = MachineProfile::e4500();
+        let s = serde_json::to_string(&m).unwrap();
+        let m2: MachineProfile = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Prediction helpers over the simulators: speedup curves, parallel
+//! efficiency, and break-even processor counts.
+//!
+//! These answer the reader-facing questions the paper's figures encode —
+//! *at what p does the parallel algorithm beat sequential?* ("For p > 2
+//! processors … always faster"), *how efficient is it at p = 8?* — as
+//! first-class queries instead of chart-squinting.
+
+use st_graph::CsrGraph;
+
+use crate::machine::MachineProfile;
+use crate::sim::{simulate_bader_cong, simulate_sequential_bfs, simulate_sv, TraversalSimConfig};
+
+/// Which simulated algorithm a curve describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimAlgorithm {
+    /// The Bader–Cong work-stealing traversal.
+    BaderCong,
+    /// Shiloach–Vishkin (election).
+    Sv,
+}
+
+/// A speedup curve over processor counts.
+#[derive(Clone, Debug)]
+pub struct SpeedupCurve {
+    /// Algorithm simulated.
+    pub algorithm: SimAlgorithm,
+    /// Sequential BFS baseline time, seconds.
+    pub sequential_seconds: f64,
+    /// (p, predicted seconds, speedup) per sampled processor count.
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+impl SpeedupCurve {
+    /// Speedup at processor count `p`, when sampled.
+    pub fn speedup_at(&self, p: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(pp, _, _)| pp == p)
+            .map(|&(_, _, s)| s)
+    }
+
+    /// Parallel efficiency (speedup / p) at `p`, when sampled.
+    pub fn efficiency_at(&self, p: usize) -> Option<f64> {
+        self.speedup_at(p).map(|s| s / p as f64)
+    }
+
+    /// Smallest sampled p whose predicted time beats sequential, if any.
+    pub fn break_even_p(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|&&(_, _, s)| s > 1.0)
+            .map(|&(p, _, _)| p)
+    }
+}
+
+/// Simulates `algorithm` on `g` over the processor counts in `ps` and
+/// returns its speedup curve against sequential BFS.
+///
+/// ```
+/// use st_graph::gen;
+/// use st_model::{speedup_curve, MachineProfile, SimAlgorithm};
+///
+/// let g = gen::random_gnm(4_096, 6_144, 42);
+/// let curve = speedup_curve(
+///     &g,
+///     SimAlgorithm::BaderCong,
+///     &[1, 2, 8],
+///     &MachineProfile::e4500(),
+/// );
+/// assert!(curve.speedup_at(8).unwrap() > 3.0);
+/// assert_eq!(curve.break_even_p(), Some(2)); // p = 1 pays stub overhead
+/// ```
+pub fn speedup_curve(
+    g: &CsrGraph,
+    algorithm: SimAlgorithm,
+    ps: &[usize],
+    machine: &MachineProfile,
+) -> SpeedupCurve {
+    let sequential_seconds = simulate_sequential_bfs(g, machine).0.predicted_seconds();
+    let points = ps
+        .iter()
+        .map(|&p| {
+            let secs = match algorithm {
+                SimAlgorithm::BaderCong => {
+                    simulate_bader_cong(g, p, TraversalSimConfig::default(), machine)
+                        .report
+                        .predicted_seconds()
+                }
+                SimAlgorithm::Sv => simulate_sv(g, p, machine).report.predicted_seconds(),
+            };
+            (p, secs, sequential_seconds / secs)
+        })
+        .collect();
+    SpeedupCurve {
+        algorithm,
+        sequential_seconds,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::gen::{chain, random_gnm};
+
+    const PS: [usize; 5] = [1, 2, 4, 8, 12];
+
+    #[test]
+    fn bader_cong_breaks_even_by_two_processors() {
+        // The paper: "For p > 2 processors ... always faster than the
+        // sequential algorithm" on non-pathological inputs.
+        let g = random_gnm(1 << 13, 3 << 12, 3);
+        let c = speedup_curve(&g, SimAlgorithm::BaderCong, &PS, &MachineProfile::e4500());
+        assert!(c.break_even_p().unwrap() <= 2, "{:?}", c.points);
+        assert!(c.speedup_at(8).unwrap() > 3.5);
+    }
+
+    #[test]
+    fn sv_breaks_even_late_or_never() {
+        let g = random_gnm(1 << 13, 3 << 12, 3);
+        let c = speedup_curve(&g, SimAlgorithm::Sv, &PS, &MachineProfile::e4500());
+        // Never beating sequential is the common case for SV.
+        if let Some(p) = c.break_even_p() {
+            assert!(p >= 4, "SV broke even suspiciously early (p = {p})");
+        }
+    }
+
+    #[test]
+    fn chain_never_breaks_even() {
+        let g = chain(1 << 13);
+        let c = speedup_curve(&g, SimAlgorithm::BaderCong, &PS, &MachineProfile::e4500());
+        // Speedup hovers at/below 1 for all p.
+        assert!(c.points.iter().all(|&(_, _, s)| s < 1.2), "{:?}", c.points);
+    }
+
+    #[test]
+    fn efficiency_declines_with_p() {
+        let g = random_gnm(1 << 13, 3 << 12, 5);
+        let c = speedup_curve(&g, SimAlgorithm::BaderCong, &PS, &MachineProfile::e4500());
+        let e2 = c.efficiency_at(2).unwrap();
+        let e12 = c.efficiency_at(12).unwrap();
+        assert!(e2 > e12, "efficiency should fall with contention");
+        assert!(e2 <= 1.05, "superlinear efficiency is a model bug");
+    }
+
+    #[test]
+    fn missing_p_returns_none() {
+        let g = random_gnm(512, 700, 1);
+        let c = speedup_curve(&g, SimAlgorithm::BaderCong, &[2, 4], &MachineProfile::e4500());
+        assert!(c.speedup_at(16).is_none());
+        assert!(c.efficiency_at(16).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic instrumented executors ("the simulator").
+//!
+//! Each simulator executes an algorithm's exact decision structure on
+//! `p` *virtual processors*, counting the Helman–JáJá quantities as it
+//! goes:
+//!
+//! * **T_M** — non-contiguous memory accesses, charged per the paper's
+//!   own accounting (§3): one access to visit a vertex, two per examined
+//!   edge (fetch neighbor + check color / set parent), two per
+//!   pointer-jump, and so on.
+//! * **T_C** — local operations (loop and queue bookkeeping).
+//! * **B** — barrier episodes.
+//!
+//! Two aggregation modes reflect the algorithms' synchronization
+//! structure:
+//!
+//! * The **traversal** simulator is asynchronous between its two
+//!   barriers, so it advances in lock-step *ticks* (one vertex per busy
+//!   processor per tick) and accumulates the per-tick maximum onto the
+//!   critical path. This is what lets the degenerate chain show its
+//!   true serial behavior: one busy processor per tick, p − 1 idle.
+//! * The **SV** simulator is bulk-synchronous, so each barrier-delimited
+//!   phase contributes the maximum per-processor phase cost.
+//!
+//! The simulators are deterministic functions of (graph, p, seed): runs
+//! are exactly reproducible, and their outputs are real spanning
+//! forests validated against the oracles in `st_graph::validate`.
+
+mod hcs;
+mod report;
+mod seq;
+mod sv;
+mod sv_lock;
+mod traversal;
+
+pub use hcs::simulate_hcs;
+pub use report::{CostReport, PhaseCost};
+pub use seq::simulate_sequential_bfs;
+pub use sv::{simulate_sv, SvSimOutput};
+pub use sv_lock::simulate_sv_lock;
+pub use traversal::{simulate_bader_cong, TraversalSimConfig, TraversalSimOutput};

@@ -1,0 +1,131 @@
+//! Cost accounting shared by the simulators.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineProfile;
+
+/// Cost of one barrier-delimited phase in model units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Non-contiguous memory accesses on the critical path of the phase.
+    pub mem: u64,
+    /// Local operations on the critical path of the phase.
+    pub ops: u64,
+}
+
+impl PhaseCost {
+    /// Component-wise addition.
+    pub fn add(&mut self, other: PhaseCost) {
+        self.mem += other.mem;
+        self.ops += other.ops;
+    }
+
+    /// Converts to nanoseconds under `machine` with `p` processors on
+    /// the bus.
+    pub fn ns(&self, machine: &MachineProfile, p: usize) -> f64 {
+        self.mem as f64 * machine.effective_mem_ns(p) + self.ops as f64 * machine.op_ns
+    }
+}
+
+/// Full cost report of one simulated run.
+///
+/// Simulation happens under a concrete [`MachineProfile`]: the
+/// event-driven traversal simulator needs the machine's timings to
+/// schedule processors, so the makespan is recorded directly in
+/// nanoseconds while the raw T_M / T_C counters stay available per
+/// processor.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Virtual processor count.
+    pub p: usize,
+    /// Total non-contiguous accesses per virtual processor (the model's
+    /// T_M is the max of these).
+    pub per_proc_mem: Vec<u64>,
+    /// Total local operations per virtual processor.
+    pub per_proc_ops: Vec<u64>,
+    /// Critical-path (makespan) time excluding barriers, ns.
+    pub makespan_ns: f64,
+    /// Barrier episodes.
+    pub barriers: u64,
+    /// Barrier cost per episode at this p, ns (copied from the machine
+    /// profile at simulation time).
+    pub barrier_ns: f64,
+}
+
+impl CostReport {
+    /// A fresh report for `p` processors under `machine`.
+    pub fn new(p: usize, machine: &MachineProfile) -> Self {
+        Self {
+            p,
+            per_proc_mem: vec![0; p],
+            per_proc_ops: vec![0; p],
+            makespan_ns: 0.0,
+            barriers: 0,
+            barrier_ns: machine.barrier_ns(p),
+        }
+    }
+
+    /// T_M: the maximum per-processor non-contiguous access count.
+    pub fn t_m(&self) -> u64 {
+        self.per_proc_mem.iter().copied().max().unwrap_or(0)
+    }
+
+    /// T_C: the maximum per-processor operation count.
+    pub fn t_c(&self) -> u64 {
+        self.per_proc_ops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Predicted wall-clock seconds: makespan plus barrier overhead.
+    pub fn predicted_seconds(&self) -> f64 {
+        (self.makespan_ns + self.barriers as f64 * self.barrier_ns) * 1e-9
+    }
+
+    /// Work imbalance: max per-proc memory cost over the mean (1.0 =
+    /// perfect balance; 0.0 for an empty run).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.per_proc_mem.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.p as f64;
+        self.t_m() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxima_and_imbalance() {
+        let r = CostReport {
+            p: 4,
+            per_proc_mem: vec![10, 20, 30, 40],
+            per_proc_ops: vec![1, 2, 3, 4],
+            makespan_ns: 1000.0,
+            barriers: 2,
+            barrier_ns: 100.0,
+        };
+        assert_eq!(r.t_m(), 40);
+        assert_eq!(r.t_c(), 4);
+        assert!((r.imbalance() - 1.6).abs() < 1e-12);
+        assert!((r.predicted_seconds() - 1200e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = CostReport::new(3, &MachineProfile::pram());
+        assert_eq!(r.t_m(), 0);
+        assert_eq!(r.imbalance(), 0.0);
+        assert_eq!(r.predicted_seconds(), 0.0);
+    }
+
+    #[test]
+    fn phase_cost_math() {
+        let mut a = PhaseCost { mem: 1, ops: 2 };
+        a.add(PhaseCost { mem: 10, ops: 20 });
+        assert_eq!(a, PhaseCost { mem: 11, ops: 22 });
+        let pram = MachineProfile::pram();
+        assert!((a.ns(&pram, 4) - 33.0).abs() < 1e-12);
+    }
+}

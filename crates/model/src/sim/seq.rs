@@ -1,0 +1,93 @@
+//! Instrumented sequential BFS (the speedup denominator).
+
+use std::collections::VecDeque;
+
+use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+
+use crate::machine::MachineProfile;
+
+use super::report::{CostReport, PhaseCost};
+
+/// Operation-count constants shared by the sequential and parallel
+/// traversal simulators, so that their comparison is apples-to-apples.
+pub(crate) const OPS_PER_VERTEX: u64 = 8;
+pub(crate) const OPS_PER_EDGE: u64 = 4;
+/// Non-contiguous accesses per dequeued vertex (adjacency-offset fetch).
+pub(crate) const MEM_PER_VERTEX: u64 = 1;
+/// Non-contiguous accesses per examined directed edge: "two
+/// non-contiguous accesses per edge to find the adjacent vertices, check
+/// their colors, and set the parent" (§3).
+pub(crate) const MEM_PER_EDGE: u64 = 2;
+
+/// Simulates the sequential BFS spanning forest under `machine`,
+/// returning its cost report and the forest parents (for validation).
+pub fn simulate_sequential_bfs(g: &CsrGraph, machine: &MachineProfile) -> (CostReport, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut report = CostReport::new(1, machine);
+    let mut parents = vec![NO_VERTEX; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut total = PhaseCost::default();
+
+    for s in 0..n as VertexId {
+        if visited[s as usize] {
+            continue;
+        }
+        visited[s as usize] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            total.mem += MEM_PER_VERTEX;
+            total.ops += OPS_PER_VERTEX;
+            for &w in g.neighbors(v) {
+                total.mem += MEM_PER_EDGE;
+                total.ops += OPS_PER_EDGE;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    parents[w as usize] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    report.per_proc_mem[0] = total.mem;
+    report.per_proc_ops[0] = total.ops;
+    report.makespan_ns = total.ns(machine, 1);
+    report.barriers = 0;
+    (report, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::gen::{chain, random_gnm, torus2d};
+    use st_graph::validate::is_spanning_forest;
+
+    #[test]
+    fn costs_match_closed_form() {
+        let g = torus2d(10, 10);
+        let (r, parents) = simulate_sequential_bfs(&g, &MachineProfile::e4500());
+        let n = 100u64;
+        let m = 200u64;
+        // Every vertex dequeued once, every directed edge examined once.
+        assert_eq!(r.t_m(), n * MEM_PER_VERTEX + 2 * m * MEM_PER_EDGE);
+        assert_eq!(r.t_c(), n * OPS_PER_VERTEX + 2 * m * OPS_PER_EDGE);
+        assert_eq!(r.barriers, 0);
+        assert!(is_spanning_forest(&g, &parents));
+    }
+
+    #[test]
+    fn forest_valid_on_disconnected() {
+        let g = random_gnm(200, 100, 3);
+        let (_, parents) = simulate_sequential_bfs(&g, &MachineProfile::e4500());
+        assert!(is_spanning_forest(&g, &parents));
+    }
+
+    #[test]
+    fn chain_costs_linear() {
+        let (r, _) = simulate_sequential_bfs(&chain(1000), &MachineProfile::pram());
+        assert_eq!(r.t_m(), 1000 + 2 * 999 * MEM_PER_EDGE);
+        // PRAM: makespan equals mem + ops counts in ns.
+        let expected = (r.t_m() + r.t_c()) as f64;
+        assert!((r.makespan_ns - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared atomic vertex arrays.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A fixed-size array of atomic `u32` cells shared by all processors.
+///
+/// This backs the `color` and `parent` arrays of the traversal algorithms
+/// and the `parent`/`component` arrays of Shiloach–Vishkin: every cell
+/// can be read, written, and CASed concurrently. The paper's key
+/// correctness argument (§2, Fig. 1) is precisely that racy writes to
+/// `parent[w]` by multiple processors are benign — each candidate value
+/// yields a valid tree — so the implementation only needs atomicity per
+/// cell, never a global lock.
+#[derive(Debug)]
+pub struct AtomicU32Array {
+    cells: Box<[AtomicU32]>,
+}
+
+impl AtomicU32Array {
+    /// An array of `len` cells, each initialized to `init`.
+    pub fn new(len: usize, init: u32) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU32::new(init));
+        Self {
+            cells: v.into_boxed_slice(),
+        }
+    }
+
+    /// Builds from an existing vector of plain values.
+    pub fn from_vec(values: Vec<u32>) -> Self {
+        Self {
+            cells: values.into_iter().map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the array has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomic load of cell `i`.
+    #[inline]
+    pub fn load(&self, i: usize, order: Ordering) -> u32 {
+        self.cells[i].load(order)
+    }
+
+    /// Atomic store to cell `i`.
+    #[inline]
+    pub fn store(&self, i: usize, value: u32, order: Ordering) {
+        self.cells[i].store(value, order)
+    }
+
+    /// Atomic compare-exchange on cell `i`; returns `Ok(previous)` on
+    /// success and `Err(actual)` on failure.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        i: usize,
+        current: u32,
+        new: u32,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u32, u32> {
+        self.cells[i].compare_exchange(current, new, success, failure)
+    }
+
+    /// Convenience claim: CAS cell `i` from `empty` to `value` with
+    /// Acquire/Release ordering; returns true when this caller won.
+    #[inline]
+    pub fn try_claim(&self, i: usize, empty: u32, value: u32) -> bool {
+        self.cells[i]
+            .compare_exchange(empty, value, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Direct access to a cell (for fetch-ops not wrapped here).
+    #[inline]
+    pub fn cell(&self, i: usize) -> &AtomicU32 {
+        &self.cells[i]
+    }
+
+    /// Snapshots the array into a plain vector (not atomic as a whole;
+    /// callers synchronize externally, e.g. after a team join).
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl From<AtomicU32Array> for Vec<u32> {
+    fn from(arr: AtomicU32Array) -> Self {
+        arr.cells.into_vec().into_iter().map(|c| c.into_inner()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_initializes_all_cells() {
+        let a = AtomicU32Array::new(5, 7);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(a.snapshot(), vec![7; 5]);
+    }
+
+    #[test]
+    fn store_and_load() {
+        let a = AtomicU32Array::new(3, 0);
+        a.store(1, 42, Ordering::Relaxed);
+        assert_eq!(a.load(1, Ordering::Relaxed), 42);
+        assert_eq!(a.load(0, Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn claim_is_exclusive() {
+        let a = AtomicU32Array::new(1, u32::MAX);
+        assert!(a.try_claim(0, u32::MAX, 5));
+        assert!(!a.try_claim(0, u32::MAX, 6));
+        assert_eq!(a.load(0, Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_claims_have_one_winner_per_cell() {
+        const P: usize = 8;
+        const N: usize = 1000;
+        let a = AtomicU32Array::new(N, u32::MAX);
+        let wins: Vec<std::sync::atomic::AtomicUsize> =
+            (0..P).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for rank in 0..P {
+                let a = &a;
+                let wins = &wins;
+                s.spawn(move |_| {
+                    for i in 0..N {
+                        if a.try_claim(i, u32::MAX, rank as u32) {
+                            wins[rank].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let total: usize = wins.iter().map(|w| w.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, N, "every cell claimed exactly once");
+        // And every cell holds a valid claimant id.
+        for i in 0..N {
+            assert!((a.load(i, Ordering::Relaxed) as usize) < P);
+        }
+    }
+
+    #[test]
+    fn from_vec_and_into_vec_roundtrip() {
+        let a = AtomicU32Array::from_vec(vec![1, 2, 3]);
+        let v: Vec<u32> = a.into();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Centralized sense-reversing software barrier.
+//!
+//! The paper's experiments use software barriers (Bader & JáJá's SIMPLE
+//! library) rather than pthread barriers; this is the standard
+//! sense-reversing construction. Each participant flips a private sense
+//! and spins until the shared sense matches it; the last arrival resets
+//! the count and publishes the new sense, releasing everyone at once.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed team of `p` participants.
+///
+/// Waiters spin briefly and then yield, so the barrier stays correct (if
+/// slower) when threads outnumber hardware cores — important both for the
+/// oversubscribed CI host and for the paper's p up to 14.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    participants: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+    generations: AtomicU64,
+}
+
+/// Per-thread barrier state (the private sense flag).
+///
+/// Each participating thread must own exactly one `BarrierToken` and pass
+/// it to every [`SenseBarrier::wait`] call; sharing a token between
+/// threads breaks the protocol.
+#[derive(Debug, Default)]
+pub struct BarrierToken {
+    sense: Cell<bool>,
+}
+
+impl BarrierToken {
+    /// A fresh token (initial sense `false`, matching a fresh barrier).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SenseBarrier {
+    /// A barrier for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "barrier needs at least one participant");
+        Self {
+            participants,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            generations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Number of completed barrier episodes (for tests and the model's B
+    /// counter).
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Acquire)
+    }
+
+    /// Blocks until all `participants` threads have called `wait` with
+    /// their own token. Returns `true` on exactly one thread per episode
+    /// (the last arrival), like `std::sync::Barrier`.
+    pub fn wait(&self, token: &BarrierToken) -> bool {
+        let my_sense = !token.sense.get();
+        token.sense.set(my_sense);
+        // AcqRel: the increment must not be reordered with the caller's
+        // preceding writes (they must be visible to whoever observes the
+        // count), and the last arrival's reads below synchronize with
+        // earlier arrivals' increments.
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            self.count.store(0, Ordering::Relaxed);
+            self.generations.fetch_add(1, Ordering::Release);
+            // Publishing the sense releases all spinners; Release pairs
+            // with their Acquire loads so every pre-barrier write is
+            // visible after the barrier.
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed (or long-tail) case: let the owner
+                    // of the core run.
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SenseBarrier::new(1);
+        let t = BarrierToken::new();
+        for i in 1..=5u64 {
+            assert!(b.wait(&t));
+            assert_eq!(b.generations(), i);
+        }
+    }
+
+    #[test]
+    fn phases_are_separated() {
+        // Classic barrier test: no thread may enter phase k + 1 while
+        // another is still in phase k.
+        const P: usize = 4;
+        const PHASES: usize = 25;
+        let barrier = SenseBarrier::new(P);
+        let in_phase = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..P {
+                s.spawn(|_| {
+                    let token = BarrierToken::new();
+                    for phase in 0..PHASES {
+                        let seen = in_phase.fetch_add(1, Ordering::AcqRel) + 1;
+                        assert!(seen <= P, "phase {phase} overlap: {seen} > {P}");
+                        barrier.wait(&token);
+                        in_phase.fetch_sub(1, Ordering::AcqRel);
+                        barrier.wait(&token);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(barrier.generations(), 2 * PHASES as u64);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_episode() {
+        const P: usize = 3;
+        const EPISODES: usize = 40;
+        let barrier = SenseBarrier::new(P);
+        let leaders = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..P {
+                s.spawn(|_| {
+                    let token = BarrierToken::new();
+                    for _ in 0..EPISODES {
+                        if barrier.wait(&token) {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(leaders.load(Ordering::Relaxed), EPISODES);
+    }
+
+    #[test]
+    fn writes_before_barrier_visible_after() {
+        const P: usize = 4;
+        let barrier = SenseBarrier::new(P);
+        let slots: Vec<AtomicUsize> = (0..P).map(|_| AtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for rank in 0..P {
+                let slots = &slots;
+                let barrier = &barrier;
+                s.spawn(move |_| {
+                    let token = BarrierToken::new();
+                    slots[rank].store(rank + 1, Ordering::Relaxed);
+                    barrier.wait(&token);
+                    let sum: usize = slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+                    assert_eq!(sum, (1..=P).sum::<usize>());
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        SenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Starvation / termination detection.
+//!
+//! From §2 of the paper: "The detecting mechanism uses condition
+//! variables to coordinate the state of processing. Whenever a processor
+//! becomes idle and finds no work to steal, it will go to sleep for a
+//! duration on a condition variable. Once the number of sleeping
+//! processors reaches a certain threshold, we halt the SMP traversal
+//! algorithm, merge the grown spanning subtree into a super-vertex, and
+//! start a different algorithm."
+//!
+//! [`TerminationDetector`] implements both outcomes the sleeping count
+//! encodes:
+//!
+//! * **all p asleep** — quiescence: every processor's queue is empty and
+//!   no steal can succeed, so the traversal of the reachable region is
+//!   complete ([`IdleOutcome::AllDone`]).
+//! * **threshold ≤ asleep < p** — starvation: most processors cannot find
+//!   work while a few crawl through a high-diameter region; the traversal
+//!   should abort and the driver should switch algorithms
+//!   ([`IdleOutcome::Starved`]).
+//!
+//! A sleeping processor that is woken by [`notify_work`]
+//! (or by its timeout) re-checks the queues ([`IdleOutcome::Retry`]).
+//!
+//! [`notify_work`]: TerminationDetector::notify_work
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Why [`TerminationDetector::idle_wait`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdleOutcome {
+    /// All processors went idle simultaneously: the traversal is
+    /// complete.
+    AllDone,
+    /// The starvation threshold was crossed: abort and fall back.
+    Starved,
+    /// Woken (by new work or timeout); re-scan the queues and try again.
+    Retry,
+}
+
+#[derive(Debug, Default)]
+struct DetectorState {
+    sleeping: usize,
+    done: bool,
+    starved: bool,
+    work_epoch: u64,
+}
+
+/// Shared detector for a team of `p` processors.
+#[derive(Debug)]
+pub struct TerminationDetector {
+    p: usize,
+    threshold: usize,
+    state: Mutex<DetectorState>,
+    cv: Condvar,
+    /// Lock-free mirror of `state.sleeping` so busy processors can decide
+    /// whether a `notify_work` is worth the lock without taking it.
+    sleeping_hint: AtomicUsize,
+}
+
+impl TerminationDetector {
+    /// A detector for `p` processors with the starvation `threshold`
+    /// disabled (only quiescence is detected).
+    pub fn new(p: usize) -> Self {
+        Self::with_threshold(p, usize::MAX)
+    }
+
+    /// A detector for `p` processors that reports
+    /// [`IdleOutcome::Starved`] once `threshold` processors sleep
+    /// simultaneously (while at least one remains busy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `threshold == 0`.
+    pub fn with_threshold(p: usize, threshold: usize) -> Self {
+        assert!(p > 0, "detector needs at least one processor");
+        assert!(threshold > 0, "a zero threshold would starve immediately");
+        Self {
+            p,
+            threshold,
+            state: Mutex::new(DetectorState::default()),
+            cv: Condvar::new(),
+            sleeping_hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Approximate number of processors currently asleep (may lag; no
+    /// locking). Busy processors use this to skip `notify_work` when
+    /// nobody is listening.
+    pub fn approx_sleeping(&self) -> usize {
+        self.sleeping_hint.load(Ordering::Relaxed)
+    }
+
+    /// Number of processors in the team.
+    pub fn processors(&self) -> usize {
+        self.p
+    }
+
+    /// Called by a processor that has no local work and failed to steal.
+    /// Sleeps for at most `timeout` and reports why it woke.
+    pub fn idle_wait(&self, timeout: Duration) -> IdleOutcome {
+        let mut s = self.state.lock();
+        if s.done {
+            return IdleOutcome::AllDone;
+        }
+        if s.starved {
+            return IdleOutcome::Starved;
+        }
+        s.sleeping += 1;
+        self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+        if s.sleeping == self.p {
+            // Quiescence: this processor is the last to go idle.
+            s.done = true;
+            s.sleeping -= 1;
+            self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+            self.cv.notify_all();
+            return IdleOutcome::AllDone;
+        }
+        if s.sleeping >= self.threshold {
+            // Starvation: enough of the team is asleep while someone is
+            // still busy.
+            s.starved = true;
+            s.sleeping -= 1;
+            self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+            self.cv.notify_all();
+            return IdleOutcome::Starved;
+        }
+        let epoch = s.work_epoch;
+        loop {
+            let timed_out = self.cv.wait_for(&mut s, timeout).timed_out();
+            if s.done {
+                s.sleeping -= 1;
+                self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+                return IdleOutcome::AllDone;
+            }
+            if s.starved {
+                s.sleeping -= 1;
+                self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+                return IdleOutcome::Starved;
+            }
+            if timed_out || s.work_epoch != epoch {
+                s.sleeping -= 1;
+                self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+                return IdleOutcome::Retry;
+            }
+        }
+    }
+
+    /// Called by a busy processor after making new work stealable; wakes
+    /// sleepers so they can retry their steal sweep.
+    pub fn notify_work(&self) {
+        let mut s = self.state.lock();
+        s.work_epoch += 1;
+        self.cv.notify_all();
+    }
+
+    /// True once quiescence has been observed.
+    pub fn is_done(&self) -> bool {
+        self.state.lock().done
+    }
+
+    /// True once the starvation threshold has fired.
+    pub fn is_starved(&self) -> bool {
+        self.state.lock().starved
+    }
+
+    /// Resets the detector for another traversal round (driver only; must
+    /// not race with `idle_wait`).
+    pub fn reset(&self) {
+        let mut s = self.state.lock();
+        debug_assert_eq!(s.sleeping, 0, "reset while processors are waiting");
+        *s = DetectorState::default();
+        self.sleeping_hint.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const SHORT: Duration = Duration::from_millis(5);
+    const LONG: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn single_processor_is_immediately_done() {
+        let d = TerminationDetector::new(1);
+        assert_eq!(d.idle_wait(SHORT), IdleOutcome::AllDone);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn all_idle_means_done() {
+        const P: usize = 4;
+        let d = TerminationDetector::new(P);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..P {
+                s.spawn(|_| {
+                    assert_eq!(d.idle_wait(LONG), IdleOutcome::AllDone);
+                });
+            }
+        })
+        .unwrap();
+        assert!(d.is_done());
+        assert!(!d.is_starved());
+    }
+
+    #[test]
+    fn threshold_triggers_starvation() {
+        // 3 of 4 sleeping crosses threshold 3 while the 4th stays busy.
+        const P: usize = 4;
+        let d = TerminationDetector::with_threshold(P, 3);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|_| loop {
+                    match d.idle_wait(LONG) {
+                        IdleOutcome::Starved => break,
+                        IdleOutcome::AllDone => panic!("should starve, not finish"),
+                        IdleOutcome::Retry => continue,
+                    }
+                });
+            }
+            // The 4th processor never goes idle.
+        })
+        .unwrap();
+        assert!(d.is_starved());
+        assert!(!d.is_done());
+    }
+
+    #[test]
+    fn notify_work_wakes_sleepers_to_retry() {
+        let d = TerminationDetector::new(2);
+        let retries = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| {
+                // First wait should be woken by notify_work -> Retry;
+                // second wait coincides with the other processor -> done.
+                match d.idle_wait(LONG) {
+                    IdleOutcome::Retry => {
+                        retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("expected retry, got {other:?}"),
+                }
+                assert_eq!(d.idle_wait(LONG), IdleOutcome::AllDone);
+            });
+            s.spawn(|_| {
+                // Give the first thread time to start sleeping.
+                std::thread::sleep(Duration::from_millis(50));
+                d.notify_work();
+                std::thread::sleep(Duration::from_millis(50));
+                assert_eq!(d.idle_wait(LONG), IdleOutcome::AllDone);
+            });
+        })
+        .unwrap();
+        assert_eq!(retries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn timeout_returns_retry() {
+        let d = TerminationDetector::new(2);
+        // Only one of two processors idles; its short timeout fires.
+        assert_eq!(d.idle_wait(Duration::from_millis(1)), IdleOutcome::Retry);
+        assert!(!d.is_done());
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let d = TerminationDetector::new(1);
+        assert_eq!(d.idle_wait(SHORT), IdleOutcome::AllDone);
+        d.reset();
+        assert!(!d.is_done());
+        assert_eq!(d.idle_wait(SHORT), IdleOutcome::AllDone);
+    }
+
+    #[test]
+    fn done_sticks_for_late_callers() {
+        let d = TerminationDetector::new(1);
+        assert_eq!(d.idle_wait(SHORT), IdleOutcome::AllDone);
+        // A (hypothetical) late call still sees done.
+        assert_eq!(d.idle_wait(SHORT), IdleOutcome::AllDone);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        TerminationDetector::new(0);
+    }
+}

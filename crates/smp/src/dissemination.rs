@@ -1,0 +1,194 @@
+//! Dissemination barrier (Mellor-Crummey & Scott).
+//!
+//! The centralized sense-reversing barrier ([`crate::SenseBarrier`])
+//! funnels every arrival through one cache line, which is fine at the
+//! paper's p = 8 but starts to bite toward the E4500's 14 processors
+//! and beyond. The dissemination barrier spreads the traffic: in round
+//! k, thread i signals thread (i + 2ᵏ) mod p and waits for a signal
+//! from (i − 2ᵏ) mod p; after ⌈log₂ p⌉ rounds every thread has
+//! transitively heard from every other.
+//!
+//! Signals are monotone per-(thread, round) counters, so episodes never
+//! race on flag reuse — a thread in episode e waits until its round-k
+//! counter reaches e.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::pad::CacheAligned;
+
+/// A dissemination barrier for a fixed team of `p` threads.
+#[derive(Debug)]
+pub struct DisseminationBarrier {
+    p: usize,
+    rounds: usize,
+    /// `flags[i][k]`: signals received by thread i in round k, across
+    /// all episodes.
+    flags: Vec<Vec<CacheAligned<AtomicU64>>>,
+}
+
+/// Per-thread state: the thread's id and its episode counter.
+#[derive(Debug)]
+pub struct DisseminationToken {
+    id: usize,
+    episode: Cell<u64>,
+}
+
+impl DisseminationBarrier {
+    /// A barrier for `p` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "barrier needs at least one participant");
+        let rounds = usize::BITS as usize - (p - 1).leading_zeros() as usize;
+        let flags = (0..p)
+            .map(|_| {
+                (0..rounds.max(1))
+                    .map(|_| CacheAligned::new(AtomicU64::new(0)))
+                    .collect()
+            })
+            .collect();
+        Self { p, rounds, flags }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.p
+    }
+
+    /// The token for thread `id` (each of `0..p` exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= p`.
+    pub fn token(&self, id: usize) -> DisseminationToken {
+        assert!(id < self.p, "thread id out of range");
+        DisseminationToken {
+            id,
+            episode: Cell::new(0),
+        }
+    }
+
+    /// Blocks until all `p` threads have called `wait` for this episode.
+    pub fn wait(&self, token: &DisseminationToken) {
+        if self.p == 1 {
+            return;
+        }
+        let episode = token.episode.get() + 1;
+        token.episode.set(episode);
+        for k in 0..self.rounds {
+            let partner = (token.id + (1usize << k)) % self.p;
+            // Signal: Release pairs with the partner's Acquire wait, so
+            // all writes before our arrival are visible to it.
+            self.flags[partner][k].0.fetch_add(1, Ordering::Release);
+            let mine = &self.flags[token.id][k].0;
+            let mut spins = 0u32;
+            while mine.load(Ordering::Acquire) < episode {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_is_a_noop() {
+        let b = DisseminationBarrier::new(1);
+        let t = b.token(0);
+        for _ in 0..5 {
+            b.wait(&t);
+        }
+    }
+
+    #[test]
+    fn phases_are_separated() {
+        for p in [2usize, 3, 4, 7] {
+            let barrier = DisseminationBarrier::new(p);
+            let in_phase = AtomicUsize::new(0);
+            crossbeam::thread::scope(|s| {
+                for id in 0..p {
+                    let barrier = &barrier;
+                    let in_phase = &in_phase;
+                    s.spawn(move |_| {
+                        let token = barrier.token(id);
+                        for phase in 0..25 {
+                            let seen = in_phase.fetch_add(1, Ordering::AcqRel) + 1;
+                            assert!(seen <= p, "p={p} phase {phase}: overlap");
+                            barrier.wait(&token);
+                            in_phase.fetch_sub(1, Ordering::AcqRel);
+                            barrier.wait(&token);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn writes_published_across_the_barrier() {
+        const P: usize = 5;
+        let barrier = DisseminationBarrier::new(P);
+        let slots: Vec<AtomicUsize> = (0..P).map(|_| AtomicUsize::new(0)).collect();
+        crossbeam::thread::scope(|s| {
+            for id in 0..P {
+                let barrier = &barrier;
+                let slots = &slots;
+                s.spawn(move |_| {
+                    let token = barrier.token(id);
+                    slots[id].store(id + 1, Ordering::Relaxed);
+                    barrier.wait(&token);
+                    let sum: usize = slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+                    assert_eq!(sum, (1..=P).sum::<usize>());
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn many_episodes_do_not_wrap() {
+        const P: usize = 3;
+        let barrier = DisseminationBarrier::new(P);
+        let counter = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for id in 0..P {
+                let barrier = &barrier;
+                let counter = &counter;
+                s.spawn(move |_| {
+                    let token = barrier.token(id);
+                    for round in 1..=200 {
+                        counter.fetch_add(1, Ordering::AcqRel);
+                        barrier.wait(&token);
+                        assert_eq!(counter.load(Ordering::Acquire), round * P);
+                        barrier.wait(&token);
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn token_id_checked() {
+        DisseminationBarrier::new(2).token(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        DisseminationBarrier::new(0);
+    }
+}

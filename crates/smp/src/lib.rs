@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # st-smp — SMP runtime substrate
+//!
+//! The paper implements its algorithms "using POSIX threads and
+//! software-based barriers" (Bader–JáJá SIMPLE methodology). This crate is
+//! the Rust equivalent of that runtime layer:
+//!
+//! * [`team`] — a processor team: spawn p workers, give each a rank, and
+//!   let them synchronize through a shared barrier, like a SIMPLE
+//!   "pardo" region.
+//! * [`barrier`] — a centralized sense-reversing software barrier.
+//! * [`lock`] — test-and-test-and-set spin lock (with a safe guard API)
+//!   and a FIFO ticket lock; used by the lock-based Shiloach–Vishkin
+//!   grafting variant the paper reports as slow.
+//! * [`steal`] — the per-processor work-stealing BFS queue of the new
+//!   spanning-tree algorithm (owner operates FIFO at the front, thieves
+//!   take a chunk from the back).
+//! * [`detect`] — the condition-variable starvation/termination detector
+//!   of §2: sleeping processors are counted; all-asleep means the
+//!   traversal is done, and crossing a configurable threshold triggers
+//!   the fallback algorithm.
+//! * [`pad`] — cache-line padding to keep per-processor counters off
+//!   shared lines.
+//! * [`atomics`] — a shared atomic `u32` array used for vertex colors and
+//!   parent slots.
+//!
+//! Everything here is algorithm-agnostic; the spanning-tree logic lives
+//! in `st-core`.
+
+pub mod atomics;
+pub mod barrier;
+pub mod detect;
+pub mod dissemination;
+pub mod lock;
+pub mod pad;
+pub mod steal;
+pub mod team;
+
+pub use atomics::AtomicU32Array;
+pub use barrier::{BarrierToken, SenseBarrier};
+pub use dissemination::{DisseminationBarrier, DisseminationToken};
+pub use detect::{IdleOutcome, TerminationDetector};
+pub use lock::{SpinLock, TicketLock};
+pub use pad::CacheAligned;
+pub use steal::{StealPolicy, WorkQueue};
+pub use team::{run_team, TeamCtx};

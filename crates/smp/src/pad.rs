@@ -1,0 +1,74 @@
+//! Cache-line padding.
+
+/// Wraps a value in its own cache line (128-byte aligned, covering the
+/// adjacent-line prefetcher on x86 and the 128-byte lines on some ARM
+/// parts).
+///
+/// Per-processor counters (visited counts, steal statistics, model
+/// counters) are stored as `Vec<CacheAligned<_>>` so that writes by one
+/// processor do not invalidate lines read by another — false sharing is
+/// exactly the kind of hidden non-contiguous traffic the Helman–JáJá
+/// model penalizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> CacheAligned<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Self {
+        Self(value)
+    }
+
+    /// Consumes the wrapper, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CacheAligned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CacheAligned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> From<T> for CacheAligned<T> {
+    fn from(value: T) -> Self {
+        Self(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(std::mem::align_of::<CacheAligned<u8>>(), 128);
+        assert_eq!(std::mem::size_of::<CacheAligned<u8>>(), 128);
+        let v = vec![CacheAligned::new(0u64); 4];
+        let a = &v[0] as *const _ as usize;
+        let b = &v[1] as *const _ as usize;
+        assert_eq!(b - a, 128);
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let mut c = CacheAligned::new(41u32);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+    }
+
+    #[test]
+    fn from_value() {
+        let c: CacheAligned<&str> = "x".into();
+        assert_eq!(*c, "x");
+    }
+}

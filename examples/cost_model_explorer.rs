@@ -1,0 +1,95 @@
+//! Cost-model explorer: speedup curves and break-even points under the
+//! Helman–JáJá executor.
+//!
+//! Answers "at what p does parallel win, and how efficiently?" for each
+//! paper workload, and shows how machine parameters (memory latency,
+//! bus contention, barrier cost) move the curves — the design space the
+//! paper's §3 analysis lives in.
+//!
+//! ```text
+//! cargo run --release --example cost_model_explorer [log2_n]
+//! ```
+
+use st_bench::workloads::Workload;
+use st_model::predict::{speedup_curve, SimAlgorithm};
+use st_model::MachineProfile;
+
+const PS: [usize; 6] = [1, 2, 4, 8, 12, 14];
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+    let n = 1usize << scale;
+    let machine = MachineProfile::e4500();
+
+    println!("E4500-like profile, n ≈ 2^{scale}; speedups vs sequential BFS\n");
+    println!(
+        "{:<15} {:>10} | {:>24} | {:>24} | {:>6}",
+        "workload", "algorithm", "speedup @ p=2/4/8", "efficiency @ p=2/4/8", "even@p"
+    );
+    for w in [
+        Workload::RandomM15,
+        Workload::TorusRowMajor,
+        Workload::Mesh2D60,
+        Workload::Ad3,
+        Workload::ChainSeq,
+    ] {
+        let g = w.build(n, 42);
+        for (name, algo) in [("bader-cong", SimAlgorithm::BaderCong), ("sv", SimAlgorithm::Sv)] {
+            let c = speedup_curve(&g, algo, &PS, &machine);
+            let s = |p| c.speedup_at(p).unwrap_or(f64::NAN);
+            let e = |p| c.efficiency_at(p).unwrap_or(f64::NAN);
+            let even = c
+                .break_even_p()
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "never".into());
+            println!(
+                "{:<15} {:>10} | {:>7.2} {:>7.2} {:>7.2}x | {:>7.2} {:>7.2} {:>7.2} | {:>6}",
+                w.id(),
+                name,
+                s(2),
+                s(4),
+                s(8),
+                e(2),
+                e(4),
+                e(8),
+                even
+            );
+        }
+    }
+
+    // Machine sensitivity: what if memory were faster, or the bus less
+    // contended? (The knobs DESIGN.md §4 calibrates.)
+    println!("\nMachine sensitivity — bader-cong speedup at p = 8 on random m = 1.5n:");
+    let g = Workload::RandomM15.build(n, 42);
+    for (label, m) in [
+        ("E4500 default".to_string(), MachineProfile::e4500()),
+        (
+            "no bus contention".to_string(),
+            MachineProfile {
+                mem_contention: 0.0,
+                ..MachineProfile::e4500()
+            },
+        ),
+        (
+            "2x faster memory".to_string(),
+            MachineProfile {
+                mem_ns: MachineProfile::e4500().mem_ns / 2.0,
+                ..MachineProfile::e4500()
+            },
+        ),
+        (
+            "10x barrier cost".to_string(),
+            MachineProfile {
+                barrier_base_ns: MachineProfile::e4500().barrier_base_ns * 10.0,
+                barrier_per_proc_ns: MachineProfile::e4500().barrier_per_proc_ns * 10.0,
+                ..MachineProfile::e4500()
+            },
+        ),
+    ] {
+        let c = speedup_curve(&g, SimAlgorithm::BaderCong, &[8], &m);
+        println!("  {:<20} {:>6.2}x", label, c.speedup_at(8).unwrap());
+    }
+}

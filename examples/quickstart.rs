@@ -1,0 +1,65 @@
+//! Quickstart: build a graph, compute a parallel spanning forest,
+//! verify it, and look at the execution statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bader_cong_spanning::prelude::*;
+
+fn main() {
+    // The paper's headline input (Fig. 3): a random graph with
+    // m = 1.5 n edges. 100k vertices keeps this instant.
+    let n = 100_000;
+    let g = gen::random_gnm(n, 3 * n / 2, 42);
+    println!(
+        "graph: {} vertices, {} edges, mean degree {:.2}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.degree_stats().mean
+    );
+
+    // The Bader-Cong algorithm: stub spanning tree + work-stealing
+    // traversal, here with 4 processors.
+    let p = 4;
+    let started = std::time::Instant::now();
+    let forest = BaderCong::with_defaults().spanning_forest(&g, p);
+    let elapsed = started.elapsed();
+
+    // Always verify: the crate ships the oracle the tests use.
+    assert!(is_spanning_forest(&g, &forest.parents));
+    println!(
+        "spanning forest: {} trees, {} tree edges, valid ✓ ({:.1} ms with p = {p})",
+        forest.num_trees(),
+        forest.num_tree_edges(),
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    // The statistics the paper reports on.
+    println!(
+        "stats: {} vertices colored concurrently by >1 processor (paper: <10 per millions), \
+         {} steals moving {} queue items, load imbalance {:.2}",
+        forest.stats.multi_colored,
+        forest.stats.steals,
+        forest.stats.stolen_items,
+        forest.stats.load_imbalance()
+    );
+
+    // The same parent array answers connectivity questions.
+    let cc = components_from_forest(&forest.parents);
+    println!(
+        "connected components: {} (largest has {} vertices)",
+        cc.count,
+        cc.sizes().into_iter().max().unwrap_or(0)
+    );
+
+    // Compare against the best sequential algorithm (BFS), as the paper
+    // does.
+    let started = std::time::Instant::now();
+    let seq_forest = seq::bfs_forest(&g);
+    println!(
+        "sequential BFS: {} trees in {:.1} ms",
+        seq_forest.num_trees(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+}

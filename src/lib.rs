@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # bader-cong-spanning — parallel spanning trees for SMPs
+//!
+//! A from-scratch Rust reproduction of **Bader & Cong, "A Fast, Parallel
+//! Spanning Tree Algorithm for Symmetric Multiprocessors (SMPs)",
+//! IPDPS 2004**: the randomized stub-tree + work-stealing traversal
+//! algorithm, its Shiloach–Vishkin and Hirschberg–Chandra–Sarwate
+//! baselines, the paper's eight experiment input families, the
+//! Helman–JáJá SMP cost model the paper analyzes with, and a benchmark
+//! harness that regenerates every result figure.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`graph`] — CSR graphs, generators, labeling, degree-2
+//!   preprocessing, validation oracles, I/O.
+//! * [`smp`] — the POSIX-threads-and-software-barriers runtime layer:
+//!   teams, barriers, spin locks, work-stealing queues, the starvation
+//!   detector.
+//! * [`core`] — the algorithms.
+//! * [`model`] — the cost model and deterministic instrumented
+//!   executors.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bader_cong_spanning::prelude::*;
+//!
+//! // The paper's Fig. 3 input: a random graph with m = 1.5 n.
+//! let g = gen::random_gnm(10_000, 15_000, 42);
+//!
+//! // Spanning forest with 4 processors.
+//! let forest = BaderCong::with_defaults().spanning_forest(&g, 4);
+//! assert!(is_spanning_forest(&g, &forest.parents));
+//! println!(
+//!     "{} trees, {} tree edges, {} race collisions",
+//!     forest.num_trees(),
+//!     forest.num_tree_edges(),
+//!     forest.stats.multi_colored
+//! );
+//! ```
+
+pub use st_core as core;
+pub use st_graph as graph;
+pub use st_model as model;
+pub use st_smp as smp;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use st_core::bader_cong::{BaderCong, Config};
+    pub use st_core::biconnected::{biconnected_components, Biconnectivity};
+    pub use st_core::connected::{components_from_forest, connected_components};
+    pub use st_core::mst::{self, MstResult};
+    pub use st_core::multiroot::spanning_forest_multiroot;
+    pub use st_core::result::{AlgoStats, SpanningForest};
+    pub use st_core::seq;
+    pub use st_core::sv::{self, GraftVariant, SvConfig};
+    pub use st_core::traversal::TraversalConfig;
+    pub use st_graph::gen;
+    pub use st_graph::label::{random_permutation, relabel};
+    pub use st_graph::validate::{is_spanning_forest, is_spanning_tree};
+    pub use st_graph::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
+    pub use st_smp::StealPolicy;
+}

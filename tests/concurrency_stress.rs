@@ -1,0 +1,179 @@
+//! Concurrency stress: oversubscription, repeated runs, adversarial
+//! configurations. On the single-core CI host every thread interleaving
+//! is scheduler-driven, which is exactly the hostile environment these
+//! tests want.
+
+use bader_cong_spanning::prelude::*;
+use st_graph::validate::count_components;
+
+#[test]
+fn oversubscribed_teams() {
+    // Far more threads than cores; the yielding barrier and detector
+    // must still terminate and produce valid forests.
+    let g = gen::random_connected(3_000, 2_000, 5);
+    for p in [8usize, 16] {
+        let f = BaderCong::with_defaults().spanning_forest(&g, p);
+        assert!(is_spanning_forest(&g, &f.parents), "p = {p}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_all_valid() {
+    // The benign race means tree *shape* may differ run to run; validity
+    // and component structure may not.
+    let g = gen::random_gnm(2_000, 3_000, 9);
+    let reference = count_components(&g);
+    for i in 0..20 {
+        let cfg = Config {
+            traversal: TraversalConfig {
+                seed: i,
+                ..TraversalConfig::default()
+            },
+            ..Config::default()
+        };
+        let f = BaderCong::new(cfg).spanning_forest(&g, 4);
+        assert!(is_spanning_forest(&g, &f.parents), "run {i}");
+        assert_eq!(f.num_trees(), reference, "run {i}");
+    }
+}
+
+#[test]
+fn sv_repeated_runs_are_all_valid() {
+    let g = gen::mesh2d_p(40, 40, 0.55, 3);
+    let reference = count_components(&g);
+    for _ in 0..10 {
+        let f = sv::spanning_forest(&g, 4, SvConfig::default());
+        assert!(is_spanning_forest(&g, &f.parents));
+        assert_eq!(f.num_trees(), reference);
+    }
+}
+
+#[test]
+fn tiny_idle_timeout_stress() {
+    // A near-zero idle timeout maximizes detector churn (sleep/wake
+    // cycles) without changing semantics.
+    let g = gen::random_connected(2_000, 1_000, 1);
+    let cfg = Config {
+        traversal: TraversalConfig {
+            idle_timeout: std::time::Duration::from_micros(1),
+            ..TraversalConfig::default()
+        },
+        ..Config::default()
+    };
+    for _ in 0..5 {
+        let f = BaderCong::new(cfg).spanning_forest(&g, 8);
+        assert!(is_spanning_forest(&g, &f.parents));
+    }
+}
+
+#[test]
+fn aggressive_starvation_threshold_on_mixed_graph() {
+    // Threshold 2 of 8: fires almost immediately on anything
+    // non-expander; the fallback must still deliver.
+    let mut el = EdgeList::new(12_000);
+    for v in 1..10_000u32 {
+        el.push(v - 1, v); // long chain
+    }
+    for v in 10_001..12_000u32 {
+        el.push(10_000, v); // plus a star
+    }
+    el.push(9_999, 10_000);
+    let g = CsrGraph::from_edge_list(&el);
+    let cfg = Config {
+        traversal: TraversalConfig {
+            starvation_threshold: Some(2),
+            ..TraversalConfig::default()
+        },
+        ..Config::default()
+    };
+    for _ in 0..3 {
+        let f = BaderCong::new(cfg).spanning_forest(&g, 8);
+        assert!(is_spanning_forest(&g, &f.parents));
+        assert_eq!(f.num_trees(), 1);
+    }
+}
+
+#[test]
+fn steal_one_policy_under_oversubscription() {
+    let g = gen::star(4_000);
+    let cfg = Config {
+        traversal: TraversalConfig {
+            steal_policy: StealPolicy::One,
+            ..TraversalConfig::default()
+        },
+        ..Config::default()
+    };
+    let f = BaderCong::new(cfg).spanning_forest(&g, 8);
+    assert!(is_spanning_forest(&g, &f.parents));
+}
+
+#[test]
+fn many_tiny_components_in_one_session() {
+    // 1000 components of size <= 3: exercises the stub-absorption path
+    // under threads.
+    let mut el = EdgeList::new(3_000);
+    for c in 0..1_000u32 {
+        el.push(3 * c, 3 * c + 1);
+        el.push(3 * c + 1, 3 * c + 2);
+    }
+    let g = CsrGraph::from_edge_list(&el);
+    let f = BaderCong::with_defaults().spanning_forest(&g, 4);
+    assert!(is_spanning_forest(&g, &f.parents));
+    assert_eq!(f.num_trees(), 1_000);
+    // Stub absorption means no parallel rounds at all -> at most the
+    // final session barrier pair.
+    assert!(f.stats.barriers <= 2, "barriers = {}", f.stats.barriers);
+}
+
+#[test]
+fn hcs_under_oversubscription() {
+    let g = gen::random_gnm(2_000, 3_000, 11);
+    let f = st_core::hcs::spanning_forest(&g, 12);
+    assert!(is_spanning_forest(&g, &f.parents));
+}
+
+#[test]
+fn sv_lock_variant_under_contention() {
+    // The lock variant serializes on hot roots; correctness must hold
+    // under heavy contention (star graph: every edge fights for the
+    // hub's tree).
+    let g = gen::star(3_000);
+    let cfg = SvConfig {
+        variant: GraftVariant::Lock,
+        ..SvConfig::default()
+    };
+    let f = sv::spanning_forest(&g, 8, cfg);
+    assert!(is_spanning_forest(&g, &f.parents));
+}
+
+#[test]
+fn multiroot_driver_under_oversubscription() {
+    use st_core::multiroot::spanning_forest_multiroot;
+    // Heavily disconnected input, more threads than cores, repeated:
+    // the no-barrier driver with concurrent root claiming and deferred
+    // merging must stay correct under every interleaving.
+    let g = gen::mesh2d_p(50, 50, 0.55, 13);
+    let reference = count_components(&g);
+    for seed in 0..6 {
+        let cfg = TraversalConfig {
+            seed,
+            ..TraversalConfig::default()
+        };
+        let f = spanning_forest_multiroot(&g, 8, cfg);
+        assert!(is_spanning_forest(&g, &f.parents), "seed {seed}");
+        assert_eq!(f.num_trees(), reference, "seed {seed}");
+    }
+}
+
+#[test]
+fn multiroot_matches_round_driver_everywhere() {
+    use st_bench::workloads::Workload;
+    use st_core::multiroot::spanning_forest_multiroot;
+    for w in Workload::fig4_panels() {
+        let g = w.build(1_500, 11);
+        let round = BaderCong::with_defaults().spanning_forest(&g, 4);
+        let multi = spanning_forest_multiroot(&g, 4, TraversalConfig::default());
+        assert!(is_spanning_forest(&g, &multi.parents), "{}", w.id());
+        assert_eq!(round.num_trees(), multi.num_trees(), "{}", w.id());
+    }
+}
