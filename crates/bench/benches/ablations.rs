@@ -135,6 +135,45 @@ fn ablate_chunk(c: &mut Criterion) {
     group.finish();
 }
 
+/// `ablate_frontier`: the two-level work-stealing frontier. Sweeps the
+/// publication threshold from the paper's publish-everything protocol
+/// (threshold 1) to publish-never (sleeper-driven only), plus the
+/// sleeper-donation knob. The committed baseline numbers live in
+/// BENCH_traversal.json (see the `traversal-frontier` bin).
+fn ablate_frontier(c: &mut Criterion) {
+    let g = Workload::RandomM15.build(scale(), 7);
+    let mut group = c.benchmark_group("ablate_frontier");
+    group.sample_size(10);
+    for (name, threshold) in [
+        ("paper1", 1usize),
+        ("t8", 8),
+        ("t64", 64),
+        ("never", usize::MAX),
+    ] {
+        let cfg = Config {
+            traversal: TraversalConfig {
+                publish_threshold: threshold,
+                ..TraversalConfig::default()
+            },
+            ..Config::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| BaderCong::new(cfg).spanning_forest(&g, 4))
+        });
+    }
+    let no_donate = Config {
+        traversal: TraversalConfig {
+            publish_on_sleepers: false,
+            ..TraversalConfig::default()
+        },
+        ..Config::default()
+    };
+    group.bench_function("t64_no_donate", |b| {
+        b.iter(|| BaderCong::new(no_donate).spanning_forest(&g, 4))
+    });
+    group.finish();
+}
+
 /// `ablate_driver`: the paper's per-component round driver vs the
 /// multi-root concurrent extension, on a many-component input (2D60)
 /// and a single-component input (torus).
@@ -166,6 +205,7 @@ criterion_group!(
     ablate_sv_grafting,
     ablate_deg2,
     ablate_chunk,
+    ablate_frontier,
     ablate_driver
 );
 criterion_main!(benches);

@@ -7,7 +7,9 @@ use std::collections::VecDeque;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_bench::workloads::Workload;
 use st_smp::barrier::BarrierToken;
-use st_smp::{run_team, DisseminationBarrier, SenseBarrier, SpinLock, StealPolicy, TicketLock, WorkQueue};
+use st_smp::{
+    run_team, DisseminationBarrier, SenseBarrier, SpinLock, StealPolicy, TicketLock, WorkQueue,
+};
 
 /// Cost of one software-barrier episode at several team sizes — the
 /// model's λ_B term — for both barrier constructions.

@@ -197,7 +197,11 @@ fn races(opts: &Opts) {
         "{:<14} {:>9} {:>11} {:>3} {:>14} {:>14}",
         "workload", "n", "m", "p", "multi-colored", "per-million"
     );
-    for w in [Workload::RandomM15, Workload::RandomNLogN, Workload::TorusRowMajor] {
+    for w in [
+        Workload::RandomM15,
+        Workload::RandomNLogN,
+        Workload::TorusRowMajor,
+    ] {
         let g = w.build(n, opts.seed);
         for p in [2usize, 4, 8] {
             let f = BaderCong::with_defaults().spanning_forest(&g, p);
@@ -257,7 +261,10 @@ fn lockvariant(opts: &Opts) {
     // Model mode first: contention only materializes with real (or
     // modeled) parallelism; the single-core host cannot show it.
     println!("## CLAIM-LOCK — SV grafting: election vs locks (model executor)");
-    println!("{:>3} {:>14} {:>14} {:>8}", "p", "election", "lock", "ratio");
+    println!(
+        "{:>3} {:>14} {:>14} {:>8}",
+        "p", "election", "lock", "ratio"
+    );
     for p in [1usize, 2, 4, 8] {
         let e = simulate_sv(&g, p, &machine).report.predicted_seconds();
         let l = st_model::sim::simulate_sv_lock(&g, p, &machine)
@@ -274,7 +281,10 @@ fn lockvariant(opts: &Opts) {
     println!();
 
     println!("## CLAIM-LOCK — SV grafting: election vs locks (real threaded runs)");
-    println!("{:>3} {:>14} {:>14} {:>8}", "p", "election", "lock", "ratio");
+    println!(
+        "{:>3} {:>14} {:>14} {:>8}",
+        "p", "election", "lock", "ratio"
+    );
     for p in [1usize, 2, 4, 8] {
         let time = |variant| {
             let cfg = SvConfig {

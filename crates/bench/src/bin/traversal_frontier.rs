@@ -1,0 +1,201 @@
+//! The `traversal-frontier` ablation: phase-2 traversal throughput of
+//! the two-level frontier vs the paper's publish-everything protocol.
+//!
+//! ```text
+//! traversal_frontier [--scale L] [--p P] [--reps R] [--seed S] [--out FILE]
+//! ```
+//!
+//! Builds `random_connected(n = 2^L, m = 4n)` and times *only* the
+//! work-stealing traversal round (no stub phase, no driver, no degree-2
+//! preprocessing) under two configurations:
+//!
+//! * `seed` — [`TraversalConfig::paper_protocol`]: `publish_threshold
+//!   = 1`, `local_batch = 1`; every discovered vertex goes through the
+//!   shared queue, one lock acquisition per push and per pop.
+//! * `frontier` — [`TraversalConfig::default`]: the two-level frontier
+//!   with threshold publication and sleeper-driven donation.
+//!
+//! Every timed run is validated with `is_spanning_tree`; the medians and
+//! the speedup are written as JSON (default `BENCH_traversal.json`), the
+//! committed baseline the CI and the docs reference.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+use st_bench::timing::measure_with_result;
+use st_core::traversal::{Traversal, TraversalConfig, TraversalOutcome};
+use st_graph::gen::random_connected;
+use st_graph::validate::is_spanning_tree;
+use st_graph::{CsrGraph, NO_VERTEX};
+use st_smp::run_team;
+
+#[derive(Clone, Debug, Serialize)]
+struct ProtocolResult {
+    protocol: String,
+    publish_threshold: usize,
+    local_batch: usize,
+    median_s: f64,
+    min_s: f64,
+    max_s: f64,
+    steals: usize,
+    stolen_items: usize,
+    multi_colored: usize,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct FrontierReport {
+    benchmark: String,
+    workload: String,
+    n: usize,
+    m: usize,
+    p: usize,
+    reps: usize,
+    host_parallelism: usize,
+    seed_protocol: ProtocolResult,
+    two_level: ProtocolResult,
+    speedup: f64,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: traversal_frontier [--scale L] [--p P] [--reps R] [--seed S] [--out FILE]");
+    std::process::exit(2)
+}
+
+struct Opts {
+    scale: u32,
+    p: usize,
+    reps: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        scale: 20,
+        p: 8,
+        reps: 5,
+        seed: 42,
+        out: PathBuf::from("BENCH_traversal.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |what: &str| args.next().unwrap_or_else(|| usage(what));
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = need("--scale needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--scale must be an integer"))
+            }
+            "--p" => {
+                opts.p = need("--p needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--p must be an integer"))
+            }
+            "--reps" => {
+                opts.reps = need("--reps needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--reps must be an integer"))
+            }
+            "--seed" => {
+                opts.seed = need("--seed needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"))
+            }
+            "--out" => opts.out = PathBuf::from(need("--out needs a value")),
+            other => usage(&format!("unknown option {other}")),
+        }
+    }
+    opts
+}
+
+/// One validated phase-2 traversal round over connected `g`.
+fn traverse_once(g: &CsrGraph, p: usize, cfg: TraversalConfig) -> Traversal<'_> {
+    let t = Traversal::new(g, p, cfg);
+    t.begin_round();
+    t.seed(0, 0, NO_VERTEX);
+    run_team(p, |ctx| {
+        let (_, outcome) = t.run_worker(ctx.rank());
+        assert_eq!(outcome, TraversalOutcome::Completed);
+    });
+    t
+}
+
+fn run_protocol(
+    name: &str,
+    g: &CsrGraph,
+    p: usize,
+    reps: usize,
+    cfg: TraversalConfig,
+) -> ProtocolResult {
+    let (m, last) = measure_with_result(reps, || traverse_once(g, p, cfg));
+    let steals = last.steals();
+    let stolen_items = last.stolen_items();
+    let multi_colored = last.multi_colored();
+    assert!(
+        is_spanning_tree(g, &last.into_parents(), 0),
+        "{name}: invalid spanning tree"
+    );
+    eprintln!(
+        "  {name:<10} median {:.3}s  (min {:.3}s, max {:.3}s, steals {steals}, stolen {stolen_items})",
+        m.median(),
+        m.min(),
+        m.max()
+    );
+    ProtocolResult {
+        protocol: name.to_owned(),
+        publish_threshold: cfg.publish_threshold,
+        local_batch: cfg.local_batch,
+        median_s: m.median(),
+        min_s: m.min(),
+        max_s: m.max(),
+        steals,
+        stolen_items,
+        multi_colored,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let n = 1usize << opts.scale;
+    let m = 4 * n;
+    eprintln!(
+        "traversal-frontier: random_connected(n = {n}, m = {m}), p = {}, reps = {}",
+        opts.p, opts.reps
+    );
+    let g = random_connected(n, m, opts.seed);
+
+    let seed_protocol = run_protocol(
+        "seed",
+        &g,
+        opts.p,
+        opts.reps,
+        TraversalConfig::paper_protocol(),
+    );
+    let two_level = run_protocol(
+        "frontier",
+        &g,
+        opts.p,
+        opts.reps,
+        TraversalConfig::default(),
+    );
+
+    let speedup = seed_protocol.median_s / two_level.median_s;
+    eprintln!("  speedup: {speedup:.2}x");
+
+    let report = FrontierReport {
+        benchmark: "traversal-frontier".to_owned(),
+        workload: format!("random_connected({n}, {m})"),
+        n: g.num_vertices(),
+        m: g.num_edges(),
+        p: opts.p,
+        reps: opts.reps,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |c| c.get()),
+        seed_protocol,
+        two_level,
+        speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&opts.out, json + "\n").expect("write report");
+    eprintln!("wrote {}", opts.out.display());
+}

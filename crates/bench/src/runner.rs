@@ -15,6 +15,35 @@ use crate::workloads::Workload;
 /// Repetitions per wall-mode cell (median reported).
 const WALL_REPS: usize = 3;
 
+/// The Bader–Cong configuration wall-mode cells run, with the traversal
+/// frontier knobs overridable from the environment so sweeps do not need
+/// a recompile:
+///
+/// * `ST_PUBLISH_THRESHOLD` — private-buffer publication threshold
+///   (`TraversalConfig::publish_threshold`; `max` selects `usize::MAX`).
+/// * `ST_PUBLISH_ON_SLEEPERS` — `0`/`false` disables sleeper-driven
+///   publication (`TraversalConfig::publish_on_sleepers`).
+/// * `ST_LOCAL_BATCH` — owner dequeue batch
+///   (`TraversalConfig::local_batch`).
+pub fn bader_cong_wall_config() -> Config {
+    let mut cfg = Config::default();
+    if let Ok(v) = std::env::var("ST_PUBLISH_THRESHOLD") {
+        cfg.traversal.publish_threshold = if v == "max" {
+            usize::MAX
+        } else {
+            v.parse()
+                .expect("ST_PUBLISH_THRESHOLD must be an integer or `max`")
+        };
+    }
+    if let Ok(v) = std::env::var("ST_PUBLISH_ON_SLEEPERS") {
+        cfg.traversal.publish_on_sleepers = !matches!(v.as_str(), "0" | "false" | "off");
+    }
+    if let Ok(v) = std::env::var("ST_LOCAL_BATCH") {
+        cfg.traversal.local_batch = v.parse().expect("ST_LOCAL_BATCH must be an integer");
+    }
+    cfg
+}
+
 /// Which algorithm a cell runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
@@ -130,7 +159,7 @@ pub fn run_cell(
             m.median()
         }
         (Mode::Wall, Algorithm::BaderCong) => {
-            let algo = BaderCong::new(Config::default());
+            let algo = BaderCong::new(bader_cong_wall_config());
             let (m, f) =
                 crate::timing::measure_with_result(WALL_REPS, || algo.spanning_forest(g, p));
             assert_valid(g, &f.parents, workload, algorithm);
@@ -223,7 +252,14 @@ mod tests {
     fn model_mode_rejects_hcs() {
         let w = Workload::ChainSeq;
         let g = w.build(50, 0);
-        run_cell(w, &g, Algorithm::Hcs, 2, Mode::Model, &MachineProfile::e4500());
+        run_cell(
+            w,
+            &g,
+            Algorithm::Hcs,
+            2,
+            Mode::Model,
+            &MachineProfile::e4500(),
+        );
     }
 
     #[test]

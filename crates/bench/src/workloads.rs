@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn ids_roundtrip() {
-        for w in Workload::fig4_panels().into_iter().chain([Workload::RandomM15]) {
+        for w in Workload::fig4_panels()
+            .into_iter()
+            .chain([Workload::RandomM15])
+        {
             assert_eq!(Workload::from_id(w.id()), Some(w));
         }
         assert_eq!(Workload::from_id("nope"), None);

@@ -428,7 +428,10 @@ mod tests {
             ..Config::default()
         };
         let f = BaderCong::new(cfg).spanning_forest(&g, 4);
-        assert!(is_spanning_forest(&g, &f.parents), "fallback forest invalid");
+        assert!(
+            is_spanning_forest(&g, &f.parents),
+            "fallback forest invalid"
+        );
     }
 
     #[test]

@@ -513,7 +513,9 @@ mod tests {
     /// stack): an independent oracle for the whole block *partition*,
     /// not just bridges/articulations. Returns, for each undirected
     /// edge (canonical (min, max)), a block id.
-    fn blocks_hopcroft_tarjan(g: &CsrGraph) -> std::collections::HashMap<(VertexId, VertexId), u32> {
+    fn blocks_hopcroft_tarjan(
+        g: &CsrGraph,
+    ) -> std::collections::HashMap<(VertexId, VertexId), u32> {
         let n = g.num_vertices();
         let mut disc = vec![u32::MAX; n];
         let mut low = vec![0u32; n];

@@ -207,7 +207,10 @@ mod tests {
 
     fn check(g: &CsrGraph, p: usize) -> SpanningForest {
         let f = spanning_forest(g, p);
-        assert!(is_spanning_forest(g, &f.parents), "invalid HCS forest p={p}");
+        assert!(
+            is_spanning_forest(g, &f.parents),
+            "invalid HCS forest p={p}"
+        );
         f
     }
 

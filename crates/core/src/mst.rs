@@ -58,10 +58,8 @@ pub struct MstResult {
 /// ```
 pub fn kruskal(wg: &WeightedGraph) -> MstResult {
     let n = wg.num_vertices();
-    let mut edges: Vec<(Weight, VertexId, VertexId)> = wg
-        .weighted_edges()
-        .map(|(u, v, w)| (w, u, v))
-        .collect();
+    let mut edges: Vec<(Weight, VertexId, VertexId)> =
+        wg.weighted_edges().map(|(u, v, w)| (w, u, v)).collect();
     edges.sort_unstable();
     let mut dsu = DisjointSets::new(n);
     let mut tree_edges = Vec::new();

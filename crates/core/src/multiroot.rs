@@ -48,11 +48,7 @@ const UNCLAIMED: u32 = 0;
 /// `cfg.starvation_threshold` is ignored (there is no fallback: idle
 /// processors claim new roots instead of starving); the steal policy,
 /// idle timeout, and seed apply as in the round driver.
-pub fn spanning_forest_multiroot(
-    g: &CsrGraph,
-    p: usize,
-    cfg: TraversalConfig,
-) -> SpanningForest {
+pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -> SpanningForest {
     assert!(p > 0, "need at least one processor");
     let n = g.num_vertices();
     if n == 0 {
@@ -66,8 +62,9 @@ pub fn spanning_forest_multiroot(
     // color[v]: UNCLAIMED, or 1 + the id of the root whose tree claimed v.
     let color = AtomicU32Array::new(n, UNCLAIMED);
     let parent = AtomicU32Array::new(n, st_graph::NO_VERTEX);
-    let queues: Vec<CacheAligned<WorkQueue<VertexId>>> =
-        (0..p).map(|_| CacheAligned::new(WorkQueue::new())).collect();
+    let queues: Vec<CacheAligned<WorkQueue<VertexId>>> = (0..p)
+        .map(|_| CacheAligned::new(WorkQueue::new()))
+        .collect();
     let detector = TerminationDetector::new(p);
     let cursor = AtomicUsize::new(0);
     let steals = AtomicUsize::new(0);

@@ -6,7 +6,10 @@
 //! forest itself. We run that traversal with the same parallel
 //! work-stealing engine as the main algorithm (one team session, one
 //! round per forest component), so the SV/HCS pipelines stay parallel
-//! end to end.
+//! end to end. The orientation inherits the engine's two-level frontier
+//! (see [`crate::traversal`]'s module docs): tree adjacency is sparse,
+//! exactly the regime where batching publication away from the shared
+//! queues pays off.
 
 use st_graph::{CsrGraph, EdgeList, VertexId, NO_VERTEX};
 

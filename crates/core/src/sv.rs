@@ -93,7 +93,10 @@ pub fn sv_core(g: &CsrGraph, p: usize, init: Option<&[VertexId]>, cfg: SvConfig)
     let n = g.num_vertices();
     let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
     let m = edges.len();
-    assert!(m < (u32::MAX as usize) / 2, "edge count exceeds election code space");
+    assert!(
+        m < (u32::MAX as usize) / 2,
+        "edge count exceeds election code space"
+    );
 
     let d = match init {
         Some(init) => {

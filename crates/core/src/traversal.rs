@@ -18,6 +18,31 @@
 //! the collisions (`multi_colored`) to reproduce the paper's "fewer than
 //! ten vertices in millions" measurement.
 //!
+//! ## The two-level frontier (deviation from the paper's protocol)
+//!
+//! The paper's protocol pushes every newly discovered vertex straight
+//! into the owner's shared queue, paying one lock acquisition per vertex
+//! even when nobody is stealing. This engine splits the frontier into
+//! two levels:
+//!
+//! * **Level 1 — private buffer.** Each worker owns an unsynchronized
+//!   `Vec` that newly discovered vertices land in and that the worker
+//!   pops from without any atomic operation.
+//! * **Level 2 — shared queue.** The per-worker [`WorkQueue`] of the
+//!   paper, from which thieves steal. Surplus moves from level 1 to
+//!   level 2 in one batched [`push_all`](WorkQueue::push_all) when the
+//!   private buffer reaches [`TraversalConfig::publish_threshold`], or
+//!   as soon as the termination detector reports sleeping processors
+//!   ([`TraversalConfig::publish_on_sleepers`]).
+//!
+//! `publish_threshold = 1` publishes every discovery immediately and
+//! reproduces the paper's shared-queue protocol exactly. Steal and
+//! starvation semantics are unchanged in all configurations: a worker's
+//! private buffer is always empty before it registers as idle with the
+//! detector, so quiescence ("all asleep") still implies every vertex has
+//! been processed, and sleeper-driven publication guarantees thieves see
+//! any surplus before the starvation threshold can misfire.
+//!
 //! The engine is also reused to orient Shiloach–Vishkin's undirected
 //! tree-edge output into rooted parent arrays (see [`crate::orient`]),
 //! which keeps the SV pipeline parallel end to end.
@@ -54,6 +79,20 @@ pub struct TraversalConfig {
     /// protocol exactly; larger batches amortize lock traffic at the
     /// cost of making the in-flight batch unstealable.
     pub local_batch: usize,
+    /// Private-buffer size at which a worker publishes surplus frontier
+    /// vertices to its shared stealable queue (see the module docs).
+    /// `1` publishes every discovery immediately — the paper's protocol;
+    /// `usize::MAX` publishes only when sleepers demand it (assuming
+    /// [`publish_on_sleepers`](Self::publish_on_sleepers) stays on).
+    /// Clamped to at least 1.
+    pub publish_threshold: usize,
+    /// Publish the whole private buffer (and wake the sleepers) whenever
+    /// the termination detector reports sleeping processors, regardless
+    /// of the threshold. Keeps steal/starvation behavior equivalent to
+    /// the paper's protocol; turning it off is only safe because idle
+    /// sleepers re-scan on a timeout, but it delays work distribution
+    /// and is exposed for ablation only.
+    pub publish_on_sleepers: bool,
 }
 
 impl Default for TraversalConfig {
@@ -64,6 +103,22 @@ impl Default for TraversalConfig {
             starvation_threshold: None,
             seed: 0x5eed,
             local_batch: 1,
+            publish_threshold: 64,
+            publish_on_sleepers: true,
+        }
+    }
+}
+
+impl TraversalConfig {
+    /// The paper's per-vertex shared-queue protocol: every discovered
+    /// vertex is published (and stealable) immediately, and the owner
+    /// dequeues one vertex per lock acquisition. This is the seed
+    /// configuration the `traversal-frontier` benchmark compares against.
+    pub fn paper_protocol() -> Self {
+        Self {
+            publish_threshold: 1,
+            local_batch: 1,
+            ..Self::default()
         }
     }
 }
@@ -109,7 +164,9 @@ impl<'g> Traversal<'g> {
             g,
             color: st_smp::AtomicU32Array::new(n, UNCOLORED),
             parent: st_smp::AtomicU32Array::new(n, st_graph::NO_VERTEX),
-            queues: (0..p).map(|_| CacheAligned::new(WorkQueue::new())).collect(),
+            queues: (0..p)
+                .map(|_| CacheAligned::new(WorkQueue::new()))
+                .collect(),
             detector,
             cfg,
             starved: AtomicBool::new(false),
@@ -152,7 +209,10 @@ impl<'g> Traversal<'g> {
     /// rounds. Must only be called while no worker is inside
     /// [`run_worker`](Self::run_worker) (i.e. between barriers).
     pub fn begin_round(&self) {
-        debug_assert!(self.queues.iter().all(|q| q.is_empty() || !self.starved.load(Ordering::Relaxed)));
+        debug_assert!(self
+            .queues
+            .iter()
+            .all(|q| q.is_empty() || !self.starved.load(Ordering::Relaxed)));
         self.detector.reset();
         self.starved.store(false, Ordering::Release);
     }
@@ -170,23 +230,49 @@ impl<'g> Traversal<'g> {
         );
         let mut processed = 0usize;
         let batch_size = self.cfg.local_batch.max(1);
-        // Owner-local batch: vertices dequeued but not yet processed.
-        // With the default batch of 1 this stays empty and the protocol
-        // is exactly Alg. 1.
-        let mut batch: VecDeque<VertexId> = VecDeque::new();
+        let publish_threshold = self.cfg.publish_threshold.max(1);
+        // On a threshold publication, keep the newest half of the buffer
+        // private: those vertices are cache-hot and about to be popped.
+        // Threshold 1 keeps nothing — publish-everything, the paper's
+        // protocol.
+        let keep_after_publish = publish_threshold / 2;
+        // Shared-queue refills pull at least half a threshold's worth so
+        // the owner does not re-acquire the lock per vertex to drain its
+        // own published surplus. With the paper protocol (threshold 1)
+        // this degenerates to `local_batch`, preserving the seed
+        // semantics; refilled vertices land in the private buffer and so
+        // remain eligible for sleeper-driven re-publication.
+        let refill_size = batch_size.max(keep_after_publish);
+        // Level 1 of the frontier: the owner-private LIFO buffer. No
+        // synchronization; invisible to thieves until published. Always
+        // fully drained before this worker registers as idle, which is
+        // what keeps quiescence detection sound.
+        let mut private: Vec<VertexId> = Vec::with_capacity(publish_threshold.min(1 << 12));
+        // Scratch buffers hoisted out of the hot loops: one for shared-
+        // queue refills, one for steal sweeps.
+        let mut refill: VecDeque<VertexId> = VecDeque::new();
+        let mut steal_buf: VecDeque<VertexId> = VecDeque::new();
 
         loop {
-            // Drain local work (Alg. 1 lines 2.1-2.7).
+            // Drain the frontier (Alg. 1 lines 2.1-2.7): private buffer
+            // first (no lock), then the shared queue.
             loop {
-                let v = match batch.pop_front() {
+                let v = match private.pop() {
                     Some(v) => v,
                     None => {
-                        if my_q.pop_chunk(&mut batch, batch_size) == 0 {
+                        if my_q.pop_chunk(&mut refill, refill_size) == 0 {
                             break;
                         }
-                        batch.pop_front().expect("pop_chunk reported items")
+                        private.extend(refill.drain(..));
+                        private.pop().expect("pop_chunk reported items")
                     }
                 };
+                // We already know the next vertex we will expand; request
+                // its CSR row now so its neighbor list arrives while we
+                // chase this one's.
+                if let Some(&next) = private.last() {
+                    self.g.prefetch_neighbors(next);
+                }
                 for &w in self.g.neighbors(v) {
                     if self.color.load(w as usize, Ordering::Acquire) == UNCOLORED {
                         if !self.color.try_claim(w as usize, UNCOLORED, my_label) {
@@ -196,22 +282,44 @@ impl<'g> Traversal<'g> {
                             // does — overwrite the parent and enqueue.
                             self.multi_colored.fetch_add(1, Ordering::Relaxed);
                         }
-                        self.parent.store(w as usize, v, Ordering::Release);
-                        my_q.push(w);
+                        // Relaxed: the color CAS above is the publishing
+                        // store for w. Cross-thread reads of `parent`
+                        // only happen after the team joins or behind the
+                        // round barrier, both of which order all prior
+                        // writes.
+                        self.parent.store(w as usize, v, Ordering::Relaxed);
+                        private.push(w);
                     }
                 }
                 processed += 1;
-                // Wake sleepers when we have surplus stealable work.
-                if self.detector.approx_sleeping() > 0 && my_q.approx_len() > 1 {
+                // Level 2: publish surplus in one batched push when the
+                // private buffer overflows, or donate everything as soon
+                // as sleepers are waiting for work.
+                let sleepers = self.detector.approx_sleeping() > 0;
+                let overflow = private.len() >= publish_threshold;
+                if overflow || (self.cfg.publish_on_sleepers && sleepers) {
+                    let keep = if overflow { keep_after_publish } else { 0 };
+                    if private.len() > keep {
+                        // Publish the oldest entries (the bottom of the
+                        // stack); the newest stay private and cache-hot.
+                        let surplus = private.len() - keep;
+                        my_q.push_all(private.drain(..surplus));
+                    }
+                }
+                if sleepers && my_q.approx_len() > 1 {
                     self.detector.notify_work();
                 }
                 if self.starved.load(Ordering::Acquire) {
                     return (processed, TraversalOutcome::Starved);
                 }
             }
+            debug_assert!(
+                private.is_empty(),
+                "private frontier must be drained before idling"
+            );
 
-            // Local queue empty: try to steal.
-            if self.try_steal(rank, p, &mut rng) {
+            // Local queues empty: try to steal.
+            if self.try_steal(rank, p, &mut rng, &mut steal_buf) {
                 continue;
             }
 
@@ -228,12 +336,19 @@ impl<'g> Traversal<'g> {
 
     /// One steal sweep: a few random probes, then a deterministic scan.
     /// Stolen items land in our own queue (so they stay stealable by
-    /// others). Returns true when anything was stolen.
-    fn try_steal(&self, rank: usize, p: usize, rng: &mut SmallRng) -> bool {
+    /// others). `buf` is caller-owned scratch (always left empty) so a
+    /// round's many sweeps share one allocation. Returns true when
+    /// anything was stolen.
+    fn try_steal(
+        &self,
+        rank: usize,
+        p: usize,
+        rng: &mut SmallRng,
+        buf: &mut VecDeque<VertexId>,
+    ) -> bool {
         if p == 1 {
             return false;
         }
-        let mut buf = VecDeque::new();
         // Random probes (the paper: "randomly checks other processors'
         // queues").
         for _ in 0..p {
@@ -241,16 +356,22 @@ impl<'g> Traversal<'g> {
             if victim == rank || self.queues[victim].appears_empty() {
                 continue;
             }
-            let got = self.queues[victim].steal_into(&mut buf, self.cfg.steal_policy);
+            let got = self.queues[victim].steal_into(buf, self.cfg.steal_policy);
             if got > 0 {
                 self.finish_steal(rank, buf, got);
                 return true;
             }
         }
         // Deterministic sweep so a lone victim cannot be missed forever.
+        // The appears_empty fast path is safe here: a stale emptiness
+        // answer only delays this sweep, and the idle loop retries after
+        // `idle_timeout` until the detector proves global quiescence.
         for offset in 1..p {
             let victim = (rank + offset) % p;
-            let got = self.queues[victim].steal_into(&mut buf, self.cfg.steal_policy);
+            if self.queues[victim].appears_empty() {
+                continue;
+            }
+            let got = self.queues[victim].steal_into(buf, self.cfg.steal_policy);
             if got > 0 {
                 self.finish_steal(rank, buf, got);
                 return true;
@@ -259,8 +380,8 @@ impl<'g> Traversal<'g> {
         false
     }
 
-    fn finish_steal(&self, rank: usize, buf: VecDeque<VertexId>, got: usize) {
-        self.queues[rank].push_all(buf);
+    fn finish_steal(&self, rank: usize, buf: &mut VecDeque<VertexId>, got: usize) {
+        self.queues[rank].push_all(buf.drain(..));
         self.steals.fetch_add(1, Ordering::Relaxed);
         self.stolen_items.fetch_add(got, Ordering::Relaxed);
     }
@@ -484,6 +605,75 @@ mod tests {
         };
         let t = traverse(&g, 2, 0, cfg);
         assert!(is_spanning_tree(&g, &t.into_parents(), 0));
+    }
+
+    #[test]
+    fn paper_protocol_matches_default_results() {
+        // publish_threshold = 1 publishes every discovery immediately:
+        // the seed protocol. Both configurations must produce valid
+        // trees on the same inputs.
+        let g = random_connected(3_000, 4_500, 23);
+        for p in [1, 2, 4] {
+            let t = traverse(&g, p, 0, TraversalConfig::paper_protocol());
+            assert!(is_spanning_tree(&g, &t.into_parents(), 0), "paper p={p}");
+            let t = traverse(&g, p, 0, TraversalConfig::default());
+            assert!(is_spanning_tree(&g, &t.into_parents(), 0), "default p={p}");
+        }
+    }
+
+    #[test]
+    fn published_but_unstolen_work_is_drained() {
+        // With p = 1 nothing is ever stolen, so every vertex the worker
+        // publishes past the threshold must be drained back from its own
+        // shared queue before the round can complete.
+        let g = star(2_000);
+        let cfg = TraversalConfig {
+            publish_threshold: 4,
+            ..TraversalConfig::default()
+        };
+        let t = traverse(&g, 1, 0, cfg);
+        assert_eq!(t.steals(), 0);
+        assert!(is_spanning_tree(&g, &t.into_parents(), 0));
+    }
+
+    #[test]
+    fn never_publish_threshold_still_terminates() {
+        // usize::MAX never overflows the private buffer; publication is
+        // purely sleeper-driven, and with sleepers disabled too the
+        // worker simply runs the whole component privately.
+        let g = random_connected(2_000, 3_000, 29);
+        for publish_on_sleepers in [true, false] {
+            let cfg = TraversalConfig {
+                publish_threshold: usize::MAX,
+                publish_on_sleepers,
+                ..TraversalConfig::default()
+            };
+            let t = traverse(&g, 4, 0, cfg);
+            assert!(
+                is_spanning_tree(&g, &t.into_parents(), 0),
+                "publish_on_sleepers={publish_on_sleepers}"
+            );
+        }
+    }
+
+    #[test]
+    fn starvation_still_fires_with_two_level_frontier() {
+        // The private buffer must not hide the chain's serial frontier
+        // from the starvation detector.
+        let g = chain(50_000);
+        let cfg = TraversalConfig {
+            starvation_threshold: Some(3),
+            publish_threshold: 256,
+            ..TraversalConfig::default()
+        };
+        let t = Traversal::new(&g, 4, cfg);
+        t.begin_round();
+        t.seed(0, 0, NO_VERTEX);
+        let outcomes = run_team(4, |ctx| t.run_worker(ctx.rank()).1);
+        assert!(
+            outcomes.iter().all(|&o| o == TraversalOutcome::Starved),
+            "expected starvation, got {outcomes:?}"
+        );
     }
 
     #[test]

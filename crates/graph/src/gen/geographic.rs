@@ -34,7 +34,8 @@ impl GeoFlatParams {
     pub fn with_target_degree(n: usize, target_degree: f64) -> Self {
         let alpha = 0.9;
         let beta = 0.5;
-        let kernel = 2.0 * std::f64::consts::PI
+        let kernel = 2.0
+            * std::f64::consts::PI
             * beta
             * beta
             * (1.0 - (-1.0 / beta).exp() * (1.0 + 1.0 / beta));
@@ -65,7 +66,9 @@ pub fn geographic_flat(n: usize, params: GeoFlatParams, seed: u64) -> CsrGraph {
         "alpha must be a probability"
     );
     let mut rng = rng_from_seed(seed);
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     // Bucket grid with cell size >= radius, so candidate pairs live in the
     // 3 x 3 cell neighborhood.
@@ -112,7 +115,10 @@ pub fn geographic_flat(n: usize, params: GeoFlatParams, seed: u64) -> CsrGraph {
             for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
                 let nx = cx as isize + dx;
                 let ny = cy as isize + dy;
-                if nx < 0 || ny < 0 || nx as usize >= cells_per_side || ny as usize >= cells_per_side
+                if nx < 0
+                    || ny < 0
+                    || nx as usize >= cells_per_side
+                    || ny as usize >= cells_per_side
                 {
                     continue;
                 }

@@ -21,7 +21,9 @@ pub fn geometric_knn(n: usize, k: usize, seed: u64) -> CsrGraph {
         return CsrGraph::empty(n);
     }
     let mut rng = rng_from_seed(seed);
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let grid = PointGrid::build(&points, (k + 1) as f64);
 
     let mut b = GraphBuilder::with_capacity(n, n * k);
@@ -183,8 +185,9 @@ mod tests {
     #[test]
     fn grid_knn_matches_brute_force() {
         let mut rng = rng_from_seed(77);
-        let points: Vec<(f64, f64)> =
-            (0..200).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let points: Vec<(f64, f64)> = (0..200)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let grid = PointGrid::build(&points, 4.0);
         let mut out = Vec::new();
         for i in 0..points.len() {

@@ -64,7 +64,8 @@ impl Reduction {
     /// Summary statistics.
     pub fn stats(&self) -> ReductionStats {
         ReductionStats {
-            eliminated: self.original_to_reduced
+            eliminated: self
+                .original_to_reduced
                 .iter()
                 .filter(|&&r| r == NO_VERTEX)
                 .count(),
@@ -415,7 +416,7 @@ mod tests {
         el.push(4, 5);
         el.push(5, 6);
         el.push(6, 4); // triangle 4-5-6
-        // 7, 8, 9 isolated
+                       // 7, 8, 9 isolated
         let g = CsrGraph::from_edge_list(&el);
         roundtrip(&g);
     }

@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn builder_dedups() {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(0, 1).add_edge(1, 0).add_edge(1, 1).add_edge(1, 2);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(1, 1)
+            .add_edge(1, 2);
         let g = b.build();
         assert_eq!(g.num_edges(), 2);
         assert!(g.has_no_self_loops());

@@ -232,6 +232,36 @@ impl CsrGraph {
         &self.targets[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// Hints the CPU to pull the start of `v`'s neighbor list into cache.
+    ///
+    /// The traversal engine calls this for the *next* frontier vertex
+    /// while it expands the current one, hiding the CSR row's memory
+    /// latency behind useful work. Purely a performance hint: a no-op on
+    /// non-x86_64 targets and for out-of-range ids, and never required
+    /// for correctness.
+    #[inline]
+    pub fn prefetch_neighbors(&self, v: VertexId) {
+        let v = v as usize;
+        if v + 1 >= self.offsets.len() {
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let lo = self.offsets[v];
+            if lo < self.targets.len() {
+                // SAFETY: `lo < targets.len()` makes the address in
+                // bounds, and prefetch has no architectural effect beyond
+                // the cache regardless.
+                unsafe {
+                    std::arch::x86_64::_mm_prefetch(
+                        self.targets.as_ptr().add(lo) as *const i8,
+                        std::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+            }
+        }
+    }
+
     /// Iterator over all vertex ids `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {

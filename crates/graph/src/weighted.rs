@@ -158,10 +158,8 @@ mod tests {
 
     #[test]
     fn duplicates_keep_min_weight_and_loops_drop() {
-        let wg = WeightedGraph::from_weighted_edges(
-            3,
-            vec![(0, 1, 9), (1, 0, 4), (0, 1, 6), (2, 2, 1)],
-        );
+        let wg =
+            WeightedGraph::from_weighted_edges(3, vec![(0, 1, 9), (1, 0, 4), (0, 1, 6), (2, 2, 1)]);
         assert_eq!(wg.num_edges(), 1);
         assert_eq!(wg.neighbors(0).next().unwrap().1, 4);
     }

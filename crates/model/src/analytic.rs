@@ -100,7 +100,10 @@ mod tests {
     fn sv_does_asymptotically_more_work() {
         let new = new_algorithm(N, M, 8);
         let sv = sv_worst_case(N, M, 8);
-        assert!(sv.t_m > 10.0 * new.t_m, "SV should cost ≫ the new algorithm");
+        assert!(
+            sv.t_m > 10.0 * new.t_m,
+            "SV should cost ≫ the new algorithm"
+        );
         assert!(sv.b > new.b);
     }
 

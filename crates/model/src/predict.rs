@@ -147,7 +147,12 @@ mod tests {
     #[test]
     fn missing_p_returns_none() {
         let g = random_gnm(512, 700, 1);
-        let c = speedup_curve(&g, SimAlgorithm::BaderCong, &[2, 4], &MachineProfile::e4500());
+        let c = speedup_curve(
+            &g,
+            SimAlgorithm::BaderCong,
+            &[2, 4],
+            &MachineProfile::e4500(),
+        );
         assert!(c.speedup_at(16).is_none());
         assert!(c.efficiency_at(16).is_none());
     }

@@ -21,7 +21,10 @@ pub(crate) const MEM_PER_EDGE: u64 = 2;
 
 /// Simulates the sequential BFS spanning forest under `machine`,
 /// returning its cost report and the forest parents (for validation).
-pub fn simulate_sequential_bfs(g: &CsrGraph, machine: &MachineProfile) -> (CostReport, Vec<VertexId>) {
+pub fn simulate_sequential_bfs(
+    g: &CsrGraph,
+    machine: &MachineProfile,
+) -> (CostReport, Vec<VertexId>) {
     let n = g.num_vertices();
     let mut report = CostReport::new(1, machine);
     let mut parents = vec![NO_VERTEX; n];

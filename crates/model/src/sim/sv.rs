@@ -56,23 +56,26 @@ pub fn simulate_sv(g: &CsrGraph, p: usize, machine: &MachineProfile) -> SvSimOut
 
     // Adds a barrier-terminated phase where processor `r` pays
     // `mem_per_item`/`ops_per_item` over its block of `total` items.
-    let charge_phase =
-        |report: &mut CostReport, makespan_ns: &mut f64, total: usize, mem_per_item: u64, ops_per_item: u64| {
-            let mut max = PhaseCost::default();
-            for rank in 0..p {
-                let items = block_range(rank, p, total).len() as u64;
-                let cost = PhaseCost {
-                    mem: mem_per_item * items,
-                    ops: ops_per_item * items,
-                };
-                report.per_proc_mem[rank] += cost.mem;
-                report.per_proc_ops[rank] += cost.ops;
-                max.mem = max.mem.max(cost.mem);
-                max.ops = max.ops.max(cost.ops);
-            }
-            *makespan_ns += max.ns(machine, p);
-            report.barriers += 1;
-        };
+    let charge_phase = |report: &mut CostReport,
+                        makespan_ns: &mut f64,
+                        total: usize,
+                        mem_per_item: u64,
+                        ops_per_item: u64| {
+        let mut max = PhaseCost::default();
+        for rank in 0..p {
+            let items = block_range(rank, p, total).len() as u64;
+            let cost = PhaseCost {
+                mem: mem_per_item * items,
+                ops: ops_per_item * items,
+            };
+            report.per_proc_mem[rank] += cost.mem;
+            report.per_proc_ops[rank] += cost.ops;
+            max.mem = max.mem.max(cost.mem);
+            max.ops = max.ops.max(cost.ops);
+        }
+        *makespan_ns += max.ns(machine, p);
+        report.barriers += 1;
+    };
 
     loop {
         iterations += 1;

@@ -60,20 +60,19 @@ pub fn simulate_sv_lock(g: &CsrGraph, p: usize, machine: &MachineProfile) -> SvS
     // Scratch: lock attempts per root this iteration.
     let mut attempts: Vec<u32> = vec![0; n];
 
-    let charge_phase = |report: &mut CostReport,
-                            makespan_ns: &mut f64,
-                            per_rank: &dyn Fn(usize) -> PhaseCost| {
-        let mut max = PhaseCost::default();
-        for rank in 0..p {
-            let cost = per_rank(rank);
-            report.per_proc_mem[rank] += cost.mem;
-            report.per_proc_ops[rank] += cost.ops;
-            max.mem = max.mem.max(cost.mem);
-            max.ops = max.ops.max(cost.ops);
-        }
-        *makespan_ns += max.ns(machine, p);
-        report.barriers += 1;
-    };
+    let charge_phase =
+        |report: &mut CostReport, makespan_ns: &mut f64, per_rank: &dyn Fn(usize) -> PhaseCost| {
+            let mut max = PhaseCost::default();
+            for rank in 0..p {
+                let cost = per_rank(rank);
+                report.per_proc_mem[rank] += cost.mem;
+                report.per_proc_ops[rank] += cost.ops;
+                max.mem = max.mem.max(cost.mem);
+                max.ops = max.ops.max(cost.ops);
+            }
+            *makespan_ns += max.ns(machine, p);
+            report.barriers += 1;
+        };
 
     loop {
         iterations += 1;

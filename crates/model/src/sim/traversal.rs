@@ -119,7 +119,12 @@ pub fn simulate_bader_cong(
         while stub.len() < target {
             let Some(&cur) = path.last() else { break };
             candidates.clear();
-            candidates.extend(g.neighbors(cur).iter().copied().filter(|&w| !colored[w as usize]));
+            candidates.extend(
+                g.neighbors(cur)
+                    .iter()
+                    .copied()
+                    .filter(|&w| !colored[w as usize]),
+            );
             if candidates.is_empty() {
                 path.pop();
                 continue;
@@ -244,7 +249,12 @@ mod tests {
     use st_graph::validate::is_spanning_forest;
 
     fn sim(g: &CsrGraph, p: usize) -> TraversalSimOutput {
-        let out = simulate_bader_cong(g, p, TraversalSimConfig::default(), &MachineProfile::e4500());
+        let out = simulate_bader_cong(
+            g,
+            p,
+            TraversalSimConfig::default(),
+            &MachineProfile::e4500(),
+        );
         assert!(
             is_spanning_forest(g, &out.parents),
             "simulated forest invalid at p = {p}"

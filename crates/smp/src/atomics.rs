@@ -98,7 +98,11 @@ impl AtomicU32Array {
 
 impl From<AtomicU32Array> for Vec<u32> {
     fn from(arr: AtomicU32Array) -> Self {
-        arr.cells.into_vec().into_iter().map(|c| c.into_inner()).collect()
+        arr.cells
+            .into_vec()
+            .into_iter()
+            .map(|c| c.into_inner())
+            .collect()
     }
 }
 
@@ -135,8 +139,9 @@ mod tests {
         const P: usize = 8;
         const N: usize = 1000;
         let a = AtomicU32Array::new(N, u32::MAX);
-        let wins: Vec<std::sync::atomic::AtomicUsize> =
-            (0..P).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+        let wins: Vec<std::sync::atomic::AtomicUsize> = (0..P)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
         crossbeam::thread::scope(|s| {
             for rank in 0..P {
                 let a = &a;

@@ -39,8 +39,8 @@ pub mod team;
 
 pub use atomics::AtomicU32Array;
 pub use barrier::{BarrierToken, SenseBarrier};
-pub use dissemination::{DisseminationBarrier, DisseminationToken};
 pub use detect::{IdleOutcome, TerminationDetector};
+pub use dissemination::{DisseminationBarrier, DisseminationToken};
 pub use lock::{SpinLock, TicketLock};
 pub use pad::CacheAligned;
 pub use steal::{StealPolicy, WorkQueue};

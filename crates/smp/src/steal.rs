@@ -163,9 +163,18 @@ impl<T> WorkQueue<T> {
         self.deque.lock().len()
     }
 
-    /// True when the queue is exactly empty (takes the lock).
+    /// True when the queue is empty.
+    ///
+    /// Lock-free: reads the `approx_len` mirror, which every mutating
+    /// operation updates *before* releasing the queue lock, so the answer
+    /// is exact whenever no operation is concurrently in flight. Under
+    /// concurrency it may lag by one in-flight operation — callers that
+    /// need an exact answer mid-flight must use [`len`](Self::len). The
+    /// traversal engine only consults this at quiescent points (between
+    /// round barriers) and in idle sweeps that tolerate staleness by
+    /// retrying.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.appears_empty()
     }
 }
 

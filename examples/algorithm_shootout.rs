@@ -56,7 +56,13 @@ fn main() {
         let (hcs_ms, c6) = time(&|| hcs::spanning_forest(&g, p));
 
         // Every algorithm must agree on the number of components.
-        for (name, c) in [("dfs", c2), ("bc", c3), ("sv", c4), ("sv-lock", c5), ("hcs", c6)] {
+        for (name, c) in [
+            ("dfs", c2),
+            ("bc", c3),
+            ("sv", c4),
+            ("sv-lock", c5),
+            ("hcs", c6),
+        ] {
             assert_eq!(c, comps, "{name} disagrees on components for {}", w.id());
         }
 

@@ -37,7 +37,10 @@ fn main() {
         Workload::ChainSeq,
     ] {
         let g = w.build(n, 42);
-        for (name, algo) in [("bader-cong", SimAlgorithm::BaderCong), ("sv", SimAlgorithm::Sv)] {
+        for (name, algo) in [
+            ("bader-cong", SimAlgorithm::BaderCong),
+            ("sv", SimAlgorithm::Sv),
+        ] {
             let c = speedup_curve(&g, algo, &PS, &machine);
             let s = |p| c.speedup_at(p).unwrap_or(f64::NAN);
             let e = |p| c.efficiency_at(p).unwrap_or(f64::NAN);

@@ -82,7 +82,9 @@ fn main() {
     println!(
         "  sv iterations: {} (vs {} with construction order)",
         sv_row.stats.iterations,
-        sv::spanning_forest(&hier, p, SvConfig::default()).stats.iterations
+        sv::spanning_forest(&hier, p, SvConfig::default())
+            .stats
+            .iterations
     );
     let f = BaderCong::with_defaults().spanning_forest(&shuffled, p);
     assert!(is_spanning_forest(&shuffled, &f.parents));

@@ -19,8 +19,14 @@ fn main() {
     let p = 4;
 
     for (name, g) in [
-        ("2D60 (256x256 mesh, 60% links alive)", gen::mesh2d_p(256, 256, 0.6, 11)),
-        ("3D40 (40x40x40 mesh, 40% links alive)", gen::mesh3d_p(40, 40, 40, 0.4, 11)),
+        (
+            "2D60 (256x256 mesh, 60% links alive)",
+            gen::mesh2d_p(256, 256, 0.6, 11),
+        ),
+        (
+            "3D40 (40x40x40 mesh, 40% links alive)",
+            gen::mesh3d_p(40, 40, 40, 0.4, 11),
+        ),
     ] {
         println!("\n== {name}");
         println!(

@@ -14,7 +14,10 @@ fn main() {
     let p = 4;
 
     for (name, g) in [
-        ("random graph (n = 50k, m = 100k)", gen::random_gnm(50_000, 100_000, 3)),
+        (
+            "random graph (n = 50k, m = 100k)",
+            gen::random_gnm(50_000, 100_000, 3),
+        ),
         ("2D torus 224x224", gen::torus2d(224, 224)),
         ("AD3 geometric (n = 50k)", gen::ad3(50_000, 3)),
     ] {
@@ -51,8 +54,7 @@ fn main() {
 
         // The Boruvka forest is also a valid spanning forest of the
         // topology — reuse the spanning-tree machinery to check.
-        let parents =
-            st_core::orient::orient_forest(wg.num_vertices(), &b.tree_edges, p);
+        let parents = st_core::orient::orient_forest(wg.num_vertices(), &b.tree_edges, p);
         assert!(is_spanning_forest(wg.topology(), &parents));
         println!("   orientation + spanning-forest validation ✓");
     }

@@ -61,5 +61,9 @@ fn main() {
     analyze("hierarchical geographic network", &g, p);
 
     // A torus has no single point of failure at all.
-    analyze("2D torus (fully redundant fabric)", &gen::torus2d(100, 100), p);
+    analyze(
+        "2D torus (fully redundant fabric)",
+        &gen::torus2d(100, 100),
+        p,
+    );
 }

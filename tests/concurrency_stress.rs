@@ -126,6 +126,65 @@ fn many_tiny_components_in_one_session() {
 }
 
 #[test]
+fn publish_threshold_sweep() {
+    // The two-level frontier across its whole operating range: the
+    // paper's publish-everything protocol (1), small and default
+    // thresholds, and publish-never (sleeper-driven donation only),
+    // on the three canonical topologies, oversubscribed.
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("star", gen::star(4_000)),
+        ("chain", gen::chain(4_000)),
+        ("random", gen::random_connected(4_000, 8_000, 17)),
+    ];
+    for (name, g) in &graphs {
+        for threshold in [1usize, 8, 64, usize::MAX] {
+            for p in [2usize, 4, 8] {
+                let cfg = Config {
+                    traversal: TraversalConfig {
+                        publish_threshold: threshold,
+                        ..TraversalConfig::default()
+                    },
+                    ..Config::default()
+                };
+                let f = BaderCong::new(cfg).spanning_forest(g, p);
+                let root = f
+                    .parents
+                    .iter()
+                    .position(|&pv| pv == NO_VERTEX)
+                    .expect("a connected input must yield a root")
+                    as VertexId;
+                assert!(
+                    is_spanning_tree(g, &f.parents, root),
+                    "{name}: threshold = {threshold}, p = {p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn round_end_drain_with_tiny_threshold() {
+    // publish_threshold = 2 maximizes shared-queue traffic, and a
+    // disconnected input forces many rounds — any vertex stranded in a
+    // shared queue at a round boundary would surface as a missing
+    // parent or a wrong component count here.
+    let g = gen::mesh2d_p(40, 40, 0.55, 7);
+    let reference = count_components(&g);
+    let cfg = Config {
+        traversal: TraversalConfig {
+            publish_threshold: 2,
+            ..TraversalConfig::default()
+        },
+        ..Config::default()
+    };
+    for p in [2usize, 4, 8] {
+        let f = BaderCong::new(cfg).spanning_forest(&g, p);
+        assert!(is_spanning_forest(&g, &f.parents), "p = {p}");
+        assert_eq!(f.num_trees(), reference, "p = {p}");
+    }
+}
+
+#[test]
 fn hcs_under_oversubscription() {
     let g = gen::random_gnm(2_000, 3_000, 11);
     let f = st_core::hcs::spanning_forest(&g, 12);

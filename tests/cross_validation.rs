@@ -37,11 +37,7 @@ fn sv_valid_on_every_workload() {
         let reference = count_components(&g);
         for p in [1usize, 2, 4] {
             let f = sv::spanning_forest(&g, p, SvConfig::default());
-            assert!(
-                is_spanning_forest(&g, &f.parents),
-                "sv {} p={p}",
-                w.id()
-            );
+            assert!(is_spanning_forest(&g, &f.parents), "sv {} p={p}", w.id());
             assert_eq!(f.num_trees(), reference, "sv {} p={p}", w.id());
         }
     }
@@ -104,7 +100,11 @@ fn components_agree_between_algorithms() {
 
 #[test]
 fn spanning_tree_entry_point_on_connected_workloads() {
-    for w in [Workload::TorusRowMajor, Workload::ChainSeq, Workload::GeoHier] {
+    for w in [
+        Workload::TorusRowMajor,
+        Workload::ChainSeq,
+        Workload::GeoHier,
+    ] {
         let g = w.build(N, SEED);
         if count_components(&g) != 1 {
             continue;

@@ -8,14 +8,16 @@
 use bader_cong_spanning::prelude::*;
 use st_bench::workloads::Workload;
 use st_model::sim::{
-    simulate_bader_cong, simulate_sequential_bfs, simulate_sv, simulate_sv_lock,
-    TraversalSimConfig,
+    simulate_bader_cong, simulate_sequential_bfs, simulate_sv, simulate_sv_lock, TraversalSimConfig,
 };
 use st_model::MachineProfile;
 
 #[test]
 fn all_workload_builders_are_deterministic() {
-    for w in Workload::fig4_panels().into_iter().chain([Workload::RandomM15]) {
+    for w in Workload::fig4_panels()
+        .into_iter()
+        .chain([Workload::RandomM15])
+    {
         let a = w.build(1_000, 99);
         let b = w.build(1_000, 99);
         assert_eq!(a, b, "{} not deterministic", w.id());
@@ -26,10 +28,7 @@ fn all_workload_builders_are_deterministic() {
 fn every_generator_distinguishes_seeds() {
     // Seed changes must actually change randomized outputs.
     assert_ne!(gen::random_gnm(200, 300, 1), gen::random_gnm(200, 300, 2));
-    assert_ne!(
-        gen::mesh2d_p(20, 20, 0.5, 1),
-        gen::mesh2d_p(20, 20, 0.5, 2)
-    );
+    assert_ne!(gen::mesh2d_p(20, 20, 0.5, 1), gen::mesh2d_p(20, 20, 0.5, 2));
     assert_ne!(gen::ad3(200, 1), gen::ad3(200, 2));
     assert_ne!(
         gen::watts_strogatz(100, 2, 0.3, 1),

@@ -50,8 +50,10 @@ fn fig3_speedup_band() {
 /// ("scales linearly with the problem size").
 #[test]
 fn fig3_speedup_is_scale_stable() {
-    let s14 = seconds_seq(Workload::RandomM15, 1 << 14) / seconds_bc(Workload::RandomM15, 1 << 14, 8);
-    let s17 = seconds_seq(Workload::RandomM15, 1 << 17) / seconds_bc(Workload::RandomM15, 1 << 17, 8);
+    let s14 =
+        seconds_seq(Workload::RandomM15, 1 << 14) / seconds_bc(Workload::RandomM15, 1 << 14, 8);
+    let s17 =
+        seconds_seq(Workload::RandomM15, 1 << 17) / seconds_bc(Workload::RandomM15, 1 << 17, 8);
     assert!(
         (s14 / s17 - 1.0).abs() < 0.35,
         "speedup drifted with scale: {s14:.2} vs {s17:.2}"

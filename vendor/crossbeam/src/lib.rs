@@ -1,0 +1,114 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; it is
+//! implemented over `std::thread::scope` (stabilized long after
+//! crossbeam popularized the pattern). Semantics match the subset used
+//! here: `scope` returns `Err` with the panic payload if any *unjoined*
+//! spawned thread panicked (std's scope re-raises those panics, which we
+//! catch), explicitly joined panics are the caller's to handle, and
+//! spawn closures receive a `&Scope` that permits nested spawns.
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; `spawn` borrows from it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result; `Err` holds the
+        /// panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives a
+        /// scope handle for nested spawns (often ignored as `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || f(&Scope { inner: inner_scope }));
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local state can
+    /// be spawned; all spawned threads are joined before `scope`
+    /// returns. Returns `Err` when a spawned thread panicked and the
+    /// panic was not consumed through an explicit `join`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawn_and_collect() {
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        let out = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn unjoined_panic_fails_the_scope() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn joined_panic_is_consumed() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Reproduces the subset of proptest this workspace's property tests
+//! use: the `proptest!` macro (with an optional
+//! `#![proptest_config(...)]` header), `Strategy` with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `any::<T>()`,
+//! `proptest::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed
+//!   (cases are deterministic per index), not a minimized input.
+//! * `prop_assert!` maps to `assert!` (panic, not `Err` return).
+//! * Case generation is seeded deterministically, so runs are
+//!   reproducible without a persistence file.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+pub use rand::Rng as __Rng;
+
+/// The RNG driving test-case generation.
+pub type TestRng = SmallRng;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f`, which returns the strategy to
+    /// draw the final value from.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen::<u64>(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::Rng::gen::<u64>(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::Rng::gen::<f64>(rng)
+    }
+}
+
+/// Strategy drawing unconstrained values of `T`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use super::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Seed for case `i`: deterministic, spread by a 64-bit mix.
+#[doc(hidden)]
+pub fn __case_seed(case: u32) -> u64 {
+    0x5EED_0000u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs the body of one generated property test over all cases.
+#[doc(hidden)]
+pub fn __run_cases<F: FnMut(&mut TestRng)>(config: ProptestConfig, mut body: F) {
+    for case in 0..config.cases {
+        let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(__case_seed(case));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest stand-in: failing case {case} of {} (seed {:#x}); no shrinking",
+                config.cases,
+                __case_seed(case)
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A failing-condition assertion (maps to `assert!`; panics rather than
+/// returning `Err` as upstream does).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The `proptest!` block: an optional config header followed by test
+/// functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::__run_cases(config, |__proptest_rng| {
+                $( let $arg = $crate::Strategy::generate(&($strat), __proptest_rng); )+
+                $body
+            });
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(1);
+        let s = 3usize..10;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((3..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(2);
+        let s = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0u32..10, 0..n).prop_map(move |v| (n, v)));
+        for _ in 0..200 {
+            let (n, v) = s.generate(&mut rng);
+            assert!(v.len() < n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u32..100, y in 0u32..100) {
+            prop_assert!(x < 100 && y < 100);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u32..4, 0u32..4), seed in any::<u64>()) {
+            let _ = seed;
+            prop_assert!(pair.0 < 4);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! This workspace uses exactly one rayon pattern — `par_chunks` over a
+//! slice followed by `fold(..).reduce(..)` or `for_each(..)` — in the
+//! parallel CSR builder. The stand-in reproduces that API with a simple
+//! static partition over `std::thread::scope` workers (one per available
+//! core, capped by the chunk count). Rayon's work-stealing scheduler is
+//! overkill for the regular, equal-size chunks the CSR builder feeds
+//! it; a block partition has the same asymptotics.
+//!
+//! `fold` keeps rayon's shape: it produces one accumulator *per worker*
+//! (not one global), and `reduce` combines them. `for_each` runs chunks
+//! on all workers.
+
+#![warn(missing_docs)]
+
+/// The traits a `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use super::ParallelSlice;
+}
+
+/// How many worker threads a parallel call uses.
+fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs)
+        .max(1)
+}
+
+/// Slice extension providing `par_chunks`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized chunks (last may be
+    /// shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel chunk iterator (the only parallel iterator this stand-in
+/// provides).
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    fn chunk_count(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size).max(1)
+    }
+
+    /// Runs `op` on every chunk, in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        let workers = worker_count(self.chunk_count());
+        if workers == 1 {
+            for chunk in self.slice.chunks(self.chunk_size) {
+                op(chunk);
+            }
+            return;
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let start = i * self.chunk_size;
+                    if start >= self.slice.len() {
+                        break;
+                    }
+                    let end = (start + self.chunk_size).min(self.slice.len());
+                    op(&self.slice[start..end]);
+                });
+            }
+        });
+    }
+
+    /// Folds chunks into per-worker accumulators (rayon's shape: `fold`
+    /// yields one accumulator per worker, which `reduce` then combines).
+    pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> FoldResult<Acc>
+    where
+        Acc: Send,
+        Id: Fn() -> Acc + Sync,
+        F: Fn(Acc, &'a [T]) -> Acc + Sync,
+    {
+        let workers = worker_count(self.chunk_count());
+        if workers == 1 {
+            let mut acc = identity();
+            for chunk in self.slice.chunks(self.chunk_size) {
+                acc = fold_op(acc, chunk);
+            }
+            return FoldResult { accs: vec![acc] };
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let accs = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut acc = identity();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let start = i * self.chunk_size;
+                            if start >= self.slice.len() {
+                                break;
+                            }
+                            let end = (start + self.chunk_size).min(self.slice.len());
+                            acc = fold_op(acc, &self.slice[start..end]);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect()
+        });
+        FoldResult { accs }
+    }
+}
+
+/// The per-worker accumulators produced by [`ParChunks::fold`].
+pub struct FoldResult<Acc> {
+    accs: Vec<Acc>,
+}
+
+impl<Acc> FoldResult<Acc> {
+    /// Combines the per-worker accumulators into one value.
+    pub fn reduce<Id, R>(self, identity: Id, reduce_op: R) -> Acc
+    where
+        Id: Fn() -> Acc,
+        R: Fn(Acc, Acc) -> Acc,
+    {
+        self.accs.into_iter().fold(identity(), reduce_op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_sums() {
+        let data: Vec<u64> = (1..=10_000).collect();
+        let total = data
+            .par_chunks(777)
+            .fold(|| 0u64, |acc, chunk| acc + chunk.iter().sum::<u64>())
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn for_each_visits_every_element_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let data: Vec<u64> = (1..=5_000).collect();
+        let sum = AtomicU64::new(0);
+        data.par_chunks(64).for_each(|chunk| {
+            sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5_000 * 5_001 / 2);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let data: Vec<u64> = Vec::new();
+        let total = data
+            .par_chunks(8)
+            .fold(|| 1u64, |acc, _| acc + 1)
+            .reduce(|| 0, |a, b| a + b);
+        // One worker, identity only.
+        assert_eq!(total, 1);
+    }
+}

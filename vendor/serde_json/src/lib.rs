@@ -1,0 +1,350 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Writes and parses JSON over the vendored `serde::Value` model.
+//! Output is deterministic (object keys are sorted by the underlying
+//! `BTreeMap`); numbers are emitted with Rust's shortest-roundtrip float
+//! formatting, with integral values printed without a fractional part.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Serialization or parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses a JSON string into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; mirror serde_json's `null`.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(v: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_value_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_value_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+/// Parses a complete JSON document into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    other => return Err(Error(format!("expected , or ] but got {other:?}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_at(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    other => return Err(Error(format!("expected , or }} but got {other:?}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Value::Number),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {pos}", pos = *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("bad \\u escape".into()))?;
+                        // Surrogate pairs are not handled; this workspace
+                        // never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(Error(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, Error> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error(format!("invalid number at byte {start}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&3u64).unwrap(), "3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<u64>("3").unwrap(), 3);
+        assert_eq!(from_str::<f64>("1.5e3").unwrap(), 1500.0);
+        assert!(from_str::<bool>(" true ").unwrap());
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let v = vec![1u64, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&s).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(to_string(&o).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let v = parse_value(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        match v {
+            Value::Object(m) => {
+                assert!(m.contains_key("a"));
+                assert!(m.contains_key("c"));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("tru").is_err());
+        assert!(parse_value("1 2").is_err());
+    }
+}
