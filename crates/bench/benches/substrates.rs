@@ -1,14 +1,17 @@
 //! Micro-benchmarks of the SMP substrate primitives the algorithms sit
-//! on: barrier episodes, work-queue operations, lock acquisition, and
-//! graph generation throughput.
+//! on: barrier episodes, work-queue operations, lock acquisition, team
+//! dispatch (spawn-per-call vs the persistent executor), and graph
+//! generation throughput.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_bench::workloads::Workload;
 use st_smp::barrier::BarrierToken;
 use st_smp::{
-    run_team, DisseminationBarrier, SenseBarrier, SpinLock, StealPolicy, TicketLock, WorkQueue,
+    run_team, DisseminationBarrier, Executor, SenseBarrier, SpinLock, StealPolicy, TicketLock,
+    WorkQueue,
 };
 
 /// Cost of one software-barrier episode at several team sizes — the
@@ -91,6 +94,35 @@ fn bench_locks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of dispatching one small team job: spawning fresh threads per
+/// call (`run_team`, the seed substrate) vs handing the closure to a
+/// persistent, parked team (`Executor::run`). The gap is the fixed
+/// per-invocation overhead the engine removes from every algorithm call.
+fn bench_executor_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_reuse");
+    group.sample_size(10);
+    for p in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("spawn_per_call", p), &p, |b, &p| {
+            let sink = AtomicU64::new(0);
+            b.iter(|| {
+                run_team(p, |ctx| {
+                    sink.fetch_add(ctx.rank() as u64 + 1, Ordering::Relaxed);
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("persistent", p), &p, |b, &p| {
+            let exec = Executor::new(p);
+            let sink = AtomicU64::new(0);
+            b.iter(|| {
+                exec.run(|ctx| {
+                    sink.fetch_add(ctx.rank() as u64 + 1, Ordering::Relaxed);
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Generator throughput for the heavier experiment inputs.
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
@@ -111,6 +143,7 @@ criterion_group!(
     bench_barrier,
     bench_work_queue,
     bench_locks,
+    bench_executor_reuse,
     bench_generators
 );
 criterion_main!(benches);

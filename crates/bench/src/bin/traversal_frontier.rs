@@ -23,11 +23,12 @@ use std::path::PathBuf;
 
 use serde::Serialize;
 use st_bench::timing::measure_with_result;
-use st_core::traversal::{Traversal, TraversalConfig, TraversalOutcome};
+use st_core::engine::Workspace;
+use st_core::traversal::{TraversalConfig, TraversalOutcome};
 use st_graph::gen::random_connected;
 use st_graph::validate::is_spanning_tree;
 use st_graph::{CsrGraph, NO_VERTEX};
-use st_smp::run_team;
+use st_smp::Executor;
 
 #[derive(Clone, Debug, Serialize)]
 struct ProtocolResult {
@@ -109,31 +110,40 @@ fn parse_args() -> Opts {
     opts
 }
 
-/// One validated phase-2 traversal round over connected `g`.
-fn traverse_once(g: &CsrGraph, p: usize, cfg: TraversalConfig) -> Traversal<'_> {
-    let t = Traversal::new(g, p, cfg);
+/// One phase-2 traversal round over connected `g`, on the persistent
+/// team with all scratch drawn from `ws`. Returns (steals, stolen,
+/// multi_colored); the parents stay in the workspace for validation
+/// after the timed section.
+fn traverse_once(
+    g: &CsrGraph,
+    exec: &Executor,
+    ws: &mut Workspace,
+    cfg: TraversalConfig,
+) -> (usize, usize, usize) {
+    let t = ws.traversal(g, exec, cfg);
     t.begin_round();
     t.seed(0, 0, NO_VERTEX);
-    run_team(p, |ctx| {
+    exec.run(|ctx| {
         let (_, outcome) = t.run_worker(ctx.rank());
         assert_eq!(outcome, TraversalOutcome::Completed);
     });
-    t
+    (t.steals(), t.stolen_items(), t.multi_colored())
 }
 
 fn run_protocol(
     name: &str,
     g: &CsrGraph,
-    p: usize,
+    exec: &Executor,
+    ws: &mut Workspace,
     reps: usize,
     cfg: TraversalConfig,
 ) -> ProtocolResult {
-    let (m, last) = measure_with_result(reps, || traverse_once(g, p, cfg));
-    let steals = last.steals();
-    let stolen_items = last.stolen_items();
-    let multi_colored = last.multi_colored();
+    let (m, (steals, stolen_items, multi_colored)) =
+        measure_with_result(reps, || traverse_once(g, exec, ws, cfg));
+    // Validation reads the workspace after the timed section so the
+    // copy-out is not billed to the protocol.
     assert!(
-        is_spanning_tree(g, &last.into_parents(), 0),
+        is_spanning_tree(g, &ws.parents_prefix(g.num_vertices()), 0),
         "{name}: invalid spanning tree"
     );
     eprintln!(
@@ -165,17 +175,24 @@ fn main() {
     );
     let g = random_connected(n, m, opts.seed);
 
+    // One persistent team + workspace for the whole process: both
+    // protocols and every repetition reuse the same threads and arrays.
+    let exec = Executor::new(opts.p);
+    let mut ws = Workspace::new();
+
     let seed_protocol = run_protocol(
         "seed",
         &g,
-        opts.p,
+        &exec,
+        &mut ws,
         opts.reps,
         TraversalConfig::paper_protocol(),
     );
     let two_level = run_protocol(
         "frontier",
         &g,
-        opts.p,
+        &exec,
+        &mut ws,
         opts.reps,
         TraversalConfig::default(),
     );

@@ -1,9 +1,14 @@
 //! Experiment cell runner.
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use serde::{Deserialize, Serialize};
 use st_core::bader_cong::{BaderCong, Config};
-use st_core::sv::{GraftVariant, SvConfig};
-use st_core::{hcs, seq, sv};
+use st_core::engine::Engine;
+use st_core::hcs::Hcs;
+use st_core::seq;
+use st_core::sv::{GraftVariant, Sv, SvConfig};
 use st_graph::CsrGraph;
 use st_model::sim::{
     simulate_bader_cong, simulate_sequential_bfs, simulate_sv, TraversalSimConfig,
@@ -15,33 +20,28 @@ use crate::workloads::Workload;
 /// Repetitions per wall-mode cell (median reported).
 const WALL_REPS: usize = 3;
 
-/// The Bader–Cong configuration wall-mode cells run, with the traversal
-/// frontier knobs overridable from the environment so sweeps do not need
-/// a recompile:
-///
-/// * `ST_PUBLISH_THRESHOLD` — private-buffer publication threshold
-///   (`TraversalConfig::publish_threshold`; `max` selects `usize::MAX`).
-/// * `ST_PUBLISH_ON_SLEEPERS` — `0`/`false` disables sleeper-driven
-///   publication (`TraversalConfig::publish_on_sleepers`).
-/// * `ST_LOCAL_BATCH` — owner dequeue batch
-///   (`TraversalConfig::local_batch`).
+/// Process-wide persistent engines, one per team size. Wall cells at the
+/// same `p` share a team: threads spawn once per process, and the
+/// workspace arena is recycled across workloads — matching the paper's
+/// methodology of timing a long series of inputs on one warm machine.
+static ENGINES: OnceLock<Mutex<HashMap<usize, Engine>>> = OnceLock::new();
+
+/// Runs `f` on the shared engine for team size `p` (created on first
+/// use).
+pub fn with_engine<R>(p: usize, f: impl FnOnce(&mut Engine) -> R) -> R {
+    let pool = ENGINES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pool = pool.lock().expect("engine pool poisoned");
+    let engine = pool.entry(p).or_insert_with(|| Engine::new(p));
+    f(engine)
+}
+
+/// The Bader–Cong configuration wall-mode cells run. The traversal
+/// frontier knobs (`ST_PUBLISH_THRESHOLD`, `ST_PUBLISH_ON_SLEEPERS`,
+/// `ST_LOCAL_BATCH`) are read from the environment by
+/// [`TraversalConfig::default`](st_core::traversal::TraversalConfig),
+/// so sweeps need no recompile and no harness-side parsing.
 pub fn bader_cong_wall_config() -> Config {
-    let mut cfg = Config::default();
-    if let Ok(v) = std::env::var("ST_PUBLISH_THRESHOLD") {
-        cfg.traversal.publish_threshold = if v == "max" {
-            usize::MAX
-        } else {
-            v.parse()
-                .expect("ST_PUBLISH_THRESHOLD must be an integer or `max`")
-        };
-    }
-    if let Ok(v) = std::env::var("ST_PUBLISH_ON_SLEEPERS") {
-        cfg.traversal.publish_on_sleepers = !matches!(v.as_str(), "0" | "false" | "off");
-    }
-    if let Ok(v) = std::env::var("ST_LOCAL_BATCH") {
-        cfg.traversal.local_batch = v.parse().expect("ST_LOCAL_BATCH must be an integer");
-    }
-    cfg
+    Config::default()
 }
 
 /// Which algorithm a cell runs.
@@ -160,31 +160,34 @@ pub fn run_cell(
         }
         (Mode::Wall, Algorithm::BaderCong) => {
             let algo = BaderCong::new(bader_cong_wall_config());
-            let (m, f) =
-                crate::timing::measure_with_result(WALL_REPS, || algo.spanning_forest(g, p));
+            let (m, f) = with_engine(p, |e| {
+                crate::timing::measure_with_result(WALL_REPS, || e.run(&algo, g))
+            });
             assert_valid(g, &f.parents, workload, algorithm);
             multi_colored = Some(f.stats.multi_colored);
             fallback = Some(f.stats.fallback_triggered);
             m.median()
         }
         (Mode::Wall, Algorithm::Sv) | (Mode::Wall, Algorithm::SvLock) => {
-            let cfg = SvConfig {
+            let algo = Sv::new(SvConfig {
                 variant: if algorithm == Algorithm::SvLock {
                     GraftVariant::Lock
                 } else {
                     GraftVariant::Election
                 },
                 ..SvConfig::default()
-            };
-            let (m, f) =
-                crate::timing::measure_with_result(WALL_REPS, || sv::spanning_forest(g, p, cfg));
+            });
+            let (m, f) = with_engine(p, |e| {
+                crate::timing::measure_with_result(WALL_REPS, || e.run(&algo, g))
+            });
             assert_valid(g, &f.parents, workload, algorithm);
             iterations = Some(f.stats.iterations);
             m.median()
         }
         (Mode::Wall, Algorithm::Hcs) => {
-            let (m, f) =
-                crate::timing::measure_with_result(WALL_REPS, || hcs::spanning_forest(g, p));
+            let (m, f) = with_engine(p, |e| {
+                crate::timing::measure_with_result(WALL_REPS, || e.run(&Hcs, g))
+            });
             assert_valid(g, &f.parents, workload, algorithm);
             iterations = Some(f.stats.iterations);
             m.median()

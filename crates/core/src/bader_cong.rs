@@ -23,10 +23,12 @@
 
 use st_graph::preprocess::{eliminate_degree2, Reduction};
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_smp::Executor;
 
-use crate::orient::orient_forest_with_mask;
+use crate::engine::{SpanningAlgorithm, Workspace};
+use crate::orient::orient_forest_with_mask_on;
 use crate::result::{AlgoStats, SpanningForest};
-use crate::stub::grow_stub;
+use crate::stub::grow_stub_into;
 use crate::sv::{self, SvConfig};
 use crate::traversal::{Traversal, TraversalConfig, TraversalOutcome};
 
@@ -79,13 +81,23 @@ impl BaderCong {
         &self.cfg
     }
 
-    /// Computes a spanning forest of `g` with `p` processors.
+    /// Computes a spanning forest of `g` with a one-shot team of `p`
+    /// processors. Repeated callers should hold an
+    /// [`Engine`](crate::engine::Engine) and use [`BaderCong::run_on`]
+    /// (or [`Engine::run`](crate::engine::Engine::run)) instead.
     pub fn spanning_forest(&self, g: &CsrGraph, p: usize) -> SpanningForest {
-        assert!(p > 0, "need at least one processor");
+        let exec = Executor::new(p);
+        let mut ws = Workspace::new();
+        self.run_on(g, &exec, &mut ws)
+    }
+
+    /// Computes a spanning forest of `g` on an existing team, with all
+    /// scratch state drawn from `ws`.
+    pub fn run_on(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
         if self.cfg.deg2_preprocess {
-            return self.forest_with_preprocess(g, p);
+            return self.forest_with_preprocess(g, exec, ws);
         }
-        self.forest_direct(g, p)
+        self.forest_direct(g, exec, ws)
     }
 
     /// Computes a spanning tree of a connected `g` rooted at `root`;
@@ -99,16 +111,23 @@ impl BaderCong {
         // Degree-2 preprocessing changes vertex identity; the rooted-tree
         // entry point keeps it off so `root` stays meaningful.
         cfg.deg2_preprocess = false;
-        let forest = BaderCong::new(cfg).forest_direct(g, p);
+        let exec = Executor::new(p);
+        let mut ws = Workspace::new();
+        let forest = BaderCong::new(cfg).forest_direct(g, &exec, &mut ws);
         (forest.roots.len() == 1).then_some(forest.parents)
     }
 
-    fn forest_with_preprocess(&self, g: &CsrGraph, p: usize) -> SpanningForest {
+    fn forest_with_preprocess(
+        &self,
+        g: &CsrGraph,
+        exec: &Executor,
+        ws: &mut Workspace,
+    ) -> SpanningForest {
         let red: Reduction = eliminate_degree2(g);
         let mut inner_cfg = self.cfg;
         inner_cfg.deg2_preprocess = false;
         inner_cfg.start_root = None;
-        let reduced_forest = BaderCong::new(inner_cfg).forest_direct(&red.reduced, p);
+        let reduced_forest = BaderCong::new(inner_cfg).forest_direct(&red.reduced, exec, ws);
         let parents = red.expand_parents(&reduced_forest.parents);
         let roots: Vec<VertexId> = parents
             .iter()
@@ -125,8 +144,9 @@ impl BaderCong {
         }
     }
 
-    fn forest_direct(&self, g: &CsrGraph, p: usize) -> SpanningForest {
+    fn forest_direct(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
         let n = g.num_vertices();
+        let p = exec.size();
         if n == 0 {
             return SpanningForest {
                 parents: Vec::new(),
@@ -134,76 +154,98 @@ impl BaderCong {
                 stats: AlgoStats::default(),
             };
         }
-        let t = Traversal::new(g, p, self.cfg.traversal);
         let mut roots: Vec<VertexId> = Vec::new();
-        let mut cursor: VertexId = 0;
         let stub_target = (self.cfg.stub_factor * p).max(1);
         let seed = self.cfg.traversal.seed;
         let start_root = self.cfg.start_root;
 
-        let (processed, barriers, outcome) = t.run_rounds(|t, round| {
-            let mut walk = 0u64;
-            loop {
-                // Pick the next component root.
-                let root = if round == 0 && walk == 0 {
-                    match start_root {
-                        Some(r) if (r as usize) < n && !t.is_colored(r) => Some(r),
-                        _ => scan_uncolored(t, &mut cursor, n),
+        // The session borrows the workspace; everything the fallback
+        // needs is copied out before the borrow ends.
+        let (stats, outcome, parents, colors) = {
+            let (t, stub_scratch) = ws.traversal_with_stub(g, exec, self.cfg.traversal);
+            let mut cursor: VertexId = 0;
+            let roots_sink = &mut roots;
+            let (processed, barriers, outcome) = t.run_rounds(exec, move |t, round| {
+                let mut walk = 0u64;
+                loop {
+                    // Pick the next component root.
+                    let root = if round == 0 && walk == 0 {
+                        match start_root {
+                            Some(r) if (r as usize) < n && !t.is_colored(r) => Some(r),
+                            _ => scan_uncolored(t, &mut cursor, n),
+                        }
+                    } else {
+                        scan_uncolored(t, &mut cursor, n)
+                    };
+                    let Some(root) = root else { return false };
+                    roots_sink.push(root);
+                    // Phase 1: stub spanning tree, grown by "one
+                    // processor" (the round driver).
+                    let stub = grow_stub_into(
+                        g,
+                        root,
+                        stub_target,
+                        seed ^ (round as u64) ^ (walk << 32),
+                        |v| t.is_colored(v),
+                        stub_scratch,
+                    );
+                    walk += 1;
+                    if stub.len() < stub_target {
+                        // The backtracking walk exhausted the component:
+                        // it is fully covered, so no traversal round (and
+                        // no barriers) are needed. Mark it and move to
+                        // the next component — this keeps many-component
+                        // inputs (2D60, sparse random) from paying two
+                        // barriers per tiny component.
+                        for (&v, &par) in stub.vertices.iter().zip(stub.parents.iter()) {
+                            t.mark(v, par);
+                        }
+                        continue;
                     }
-                } else {
-                    scan_uncolored(t, &mut cursor, n)
-                };
-                let Some(root) = root else { return false };
-                roots.push(root);
-                // Phase 1: stub spanning tree, grown by "one processor"
-                // (the round driver).
-                let stub = grow_stub(
-                    g,
-                    root,
-                    stub_target,
-                    seed ^ (round as u64) ^ (walk << 32),
-                    |v| t.is_colored(v),
-                );
-                walk += 1;
-                if stub.len() < stub_target {
-                    // The backtracking walk exhausted the component: it
-                    // is fully covered, so no traversal round (and no
-                    // barriers) are needed. Mark it and move to the next
-                    // component — this keeps many-component inputs (2D60,
-                    // sparse random) from paying two barriers per tiny
-                    // component.
-                    for (&v, &par) in stub.vertices.iter().zip(stub.parents.iter()) {
-                        t.mark(v, par);
+                    // Big component: deal the stub round-robin into the
+                    // queues and run a work-stealing round.
+                    for (i, (&v, &par)) in stub.vertices.iter().zip(stub.parents.iter()).enumerate()
+                    {
+                        t.seed(i % p, v, par);
                     }
-                    continue;
+                    return true;
                 }
-                // Big component: deal the stub round-robin into the
-                // queues and run a work-stealing round.
-                for (i, (&v, &par)) in stub.vertices.iter().zip(stub.parents.iter()).enumerate() {
-                    t.seed(i % p, v, par);
-                }
-                return true;
-            }
-        });
+            });
 
-        let stats = AlgoStats {
-            components: roots.len(),
-            multi_colored: t.multi_colored(),
-            steals: t.steals(),
-            stolen_items: t.stolen_items(),
-            per_proc_processed: processed,
-            barriers,
-            ..AlgoStats::default()
+            let stats = AlgoStats {
+                components: roots.len(),
+                multi_colored: t.multi_colored(),
+                steals: t.steals(),
+                stolen_items: t.stolen_items(),
+                per_proc_processed: processed,
+                barriers,
+                ..AlgoStats::default()
+            };
+            let colors = match outcome {
+                TraversalOutcome::Completed => Vec::new(),
+                TraversalOutcome::Starved => t.colors_vec(),
+            };
+            (stats, outcome, t.into_parents(), colors)
         };
 
         match outcome {
             TraversalOutcome::Completed => SpanningForest {
-                parents: t.into_parents(),
+                parents,
                 roots,
                 stats,
             },
-            TraversalOutcome::Starved => fallback(g, p, t, stats, self.cfg),
+            TraversalOutcome::Starved => fallback(g, exec, ws, colors, parents, stats),
         }
+    }
+}
+
+impl SpanningAlgorithm for BaderCong {
+    fn name(&self) -> &'static str {
+        "bader-cong"
+    }
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        self.run_on(g, exec, ws)
     }
 }
 
@@ -228,14 +270,13 @@ fn scan_uncolored(t: &Traversal<'_>, cursor: &mut VertexId, n: usize) -> Option<
 /// preserving the parents the traversal already wrote.
 fn fallback(
     g: &CsrGraph,
-    p: usize,
-    t: Traversal<'_>,
+    exec: &Executor,
+    ws: &mut Workspace,
+    colors: Vec<u32>,
+    mut parents: Vec<VertexId>,
     mut stats: AlgoStats,
-    cfg: Config,
 ) -> SpanningForest {
     let n = g.num_vertices();
-    let colors = t.color.snapshot();
-    let mut parents: Vec<VertexId> = t.into_parents();
 
     // Root of each colored vertex, by parent chasing with memoization.
     let mut comp_root: Vec<VertexId> = vec![NO_VERTEX; n];
@@ -272,14 +313,14 @@ fn fallback(
             }
         })
         .collect();
-    let sv_out = sv::sv_core(g, p, Some(&init), SvConfig::default());
+    let sv_out = sv::sv_core_on(g, exec, ws, Some(&init), SvConfig::default());
 
     // Orient SV's tree edges while keeping the traversal's parents.
     let mask: Vec<bool> = colors
         .iter()
         .map(|&c| c != crate::traversal::UNCOLORED)
         .collect();
-    orient_forest_with_mask(n, &sv_out.tree_edges, &mask, &mut parents, p);
+    orient_forest_with_mask_on(n, &sv_out.tree_edges, &mask, &mut parents, exec, ws);
 
     let roots: Vec<VertexId> = parents
         .iter()
@@ -293,7 +334,6 @@ fn fallback(
     stats.grafts = sv_out.grafts;
     stats.shortcut_rounds = sv_out.shortcut_rounds;
     stats.barriers += sv_out.barriers;
-    let _ = cfg;
     SpanningForest {
         parents,
         roots,

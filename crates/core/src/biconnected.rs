@@ -28,7 +28,8 @@
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 
 use crate::bader_cong::BaderCong;
-use crate::connected::connected_components;
+use crate::connected::connected_components_on;
+use crate::engine::{Engine, SpanningAlgorithm};
 use crate::result::SpanningForest;
 
 /// Biconnectivity structure of a graph.
@@ -188,13 +189,37 @@ pub fn preorder(parents: &[VertexId]) -> Preorder {
 /// assert_eq!(bc.articulation_points, vec![1, 2]);
 /// ```
 pub fn biconnected_components(g: &CsrGraph, p: usize) -> Biconnectivity {
-    let forest = BaderCong::with_defaults().spanning_forest(g, p);
-    biconnected_from_forest(g, forest, p)
+    let mut engine = Engine::new(p);
+    biconnected_components_with(&mut engine, &BaderCong::with_defaults(), g)
+}
+
+/// As [`biconnected_components`], but on an existing [`Engine`] and with
+/// any spanning-forest producer: both pipeline halves (the forest and
+/// the auxiliary-graph connectivity) run on the engine's persistent team
+/// and reuse its workspace.
+pub fn biconnected_components_with(
+    engine: &mut Engine,
+    algo: &dyn SpanningAlgorithm,
+    g: &CsrGraph,
+) -> Biconnectivity {
+    let forest = engine.run(algo, g);
+    biconnected_from_forest_with(engine, g, forest)
 }
 
 /// As [`biconnected_components`], but reusing an existing spanning
-/// forest of `g`.
+/// forest of `g` (one-shot team for the auxiliary connectivity).
 pub fn biconnected_from_forest(g: &CsrGraph, forest: SpanningForest, p: usize) -> Biconnectivity {
+    let mut engine = Engine::new(p);
+    biconnected_from_forest_with(&mut engine, g, forest)
+}
+
+/// As [`biconnected_from_forest`], but the auxiliary-graph connectivity
+/// runs on `engine`'s team.
+pub fn biconnected_from_forest_with(
+    engine: &mut Engine,
+    g: &CsrGraph,
+    forest: SpanningForest,
+) -> Biconnectivity {
     let n = g.num_vertices();
     let parents = &forest.parents;
     let po = preorder(parents);
@@ -255,7 +280,8 @@ pub fn biconnected_from_forest(g: &CsrGraph, forest: SpanningForest, p: usize) -
         }
     }
     let aux_graph = CsrGraph::from_edge_list(&aux);
-    let aux_cc = connected_components(&aux_graph, p);
+    let (exec, ws) = engine.parts_mut();
+    let aux_cc = connected_components_on(&aux_graph, exec, ws);
 
     // Blocks = aux components restricted to non-root vertices, compacted.
     let mut block_map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
@@ -653,6 +679,28 @@ mod tests {
         check_block_partition(&torus2d(4, 5), 2);
         check_block_partition(&complete(7), 2);
         check_block_partition(&chain(12), 2);
+    }
+
+    #[test]
+    fn any_algorithm_backs_the_pipeline() {
+        // The block structure is a graph invariant: any spanning-forest
+        // producer behind the trait must yield the same decomposition.
+        let mut engine = Engine::new(3);
+        for seed in 0..3 {
+            let g = random_gnm(40, 55, seed + 50);
+            let via_hcs = biconnected_components_with(&mut engine, &crate::hcs::Hcs, &g);
+            let via_default = biconnected_components(&g, 3);
+            assert_eq!(via_hcs.num_blocks, via_default.num_blocks);
+            assert_eq!(via_hcs.articulation_points, via_default.articulation_points);
+            let canon = |mut b: Vec<(VertexId, VertexId)>| {
+                for e in &mut b {
+                    *e = (e.0.min(e.1), e.0.max(e.1));
+                }
+                b.sort_unstable();
+                b
+            };
+            assert_eq!(canon(via_hcs.bridges), canon(via_default.bridges));
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! algorithm's output included).
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_smp::Executor;
 
+use crate::engine::Workspace;
 use crate::sv::{self, SvConfig};
 
 /// Component labeling of a graph.
@@ -52,9 +54,17 @@ fn compact(reps: &[VertexId]) -> Components {
     }
 }
 
-/// Connected components via parallel SV with `p` processors.
+/// Connected components via parallel SV with a one-shot team of `p`
+/// processors.
 pub fn connected_components(g: &CsrGraph, p: usize) -> Components {
     let out = sv::sv_core(g, p, None, SvConfig::default());
+    compact(&out.labels)
+}
+
+/// Connected components via parallel SV on an existing team, with all
+/// scratch drawn from `ws`.
+pub fn connected_components_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> Components {
+    let out = sv::sv_core_on(g, exec, ws, None, SvConfig::default());
     compact(&out.labels)
 }
 

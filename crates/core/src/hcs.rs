@@ -12,14 +12,19 @@
 //! hooks to that. Hook targets are chosen by `fetch_min` on a packed
 //! (root, edge) key, so the output is independent of both the processor
 //! count and the scheduling — handy as a determinism oracle in tests.
+//!
+//! Like SV, all scratch lives in the caller's
+//! [`Workspace`](crate::engine::Workspace) and the team comes from a
+//! persistent [`Executor`] in the `*_on` entry points.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 use st_smp::team::block_range;
-use st_smp::{run_team, AtomicU32Array};
+use st_smp::Executor;
 
-use crate::orient::orient_forest;
+use crate::engine::{SpanningAlgorithm, Workspace};
+use crate::orient::orient_forest_on;
 use crate::result::{AlgoStats, SpanningForest};
 
 /// Raw result of the HCS engine (same shape as
@@ -49,16 +54,29 @@ fn pack(target: VertexId, edge: usize) -> u64 {
     ((target as u64) << 32) | edge as u64
 }
 
-/// Runs min-hook-and-shortcut with `p` processors.
+/// Runs min-hook-and-shortcut with a one-shot team of `p` processors.
 pub fn hcs_core(g: &CsrGraph, p: usize) -> HcsOutcome {
-    assert!(p > 0, "need at least one processor");
-    let n = g.num_vertices();
-    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
-    let m = edges.len();
-    assert!(m < u32::MAX as usize, "edge index must fit the packed key");
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    hcs_core_on(g, &exec, &mut ws)
+}
 
-    let d = AtomicU32Array::from_vec((0..n as VertexId).collect());
-    let cand: Box<[AtomicU64]> = (0..n).map(|_| AtomicU64::new(EMPTY)).collect();
+/// Runs min-hook-and-shortcut on an existing team, with all scratch in
+/// `ws`.
+pub fn hcs_core_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> HcsOutcome {
+    let p = exec.size();
+    let n = g.num_vertices();
+    ws.collect_edges(g);
+    let m = ws.edges.len();
+    assert!(m < u32::MAX as usize, "edge index must fit the packed key");
+    ws.init_labels(n, None);
+    ws.ensure_slots(n);
+    ws.ensure_graft(p);
+
+    let d = &ws.labels;
+    let cand: &[AtomicU64] = &ws.slots[..n];
+    let edges = &ws.edges[..];
+    let graft = &ws.graft[..p];
 
     let hook_epoch = AtomicU64::new(EMPTY);
     // Parity slots: see the matching comment in `sv.rs` — a single slot
@@ -69,11 +87,11 @@ pub fn hcs_core(g: &CsrGraph, p: usize) -> HcsOutcome {
     let barriers = AtomicUsize::new(0);
     let iterations = AtomicUsize::new(0);
 
-    let per_rank: Vec<Vec<(VertexId, VertexId)>> = run_team(p, |ctx| {
+    exec.run(|ctx| {
         let rank = ctx.rank();
         let my_edges = block_range(rank, p, m);
         let my_verts = block_range(rank, p, n);
-        let mut my_tree_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut my_tree_edges = graft[rank].lock();
         let bar = |counter: &AtomicUsize| {
             if ctx.barrier() {
                 counter.fetch_add(1, Ordering::Relaxed);
@@ -159,14 +177,14 @@ pub fn hcs_core(g: &CsrGraph, p: usize) -> HcsOutcome {
             }
             iter += 1;
         }
-        my_tree_edges
     });
 
-    let tree_edges: Vec<(VertexId, VertexId)> = per_rank.into_iter().flatten().collect();
+    let labels = ws.labels.snapshot_prefix(n);
+    let tree_edges = ws.drain_graft(p);
     let grafts = tree_edges.len();
     HcsOutcome {
         tree_edges,
-        labels: d.into(),
+        labels,
         iterations: iterations.load(Ordering::Relaxed),
         grafts,
         shortcut_rounds: shortcut_rounds_total.load(Ordering::Relaxed),
@@ -174,10 +192,18 @@ pub fn hcs_core(g: &CsrGraph, p: usize) -> HcsOutcome {
     }
 }
 
-/// Full HCS spanning forest: hooks, then parallel orientation.
+/// Full HCS spanning forest with a one-shot team of `p` processors.
 pub fn spanning_forest(g: &CsrGraph, p: usize) -> SpanningForest {
-    let out = hcs_core(g, p);
-    let parents = orient_forest(g.num_vertices(), &out.tree_edges, p);
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    spanning_forest_on(g, &exec, &mut ws)
+}
+
+/// Full HCS spanning forest on an existing team: hooks, then parallel
+/// orientation.
+pub fn spanning_forest_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+    let out = hcs_core_on(g, exec, ws);
+    let parents = orient_forest_on(g.num_vertices(), &out.tree_edges, exec, ws);
     let roots: Vec<VertexId> = parents
         .iter()
         .enumerate()
@@ -196,6 +222,20 @@ pub fn spanning_forest(g: &CsrGraph, p: usize) -> SpanningForest {
         parents,
         roots,
         stats,
+    }
+}
+
+/// HCS as a [`SpanningAlgorithm`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hcs;
+
+impl SpanningAlgorithm for Hcs {
+    fn name(&self) -> &'static str {
+        "hcs"
+    }
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        spanning_forest_on(g, exec, ws)
     }
 }
 
@@ -236,6 +276,23 @@ mod tests {
         e1.sort_unstable();
         e4.sort_unstable();
         assert_eq!(e1, e4);
+    }
+
+    #[test]
+    fn reused_workspace_is_deterministic() {
+        // HCS's full determinism makes it the sharpest probe for state
+        // leaking through a reused workspace: every re-run must produce
+        // byte-identical tree edges.
+        let exec = Executor::new(4);
+        let mut ws = Workspace::new();
+        let big = gen::random_gnm(900, 1_500, 6);
+        let small = gen::random_gnm(60, 80, 7);
+        let reference = hcs_core(&big, 4).tree_edges;
+        for _ in 0..3 {
+            assert_eq!(hcs_core_on(&big, &exec, &mut ws).tree_edges, reference);
+            // Interleave a smaller graph to shuffle the arena prefix.
+            let _ = hcs_core_on(&small, &exec, &mut ws);
+        }
     }
 
     #[test]

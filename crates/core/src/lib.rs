@@ -23,6 +23,11 @@
 //!   like SV; included for completeness.
 //! * [`connected`] — connected components derived from the same
 //!   machinery (SV is natively a connectivity algorithm).
+//! * [`engine`] — the execution engine: every algorithm implements the
+//!   [`SpanningAlgorithm`] trait and runs on a persistent
+//!   [`Executor`](st_smp::Executor) team with a reusable [`Workspace`]
+//!   arena, so a sequence of runs pays no per-call thread spawns or
+//!   allocations (the paper's repeated-measurement methodology).
 //!
 //! All parallel algorithms produce spanning *forests* (one rooted tree
 //! per connected component, encoded as a parent array with
@@ -32,19 +37,25 @@
 //! ## Quick example
 //!
 //! ```
-//! use st_core::bader_cong::{BaderCong, Config};
+//! use st_core::{BaderCong, Engine};
 //! use st_graph::gen;
 //! use st_graph::validate::is_spanning_forest;
 //!
-//! let g = gen::random_gnm(1_000, 2_000, 42);
-//! let forest = BaderCong::new(Config::default()).spanning_forest(&g, 4);
-//! assert!(is_spanning_forest(&g, &forest.parents));
+//! // One engine, many runs: threads spawn once, scratch is reused.
+//! let mut engine = Engine::new(4);
+//! let algo = BaderCong::with_defaults();
+//! for seed in 0..3 {
+//!     let g = gen::random_gnm(1_000, 2_000, seed);
+//!     let forest = engine.run(&algo, &g);
+//!     assert!(is_spanning_forest(&g, &forest.parents));
+//! }
 //! ```
 
 pub mod bader_cong;
 pub mod biconnected;
 pub mod connected;
 pub mod ears;
+pub mod engine;
 pub mod hcs;
 pub mod mst;
 pub mod multiroot;
@@ -57,4 +68,5 @@ pub mod traversal;
 pub mod tree;
 
 pub use bader_cong::{BaderCong, Config};
+pub use engine::{Engine, SpanningAlgorithm, Workspace};
 pub use result::{AlgoStats, SpanningForest};

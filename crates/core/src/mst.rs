@@ -27,7 +27,9 @@ use st_graph::dsu::DisjointSets;
 use st_graph::weighted::{Weight, WeightedGraph};
 use st_graph::VertexId;
 use st_smp::team::block_range;
-use st_smp::{run_team, AtomicU32Array};
+use st_smp::Executor;
+
+use crate::engine::Workspace;
 
 /// Result of a minimum-spanning-forest computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,31 +87,44 @@ fn pack(w: Weight, edge: usize) -> u64 {
     ((w as u64) << 32) | edge as u64
 }
 
-/// Parallel Borůvka minimum spanning forest with `p` processors.
+/// Parallel Borůvka minimum spanning forest with a one-shot team of `p`
+/// processors.
 pub fn boruvka(wg: &WeightedGraph, p: usize) -> MstResult {
-    assert!(p > 0, "need at least one processor");
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    boruvka_on(wg, &exec, &mut ws)
+}
+
+/// Parallel Borůvka on an existing team, with the hook array, snapshot,
+/// best-edge slots, and per-rank edge lists drawn from `ws`.
+pub fn boruvka_on(wg: &WeightedGraph, exec: &Executor, ws: &mut Workspace) -> MstResult {
+    let p = exec.size();
     let n = wg.num_vertices();
     let edges: Vec<(VertexId, VertexId, Weight)> = wg.weighted_edges().collect();
     let m = edges.len();
     assert!(m < u32::MAX as usize, "edge index must fit the packed key");
 
-    let d = AtomicU32Array::from_vec((0..n as VertexId).collect());
+    ws.init_labels(n, None);
     // Iteration-start snapshot of d (rooted stars), for race-free hook
     // targets.
-    let snap = AtomicU32Array::new(n, 0);
-    let best: Box<[AtomicU64]> = (0..n).map(|_| AtomicU64::new(EMPTY)).collect();
+    ws.snap.ensure_len(n);
+    ws.ensure_slots(n);
+    ws.ensure_graft(p);
+    let d = &ws.labels;
+    let snap = &ws.snap;
+    let best: &[AtomicU64] = &ws.slots[..n];
+    let graft = &ws.graft[..p];
 
     let hook_epoch = AtomicU64::new(EMPTY);
     let shortcut_epoch = [AtomicU64::new(EMPTY), AtomicU64::new(EMPTY)];
     let barriers = AtomicUsize::new(0);
     let iterations = AtomicUsize::new(0);
 
-    type RankOut = (Vec<(VertexId, VertexId)>, u64);
-    let per_rank: Vec<RankOut> = run_team(p, |ctx| {
+    let per_rank_weight: Vec<u64> = exec.run(|ctx| {
         let rank = ctx.rank();
         let my_edges = block_range(rank, p, m);
         let my_verts = block_range(rank, p, n);
-        let mut my_tree_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut my_tree_edges = graft[rank].lock();
         let mut my_weight = 0u64;
         let bar = |counter: &AtomicUsize| {
             if ctx.barrier() {
@@ -204,15 +219,11 @@ pub fn boruvka(wg: &WeightedGraph, p: usize) -> MstResult {
             }
             iter += 1;
         }
-        (my_tree_edges, my_weight)
+        my_weight
     });
 
-    let mut tree_edges = Vec::new();
-    let mut total_weight = 0u64;
-    for (edges, w) in per_rank {
-        tree_edges.extend(edges);
-        total_weight += w;
-    }
+    let tree_edges = ws.drain_graft(p);
+    let total_weight: u64 = per_rank_weight.into_iter().sum();
     MstResult {
         tree_edges,
         total_weight,
@@ -318,6 +329,18 @@ mod tests {
         let b = boruvka(&wg, 2);
         assert_eq!(b.total_weight, 0);
         assert_eq!(b.iterations, 1);
+    }
+
+    #[test]
+    fn reused_workspace_agrees_with_kruskal() {
+        let exec = st_smp::Executor::new(4);
+        let mut ws = crate::engine::Workspace::new();
+        for seed in 0..3 {
+            let g = random_gnm(400, 700, seed);
+            let wg = WeightedGraph::with_random_weights(&g, 777, seed);
+            let b = boruvka_on(&wg, &exec, &mut ws);
+            assert_eq!(b.total_weight, kruskal(&wg).total_weight, "seed {seed}");
+        }
     }
 
     #[test]

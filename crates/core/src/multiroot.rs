@@ -24,32 +24,49 @@
 //! the sequential O(conflicts × depth) merge pass — best when
 //! components are numerous and shallow (2D60-like inputs), worst when a
 //! single deep component attracts many speculative root claims.
+//!
+//! The color/parent arrays and the per-rank queues come from the
+//! caller's [`Workspace`](crate::engine::Workspace), and the victim
+//! selection shares [`crate::traversal`]'s steal sweep.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use st_graph::dsu::DisjointSets;
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
-use st_smp::pad::CacheAligned;
-use st_smp::steal::WorkQueue;
-use st_smp::{run_team, AtomicU32Array, IdleOutcome, TerminationDetector};
+use st_smp::{Executor, IdleOutcome};
 
+use crate::engine::{SpanningAlgorithm, Workspace};
 use crate::result::{AlgoStats, SpanningForest};
-use crate::traversal::TraversalConfig;
+use crate::traversal::{steal_sweep, TraversalConfig};
 
 /// Color value meaning "not yet claimed".
 const UNCLAIMED: u32 = 0;
 
-/// Computes a spanning forest with the multi-root concurrent strategy.
+/// Computes a spanning forest with the multi-root concurrent strategy on
+/// a one-shot team of `p` processors (see [`spanning_forest_multiroot_on`]).
+pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -> SpanningForest {
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    spanning_forest_multiroot_on(g, &exec, &mut ws, cfg)
+}
+
+/// Computes a spanning forest with the multi-root concurrent strategy on
+/// an existing team and workspace.
 ///
 /// `cfg.starvation_threshold` is ignored (there is no fallback: idle
 /// processors claim new roots instead of starving); the steal policy,
 /// idle timeout, and seed apply as in the round driver.
-pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -> SpanningForest {
-    assert!(p > 0, "need at least one processor");
+pub fn spanning_forest_multiroot_on(
+    g: &CsrGraph,
+    exec: &Executor,
+    ws: &mut Workspace,
+    cfg: TraversalConfig,
+) -> SpanningForest {
+    let p = exec.size();
     let n = g.num_vertices();
     if n == 0 {
         return SpanningForest {
@@ -59,13 +76,16 @@ pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -
         };
     }
 
-    // color[v]: UNCLAIMED, or 1 + the id of the root whose tree claimed v.
-    let color = AtomicU32Array::new(n, UNCLAIMED);
-    let parent = AtomicU32Array::new(n, st_graph::NO_VERTEX);
-    let queues: Vec<CacheAligned<WorkQueue<VertexId>>> = (0..p)
-        .map(|_| CacheAligned::new(WorkQueue::new()))
-        .collect();
-    let detector = TerminationDetector::new(p);
+    // color[v]: UNCLAIMED, or 1 + the id of the root whose tree claimed
+    // v. UNCLAIMED coincides with the traversal's UNCOLORED, so the
+    // frontier prep's reset covers it.
+    ws.prep_frontier(n, p, exec, None);
+    exec.detector().reset();
+    let color = &ws.color;
+    let parent = &ws.parent;
+    let queues = &ws.queues[..p];
+    let detector = exec.detector();
+
     let cursor = AtomicUsize::new(0);
     let steals = AtomicUsize::new(0);
     let stolen_items = AtomicUsize::new(0);
@@ -89,11 +109,12 @@ pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -
     };
 
     type RankOut = (usize, Vec<(VertexId, VertexId)>);
-    let per_rank: Vec<RankOut> = run_team(p, |ctx| {
+    let per_rank: Vec<RankOut> = exec.run(|ctx| {
         let rank = ctx.rank();
         let my_q = &*queues[rank];
         let mut rng =
             SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut steal_buf: VecDeque<VertexId> = VecDeque::new();
         let mut processed = 0usize;
         let mut conflicts: Vec<(VertexId, VertexId)> = Vec::new();
 
@@ -127,7 +148,10 @@ pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -
             }
             // Local queue empty: steal, then claim a fresh root, then
             // sleep.
-            if try_steal(&queues, rank, p, &mut rng, cfg, &steals, &stolen_items) {
+            let got = steal_sweep(queues, rank, &mut rng, cfg.steal_policy, &mut steal_buf);
+            if got > 0 {
+                steals.fetch_add(1, Ordering::Relaxed);
+                stolen_items.fetch_add(got, Ordering::Relaxed);
                 continue;
             }
             if let Some(r) = claim_root() {
@@ -144,8 +168,8 @@ pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -
     });
 
     // --- Sequential merge pass: one merge edge per tree pair.
-    let mut parents: Vec<VertexId> = parent.into();
-    let colors = color.snapshot();
+    let mut parents: Vec<VertexId> = ws.parents_prefix(n);
+    let colors = ws.colors_prefix(n);
     let mut dsu = DisjointSets::new(n);
     let mut merges = 0usize;
     let mut processed_total = Vec::with_capacity(p);
@@ -199,44 +223,32 @@ pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn try_steal(
-    queues: &[CacheAligned<WorkQueue<VertexId>>],
-    rank: usize,
-    p: usize,
-    rng: &mut SmallRng,
+/// The multi-root strategy as a [`SpanningAlgorithm`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Multiroot {
     cfg: TraversalConfig,
-    steals: &AtomicUsize,
-    stolen_items: &AtomicUsize,
-) -> bool {
-    if p == 1 {
-        return false;
+}
+
+impl Multiroot {
+    /// With explicit traversal tuning.
+    pub fn new(cfg: TraversalConfig) -> Self {
+        Self { cfg }
     }
-    let mut buf = VecDeque::new();
-    for _ in 0..p {
-        let victim = rng.gen_range(0..p);
-        if victim == rank || queues[victim].appears_empty() {
-            continue;
-        }
-        let got = queues[victim].steal_into(&mut buf, cfg.steal_policy);
-        if got > 0 {
-            queues[rank].push_all(buf);
-            steals.fetch_add(1, Ordering::Relaxed);
-            stolen_items.fetch_add(got, Ordering::Relaxed);
-            return true;
-        }
+
+    /// With default tuning.
+    pub fn with_defaults() -> Self {
+        Self::default()
     }
-    for offset in 1..p {
-        let victim = (rank + offset) % p;
-        let got = queues[victim].steal_into(&mut buf, cfg.steal_policy);
-        if got > 0 {
-            queues[rank].push_all(buf);
-            steals.fetch_add(1, Ordering::Relaxed);
-            stolen_items.fetch_add(got, Ordering::Relaxed);
-            return true;
-        }
+}
+
+impl SpanningAlgorithm for Multiroot {
+    fn name(&self) -> &'static str {
+        "multiroot"
     }
-    false
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        spanning_forest_multiroot_on(g, exec, ws, self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +315,23 @@ mod tests {
             let f = spanning_forest_multiroot(&g, 4, cfg);
             assert!(is_spanning_forest(&g, &f.parents), "seed {seed}");
             assert_eq!(f.num_trees(), reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_engine_runs_stay_valid() {
+        // The round driver and multiroot share one workspace: state from
+        // one strategy must not contaminate the other.
+        let exec = Executor::new(4);
+        let mut ws = Workspace::new();
+        let g = gen::mesh2d_p(30, 30, 0.6, 2);
+        let reference = count_components(&g);
+        for _ in 0..3 {
+            let f = spanning_forest_multiroot_on(&g, &exec, &mut ws, TraversalConfig::default());
+            assert!(is_spanning_forest(&g, &f.parents));
+            assert_eq!(f.num_trees(), reference);
+            let f2 = crate::bader_cong::BaderCong::with_defaults().run_on(&g, &exec, &mut ws);
+            assert!(is_spanning_forest(&g, &f2.parents));
         }
     }
 

@@ -12,8 +12,10 @@
 //! queues pays off.
 
 use st_graph::{CsrGraph, EdgeList, VertexId, NO_VERTEX};
+use st_smp::Executor;
 
-use crate::traversal::{Traversal, TraversalConfig};
+use crate::engine::Workspace;
+use crate::traversal::TraversalConfig;
 
 fn forest_adjacency(n: usize, tree_edges: &[(VertexId, VertexId)]) -> CsrGraph {
     let mut el = EdgeList::with_capacity(n, tree_edges.len());
@@ -28,13 +30,28 @@ fn forest_adjacency(n: usize, tree_edges: &[(VertexId, VertexId)]) -> CsrGraph {
 /// at its smallest vertex id; vertices not covered by `tree_edges`
 /// become singleton roots.
 ///
+/// Convenience wrapper spawning a one-shot team; pipelines that already
+/// hold a team use [`orient_forest_on`].
+pub fn orient_forest(n: usize, tree_edges: &[(VertexId, VertexId)], p: usize) -> Vec<VertexId> {
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    orient_forest_on(n, tree_edges, &exec, &mut ws)
+}
+
+/// [`orient_forest`] on an existing team and workspace.
+///
 /// `tree_edges` must actually be a forest (cycles indicate a bug in the
 /// producing algorithm and surface as validation failures downstream).
-pub fn orient_forest(n: usize, tree_edges: &[(VertexId, VertexId)], p: usize) -> Vec<VertexId> {
+pub fn orient_forest_on(
+    n: usize,
+    tree_edges: &[(VertexId, VertexId)],
+    exec: &Executor,
+    ws: &mut Workspace,
+) -> Vec<VertexId> {
     let forest = forest_adjacency(n, tree_edges);
-    let t = Traversal::new(&forest, p, TraversalConfig::default());
+    let t = ws.traversal(&forest, exec, TraversalConfig::default());
     let mut cursor: VertexId = 0;
-    t.run_rounds(|t, _round| {
+    t.run_rounds(exec, |t, _round| {
         while (cursor as usize) < n {
             if !t.is_colored(cursor) {
                 t.seed(0, cursor, NO_VERTEX);
@@ -49,11 +66,8 @@ pub fn orient_forest(n: usize, tree_edges: &[(VertexId, VertexId)], p: usize) ->
 
 /// Orients `tree_edges` while preserving an existing partial orientation.
 ///
-/// `oriented_mask[v]` marks vertices whose `parents[v]` entry is already
-/// final (the starvation fallback's partially-built trees). These act as
-/// BFS seeds; every other vertex reached through `tree_edges` gets its
-/// parent assigned, and unreachable unoriented vertices become singleton
-/// roots.
+/// Convenience wrapper spawning a one-shot team; see
+/// [`orient_forest_with_mask_on`].
 pub fn orient_forest_with_mask(
     n: usize,
     tree_edges: &[(VertexId, VertexId)],
@@ -61,13 +75,34 @@ pub fn orient_forest_with_mask(
     parents: &mut [VertexId],
     p: usize,
 ) {
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    orient_forest_with_mask_on(n, tree_edges, oriented_mask, parents, &exec, &mut ws);
+}
+
+/// [`orient_forest_with_mask`] on an existing team and workspace.
+///
+/// `oriented_mask[v]` marks vertices whose `parents[v]` entry is already
+/// final (the starvation fallback's partially-built trees). These act as
+/// BFS seeds; every other vertex reached through `tree_edges` gets its
+/// parent assigned, and unreachable unoriented vertices become singleton
+/// roots.
+pub fn orient_forest_with_mask_on(
+    n: usize,
+    tree_edges: &[(VertexId, VertexId)],
+    oriented_mask: &[bool],
+    parents: &mut [VertexId],
+    exec: &Executor,
+    ws: &mut Workspace,
+) {
     assert_eq!(oriented_mask.len(), n);
     assert_eq!(parents.len(), n);
+    let p = exec.size();
     let forest = forest_adjacency(n, tree_edges);
-    let t = Traversal::new(&forest, p, TraversalConfig::default());
+    let t = ws.traversal(&forest, exec, TraversalConfig::default());
     let mut cursor: VertexId = 0;
     let parents_in: &[VertexId] = parents;
-    t.run_rounds(|t, round| {
+    t.run_rounds(exec, |t, round| {
         if round == 0 {
             // Seed every pre-oriented vertex round-robin, keeping its
             // existing parent.
@@ -139,6 +174,19 @@ mod tests {
         let parents = orient_forest(200, &edges, 4);
         let roots = parents.iter().filter(|&&p| p == NO_VERTEX).count();
         assert_eq!(roots, 100);
+    }
+
+    #[test]
+    fn shared_team_orients_repeatedly() {
+        // Reusing one executor + workspace across orientations must give
+        // the same results as fresh one-shot teams.
+        let exec = Executor::new(3);
+        let mut ws = Workspace::new();
+        for n in [10u32, 200, 50] {
+            let edges: Vec<(VertexId, VertexId)> = (1..n).map(|v| (v - 1, v)).collect();
+            let on = orient_forest_on(n as usize, &edges, &exec, &mut ws);
+            assert!(is_spanning_forest(&chain(n as usize), &on), "n = {n}");
+        }
     }
 
     #[test]

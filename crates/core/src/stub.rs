@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 
 /// A stub spanning tree: vertices in walk order with their tree parents.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StubTree {
     /// Vertices in the order the walk visited them; `vertices[0]` is the
     /// root.
@@ -41,6 +41,21 @@ impl StubTree {
     }
 }
 
+/// Reusable scratch for repeated stub walks (the round driver grows one
+/// stub per component, so a single workspace-owned scratch saves an
+/// allocation storm on many-component inputs).
+#[derive(Debug, Default)]
+pub struct StubScratch {
+    tree: StubTree,
+    /// Walk-with-backtracking position chain.
+    path: Vec<VertexId>,
+    /// Unvisited-neighbor candidates of the current position.
+    candidates: Vec<VertexId>,
+    /// Membership test local to one walk (the walk touches O(target)
+    /// vertices, so a hash set beats an O(n) bitmap).
+    in_stub: std::collections::HashSet<VertexId>,
+}
+
 /// Grows a stub spanning tree of up to `target` vertices from `root` by
 /// a random walk over unvisited vertices, with backtracking.
 ///
@@ -54,22 +69,43 @@ pub fn grow_stub(
     seed: u64,
     already_visited: impl Fn(VertexId) -> bool,
 ) -> StubTree {
+    let mut scratch = StubScratch::default();
+    grow_stub_into(g, root, target, seed, already_visited, &mut scratch);
+    scratch.tree
+}
+
+/// Allocation-reusing form of [`grow_stub`]: the walk runs entirely in
+/// `scratch` and the resulting tree is borrowed from it. Identical walk
+/// (and therefore identical tree) for identical inputs.
+pub fn grow_stub_into<'s>(
+    g: &CsrGraph,
+    root: VertexId,
+    target: usize,
+    seed: u64,
+    already_visited: impl Fn(VertexId) -> bool,
+    scratch: &'s mut StubScratch,
+) -> &'s StubTree {
     debug_assert!(!already_visited(root), "stub root must be unvisited");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut vertices = vec![root];
-    let mut parents = vec![NO_VERTEX];
-    if target <= 1 {
-        return StubTree { vertices, parents };
-    }
-    // Membership test local to this walk (the walk touches O(target)
-    // vertices, so a hash set beats an O(n) bitmap).
-    let mut in_stub: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
-    in_stub.insert(root);
+    let StubScratch {
+        tree,
+        path,
+        candidates,
+        in_stub,
+    } = scratch;
+    tree.vertices.clear();
+    tree.parents.clear();
+    path.clear();
+    in_stub.clear();
 
-    // Walk with backtracking: `path` holds the current position's chain.
-    let mut path = vec![root];
-    let mut candidates: Vec<VertexId> = Vec::new();
-    while vertices.len() < target {
+    tree.vertices.push(root);
+    tree.parents.push(NO_VERTEX);
+    if target <= 1 {
+        return tree;
+    }
+    in_stub.insert(root);
+    path.push(root);
+    while tree.vertices.len() < target {
         let Some(&cur) = path.last() else { break };
         candidates.clear();
         candidates.extend(
@@ -84,11 +120,11 @@ pub fn grow_stub(
         }
         let next = candidates[rng.gen_range(0..candidates.len())];
         in_stub.insert(next);
-        vertices.push(next);
-        parents.push(cur);
+        tree.vertices.push(next);
+        tree.parents.push(cur);
         path.push(next);
     }
-    StubTree { vertices, parents }
+    tree
 }
 
 #[cfg(test)]
@@ -187,6 +223,18 @@ mod tests {
             grow_stub(&g, 0, 12, 9, never_visited),
             grow_stub(&g, 0, 12, 10, never_visited)
         );
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_walks() {
+        let g = torus2d(15, 15);
+        let mut scratch = StubScratch::default();
+        for (root, seed) in [(0u32, 1u64), (37, 2), (100, 3), (5, 1)] {
+            let reused = grow_stub_into(&g, root, 20, seed, never_visited, &mut scratch).clone();
+            let fresh = grow_stub(&g, root, 20, seed, never_visited);
+            assert_eq!(reused, fresh, "root {root} seed {seed}");
+            assert_stub_is_tree(&g, &reused);
+        }
     }
 
     #[test]

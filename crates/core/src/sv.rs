@@ -29,14 +29,21 @@
 //! concurrent grafts cannot form cycles. Iteration count depends on the
 //! vertex labeling (experiment CLAIM-SVLABEL): row-major torus labels
 //! finish in one iteration, random labels take up to ~log n.
+//!
+//! All scratch state (hook array, election slots, per-root locks, edge
+//! list, per-rank graft lists) lives in the caller's
+//! [`Workspace`](crate::engine::Workspace), and the team comes from a
+//! persistent [`Executor`]; the `*_on` entry points reuse both across
+//! runs. The legacy `p`-taking functions spawn a one-shot team.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 use st_smp::team::block_range;
-use st_smp::{run_team, AtomicU32Array, SpinLock};
+use st_smp::Executor;
 
-use crate::orient::orient_forest;
+use crate::engine::{SpanningAlgorithm, Workspace};
+use crate::orient::orient_forest_on;
 use crate::result::{AlgoStats, SpanningForest};
 
 /// How grafting races are resolved.
@@ -81,42 +88,50 @@ pub struct SvOutcome {
 /// Sentinel for an empty winner slot.
 const NO_WINNER: u64 = u64::MAX;
 
-/// Runs graft-and-shortcut with `p` processors.
+/// Runs graft-and-shortcut with a one-shot team of `p` processors (see
+/// [`sv_core_on`]).
+pub fn sv_core(g: &CsrGraph, p: usize, init: Option<&[VertexId]>, cfg: SvConfig) -> SvOutcome {
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    sv_core_on(g, &exec, &mut ws, init, cfg)
+}
+
+/// Runs graft-and-shortcut on an existing team, with all scratch in `ws`.
 ///
 /// `init` optionally pre-contracts vertices: `init[v]` is v's starting
 /// hook target, which must form rooted stars (every value is a root:
 /// `init[init[v]] == init[v]`). The Bader–Cong starvation fallback uses
 /// this to merge already-traversed trees into super-vertices. `None`
 /// starts from singletons (`D[v] = v`).
-pub fn sv_core(g: &CsrGraph, p: usize, init: Option<&[VertexId]>, cfg: SvConfig) -> SvOutcome {
-    assert!(p > 0, "need at least one processor");
+pub fn sv_core_on(
+    g: &CsrGraph,
+    exec: &Executor,
+    ws: &mut Workspace,
+    init: Option<&[VertexId]>,
+    cfg: SvConfig,
+) -> SvOutcome {
+    let p = exec.size();
     let n = g.num_vertices();
-    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
-    let m = edges.len();
+    ws.collect_edges(g);
+    let m = ws.edges.len();
     assert!(
         m < (u32::MAX as usize) / 2,
         "edge count exceeds election code space"
     );
-
-    let d = match init {
-        Some(init) => {
-            assert_eq!(init.len(), n, "init must cover all vertices");
-            debug_assert!(
-                init.iter().all(|&r| init[r as usize] == r),
-                "init must be rooted stars"
-            );
-            AtomicU32Array::from_vec(init.to_vec())
-        }
-        None => AtomicU32Array::from_vec((0..n as VertexId).collect()),
-    };
-
+    ws.init_labels(n, init);
     // Election slots, one per vertex (only root slots are used).
-    let winner: Box<[AtomicU64]> = (0..n).map(|_| AtomicU64::new(NO_WINNER)).collect();
-    // Per-root graft locks for the Lock variant (allocated lazily).
-    let locks: Box<[SpinLock<()>]> = match cfg.variant {
-        GraftVariant::Lock => (0..n).map(|_| SpinLock::new(())).collect(),
-        GraftVariant::Election => Box::new([]),
-    };
+    ws.ensure_slots(n);
+    // Per-root graft locks for the Lock variant.
+    if matches!(cfg.variant, GraftVariant::Lock) {
+        ws.ensure_locks(n);
+    }
+    ws.ensure_graft(p);
+
+    let d = &ws.labels;
+    let winner: &[AtomicU64] = &ws.slots[..n];
+    let locks = &ws.locks[..];
+    let edges = &ws.edges[..];
+    let graft = &ws.graft[..p];
 
     // Epoch-stamped change flags (no reset races: each iteration/round
     // compares against its own stamp). The graft epoch is safe as a
@@ -132,11 +147,14 @@ pub fn sv_core(g: &CsrGraph, p: usize, init: Option<&[VertexId]>, cfg: SvConfig)
     let barriers = std::sync::atomic::AtomicUsize::new(0);
     let iterations = std::sync::atomic::AtomicUsize::new(0);
 
-    let per_rank: Vec<Vec<(VertexId, VertexId)>> = run_team(p, |ctx| {
+    exec.run(|ctx| {
         let rank = ctx.rank();
         let my_edges = block_range(rank, p, m);
         let my_verts = block_range(rank, p, n);
-        let mut my_tree_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        // Each rank's tree edges collect into its workspace graft list
+        // (disjoint per rank; the lock is uncontended and held for the
+        // whole job).
+        let mut my_tree_edges = graft[rank].lock();
         let bar = |leader_count: &std::sync::atomic::AtomicUsize| {
             if ctx.barrier() {
                 leader_count.fetch_add(1, Ordering::Relaxed);
@@ -259,14 +277,14 @@ pub fn sv_core(g: &CsrGraph, p: usize, init: Option<&[VertexId]>, cfg: SvConfig)
             }
             iter += 1;
         }
-        my_tree_edges
     });
 
-    let tree_edges: Vec<(VertexId, VertexId)> = per_rank.into_iter().flatten().collect();
+    let labels = ws.labels.snapshot_prefix(n);
+    let tree_edges = ws.drain_graft(p);
     let grafts = tree_edges.len();
     SvOutcome {
         tree_edges,
-        labels: d.into(),
+        labels,
         iterations: iterations.load(Ordering::Relaxed),
         grafts,
         shortcut_rounds: shortcut_rounds_total.load(Ordering::Relaxed),
@@ -279,11 +297,24 @@ fn code(edge: usize, dir: u64) -> u64 {
     (edge as u64) * 2 + dir
 }
 
-/// Full SV spanning forest: graft-and-shortcut, then parallel orientation
-/// of the collected tree edges into rooted parent arrays.
+/// Full SV spanning forest with a one-shot team of `p` processors.
 pub fn spanning_forest(g: &CsrGraph, p: usize, cfg: SvConfig) -> SpanningForest {
-    let out = sv_core(g, p, None, cfg);
-    let parents = orient_forest(g.num_vertices(), &out.tree_edges, p);
+    let exec = Executor::new(p);
+    let mut ws = Workspace::new();
+    spanning_forest_on(g, &exec, &mut ws, cfg)
+}
+
+/// Full SV spanning forest on an existing team: graft-and-shortcut, then
+/// parallel orientation of the collected tree edges into rooted parent
+/// arrays.
+pub fn spanning_forest_on(
+    g: &CsrGraph,
+    exec: &Executor,
+    ws: &mut Workspace,
+    cfg: SvConfig,
+) -> SpanningForest {
+    let out = sv_core_on(g, exec, ws, None, cfg);
+    let parents = orient_forest_on(g.num_vertices(), &out.tree_edges, exec, ws);
     let roots: Vec<VertexId> = parents
         .iter()
         .enumerate()
@@ -302,6 +333,37 @@ pub fn spanning_forest(g: &CsrGraph, p: usize, cfg: SvConfig) -> SpanningForest 
         parents,
         roots,
         stats,
+    }
+}
+
+/// Shiloach–Vishkin as a [`SpanningAlgorithm`] (either graft variant).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sv {
+    cfg: SvConfig,
+}
+
+impl Sv {
+    /// With explicit configuration.
+    pub fn new(cfg: SvConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SvConfig {
+        &self.cfg
+    }
+}
+
+impl SpanningAlgorithm for Sv {
+    fn name(&self) -> &'static str {
+        match self.cfg.variant {
+            GraftVariant::Election => "sv-election",
+            GraftVariant::Lock => "sv-lock",
+        }
+    }
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        spanning_forest_on(g, exec, ws, self.cfg)
     }
 }
 
@@ -483,6 +545,21 @@ mod tests {
             let out = sv_core(&g, 3, None, SvConfig::default());
             let c = count_components(&g);
             assert_eq!(out.grafts, 300 - c, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_runs() {
+        // Same team + workspace over several graphs; outcomes must match
+        // fresh one-shot runs (scratch fully re-initialized).
+        let exec = Executor::new(3);
+        let mut ws = Workspace::new();
+        for (n, m, seed) in [(400usize, 600usize, 1u64), (50, 40, 2), (800, 900, 3)] {
+            let g = gen::random_gnm(n, m, seed);
+            let reused = sv_core_on(&g, &exec, &mut ws, None, SvConfig::default());
+            let fresh = sv_core(&g, 3, None, SvConfig::default());
+            assert_eq!(reused.grafts, fresh.grafts, "seed {seed}");
+            assert_eq!(reused.labels, fresh.labels, "seed {seed}");
         }
     }
 }

@@ -43,6 +43,16 @@
 //! been processed, and sleeper-driven publication guarantees thieves see
 //! any surplus before the starvation threshold can misfire.
 //!
+//! ## Engine integration
+//!
+//! A [`Traversal`] is a *borrowed view*: the color/parent arrays and the
+//! per-rank queues live in a reusable [`Workspace`](crate::engine::Workspace)
+//! arena, and the [`TerminationDetector`] is owned by the long-lived
+//! [`Executor`] team. Construct one with
+//! [`Workspace::traversal`](crate::engine::Workspace::traversal), which
+//! grows-and-resets the arrays for the target graph without reallocating
+//! across runs.
+//!
 //! The engine is also reused to orient Shiloach–Vishkin's undirected
 //! tree-edge output into rooted parent arrays (see [`crate::orient`]),
 //! which keeps the SV pipeline parallel end to end.
@@ -56,7 +66,7 @@ use rand::{Rng, SeedableRng};
 use st_graph::{CsrGraph, VertexId};
 use st_smp::pad::CacheAligned;
 use st_smp::steal::{StealPolicy, WorkQueue};
-use st_smp::{IdleOutcome, TerminationDetector};
+use st_smp::{AtomicU32Array, Executor, IdleOutcome, TerminationDetector};
 
 /// Color value meaning "not yet visited".
 pub const UNCOLORED: u32 = 0;
@@ -95,8 +105,61 @@ pub struct TraversalConfig {
     pub publish_on_sleepers: bool,
 }
 
+/// Frontier knobs parsed once from the environment (`ST_*` variables);
+/// applied by [`TraversalConfig::default`] so every default-configured
+/// traversal in the process — tests included — runs the same protocol.
+#[derive(Clone, Copy, Debug, Default)]
+struct FrontierEnvOverrides {
+    publish_threshold: Option<usize>,
+    publish_on_sleepers: Option<bool>,
+    local_batch: Option<usize>,
+}
+
+fn frontier_env() -> FrontierEnvOverrides {
+    static CELL: std::sync::OnceLock<FrontierEnvOverrides> = std::sync::OnceLock::new();
+    *CELL.get_or_init(|| FrontierEnvOverrides {
+        publish_threshold: std::env::var("ST_PUBLISH_THRESHOLD").ok().map(|v| {
+            if v.eq_ignore_ascii_case("max") {
+                usize::MAX
+            } else {
+                v.parse()
+                    .expect("ST_PUBLISH_THRESHOLD must be an integer or `max`")
+            }
+        }),
+        publish_on_sleepers: std::env::var("ST_PUBLISH_ON_SLEEPERS")
+            .ok()
+            .map(|v| !matches!(v.as_str(), "0" | "false" | "off")),
+        local_batch: std::env::var("ST_LOCAL_BATCH")
+            .ok()
+            .map(|v| v.parse().expect("ST_LOCAL_BATCH must be an integer")),
+    })
+}
+
 impl Default for TraversalConfig {
+    /// The two-level frontier defaults, with any `ST_PUBLISH_THRESHOLD`,
+    /// `ST_PUBLISH_ON_SLEEPERS`, or `ST_LOCAL_BATCH` environment
+    /// overrides applied (parsed once per process). The CI stress job
+    /// uses `ST_PUBLISH_THRESHOLD=1` to pin the whole suite to the
+    /// paper's publish-everything protocol.
     fn default() -> Self {
+        let env = frontier_env();
+        let mut cfg = Self::base();
+        if let Some(t) = env.publish_threshold {
+            cfg.publish_threshold = t;
+        }
+        if let Some(s) = env.publish_on_sleepers {
+            cfg.publish_on_sleepers = s;
+        }
+        if let Some(b) = env.local_batch {
+            cfg.local_batch = b;
+        }
+        cfg
+    }
+}
+
+impl TraversalConfig {
+    /// The literal defaults, ignoring the environment.
+    fn base() -> Self {
         Self {
             steal_policy: StealPolicy::Half,
             idle_timeout: Duration::from_micros(200),
@@ -107,18 +170,17 @@ impl Default for TraversalConfig {
             publish_on_sleepers: true,
         }
     }
-}
 
-impl TraversalConfig {
     /// The paper's per-vertex shared-queue protocol: every discovered
     /// vertex is published (and stealable) immediately, and the owner
     /// dequeues one vertex per lock acquisition. This is the seed
-    /// configuration the `traversal-frontier` benchmark compares against.
+    /// configuration the `traversal-frontier` benchmark compares
+    /// against; it is pinned regardless of `ST_*` overrides.
     pub fn paper_protocol() -> Self {
         Self {
             publish_threshold: 1,
             local_batch: 1,
-            ..Self::default()
+            ..Self::base()
         }
     }
 }
@@ -132,17 +194,20 @@ pub enum TraversalOutcome {
     Starved,
 }
 
-/// Shared state of one traversal session. Created once per algorithm run
-/// and reused across per-component rounds.
-pub struct Traversal<'g> {
-    g: &'g CsrGraph,
+/// Shared state of one traversal session, borrowed from a
+/// [`Workspace`](crate::engine::Workspace) arena and the team's
+/// [`Executor`]. Created once per algorithm run and reused across
+/// per-component rounds; dropping it releases the workspace borrow
+/// without freeing any array.
+pub struct Traversal<'a> {
+    g: &'a CsrGraph,
     /// `color[v]`: [`UNCOLORED`] or the 1-based label of a processor that
-    /// colored v.
-    pub color: st_smp::AtomicU32Array,
+    /// colored v. May be longer than `g.num_vertices()` (grown arena).
+    color: &'a AtomicU32Array,
     /// `parent[v]`: tree parent, or [`st_graph::NO_VERTEX`].
-    pub parent: st_smp::AtomicU32Array,
-    queues: Vec<CacheAligned<WorkQueue<VertexId>>>,
-    detector: TerminationDetector,
+    parent: &'a AtomicU32Array,
+    queues: &'a [CacheAligned<WorkQueue<VertexId>>],
+    detector: &'a TerminationDetector,
     cfg: TraversalConfig,
     starved: AtomicBool,
     multi_colored: AtomicUsize,
@@ -150,23 +215,28 @@ pub struct Traversal<'g> {
     stolen_items: AtomicUsize,
 }
 
-impl<'g> Traversal<'g> {
-    /// Fresh traversal state for `p` processors over `g`: everything
-    /// uncolored, all queues empty.
-    pub fn new(g: &'g CsrGraph, p: usize, cfg: TraversalConfig) -> Self {
-        assert!(p > 0, "traversal needs at least one processor");
-        let n = g.num_vertices();
-        let detector = match cfg.starvation_threshold {
-            Some(t) => TerminationDetector::with_threshold(p, t),
-            None => TerminationDetector::new(p),
-        };
+impl<'a> Traversal<'a> {
+    /// Assembles a traversal view from workspace-owned parts. The
+    /// arrays must be initialized (`color` prefix [`UNCOLORED`],
+    /// `parent` prefix [`st_graph::NO_VERTEX`]) and the queues empty;
+    /// [`Workspace::traversal`](crate::engine::Workspace::traversal)
+    /// guarantees all of it.
+    pub(crate) fn from_parts(
+        g: &'a CsrGraph,
+        color: &'a AtomicU32Array,
+        parent: &'a AtomicU32Array,
+        queues: &'a [CacheAligned<WorkQueue<VertexId>>],
+        detector: &'a TerminationDetector,
+        cfg: TraversalConfig,
+    ) -> Self {
+        debug_assert!(!queues.is_empty(), "traversal needs at least one processor");
+        debug_assert!(color.len() >= g.num_vertices());
+        debug_assert!(parent.len() >= g.num_vertices());
         Self {
             g,
-            color: st_smp::AtomicU32Array::new(n, UNCOLORED),
-            parent: st_smp::AtomicU32Array::new(n, st_graph::NO_VERTEX),
-            queues: (0..p)
-                .map(|_| CacheAligned::new(WorkQueue::new()))
-                .collect(),
+            color,
+            parent,
+            queues,
             detector,
             cfg,
             starved: AtomicBool::new(false),
@@ -179,6 +249,16 @@ impl<'g> Traversal<'g> {
     /// Number of processors.
     pub fn processors(&self) -> usize {
         self.queues.len()
+    }
+
+    /// The shared color array (live prefix `g.num_vertices()`).
+    pub fn color(&self) -> &AtomicU32Array {
+        self.color
+    }
+
+    /// The shared parent array (live prefix `g.num_vertices()`).
+    pub fn parent(&self) -> &AtomicU32Array {
+        self.parent
     }
 
     /// True when `v` has been colored.
@@ -222,7 +302,6 @@ impl<'g> Traversal<'g> {
     /// round outcome. All `p` processors must call this exactly once per
     /// round.
     pub fn run_worker(&self, rank: usize) -> (usize, TraversalOutcome) {
-        let p = self.queues.len();
         let my_label = rank as u32 + 1;
         let my_q = &*self.queues[rank];
         let mut rng = SmallRng::seed_from_u64(
@@ -319,7 +398,7 @@ impl<'g> Traversal<'g> {
             );
 
             // Local queues empty: try to steal.
-            if self.try_steal(rank, p, &mut rng, &mut steal_buf) {
+            if self.try_steal(rank, &mut rng, &mut steal_buf) {
                 continue;
             }
 
@@ -334,81 +413,53 @@ impl<'g> Traversal<'g> {
         }
     }
 
-    /// One steal sweep: a few random probes, then a deterministic scan.
-    /// Stolen items land in our own queue (so they stay stealable by
-    /// others). `buf` is caller-owned scratch (always left empty) so a
-    /// round's many sweeps share one allocation. Returns true when
-    /// anything was stolen.
-    fn try_steal(
-        &self,
-        rank: usize,
-        p: usize,
-        rng: &mut SmallRng,
-        buf: &mut VecDeque<VertexId>,
-    ) -> bool {
-        if p == 1 {
-            return false;
+    /// One steal sweep for `rank`; updates the steal counters. Returns
+    /// true when anything was stolen.
+    fn try_steal(&self, rank: usize, rng: &mut SmallRng, buf: &mut VecDeque<VertexId>) -> bool {
+        let got = steal_sweep(self.queues, rank, rng, self.cfg.steal_policy, buf);
+        if got > 0 {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.stolen_items.fetch_add(got, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
-        // Random probes (the paper: "randomly checks other processors'
-        // queues").
-        for _ in 0..p {
-            let victim = rng.gen_range(0..p);
-            if victim == rank || self.queues[victim].appears_empty() {
-                continue;
-            }
-            let got = self.queues[victim].steal_into(buf, self.cfg.steal_policy);
-            if got > 0 {
-                self.finish_steal(rank, buf, got);
-                return true;
-            }
-        }
-        // Deterministic sweep so a lone victim cannot be missed forever.
-        // The appears_empty fast path is safe here: a stale emptiness
-        // answer only delays this sweep, and the idle loop retries after
-        // `idle_timeout` until the detector proves global quiescence.
-        for offset in 1..p {
-            let victim = (rank + offset) % p;
-            if self.queues[victim].appears_empty() {
-                continue;
-            }
-            let got = self.queues[victim].steal_into(buf, self.cfg.steal_policy);
-            if got > 0 {
-                self.finish_steal(rank, buf, got);
-                return true;
-            }
-        }
-        false
     }
 
-    fn finish_steal(&self, rank: usize, buf: &mut VecDeque<VertexId>, got: usize) {
-        self.queues[rank].push_all(buf.drain(..));
-        self.steals.fetch_add(1, Ordering::Relaxed);
-        self.stolen_items.fetch_add(got, Ordering::Relaxed);
-    }
-
-    /// Runs a whole multi-round session on a single team of `p` threads.
+    /// Runs a whole multi-round session on the executor's team.
     ///
     /// Between rounds, rank 0 calls `prepare(self, round_index)` (all
     /// other ranks wait at a barrier) to seed the next round's queues —
     /// e.g. growing a stub tree for the next component. `prepare`
-    /// returning `false` ends the session. Spawning the team once and
-    /// cycling rounds with two barriers each is what keeps
+    /// returning `false` ends the session. Dispatching the persistent
+    /// team once and cycling rounds with two barriers each is what keeps
     /// many-component graphs (2D60, sparse random) cheap.
+    ///
+    /// `exec` must be the same team whose detector this traversal was
+    /// built against (`Workspace::traversal` ties them together).
     ///
     /// Returns per-rank processed counts, the number of barrier episodes
     /// executed, and the session outcome ([`TraversalOutcome::Starved`]
     /// as soon as any round starves).
-    pub fn run_rounds<F>(&self, prepare: F) -> (Vec<usize>, usize, TraversalOutcome)
+    pub fn run_rounds<F>(
+        &self,
+        exec: &Executor,
+        prepare: F,
+    ) -> (Vec<usize>, usize, TraversalOutcome)
     where
         F: FnMut(&Self, usize) -> bool + Send,
     {
         use st_smp::SpinLock;
-        let p = self.processors();
+        assert_eq!(
+            exec.size(),
+            self.processors(),
+            "executor team does not match traversal width"
+        );
         let prepare = SpinLock::new(prepare);
         let finished = AtomicBool::new(false);
         let any_starved = AtomicBool::new(false);
         let barriers = AtomicUsize::new(0);
-        let processed = st_smp::run_team(p, |ctx| {
+        let processed = exec.run(|ctx| {
             let mut total = 0usize;
             let mut round = 0usize;
             loop {
@@ -461,38 +512,105 @@ impl<'g> Traversal<'g> {
         self.stolen_items.load(Ordering::Relaxed)
     }
 
-    /// Extracts the parent array (call after all workers joined).
-    pub fn into_parents(self) -> Vec<VertexId> {
-        self.parent.into()
+    /// Copies out the live prefix of the parent array (call after all
+    /// workers joined).
+    pub fn parents_vec(&self) -> Vec<VertexId> {
+        self.parent.snapshot_prefix(self.g.num_vertices())
     }
+
+    /// Copies out the live prefix of the color array.
+    pub fn colors_vec(&self) -> Vec<u32> {
+        self.color.snapshot_prefix(self.g.num_vertices())
+    }
+
+    /// Extracts the parent array, consuming the view (the backing
+    /// workspace array is left intact for reuse).
+    pub fn into_parents(self) -> Vec<VertexId> {
+        self.parents_vec()
+    }
+}
+
+/// One steal sweep over `queues`: a few random probes, then a
+/// deterministic scan so a lone victim cannot be missed forever. Stolen
+/// items land in `queues[rank]` (so they stay stealable by others).
+/// `buf` is caller-owned scratch (always left empty) so a round's many
+/// sweeps share one allocation. Returns the number of items stolen.
+///
+/// Shared between [`Traversal`] and the multiroot variant — one copy of
+/// the victim-selection logic.
+pub(crate) fn steal_sweep(
+    queues: &[CacheAligned<WorkQueue<VertexId>>],
+    rank: usize,
+    rng: &mut SmallRng,
+    policy: StealPolicy,
+    buf: &mut VecDeque<VertexId>,
+) -> usize {
+    let p = queues.len();
+    if p == 1 {
+        return 0;
+    }
+    // Random probes (the paper: "randomly checks other processors'
+    // queues").
+    for _ in 0..p {
+        let victim = rng.gen_range(0..p);
+        if victim == rank || queues[victim].appears_empty() {
+            continue;
+        }
+        let got = queues[victim].steal_into(buf, policy);
+        if got > 0 {
+            queues[rank].push_all(buf.drain(..));
+            return got;
+        }
+    }
+    // Deterministic sweep. The appears_empty fast path is safe here: a
+    // stale emptiness answer only delays this sweep, and the idle loop
+    // retries after the timeout until the detector proves quiescence.
+    for offset in 1..p {
+        let victim = (rank + offset) % p;
+        if queues[victim].appears_empty() {
+            continue;
+        }
+        let got = queues[victim].steal_into(buf, policy);
+        if got > 0 {
+            queues[rank].push_all(buf.drain(..));
+            return got;
+        }
+    }
+    0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Workspace;
     use st_graph::gen::{chain, complete, random_connected, star, torus2d};
     use st_graph::validate::is_spanning_tree;
     use st_graph::NO_VERTEX;
-    use st_smp::run_team;
 
     /// Runs a single-round traversal seeded with one root on a connected
-    /// graph.
-    fn traverse(g: &CsrGraph, p: usize, root: VertexId, cfg: TraversalConfig) -> Traversal<'_> {
-        let t = Traversal::new(g, p, cfg);
+    /// graph; returns (parents, steals).
+    fn traverse(
+        g: &CsrGraph,
+        p: usize,
+        root: VertexId,
+        cfg: TraversalConfig,
+    ) -> (Vec<VertexId>, usize) {
+        let exec = Executor::new(p);
+        let mut ws = Workspace::new();
+        let t = ws.traversal(g, &exec, cfg);
         t.begin_round();
         t.seed(0, root, NO_VERTEX);
-        run_team(p, |ctx| {
+        exec.run(|ctx| {
             let (_, outcome) = t.run_worker(ctx.rank());
             assert_eq!(outcome, TraversalOutcome::Completed);
         });
-        t
+        (t.parents_vec(), t.steals())
     }
 
     #[test]
     fn single_processor_matches_bfs_reachability() {
         let g = torus2d(10, 10);
-        let t = traverse(&g, 1, 0, TraversalConfig::default());
-        let parents = t.into_parents();
+        let (parents, _) = traverse(&g, 1, 0, TraversalConfig::default());
         assert!(is_spanning_tree(&g, &parents, 0));
     }
 
@@ -500,8 +618,7 @@ mod tests {
     fn multi_processor_produces_valid_tree() {
         let g = random_connected(2_000, 3_000, 11);
         for p in [2, 4, 8] {
-            let t = traverse(&g, p, 0, TraversalConfig::default());
-            let parents = t.into_parents();
+            let (parents, _) = traverse(&g, p, 0, TraversalConfig::default());
             assert!(is_spanning_tree(&g, &parents, 0), "p = {p}");
         }
     }
@@ -514,8 +631,7 @@ mod tests {
         // host, so only correctness is asserted here; steal mechanics
         // are covered deterministically in st-smp and st-model.)
         let g = star(5_000);
-        let t = traverse(&g, 4, 0, TraversalConfig::default());
-        let parents = t.into_parents();
+        let (parents, _) = traverse(&g, 4, 0, TraversalConfig::default());
         assert!(is_spanning_tree(&g, &parents, 0));
     }
 
@@ -527,8 +643,7 @@ mod tests {
                 steal_policy: policy,
                 ..TraversalConfig::default()
             };
-            let t = traverse(&g, 4, 0, cfg);
-            let parents = t.into_parents();
+            let (parents, _) = traverse(&g, 4, 0, cfg);
             assert!(is_spanning_tree(&g, &parents, 0), "policy {policy:?}");
         }
     }
@@ -542,10 +657,12 @@ mod tests {
             starvation_threshold: Some(3),
             ..TraversalConfig::default()
         };
-        let t = Traversal::new(&g, 4, cfg);
+        let exec = Executor::new(4);
+        let mut ws = Workspace::new();
+        let t = ws.traversal(&g, &exec, cfg);
         t.begin_round();
         t.seed(0, 0, NO_VERTEX);
-        let outcomes = run_team(4, |ctx| t.run_worker(ctx.rank()).1);
+        let outcomes = exec.run(|ctx| t.run_worker(ctx.rank()).1);
         assert!(
             outcomes.iter().all(|&o| o == TraversalOutcome::Starved),
             "expected starvation, got {outcomes:?}"
@@ -555,8 +672,7 @@ mod tests {
     #[test]
     fn complete_graph_single_frontier_wave() {
         let g = complete(300);
-        let t = traverse(&g, 4, 0, TraversalConfig::default());
-        let parents = t.into_parents();
+        let (parents, _) = traverse(&g, 4, 0, TraversalConfig::default());
         assert!(is_spanning_tree(&g, &parents, 0));
     }
 
@@ -567,14 +683,16 @@ mod tests {
         let n = 10_000;
         let g = chain(n);
         let p = 4;
-        let t = Traversal::new(&g, p, TraversalConfig::default());
+        let exec = Executor::new(p);
+        let mut ws = Workspace::new();
+        let t = ws.traversal(&g, &exec, TraversalConfig::default());
         t.begin_round();
         // Seed a contiguous prefix walk 0-1-2-...-(2p-1), round-robin.
         t.seed(0, 0, NO_VERTEX);
         for v in 1..(2 * p as u32) {
             t.seed((v as usize) % p, v, v - 1);
         }
-        let processed: Vec<usize> = run_team(p, |ctx| {
+        let processed: Vec<usize> = exec.run(|ctx| {
             let (count, outcome) = t.run_worker(ctx.rank());
             assert_eq!(outcome, TraversalOutcome::Completed);
             count
@@ -582,7 +700,7 @@ mod tests {
         // Everyone processed at least its seeds; the far-end processor
         // does the bulk (the chain is pathological by design).
         assert!(processed.iter().sum::<usize>() >= n);
-        let parents = t.into_parents();
+        let parents = t.parents_vec();
         assert!(is_spanning_tree(&g, &parents, 0));
     }
 
@@ -594,8 +712,7 @@ mod tests {
                 local_batch: batch,
                 ..TraversalConfig::default()
             };
-            let t = traverse(&g, 4, 0, cfg);
-            let parents = t.into_parents();
+            let (parents, _) = traverse(&g, 4, 0, cfg);
             assert!(is_spanning_tree(&g, &parents, 0), "batch {batch}");
         }
         // Zero batch clamps to 1 instead of hanging.
@@ -603,8 +720,8 @@ mod tests {
             local_batch: 0,
             ..TraversalConfig::default()
         };
-        let t = traverse(&g, 2, 0, cfg);
-        assert!(is_spanning_tree(&g, &t.into_parents(), 0));
+        let (parents, _) = traverse(&g, 2, 0, cfg);
+        assert!(is_spanning_tree(&g, &parents, 0));
     }
 
     #[test]
@@ -614,10 +731,10 @@ mod tests {
         // trees on the same inputs.
         let g = random_connected(3_000, 4_500, 23);
         for p in [1, 2, 4] {
-            let t = traverse(&g, p, 0, TraversalConfig::paper_protocol());
-            assert!(is_spanning_tree(&g, &t.into_parents(), 0), "paper p={p}");
-            let t = traverse(&g, p, 0, TraversalConfig::default());
-            assert!(is_spanning_tree(&g, &t.into_parents(), 0), "default p={p}");
+            let (parents, _) = traverse(&g, p, 0, TraversalConfig::paper_protocol());
+            assert!(is_spanning_tree(&g, &parents, 0), "paper p={p}");
+            let (parents, _) = traverse(&g, p, 0, TraversalConfig::default());
+            assert!(is_spanning_tree(&g, &parents, 0), "default p={p}");
         }
     }
 
@@ -631,9 +748,9 @@ mod tests {
             publish_threshold: 4,
             ..TraversalConfig::default()
         };
-        let t = traverse(&g, 1, 0, cfg);
-        assert_eq!(t.steals(), 0);
-        assert!(is_spanning_tree(&g, &t.into_parents(), 0));
+        let (parents, steals) = traverse(&g, 1, 0, cfg);
+        assert_eq!(steals, 0);
+        assert!(is_spanning_tree(&g, &parents, 0));
     }
 
     #[test]
@@ -648,9 +765,9 @@ mod tests {
                 publish_on_sleepers,
                 ..TraversalConfig::default()
             };
-            let t = traverse(&g, 4, 0, cfg);
+            let (parents, _) = traverse(&g, 4, 0, cfg);
             assert!(
-                is_spanning_tree(&g, &t.into_parents(), 0),
+                is_spanning_tree(&g, &parents, 0),
                 "publish_on_sleepers={publish_on_sleepers}"
             );
         }
@@ -666,10 +783,12 @@ mod tests {
             publish_threshold: 256,
             ..TraversalConfig::default()
         };
-        let t = Traversal::new(&g, 4, cfg);
+        let exec = Executor::new(4);
+        let mut ws = Workspace::new();
+        let t = ws.traversal(&g, &exec, cfg);
         t.begin_round();
         t.seed(0, 0, NO_VERTEX);
-        let outcomes = run_team(4, |ctx| t.run_worker(ctx.rank()).1);
+        let outcomes = exec.run(|ctx| t.run_worker(ctx.rank()).1);
         assert!(
             outcomes.iter().all(|&o| o == TraversalOutcome::Starved),
             "expected starvation, got {outcomes:?}"
@@ -679,10 +798,31 @@ mod tests {
     #[test]
     fn seeded_colors_are_respected() {
         let g = chain(5);
-        let t = Traversal::new(&g, 2, TraversalConfig::default());
+        let exec = Executor::new(2);
+        let mut ws = Workspace::new();
+        let t = ws.traversal(&g, &exec, TraversalConfig::default());
         t.begin_round();
         t.seed(0, 2, NO_VERTEX);
         assert!(t.is_colored(2));
         assert!(!t.is_colored(1));
+    }
+
+    #[test]
+    fn workspace_arrays_are_reused_across_graphs() {
+        // The same workspace serves graphs of shrinking and growing n;
+        // every run starts from a fully reset prefix.
+        let exec = Executor::new(2);
+        let mut ws = Workspace::new();
+        for n in [1000usize, 10, 5000, 100] {
+            let g = chain(n);
+            let t = ws.traversal(&g, &exec, TraversalConfig::default());
+            t.begin_round();
+            t.seed(0, 0, NO_VERTEX);
+            exec.run(|ctx| {
+                t.run_worker(ctx.rank());
+            });
+            let parents = t.parents_vec();
+            assert!(is_spanning_tree(&g, &parents, 0), "n = {n}");
+        }
     }
 }

@@ -16,6 +16,13 @@ pub struct AtomicU32Array {
     cells: Box<[AtomicU32]>,
 }
 
+impl Default for AtomicU32Array {
+    /// An empty array; grow it with [`AtomicU32Array::ensure_len`].
+    fn default() -> Self {
+        Self::new(0, 0)
+    }
+}
+
 impl AtomicU32Array {
     /// An array of `len` cells, each initialized to `init`.
     pub fn new(len: usize, init: u32) -> Self {
@@ -93,6 +100,37 @@ impl AtomicU32Array {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Snapshots the first `n` cells (workspace arrays are grown, not
+    /// shrunk, so the live prefix is usually shorter than `len`).
+    pub fn snapshot_prefix(&self, n: usize) -> Vec<u32> {
+        self.cells[..n]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Stores `value` into the first `n` cells (sequential; for
+    /// re-initializing a reused array between runs).
+    pub fn fill_prefix(&self, n: usize, value: u32) {
+        for c in &self.cells[..n] {
+            c.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Grows the array to at least `n` cells (geometric, so repeated
+    /// engine runs over growing graphs reallocate O(log n) times); new
+    /// and existing cell contents are unspecified — callers re-init the
+    /// prefix they use. No-op when capacity suffices.
+    pub fn ensure_len(&mut self, n: usize) {
+        if self.cells.len() >= n {
+            return;
+        }
+        let target = n.max(self.cells.len() * 2);
+        let mut v = Vec::with_capacity(target);
+        v.resize_with(target, || AtomicU32::new(0));
+        self.cells = v.into_boxed_slice();
     }
 }
 

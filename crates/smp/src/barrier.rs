@@ -37,6 +37,19 @@ impl BarrierToken {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// A token whose private sense is pre-set to `sense`.
+    ///
+    /// Used by the persistent executor: a thread joining a long-lived
+    /// barrier between jobs must start from the barrier's *current*
+    /// sense (see [`SenseBarrier::current_sense`]), not from `false`,
+    /// or its first `wait` would fall through an already-completed
+    /// episode.
+    pub fn with_sense(sense: bool) -> Self {
+        Self {
+            sense: Cell::new(sense),
+        }
+    }
 }
 
 impl SenseBarrier {
@@ -64,6 +77,18 @@ impl SenseBarrier {
     /// counter).
     pub fn generations(&self) -> u64 {
         self.generations.load(Ordering::Acquire)
+    }
+
+    /// The barrier's current shared sense.
+    ///
+    /// Only meaningful while the barrier is quiescent (no episode in
+    /// flight). The executor reads it when handing a job to the team so
+    /// each rank can mint a [`BarrierToken::with_sense`] token that is
+    /// consistent with however many episodes previous jobs completed:
+    /// no new episode can finish before every rank has entered its
+    /// first `wait`, so a value read between jobs stays valid.
+    pub fn current_sense(&self) -> bool {
+        self.sense.load(Ordering::Acquire)
     }
 
     /// Blocks until all `participants` threads have called `wait` with

@@ -53,7 +53,10 @@ struct DetectorState {
 #[derive(Debug)]
 pub struct TerminationDetector {
     p: usize,
-    threshold: usize,
+    /// Starvation threshold; `usize::MAX` disables it. Atomic so a
+    /// long-lived, team-owned detector can be retuned between jobs
+    /// (see [`set_threshold`](Self::set_threshold)) without `&mut`.
+    threshold: AtomicUsize,
     state: Mutex<DetectorState>,
     cv: Condvar,
     /// Lock-free mirror of `state.sleeping` so busy processors can decide
@@ -80,7 +83,7 @@ impl TerminationDetector {
         assert!(threshold > 0, "a zero threshold would starve immediately");
         Self {
             p,
-            threshold,
+            threshold: AtomicUsize::new(threshold),
             state: Mutex::new(DetectorState::default()),
             cv: Condvar::new(),
             sleeping_hint: AtomicUsize::new(0),
@@ -97,6 +100,21 @@ impl TerminationDetector {
     /// Number of processors in the team.
     pub fn processors(&self) -> usize {
         self.p
+    }
+
+    /// Reconfigures the starvation threshold (`None` disables it).
+    ///
+    /// Intended for a detector owned by a persistent executor: each job
+    /// sets the threshold it wants before the team starts. Must not
+    /// race with `idle_wait` (call while the team is quiescent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == Some(0)`.
+    pub fn set_threshold(&self, threshold: Option<usize>) {
+        let t = threshold.unwrap_or(usize::MAX);
+        assert!(t > 0, "a zero threshold would starve immediately");
+        self.threshold.store(t, Ordering::Relaxed);
     }
 
     /// Called by a processor that has no local work and failed to steal.
@@ -119,7 +137,7 @@ impl TerminationDetector {
             self.cv.notify_all();
             return IdleOutcome::AllDone;
         }
-        if s.sleeping >= self.threshold {
+        if s.sleeping >= self.threshold.load(Ordering::Relaxed) {
             // Starvation: enough of the team is asleep while someone is
             // still busy.
             s.starved = true;

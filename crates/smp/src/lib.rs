@@ -9,6 +9,9 @@
 //! * [`team`] — a processor team: spawn p workers, give each a rank, and
 //!   let them synchronize through a shared barrier, like a SIMPLE
 //!   "pardo" region.
+//! * [`executor`] — the persistent version of a team: p workers spawned
+//!   once and parked between jobs, with the barrier and termination
+//!   detector owned by the team and reused across jobs.
 //! * [`barrier`] — a centralized sense-reversing software barrier.
 //! * [`lock`] — test-and-test-and-set spin lock (with a safe guard API)
 //!   and a FIFO ticket lock; used by the lock-based Shiloach–Vishkin
@@ -32,6 +35,7 @@ pub mod atomics;
 pub mod barrier;
 pub mod detect;
 pub mod dissemination;
+pub mod executor;
 pub mod lock;
 pub mod pad;
 pub mod steal;
@@ -41,6 +45,7 @@ pub use atomics::AtomicU32Array;
 pub use barrier::{BarrierToken, SenseBarrier};
 pub use detect::{IdleOutcome, TerminationDetector};
 pub use dissemination::{DisseminationBarrier, DisseminationToken};
+pub use executor::Executor;
 pub use lock::{SpinLock, TicketLock};
 pub use pad::CacheAligned;
 pub use steal::{StealPolicy, WorkQueue};

@@ -1,19 +1,42 @@
 //! Processor teams: the SIMPLE-style "pardo" region.
 //!
-//! [`run_team`] spawns `p` OS threads, hands each a [`TeamCtx`] carrying
-//! its rank and a shared [`SenseBarrier`], runs the given closure on all
-//! of them, and joins. This mirrors how the paper's POSIX-threads code
-//! structures every algorithm: a fixed team, ranks `0..p`, and explicit
-//! software barriers between phases.
+//! [`run_team`] runs a closure on a team of `p` ranks, handing each a
+//! [`TeamCtx`] carrying its rank and a shared [`SenseBarrier`]. This
+//! mirrors how the paper's POSIX-threads code structures every
+//! algorithm: a fixed team, ranks `0..p`, and explicit software
+//! barriers between phases.
+//!
+//! Since the introduction of the persistent [`Executor`], `run_team` is
+//! a thin compatibility wrapper: it builds a scoped executor for the
+//! duration of one job and tears it down again. Code that dispatches
+//! repeatedly should hold an [`Executor`] instead.
 
 use crate::barrier::{BarrierToken, SenseBarrier};
+use crate::executor::Executor;
 
 /// Per-thread context inside a team region.
 pub struct TeamCtx<'a> {
     rank: usize,
     size: usize,
     barrier: &'a SenseBarrier,
-    token: BarrierToken,
+    token: &'a BarrierToken,
+}
+
+impl<'a> TeamCtx<'a> {
+    /// Builds the context the executor hands to one rank.
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        barrier: &'a SenseBarrier,
+        token: &'a BarrierToken,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            barrier,
+            token,
+        }
+    }
 }
 
 impl TeamCtx<'_> {
@@ -32,7 +55,7 @@ impl TeamCtx<'_> {
     /// Waits for the whole team; returns `true` on exactly one thread.
     #[inline]
     pub fn barrier(&self) -> bool {
-        self.barrier.wait(&self.token)
+        self.barrier.wait(self.token)
     }
 
     /// The half-open range of `0..total` assigned to this rank under a
@@ -55,43 +78,15 @@ pub fn block_range(rank: usize, p: usize, total: usize) -> std::ops::Range<usize
 
 /// Runs `f` on a team of `p` threads and returns each rank's result in
 /// rank order. Panics in any worker propagate after all threads join.
+///
+/// Compatibility wrapper: builds a scoped [`Executor`] (spawning `p − 1`
+/// threads, none for `p == 1`), runs the single job, and drops the team.
 pub fn run_team<R, F>(p: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(TeamCtx<'_>) -> R + Sync,
 {
-    assert!(p > 0, "team needs at least one processor");
-    let barrier = SenseBarrier::new(p);
-    if p == 1 {
-        // Fast path: no thread spawn for the sequential-team case.
-        return vec![f(TeamCtx {
-            rank: 0,
-            size: 1,
-            barrier: &barrier,
-            token: BarrierToken::new(),
-        })];
-    }
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..p)
-            .map(|rank| {
-                let barrier = &barrier;
-                let f = &f;
-                s.spawn(move |_| {
-                    f(TeamCtx {
-                        rank,
-                        size: p,
-                        barrier,
-                        token: BarrierToken::new(),
-                    })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("team worker panicked"))
-            .collect()
-    })
-    .expect("team scope panicked")
+    Executor::new(p).run(f)
 }
 
 #[cfg(test)]

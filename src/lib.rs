@@ -26,11 +26,15 @@
 //! ```
 //! use bader_cong_spanning::prelude::*;
 //!
+//! // One engine: a persistent 4-processor team plus a reusable
+//! // workspace. Threads spawn once; scratch arrays are recycled
+//! // across runs (the paper's repeated-measurement methodology).
+//! let mut engine = Engine::new(4);
+//! let algo = BaderCong::with_defaults();
+//!
 //! // The paper's Fig. 3 input: a random graph with m = 1.5 n.
 //! let g = gen::random_gnm(10_000, 15_000, 42);
-//!
-//! // Spanning forest with 4 processors.
-//! let forest = BaderCong::with_defaults().spanning_forest(&g, 4);
+//! let forest = engine.run(&algo, &g);
 //! assert!(is_spanning_forest(&g, &forest.parents));
 //! println!(
 //!     "{} trees, {} tree edges, {} race collisions",
@@ -38,6 +42,14 @@
 //!     forest.num_tree_edges(),
 //!     forest.stats.multi_colored
 //! );
+//!
+//! // The same engine runs any algorithm behind the trait.
+//! let sv_forest = engine.run(&sv::Sv::new(SvConfig::default()), &g);
+//! assert_eq!(sv_forest.num_trees(), forest.num_trees());
+//!
+//! // One-shot convenience entry points still exist:
+//! let once = BaderCong::with_defaults().spanning_forest(&g, 4);
+//! assert!(is_spanning_forest(&g, &once.parents));
 //! ```
 
 pub use st_core as core;
@@ -48,10 +60,13 @@ pub use st_smp as smp;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use st_core::bader_cong::{BaderCong, Config};
-    pub use st_core::biconnected::{biconnected_components, Biconnectivity};
+    pub use st_core::biconnected::{
+        biconnected_components, biconnected_components_with, Biconnectivity,
+    };
     pub use st_core::connected::{components_from_forest, connected_components};
+    pub use st_core::engine::{Engine, SpanningAlgorithm, Workspace};
     pub use st_core::mst::{self, MstResult};
-    pub use st_core::multiroot::spanning_forest_multiroot;
+    pub use st_core::multiroot::{spanning_forest_multiroot, Multiroot};
     pub use st_core::result::{AlgoStats, SpanningForest};
     pub use st_core::seq;
     pub use st_core::sv::{self, GraftVariant, SvConfig};
