@@ -17,8 +17,12 @@
 //!
 //! Every timed run is validated with `is_spanning_tree`; the medians and
 //! the speedup are written as JSON (default `BENCH_traversal.json`), the
-//! committed baseline the CI and the docs reference.
+//! committed baseline the CI and the docs reference. Pass
+//! `--metrics-json FILE` to additionally dump the full
+//! [`JobMetrics`] (per-rank counters and, under `obs-trace`, phase
+//! spans) of the last repetition of each protocol.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use serde::Serialize;
@@ -28,6 +32,7 @@ use st_core::traversal::{TraversalConfig, TraversalOutcome};
 use st_graph::gen::random_connected;
 use st_graph::validate::is_spanning_tree;
 use st_graph::{CsrGraph, NO_VERTEX};
+use st_obs::{Counter, JobMetrics, PhaseTotal};
 use st_smp::Executor;
 
 #[derive(Clone, Debug, Serialize)]
@@ -41,6 +46,15 @@ struct ProtocolResult {
     steals: usize,
     stolen_items: usize,
     multi_colored: usize,
+    steal_attempts: usize,
+    failed_sweeps: usize,
+    items_published: usize,
+    items_kept_local: usize,
+    barrier_wait_ns: usize,
+    detector_sleeps: usize,
+    detector_wakes: usize,
+    starvation_trips: usize,
+    phases: Vec<PhaseTotal>,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -59,7 +73,10 @@ struct FrontierReport {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: traversal_frontier [--scale L] [--p P] [--reps R] [--seed S] [--out FILE]");
+    eprintln!(
+        "usage: traversal_frontier [--scale L] [--p P] [--reps R] [--seed S] [--out FILE] \
+         [--metrics-json FILE]"
+    );
     std::process::exit(2)
 }
 
@@ -69,6 +86,7 @@ struct Opts {
     reps: usize,
     seed: u64,
     out: PathBuf,
+    metrics_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Opts {
@@ -78,6 +96,7 @@ fn parse_args() -> Opts {
         reps: 5,
         seed: 42,
         out: PathBuf::from("BENCH_traversal.json"),
+        metrics_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -104,6 +123,9 @@ fn parse_args() -> Opts {
                     .unwrap_or_else(|_| usage("--seed must be an integer"))
             }
             "--out" => opts.out = PathBuf::from(need("--out needs a value")),
+            "--metrics-json" => {
+                opts.metrics_json = Some(PathBuf::from(need("--metrics-json needs a value")))
+            }
             other => usage(&format!("unknown option {other}")),
         }
     }
@@ -111,23 +133,26 @@ fn parse_args() -> Opts {
 }
 
 /// One phase-2 traversal round over connected `g`, on the persistent
-/// team with all scratch drawn from `ws`. Returns (steals, stolen,
-/// multi_colored); the parents stay in the workspace for validation
-/// after the timed section.
+/// team with all scratch drawn from `ws`. Returns the job's
+/// [`JobMetrics`] (fresh counters per repetition); the parents stay in
+/// the workspace for validation after the timed section.
 fn traverse_once(
     g: &CsrGraph,
     exec: &Executor,
     ws: &mut Workspace,
     cfg: TraversalConfig,
-) -> (usize, usize, usize) {
-    let t = ws.traversal(g, exec, cfg);
-    t.begin_round();
-    t.seed(0, 0, NO_VERTEX);
-    exec.run(|ctx| {
-        let (_, outcome) = t.run_worker(ctx.rank());
-        assert_eq!(outcome, TraversalOutcome::Completed);
-    });
-    (t.steals(), t.stolen_items(), t.multi_colored())
+) -> JobMetrics {
+    ws.begin_job(exec);
+    {
+        let t = ws.traversal(g, exec, cfg);
+        t.begin_round();
+        t.seed(0, 0, NO_VERTEX);
+        exec.run(|ctx| {
+            let (_, outcome) = t.run_worker(ctx.rank());
+            assert_eq!(outcome, TraversalOutcome::Completed);
+        });
+    }
+    ws.finish_job(exec)
 }
 
 fn run_protocol(
@@ -137,32 +162,44 @@ fn run_protocol(
     ws: &mut Workspace,
     reps: usize,
     cfg: TraversalConfig,
-) -> ProtocolResult {
-    let (m, (steals, stolen_items, multi_colored)) =
-        measure_with_result(reps, || traverse_once(g, exec, ws, cfg));
+) -> (ProtocolResult, JobMetrics) {
+    let (m, metrics) = measure_with_result(reps, || traverse_once(g, exec, ws, cfg));
     // Validation reads the workspace after the timed section so the
     // copy-out is not billed to the protocol.
     assert!(
         is_spanning_tree(g, &ws.parents_prefix(g.num_vertices()), 0),
         "{name}: invalid spanning tree"
     );
+    let count = |c: Counter| metrics.get(c) as usize;
     eprintln!(
-        "  {name:<10} median {:.3}s  (min {:.3}s, max {:.3}s, steals {steals}, stolen {stolen_items})",
+        "  {name:<10} median {:.3}s  (min {:.3}s, max {:.3}s, steals {}, stolen {})",
         m.median(),
         m.min(),
-        m.max()
+        m.max(),
+        count(Counter::Steals),
+        count(Counter::StolenItems),
     );
-    ProtocolResult {
+    let result = ProtocolResult {
         protocol: name.to_owned(),
         publish_threshold: cfg.publish_threshold,
         local_batch: cfg.local_batch,
         median_s: m.median(),
         min_s: m.min(),
         max_s: m.max(),
-        steals,
-        stolen_items,
-        multi_colored,
-    }
+        steals: count(Counter::Steals),
+        stolen_items: count(Counter::StolenItems),
+        multi_colored: count(Counter::MultiColored),
+        steal_attempts: count(Counter::StealAttempts),
+        failed_sweeps: count(Counter::FailedSweeps),
+        items_published: count(Counter::ItemsPublished),
+        items_kept_local: count(Counter::ItemsKeptLocal),
+        barrier_wait_ns: count(Counter::BarrierWaitNs),
+        detector_sleeps: count(Counter::DetectorSleeps),
+        detector_wakes: count(Counter::DetectorWakes),
+        starvation_trips: count(Counter::StarvationTrips),
+        phases: metrics.phase_totals(),
+    };
+    (result, metrics)
 }
 
 fn main() {
@@ -180,7 +217,7 @@ fn main() {
     let exec = Executor::new(opts.p);
     let mut ws = Workspace::new();
 
-    let seed_protocol = run_protocol(
+    let (seed_protocol, seed_metrics) = run_protocol(
         "seed",
         &g,
         &exec,
@@ -188,7 +225,7 @@ fn main() {
         opts.reps,
         TraversalConfig::paper_protocol(),
     );
-    let two_level = run_protocol(
+    let (two_level, two_level_metrics) = run_protocol(
         "frontier",
         &g,
         &exec,
@@ -196,6 +233,16 @@ fn main() {
         opts.reps,
         TraversalConfig::default(),
     );
+
+    if let Some(path) = &opts.metrics_json {
+        let mut by_protocol = BTreeMap::new();
+        by_protocol.insert("seed_protocol".to_owned(), seed_metrics.to_value());
+        by_protocol.insert("two_level".to_owned(), two_level_metrics.to_value());
+        let json = serde_json::to_string_pretty(&serde::Value::Object(by_protocol))
+            .expect("serialize metrics");
+        std::fs::write(path, json + "\n").expect("write metrics json");
+        eprintln!("wrote {}", path.display());
+    }
 
     let speedup = seed_protocol.median_s / two_level.median_s;
     eprintln!("  speedup: {speedup:.2}x");

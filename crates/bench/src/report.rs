@@ -74,12 +74,13 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
 pub fn write_csv<W: Write>(mut w: W, rows: &[ResultRow]) -> io::Result<()> {
     writeln!(
         w,
-        "workload,algorithm,mode,n,m,p,seconds,iterations,multi_colored,fallback"
+        "workload,algorithm,mode,n,m,p,seconds,iterations,multi_colored,fallback,\
+         steals,stolen_items,items_published"
     )?;
     for r in rows {
         writeln!(
             w,
-            "{},{},{:?},{},{},{},{},{},{},{}",
+            "{},{},{:?},{},{},{},{},{},{},{},{},{},{}",
             r.workload,
             r.algorithm,
             r.mode,
@@ -90,6 +91,9 @@ pub fn write_csv<W: Write>(mut w: W, rows: &[ResultRow]) -> io::Result<()> {
             r.iterations.map(|v| v.to_string()).unwrap_or_default(),
             r.multi_colored.map(|v| v.to_string()).unwrap_or_default(),
             r.fallback.map(|v| v.to_string()).unwrap_or_default(),
+            r.steals.map(|v| v.to_string()).unwrap_or_default(),
+            r.stolen_items.map(|v| v.to_string()).unwrap_or_default(),
+            r.items_published.map(|v| v.to_string()).unwrap_or_default(),
         )?;
     }
     Ok(())
@@ -126,6 +130,9 @@ mod tests {
             iterations: None,
             multi_colored: None,
             fallback: None,
+            steals: None,
+            stolen_items: None,
+            items_published: None,
         }
     }
 

@@ -107,6 +107,13 @@ pub struct ResultRow {
     pub multi_colored: Option<usize>,
     /// Whether the starvation fallback fired.
     pub fallback: Option<bool>,
+    /// Successful steals (work-stealing wall runs).
+    pub steals: Option<usize>,
+    /// Queue items moved by steals.
+    pub stolen_items: Option<usize>,
+    /// Items that ever entered a shared queue (seeds + threshold
+    /// publications + steal re-pushes).
+    pub items_published: Option<usize>,
 }
 
 /// Runs one (workload, algorithm, p) cell on a pre-built graph.
@@ -131,6 +138,9 @@ pub fn run_cell(
     let mut iterations = None;
     let mut multi_colored = None;
     let mut fallback = None;
+    let mut steals = None;
+    let mut stolen_items = None;
+    let mut items_published = None;
 
     let seconds = match (mode, algorithm) {
         (Mode::Model, Algorithm::Sequential) => {
@@ -166,6 +176,9 @@ pub fn run_cell(
             assert_valid(g, &f.parents, workload, algorithm);
             multi_colored = Some(f.stats.multi_colored);
             fallback = Some(f.stats.fallback_triggered);
+            steals = Some(f.stats.steals);
+            stolen_items = Some(f.stats.stolen_items);
+            items_published = Some(f.stats.metrics.get(st_obs::Counter::ItemsPublished) as usize);
             m.median()
         }
         (Mode::Wall, Algorithm::Sv) | (Mode::Wall, Algorithm::SvLock) => {
@@ -205,6 +218,9 @@ pub fn run_cell(
         iterations,
         multi_colored,
         fallback,
+        steals,
+        stolen_items,
+        items_published,
     }
 }
 

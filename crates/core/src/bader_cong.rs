@@ -23,6 +23,7 @@
 
 use st_graph::preprocess::{eliminate_degree2, Reduction};
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_obs::{now_ns, Counter, Phase};
 use st_smp::Executor;
 
 use crate::engine::{SpanningAlgorithm, Workspace};
@@ -147,11 +148,15 @@ impl BaderCong {
     fn forest_direct(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
         let n = g.num_vertices();
         let p = exec.size();
+        ws.begin_job(exec);
         if n == 0 {
             return SpanningForest {
                 parents: Vec::new(),
                 roots: Vec::new(),
-                stats: AlgoStats::default(),
+                stats: AlgoStats {
+                    metrics: ws.finish_job(exec),
+                    ..AlgoStats::default()
+                },
             };
         }
         let mut roots: Vec<VertexId> = Vec::new();
@@ -181,6 +186,7 @@ impl BaderCong {
                     roots_sink.push(root);
                     // Phase 1: stub spanning tree, grown by "one
                     // processor" (the round driver).
+                    let t_stub = now_ns();
                     let stub = grow_stub_into(
                         g,
                         root,
@@ -189,6 +195,10 @@ impl BaderCong {
                         |v| t.is_colored(v),
                         stub_scratch,
                     );
+                    t.trace().rank(0).record(Phase::Stub, t_stub);
+                    let slot0 = t.counters().rank(0);
+                    slot0.incr(Counter::StubWalks);
+                    slot0.add(Counter::StubVertices, stub.len() as u64);
                     walk += 1;
                     if stub.len() < stub_target {
                         // The backtracking walk exhausted the component:
@@ -212,11 +222,12 @@ impl BaderCong {
                 }
             });
 
+            let totals = t.counters().merged();
             let stats = AlgoStats {
                 components: roots.len(),
-                multi_colored: t.multi_colored(),
-                steals: t.steals(),
-                stolen_items: t.stolen_items(),
+                multi_colored: totals.get(Counter::MultiColored) as usize,
+                steals: totals.get(Counter::Steals) as usize,
+                stolen_items: totals.get(Counter::StolenItems) as usize,
                 per_proc_processed: processed,
                 barriers,
                 ..AlgoStats::default()
@@ -229,11 +240,15 @@ impl BaderCong {
         };
 
         match outcome {
-            TraversalOutcome::Completed => SpanningForest {
-                parents,
-                roots,
-                stats,
-            },
+            TraversalOutcome::Completed => {
+                let mut stats = stats;
+                stats.metrics = ws.finish_job(exec);
+                SpanningForest {
+                    parents,
+                    roots,
+                    stats,
+                }
+            }
             TraversalOutcome::Starved => fallback(g, exec, ws, colors, parents, stats),
         }
     }
@@ -277,6 +292,7 @@ fn fallback(
     mut stats: AlgoStats,
 ) -> SpanningForest {
     let n = g.num_vertices();
+    let t_fallback = now_ns();
 
     // Root of each colored vertex, by parent chasing with memoization.
     let mut comp_root: Vec<VertexId> = vec![NO_VERTEX; n];
@@ -334,6 +350,8 @@ fn fallback(
     stats.grafts = sv_out.grafts;
     stats.shortcut_rounds = sv_out.shortcut_rounds;
     stats.barriers += sv_out.barriers;
+    ws.trace.rank(0).record(Phase::Fallback, t_fallback);
+    stats.metrics = ws.finish_job(exec);
     SpanningForest {
         parents,
         roots,

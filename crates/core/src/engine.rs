@@ -34,8 +34,10 @@
 //! ```
 
 use std::sync::atomic::AtomicU64;
+use std::time::Instant;
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_obs::{Counter, CounterSet, JobMetrics, TraceSet};
 use st_smp::pad::CacheAligned;
 use st_smp::steal::WorkQueue;
 use st_smp::{AtomicU32Array, Executor, SpinLock};
@@ -82,6 +84,14 @@ pub struct Workspace {
     pub(crate) graft: Vec<GraftList>,
     /// Stub-walk scratch (Bader–Cong phase 1).
     pub(crate) stub: StubScratch,
+    /// Per-rank observability counters (always on; reset per job).
+    pub(crate) counters: CounterSet,
+    /// Per-rank phase span rings (recording compiled in only with the
+    /// `obs-trace` feature).
+    pub(crate) trace: TraceSet,
+    /// Set by [`begin_job`](Self::begin_job), consumed by
+    /// [`finish_job`](Self::finish_job) for the job's wall time.
+    job_started: Option<Instant>,
 }
 
 impl Workspace {
@@ -124,7 +134,52 @@ impl Workspace {
         for q in &self.queues[..p] {
             while q.pop().is_some() {}
         }
+        // Size (but do not reset) the observability stores: a fallback
+        // re-enters here mid-job and must keep what was counted so far.
+        self.counters.ensure(p);
+        self.trace.ensure(p);
         exec.detector().set_threshold(threshold);
+    }
+
+    /// Opens an observability window: zeroes the per-rank counters,
+    /// span rings, and detector stats, and starts the job's wall clock.
+    /// Algorithm entry points call this once per job, before any work
+    /// (including seeding) is counted.
+    pub fn begin_job(&mut self, exec: &Executor) {
+        let p = exec.size();
+        self.counters.ensure(p);
+        self.trace.ensure(p);
+        self.counters.reset();
+        self.trace.clear();
+        exec.detector().reset_stats();
+        self.job_started = Some(Instant::now());
+    }
+
+    /// Closes the window opened by [`begin_job`](Self::begin_job):
+    /// folds the detector's cumulative stats into rank 0's counters and
+    /// returns the job's [`JobMetrics`] (merged totals, per-rank
+    /// breakdown, and — when `obs-trace` is compiled in — the recorded
+    /// spans).
+    pub fn finish_job(&mut self, exec: &Executor) -> JobMetrics {
+        let p = exec.size();
+        let wall_ns = self
+            .job_started
+            .take()
+            .map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let det = exec.detector().stats();
+        let slot0 = self.counters.rank(0);
+        slot0.add(Counter::DetectorSleeps, det.sleeps);
+        slot0.add(Counter::DetectorWakes, det.wakes);
+        slot0.add(Counter::StarvationTrips, det.starvation_trips);
+        exec.detector().reset_stats();
+        JobMetrics {
+            p,
+            wall_ns,
+            totals: self.counters.merged(),
+            per_rank: self.counters.snapshots(p),
+            spans: self.trace.drain(),
+            spans_dropped: self.trace.dropped(),
+        }
     }
 
     /// Builds a traversal session over `g` on `exec`'s team, resetting
@@ -146,6 +201,8 @@ impl Workspace {
             &self.parent,
             &self.queues[..p],
             exec.detector(),
+            &self.counters,
+            &self.trace,
             cfg,
         )
     }
@@ -166,9 +223,20 @@ impl Workspace {
             parent,
             queues,
             stub,
+            counters,
+            trace,
             ..
         } = self;
-        let t = Traversal::from_parts(g, color, parent, &queues[..p], exec.detector(), cfg);
+        let t = Traversal::from_parts(
+            g,
+            color,
+            parent,
+            &queues[..p],
+            exec.detector(),
+            counters,
+            trace,
+            cfg,
+        );
         (t, stub)
     }
 

@@ -18,8 +18,10 @@
 //! persistent [`Executor`] in the `*_on` entry points.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_obs::{now_ns, Counter, Phase};
 use st_smp::team::block_range;
 use st_smp::Executor;
 
@@ -72,7 +74,11 @@ pub fn hcs_core_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> HcsOutc
     ws.init_labels(n, None);
     ws.ensure_slots(n);
     ws.ensure_graft(p);
+    ws.counters.ensure(p);
+    ws.trace.ensure(p);
 
+    let counters = &ws.counters;
+    let trace = &ws.trace;
     let d = &ws.labels;
     let cand: &[AtomicU64] = &ws.slots[..n];
     let edges = &ws.edges[..];
@@ -93,14 +99,23 @@ pub fn hcs_core_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> HcsOutc
         let my_verts = block_range(rank, p, n);
         let mut my_tree_edges = graft[rank].lock();
         let bar = |counter: &AtomicUsize| {
+            let t_ns = now_ns();
+            let t0 = Instant::now();
             if ctx.barrier() {
                 counter.fetch_add(1, Ordering::Relaxed);
             }
+            let waited = t0.elapsed().as_nanos() as u64;
+            let slot = counters.rank(rank);
+            slot.incr(Counter::Barriers);
+            slot.add(Counter::BarrierWaitNs, waited);
+            trace.rank(rank).record_span(Phase::Barrier, t_ns, waited);
         };
 
         let mut iter: u64 = 0;
         let mut sc_stamp: u64 = 0;
+        let mut my_hooks: u64 = 0;
         loop {
+            let t_hook = now_ns();
             // Reset candidate slots.
             for v in my_verts.clone() {
                 cand[v].store(EMPTY, Ordering::Relaxed);
@@ -138,9 +153,11 @@ pub fn hcs_core_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> HcsOutc
                 debug_assert!(target < v as VertexId);
                 d.store(v, target, Ordering::Release);
                 my_tree_edges.push(edges[e]);
+                my_hooks += 1;
                 hook_epoch.store(iter, Ordering::Release);
             }
             bar(&barriers);
+            trace.rank(rank).record(Phase::Graft, t_hook);
 
             let changed = hook_epoch.load(Ordering::Acquire) == iter;
             if rank == 0 {
@@ -151,6 +168,7 @@ pub fn hcs_core_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> HcsOutc
             }
 
             // Shortcut to rooted stars (same protocol as SV).
+            let t_shortcut = now_ns();
             loop {
                 let mut local_changed = false;
                 for v in my_verts.clone() {
@@ -175,19 +193,25 @@ pub fn hcs_core_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> HcsOutc
                     break;
                 }
             }
+            trace.rank(rank).record(Phase::Shortcut, t_shortcut);
             iter += 1;
         }
+        counters.rank(rank).add(Counter::Grafts, my_hooks);
     });
 
     let labels = ws.labels.snapshot_prefix(n);
     let tree_edges = ws.drain_graft(p);
     let grafts = tree_edges.len();
+    let shortcut_rounds = shortcut_rounds_total.load(Ordering::Relaxed);
+    ws.counters
+        .rank(0)
+        .add(Counter::ShortcutRounds, shortcut_rounds as u64);
     HcsOutcome {
         tree_edges,
         labels,
         iterations: iterations.load(Ordering::Relaxed),
         grafts,
-        shortcut_rounds: shortcut_rounds_total.load(Ordering::Relaxed),
+        shortcut_rounds,
         barriers: barriers.load(Ordering::Relaxed),
     }
 }
@@ -202,6 +226,7 @@ pub fn spanning_forest(g: &CsrGraph, p: usize) -> SpanningForest {
 /// Full HCS spanning forest on an existing team: hooks, then parallel
 /// orientation.
 pub fn spanning_forest_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+    ws.begin_job(exec);
     let out = hcs_core_on(g, exec, ws);
     let parents = orient_forest_on(g.num_vertices(), &out.tree_edges, exec, ws);
     let roots: Vec<VertexId> = parents
@@ -216,6 +241,7 @@ pub fn spanning_forest_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> 
         grafts: out.grafts,
         shortcut_rounds: out.shortcut_rounds,
         barriers: out.barriers,
+        metrics: ws.finish_job(exec),
         ..AlgoStats::default()
     };
     SpanningForest {

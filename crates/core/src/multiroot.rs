@@ -37,6 +37,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use st_graph::dsu::DisjointSets;
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_obs::{now_ns, Counter, Phase};
 use st_smp::{Executor, IdleOutcome};
 
 use crate::engine::{SpanningAlgorithm, Workspace};
@@ -68,11 +69,15 @@ pub fn spanning_forest_multiroot_on(
 ) -> SpanningForest {
     let p = exec.size();
     let n = g.num_vertices();
+    ws.begin_job(exec);
     if n == 0 {
         return SpanningForest {
             parents: Vec::new(),
             roots: Vec::new(),
-            stats: AlgoStats::default(),
+            stats: AlgoStats {
+                metrics: ws.finish_job(exec),
+                ..AlgoStats::default()
+            },
         };
     }
 
@@ -84,12 +89,11 @@ pub fn spanning_forest_multiroot_on(
     let color = &ws.color;
     let parent = &ws.parent;
     let queues = &ws.queues[..p];
+    let counters = &ws.counters;
+    let trace = &ws.trace;
     let detector = exec.detector();
 
     let cursor = AtomicUsize::new(0);
-    let steals = AtomicUsize::new(0);
-    let stolen_items = AtomicUsize::new(0);
-    let multi_colored = AtomicUsize::new(0);
     // Roots claimed, in claim order (for stats; merged roots drop out of
     // the final root set).
     let claimed_roots = Mutex::new(Vec::<VertexId>::new());
@@ -112,10 +116,17 @@ pub fn spanning_forest_multiroot_on(
     let per_rank: Vec<RankOut> = exec.run(|ctx| {
         let rank = ctx.rank();
         let my_q = &*queues[rank];
+        let slot = counters.rank(rank);
+        let ring = trace.rank(rank);
+        let t_run = now_ns();
         let mut rng =
             SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut steal_buf: VecDeque<VertexId> = VecDeque::new();
         let mut processed = 0usize;
+        // Hot-loop tallies stay plain u64s, flushed to `slot` at exit.
+        let mut discovered = 0u64;
+        let mut multi_colored = 0u64;
+        let mut published = 0u64;
         let mut conflicts: Vec<(VertexId, VertexId)> = Vec::new();
 
         loop {
@@ -128,10 +139,14 @@ pub fn spanning_forest_multiroot_on(
                         if color.try_claim(w as usize, UNCLAIMED, my_tree) {
                             parent.store(w as usize, v, Ordering::Release);
                             my_q.push(w);
+                            discovered += 1;
+                            // Multiroot has no private buffer: every
+                            // discovery goes straight to the shared queue.
+                            published += 1;
                         } else {
                             // Lost the claim; whoever won may be another
                             // tree.
-                            multi_colored.fetch_add(1, Ordering::Relaxed);
+                            multi_colored += 1;
                             let c2 = color.load(w as usize, Ordering::Acquire);
                             if c2 != my_tree {
                                 conflicts.push((v, w));
@@ -148,22 +163,34 @@ pub fn spanning_forest_multiroot_on(
             }
             // Local queue empty: steal, then claim a fresh root, then
             // sleep.
+            slot.incr(Counter::StealAttempts);
             let got = steal_sweep(queues, rank, &mut rng, cfg.steal_policy, &mut steal_buf);
             if got > 0 {
-                steals.fetch_add(1, Ordering::Relaxed);
-                stolen_items.fetch_add(got, Ordering::Relaxed);
+                slot.incr(Counter::Steals);
+                slot.add(Counter::StolenItems, got as u64);
+                slot.add(Counter::ItemsPublished, got as u64);
                 continue;
             }
+            slot.incr(Counter::FailedSweeps);
             if let Some(r) = claim_root() {
                 my_q.push(r);
+                published += 1;
                 continue;
             }
-            match detector.idle_wait(cfg.idle_timeout) {
+            let t_idle = now_ns();
+            let outcome = detector.idle_wait(cfg.idle_timeout);
+            ring.record(Phase::Idle, t_idle);
+            match outcome {
                 IdleOutcome::AllDone => break,
                 IdleOutcome::Starved => unreachable!("threshold disabled"),
                 IdleOutcome::Retry => continue,
             }
         }
+        slot.add(Counter::Processed, processed as u64);
+        slot.add(Counter::Discovered, discovered);
+        slot.add(Counter::MultiColored, multi_colored);
+        slot.add(Counter::ItemsPublished, published);
+        ring.record(Phase::Traverse, t_run);
         (processed, conflicts)
     });
 
@@ -203,17 +230,19 @@ pub fn spanning_forest_multiroot_on(
         .map(|(v, _)| v as VertexId)
         .collect();
     let claimed = claimed_roots.into_inner().unwrap().len();
+    let metrics = ws.finish_job(exec);
     let stats = AlgoStats {
         components: roots.len(),
-        multi_colored: multi_colored.load(Ordering::Relaxed),
-        steals: steals.load(Ordering::Relaxed),
-        stolen_items: stolen_items.load(Ordering::Relaxed),
+        multi_colored: metrics.get(Counter::MultiColored) as usize,
+        steals: metrics.get(Counter::Steals) as usize,
+        stolen_items: metrics.get(Counter::StolenItems) as usize,
         per_proc_processed: processed_total,
         // Record speculative claims merged away in the grafts slot: the
         // closest existing notion (merges = claims - components).
         grafts: merges,
         iterations: claimed,
         barriers: 0,
+        metrics,
         ..AlgoStats::default()
     };
     SpanningForest {

@@ -1,6 +1,7 @@
 //! Common result types for spanning-forest algorithms.
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_obs::JobMetrics;
 
 /// A rooted spanning forest plus execution statistics.
 #[derive(Clone, Debug)]
@@ -75,6 +76,11 @@ pub struct AlgoStats {
     pub per_proc_processed: Vec<usize>,
     /// Barrier episodes executed (the B term of the Helman–JáJá triplet).
     pub barriers: usize,
+    /// The full observability report for the job: per-rank counter
+    /// snapshots, merged totals, wall time, and (under `obs-trace`)
+    /// phase spans. The flat fields above are convenience views of the
+    /// same data; this carries everything.
+    pub metrics: JobMetrics,
 }
 
 impl AlgoStats {

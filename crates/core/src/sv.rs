@@ -37,8 +37,10 @@
 //! runs. The legacy `p`-taking functions spawn a one-shot team.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
+use st_obs::{now_ns, Counter, Phase};
 use st_smp::team::block_range;
 use st_smp::Executor;
 
@@ -126,7 +128,13 @@ pub fn sv_core_on(
         ws.ensure_locks(n);
     }
     ws.ensure_graft(p);
+    // Grow (never reset) the observability slots: sv_core_on may run
+    // mid-job as the starvation fallback, whose counters must survive.
+    ws.counters.ensure(p);
+    ws.trace.ensure(p);
 
+    let counters = &ws.counters;
+    let trace = &ws.trace;
     let d = &ws.labels;
     let winner: &[AtomicU64] = &ws.slots[..n];
     let locks = &ws.locks[..];
@@ -156,16 +164,26 @@ pub fn sv_core_on(
         // whole job).
         let mut my_tree_edges = graft[rank].lock();
         let bar = |leader_count: &std::sync::atomic::AtomicUsize| {
+            let t_ns = now_ns();
+            let t0 = Instant::now();
             if ctx.barrier() {
                 leader_count.fetch_add(1, Ordering::Relaxed);
             }
+            let waited = t0.elapsed().as_nanos() as u64;
+            let slot = counters.rank(rank);
+            slot.incr(Counter::Barriers);
+            slot.add(Counter::BarrierWaitNs, waited);
+            trace.rank(rank).record_span(Phase::Barrier, t_ns, waited);
         };
 
         let mut iter: u64 = 0;
         // A single global shortcut-round counter shared by all
         // iterations; rounds are stamped with it.
         let mut sc_stamp: u64 = 0;
+        // Grafts performed by this rank, flushed once at loop exit.
+        let mut my_grafts: u64 = 0;
         loop {
+            let t_graft = now_ns();
             if let Some(cap) = cfg.max_iterations {
                 assert!(
                     (iter as usize) < cap,
@@ -204,6 +222,7 @@ pub fn sv_core_on(
                         let target = d.load(v as usize, Ordering::Acquire);
                         d.store(ru as usize, target, Ordering::Release);
                         my_tree_edges.push((u, v));
+                        my_grafts += 1;
                         graft_epoch.store(iter, Ordering::Release);
                     }
                     let rv = d.load(v as usize, Ordering::Acquire);
@@ -211,6 +230,7 @@ pub fn sv_core_on(
                         let target = d.load(u as usize, Ordering::Acquire);
                         d.store(rv as usize, target, Ordering::Release);
                         my_tree_edges.push((u, v));
+                        my_grafts += 1;
                         graft_epoch.store(iter, Ordering::Release);
                     }
                 }
@@ -231,6 +251,7 @@ pub fn sv_core_on(
                                 if target < ra {
                                     d.store(ra as usize, target, Ordering::Release);
                                     my_tree_edges.push((a, b));
+                                    my_grafts += 1;
                                     graft_epoch.store(iter, Ordering::Release);
                                 }
                             }
@@ -240,6 +261,7 @@ pub fn sv_core_on(
                 bar(&barriers); // align with the end of pass A
             }
             bar(&barriers);
+            trace.rank(rank).record(Phase::Graft, t_graft);
 
             let changed = graft_epoch.load(Ordering::Acquire) == iter;
             if rank == 0 {
@@ -251,6 +273,7 @@ pub fn sv_core_on(
 
             // --- Shortcut: pointer-jump every vertex until all trees are
             // rooted stars again.
+            let t_shortcut = now_ns();
             loop {
                 let mut local_changed = false;
                 for v in my_verts.clone() {
@@ -275,19 +298,26 @@ pub fn sv_core_on(
                     break;
                 }
             }
+            trace.rank(rank).record(Phase::Shortcut, t_shortcut);
             iter += 1;
         }
+        counters.rank(rank).add(Counter::Grafts, my_grafts);
     });
 
     let labels = ws.labels.snapshot_prefix(n);
     let tree_edges = ws.drain_graft(p);
     let grafts = tree_edges.len();
+    let shortcut_rounds = shortcut_rounds_total.load(Ordering::Relaxed);
+    // Shortcut rounds are a team-wide quantity; book them on rank 0.
+    ws.counters
+        .rank(0)
+        .add(Counter::ShortcutRounds, shortcut_rounds as u64);
     SvOutcome {
         tree_edges,
         labels,
         iterations: iterations.load(Ordering::Relaxed),
         grafts,
-        shortcut_rounds: shortcut_rounds_total.load(Ordering::Relaxed),
+        shortcut_rounds,
         barriers: barriers.load(Ordering::Relaxed),
     }
 }
@@ -313,6 +343,7 @@ pub fn spanning_forest_on(
     ws: &mut Workspace,
     cfg: SvConfig,
 ) -> SpanningForest {
+    ws.begin_job(exec);
     let out = sv_core_on(g, exec, ws, None, cfg);
     let parents = orient_forest_on(g.num_vertices(), &out.tree_edges, exec, ws);
     let roots: Vec<VertexId> = parents
@@ -327,6 +358,7 @@ pub fn spanning_forest_on(
         grafts: out.grafts,
         shortcut_rounds: out.shortcut_rounds,
         barriers: out.barriers,
+        metrics: ws.finish_job(exec),
         ..AlgoStats::default()
     };
     SpanningForest {

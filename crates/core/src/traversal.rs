@@ -59,11 +59,12 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use st_graph::{CsrGraph, VertexId};
+use st_obs::{now_ns, Counter, CounterSet, Phase, TraceSet};
 use st_smp::pad::CacheAligned;
 use st_smp::steal::{StealPolicy, WorkQueue};
 use st_smp::{AtomicU32Array, Executor, IdleOutcome, TerminationDetector};
@@ -208,11 +209,14 @@ pub struct Traversal<'a> {
     parent: &'a AtomicU32Array,
     queues: &'a [CacheAligned<WorkQueue<VertexId>>],
     detector: &'a TerminationDetector,
+    /// Workspace-owned per-rank counters; workers flush their batched
+    /// local tallies here at the end of each round, slow paths (steals,
+    /// barriers) write directly.
+    counters: &'a CounterSet,
+    /// Workspace-owned span rings (no-op unless built with `obs-trace`).
+    trace: &'a TraceSet,
     cfg: TraversalConfig,
     starved: AtomicBool,
-    multi_colored: AtomicUsize,
-    steals: AtomicUsize,
-    stolen_items: AtomicUsize,
 }
 
 impl<'a> Traversal<'a> {
@@ -221,28 +225,32 @@ impl<'a> Traversal<'a> {
     /// `parent` prefix [`st_graph::NO_VERTEX`]) and the queues empty;
     /// [`Workspace::traversal`](crate::engine::Workspace::traversal)
     /// guarantees all of it.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         g: &'a CsrGraph,
         color: &'a AtomicU32Array,
         parent: &'a AtomicU32Array,
         queues: &'a [CacheAligned<WorkQueue<VertexId>>],
         detector: &'a TerminationDetector,
+        counters: &'a CounterSet,
+        trace: &'a TraceSet,
         cfg: TraversalConfig,
     ) -> Self {
         debug_assert!(!queues.is_empty(), "traversal needs at least one processor");
         debug_assert!(color.len() >= g.num_vertices());
         debug_assert!(parent.len() >= g.num_vertices());
+        debug_assert!(counters.len() >= queues.len());
+        debug_assert!(trace.len() >= queues.len());
         Self {
             g,
             color,
             parent,
             queues,
             detector,
+            counters,
+            trace,
             cfg,
             starved: AtomicBool::new(false),
-            multi_colored: AtomicUsize::new(0),
-            steals: AtomicUsize::new(0),
-            stolen_items: AtomicUsize::new(0),
         }
     }
 
@@ -274,6 +282,9 @@ impl<'a> Traversal<'a> {
         self.color.store(v as usize, label, Ordering::Release);
         self.parent.store(v as usize, parent, Ordering::Release);
         self.queues[rank].push(v);
+        // A seed lands straight in the shared queue: stealable, hence
+        // published.
+        self.counters.rank(rank).incr(Counter::ItemsPublished);
     }
 
     /// Colors `v` and sets its parent *without* enqueueing it. Used by
@@ -301,7 +312,30 @@ impl<'a> Traversal<'a> {
     /// number of vertices this processor dequeued and processed, plus the
     /// round outcome. All `p` processors must call this exactly once per
     /// round.
+    ///
+    /// Observability: the hot loop tallies into plain locals
+    /// ([`WorkerTally`]) and this wrapper flushes them to the rank's
+    /// [`CounterSlot`](st_obs::CounterSlot) once per round, so the
+    /// always-on cost per round is a handful of Relaxed adds. The whole
+    /// shift is recorded as one [`Phase::Traverse`] span (no-op without
+    /// `obs-trace`).
     pub fn run_worker(&self, rank: usize) -> (usize, TraversalOutcome) {
+        let t0 = now_ns();
+        let mut tally = WorkerTally::default();
+        let (processed, outcome) = self.worker_loop(rank, &mut tally);
+        let slot = self.counters.rank(rank);
+        slot.add(Counter::Processed, processed as u64);
+        slot.add(Counter::Discovered, tally.discovered);
+        slot.add(Counter::MultiColored, tally.multi_colored);
+        slot.add(Counter::ItemsPublished, tally.published);
+        slot.add(Counter::ItemsKeptLocal, tally.kept_local);
+        self.trace.rank(rank).record(Phase::Traverse, t0);
+        (processed, outcome)
+    }
+
+    /// The worker hot loop; counts into `tally` without touching shared
+    /// state.
+    fn worker_loop(&self, rank: usize, tally: &mut WorkerTally) -> (usize, TraversalOutcome) {
         let my_label = rank as u32 + 1;
         let my_q = &*self.queues[rank];
         let mut rng = SmallRng::seed_from_u64(
@@ -327,6 +361,12 @@ impl<'a> Traversal<'a> {
         // fully drained before this worker registers as idle, which is
         // what keeps quiescence detection sound.
         let mut private: Vec<VertexId> = Vec::with_capacity(publish_threshold.min(1 << 12));
+        // Watermark separating shared-origin entries (below: refilled
+        // from the shared queue) from locally discovered ones (above).
+        // A pop at or above it processed a vertex that was never
+        // published — the `items_kept_local` the two-level frontier
+        // exists to maximize.
+        let mut shared_origin = 0usize;
         // Scratch buffers hoisted out of the hot loops: one for shared-
         // queue refills, one for steal sweeps.
         let mut refill: VecDeque<VertexId> = VecDeque::new();
@@ -337,13 +377,25 @@ impl<'a> Traversal<'a> {
             // first (no lock), then the shared queue.
             loop {
                 let v = match private.pop() {
-                    Some(v) => v,
+                    Some(v) => {
+                        if private.len() >= shared_origin {
+                            tally.kept_local += 1;
+                        } else {
+                            shared_origin = private.len();
+                        }
+                        v
+                    }
                     None => {
                         if my_q.pop_chunk(&mut refill, refill_size) == 0 {
                             break;
                         }
                         private.extend(refill.drain(..));
-                        private.pop().expect("pop_chunk reported items")
+                        let v = private.pop().expect("pop_chunk reported items");
+                        // Everything just refilled came from the shared
+                        // queue (the buffer was empty), so the whole
+                        // remaining buffer is shared-origin.
+                        shared_origin = private.len();
+                        v
                     }
                 };
                 // We already know the next vertex we will expand; request
@@ -354,12 +406,14 @@ impl<'a> Traversal<'a> {
                 }
                 for &w in self.g.neighbors(v) {
                     if self.color.load(w as usize, Ordering::Acquire) == UNCOLORED {
-                        if !self.color.try_claim(w as usize, UNCOLORED, my_label) {
+                        if self.color.try_claim(w as usize, UNCOLORED, my_label) {
+                            tally.discovered += 1;
+                        } else {
                             // Benign race: someone colored w between our
                             // load and CAS. Count it and proceed exactly
                             // as the paper's unconditional-store protocol
                             // does — overwrite the parent and enqueue.
-                            self.multi_colored.fetch_add(1, Ordering::Relaxed);
+                            tally.multi_colored += 1;
                         }
                         // Relaxed: the color CAS above is the publishing
                         // store for w. Cross-thread reads of `parent`
@@ -383,6 +437,10 @@ impl<'a> Traversal<'a> {
                         // stack); the newest stay private and cache-hot.
                         let surplus = private.len() - keep;
                         my_q.push_all(private.drain(..surplus));
+                        tally.published += surplus as u64;
+                        // The drain took from the bottom, shared-origin
+                        // entries first.
+                        shared_origin = shared_origin.saturating_sub(surplus);
                     }
                 }
                 if sleepers && my_q.approx_len() > 1 {
@@ -402,7 +460,10 @@ impl<'a> Traversal<'a> {
                 continue;
             }
 
-            match self.detector.idle_wait(self.cfg.idle_timeout) {
+            let t_idle = now_ns();
+            let outcome = self.detector.idle_wait(self.cfg.idle_timeout);
+            self.trace.rank(rank).record(Phase::Idle, t_idle);
+            match outcome {
                 IdleOutcome::AllDone => return (processed, TraversalOutcome::Completed),
                 IdleOutcome::Starved => {
                     self.starved.store(true, Ordering::Release);
@@ -414,14 +475,21 @@ impl<'a> Traversal<'a> {
     }
 
     /// One steal sweep for `rank`; updates the steal counters. Returns
-    /// true when anything was stolen.
+    /// true when anything was stolen. Counters are written directly —
+    /// this is the idle path, a Relaxed add per sweep is noise.
     fn try_steal(&self, rank: usize, rng: &mut SmallRng, buf: &mut VecDeque<VertexId>) -> bool {
+        let slot = self.counters.rank(rank);
+        slot.incr(Counter::StealAttempts);
         let got = steal_sweep(self.queues, rank, rng, self.cfg.steal_policy, buf);
         if got > 0 {
-            self.steals.fetch_add(1, Ordering::Relaxed);
-            self.stolen_items.fetch_add(got, Ordering::Relaxed);
+            slot.incr(Counter::Steals);
+            slot.add(Counter::StolenItems, got as u64);
+            // steal_sweep re-pushes the loot into our shared queue,
+            // where it is again visible to thieves.
+            slot.add(Counter::ItemsPublished, got as u64);
             true
         } else {
+            slot.incr(Counter::FailedSweeps);
             false
         }
     }
@@ -462,6 +530,23 @@ impl<'a> Traversal<'a> {
         let processed = exec.run(|ctx| {
             let mut total = 0usize;
             let mut round = 0usize;
+            // Barrier accounting: one episode + wait-time per rank.
+            // Barriers are already heavyweight (a full team rendezvous),
+            // so the always-on `Instant` read around each is noise.
+            let timed_barrier = |leader_counter: &AtomicUsize| {
+                let t_ns = now_ns();
+                let t0 = Instant::now();
+                if ctx.barrier() {
+                    leader_counter.fetch_add(1, Ordering::Relaxed);
+                }
+                let waited = t0.elapsed().as_nanos() as u64;
+                let slot = self.counters.rank(ctx.rank());
+                slot.incr(Counter::Barriers);
+                slot.add(Counter::BarrierWaitNs, waited);
+                self.trace
+                    .rank(ctx.rank())
+                    .record_span(Phase::Barrier, t_ns, waited);
+            };
             loop {
                 if ctx.rank() == 0 {
                     self.begin_round();
@@ -470,17 +555,13 @@ impl<'a> Traversal<'a> {
                         finished.store(true, Ordering::Release);
                     }
                 }
-                if ctx.barrier() {
-                    barriers.fetch_add(1, Ordering::Relaxed);
-                }
+                timed_barrier(&barriers);
                 if finished.load(Ordering::Acquire) {
                     break;
                 }
                 let (count, outcome) = self.run_worker(ctx.rank());
                 total += count;
-                if ctx.barrier() {
-                    barriers.fetch_add(1, Ordering::Relaxed);
-                }
+                timed_barrier(&barriers);
                 if outcome == TraversalOutcome::Starved {
                     any_starved.store(true, Ordering::Release);
                     break;
@@ -497,19 +578,23 @@ impl<'a> Traversal<'a> {
         (processed, barriers.load(Ordering::Relaxed), outcome)
     }
 
-    /// Collisions observed so far (see module docs).
+    /// Collisions observed so far (see module docs). Merged from the
+    /// per-rank counter slots; call between rounds or after the team
+    /// joins for exact values.
     pub fn multi_colored(&self) -> usize {
-        self.multi_colored.load(Ordering::Relaxed)
+        self.counters.merged().get(Counter::MultiColored) as usize
     }
 
-    /// Successful steals so far.
-    pub fn steals(&self) -> usize {
-        self.steals.load(Ordering::Relaxed)
+    /// The per-rank counter set this session writes into (the
+    /// workspace's; `Workspace::finish_job` merges it into a
+    /// [`st_obs::JobMetrics`]).
+    pub fn counters(&self) -> &CounterSet {
+        self.counters
     }
 
-    /// Total items moved by steals so far.
-    pub fn stolen_items(&self) -> usize {
-        self.stolen_items.load(Ordering::Relaxed)
+    /// The per-rank span rings this session records into.
+    pub(crate) fn trace(&self) -> &TraceSet {
+        self.trace
     }
 
     /// Copies out the live prefix of the parent array (call after all
@@ -528,6 +613,18 @@ impl<'a> Traversal<'a> {
     pub fn into_parents(self) -> Vec<VertexId> {
         self.parents_vec()
     }
+}
+
+/// Per-worker round-local tallies: plain `u64`s bumped in the hot loop
+/// and flushed once per [`Traversal::run_worker`] call to the rank's
+/// cache-padded [`CounterSlot`](st_obs::CounterSlot), keeping atomic
+/// traffic out of the per-vertex path.
+#[derive(Default)]
+struct WorkerTally {
+    discovered: u64,
+    multi_colored: u64,
+    published: u64,
+    kept_local: u64,
 }
 
 /// One steal sweep over `queues`: a few random probes, then a
@@ -604,7 +701,8 @@ mod tests {
             let (_, outcome) = t.run_worker(ctx.rank());
             assert_eq!(outcome, TraversalOutcome::Completed);
         });
-        (t.parents_vec(), t.steals())
+        let steals = t.counters().merged().get(Counter::Steals) as usize;
+        (t.parents_vec(), steals)
     }
 
     #[test]

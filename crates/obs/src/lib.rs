@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # st-obs — observability for the spanning-tree engine
+//!
+//! The paper's performance claims are arguments about *where time
+//! goes*: steal traffic versus local work, barrier waits, detector
+//! sleeps, stub-walk length. This crate turns every engine job into a
+//! structured report of exactly those quantities:
+//!
+//! * [`counters`] — always-on, cache-padded per-rank [`CounterSlot`]s
+//!   (Relaxed increments on rank-private lines), merged into a
+//!   [`CounterSnapshot`] at job completion.
+//! * [`trace`] — feature-gated (`obs-trace`) per-rank span ring buffers
+//!   recording phase intervals against a process-monotonic clock;
+//!   compiled to no-ops when the feature is off.
+//! * [`metrics`] — [`JobMetrics`], the per-job report every
+//!   `Engine`/`Executor` job returns: wall time, merged and per-rank
+//!   counters, and recorded spans.
+//! * [`chrome`] — a Chrome trace-event (Perfetto-loadable) JSON writer
+//!   for those spans.
+//!
+//! The layer is algorithm-agnostic: `st-core` owns *when* to count
+//! (claim races, publications, grafts); this crate owns the storage,
+//! merging, and export.
+
+pub mod chrome;
+pub mod counters;
+pub mod metrics;
+pub mod trace;
+
+pub use chrome::write_chrome_trace;
+pub use counters::{Counter, CounterSet, CounterSlot, CounterSnapshot, NUM_COUNTERS};
+pub use metrics::{JobMetrics, PhaseTotal};
+pub use trace::{now_ns, Phase, SpanEvent, SpanRing, TraceSet, DEFAULT_SPAN_CAPACITY};

@@ -1,0 +1,372 @@
+//! Feature-gated per-worker phase span tracing.
+//!
+//! With the `obs-trace` feature enabled, each rank owns a fixed-capacity
+//! ring buffer of [`SpanEvent`]s stamped with a monotonic coarse clock
+//! ([`now_ns`], nanoseconds since a process-wide epoch). The ring drops
+//! the oldest span on overflow and counts what it dropped, so a long job
+//! keeps its tail — the part a Perfetto reader usually cares about —
+//! without unbounded memory.
+//!
+//! Without the feature (the default), [`now_ns`] returns 0, [`SpanRing`]
+//! carries no state, and every recording call is an empty `#[inline]`
+//! body the optimizer deletes — the zero-cost-when-disabled claim CI
+//! enforces by building the cfg-off configuration.
+
+use serde::{Serialize, Value};
+use st_smp::pad::CachePadded;
+
+#[cfg(feature = "obs-trace")]
+use st_smp::SpinLock;
+
+/// Default per-rank span capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// What a span covers. Serializes as its [`Phase::name`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// A worker's whole traversal shift (pop/scan/publish/steal loop).
+    Traverse,
+    /// Waiting inside the termination detector.
+    Idle,
+    /// Waiting at a software barrier.
+    Barrier,
+    /// Sequential stub-tree growth at round start.
+    Stub,
+    /// SV/HCS graft pass.
+    Graft,
+    /// SV/HCS pointer-jumping shortcut pass.
+    Shortcut,
+    /// The starvation fallback (SV core run mid-job).
+    Fallback,
+}
+
+impl Phase {
+    /// Every phase.
+    pub const ALL: [Phase; 7] = [
+        Phase::Traverse,
+        Phase::Idle,
+        Phase::Barrier,
+        Phase::Stub,
+        Phase::Graft,
+        Phase::Shortcut,
+        Phase::Fallback,
+    ];
+
+    /// Stable lowercase name used in JSON and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Traverse => "traverse",
+            Phase::Idle => "idle",
+            Phase::Barrier => "barrier",
+            Phase::Stub => "stub",
+            Phase::Graft => "graft",
+            Phase::Shortcut => "shortcut",
+            Phase::Fallback => "fallback",
+        }
+    }
+}
+
+impl Serialize for Phase {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+/// One recorded phase interval on one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanEvent {
+    /// Rank that recorded the span.
+    pub rank: u32,
+    /// What the span covers.
+    pub phase: Phase,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Nanoseconds since a process-wide monotonic epoch (first call wins).
+///
+/// Coarse by design: spans are recorded at phase granularity, not per
+/// vertex, so one `Instant` read per record is the whole cost.
+#[cfg(feature = "obs-trace")]
+pub fn now_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Tracing disabled: the clock is a constant and spans are never kept.
+#[cfg(not(feature = "obs-trace"))]
+#[inline(always)]
+pub fn now_ns() -> u64 {
+    0
+}
+
+#[cfg(feature = "obs-trace")]
+#[derive(Debug)]
+struct RingInner {
+    /// Spans in ring order; `events.len() < cap` means no wrap yet.
+    events: Vec<SpanEvent>,
+    /// Oldest element once wrapped.
+    head: usize,
+    /// Spans overwritten after the ring filled.
+    dropped: u64,
+    cap: usize,
+}
+
+/// A fixed-capacity, drop-oldest span ring for one rank.
+///
+/// All methods take `&self`; the (feature-gated) interior is a
+/// `SpinLock`, uncontended in practice because each rank writes only
+/// its own ring — the lock exists so a driver thread can drain rings
+/// after the team quiesces without unsafe code.
+#[derive(Debug)]
+pub struct SpanRing {
+    #[cfg(feature = "obs-trace")]
+    inner: SpinLock<RingInner>,
+}
+
+impl SpanRing {
+    /// A ring holding at most `cap` spans (ignored when tracing is
+    /// compiled out).
+    pub fn with_capacity(cap: usize) -> Self {
+        #[cfg(feature = "obs-trace")]
+        {
+            Self {
+                inner: SpinLock::new(RingInner {
+                    events: Vec::with_capacity(cap.max(1)),
+                    head: 0,
+                    dropped: 0,
+                    cap: cap.max(1),
+                }),
+            }
+        }
+        #[cfg(not(feature = "obs-trace"))]
+        {
+            let _ = cap;
+            Self {}
+        }
+    }
+
+    /// Records a span from `start_ns` until now.
+    #[inline]
+    pub fn record(&self, phase: Phase, start_ns: u64) {
+        #[cfg(feature = "obs-trace")]
+        self.push(phase, start_ns, now_ns().saturating_sub(start_ns));
+        #[cfg(not(feature = "obs-trace"))]
+        {
+            let _ = (phase, start_ns);
+        }
+    }
+
+    /// Records a span with an explicit duration.
+    #[inline]
+    pub fn record_span(&self, phase: Phase, start_ns: u64, dur_ns: u64) {
+        #[cfg(feature = "obs-trace")]
+        self.push(phase, start_ns, dur_ns);
+        #[cfg(not(feature = "obs-trace"))]
+        {
+            let _ = (phase, start_ns, dur_ns);
+        }
+    }
+
+    #[cfg(feature = "obs-trace")]
+    fn push(&self, phase: Phase, start_ns: u64, dur_ns: u64) {
+        let ev = SpanEvent {
+            rank: 0, // stamped at drain time from the ring's index
+            phase,
+            start_ns,
+            dur_ns,
+        };
+        let mut r = self.inner.lock();
+        if r.events.len() < r.cap {
+            r.events.push(ev);
+        } else {
+            let head = r.head;
+            r.events[head] = ev;
+            r.head = (head + 1) % r.cap;
+            r.dropped += 1;
+        }
+    }
+
+    /// Spans in record order (oldest first), stamped with `rank`.
+    /// Always empty when tracing is compiled out.
+    pub fn spans(&self, rank: u32) -> Vec<SpanEvent> {
+        #[cfg(feature = "obs-trace")]
+        {
+            let r = self.inner.lock();
+            let mut out = Vec::with_capacity(r.events.len());
+            out.extend_from_slice(&r.events[r.head..]);
+            out.extend_from_slice(&r.events[..r.head]);
+            for ev in &mut out {
+                ev.rank = rank;
+            }
+            out
+        }
+        #[cfg(not(feature = "obs-trace"))]
+        {
+            let _ = rank;
+            Vec::new()
+        }
+    }
+
+    /// Spans overwritten since the last [`SpanRing::clear`].
+    pub fn dropped(&self) -> u64 {
+        #[cfg(feature = "obs-trace")]
+        {
+            self.inner.lock().dropped
+        }
+        #[cfg(not(feature = "obs-trace"))]
+        {
+            0
+        }
+    }
+
+    /// Empties the ring.
+    pub fn clear(&self) {
+        #[cfg(feature = "obs-trace")]
+        {
+            let mut r = self.inner.lock();
+            r.events.clear();
+            r.head = 0;
+            r.dropped = 0;
+        }
+    }
+}
+
+impl Default for SpanRing {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+/// One padded [`SpanRing`] per rank.
+#[derive(Debug, Default)]
+pub struct TraceSet {
+    rings: Vec<CachePadded<SpanRing>>,
+}
+
+impl TraceSet {
+    /// Whether span recording is compiled in.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "obs-trace")
+    }
+
+    /// Grows (never shrinks) to at least `p` rings.
+    pub fn ensure(&mut self, p: usize) {
+        while self.rings.len() < p {
+            self.rings.push(CachePadded::new(SpanRing::default()));
+        }
+    }
+
+    /// Number of rings currently allocated.
+    pub fn len(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Whether no rings are allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.rings.is_empty()
+    }
+
+    /// Rank `r`'s ring.
+    #[inline]
+    pub fn rank(&self, r: usize) -> &SpanRing {
+        &self.rings[r]
+    }
+
+    /// Empties every ring.
+    pub fn clear(&self) {
+        for r in &self.rings {
+            r.clear();
+        }
+    }
+
+    /// All spans across ranks, each stamped with its ring index, sorted
+    /// by start time. Empty when tracing is compiled out.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for (i, r) in self.rings.iter().enumerate() {
+            out.extend(r.spans(i as u32));
+        }
+        out.sort_by_key(|e| (e.start_ns, e.rank));
+        out
+    }
+
+    /// Total spans overwritten across rings since the last clear.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_noop_or_records_by_feature() {
+        let ring = SpanRing::with_capacity(4);
+        ring.record_span(Phase::Barrier, 10, 5);
+        let spans = ring.spans(3);
+        if TraceSet::enabled() {
+            assert_eq!(spans.len(), 1);
+            assert_eq!(spans[0].rank, 3);
+            assert_eq!(spans[0].phase, Phase::Barrier);
+            assert_eq!(spans[0].dur_ns, 5);
+        } else {
+            assert!(spans.is_empty());
+        }
+    }
+
+    #[cfg(feature = "obs-trace")]
+    #[test]
+    fn ring_drops_oldest_on_overflow() {
+        let ring = SpanRing::with_capacity(2);
+        for i in 0..5u64 {
+            ring.record_span(Phase::Idle, i, 1);
+        }
+        let spans = ring.spans(0);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start_ns, 3);
+        assert_eq!(spans[1].start_ns, 4);
+        assert_eq!(ring.dropped(), 3);
+        ring.clear();
+        assert!(ring.spans(0).is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[cfg(feature = "obs-trace")]
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn trace_set_drains_sorted_by_start() {
+        let mut ts = TraceSet::default();
+        ts.ensure(2);
+        ts.rank(1).record_span(Phase::Traverse, 5, 1);
+        ts.rank(0).record_span(Phase::Traverse, 2, 1);
+        let spans = ts.drain();
+        if TraceSet::enabled() {
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].start_ns, 2);
+            assert_eq!(spans[0].rank, 0);
+            assert_eq!(spans[1].rank, 1);
+        } else {
+            assert!(spans.is_empty());
+        }
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        for p in Phase::ALL {
+            assert!(!p.name().is_empty());
+            assert_eq!(p.to_value(), serde::Value::String(p.name().to_string()));
+        }
+    }
+}

@@ -24,10 +24,28 @@
 //!
 //! [`notify_work`]: TerminationDetector::notify_work
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+
+/// Cumulative detector activity since the last
+/// [`TerminationDetector::reset_stats`].
+///
+/// Every sleep registration is eventually paired with a wake (including
+/// the degenerate register-and-return paths), so `sleeps == wakes`
+/// whenever the team is quiescent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Times a processor registered as sleeping.
+    pub sleeps: u64,
+    /// Times a sleeping processor left the detector (woken, timed out,
+    /// or returning immediately with a verdict).
+    pub wakes: u64,
+    /// Times the starvation threshold tripped (counted once per trip,
+    /// on the processor that crossed it).
+    pub starvation_trips: u64,
+}
 
 /// Why [`TerminationDetector::idle_wait`] returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +80,14 @@ pub struct TerminationDetector {
     /// Lock-free mirror of `state.sleeping` so busy processors can decide
     /// whether a `notify_work` is worth the lock without taking it.
     sleeping_hint: AtomicUsize,
+    /// Cumulative sleep registrations (survives per-round [`reset`]).
+    ///
+    /// [`reset`]: Self::reset
+    sleeps: AtomicU64,
+    /// Cumulative wakes (see [`DetectorStats::wakes`]).
+    wakes: AtomicU64,
+    /// Cumulative starvation trips.
+    starvation_trips: AtomicU64,
 }
 
 impl TerminationDetector {
@@ -87,6 +113,9 @@ impl TerminationDetector {
             state: Mutex::new(DetectorState::default()),
             cv: Condvar::new(),
             sleeping_hint: AtomicUsize::new(0),
+            sleeps: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            starvation_trips: AtomicU64::new(0),
         }
     }
 
@@ -129,11 +158,13 @@ impl TerminationDetector {
         }
         s.sleeping += 1;
         self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+        self.sleeps.fetch_add(1, Ordering::Relaxed);
         if s.sleeping == self.p {
             // Quiescence: this processor is the last to go idle.
             s.done = true;
             s.sleeping -= 1;
             self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+            self.wakes.fetch_add(1, Ordering::Relaxed);
             self.cv.notify_all();
             return IdleOutcome::AllDone;
         }
@@ -143,6 +174,8 @@ impl TerminationDetector {
             s.starved = true;
             s.sleeping -= 1;
             self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            self.starvation_trips.fetch_add(1, Ordering::Relaxed);
             self.cv.notify_all();
             return IdleOutcome::Starved;
         }
@@ -152,16 +185,19 @@ impl TerminationDetector {
             if s.done {
                 s.sleeping -= 1;
                 self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+                self.wakes.fetch_add(1, Ordering::Relaxed);
                 return IdleOutcome::AllDone;
             }
             if s.starved {
                 s.sleeping -= 1;
                 self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+                self.wakes.fetch_add(1, Ordering::Relaxed);
                 return IdleOutcome::Starved;
             }
             if timed_out || s.work_epoch != epoch {
                 s.sleeping -= 1;
                 self.sleeping_hint.store(s.sleeping, Ordering::Relaxed);
+                self.wakes.fetch_add(1, Ordering::Relaxed);
                 return IdleOutcome::Retry;
             }
         }
@@ -186,12 +222,31 @@ impl TerminationDetector {
     }
 
     /// Resets the detector for another traversal round (driver only; must
-    /// not race with `idle_wait`).
+    /// not race with `idle_wait`). Cumulative [`stats`](Self::stats)
+    /// survive this — a multi-round job keeps one running total; use
+    /// [`reset_stats`](Self::reset_stats) at job boundaries.
     pub fn reset(&self) {
         let mut s = self.state.lock();
         debug_assert_eq!(s.sleeping, 0, "reset while processors are waiting");
         *s = DetectorState::default();
         self.sleeping_hint.store(0, Ordering::Relaxed);
+    }
+
+    /// Cumulative activity since the last [`reset_stats`](Self::reset_stats).
+    pub fn stats(&self) -> DetectorStats {
+        DetectorStats {
+            sleeps: self.sleeps.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            starvation_trips: self.starvation_trips.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the cumulative stats (job boundary; must not race with
+    /// `idle_wait`).
+    pub fn reset_stats(&self) {
+        self.sleeps.store(0, Ordering::Relaxed);
+        self.wakes.store(0, Ordering::Relaxed);
+        self.starvation_trips.store(0, Ordering::Relaxed);
     }
 }
 
@@ -305,5 +360,40 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         TerminationDetector::new(0);
+    }
+
+    #[test]
+    fn stats_count_sleeps_wakes_and_trips() {
+        // Threshold 1 with p=2: the first idle processor trips starvation.
+        let d = TerminationDetector::with_threshold(2, 1);
+        assert_eq!(d.idle_wait(SHORT), IdleOutcome::Starved);
+        let st = d.stats();
+        assert_eq!(st.sleeps, 1);
+        assert_eq!(st.wakes, 1);
+        assert_eq!(st.starvation_trips, 1);
+        // A per-round reset keeps the cumulative stats...
+        d.reset();
+        assert_eq!(d.stats().sleeps, 1);
+        // ...and a job-boundary reset clears them.
+        d.reset_stats();
+        assert_eq!(d.stats(), DetectorStats::default());
+    }
+
+    #[test]
+    fn every_sleep_is_paired_with_a_wake() {
+        const P: usize = 4;
+        let d = TerminationDetector::new(P);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..P {
+                s.spawn(|_| {
+                    assert_eq!(d.idle_wait(LONG), IdleOutcome::AllDone);
+                });
+            }
+        })
+        .unwrap();
+        let st = d.stats();
+        assert_eq!(st.sleeps, P as u64);
+        assert_eq!(st.wakes, st.sleeps);
+        assert_eq!(st.starvation_trips, 0);
     }
 }

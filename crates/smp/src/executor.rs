@@ -31,6 +31,7 @@
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -79,6 +80,9 @@ struct Shared {
     done_cv: Condvar,
     /// Serializes concurrent `run` calls from different threads.
     submit: Mutex<()>,
+    /// Jobs finished over the executor's lifetime (panicked jobs
+    /// included — the whole team still ran them to completion).
+    jobs_completed: AtomicU64,
 }
 
 /// Per-rank result cell; each rank writes only its own slot, and the
@@ -144,6 +148,7 @@ impl Executor {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             submit: Mutex::new(()),
+            jobs_completed: AtomicU64::new(0),
         });
         let workers = (1..p)
             .map(|rank| {
@@ -184,6 +189,12 @@ impl Executor {
         &self.shared.detector
     }
 
+    /// Jobs this team has finished since construction (an observability
+    /// lifetime counter; never reset).
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.jobs_completed.load(Ordering::Relaxed)
+    }
+
     /// Runs `f` once per rank on the team and returns each rank's
     /// result in rank order. Rank 0 executes inline on the calling
     /// thread; ranks `1..p` execute on the parked workers.
@@ -216,6 +227,7 @@ impl Executor {
             let token = BarrierToken::with_sense(self.shared.barrier.current_sense());
             body(0, TeamCtx::new(0, 1, &self.shared.barrier, &token));
             drop(body);
+            self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
             return collect_results(slots);
         }
 
@@ -250,6 +262,7 @@ impl Executor {
             s.job = None;
             s.panicked
         };
+        self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
         if !rank0_ok || worker_panics > 0 {
             panic!("team worker panicked");
         }
@@ -456,6 +469,20 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 3 * 25 * 4);
+    }
+
+    #[test]
+    fn jobs_completed_counts_every_run() {
+        let exec = Executor::new(3);
+        assert_eq!(exec.jobs_completed(), 0);
+        for _ in 0..5 {
+            exec.run(|_| ());
+        }
+        assert_eq!(exec.jobs_completed(), 5);
+        // p == 1 fast path counts too.
+        let solo = Executor::new(1);
+        solo.run(|_| ());
+        assert_eq!(solo.jobs_completed(), 1);
     }
 
     #[test]

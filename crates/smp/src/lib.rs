@@ -43,10 +43,10 @@ pub mod team;
 
 pub use atomics::AtomicU32Array;
 pub use barrier::{BarrierToken, SenseBarrier};
-pub use detect::{IdleOutcome, TerminationDetector};
+pub use detect::{DetectorStats, IdleOutcome, TerminationDetector};
 pub use dissemination::{DisseminationBarrier, DisseminationToken};
 pub use executor::Executor;
 pub use lock::{SpinLock, TicketLock};
-pub use pad::CacheAligned;
+pub use pad::{CacheAligned, CachePadded};
 pub use steal::{StealPolicy, WorkQueue};
 pub use team::{run_team, TeamCtx};

@@ -13,6 +13,10 @@
 #[repr(align(128))]
 pub struct CacheAligned<T>(pub T);
 
+/// Conventional alias (crossbeam naming) for [`CacheAligned`]; the
+/// observability layer's counter slots use this name.
+pub type CachePadded<T> = CacheAligned<T>;
+
 impl<T> CacheAligned<T> {
     /// Wraps `value`.
     pub const fn new(value: T) -> Self {

@@ -20,6 +20,9 @@
 //! * [`core`] — the algorithms.
 //! * [`model`] — the cost model and deterministic instrumented
 //!   executors.
+//! * [`obs`] — the observability layer: always-on per-rank counters,
+//!   per-job [`JobMetrics`](st_obs::JobMetrics) reports, and (behind
+//!   the `obs-trace` feature) phase spans exportable as Chrome traces.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@
 pub use st_core as core;
 pub use st_graph as graph;
 pub use st_model as model;
+pub use st_obs as obs;
 pub use st_smp as smp;
 
 /// Everything a typical user needs in scope.
@@ -75,5 +79,6 @@ pub mod prelude {
     pub use st_graph::label::{random_permutation, relabel};
     pub use st_graph::validate::{is_spanning_forest, is_spanning_tree};
     pub use st_graph::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
+    pub use st_obs::{write_chrome_trace, Counter, JobMetrics, Phase, PhaseTotal};
     pub use st_smp::StealPolicy;
 }
