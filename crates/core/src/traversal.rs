@@ -659,14 +659,16 @@ pub(crate) fn steal_sweep(
             return got;
         }
     }
-    // Deterministic sweep. The appears_empty fast path is safe here: a
-    // stale emptiness answer only delays this sweep, and the idle loop
-    // retries after the timeout until the detector proves quiescence.
+    // Deterministic sweep: no appears_empty fast path here. The mirror
+    // lags the real length (it is published only after the lock is
+    // released), so a victim whose push landed between the mirror read
+    // and this probe would be skipped — and a sweep that misses the
+    // only non-empty queue sends this processor into idle_wait with
+    // stealable work still published. steal_into's under-lock length
+    // check is the exact test; the mirror stays a heuristic for the
+    // random probes above, where a stale answer only costs one probe.
     for offset in 1..p {
         let victim = (rank + offset) % p;
-        if queues[victim].appears_empty() {
-            continue;
-        }
         let got = queues[victim].steal_into(buf, policy);
         if got > 0 {
             queues[rank].push_all(buf.drain(..));
@@ -744,6 +746,29 @@ mod tests {
             let (parents, _) = traverse(&g, 4, 0, cfg);
             assert!(is_spanning_tree(&g, &parents, 0), "policy {policy:?}");
         }
+    }
+
+    /// Regression for the stale-`appears_empty` window: fake the
+    /// victim's lock-free length mirror to zero (as a thief observes it
+    /// between the victim's push and its mirror publication). The
+    /// random probes may legitimately skip the victim, but the final
+    /// deterministic sweep must find the work via `steal_into`'s exact
+    /// under-lock check — before the fix it trusted the mirror and sent
+    /// the rank into `idle_wait` with stealable work still published.
+    #[test]
+    fn deterministic_sweep_ignores_stale_empty_mirror() {
+        let queues: Vec<CacheAligned<WorkQueue<VertexId>>> = (0..4)
+            .map(|_| CacheAligned::new(WorkQueue::new()))
+            .collect();
+        queues[2].push_all([7u32, 8, 9]);
+        queues[2].desync_mirror_for_test(0);
+        assert!(queues[2].appears_empty(), "mirror must look empty");
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut buf = VecDeque::new();
+        let got = steal_sweep(&queues, 0, &mut rng, StealPolicy::Half, &mut buf);
+        assert!(got > 0, "sweep missed the only non-empty queue");
+        assert_eq!(got + queues[2].len(), 3, "items lost in the steal");
+        assert_eq!(queues[0].len(), got, "stolen items must land locally");
     }
 
     #[test]

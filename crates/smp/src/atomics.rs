@@ -1,6 +1,6 @@
 //! Shared atomic vertex arrays.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::atomic::{AtomicU32, Ordering};
 
 /// A fixed-size array of atomic `u32` cells shared by all processors.
 ///
@@ -144,7 +144,7 @@ impl From<AtomicU32Array> for Vec<u32> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
 
@@ -175,7 +175,7 @@ mod tests {
     #[test]
     fn concurrent_claims_have_one_winner_per_cell() {
         const P: usize = 8;
-        const N: usize = 1000;
+        const N: usize = if cfg!(miri) { 64 } else { 1000 };
         let a = AtomicU32Array::new(N, u32::MAX);
         let wins: Vec<std::sync::atomic::AtomicUsize> = (0..P)
             .map(|_| std::sync::atomic::AtomicUsize::new(0))

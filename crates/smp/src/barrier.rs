@@ -7,7 +7,9 @@
 //! the count and publishes the new sense, releasing everyone at once.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Backoff;
 
 /// A reusable barrier for a fixed team of `p` participants.
 ///
@@ -110,23 +112,18 @@ impl SenseBarrier {
             self.sense.store(my_sense, Ordering::Release);
             true
         } else {
-            let mut spins = 0u32;
+            // Backoff escalates to yields for the oversubscribed (or
+            // long-tail) case: let the owner of the core run.
+            let mut backoff = Backoff::new();
             while self.sense.load(Ordering::Acquire) != my_sense {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    // Oversubscribed (or long-tail) case: let the owner
-                    // of the core run.
-                    std::thread::yield_now();
-                }
+                backoff.snooze();
             }
             false
         }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
@@ -146,7 +143,7 @@ mod tests {
         // Classic barrier test: no thread may enter phase k + 1 while
         // another is still in phase k.
         const P: usize = 4;
-        const PHASES: usize = 25;
+        const PHASES: usize = if cfg!(miri) { 4 } else { 25 };
         let barrier = SenseBarrier::new(P);
         let in_phase = AtomicUsize::new(0);
         crossbeam::thread::scope(|s| {
@@ -170,7 +167,7 @@ mod tests {
     #[test]
     fn exactly_one_leader_per_episode() {
         const P: usize = 3;
-        const EPISODES: usize = 40;
+        const EPISODES: usize = if cfg!(miri) { 5 } else { 40 };
         let barrier = SenseBarrier::new(P);
         let leaders = AtomicUsize::new(0);
         crossbeam::thread::scope(|s| {

@@ -24,10 +24,10 @@
 //!
 //! [`notify_work`]: TerminationDetector::notify_work
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 
 /// Cumulative detector activity since the last
 /// [`TerminationDetector::reset_stats`].
@@ -225,9 +225,24 @@ impl TerminationDetector {
     /// not race with `idle_wait`). Cumulative [`stats`](Self::stats)
     /// survive this — a multi-round job keeps one running total; use
     /// [`reset_stats`](Self::reset_stats) at job boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any processor is still waiting inside
+    /// [`idle_wait`](Self::idle_wait). This was previously only a
+    /// `debug_assert`, so a driver bug in a release build would zero
+    /// `sleeping` under a live waiter; when that waiter then decremented
+    /// on wake, `sleeping` wrapped to `usize::MAX`, permanently
+    /// satisfying every threshold comparison — the detector would report
+    /// `Starved`/`AllDone` forever after. A loud panic at the call site
+    /// that broke the contract is strictly better than that silent
+    /// corruption.
     pub fn reset(&self) {
         let mut s = self.state.lock();
-        debug_assert_eq!(s.sleeping, 0, "reset while processors are waiting");
+        assert_eq!(
+            s.sleeping, 0,
+            "TerminationDetector::reset while processors are waiting in idle_wait"
+        );
         *s = DetectorState::default();
         self.sleeping_hint.store(0, Ordering::Relaxed);
     }
@@ -250,7 +265,7 @@ impl TerminationDetector {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -336,6 +351,34 @@ mod tests {
         let d = TerminationDetector::new(2);
         // Only one of two processors idles; its short timeout fires.
         assert_eq!(d.idle_wait(Duration::from_millis(1)), IdleOutcome::Retry);
+        assert!(!d.is_done());
+    }
+
+    /// `reset` while a processor is parked in `idle_wait` is a driver
+    /// bug: zeroing `sleeping` under a live waiter would wrap the count
+    /// negative on its way out in release builds. The guard is a real
+    /// `assert!` (not `debug_assert!`), so this holds in every profile.
+    #[test]
+    fn reset_with_live_waiter_panics_in_release_too() {
+        let d = TerminationDetector::new(2);
+        crossbeam::thread::scope(|s| {
+            s.spawn(|_| {
+                // Woken by notify_work below once the reset attempt is done.
+                assert_eq!(d.idle_wait(LONG), IdleOutcome::Retry);
+            });
+            // Wait until the sleeper is registered.
+            while d.stats().sleeps == 0 {
+                std::thread::yield_now();
+            }
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.reset()));
+            assert!(r.is_err(), "reset must refuse while a waiter sleeps");
+            d.notify_work();
+        })
+        .unwrap();
+        // The sleeper's books survived the refused reset.
+        let st = d.stats();
+        assert_eq!(st.sleeps, st.wakes);
+        d.reset(); // quiescent now: allowed
         assert!(!d.is_done());
     }
 

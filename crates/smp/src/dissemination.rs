@@ -13,9 +13,10 @@
 //! counter reaches e.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::pad::CacheAligned;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Backoff;
 
 /// A dissemination barrier for a fixed team of `p` threads.
 #[derive(Debug)]
@@ -84,20 +85,15 @@ impl DisseminationBarrier {
             // all writes before our arrival are visible to it.
             self.flags[partner][k].0.fetch_add(1, Ordering::Release);
             let mine = &self.flags[token.id][k].0;
-            let mut spins = 0u32;
+            let mut backoff = Backoff::new();
             while mine.load(Ordering::Acquire) < episode {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
+                backoff.snooze();
             }
         }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
@@ -167,8 +163,9 @@ mod tests {
                 let barrier = &barrier;
                 let counter = &counter;
                 s.spawn(move |_| {
+                    let rounds = if cfg!(miri) { 8 } else { 200 };
                     let token = barrier.token(id);
-                    for round in 1..=200 {
+                    for round in 1..=rounds {
                         counter.fetch_add(1, Ordering::AcqRel);
                         barrier.wait(&token);
                         assert_eq!(counter.load(Ordering::Acquire), round * P);

@@ -30,15 +30,12 @@
 //! ranks.
 
 use std::cell::UnsafeCell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-
-use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use crate::barrier::{BarrierToken, SenseBarrier};
 use crate::detect::TerminationDetector;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 use crate::team::TeamCtx;
 
 /// Type-erased per-rank job body: `call(data, rank, ctx)` invokes the
@@ -113,7 +110,7 @@ unsafe impl<R: Send> Sync for ResultSlot<R> {}
 /// ```
 pub struct Executor {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -153,7 +150,7 @@ impl Executor {
         let workers = (1..p)
             .map(|rank| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("st-exec-{rank}"))
                     .spawn(move || worker_loop(&shared, rank))
                     .expect("spawn executor worker")
@@ -222,12 +219,22 @@ impl Executor {
 
         if p == 1 {
             // No workers exist; run rank 0 inline with no handoff. A
-            // panic in `f` propagates directly (single-rank jobs keep
-            // the original payload, like `run_team`'s fast path).
+            // panic in `f` propagates with its original payload (like
+            // `run_team`'s fast path), but the job must still be counted
+            // first: the multi-rank path counts panicked jobs (the whole
+            // team ran them), and a `p == 1` team skipping the increment
+            // made `jobs_completed` disagree between the two paths —
+            // exactly the kind of lifecycle drift the loom executor
+            // model pins down.
             let token = BarrierToken::with_sense(self.shared.barrier.current_sense());
-            body(0, TeamCtx::new(0, 1, &self.shared.barrier, &token));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                body(0, TeamCtx::new(0, 1, &self.shared.barrier, &token));
+            }));
             drop(body);
             self.shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            if let Err(payload) = outcome {
+                resume_unwind(payload);
+            }
             return collect_results(slots);
         }
 
@@ -351,7 +358,7 @@ fn worker_loop(shared: &Shared, rank: usize) {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -368,13 +375,14 @@ mod tests {
     #[test]
     fn reuse_across_jobs() {
         let exec = Executor::new(4);
+        let jobs = if cfg!(miri) { 5 } else { 50 };
         let total = AtomicUsize::new(0);
-        for _ in 0..50 {
+        for _ in 0..jobs {
             exec.run(|_| {
                 total.fetch_add(1, Ordering::Relaxed);
             });
         }
-        assert_eq!(total.load(Ordering::Relaxed), 200);
+        assert_eq!(total.load(Ordering::Relaxed), 4 * jobs);
     }
 
     #[test]
@@ -456,11 +464,12 @@ mod tests {
     #[test]
     fn concurrent_submitters_are_serialized() {
         let exec = Executor::new(4);
+        let per_submitter = if cfg!(miri) { 4 } else { 25 };
         let total = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..3 {
                 s.spawn(|| {
-                    for _ in 0..25 {
+                    for _ in 0..per_submitter {
                         exec.run(|_| {
                             total.fetch_add(1, Ordering::Relaxed);
                         });
@@ -468,7 +477,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(total.load(Ordering::Relaxed), 3 * 25 * 4);
+        assert_eq!(total.load(Ordering::Relaxed), 3 * per_submitter * 4);
     }
 
     #[test]
@@ -492,6 +501,50 @@ mod tests {
         exec.detector().set_threshold(Some(2));
         exec.detector().reset();
         exec.detector().set_threshold(None);
+    }
+
+    /// Retuning the persistent team's detector between jobs must change
+    /// the verdict of the next job (the loom model
+    /// `executor::set_threshold_between_jobs_changes_verdict` checks
+    /// every interleaving; this is the plain-build smoke version).
+    #[test]
+    fn set_threshold_between_jobs_flips_the_verdict() {
+        use crate::IdleOutcome;
+        use std::time::Duration;
+        let exec = Executor::new(2);
+        let timeout = Duration::from_millis(1);
+        exec.run(|_| loop {
+            match exec.detector().idle_wait(timeout) {
+                IdleOutcome::AllDone => break,
+                IdleOutcome::Retry => continue,
+                IdleOutcome::Starved => panic!("job 1 must not starve"),
+            }
+        });
+        assert!(exec.detector().is_done());
+
+        exec.detector().reset();
+        exec.detector().set_threshold(Some(1));
+        exec.run(|_| {
+            assert_eq!(exec.detector().idle_wait(timeout), IdleOutcome::Starved);
+        });
+        assert!(exec.detector().is_starved());
+        assert_eq!(exec.detector().stats().starvation_trips, 1);
+    }
+
+    /// Regression for the p == 1 lifecycle defect the loom harness
+    /// flagged: a panicking solo job used to skip the `jobs_completed`
+    /// bump that the multi-rank path performs, so the team's books
+    /// diverged by profile. The panic must propagate AND count.
+    #[test]
+    fn solo_panicked_job_is_still_counted() {
+        let solo = Executor::new(1);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            solo.run(|_| panic!("boom"));
+        }));
+        assert!(r.is_err(), "solo panic must propagate");
+        assert_eq!(solo.jobs_completed(), 1, "panicked job must count");
+        solo.run(|_| ());
+        assert_eq!(solo.jobs_completed(), 2);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   shared lines.
 //! * [`atomics`] — a shared atomic `u32` array used for vertex colors and
 //!   parent slots.
+//! * [`sync`] — the synchronization abstraction layer every module above
+//!   imports its atomics/mutexes/condvars/spins through; with the `loom`
+//!   feature it swaps in the vendored loom model checker so
+//!   `tests/loom_models` can exhaustively verify the protocols.
 //!
 //! Everything here is algorithm-agnostic; the spanning-tree logic lives
 //! in `st-core`.
@@ -39,6 +43,7 @@ pub mod executor;
 pub mod lock;
 pub mod pad;
 pub mod steal;
+pub mod sync;
 pub mod team;
 
 pub use atomics::AtomicU32Array;

@@ -9,7 +9,9 @@
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::Backoff;
 
 /// Test-and-test-and-set spin lock protecting a `T`.
 #[derive(Debug, Default)]
@@ -35,7 +37,7 @@ impl<T> SpinLock<T> {
     /// Acquires the lock, spinning (with escalating yields) until it is
     /// available.
     pub fn lock(&self) -> SpinGuard<'_, T> {
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             // Test-and-test-and-set: spin on a plain load so the line
             // stays shared until the lock actually looks free.
@@ -47,12 +49,7 @@ impl<T> SpinLock<T> {
             {
                 return SpinGuard { lock: self };
             }
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
+            backoff.snooze();
         }
     }
 
@@ -140,14 +137,9 @@ impl<T> TicketLock<T> {
     /// Acquires the lock in FIFO order.
     pub fn lock(&self) -> TicketGuard<'_, T> {
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         while self.now_serving.load(Ordering::Acquire) != ticket {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
+            backoff.snooze();
         }
         TicketGuard { lock: self }
     }
@@ -186,14 +178,16 @@ impl<T> Drop for TicketGuard<'_, T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
 
     #[test]
     fn spinlock_counts_correctly() {
         const P: usize = 4;
-        const ITERS: usize = 10_000;
+        // Miri interprets every instruction; keep its iteration count
+        // small enough for CI while the native build stays a stress run.
+        const ITERS: usize = if cfg!(miri) { 100 } else { 10_000 };
         let lock = SpinLock::new(0usize);
         crossbeam::thread::scope(|s| {
             for _ in 0..P {
@@ -229,7 +223,7 @@ mod tests {
     #[test]
     fn ticketlock_counts_correctly() {
         const P: usize = 4;
-        const ITERS: usize = 10_000;
+        const ITERS: usize = if cfg!(miri) { 100 } else { 10_000 };
         let lock = TicketLock::new(0usize);
         crossbeam::thread::scope(|s| {
             for _ in 0..P {

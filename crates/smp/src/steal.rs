@@ -14,9 +14,9 @@
 //! "lightweight work stealing protocol" rather than a lock-free one.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::lock::SpinLock;
+use crate::sync::atomic::{AtomicUsize, Ordering};
 
 /// How much a thief takes from a victim queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,9 +176,19 @@ impl<T> WorkQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.appears_empty()
     }
+
+    /// Forces the `approx_len` mirror out of sync with the real deque,
+    /// simulating the in-flight window where another processor has
+    /// mutated the deque but not yet published the mirror. Test-only
+    /// hook for the stale-emptiness regression tests; never called by
+    /// the engine.
+    #[doc(hidden)]
+    pub fn desync_mirror_for_test(&self, fake_len: usize) {
+        self.approx_len.store(fake_len, Ordering::Release);
+    }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
 

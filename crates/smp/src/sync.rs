@@ -1,0 +1,107 @@
+//! Synchronization abstraction layer: the single import point for every
+//! primitive the runtime substrate builds on.
+//!
+//! Normally this re-exports `std` atomics/threads and the vendored
+//! `parking_lot` mutex/condvar. With the `loom` feature it re-exports
+//! the vendored loom model checker's instrumented equivalents instead,
+//! so the `tests/loom_models` suite can exhaustively explore the
+//! interleavings of `lock`, `barrier`, `dissemination`, `steal`,
+//! `detect`, and the executor handoff without changing a line of
+//! protocol code. See DESIGN.md §13 ("Model-checked concurrency") for
+//! the harness layout and the memory-ordering audit the models
+//! cross-reference.
+//!
+//! Rules for code in this crate:
+//! - never import `std::sync::atomic`, `std::thread`, `std::hint`, or
+//!   `parking_lot` directly — go through this module;
+//! - spin loops use [`Backoff`], whose loom flavor yields on every
+//!   iteration (the model deprioritizes yielded threads, keeping the
+//!   schedule space finite).
+
+#[cfg(feature = "loom")]
+pub use loom::{hint, thread};
+
+#[cfg(feature = "loom")]
+pub use loom::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+
+/// Entry point of the model checker (loom builds only): explores every
+/// schedule of the closure within the preemption bound.
+#[cfg(feature = "loom")]
+pub use loom::model;
+
+#[cfg(not(feature = "loom"))]
+pub use std::{hint, thread};
+
+#[cfg(not(feature = "loom"))]
+pub use std::sync::atomic;
+
+#[cfg(not(feature = "loom"))]
+pub use std::sync::Arc;
+
+#[cfg(not(feature = "loom"))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+
+/// Spin iterations before a waiter escalates from `spin_loop` hints to
+/// OS yields. Under loom every backoff step must be a yield so the
+/// scheduler can bound spinning.
+#[cfg(not(feature = "loom"))]
+const SPIN_LIMIT: u32 = 64;
+#[cfg(feature = "loom")]
+const SPIN_LIMIT: u32 = 0;
+
+/// Escalating spin-wait helper shared by every spin loop in this crate
+/// (TTAS/ticket locks, both barriers).
+///
+/// The counter saturates instead of wrapping: an oversubscribed waiter
+/// can easily exceed `u32::MAX` iterations on a descheduled owner, and
+/// the pre-audit `spins += 1` overflowed (a debug-build panic in
+/// exactly the starved schedules that matter most).
+#[derive(Debug, Default)]
+pub struct Backoff {
+    spins: u32,
+}
+
+impl Backoff {
+    /// A fresh backoff (starts in the spin-hint phase).
+    pub const fn new() -> Self {
+        Self { spins: 0 }
+    }
+
+    /// A backoff whose counter is already at `u32::MAX`, as after
+    /// ~4 billion spin iterations. Exposed for the overflow regression
+    /// test only.
+    #[doc(hidden)]
+    pub const fn saturated() -> Self {
+        Self { spins: u32::MAX }
+    }
+
+    /// One wait step: spin-hint while young, yield to the OS once the
+    /// wait has clearly outlived its welcome.
+    // With SPIN_LIMIT = 0 (loom) the comparison is always false by
+    // design: every backoff step yields so the model stays bounded.
+    #[allow(clippy::absurd_extreme_comparisons)]
+    #[inline]
+    pub fn snooze(&mut self) {
+        self.spins = self.spins.saturating_add(1);
+        if self.spins < SPIN_LIMIT {
+            hint::spin_loop();
+        } else {
+            thread::yield_now();
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::Backoff;
+
+    /// Regression for the satellite-1 overflow: a waiter that has
+    /// already spun `u32::MAX` times must keep waiting, not panic on
+    /// `+= 1` in debug builds.
+    #[test]
+    fn backoff_counter_saturates_instead_of_overflowing() {
+        let mut b = Backoff::saturated();
+        b.snooze();
+        b.snooze();
+    }
+}

@@ -89,7 +89,7 @@ where
     Executor::new(p).run(f)
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

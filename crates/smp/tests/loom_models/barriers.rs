@@ -1,0 +1,161 @@
+//! Models: sense reversal across consecutive episodes of the
+//! centralized [`SenseBarrier`] (including a `with_sense` mid-stream
+//! join, the executor's token-minting pattern) and phase separation of
+//! the [`DisseminationBarrier`].
+
+use st_smp::sync::atomic::{AtomicUsize, Ordering};
+use st_smp::sync::{model, thread, Arc};
+use st_smp::{BarrierToken, DisseminationBarrier, SenseBarrier};
+
+/// Two threads, two consecutive episodes: nobody may pass episode k+1
+/// while the other is still before episode k's barrier (the classic
+/// sense-reuse bug), and each episode elects exactly one leader.
+#[test]
+fn sense_barrier_separates_consecutive_episodes() {
+    model(|| {
+        let barrier = Arc::new(SenseBarrier::new(2));
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let arrived = Arc::clone(&arrived);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || {
+                    let token = BarrierToken::new();
+                    for episode in 1..=2usize {
+                        arrived.fetch_add(1, Ordering::SeqCst);
+                        if barrier.wait(&token) {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // After the barrier, both arrivals of this
+                        // episode must be visible.
+                        assert_eq!(
+                            arrived.load(Ordering::SeqCst),
+                            2 * episode,
+                            "passed the episode-{episode} barrier early"
+                        );
+                        if barrier.wait(&token) {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(barrier.generations(), 4);
+        assert_eq!(leaders.load(Ordering::SeqCst), 4, "leader count drifted");
+    });
+}
+
+/// The executor's mid-stream join pattern: A and B complete an episode,
+/// B leaves, C joins with a token minted from `current_sense()`. C's
+/// first wait must block until A arrives — with a plain `new()` token it
+/// would fall straight through the already-completed episode.
+#[test]
+fn with_sense_token_joins_mid_stream() {
+    model(|| {
+        let barrier = Arc::new(SenseBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let b_thread = thread::spawn(move || {
+            let token = BarrierToken::new();
+            b2.wait(&token);
+        });
+        let token_a = BarrierToken::new();
+        barrier.wait(&token_a); // episode 1 with B
+        b_thread.join().unwrap();
+        assert_eq!(barrier.generations(), 1);
+
+        // C joins for episode 2, minting its token from the barrier's
+        // current sense (read while quiescent, as the executor does).
+        let passed = Arc::new(AtomicUsize::new(0));
+        let b3 = Arc::clone(&barrier);
+        let p2 = Arc::clone(&passed);
+        let c_thread = thread::spawn(move || {
+            let token_c = BarrierToken::with_sense(b3.current_sense());
+            p2.fetch_add(1, Ordering::SeqCst);
+            b3.wait(&token_c);
+            // If the token had been minted with the wrong sense, this
+            // wait would have fallen straight through the completed
+            // episode 1 — possibly before A even arrived.
+            assert_eq!(
+                p2.load(Ordering::SeqCst),
+                2,
+                "C passed episode 2 without A (stale-sense fall-through)"
+            );
+        });
+        passed.fetch_add(1, Ordering::SeqCst);
+        barrier.wait(&token_a); // episode 2 with C
+        assert_eq!(
+            passed.load(Ordering::SeqCst),
+            2,
+            "A passed episode 2 without C"
+        );
+        c_thread.join().unwrap();
+        assert_eq!(barrier.generations(), 2);
+        assert_eq!(passed.load(Ordering::SeqCst), 2);
+    });
+}
+
+/// Dissemination barrier, p = 3, one episode: every pre-barrier write
+/// must be visible to every thread after its wait returns.
+#[test]
+fn dissemination_publishes_all_arrivals() {
+    model(|| {
+        let barrier = Arc::new(DisseminationBarrier::new(3));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|id| {
+                let barrier = Arc::clone(&barrier);
+                let sum = Arc::clone(&sum);
+                thread::spawn(move || {
+                    let token = barrier.token(id);
+                    sum.fetch_add(id + 1, Ordering::SeqCst);
+                    barrier.wait(&token);
+                    assert_eq!(
+                        sum.load(Ordering::SeqCst),
+                        6,
+                        "thread {id} passed the dissemination barrier early"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+/// Dissemination barrier across two episodes: the monotone per-round
+/// counters must not let episode-2 signals satisfy episode-1 waits.
+#[test]
+fn dissemination_two_episodes_do_not_cross_talk() {
+    model(|| {
+        let barrier = Arc::new(DisseminationBarrier::new(2));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|id| {
+                let barrier = Arc::clone(&barrier);
+                let phase = Arc::clone(&phase);
+                thread::spawn(move || {
+                    let token = barrier.token(id);
+                    for episode in 1..=2usize {
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(&token);
+                        assert_eq!(
+                            phase.load(Ordering::SeqCst),
+                            2 * episode,
+                            "episode {episode} barrier leaked an arrival"
+                        );
+                        barrier.wait(&token);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}

@@ -1,0 +1,102 @@
+//! Models: the persistent executor's job-epoch publish/consume
+//! handshake — submit publishes (job, epoch, remaining) under the state
+//! mutex, the worker consumes exactly once per epoch, the submitter
+//! cannot return before the worker's decrement, and the team-owned
+//! barrier/detector stay consistent across jobs.
+
+use std::time::Duration;
+
+use st_smp::sync::atomic::{AtomicUsize, Ordering};
+use st_smp::sync::{model, Arc};
+use st_smp::{Executor, IdleOutcome};
+
+/// Two consecutive jobs on a p = 2 team: each job runs on both ranks
+/// exactly once, the in-job barrier separates phases, and results come
+/// back in rank order. Exercises the with_sense token minting on the
+/// worker's side of the handshake.
+#[test]
+fn epoch_handshake_runs_each_job_once_per_rank() {
+    model(|| {
+        let exec = Executor::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for job in 1..=2usize {
+            let counter = Arc::clone(&counter);
+            let ranks = exec.run(move |ctx| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier();
+                // Both ranks of this job must have arrived; earlier
+                // jobs' increments are already in.
+                assert_eq!(
+                    counter.load(Ordering::SeqCst),
+                    2 * job,
+                    "job {job} barrier passed early or a rank ran twice"
+                );
+                ctx.rank()
+            });
+            assert_eq!(ranks, vec![0, 1]);
+        }
+        assert_eq!(exec.jobs_completed(), 2);
+        assert_eq!(exec.barrier().generations(), 2);
+        drop(exec); // shutdown handshake must not deadlock or leak a job
+    });
+}
+
+/// The executor's detector is retuned between jobs (`set_threshold` on
+/// a persistent team, satellite 4): job 1 quiesces to AllDone; job 2,
+/// with threshold 1, must starve the first sleeper instead.
+#[test]
+fn set_threshold_between_jobs_changes_verdict() {
+    model(|| {
+        let exec = Executor::new(2);
+        let timeout = Duration::from_millis(1);
+        exec.run(|ctx| loop {
+            match ctx_detector(&exec).idle_wait(timeout) {
+                IdleOutcome::AllDone => break,
+                IdleOutcome::Retry => continue,
+                IdleOutcome::Starved => panic!("job 1 must not starve (rank {})", ctx.rank()),
+            }
+        });
+        assert!(exec.detector().is_done());
+
+        // Quiescent between jobs: retune and rearm.
+        exec.detector().reset();
+        exec.detector().set_threshold(Some(1));
+
+        exec.run(|_ctx| {
+            // With threshold 1, the first sleeper trips starvation and
+            // the verdict is sticky for the other rank.
+            assert_eq!(ctx_detector(&exec).idle_wait(timeout), IdleOutcome::Starved);
+        });
+        assert!(exec.detector().is_starved());
+        assert_eq!(exec.detector().stats().starvation_trips, 1);
+        drop(exec);
+    });
+}
+
+fn ctx_detector(exec: &Executor) -> &st_smp::TerminationDetector {
+    exec.detector()
+}
+
+/// A panicking rank must not corrupt the handshake: the submitter
+/// panics with "team worker panicked" only after the whole team
+/// finished, the job is still counted, and the team survives to run a
+/// clean follow-up job.
+#[test]
+fn panicked_job_leaves_team_reusable() {
+    model(|| {
+        let exec = Executor::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "worker panic must propagate to the submitter");
+        assert_eq!(exec.jobs_completed(), 1, "panicked job must still count");
+        // The team must still work.
+        assert_eq!(exec.run(|ctx| ctx.rank() + 10), vec![10, 11]);
+        assert_eq!(exec.jobs_completed(), 2);
+        drop(exec);
+    });
+}

@@ -1,0 +1,114 @@
+//! Models: mutual exclusion and guard-drop publication for the TTAS
+//! [`SpinLock`] and the FIFO [`TicketLock`].
+
+use st_smp::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use st_smp::sync::{model, thread, Arc};
+use st_smp::{SpinLock, TicketLock};
+
+/// Two threads contend; an atomic `in_critical` flag (a schedule point
+/// on every access) proves at most one thread is ever inside, and the
+/// plain counter under the lock proves guard-drop publishes the write.
+#[test]
+fn spinlock_mutual_exclusion() {
+    model(|| {
+        let lock = Arc::new(SpinLock::new(0usize));
+        let in_critical = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let in_critical = Arc::clone(&in_critical);
+                thread::spawn(move || {
+                    let mut g = lock.lock();
+                    assert_eq!(
+                        in_critical.fetch_add(1, Ordering::SeqCst),
+                        0,
+                        "two threads inside the SpinLock critical section"
+                    );
+                    *g += 1;
+                    in_critical.fetch_sub(1, Ordering::SeqCst);
+                    drop(g);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 2, "an increment was lost");
+    });
+}
+
+#[test]
+fn ticketlock_mutual_exclusion() {
+    model(|| {
+        let lock = Arc::new(TicketLock::new(0usize));
+        let in_critical = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let in_critical = Arc::clone(&in_critical);
+                thread::spawn(move || {
+                    let mut g = lock.lock();
+                    assert_eq!(
+                        in_critical.fetch_add(1, Ordering::SeqCst),
+                        0,
+                        "two threads inside the TicketLock critical section"
+                    );
+                    *g += 1;
+                    in_critical.fetch_sub(1, Ordering::SeqCst);
+                    drop(g);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 2, "an increment was lost");
+    });
+}
+
+/// Guard-drop ordering: a pair of plain fields mutated only under the
+/// lock must never be observed torn by the next acquirer.
+#[test]
+fn spinlock_guard_drop_publishes_consistent_state() {
+    model(|| {
+        let lock = Arc::new(SpinLock::new((0u64, 0u64)));
+        let l2 = Arc::clone(&lock);
+        let t = thread::spawn(move || {
+            let mut g = l2.lock();
+            g.0 += 1;
+            g.1 += 1;
+        });
+        {
+            let g = lock.lock();
+            assert_eq!(g.0, g.1, "guard drop published a torn update");
+        }
+        t.join().unwrap();
+        let g = lock.lock();
+        assert_eq!((g.0, g.1), (1, 1));
+    });
+}
+
+/// `try_lock` must fail while the lock is held and never produce a
+/// second guard.
+#[test]
+fn spinlock_try_lock_respects_holder() {
+    model(|| {
+        let lock = Arc::new(SpinLock::new(()));
+        let held = Arc::new(AtomicBool::new(false));
+        let g = lock.lock();
+        held.store(true, Ordering::SeqCst);
+        let l2 = Arc::clone(&lock);
+        let h2 = Arc::clone(&held);
+        let thief = thread::spawn(move || {
+            if l2.try_lock().is_some() {
+                assert!(
+                    !h2.load(Ordering::SeqCst),
+                    "try_lock succeeded while the lock was held"
+                );
+            }
+        });
+        held.store(false, Ordering::SeqCst);
+        drop(g);
+        thief.join().unwrap();
+    });
+}

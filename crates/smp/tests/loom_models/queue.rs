@@ -1,0 +1,92 @@
+//! Models: the [`WorkQueue`] owner/thief protocol — no item is lost or
+//! duplicated under any interleaving of owner pops and thief steals,
+//! FIFO order survives for the owner, and the lock-free `approx_len`
+//! mirror is exact whenever the queue is quiescent.
+
+use std::collections::VecDeque;
+
+use st_smp::sync::{model, thread, Arc};
+use st_smp::{StealPolicy, WorkQueue};
+
+/// Owner pushes 1..=3 then drains from the front while a thief steals
+/// half from the back: every item must surface exactly once, and the
+/// owner's share must stay in FIFO order.
+#[test]
+fn no_item_lost_under_owner_thief_race() {
+    model(|| {
+        let q = Arc::new(WorkQueue::new());
+        let q2 = Arc::clone(&q);
+        let thief = thread::spawn(move || {
+            let mut out = VecDeque::new();
+            q2.steal_into(&mut out, StealPolicy::Half);
+            out
+        });
+        let mut mine = Vec::new();
+        q.push(1usize);
+        q.push(2);
+        q.push(3);
+        while let Some(v) = q.pop() {
+            mine.push(v);
+        }
+        let stolen = thief.join().unwrap();
+        assert!(
+            mine.windows(2).all(|w| w[0] < w[1]),
+            "owner saw items out of FIFO order: {mine:?}"
+        );
+        let mut all: Vec<usize> = mine;
+        all.extend(stolen.iter().copied());
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3], "items lost or duplicated");
+        assert_eq!(q.len(), 0);
+    });
+}
+
+/// Concurrent `pop_chunk` (owner batching) versus a thief's
+/// `steal_into`: the two detachments must partition the queue.
+#[test]
+fn pop_chunk_and_steal_partition_the_queue() {
+    model(|| {
+        let q = Arc::new(WorkQueue::new());
+        q.push_all(0..4usize);
+        let q2 = Arc::clone(&q);
+        let thief = thread::spawn(move || {
+            let mut out = VecDeque::new();
+            q2.steal_into(&mut out, StealPolicy::Chunk(2));
+            out
+        });
+        let mut front = VecDeque::new();
+        q.pop_chunk(&mut front, 2);
+        let back = thief.join().unwrap();
+        let mut rest = VecDeque::new();
+        q.pop_chunk(&mut rest, 8);
+        let mut all: Vec<usize> = front.into_iter().chain(back).chain(rest).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "items lost or duplicated");
+    });
+}
+
+/// The `approx_len` mirror is published before each operation releases
+/// the queue lock, so at quiescence (all operations joined) it must
+/// equal the exact `len()` — the invariant the traversal's
+/// deterministic steal sweep and the metrics tests rely on.
+#[test]
+fn approx_len_mirror_exact_at_quiescence() {
+    model(|| {
+        let q = Arc::new(WorkQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            q2.push(10usize);
+            q2.push(11);
+        });
+        q.push(1usize);
+        q.pop();
+        t.join().unwrap();
+        assert_eq!(
+            q.approx_len(),
+            q.len(),
+            "approx_len mirror out of sync at quiescence"
+        );
+        assert_eq!(q.len(), 2);
+        assert!(!q.appears_empty());
+    });
+}

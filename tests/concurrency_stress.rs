@@ -18,6 +18,68 @@ fn oversubscribed_teams() {
 }
 
 #[test]
+fn barrier_yield_path_under_heavy_oversubscription() {
+    // p far above any CI core count: every barrier episode forces
+    // waiters through the Backoff yield path (spinning alone can never
+    // finish an episode when the last arrival isn't scheduled), and the
+    // saturating spin counters must survive arbitrarily long waits.
+    use bader_cong_spanning::smp::{BarrierToken, DisseminationBarrier, SenseBarrier};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    const P: usize = 32;
+    const EPISODES: usize = 40;
+
+    let barrier = SenseBarrier::new(P);
+    let phase = AtomicUsize::new(0);
+    let leaders = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..P {
+            s.spawn(|| {
+                let token = BarrierToken::new();
+                for e in 0..EPISODES {
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    if barrier.wait(&token) {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                    // All P arrivals of episode e are in; at most P-1
+                    // threads raced ahead into episode e+1.
+                    let seen = phase.load(Ordering::SeqCst);
+                    assert!(
+                        seen >= P * (e + 1) && seen < P * (e + 2),
+                        "episode {e}: phase {seen} out of range"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(barrier.generations(), EPISODES as u64);
+    assert_eq!(
+        leaders.load(Ordering::SeqCst),
+        EPISODES,
+        "one leader per episode"
+    );
+
+    let dissem = DisseminationBarrier::new(P);
+    let phase = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let (dissem, phase) = (&dissem, &phase);
+        for id in 0..P {
+            s.spawn(move || {
+                let token = dissem.token(id);
+                for e in 0..EPISODES {
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    dissem.wait(&token);
+                    let seen = phase.load(Ordering::SeqCst);
+                    assert!(
+                        seen >= P * (e + 1) && seen < P * (e + 2),
+                        "episode {e}: phase {seen} out of range"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
 fn repeated_runs_are_all_valid() {
     // The benign race means tree *shape* may differ run to run; validity
     // and component structure may not.

@@ -215,6 +215,31 @@ fn json_and_chrome_exports_parse() {
     }
 }
 
+/// The invariant behind the deterministic steal sweep (see
+/// `steal_sweep` in st-core): `steal_into` must use the exact
+/// under-lock length, never the lagging `approx_len` mirror, so a rank
+/// can't be sent into `idle_wait` while stealable work is published.
+/// Here the mirror is artificially desynced to "empty" — the steal must
+/// still succeed, and afterwards the mirror must be re-published
+/// exactly.
+#[test]
+fn steal_into_uses_exact_length_not_stale_mirror() {
+    use bader_cong_spanning::smp::{StealPolicy, WorkQueue};
+    let q: WorkQueue<u32> = WorkQueue::new();
+    q.push_all([1, 2, 3, 4]);
+    q.desync_mirror_for_test(0);
+    assert!(q.appears_empty(), "mirror must look empty for this test");
+    let mut out = std::collections::VecDeque::new();
+    let got = q.steal_into(&mut out, StealPolicy::Half);
+    assert_eq!(got, 2, "steal must trust the exact length, not the mirror");
+    assert_eq!(q.len(), 2);
+    assert_eq!(
+        q.approx_len(),
+        q.len(),
+        "steal_into must re-publish the mirror it found stale"
+    );
+}
+
 #[test]
 fn multiroot_metrics_obey_the_same_invariants() {
     let g = gen::mesh2d_p(40, 40, 0.6, 3);

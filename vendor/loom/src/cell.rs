@@ -1,0 +1,47 @@
+//! Mirrors the cell types the workspace uses. The real loom instruments
+//! `UnsafeCell` accesses to detect concurrent aliasing; this stand-in is
+//! a passthrough — aliasing discipline is checked by Miri in CI instead.
+
+/// Passthrough [`std::cell::UnsafeCell`] with loom's access API shape.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+impl<T> UnsafeCell<T> {
+    /// Creates a new cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self(std::cell::UnsafeCell::new(value))
+    }
+
+    /// Immutable access to the contents.
+    ///
+    /// # Safety
+    /// Caller must guarantee no concurrent mutable access, as for
+    /// [`std::cell::UnsafeCell::get`].
+    pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Mutable access to the contents.
+    ///
+    /// # Safety
+    /// Caller must guarantee exclusive access, as for
+    /// [`std::cell::UnsafeCell::get`].
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Raw pointer to the contents (std-compatible escape hatch).
+    pub fn get(&self) -> *mut T {
+        self.0.get()
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+// Safety: same bounds as std's UnsafeCell usage in Sync containers —
+// the wrapper adds no state beyond the cell itself.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}

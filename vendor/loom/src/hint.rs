@@ -1,0 +1,8 @@
+//! Mirrors `std::hint` for the spin-loop hint: under the model a spin
+//! hint is a yield-class schedule point, so spinners cannot starve the
+//! thread they are waiting on.
+
+/// Model-aware replacement for [`std::hint::spin_loop`].
+pub fn spin_loop() {
+    crate::rt::yield_now();
+}

@@ -1,0 +1,44 @@
+//! Offline vendored stand-in for [loom](https://github.com/tokio-rs/loom),
+//! covering the slice of its API this workspace uses.
+//!
+//! Like the other `vendor/` crates, this is a from-scratch minimal
+//! implementation so the workspace builds with `CARGO_NET_OFFLINE=true`.
+//! It is a *systematic concurrency tester*: [`model`] runs the closure
+//! repeatedly, serializing all model threads through one scheduler and
+//! exploring every interleaving of schedule points depth-first, bounded
+//! by a preemption budget (CHESS-style iterative context bounding —
+//! `LOOM_MAX_PREEMPTIONS`, default 2).
+//!
+//! ## Fidelity and limits
+//!
+//! - **Exhaustive within the bound.** Every sequentially-consistent
+//!   interleaving with at most N preemptions is visited; most real
+//!   concurrency bugs manifest within 2 preemptions.
+//! - **Sequentially consistent only.** Unlike real loom, relaxed/acquire
+//!   /release effects are *not* simulated — every atomic op behaves
+//!   SeqCst. Weak-memory bugs are instead covered by the Miri and
+//!   ThreadSanitizer CI jobs; this crate verifies protocol logic
+//!   (mutual exclusion, lost wakeups, termination, lifecycle) under all
+//!   bounded thread orders.
+//! - **Timeouts are scheduler choices.** A timed condvar wait may be
+//!   woken as a timeout at any decision point, so timeout-versus-notify
+//!   races are part of the explored space and a lone sleeper can always
+//!   make progress.
+//! - **Deadlock and livelock detection.** An execution with no runnable
+//!   or timeout-wakeable thread fails as a deadlock; one exceeding
+//!   `LOOM_MAX_STEPS` schedule points fails as a livelock.
+//!
+//! On failure, [`model`] panics with the failing execution's decision
+//! prefix so the schedule can be reasoned about (replay is
+//! deterministic: the primitives here introduce no time or randomness).
+
+#![warn(missing_docs)]
+
+mod rt;
+
+pub mod cell;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

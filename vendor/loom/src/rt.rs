@@ -1,0 +1,656 @@
+//! The execution scheduler: runs model threads one at a time and
+//! explores the tree of scheduling decisions depth-first.
+//!
+//! Every synchronization operation (atomic access, mutex acquire and
+//! release, condvar wait/notify, spawn, join, yield) is a *schedule
+//! point*: the calling thread stops and the scheduler picks which thread
+//! runs next. Since exactly one model thread executes between schedule
+//! points, every explored execution is sequentially consistent; the
+//! decision log is replayed and advanced across iterations until every
+//! schedule allowed by the preemption bound has been visited.
+//!
+//! Model threads are real OS threads parked on one condvar; this is the
+//! classic systematic-concurrency-testing construction (CHESS-style
+//! iterative context bounding) rather than loom's generator-based
+//! runtime, but the exploration contract — exhaustive within the bound,
+//! deterministic replay of a failing schedule — is the same.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+/// Panic payload used to unwind model threads once an execution has
+/// failed (assertion, deadlock, or budget exhaustion) so the iteration
+/// can tear down without hanging on dead synchronization state.
+pub(crate) struct Teardown;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    /// Voluntarily yielded (spin backoff); scheduled only when no plain
+    /// runnable thread exists, so spinners cannot starve their releaser.
+    Yielded,
+    BlockedMutex(usize),
+    BlockedCondvar {
+        cv: usize,
+        timed: bool,
+    },
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct MutexState {
+    held_by: Option<usize>,
+}
+
+struct Sched {
+    threads: Vec<ThreadState>,
+    /// Per thread: the last condvar wake was the modeled timeout firing.
+    timed_out: Vec<bool>,
+    active: usize,
+    mutexes: Vec<MutexState>,
+    condvars: usize,
+    /// Planned choices (indices into the option list) for this
+    /// iteration's decision points, from the previous iteration's DFS
+    /// advance.
+    prefix: Vec<usize>,
+    cursor: usize,
+    /// `(chosen index, number of options)` per decision point actually
+    /// reached this iteration.
+    decisions: Vec<(usize, usize)>,
+    preemptions: u32,
+    steps: u64,
+    unfinished: usize,
+}
+
+pub(crate) struct Execution {
+    sched: OsMutex<Sched>,
+    cv: OsCondvar,
+    failing: AtomicBool,
+    failure: OsMutex<Option<String>>,
+    max_preemptions: u32,
+    max_steps: u64,
+}
+
+/// Option encoding: `tid * 2` runs thread `tid`; `tid * 2 + 1` fires the
+/// timeout of a thread blocked in a timed condvar wait.
+const RUN: usize = 0;
+const TIMEOUT: usize = 1;
+
+impl Execution {
+    fn new(prefix: Vec<usize>, max_preemptions: u32, max_steps: u64) -> Self {
+        Self {
+            sched: OsMutex::new(Sched {
+                threads: vec![ThreadState::Runnable],
+                timed_out: vec![false],
+                active: 0,
+                mutexes: Vec::new(),
+                condvars: 0,
+                prefix,
+                cursor: 0,
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                unfinished: 1,
+            }),
+            cv: OsCondvar::new(),
+            failing: AtomicBool::new(false),
+            failure: OsMutex::new(None),
+            max_preemptions,
+            max_steps,
+        }
+    }
+
+    /// Entry guard for every primitive: once the execution is failing,
+    /// threads unwind at their next schedule point (`Teardown`), and
+    /// operations reached *during* that unwind (guard drops) become
+    /// no-ops so teardown never double-panics. Returns `true` when the
+    /// caller should skip the operation entirely.
+    fn teardown_guard(&self) -> bool {
+        if self.failing.load(Ordering::Relaxed) {
+            if std::thread::panicking() {
+                return true;
+            }
+            std::panic::panic_any(Teardown);
+        }
+        false
+    }
+
+    /// Records the first failure, marks every live thread runnable (so
+    /// OS-blocked threads wake and unwind), and wakes the world.
+    fn fail_locked(&self, s: &mut Sched, msg: String) {
+        if self.failure.lock().unwrap().is_none() {
+            *self.failure.lock().unwrap() = Some(msg);
+        }
+        self.failing.store(true, Ordering::Relaxed);
+        for t in &mut s.threads {
+            if *t != ThreadState::Finished {
+                *t = ThreadState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn record_failure(&self, msg: String) {
+        let mut s = self.sched.lock().unwrap();
+        self.fail_locked(&mut s, msg);
+    }
+
+    /// Picks the next thread to run. Called with the scheduler locked by
+    /// the thread leaving the processor (`me`), after `me`'s state has
+    /// been updated.
+    fn schedule(&self, s: &mut Sched, me: usize) {
+        if self.failing.load(Ordering::Relaxed) {
+            self.cv.notify_all();
+            return;
+        }
+        s.steps += 1;
+        if s.steps > self.max_steps {
+            let states: Vec<String> = s
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, st)| format!("t{t}:{st:?}"))
+                .collect();
+            self.fail_locked(
+                s,
+                format!(
+                    "livelock: exceeded {} schedule points in one execution \
+                     (set LOOM_MAX_STEPS to raise); threads: [{}]",
+                    self.max_steps,
+                    states.join(", ")
+                ),
+            );
+            return;
+        }
+        if s.unfinished == 0 {
+            self.cv.notify_all();
+            return;
+        }
+        let me_runnable = s.threads.get(me) == Some(&ThreadState::Runnable);
+        let budget_left = s.preemptions < self.max_preemptions;
+        // A thread that still has the processor keeps it for free;
+        // handing it to anyone else while `me` could continue is a
+        // preemption and counts against the bound.
+        if me_runnable && !budget_left {
+            s.active = me;
+            self.cv.notify_all();
+            return;
+        }
+        let mut opts: Vec<usize> = Vec::new();
+        if me_runnable {
+            opts.push(me * 2 + RUN);
+        }
+        for (t, st) in s.threads.iter().enumerate() {
+            if t != me && *st == ThreadState::Runnable {
+                opts.push(t * 2 + RUN);
+            }
+        }
+        if opts.is_empty() {
+            // Only yielded threads left among the immediately runnable:
+            // let spinners re-check. `yield_now` declares the caller
+            // cannot progress until someone else moves, so the thread
+            // that just yielded is NOT an option while another yielded
+            // thread exists — otherwise decision 0 would re-pick the
+            // spinner forever and the first DFS path would livelock
+            // without ever running the thread it spins on. A lone
+            // yielder keeps the processor (spurious-wakeup re-check).
+            for (t, st) in s.threads.iter().enumerate() {
+                if t != me && *st == ThreadState::Yielded {
+                    opts.push(t * 2 + RUN);
+                }
+            }
+            if opts.is_empty() && s.threads.get(me) == Some(&ThreadState::Yielded) {
+                opts.push(me * 2 + RUN);
+            }
+        }
+        // A timed condvar wait can be woken by its timeout firing; this
+        // is how timeout-versus-notify races are explored. Firing a
+        // timeout while another thread could run instead is charged as a
+        // preemption — otherwise a timeout/re-wait loop makes the
+        // schedule tree infinitely deep — so it is only *offered* while
+        // budget remains, or as the sole escape when nothing else can
+        // run (the lone-sleeper case, which costs nothing).
+        let had_run_option = !opts.is_empty();
+        if budget_left || opts.is_empty() {
+            for (t, st) in s.threads.iter().enumerate() {
+                if matches!(*st, ThreadState::BlockedCondvar { timed: true, .. }) {
+                    opts.push(t * 2 + TIMEOUT);
+                }
+            }
+        }
+        if opts.is_empty() {
+            let states: Vec<String> = s
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, st)| format!("t{t}:{st:?}"))
+                .collect();
+            self.fail_locked(s, format!("deadlock: [{}]", states.join(", ")));
+            return;
+        }
+        let chosen = if opts.len() == 1 {
+            opts[0]
+        } else {
+            let idx = if s.cursor < s.prefix.len() {
+                s.prefix[s.cursor]
+            } else {
+                0
+            };
+            assert!(
+                idx < opts.len(),
+                "loom: replay diverged (prefix index {idx} of {} options)",
+                opts.len()
+            );
+            s.cursor += 1;
+            s.decisions.push((idx, opts.len()));
+            opts[idx]
+        };
+        let tid = chosen / 2;
+        if chosen % 2 == TIMEOUT {
+            s.threads[tid] = ThreadState::Runnable;
+            s.timed_out[tid] = true;
+            if had_run_option {
+                s.preemptions += 1;
+            }
+        } else if me_runnable && tid != me {
+            s.preemptions += 1;
+        }
+        if s.threads[tid] == ThreadState::Yielded {
+            s.threads[tid] = ThreadState::Runnable;
+        }
+        s.active = tid;
+        self.cv.notify_all();
+    }
+
+    /// Blocks the OS thread until the scheduler hands `me` the
+    /// processor (or the execution starts failing).
+    fn wait_for_turn(&self, me: usize) {
+        let mut s = self.sched.lock().unwrap();
+        while !(s.active == me && s.threads[me] == ThreadState::Runnable) {
+            if self.failing.load(Ordering::Relaxed) {
+                return;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// A plain schedule point: `me` stays runnable and may or may not
+    /// keep the processor.
+    fn switch(&self, me: usize) {
+        {
+            let mut s = self.sched.lock().unwrap();
+            self.schedule(&mut s, me);
+        }
+        self.wait_for_turn(me);
+        // If the world failed while we were parked, unwind now.
+        let _ = self.teardown_guard();
+    }
+
+    fn finish_thread(&self, me: usize) {
+        let mut s = self.sched.lock().unwrap();
+        s.threads[me] = ThreadState::Finished;
+        s.unfinished -= 1;
+        let waiters: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == ThreadState::BlockedJoin(me))
+            .map(|(t, _)| t)
+            .collect();
+        for t in waiters {
+            s.threads[t] = ThreadState::Runnable;
+        }
+        self.schedule(&mut s, me);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive hooks (called from sync/thread/hint modules)
+// ---------------------------------------------------------------------
+
+/// Schedule point before an atomic operation.
+pub(crate) fn step() {
+    let (exec, me) = current();
+    if exec.teardown_guard() {
+        return;
+    }
+    exec.switch(me);
+}
+
+pub(crate) fn yield_now() {
+    let (exec, me) = current();
+    if exec.teardown_guard() {
+        return;
+    }
+    {
+        let mut s = exec.sched.lock().unwrap();
+        s.threads[me] = ThreadState::Yielded;
+        exec.schedule(&mut s, me);
+    }
+    exec.wait_for_turn(me);
+    let _ = exec.teardown_guard();
+}
+
+pub(crate) fn mutex_create() -> usize {
+    let (exec, _) = current();
+    let mut s = exec.sched.lock().unwrap();
+    s.mutexes.push(MutexState { held_by: None });
+    s.mutexes.len() - 1
+}
+
+pub(crate) fn mutex_lock(mid: usize) {
+    let (exec, me) = current();
+    if exec.teardown_guard() {
+        return;
+    }
+    exec.switch(me);
+    mutex_lock_reacquire(&exec, me, mid);
+}
+
+/// The acquire loop, without the leading schedule point (used both by
+/// `mutex_lock` and by condvar wakeups reacquiring the mutex).
+fn mutex_lock_reacquire(exec: &Arc<Execution>, me: usize, mid: usize) {
+    loop {
+        if exec.teardown_guard() {
+            return;
+        }
+        {
+            let mut s = exec.sched.lock().unwrap();
+            if s.mutexes[mid].held_by.is_none() {
+                s.mutexes[mid].held_by = Some(me);
+                return;
+            }
+            s.threads[me] = ThreadState::BlockedMutex(mid);
+            exec.schedule(&mut s, me);
+        }
+        exec.wait_for_turn(me);
+    }
+}
+
+pub(crate) fn mutex_try_lock(mid: usize) -> bool {
+    let (exec, me) = current();
+    if exec.teardown_guard() {
+        return true;
+    }
+    exec.switch(me);
+    let mut s = exec.sched.lock().unwrap();
+    if s.mutexes[mid].held_by.is_none() {
+        s.mutexes[mid].held_by = Some(me);
+        true
+    } else {
+        false
+    }
+}
+
+pub(crate) fn mutex_unlock(mid: usize) {
+    let (exec, me) = current();
+    if exec.teardown_guard() {
+        return;
+    }
+    {
+        let mut s = exec.sched.lock().unwrap();
+        debug_assert_eq!(s.mutexes[mid].held_by, Some(me), "unlock by non-holder");
+        s.mutexes[mid].held_by = None;
+        for st in &mut s.threads {
+            if *st == ThreadState::BlockedMutex(mid) {
+                *st = ThreadState::Runnable;
+            }
+        }
+        exec.schedule(&mut s, me);
+    }
+    exec.wait_for_turn(me);
+    let _ = exec.teardown_guard();
+}
+
+pub(crate) fn condvar_create() -> usize {
+    let (exec, _) = current();
+    let mut s = exec.sched.lock().unwrap();
+    s.condvars += 1;
+    s.condvars - 1
+}
+
+/// Releases `mid`, blocks on condvar `cvid`, reacquires `mid`. With
+/// `timed`, the scheduler may wake the wait as a timeout at any decision
+/// point, which is how every interleaving of "timeout fires" versus
+/// "notify arrives first" gets explored. Returns whether the wake was
+/// the timeout.
+pub(crate) fn condvar_wait(cvid: usize, mid: usize, timed: bool) -> bool {
+    let (exec, me) = current();
+    if exec.teardown_guard() {
+        return true;
+    }
+    {
+        let mut s = exec.sched.lock().unwrap();
+        debug_assert_eq!(s.mutexes[mid].held_by, Some(me), "wait without the lock");
+        s.mutexes[mid].held_by = None;
+        for st in &mut s.threads {
+            if *st == ThreadState::BlockedMutex(mid) {
+                *st = ThreadState::Runnable;
+            }
+        }
+        s.timed_out[me] = false;
+        s.threads[me] = ThreadState::BlockedCondvar { cv: cvid, timed };
+        exec.schedule(&mut s, me);
+    }
+    exec.wait_for_turn(me);
+    let timed_out = {
+        let s = exec.sched.lock().unwrap();
+        s.timed_out[me]
+    };
+    mutex_lock_reacquire(&exec, me, mid);
+    timed_out
+}
+
+pub(crate) fn condvar_notify(cvid: usize, all: bool) {
+    let (exec, me) = current();
+    if exec.teardown_guard() {
+        return;
+    }
+    {
+        let mut s = exec.sched.lock().unwrap();
+        let mut woken = 0usize;
+        for t in 0..s.threads.len() {
+            if let ThreadState::BlockedCondvar { cv, .. } = s.threads[t] {
+                if cv == cvid && (all || woken == 0) {
+                    s.threads[t] = ThreadState::Runnable;
+                    s.timed_out[t] = false;
+                    woken += 1;
+                }
+            }
+        }
+        exec.schedule(&mut s, me);
+    }
+    exec.wait_for_turn(me);
+    let _ = exec.teardown_guard();
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Handle to a spawned model thread (see [`crate::thread::spawn`]).
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<OsMutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result, like
+    /// `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = current();
+        loop {
+            if exec.teardown_guard() {
+                break;
+            }
+            {
+                let mut s = exec.sched.lock().unwrap();
+                if s.threads[self.tid] == ThreadState::Finished {
+                    break;
+                }
+                s.threads[me] = ThreadState::BlockedJoin(self.tid);
+                exec.schedule(&mut s, me);
+            }
+            exec.wait_for_turn(me);
+        }
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| Err(Box::new("loom: thread torn down before completing")))
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+pub(crate) fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, me) = current();
+    let result: Arc<OsMutex<Option<std::thread::Result<T>>>> = Arc::new(OsMutex::new(None));
+    if exec.teardown_guard() {
+        // Teardown while a drop handler spawns (never in practice):
+        // return a handle whose join reports the teardown.
+        return JoinHandle { tid: me, result };
+    }
+    let tid = {
+        let mut s = exec.sched.lock().unwrap();
+        s.threads.push(ThreadState::Runnable);
+        s.timed_out.push(false);
+        s.unfinished += 1;
+        s.threads.len() - 1
+    };
+    let exec2 = Arc::clone(&exec);
+    let result2 = Arc::clone(&result);
+    std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+            exec2.wait_for_turn(tid);
+            let r = catch_unwind(AssertUnwindSafe(f));
+            if let Err(p) = &r {
+                if !p.is::<Teardown>() {
+                    exec2.record_failure(format!(
+                        "model thread {tid} panicked: {}",
+                        panic_message(p.as_ref())
+                    ));
+                }
+            }
+            *result2.lock().unwrap() = Some(r);
+            exec2.finish_thread(tid);
+        })
+        .expect("spawn loom model thread");
+    // Spawning is itself a schedule point: the child may run first.
+    exec.switch(me);
+    JoinHandle { tid, result }
+}
+
+// ---------------------------------------------------------------------
+// The model loop
+// ---------------------------------------------------------------------
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Explores every schedule of `f` allowed by the preemption bound
+/// (`LOOM_MAX_PREEMPTIONS`, default 2), panicking on the first failing
+/// execution with the schedule prefix that reproduces it.
+///
+/// Iterations are capped by `LOOM_MAX_ITERATIONS` (default 500 000) and
+/// each execution by `LOOM_MAX_STEPS` schedule points (default 50 000);
+/// exceeding either is an error, not a silent pass.
+pub fn model<F: Fn()>(f: F) {
+    let max_preemptions = env_u64("LOOM_MAX_PREEMPTIONS", 2) as u32;
+    let max_steps = env_u64("LOOM_MAX_STEPS", 50_000);
+    let max_iterations = env_u64("LOOM_MAX_ITERATIONS", 500_000);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exploration exceeded {max_iterations} executions; \
+             raise LOOM_MAX_ITERATIONS or simplify the model"
+        );
+        let exec = Arc::new(Execution::new(prefix.clone(), max_preemptions, max_steps));
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), 0)));
+        let r = catch_unwind(AssertUnwindSafe(&f));
+        if let Err(p) = &r {
+            if !p.is::<Teardown>() {
+                exec.record_failure(format!(
+                    "main model thread panicked: {}",
+                    panic_message(p.as_ref())
+                ));
+            }
+        }
+        exec.finish_thread(0);
+        // Wait for every spawned thread to finish (they keep scheduling
+        // among themselves, or unwind via teardown on failure).
+        {
+            let mut s = exec.sched.lock().unwrap();
+            while s.unfinished > 0 {
+                s = exec.cv.wait(s).unwrap();
+            }
+        }
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        if let Some(msg) = exec.failure.lock().unwrap().take() {
+            let s = exec.sched.lock().unwrap();
+            panic!(
+                "loom: model failed (execution {iterations}): {msg}\n\
+                 replay prefix: {:?}",
+                s.decisions.iter().map(|d| d.0).collect::<Vec<_>>()
+            );
+        }
+        let decisions = {
+            let s = exec.sched.lock().unwrap();
+            s.decisions.clone()
+        };
+        match next_prefix(&decisions) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+}
+
+/// DFS advance: bump the deepest decision that still has unexplored
+/// options, truncating everything after it.
+fn next_prefix(decisions: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let (chosen, options) = decisions[i];
+        if chosen + 1 < options {
+            let mut p: Vec<usize> = decisions[..i].iter().map(|d| d.0).collect();
+            p.push(chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}

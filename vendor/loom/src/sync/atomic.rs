@@ -1,0 +1,153 @@
+//! Model-checked atomics. Every operation is a schedule point; the
+//! stored value lives in the matching `std` atomic accessed SeqCst, so
+//! all explored executions are sequentially consistent (the requested
+//! `Ordering` is accepted for API compatibility but not weakened — see
+//! the crate docs for why weak-memory checking is delegated to
+//! Miri/TSan).
+
+pub use std::sync::atomic::Ordering;
+
+use std::sync::atomic::Ordering::SeqCst;
+
+macro_rules! atomic_common {
+    ($name:ident, $std:ident, $ty:ty) => {
+        impl $name {
+            /// Creates a new atomic (const, like std's).
+            pub const fn new(v: $ty) -> Self {
+                Self(std::sync::atomic::$std::new(v))
+            }
+
+            /// Atomic load (schedule point).
+            pub fn load(&self, _order: Ordering) -> $ty {
+                crate::rt::step();
+                self.0.load(SeqCst)
+            }
+
+            /// Atomic store (schedule point).
+            pub fn store(&self, val: $ty, _order: Ordering) {
+                crate::rt::step();
+                self.0.store(val, SeqCst)
+            }
+
+            /// Atomic swap (schedule point).
+            pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                crate::rt::step();
+                self.0.swap(val, SeqCst)
+            }
+
+            /// Atomic compare-and-exchange (schedule point).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                crate::rt::step();
+                self.0.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+
+            /// Weak compare-and-exchange. Modeled as the strong form —
+            /// spurious failure is a superset behavior callers already
+            /// loop over, and the strong form keeps the explored state
+            /// space finite.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Mutable access without synchronization (`&mut self`).
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.0.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $ty {
+                self.0.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // No schedule point: Debug must not perturb exploration.
+                self.0.load(SeqCst).fmt(f)
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Model-checked integer atomic.
+        pub struct $name(std::sync::atomic::$std);
+
+        atomic_common!($name, $std, $ty);
+
+        impl $name {
+            /// Atomic add, returning the previous value (schedule point).
+            pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                crate::rt::step();
+                self.0.fetch_add(val, SeqCst)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                crate::rt::step();
+                self.0.fetch_sub(val, SeqCst)
+            }
+
+            /// Atomic bitwise-and, returning the previous value.
+            pub fn fetch_and(&self, val: $ty, _order: Ordering) -> $ty {
+                crate::rt::step();
+                self.0.fetch_and(val, SeqCst)
+            }
+
+            /// Atomic bitwise-or, returning the previous value.
+            pub fn fetch_or(&self, val: $ty, _order: Ordering) -> $ty {
+                crate::rt::step();
+                self.0.fetch_or(val, SeqCst)
+            }
+
+            /// Atomic maximum, returning the previous value.
+            pub fn fetch_max(&self, val: $ty, _order: Ordering) -> $ty {
+                crate::rt::step();
+                self.0.fetch_max(val, SeqCst)
+            }
+        }
+    };
+}
+
+/// Model-checked boolean atomic.
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+atomic_common!(AtomicBool, AtomicBool, bool);
+
+impl AtomicBool {
+    /// Atomic bitwise-and, returning the previous value.
+    pub fn fetch_and(&self, val: bool, _order: Ordering) -> bool {
+        crate::rt::step();
+        self.0.fetch_and(val, SeqCst)
+    }
+
+    /// Atomic bitwise-or, returning the previous value.
+    pub fn fetch_or(&self, val: bool, _order: Ordering) -> bool {
+        crate::rt::step();
+        self.0.fetch_or(val, SeqCst)
+    }
+}
+
+atomic_int!(AtomicUsize, AtomicUsize, usize);
+atomic_int!(AtomicU32, AtomicU32, u32);
+atomic_int!(AtomicU64, AtomicU64, u64);
+atomic_int!(AtomicI64, AtomicI64, i64);

@@ -1,0 +1,147 @@
+//! Model-checked synchronization primitives, shaped after the
+//! `parking_lot` slice this workspace uses (no poisoning, guard-based
+//! `Condvar::wait_for` returning a [`WaitTimeoutResult`]).
+
+pub mod atomic;
+
+pub use std::sync::Arc;
+
+use std::time::Duration;
+
+/// Model-checked mutex with the vendored-`parking_lot` API shape.
+///
+/// Mutual exclusion is enforced by the scheduler: `lock` is a schedule
+/// point and blocks the model thread while another holds the lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Safety: the scheduler serializes all access to `data` behind `id`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex. Must be called inside [`crate::model`] (ids are
+    /// per-execution), which is where all workspace mutexes are built.
+    pub fn new(value: T) -> Self {
+        Self {
+            id: crate::rt::mutex_create(),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the model thread until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        crate::rt::mutex_lock(self.id);
+        MutexGuard { lock: self }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if crate::rt::mutex_try_lock(self.id) {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a schedule point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the scheduler granted this thread the lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the scheduler granted this thread the lock.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        crate::rt::mutex_unlock(self.lock.id);
+    }
+}
+
+/// Whether a timed wait returned because its timeout fired.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-checked condition variable (parking_lot shape).
+///
+/// Timed waits are woken either by a notification or by the scheduler
+/// electing to fire the timeout — both orders are explored.
+#[derive(Debug)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a condvar (inside [`crate::model`], like [`Mutex::new`]).
+    pub fn new() -> Self {
+        Self {
+            id: crate::rt::condvar_create(),
+        }
+    }
+
+    /// Blocks until notified, releasing `guard`'s mutex while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        crate::rt::condvar_wait(self.id, guard.lock.id, false);
+    }
+
+    /// Blocks until notified or until the scheduler fires the modeled
+    /// timeout; the `Duration` itself is ignored (model time is
+    /// scheduling, not wall clock).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _timeout: Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult(crate::rt::condvar_wait(self.id, guard.lock.id, true))
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        crate::rt::condvar_notify(self.id, false);
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        crate::rt::condvar_notify(self.id, true);
+    }
+}

@@ -1,0 +1,52 @@
+//! Model-thread spawning and yielding, mirroring the `std::thread`
+//! surface the workspace uses.
+
+pub use crate::rt::JoinHandle;
+
+/// Spawns a model thread. Signature-compatible with
+/// [`std::thread::spawn`]; the returned handle's `join` yields a
+/// `std::thread::Result<T>` just like std's.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    crate::rt::spawn(f)
+}
+
+/// Model-aware [`std::thread::yield_now`]: a yield-class schedule point
+/// that deprioritizes the caller until no other thread can run.
+pub fn yield_now() {
+    crate::rt::yield_now();
+}
+
+/// Minimal stand-in for `std::thread::Builder` so executor code that
+/// names its workers compiles unchanged under the model.
+#[derive(Debug, Default)]
+pub struct Builder {
+    _name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts (and ignores) a thread name — model threads are named by
+    /// their scheduler id.
+    pub fn name(mut self, name: String) -> Self {
+        self._name = Some(name);
+        self
+    }
+
+    /// Spawns the thread; infallible in the model but keeps std's
+    /// `io::Result` shape.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(crate::rt::spawn(f))
+    }
+}

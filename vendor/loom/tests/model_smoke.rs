@@ -1,0 +1,138 @@
+//! Self-tests for the vendored model checker: it must pass correct
+//! protocols and, crucially, *fail* broken ones (a checker that cannot
+//! find a seeded bug proves nothing).
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+#[test]
+fn mutex_protects_counter() {
+    loom::model(|| {
+        let m = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                loom::thread::spawn(move || {
+                    let mut g = m.lock();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 2);
+    });
+}
+
+#[test]
+#[should_panic(expected = "loom: model failed")]
+fn lost_update_is_found() {
+    // Unsynchronized read-modify-write: some interleaving loses an
+    // increment, and the checker must find it.
+    loom::model(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                loom::thread::spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn abba_deadlock_is_found() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = loom::thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop(_ga);
+        drop(_gb);
+        let _ = t.join();
+    });
+}
+
+#[test]
+fn timed_wait_explores_both_timeout_and_notify() {
+    // The waiter must terminate in every schedule: either the notify
+    // lands, or the scheduler fires the timeout.
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = loom::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        let mut timed_out_once = false;
+        while !*g {
+            if cv
+                .wait_for(&mut g, std::time::Duration::from_millis(1))
+                .timed_out()
+            {
+                timed_out_once = true;
+                // Re-check the predicate and keep waiting; the notifier
+                // is guaranteed to run eventually.
+            }
+        }
+        let _ = timed_out_once;
+        drop(g);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "loom: model failed")]
+fn lost_wakeup_is_found() {
+    // Classic lost-wakeup: the waiter checks the flag, is preempted,
+    // the setter sets + notifies, then the waiter (untimed) sleeps
+    // forever. The checker must flag the resulting deadlock.
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let (f2, p2) = (Arc::clone(&flag), Arc::clone(&pair));
+        let t = loom::thread::spawn(move || {
+            f2.store(true, Ordering::SeqCst);
+            p2.1.notify_all();
+        });
+        // Broken protocol: predicate checked outside the mutex.
+        if !flag.load(Ordering::SeqCst) {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            cv.wait(&mut g);
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn spin_with_yield_makes_progress() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = loom::thread::spawn(move || {
+            f2.store(true, Ordering::SeqCst);
+        });
+        while !flag.load(Ordering::SeqCst) {
+            loom::thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+}
