@@ -1,3 +1,7 @@
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working (and stay measurable) until they are removed.
+#![allow(deprecated)]
+
 //! Ablation benchmarks for the design choices called out in DESIGN.md §7.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -9,11 +13,10 @@ use st_graph::preprocess::eliminate_degree2;
 use st_smp::StealPolicy;
 
 fn scale() -> usize {
-    let l: u32 = std::env::var("ST_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    1usize << l
+    // Typed env parsing: a malformed ST_BENCH_SCALE aborts the bench
+    // run instead of silently reverting to the default scale.
+    let cfg = st_core::RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
+    1usize << cfg.bench_scale.unwrap_or(12)
 }
 
 /// `ablate_steal`: steal-half vs steal-one vs fixed chunks.
@@ -34,7 +37,7 @@ fn ablate_steal(c: &mut Criterion) {
             ..Config::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| BaderCong::new(cfg).spanning_forest(&g, 4))
+            b.iter(|| BaderCong::new(cfg.clone()).spanning_forest(&g, 4))
         });
     }
     group.finish();
@@ -51,7 +54,7 @@ fn ablate_stub(c: &mut Criterion) {
             ..Config::default()
         };
         group.bench_with_input(BenchmarkId::new("factor", factor), &cfg, |b, cfg| {
-            b.iter(|| BaderCong::new(*cfg).spanning_forest(&g, 4))
+            b.iter(|| BaderCong::new(cfg.clone()).spanning_forest(&g, 4))
         });
     }
     group.finish();
@@ -107,7 +110,7 @@ fn ablate_deg2(c: &mut Criterion) {
             ..Config::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| BaderCong::new(cfg).spanning_forest(&g, 4))
+            b.iter(|| BaderCong::new(cfg.clone()).spanning_forest(&g, 4))
         });
     }
     // The reduction step alone, for attribution.
@@ -129,7 +132,7 @@ fn ablate_chunk(c: &mut Criterion) {
             ..Config::default()
         };
         group.bench_with_input(BenchmarkId::new("batch", batch), &cfg, |b, cfg| {
-            b.iter(|| BaderCong::new(*cfg).spanning_forest(&g, 4))
+            b.iter(|| BaderCong::new(cfg.clone()).spanning_forest(&g, 4))
         });
     }
     group.finish();
@@ -158,7 +161,7 @@ fn ablate_frontier(c: &mut Criterion) {
             ..Config::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| BaderCong::new(cfg).spanning_forest(&g, 4))
+            b.iter(|| BaderCong::new(cfg.clone()).spanning_forest(&g, 4))
         });
     }
     let no_donate = Config {
@@ -169,7 +172,7 @@ fn ablate_frontier(c: &mut Criterion) {
         ..Config::default()
     };
     group.bench_function("t64_no_donate", |b| {
-        b.iter(|| BaderCong::new(no_donate).spanning_forest(&g, 4))
+        b.iter(|| BaderCong::new(no_donate.clone()).spanning_forest(&g, 4))
     });
     group.finish();
 }

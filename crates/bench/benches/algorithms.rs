@@ -1,3 +1,7 @@
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working (and stay measurable) until they are removed.
+#![allow(deprecated)]
+
 //! Wall-clock Criterion benchmarks of the spanning-tree algorithms.
 //!
 //! One group per figure data series (see DESIGN.md §3): these exercise
@@ -17,11 +21,10 @@ use st_core::sv::{self, SvConfig};
 use st_core::{hcs, seq};
 
 fn scale() -> usize {
-    let l: u32 = std::env::var("ST_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    1usize << l
+    // Typed env parsing: a malformed ST_BENCH_SCALE aborts the bench
+    // run instead of silently reverting to the default scale.
+    let cfg = st_core::RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
+    1usize << cfg.bench_scale.unwrap_or(12)
 }
 
 /// FIG3 series: sequential BFS vs the new algorithm on random m = 1.5n.

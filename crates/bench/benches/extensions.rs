@@ -6,11 +6,10 @@ use st_core::mst;
 use st_graph::WeightedGraph;
 
 fn scale() -> usize {
-    let l: u32 = std::env::var("ST_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    1usize << l
+    // Typed env parsing: a malformed ST_BENCH_SCALE aborts the bench
+    // run instead of silently reverting to the default scale.
+    let cfg = st_core::RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
+    1usize << cfg.bench_scale.unwrap_or(12)
 }
 
 fn bench_mst(c: &mut Criterion) {

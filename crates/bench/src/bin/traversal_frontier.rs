@@ -163,7 +163,7 @@ fn run_protocol(
     reps: usize,
     cfg: TraversalConfig,
 ) -> (ProtocolResult, JobMetrics) {
-    let (m, metrics) = measure_with_result(reps, || traverse_once(g, exec, ws, cfg));
+    let (m, metrics) = measure_with_result(reps, || traverse_once(g, exec, ws, cfg.clone()));
     // Validation reads the workspace after the timed section so the
     // copy-out is not billed to the protocol.
     assert!(

@@ -24,9 +24,9 @@
 use st_graph::preprocess::{eliminate_degree2, Reduction};
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 use st_obs::{now_ns, Counter, Phase};
-use st_smp::Executor;
+use st_smp::{CancelToken, Executor};
 
-use crate::engine::{SpanningAlgorithm, Workspace};
+use crate::engine::{Cancelled, SpanningAlgorithm, Workspace};
 use crate::orient::orient_forest_with_mask_on;
 use crate::result::{AlgoStats, SpanningForest};
 use crate::stub::grow_stub_into;
@@ -34,7 +34,7 @@ use crate::sv::{self, SvConfig};
 use crate::traversal::{Traversal, TraversalConfig, TraversalOutcome};
 
 /// Configuration of the Bader–Cong algorithm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Config {
     /// Traversal tuning (steal policy, idle timeout, starvation
     /// threshold, RNG seed).
@@ -60,7 +60,7 @@ impl Default for Config {
 }
 
 /// The algorithm object; construct once, run on many graphs.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BaderCong {
     cfg: Config,
 }
@@ -83,9 +83,12 @@ impl BaderCong {
     }
 
     /// Computes a spanning forest of `g` with a one-shot team of `p`
-    /// processors. Repeated callers should hold an
-    /// [`Engine`](crate::engine::Engine) and use [`BaderCong::run_on`]
-    /// (or [`Engine::run`](crate::engine::Engine::run)) instead.
+    /// processors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "spawns a fresh team per call; use `Engine::job(&g).run()` \
+                or the st-service submission API"
+    )]
     pub fn spanning_forest(&self, g: &CsrGraph, p: usize) -> SpanningForest {
         let exec = Executor::new(p);
         let mut ws = Workspace::new();
@@ -94,11 +97,33 @@ impl BaderCong {
 
     /// Computes a spanning forest of `g` on an existing team, with all
     /// scratch state drawn from `ws`.
+    ///
+    /// Infallible entry point: runs with an inert cancellation token.
+    /// If [`Config::traversal`] carries a *live* token that fires
+    /// mid-run, this panics — use [`try_run_on`](Self::try_run_on) (or
+    /// [`SpanningAlgorithm::run_with_cancel`]) for cancellable jobs.
     pub fn run_on(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        self.try_run_on(g, exec, ws, &CancelToken::none())
+            .expect("run cancelled mid-flight; use try_run_on for cancellable jobs")
+    }
+
+    /// Computes a spanning forest of `g` on an existing team, ending
+    /// early with `Err(Cancelled)` if `cancel` (or a live token already
+    /// in [`Config::traversal`]) fires. The token is polled at
+    /// publication boundaries, on the idle path, at round barriers, and
+    /// at the SV fallback's iteration barriers; the workspace and team
+    /// stay reusable after a cancelled run.
+    pub fn try_run_on(
+        &self,
+        g: &CsrGraph,
+        exec: &Executor,
+        ws: &mut Workspace,
+        cancel: &CancelToken,
+    ) -> Result<SpanningForest, Cancelled> {
         if self.cfg.deg2_preprocess {
-            return self.forest_with_preprocess(g, exec, ws);
+            return self.forest_with_preprocess(g, exec, ws, cancel);
         }
-        self.forest_direct(g, exec, ws)
+        self.forest_direct(g, exec, ws, cancel)
     }
 
     /// Computes a spanning tree of a connected `g` rooted at `root`;
@@ -107,14 +132,16 @@ impl BaderCong {
         if (root as usize) >= g.num_vertices() {
             return None;
         }
-        let mut cfg = self.cfg;
+        let mut cfg = self.cfg.clone();
         cfg.start_root = Some(root);
         // Degree-2 preprocessing changes vertex identity; the rooted-tree
         // entry point keeps it off so `root` stays meaningful.
         cfg.deg2_preprocess = false;
         let exec = Executor::new(p);
         let mut ws = Workspace::new();
-        let forest = BaderCong::new(cfg).forest_direct(g, &exec, &mut ws);
+        let forest = BaderCong::new(cfg)
+            .forest_direct(g, &exec, &mut ws, &CancelToken::none())
+            .expect("inert token cannot cancel");
         (forest.roots.len() == 1).then_some(forest.parents)
     }
 
@@ -123,12 +150,14 @@ impl BaderCong {
         g: &CsrGraph,
         exec: &Executor,
         ws: &mut Workspace,
-    ) -> SpanningForest {
+        cancel: &CancelToken,
+    ) -> Result<SpanningForest, Cancelled> {
         let red: Reduction = eliminate_degree2(g);
-        let mut inner_cfg = self.cfg;
+        let mut inner_cfg = self.cfg.clone();
         inner_cfg.deg2_preprocess = false;
         inner_cfg.start_root = None;
-        let reduced_forest = BaderCong::new(inner_cfg).forest_direct(&red.reduced, exec, ws);
+        let reduced_forest =
+            BaderCong::new(inner_cfg).forest_direct(&red.reduced, exec, ws, cancel)?;
         let parents = red.expand_parents(&reduced_forest.parents);
         let roots: Vec<VertexId> = parents
             .iter()
@@ -138,26 +167,39 @@ impl BaderCong {
             .collect();
         let mut stats = reduced_forest.stats;
         stats.components = roots.len();
-        SpanningForest {
+        Ok(SpanningForest {
             parents,
             roots,
             stats,
-        }
+        })
     }
 
-    fn forest_direct(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+    fn forest_direct(
+        &self,
+        g: &CsrGraph,
+        exec: &Executor,
+        ws: &mut Workspace,
+        cancel: &CancelToken,
+    ) -> Result<SpanningForest, Cancelled> {
         let n = g.num_vertices();
         let p = exec.size();
+        // A live caller token takes over the traversal's cancellation
+        // plumbing; otherwise any token already on the config applies.
+        let mut tcfg = self.cfg.traversal.clone();
+        if cancel.is_live() {
+            tcfg.cancel = cancel.clone();
+        }
+        let cancel = tcfg.cancel.clone();
         ws.begin_job(exec);
         if n == 0 {
-            return SpanningForest {
+            return Ok(SpanningForest {
                 parents: Vec::new(),
                 roots: Vec::new(),
                 stats: AlgoStats {
                     metrics: ws.finish_job(exec),
                     ..AlgoStats::default()
                 },
-            };
+            });
         }
         let mut roots: Vec<VertexId> = Vec::new();
         let stub_target = (self.cfg.stub_factor * p).max(1);
@@ -167,7 +209,7 @@ impl BaderCong {
         // The session borrows the workspace; everything the fallback
         // needs is copied out before the borrow ends.
         let (stats, outcome, parents, colors) = {
-            let (t, stub_scratch) = ws.traversal_with_stub(g, exec, self.cfg.traversal);
+            let (t, stub_scratch) = ws.traversal_with_stub(g, exec, tcfg);
             let mut cursor: VertexId = 0;
             let roots_sink = &mut roots;
             let (processed, barriers, outcome) = t.run_rounds(exec, move |t, round| {
@@ -233,7 +275,7 @@ impl BaderCong {
                 ..AlgoStats::default()
             };
             let colors = match outcome {
-                TraversalOutcome::Completed => Vec::new(),
+                TraversalOutcome::Completed | TraversalOutcome::Cancelled => Vec::new(),
                 TraversalOutcome::Starved => t.colors_vec(),
             };
             (stats, outcome, t.into_parents(), colors)
@@ -243,13 +285,19 @@ impl BaderCong {
             TraversalOutcome::Completed => {
                 let mut stats = stats;
                 stats.metrics = ws.finish_job(exec);
-                SpanningForest {
+                Ok(SpanningForest {
                     parents,
                     roots,
                     stats,
-                }
+                })
             }
-            TraversalOutcome::Starved => fallback(g, exec, ws, colors, parents, stats),
+            TraversalOutcome::Starved => fallback(g, exec, ws, colors, parents, stats, &cancel),
+            TraversalOutcome::Cancelled => {
+                // Close the observability window (discarding the report)
+                // so the workspace is clean for its next job.
+                let _ = ws.finish_job(exec);
+                Err(Cancelled)
+            }
         }
     }
 }
@@ -261,6 +309,16 @@ impl SpanningAlgorithm for BaderCong {
 
     fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
         self.run_on(g, exec, ws)
+    }
+
+    fn run_with_cancel(
+        &self,
+        g: &CsrGraph,
+        exec: &Executor,
+        ws: &mut Workspace,
+        cancel: &CancelToken,
+    ) -> Result<SpanningForest, Cancelled> {
+        self.try_run_on(g, exec, ws, cancel)
     }
 }
 
@@ -290,7 +348,8 @@ fn fallback(
     colors: Vec<u32>,
     mut parents: Vec<VertexId>,
     mut stats: AlgoStats,
-) -> SpanningForest {
+    cancel: &CancelToken,
+) -> Result<SpanningForest, Cancelled> {
     let n = g.num_vertices();
     let t_fallback = now_ns();
 
@@ -329,7 +388,14 @@ fn fallback(
             }
         })
         .collect();
-    let sv_out = sv::sv_core_on(g, exec, ws, Some(&init), SvConfig::default());
+    let sv_out =
+        match sv::sv_core_cancellable(g, exec, ws, Some(&init), SvConfig::default(), cancel) {
+            Ok(out) => out,
+            Err(Cancelled) => {
+                let _ = ws.finish_job(exec);
+                return Err(Cancelled);
+            }
+        };
 
     // Orient SV's tree edges while keeping the traversal's parents.
     let mask: Vec<bool> = colors
@@ -352,14 +418,17 @@ fn fallback(
     stats.barriers += sv_out.barriers;
     ws.trace.rank(0).record(Phase::Fallback, t_fallback);
     stats.metrics = ws.finish_job(exec);
-    SpanningForest {
+    Ok(SpanningForest {
         parents,
         roots,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use st_graph::gen;
@@ -567,5 +636,66 @@ mod tests {
             let f = BaderCong::new(cfg).spanning_forest(&g, 4);
             assert!(is_spanning_forest(&g, &f.parents), "stub factor {factor}");
         }
+    }
+
+    #[test]
+    fn pre_cancelled_job_aborts_and_leaves_team_reusable() {
+        use st_smp::CancelToken;
+        let exec = Executor::new(4);
+        let mut ws = Workspace::new();
+        let g = gen::torus2d(30, 30);
+        let token = CancelToken::new();
+        token.cancel();
+        let algo = BaderCong::with_defaults();
+        let out = algo.try_run_on(&g, &exec, &mut ws, &token);
+        assert!(out.is_err(), "cancelled token must abort the job");
+        // The same team and workspace must run clean jobs afterwards.
+        let f = algo
+            .try_run_on(&g, &exec, &mut ws, &CancelToken::none())
+            .expect("inert token cannot cancel");
+        assert!(is_spanning_forest(&g, &f.parents));
+    }
+
+    #[test]
+    fn cancel_mid_run_is_either_clean_or_complete() {
+        use st_smp::CancelToken;
+        use std::sync::Arc;
+        // Racing a cancel against a running traversal must yield either
+        // a complete valid forest or a clean `Cancelled` — never a
+        // wedged team. Both outcomes are legitimate on a fast machine.
+        let exec = Arc::new(Executor::new(4));
+        let mut ws = Workspace::new();
+        let g = gen::torus2d(120, 120);
+        let algo = BaderCong::with_defaults();
+        for delay_us in [0u64, 50, 500] {
+            let token = CancelToken::new();
+            let canceller = {
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    token.cancel();
+                })
+            };
+            if let Ok(f) = algo.try_run_on(&g, &exec, &mut ws, &token) {
+                assert!(is_spanning_forest(&g, &f.parents));
+            }
+            canceller.join().unwrap();
+            // Team stays healthy either way.
+            let f = algo.run_on(&g, &exec, &mut ws);
+            assert!(is_spanning_forest(&g, &f.parents), "delay {delay_us}us");
+        }
+    }
+
+    #[test]
+    fn deadline_token_cancels_like_explicit_cancel() {
+        use st_smp::CancelToken;
+        use std::time::{Duration, Instant};
+        let exec = Executor::new(2);
+        let mut ws = Workspace::new();
+        let g = gen::torus2d(40, 40);
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let out = BaderCong::with_defaults().try_run_on(&g, &exec, &mut ws, &expired);
+        assert!(out.is_err(), "expired deadline must abort the job");
+        assert!(expired.deadline_expired());
     }
 }

@@ -1,0 +1,225 @@
+//! Typed runtime configuration from the environment.
+//!
+//! Every `ST_*` knob the workspace honors is parsed here, once, with
+//! validation errors instead of silent fallbacks: a malformed value
+//! (`ST_BENCH_SCALE=abc`, `ST_PUBLISH_THRESHOLD=-1`) surfaces a
+//! [`ConfigError`] naming the variable, the offending value, and the
+//! expected shape — it no longer quietly reverts to a default, which
+//! previously made a typo'd benchmark run look like a baseline run.
+//!
+//! Consumers:
+//!
+//! * [`TraversalConfig::default`](crate::traversal::TraversalConfig)
+//!   applies the frontier knobs to every default-configured traversal
+//!   in the process (panicking with the validation message — a bad
+//!   environment should stop the run, not skew it);
+//! * the `st-bench` binaries and Criterion benches read
+//!   [`bench_scale`](RuntimeConfig::bench_scale);
+//! * the `st-service` builder seeds its team layout and queue capacity
+//!   from [`service_teams`](RuntimeConfig::service_teams) and
+//!   [`service_queue_capacity`](RuntimeConfig::service_queue_capacity).
+//!
+//! | variable | type | meaning |
+//! |---|---|---|
+//! | `ST_PUBLISH_THRESHOLD` | integer ≥ 1 or `max` | private-buffer size that triggers publication |
+//! | `ST_PUBLISH_ON_SLEEPERS` | bool | publish the buffer whenever sleepers are reported |
+//! | `ST_LOCAL_BATCH` | integer ≥ 1 | owner dequeue batch per queue lock |
+//! | `ST_BENCH_SCALE` | integer (log2 n) | default problem scale of the bench bins |
+//! | `ST_SERVICE_TEAMS` | comma list of integers ≥ 1 | service pool team widths, e.g. `4,2,2` |
+//! | `ST_SERVICE_QUEUE_CAP` | integer ≥ 1 | service admission-queue capacity |
+
+use std::fmt;
+
+/// A rejected environment value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The environment variable at fault.
+    pub var: &'static str,
+    /// The value it held.
+    pub value: String,
+    /// What was expected instead.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The process-wide `ST_*` environment knobs, parsed and validated.
+///
+/// Every field is `None` when the corresponding variable is unset —
+/// callers keep their own defaults. Construction fails loudly on the
+/// first malformed value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// `ST_PUBLISH_THRESHOLD`: frontier publication threshold
+    /// (`usize::MAX` for `max`).
+    pub publish_threshold: Option<usize>,
+    /// `ST_PUBLISH_ON_SLEEPERS`: sleeper-driven publication toggle.
+    pub publish_on_sleepers: Option<bool>,
+    /// `ST_LOCAL_BATCH`: owner dequeue batch size.
+    pub local_batch: Option<usize>,
+    /// `ST_BENCH_SCALE`: default log2 problem size of the bench bins.
+    pub bench_scale: Option<u32>,
+    /// `ST_SERVICE_TEAMS`: job-service team widths.
+    pub service_teams: Option<Vec<usize>>,
+    /// `ST_SERVICE_QUEUE_CAP`: job-service admission queue capacity.
+    pub service_queue_capacity: Option<usize>,
+}
+
+impl RuntimeConfig {
+    /// Reads and validates every `ST_*` knob from the process
+    /// environment.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        Ok(Self {
+            publish_threshold: read("ST_PUBLISH_THRESHOLD", parse_threshold)?,
+            publish_on_sleepers: read("ST_PUBLISH_ON_SLEEPERS", parse_bool)?,
+            local_batch: read("ST_LOCAL_BATCH", parse_positive)?,
+            bench_scale: read("ST_BENCH_SCALE", parse_scale)?,
+            service_teams: read("ST_SERVICE_TEAMS", parse_team_list)?,
+            service_queue_capacity: read("ST_SERVICE_QUEUE_CAP", parse_positive)?,
+        })
+    }
+
+    /// Overlays the frontier knobs onto a traversal configuration
+    /// (fields left unset keep `cfg`'s current values).
+    pub fn apply_frontier(&self, cfg: &mut crate::traversal::TraversalConfig) {
+        if let Some(t) = self.publish_threshold {
+            cfg.publish_threshold = t;
+        }
+        if let Some(s) = self.publish_on_sleepers {
+            cfg.publish_on_sleepers = s;
+        }
+        if let Some(b) = self.local_batch {
+            cfg.local_batch = b;
+        }
+    }
+}
+
+fn read<T>(
+    var: &'static str,
+    parse: fn(&str) -> Result<T, &'static str>,
+) -> Result<Option<T>, ConfigError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) => parse(raw.trim()).map(Some).map_err(|reason| ConfigError {
+            var,
+            value: raw,
+            reason,
+        }),
+    }
+}
+
+fn parse_threshold(s: &str) -> Result<usize, &'static str> {
+    if s.eq_ignore_ascii_case("max") {
+        return Ok(usize::MAX);
+    }
+    parse_positive(s).map_err(|_| "an integer ≥ 1 or `max`")
+}
+
+fn parse_positive(s: &str) -> Result<usize, &'static str> {
+    match s.parse::<usize>() {
+        Ok(0) | Err(_) => Err("an integer ≥ 1"),
+        Ok(v) => Ok(v),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<u32, &'static str> {
+    s.parse::<u32>().map_err(|_| "an integer (log2 of n)")
+}
+
+fn parse_bool(s: &str) -> Result<bool, &'static str> {
+    match s.to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Ok(true),
+        "0" | "false" | "off" | "no" => Ok(false),
+        _ => Err("a boolean (1/0, true/false, on/off, yes/no)"),
+    }
+}
+
+fn parse_team_list(s: &str) -> Result<Vec<usize>, &'static str> {
+    const REASON: &str = "a comma-separated list of team widths ≥ 1, e.g. `4,2,2`";
+    let teams: Vec<usize> = s
+        .split(',')
+        .map(|part| parse_positive(part.trim()).map_err(|_| REASON))
+        .collect::<Result<_, _>>()?;
+    if teams.is_empty() {
+        return Err(REASON);
+    }
+    Ok(teams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The parsers are tested directly (not through the process
+    // environment) so the suite stays safe under parallel test
+    // execution — `std::env::set_var` is unsound with threads.
+
+    #[test]
+    fn threshold_accepts_max_and_integers() {
+        assert_eq!(parse_threshold("max"), Ok(usize::MAX));
+        assert_eq!(parse_threshold("MAX"), Ok(usize::MAX));
+        assert_eq!(parse_threshold("64"), Ok(64));
+        assert!(parse_threshold("0").is_err());
+        assert!(parse_threshold("-3").is_err());
+        assert!(parse_threshold("sixty").is_err());
+    }
+
+    #[test]
+    fn bools_accept_common_spellings() {
+        for s in ["1", "true", "ON", "yes"] {
+            assert_eq!(parse_bool(s), Ok(true), "{s}");
+        }
+        for s in ["0", "false", "off", "NO"] {
+            assert_eq!(parse_bool(s), Ok(false), "{s}");
+        }
+        assert!(parse_bool("maybe").is_err());
+    }
+
+    #[test]
+    fn team_lists_parse_and_validate() {
+        assert_eq!(parse_team_list("4,2,2"), Ok(vec![4, 2, 2]));
+        assert_eq!(parse_team_list(" 8 , 1 "), Ok(vec![8, 1]));
+        assert!(parse_team_list("4,0,2").is_err());
+        assert!(parse_team_list("").is_err());
+        assert!(parse_team_list("a,b").is_err());
+    }
+
+    #[test]
+    fn scale_rejects_garbage() {
+        assert_eq!(parse_scale("20"), Ok(20));
+        assert!(parse_scale("abc").is_err(), "was the silent-13 fallback");
+        assert!(parse_scale("-1").is_err());
+    }
+
+    #[test]
+    fn error_display_names_the_variable() {
+        let e = ConfigError {
+            var: "ST_BENCH_SCALE",
+            value: "abc".into(),
+            reason: "an integer (log2 of n)",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ST_BENCH_SCALE"));
+        assert!(msg.contains("abc"));
+        assert!(msg.contains("log2"));
+    }
+
+    #[test]
+    fn unset_environment_is_all_none() {
+        // The ST_* variables are not set in the test environment (the
+        // CI stress job sets ST_PUBLISH_THRESHOLD; tolerate that one).
+        let cfg = RuntimeConfig::from_env().expect("clean env parses");
+        assert_eq!(cfg.bench_scale, None);
+        assert_eq!(cfg.service_teams, None);
+    }
+}

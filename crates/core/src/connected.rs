@@ -102,7 +102,6 @@ pub fn components_from_forest(parents: &[VertexId]) -> Components {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bader_cong::BaderCong;
     use st_graph::gen;
     use st_graph::validate::component_labels;
 
@@ -130,7 +129,7 @@ mod tests {
     #[test]
     fn forest_components_match_reference() {
         let g = gen::mesh2d_p(25, 25, 0.55, 7);
-        let f = BaderCong::with_defaults().spanning_forest(&g, 4);
+        let f = crate::engine::Engine::new(4).job(&g).run().unwrap();
         let cc = components_from_forest(&f.parents);
         assert_same_partition(&cc.labels, &component_labels(&g));
         assert_eq!(cc.count, f.roots.len());

@@ -21,8 +21,8 @@
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 
-use crate::bader_cong::BaderCong;
 use crate::biconnected::{preorder, Preorder};
+use crate::engine::Engine;
 
 /// An ear decomposition of a 2-edge-connected graph.
 #[derive(Clone, Debug)]
@@ -83,7 +83,10 @@ pub fn ear_decomposition(g: &CsrGraph, p: usize) -> Result<EarDecomposition, Ear
     if g.num_edges() == 0 {
         return Err(EarError::Empty);
     }
-    let forest = BaderCong::with_defaults().spanning_forest(g, p);
+    let forest = Engine::new(p)
+        .job(g)
+        .run()
+        .expect("no cancel token: job cannot be cancelled");
     if forest.roots.len() != 1 {
         return Err(EarError::NotConnected);
     }

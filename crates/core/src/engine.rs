@@ -40,7 +40,7 @@ use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 use st_obs::{Counter, CounterSet, JobMetrics, TraceSet};
 use st_smp::pad::CacheAligned;
 use st_smp::steal::WorkQueue;
-use st_smp::{AtomicU32Array, Executor, SpinLock};
+use st_smp::{AtomicU32Array, CancelToken, Executor, SpinLock};
 
 use crate::result::SpanningForest;
 use crate::stub::StubScratch;
@@ -90,8 +90,12 @@ pub struct Workspace {
     /// `obs-trace` feature).
     pub(crate) trace: TraceSet,
     /// Set by [`begin_job`](Self::begin_job), consumed by
-    /// [`finish_job`](Self::finish_job) for the job's wall time.
+    /// [`finish_job`](Self::finish_job) for the job's execution time.
     job_started: Option<Instant>,
+    /// Queue-wait nanoseconds noted via
+    /// [`note_queue_wait`](Self::note_queue_wait), consumed by the next
+    /// [`finish_job`](Self::finish_job).
+    pending_queue_ns: u64,
 }
 
 impl Workspace {
@@ -155,6 +159,15 @@ impl Workspace {
         self.job_started = Some(Instant::now());
     }
 
+    /// Records how long the upcoming (or running) job waited before
+    /// execution — e.g. in a service admission queue. Folded into the
+    /// next [`finish_job`](Self::finish_job)'s
+    /// [`queue_ns`](st_obs::JobMetrics::queue_ns); jobs that never wait
+    /// report zero.
+    pub fn note_queue_wait(&mut self, ns: u64) {
+        self.pending_queue_ns = ns;
+    }
+
     /// Closes the window opened by [`begin_job`](Self::begin_job):
     /// folds the detector's cumulative stats into rank 0's counters and
     /// returns the job's [`JobMetrics`] (merged totals, per-rank
@@ -162,10 +175,11 @@ impl Workspace {
     /// spans).
     pub fn finish_job(&mut self, exec: &Executor) -> JobMetrics {
         let p = exec.size();
-        let wall_ns = self
+        let exec_ns = self
             .job_started
             .take()
             .map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let queue_ns = std::mem::take(&mut self.pending_queue_ns);
         let det = exec.detector().stats();
         let slot0 = self.counters.rank(0);
         slot0.add(Counter::DetectorSleeps, det.sleeps);
@@ -174,7 +188,9 @@ impl Workspace {
         exec.detector().reset_stats();
         JobMetrics {
             p,
-            wall_ns,
+            wall_ns: queue_ns + exec_ns,
+            queue_ns,
+            exec_ns,
             totals: self.counters.merged(),
             per_rank: self.counters.snapshots(p),
             spans: self.trace.drain(),
@@ -327,6 +343,22 @@ impl Workspace {
     }
 }
 
+/// Marker error: a job ended early because its [`CancelToken`] fired
+/// (explicit cancellation or an expired deadline).
+///
+/// The workspace and team remain fully reusable after a cancelled run —
+/// cancellation abandons results, not infrastructure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("job cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
 /// A spanning-forest algorithm that runs on a persistent team with a
 /// reusable workspace.
 ///
@@ -349,6 +381,29 @@ pub trait SpanningAlgorithm {
     /// Computes a spanning forest of `g` on `exec`'s team, using (and
     /// re-initializing) `ws` for all scratch state.
     fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest;
+
+    /// Like [`run`](Self::run), but cooperatively cancellable: the
+    /// algorithm polls `cancel` at its natural boundaries (publication
+    /// points and round barriers for the traversal family, iteration
+    /// barriers for graft-and-shortcut) and returns `Err(Cancelled)` as
+    /// soon as it observes the token fired, leaving `ws` and `exec`
+    /// reusable.
+    ///
+    /// The default implementation checks once up front and otherwise
+    /// runs to completion — correct for any algorithm, prompt only for
+    /// those that override it (Bader–Cong and SV do).
+    fn run_with_cancel(
+        &self,
+        g: &CsrGraph,
+        exec: &Executor,
+        ws: &mut Workspace,
+        cancel: &CancelToken,
+    ) -> Result<SpanningForest, Cancelled> {
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
+        Ok(self.run(g, exec, ws))
+    }
 }
 
 /// A persistent team plus its workspace: the one-stop handle for
@@ -396,6 +451,77 @@ impl Engine {
     pub fn run<A: SpanningAlgorithm + ?Sized>(&mut self, algo: &A, g: &CsrGraph) -> SpanningForest {
         algo.prepare(&mut self.ws, g);
         algo.run(g, &self.exec, &mut self.ws)
+    }
+
+    /// Starts a job submission for `g`: the builder-style entry point
+    /// that unifies the per-algorithm `*_on` functions and one-shot
+    /// wrappers.
+    ///
+    /// ```
+    /// use st_core::{BaderCong, Engine};
+    /// use st_graph::gen::torus2d;
+    ///
+    /// let mut engine = Engine::new(2);
+    /// let g = torus2d(8, 8);
+    /// let forest = engine.job(&g).run().expect("not cancelled");
+    /// let sv = engine
+    ///     .job(&g)
+    ///     .algorithm(&st_core::sv::Sv::default())
+    ///     .run()
+    ///     .expect("not cancelled");
+    /// assert_eq!(forest.roots.len(), sv.roots.len());
+    /// ```
+    pub fn job<'e, 'g>(&'e mut self, g: &'g CsrGraph) -> EngineJob<'e, 'g> {
+        EngineJob {
+            engine: self,
+            g,
+            algo: None,
+            cancel: CancelToken::none(),
+        }
+    }
+}
+
+/// A pending job on an [`Engine`], built by [`Engine::job`].
+///
+/// Runs Bader–Cong with defaults unless [`algorithm`](Self::algorithm)
+/// picks something else. This is the local, synchronous sibling of the
+/// `st-service` submission builder: same vocabulary, no queue.
+pub struct EngineJob<'e, 'g> {
+    engine: &'e mut Engine,
+    g: &'g CsrGraph,
+    algo: Option<&'g dyn SpanningAlgorithm>,
+    cancel: CancelToken,
+}
+
+impl<'e, 'g> EngineJob<'e, 'g> {
+    /// Selects the algorithm (default: [`BaderCong`](crate::BaderCong)
+    /// with defaults).
+    pub fn algorithm(mut self, algo: &'g dyn SpanningAlgorithm) -> Self {
+        self.algo = Some(algo);
+        self
+    }
+
+    /// Attaches a cancellation token; the run returns
+    /// `Err(`[`Cancelled`]`)` once it fires.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Runs the job to completion (or cancellation) on the engine's
+    /// team.
+    pub fn run(self) -> Result<SpanningForest, Cancelled> {
+        let default_algo;
+        let algo = match self.algo {
+            Some(a) => a,
+            None => {
+                default_algo = crate::bader_cong::BaderCong::with_defaults();
+                &default_algo
+            }
+        };
+        let (exec, ws) = self.engine.parts_mut();
+        algo.prepare(ws, self.g);
+        algo.run_with_cancel(self.g, exec, ws, &self.cancel)
     }
 }
 

@@ -217,6 +217,10 @@ pub fn hcs_core_on(g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> HcsOutc
 }
 
 /// Full HCS spanning forest with a one-shot team of `p` processors.
+#[deprecated(
+    since = "0.6.0",
+    note = "spawns a fresh team per call; use `Engine::job(&g).algorithm(&Hcs).run()` or the st-service submission API"
+)]
 pub fn spanning_forest(g: &CsrGraph, p: usize) -> SpanningForest {
     let exec = Executor::new(p);
     let mut ws = Workspace::new();
@@ -266,6 +270,9 @@ impl SpanningAlgorithm for Hcs {
 }
 
 #[cfg(test)]
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use st_graph::gen;

@@ -53,6 +53,7 @@
 
 pub mod bader_cong;
 pub mod biconnected;
+pub mod config;
 pub mod connected;
 pub mod ears;
 pub mod engine;
@@ -68,5 +69,6 @@ pub mod traversal;
 pub mod tree;
 
 pub use bader_cong::{BaderCong, Config};
-pub use engine::{Engine, SpanningAlgorithm, Workspace};
+pub use config::{ConfigError, RuntimeConfig};
+pub use engine::{Cancelled, Engine, EngineJob, SpanningAlgorithm, Workspace};
 pub use result::{AlgoStats, SpanningForest};

@@ -49,6 +49,10 @@ const UNCLAIMED: u32 = 0;
 
 /// Computes a spanning forest with the multi-root concurrent strategy on
 /// a one-shot team of `p` processors (see [`spanning_forest_multiroot_on`]).
+#[deprecated(
+    since = "0.6.0",
+    note = "spawns a fresh team per call; use `Engine::job(&g).algorithm(&Multiroot::new(cfg)).run()` or the st-service submission API"
+)]
 pub fn spanning_forest_multiroot(g: &CsrGraph, p: usize, cfg: TraversalConfig) -> SpanningForest {
     let exec = Executor::new(p);
     let mut ws = Workspace::new();
@@ -253,7 +257,10 @@ pub fn spanning_forest_multiroot_on(
 }
 
 /// The multi-root strategy as a [`SpanningAlgorithm`].
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// Not `Copy`: the embedded [`TraversalConfig`] carries a
+/// [`CancelToken`](st_smp::CancelToken).
+#[derive(Clone, Debug, Default)]
 pub struct Multiroot {
     cfg: TraversalConfig,
 }
@@ -276,11 +283,14 @@ impl SpanningAlgorithm for Multiroot {
     }
 
     fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
-        spanning_forest_multiroot_on(g, exec, ws, self.cfg)
+        spanning_forest_multiroot_on(g, exec, ws, self.cfg.clone())
     }
 }
 
 #[cfg(test)]
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use st_graph::gen;

@@ -36,15 +36,15 @@
 //! persistent [`Executor`]; the `*_on` entry points reuse both across
 //! runs. The legacy `p`-taking functions spawn a one-shot team.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use st_graph::{CsrGraph, VertexId, NO_VERTEX};
 use st_obs::{now_ns, Counter, Phase};
 use st_smp::team::block_range;
-use st_smp::Executor;
+use st_smp::{CancelToken, Executor};
 
-use crate::engine::{SpanningAlgorithm, Workspace};
+use crate::engine::{Cancelled, SpanningAlgorithm, Workspace};
 use crate::orient::orient_forest_on;
 use crate::result::{AlgoStats, SpanningForest};
 
@@ -112,6 +112,24 @@ pub fn sv_core_on(
     init: Option<&[VertexId]>,
     cfg: SvConfig,
 ) -> SvOutcome {
+    sv_core_cancellable(g, exec, ws, init, cfg, &CancelToken::none())
+        .expect("inert token cannot cancel")
+}
+
+/// Like [`sv_core_on`], but cooperatively cancellable: rank 0 polls
+/// `cancel` at the top of each graft-and-shortcut iteration and raises a
+/// shared abort flag that every rank reads behind the iteration's graft
+/// barrier, so the whole team leaves the session together (the barrier
+/// sequence stays rank-uniform). A cancelled run abandons its partial
+/// grafts; the workspace and team stay reusable.
+pub fn sv_core_cancellable(
+    g: &CsrGraph,
+    exec: &Executor,
+    ws: &mut Workspace,
+    init: Option<&[VertexId]>,
+    cfg: SvConfig,
+    cancel: &CancelToken,
+) -> Result<SvOutcome, Cancelled> {
     let p = exec.size();
     let n = g.num_vertices();
     ws.collect_edges(g);
@@ -154,6 +172,10 @@ pub fn sv_core_on(
     let shortcut_rounds_total = std::sync::atomic::AtomicUsize::new(0);
     let barriers = std::sync::atomic::AtomicUsize::new(0);
     let iterations = std::sync::atomic::AtomicUsize::new(0);
+    // Cancellation: rank 0 stores before the iteration's first barrier,
+    // everyone loads after the post-graft barrier — same value on every
+    // rank, so the team exits the loop in lockstep.
+    let aborted = AtomicBool::new(false);
 
     exec.run(|ctx| {
         let rank = ctx.rank();
@@ -189,6 +211,11 @@ pub fn sv_core_on(
                     (iter as usize) < cap,
                     "SV failed to converge within {cap} iterations"
                 );
+            }
+            // Iteration-boundary cancellation checkpoint (one designated
+            // poller keeps the store/load ordered by the barriers below).
+            if rank == 0 && cancel.is_cancelled() {
+                aborted.store(true, Ordering::Release);
             }
             // --- Reset winner slots for this iteration (election only).
             if matches!(cfg.variant, GraftVariant::Election) {
@@ -263,6 +290,9 @@ pub fn sv_core_on(
             bar(&barriers);
             trace.rank(rank).record(Phase::Graft, t_graft);
 
+            if aborted.load(Ordering::Acquire) {
+                break;
+            }
             let changed = graft_epoch.load(Ordering::Acquire) == iter;
             if rank == 0 {
                 iterations.fetch_add(1, Ordering::Relaxed);
@@ -304,6 +334,12 @@ pub fn sv_core_on(
         counters.rank(rank).add(Counter::Grafts, my_grafts);
     });
 
+    if aborted.load(Ordering::Acquire) {
+        // Abandon the partial grafts (drained so the arena lists are
+        // clean for the workspace's next job).
+        let _ = ws.drain_graft(p);
+        return Err(Cancelled);
+    }
     let labels = ws.labels.snapshot_prefix(n);
     let tree_edges = ws.drain_graft(p);
     let grafts = tree_edges.len();
@@ -312,14 +348,14 @@ pub fn sv_core_on(
     ws.counters
         .rank(0)
         .add(Counter::ShortcutRounds, shortcut_rounds as u64);
-    SvOutcome {
+    Ok(SvOutcome {
         tree_edges,
         labels,
         iterations: iterations.load(Ordering::Relaxed),
         grafts,
         shortcut_rounds,
         barriers: barriers.load(Ordering::Relaxed),
-    }
+    })
 }
 
 #[inline]
@@ -328,6 +364,12 @@ fn code(edge: usize, dir: u64) -> u64 {
 }
 
 /// Full SV spanning forest with a one-shot team of `p` processors.
+#[deprecated(
+    since = "0.6.0",
+    note = "spawns a fresh team per call; use \
+            `Engine::job(&g).algorithm(&Sv::default()).run()` or the \
+            st-service submission API"
+)]
 pub fn spanning_forest(g: &CsrGraph, p: usize, cfg: SvConfig) -> SpanningForest {
     let exec = Executor::new(p);
     let mut ws = Workspace::new();
@@ -343,8 +385,31 @@ pub fn spanning_forest_on(
     ws: &mut Workspace,
     cfg: SvConfig,
 ) -> SpanningForest {
+    try_spanning_forest_on(g, exec, ws, cfg, &CancelToken::none())
+        .expect("inert token cannot cancel")
+}
+
+/// Cancellable [`spanning_forest_on`]: `cancel` is polled at each
+/// graft-and-shortcut iteration boundary (and before orientation).
+pub fn try_spanning_forest_on(
+    g: &CsrGraph,
+    exec: &Executor,
+    ws: &mut Workspace,
+    cfg: SvConfig,
+    cancel: &CancelToken,
+) -> Result<SpanningForest, Cancelled> {
     ws.begin_job(exec);
-    let out = sv_core_on(g, exec, ws, None, cfg);
+    let out = match sv_core_cancellable(g, exec, ws, None, cfg, cancel) {
+        Ok(out) => out,
+        Err(Cancelled) => {
+            let _ = ws.finish_job(exec);
+            return Err(Cancelled);
+        }
+    };
+    if cancel.is_cancelled() {
+        let _ = ws.finish_job(exec);
+        return Err(Cancelled);
+    }
     let parents = orient_forest_on(g.num_vertices(), &out.tree_edges, exec, ws);
     let roots: Vec<VertexId> = parents
         .iter()
@@ -361,11 +426,11 @@ pub fn spanning_forest_on(
         metrics: ws.finish_job(exec),
         ..AlgoStats::default()
     };
-    SpanningForest {
+    Ok(SpanningForest {
         parents,
         roots,
         stats,
-    }
+    })
 }
 
 /// Shiloach–Vishkin as a [`SpanningAlgorithm`] (either graft variant).
@@ -397,9 +462,22 @@ impl SpanningAlgorithm for Sv {
     fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
         spanning_forest_on(g, exec, ws, self.cfg)
     }
+
+    fn run_with_cancel(
+        &self,
+        g: &CsrGraph,
+        exec: &Executor,
+        ws: &mut Workspace,
+        cancel: &CancelToken,
+    ) -> Result<SpanningForest, Cancelled> {
+        try_spanning_forest_on(g, exec, ws, self.cfg, cancel)
+    }
 }
 
 #[cfg(test)]
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use st_graph::gen;
@@ -592,6 +670,45 @@ mod tests {
             let fresh = sv_core(&g, 3, None, SvConfig::default());
             assert_eq!(reused.grafts, fresh.grafts, "seed {seed}");
             assert_eq!(reused.labels, fresh.labels, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cancelled_sv_aborts_and_team_stays_reusable() {
+        use st_smp::CancelToken;
+        let exec = Executor::new(3);
+        let mut ws = Workspace::new();
+        let g = gen::random_gnm(600, 900, 4);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = try_spanning_forest_on(&g, &exec, &mut ws, SvConfig::default(), &token);
+        assert!(out.is_err(), "pre-cancelled token must abort");
+        // Clean run afterwards on the same team + workspace.
+        let f = spanning_forest_on(&g, &exec, &mut ws, SvConfig::default());
+        assert!(is_spanning_forest(&g, &f.parents));
+    }
+
+    #[test]
+    fn racing_cancel_against_sv_is_clean_either_way() {
+        use st_smp::CancelToken;
+        let exec = Executor::new(3);
+        let mut ws = Workspace::new();
+        let g = gen::random_gnm(4_000, 7_000, 11);
+        for delay_us in [0u64, 30, 300] {
+            let token = CancelToken::new();
+            let canceller = {
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    token.cancel();
+                })
+            };
+            if let Ok(f) = try_spanning_forest_on(&g, &exec, &mut ws, SvConfig::default(), &token) {
+                assert!(is_spanning_forest(&g, &f.parents));
+            }
+            canceller.join().unwrap();
+            let f = spanning_forest_on(&g, &exec, &mut ws, SvConfig::default());
+            assert!(is_spanning_forest(&g, &f.parents), "delay {delay_us}us");
         }
     }
 }

@@ -58,7 +58,7 @@
 //! which keeps the SV pipeline parallel end to end.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
@@ -67,13 +67,19 @@ use st_graph::{CsrGraph, VertexId};
 use st_obs::{now_ns, Counter, CounterSet, Phase, TraceSet};
 use st_smp::pad::CacheAligned;
 use st_smp::steal::{StealPolicy, WorkQueue};
-use st_smp::{AtomicU32Array, Executor, IdleOutcome, TerminationDetector};
+use st_smp::{AtomicU32Array, CancelToken, Executor, IdleOutcome, TerminationDetector};
+
+use crate::config::RuntimeConfig;
 
 /// Color value meaning "not yet visited".
 pub const UNCOLORED: u32 = 0;
 
 /// Tuning knobs of the traversal.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Not `Copy` since it carries a [`CancelToken`]; clone it where the
+/// old code copied (the token clone is an `Arc` bump — or free for the
+/// default inert token).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraversalConfig {
     /// How much a thief takes from a victim.
     pub steal_policy: StealPolicy,
@@ -104,56 +110,35 @@ pub struct TraversalConfig {
     /// sleepers re-scan on a timeout, but it delays work distribution
     /// and is exposed for ablation only.
     pub publish_on_sleepers: bool,
+    /// Cooperative cancellation token. The default
+    /// ([`CancelToken::none`]) never fires and costs one non-atomic
+    /// check per poll; a live token (from
+    /// [`CancelToken::new`]/[`with_deadline`](CancelToken::with_deadline))
+    /// is polled at publication boundaries, on the idle path, and at
+    /// round barriers, ending the traversal with
+    /// [`TraversalOutcome::Cancelled`].
+    pub cancel: CancelToken,
 }
 
-/// Frontier knobs parsed once from the environment (`ST_*` variables);
-/// applied by [`TraversalConfig::default`] so every default-configured
-/// traversal in the process — tests included — runs the same protocol.
-#[derive(Clone, Copy, Debug, Default)]
-struct FrontierEnvOverrides {
-    publish_threshold: Option<usize>,
-    publish_on_sleepers: Option<bool>,
-    local_batch: Option<usize>,
-}
-
-fn frontier_env() -> FrontierEnvOverrides {
-    static CELL: std::sync::OnceLock<FrontierEnvOverrides> = std::sync::OnceLock::new();
-    *CELL.get_or_init(|| FrontierEnvOverrides {
-        publish_threshold: std::env::var("ST_PUBLISH_THRESHOLD").ok().map(|v| {
-            if v.eq_ignore_ascii_case("max") {
-                usize::MAX
-            } else {
-                v.parse()
-                    .expect("ST_PUBLISH_THRESHOLD must be an integer or `max`")
-            }
-        }),
-        publish_on_sleepers: std::env::var("ST_PUBLISH_ON_SLEEPERS")
-            .ok()
-            .map(|v| !matches!(v.as_str(), "0" | "false" | "off")),
-        local_batch: std::env::var("ST_LOCAL_BATCH")
-            .ok()
-            .map(|v| v.parse().expect("ST_LOCAL_BATCH must be an integer")),
-    })
+/// The process-wide [`RuntimeConfig`], parsed and validated once.
+/// A malformed `ST_*` value aborts the process with the validation
+/// message — a bad environment should stop the run, not silently skew
+/// it into looking like a baseline.
+pub(crate) fn runtime_env() -> &'static RuntimeConfig {
+    static CELL: std::sync::OnceLock<RuntimeConfig> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}")))
 }
 
 impl Default for TraversalConfig {
     /// The two-level frontier defaults, with any `ST_PUBLISH_THRESHOLD`,
     /// `ST_PUBLISH_ON_SLEEPERS`, or `ST_LOCAL_BATCH` environment
-    /// overrides applied (parsed once per process). The CI stress job
-    /// uses `ST_PUBLISH_THRESHOLD=1` to pin the whole suite to the
-    /// paper's publish-everything protocol.
+    /// overrides applied (parsed and validated once per process via
+    /// [`RuntimeConfig::from_env`]). The CI stress job uses
+    /// `ST_PUBLISH_THRESHOLD=1` to pin the whole suite to the paper's
+    /// publish-everything protocol.
     fn default() -> Self {
-        let env = frontier_env();
         let mut cfg = Self::base();
-        if let Some(t) = env.publish_threshold {
-            cfg.publish_threshold = t;
-        }
-        if let Some(s) = env.publish_on_sleepers {
-            cfg.publish_on_sleepers = s;
-        }
-        if let Some(b) = env.local_batch {
-            cfg.local_batch = b;
-        }
+        runtime_env().apply_frontier(&mut cfg);
         cfg
     }
 }
@@ -169,6 +154,7 @@ impl TraversalConfig {
             local_batch: 1,
             publish_threshold: 64,
             publish_on_sleepers: true,
+            cancel: CancelToken::none(),
         }
     }
 
@@ -193,7 +179,23 @@ pub enum TraversalOutcome {
     Completed,
     /// The starvation threshold fired; the caller should fall back.
     Starved,
+    /// The [`TraversalConfig::cancel`] token fired; the partial state is
+    /// abandoned.
+    Cancelled,
 }
+
+/// No abort requested (hot-path fast case).
+const ABORT_NONE: u8 = 0;
+/// The starvation detector fired; fall back to SV.
+const ABORT_STARVED: u8 = 1;
+/// The cancel token fired; abandon the job.
+const ABORT_CANCELLED: u8 = 2;
+
+/// Poll the cancel token every this many processed vertices (power of
+/// two). Keeps the per-vertex cost at one abort-flag load; the token
+/// itself (which may read the clock for deadline tokens) is touched
+/// only on this cadence and on the cold idle path.
+const CANCEL_POLL_MASK: usize = 0xFF;
 
 /// Shared state of one traversal session, borrowed from a
 /// [`Workspace`](crate::engine::Workspace) arena and the team's
@@ -216,7 +218,10 @@ pub struct Traversal<'a> {
     /// Workspace-owned span rings (no-op unless built with `obs-trace`).
     trace: &'a TraceSet,
     cfg: TraversalConfig,
-    starved: AtomicBool,
+    /// Round-wide abort flag ([`ABORT_NONE`]/[`ABORT_STARVED`]/
+    /// [`ABORT_CANCELLED`]): one byte so the per-vertex check stays a
+    /// single Acquire load regardless of how many abort reasons exist.
+    abort: AtomicU8,
 }
 
 impl<'a> Traversal<'a> {
@@ -250,7 +255,7 @@ impl<'a> Traversal<'a> {
             counters,
             trace,
             cfg,
-            starved: AtomicBool::new(false),
+            abort: AtomicU8::new(ABORT_NONE),
         }
     }
 
@@ -303,9 +308,34 @@ impl<'a> Traversal<'a> {
         debug_assert!(self
             .queues
             .iter()
-            .all(|q| q.is_empty() || !self.starved.load(Ordering::Relaxed)));
+            .all(|q| q.is_empty() || self.abort.load(Ordering::Relaxed) != ABORT_NONE));
         self.detector.reset();
-        self.starved.store(false, Ordering::Release);
+        self.abort.store(ABORT_NONE, Ordering::Release);
+    }
+
+    /// Maps the abort flag to an early-exit outcome ([`None`] when no
+    /// abort is pending).
+    #[inline]
+    fn abort_outcome(&self) -> Option<TraversalOutcome> {
+        match self.abort.load(Ordering::Acquire) {
+            ABORT_NONE => None,
+            ABORT_STARVED => Some(TraversalOutcome::Starved),
+            _ => Some(TraversalOutcome::Cancelled),
+        }
+    }
+
+    /// Polls the cancel token; on fire, raises the abort flag and wakes
+    /// any sleeping ranks so every worker observes the abort within one
+    /// idle timeout.
+    #[inline]
+    fn poll_cancel(&self) -> bool {
+        if self.cfg.cancel.is_cancelled() {
+            self.abort.store(ABORT_CANCELLED, Ordering::Release);
+            self.detector.notify_work();
+            true
+        } else {
+            false
+        }
     }
 
     /// Runs processor `rank`'s share of the current round. Returns the
@@ -342,6 +372,10 @@ impl<'a> Traversal<'a> {
             self.cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let mut processed = 0usize;
+        // Hoisted: an inert token (the default) can never fire, so the
+        // hot loop skips the poll cadence entirely and cancellation
+        // costs nothing unless a caller actually armed a token.
+        let cancellable = self.cfg.cancel.is_live();
         let batch_size = self.cfg.local_batch.max(1);
         let publish_threshold = self.cfg.publish_threshold.max(1);
         // On a threshold publication, keep the newest half of the buffer
@@ -446,14 +480,31 @@ impl<'a> Traversal<'a> {
                 if sleepers && my_q.approx_len() > 1 {
                     self.detector.notify_work();
                 }
-                if self.starved.load(Ordering::Acquire) {
-                    return (processed, TraversalOutcome::Starved);
+                if let Some(outcome) = self.abort_outcome() {
+                    return (processed, outcome);
+                }
+                // Amortized cancellation poll: the flag check above is
+                // the per-vertex cost; the token itself is consulted
+                // every CANCEL_POLL_MASK+1 vertices.
+                if cancellable && processed & CANCEL_POLL_MASK == 0 && self.poll_cancel() {
+                    return (processed, TraversalOutcome::Cancelled);
                 }
             }
             debug_assert!(
                 private.is_empty(),
                 "private frontier must be drained before idling"
             );
+
+            // Cold path: out of local work. Check aborts here too so a
+            // rank cycling steal-idle-retry (which never touches the
+            // per-vertex check) still observes a cancellation raised by
+            // another rank within one idle timeout.
+            if let Some(outcome) = self.abort_outcome() {
+                return (processed, outcome);
+            }
+            if cancellable && self.poll_cancel() {
+                return (processed, TraversalOutcome::Cancelled);
+            }
 
             // Local queues empty: try to steal.
             if self.try_steal(rank, &mut rng, &mut steal_buf) {
@@ -466,7 +517,14 @@ impl<'a> Traversal<'a> {
             match outcome {
                 IdleOutcome::AllDone => return (processed, TraversalOutcome::Completed),
                 IdleOutcome::Starved => {
-                    self.starved.store(true, Ordering::Release);
+                    // Keep a cancellation that raced in; starvation only
+                    // claims a clean flag.
+                    let _ = self.abort.compare_exchange(
+                        ABORT_NONE,
+                        ABORT_STARVED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
                     return (processed, TraversalOutcome::Starved);
                 }
                 IdleOutcome::Retry => continue,
@@ -526,6 +584,7 @@ impl<'a> Traversal<'a> {
         let prepare = SpinLock::new(prepare);
         let finished = AtomicBool::new(false);
         let any_starved = AtomicBool::new(false);
+        let any_cancelled = AtomicBool::new(false);
         let barriers = AtomicUsize::new(0);
         let processed = exec.run(|ctx| {
             let mut total = 0usize;
@@ -549,10 +608,18 @@ impl<'a> Traversal<'a> {
             };
             loop {
                 if ctx.rank() == 0 {
-                    self.begin_round();
-                    let more = (prepare.lock())(self, round);
-                    if !more {
+                    // Round boundary cancellation checkpoint: a job
+                    // cancelled between components never seeds the next
+                    // round.
+                    if self.cfg.cancel.is_cancelled() {
+                        any_cancelled.store(true, Ordering::Release);
                         finished.store(true, Ordering::Release);
+                    } else {
+                        self.begin_round();
+                        let more = (prepare.lock())(self, round);
+                        if !more {
+                            finished.store(true, Ordering::Release);
+                        }
                     }
                 }
                 timed_barrier(&barriers);
@@ -561,16 +628,28 @@ impl<'a> Traversal<'a> {
                 }
                 let (count, outcome) = self.run_worker(ctx.rank());
                 total += count;
+                match outcome {
+                    TraversalOutcome::Completed => {}
+                    TraversalOutcome::Starved => any_starved.store(true, Ordering::Release),
+                    TraversalOutcome::Cancelled => any_cancelled.store(true, Ordering::Release),
+                }
+                // The abort flags are published before this barrier and
+                // read after it, so every rank takes the same branch —
+                // even when outcomes diverged (e.g. one rank saw
+                // AllDone while another observed the cancel token).
                 timed_barrier(&barriers);
-                if outcome == TraversalOutcome::Starved {
-                    any_starved.store(true, Ordering::Release);
+                if any_starved.load(Ordering::Acquire) || any_cancelled.load(Ordering::Acquire) {
                     break;
                 }
                 round += 1;
             }
             total
         });
-        let outcome = if any_starved.load(Ordering::Acquire) {
+        // Cancellation outranks starvation: a cancelled job is being
+        // torn down, not asking for the SV fallback.
+        let outcome = if any_cancelled.load(Ordering::Acquire) {
+            TraversalOutcome::Cancelled
+        } else if any_starved.load(Ordering::Acquire) {
             TraversalOutcome::Starved
         } else {
             TraversalOutcome::Completed

@@ -210,7 +210,6 @@ impl Lca {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bader_cong::BaderCong;
     use st_graph::gen::{binary_tree, chain, random_connected};
     use st_graph::validate::forest_depths;
 
@@ -288,7 +287,7 @@ mod tests {
     #[test]
     fn lca_matches_naive_walk_on_random_trees() {
         let g = random_connected(300, 0, 9); // a random tree
-        let f = BaderCong::with_defaults().spanning_forest(&g, 2);
+        let f = crate::engine::Engine::new(2).job(&g).run().unwrap();
         let parents = f.parents;
         let l = Lca::new(&parents);
         let depths = forest_depths(&parents);

@@ -94,6 +94,8 @@ mod tests {
         JobMetrics {
             p: 2,
             wall_ns: 500,
+            queue_ns: 0,
+            exec_ns: 500,
             totals: set.merged(),
             per_rank: set.snapshots(2),
             spans: vec![SpanEvent {

@@ -18,6 +18,8 @@
 //!   counters, and recorded spans.
 //! * [`chrome`] — a Chrome trace-event (Perfetto-loadable) JSON writer
 //!   for those spans.
+//! * [`pool`] — aggregate gauges for the multi-tenant job service
+//!   (admission/outcome counters, queue depth, team busyness).
 //!
 //! The layer is algorithm-agnostic: `st-core` owns *when* to count
 //! (claim races, publications, grafts); this crate owns the storage,
@@ -26,9 +28,11 @@
 pub mod chrome;
 pub mod counters;
 pub mod metrics;
+pub mod pool;
 pub mod trace;
 
 pub use chrome::write_chrome_trace;
 pub use counters::{Counter, CounterSet, CounterSlot, CounterSnapshot, NUM_COUNTERS};
 pub use metrics::{JobMetrics, PhaseTotal};
+pub use pool::{JobOutcomeKind, PoolGauges, PoolSnapshot};
 pub use trace::{now_ns, Phase, SpanEvent, SpanRing, TraceSet, DEFAULT_SPAN_CAPACITY};

@@ -15,8 +15,17 @@ use crate::trace::{Phase, SpanEvent};
 pub struct JobMetrics {
     /// Team size the job ran with.
     pub p: usize,
-    /// Wall-clock nanoseconds from `begin_job` to `finish_job`.
+    /// Total wall-clock nanoseconds attributed to the job: always
+    /// `queue_ns + exec_ns` (kept for compatibility with consumers that
+    /// predate the split).
     pub wall_ns: u64,
+    /// Nanoseconds the job spent waiting before execution began (zero
+    /// outside a shared pool; the job service records its admission
+    /// queue wait here).
+    pub queue_ns: u64,
+    /// Nanoseconds from `begin_job` to `finish_job` — the execution
+    /// time proper, excluding any queue wait.
+    pub exec_ns: u64,
     /// Counters summed across ranks.
     pub totals: CounterSnapshot,
     /// Per-rank counter snapshots, `per_rank.len() == p`.
@@ -97,6 +106,8 @@ mod tests {
         JobMetrics {
             p: 2,
             wall_ns: 1_000,
+            queue_ns: 300,
+            exec_ns: 700,
             totals: set.merged(),
             per_rank: set.snapshots(2),
             spans: vec![

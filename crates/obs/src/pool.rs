@@ -1,0 +1,220 @@
+//! Pool-level gauges for the multi-tenant job service.
+//!
+//! [`JobMetrics`](crate::JobMetrics) describes one job; a shared
+//! service also needs the *population* view — how many jobs entered,
+//! how they left, how deep the admission queue runs, how busy the teams
+//! are. [`PoolGauges`] is that aggregate: a set of always-on atomic
+//! lanes the service bumps from its submitters and dispatchers, and a
+//! serializable [`PoolSnapshot`] read out for dashboards, logs, and the
+//! `service_throughput` benchmark report.
+//!
+//! Lanes are Relaxed: they are statistics, not synchronization. The
+//! snapshot is therefore approximate under concurrency — each value is
+//! individually correct, but the set is not an atomic cut.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use serde::Serialize;
+
+/// Aggregate counters and gauges for one service pool.
+#[derive(Debug, Default)]
+pub struct PoolGauges {
+    /// Jobs accepted into the admission queue.
+    submitted: AtomicU64,
+    /// Jobs rejected at admission (backpressure on a full queue).
+    rejected: AtomicU64,
+    /// Jobs that finished with a valid result.
+    completed: AtomicU64,
+    /// Jobs that ended via explicit cancellation.
+    cancelled: AtomicU64,
+    /// Jobs that ended because their deadline passed.
+    deadline_exceeded: AtomicU64,
+    /// Jobs whose algorithm panicked (isolated; the pool survived).
+    panicked: AtomicU64,
+    /// Jobs currently waiting in the admission queue.
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    max_queue_depth: AtomicU64,
+    /// Teams currently executing a job.
+    busy_teams: AtomicU64,
+    /// Summed queue-wait nanoseconds over all finished jobs.
+    queue_ns_total: AtomicU64,
+    /// Summed execution nanoseconds over all finished jobs.
+    exec_ns_total: AtomicU64,
+}
+
+impl PoolGauges {
+    /// Fresh, all-zero gauges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted submission (queue depth rises).
+    pub fn on_submit(&self) {
+        self.submitted.fetch_add(1, Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Relaxed);
+    }
+
+    /// Records a rejected submission (backpressure).
+    pub fn on_reject(&self) {
+        self.rejected.fetch_add(1, Relaxed);
+    }
+
+    /// Records a job leaving the queue for a dispatcher.
+    pub fn on_dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Relaxed);
+    }
+
+    /// Records a team starting a job.
+    pub fn on_team_busy(&self) {
+        self.busy_teams.fetch_add(1, Relaxed);
+    }
+
+    /// Records a team returning to the pool.
+    pub fn on_team_idle(&self) {
+        self.busy_teams.fetch_sub(1, Relaxed);
+    }
+
+    /// Records a finished job: its outcome lane plus the queue/exec
+    /// time totals.
+    pub fn on_finish(&self, outcome: JobOutcomeKind, queue_ns: u64, exec_ns: u64) {
+        let lane = match outcome {
+            JobOutcomeKind::Completed => &self.completed,
+            JobOutcomeKind::Cancelled => &self.cancelled,
+            JobOutcomeKind::DeadlineExceeded => &self.deadline_exceeded,
+            JobOutcomeKind::Panicked => &self.panicked,
+        };
+        lane.fetch_add(1, Relaxed);
+        self.queue_ns_total.fetch_add(queue_ns, Relaxed);
+        self.exec_ns_total.fetch_add(exec_ns, Relaxed);
+    }
+
+    /// A point-in-time copy of every lane.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            submitted: self.submitted.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            completed: self.completed.load(Relaxed),
+            cancelled: self.cancelled.load(Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Relaxed),
+            panicked: self.panicked.load(Relaxed),
+            queue_depth: self.queue_depth.load(Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Relaxed),
+            busy_teams: self.busy_teams.load(Relaxed),
+            queue_ns_total: self.queue_ns_total.load(Relaxed),
+            exec_ns_total: self.exec_ns_total.load(Relaxed),
+        }
+    }
+}
+
+/// How a job left the service, for [`PoolGauges::on_finish`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcomeKind {
+    /// Finished with a result.
+    Completed,
+    /// Explicitly cancelled (before or during execution).
+    Cancelled,
+    /// Deadline passed (before or during execution).
+    DeadlineExceeded,
+    /// The algorithm panicked; the pool isolated it.
+    Panicked,
+}
+
+/// A point-in-time copy of a [`PoolGauges`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct PoolSnapshot {
+    /// Jobs accepted into the admission queue.
+    pub submitted: u64,
+    /// Jobs rejected at admission (backpressure).
+    pub rejected: u64,
+    /// Jobs finished with a result.
+    pub completed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs past their deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs whose algorithm panicked.
+    pub panicked: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: u64,
+    /// Teams currently executing.
+    pub busy_teams: u64,
+    /// Summed queue-wait nanoseconds of finished jobs.
+    pub queue_ns_total: u64,
+    /// Summed execution nanoseconds of finished jobs.
+    pub exec_ns_total: u64,
+}
+
+impl PoolSnapshot {
+    /// Jobs that left the service, by any road.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.cancelled + self.deadline_exceeded + self.panicked
+    }
+
+    /// Mean queue wait over finished jobs, nanoseconds (0 when none).
+    pub fn mean_queue_ns(&self) -> u64 {
+        self.queue_ns_total
+            .checked_div(self.finished())
+            .unwrap_or(0)
+    }
+
+    /// Compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("value-tree serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_accounting() {
+        let g = PoolGauges::new();
+        g.on_submit();
+        g.on_submit();
+        g.on_reject();
+        let s = g.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.max_queue_depth, 2);
+
+        g.on_dequeue();
+        g.on_team_busy();
+        g.on_finish(JobOutcomeKind::Completed, 100, 900);
+        g.on_team_idle();
+        g.on_dequeue();
+        g.on_finish(JobOutcomeKind::Cancelled, 50, 0);
+
+        let s = g.snapshot();
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.max_queue_depth, 2, "high-water mark must persist");
+        assert_eq!(s.busy_teams, 0);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.finished(), 2);
+        assert_eq!(s.queue_ns_total, 150);
+        assert_eq!(s.exec_ns_total, 900);
+        assert_eq!(s.mean_queue_ns(), 75);
+    }
+
+    #[test]
+    fn empty_snapshot_means() {
+        let s = PoolSnapshot::default();
+        assert_eq!(s.finished(), 0);
+        assert_eq!(s.mean_queue_ns(), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let g = PoolGauges::new();
+        g.on_submit();
+        let json = g.snapshot().to_json();
+        assert!(json.contains("\"submitted\""));
+        assert!(json.contains("\"queue_depth\""));
+    }
+}

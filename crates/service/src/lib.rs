@@ -1,0 +1,58 @@
+//! Multi-tenant spanning-forest job service.
+//!
+//! [`st_core::Engine`] gives one caller a persistent team; this crate
+//! gives *many* callers a shared machine. A [`Service`] owns a sharded
+//! pool of persistent [`Executor`](st_smp::Executor) teams (e.g.
+//! `[4, 2, 2]` on an 8-core box) behind a bounded, priority-laned
+//! admission queue:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use st_graph::gen;
+//! use st_service::{Priority, Service};
+//!
+//! let svc = Service::builder().teams([2, 1, 1]).queue_capacity(32).build();
+//! let g = Arc::new(gen::torus2d(32, 32));
+//!
+//! let handle = svc
+//!     .job(&g)
+//!     .deadline(Duration::from_secs(5))
+//!     .priority(Priority::High)
+//!     .submit()
+//!     .expect("service is open");
+//!
+//! let forest = handle.wait().expect("well within the deadline");
+//! assert_eq!(forest.num_trees(), 1);
+//! ```
+//!
+//! What the service adds over calling an engine directly:
+//!
+//! - **Admission control.** The queue is bounded: [`JobBuilder::submit`]
+//!   blocks when it is full, [`JobBuilder::try_submit`] returns
+//!   [`JobError::Backpressure`] so the caller can shed load instead of
+//!   piling it up.
+//! - **Adaptive sizing.** Each job is routed to the team width the §3
+//!   analytic cost model predicts will finish it soonest
+//!   ([`sizing::preferred_width`]) — small graphs take a narrow team and
+//!   leave the wide one free, large graphs take the wide one.
+//! - **Deadlines and cancellation.** [`JobBuilder::deadline`] arms a
+//!   [`CancelToken`](st_smp::CancelToken) the traversal and
+//!   graft-and-shortcut kernels poll at their barrier and publication
+//!   boundaries; [`JobHandle::cancel`] fires the same token. Either way
+//!   the team survives and goes back in the pool.
+//! - **Panic isolation.** A job that panics resolves its own handle to
+//!   [`JobError::Panicked`] and never takes a team — or another
+//!   tenant's job — down with it.
+//! - **Observability.** [`Service::snapshot`] exposes the
+//!   [`PoolSnapshot`](st_obs::PoolSnapshot) gauges: submissions,
+//!   rejections, per-outcome counts, and queue/execution time totals.
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod service;
+pub mod sizing;
+
+pub use job::{JobError, JobHandle, Priority};
+pub use service::{JobBuilder, Service, ServiceBuilder};

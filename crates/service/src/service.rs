@@ -1,0 +1,475 @@
+//! The service: builder, admission queue, and dispatcher threads.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use st_core::engine::{SpanningAlgorithm, Workspace};
+use st_core::{BaderCong, RuntimeConfig};
+use st_graph::CsrGraph;
+use st_obs::{JobOutcomeKind, PoolGauges, PoolSnapshot};
+use st_smp::{CancelToken, ExecutorPool};
+
+use crate::job::{JobError, JobHandle, JobState, Priority};
+use crate::sizing::preferred_width;
+
+/// An algorithm a tenant can submit: the engine trait plus the thread
+/// bounds the dispatcher needs to carry it across the queue.
+type BoxedAlgorithm = Box<dyn SpanningAlgorithm + Send + Sync>;
+
+/// One admitted job, queued until a dispatcher picks it up.
+struct QueuedJob {
+    graph: Arc<CsrGraph>,
+    algo: BoxedAlgorithm,
+    state: Arc<JobState>,
+    submitted_at: Instant,
+    /// Explicit width request; `None` = let the sizing oracle decide.
+    preferred_p: Option<usize>,
+}
+
+/// The bounded, priority-laned admission queue.
+struct Admission {
+    lanes: [VecDeque<QueuedJob>; Priority::LANES],
+    len: usize,
+    shutdown: bool,
+}
+
+impl Admission {
+    fn pop(&mut self) -> Option<QueuedJob> {
+        for lane in &mut self.lanes {
+            if let Some(job) = lane.pop_front() {
+                self.len -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// State shared by submitters and dispatchers.
+struct Shared {
+    queue: Mutex<Admission>,
+    /// Signals submitters blocked on a full queue.
+    space: Condvar,
+    /// Signals dispatchers waiting for work.
+    work: Condvar,
+    capacity: usize,
+    gauges: PoolGauges,
+    pool: ExecutorPool,
+}
+
+/// Builds a [`Service`]; obtained from [`Service::builder`].
+///
+/// Unset knobs fall back to the `ST_SERVICE_TEAMS` /
+/// `ST_SERVICE_QUEUE_CAP` environment variables (via
+/// [`RuntimeConfig::from_env`], so malformed values abort loudly), then
+/// to a machine-derived default layout.
+#[derive(Debug, Default)]
+pub struct ServiceBuilder {
+    teams: Option<Vec<usize>>,
+    queue_capacity: Option<usize>,
+}
+
+impl ServiceBuilder {
+    /// Sets the pool's team widths, e.g. `[4, 2, 2]` for one 4-wide and
+    /// two 2-wide persistent teams.
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics if the list is empty or contains a
+    /// zero.
+    pub fn teams(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.teams = Some(sizes.into_iter().collect());
+        self
+    }
+
+    /// Sets the admission-queue capacity: how many jobs may wait before
+    /// `submit` blocks and `try_submit` reports
+    /// [`JobError::Backpressure`].
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics on zero.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = Some(cap);
+        self
+    }
+
+    /// Spawns the teams and dispatcher threads and opens the service.
+    pub fn build(self) -> Service {
+        let env = RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
+        let teams = self
+            .teams
+            .or(env.service_teams)
+            .unwrap_or_else(default_teams);
+        assert!(
+            !teams.is_empty() && teams.iter().all(|&p| p > 0),
+            "team widths must be a non-empty list of sizes >= 1, got {teams:?}"
+        );
+        let capacity = self
+            .queue_capacity
+            .or(env.service_queue_capacity)
+            .unwrap_or(DEFAULT_QUEUE_CAPACITY);
+        assert!(capacity > 0, "queue capacity must be >= 1");
+
+        let num_teams = teams.len();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Admission {
+                lanes: Default::default(),
+                len: 0,
+                shutdown: false,
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            capacity,
+            gauges: PoolGauges::new(),
+            pool: ExecutorPool::new(teams),
+        });
+        // One dispatcher per team: enough to keep every team busy, and a
+        // dispatcher's leased width still adapts per job via best-fit.
+        let dispatchers = (0..num_teams)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("st-service-dispatch-{i}"))
+                    .spawn(move || dispatcher(&shared))
+                    .expect("spawning a dispatcher thread")
+            })
+            .collect();
+        Service {
+            shared,
+            dispatchers,
+        }
+    }
+}
+
+/// Default admission-queue capacity when neither the builder nor the
+/// environment sets one.
+const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Default pool layout: half the cores in one wide team for big jobs,
+/// a quarter in each of two narrower teams for small ones (e.g. 8 cores
+/// → `[4, 2, 2]`).
+fn default_teams() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let half = (cores / 2).max(1);
+    let quarter = (cores / 4).max(1);
+    vec![half, quarter, quarter]
+}
+
+/// A multi-tenant spanning-forest job service.
+///
+/// Owns a sharded pool of persistent [`Executor`](st_smp::Executor)
+/// teams and a bounded, priority-laned admission queue. Tenants submit
+/// jobs through the [`job`](Self::job) builder and observe them through
+/// [`JobHandle`]s; dispatcher threads lease the best-fitting team per
+/// job (adaptively sized by the §3 cost model), enforce deadlines and
+/// cooperative cancellation, and isolate panics so one tenant can never
+/// take the pool down.
+///
+/// ```
+/// use std::sync::Arc;
+/// use st_graph::gen;
+/// use st_service::Service;
+///
+/// let svc = Service::builder().teams([2, 1]).queue_capacity(8).build();
+/// let g = Arc::new(gen::torus2d(16, 16));
+/// let handle = svc.job(&g).submit().expect("service is open");
+/// let forest = handle.wait().expect("no deadline, no cancel");
+/// assert_eq!(forest.num_trees(), 1);
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("teams", &self.shared.pool.team_sizes())
+            .field("queue_capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// The pool's team widths, widest first.
+    pub fn team_sizes(&self) -> &[usize] {
+        self.shared.pool.team_sizes()
+    }
+
+    /// The admission queue's capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// A point-in-time copy of the pool gauges (submissions, outcomes,
+    /// queue depth, busy teams, queue/exec time totals).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        self.shared.gauges.snapshot()
+    }
+
+    /// Starts a job submission for `g`. The graph is shared by `Arc` so
+    /// many tenants can submit the same graph without copying it.
+    pub fn job<'s>(&'s self, g: &Arc<CsrGraph>) -> JobBuilder<'s> {
+        JobBuilder {
+            service: self,
+            graph: Arc::clone(g),
+            algo: None,
+            deadline: None,
+            priority: Priority::Normal,
+            preferred_p: None,
+        }
+    }
+
+    /// Closes the queue and joins the dispatchers. Queued jobs that
+    /// never ran resolve to [`JobError::ShuttingDown`]; the running job
+    /// on each team completes first. Dropping the service does the same.
+    pub fn shutdown(mut self) -> PoolSnapshot {
+        self.shutdown_inner();
+        self.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for d in self.dispatchers.drain(..) {
+            let _ = d.join();
+        }
+    }
+
+    fn enqueue(&self, job: QueuedJob, priority: Priority, block: bool) -> Result<(), JobError> {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if q.shutdown {
+                return Err(JobError::ShuttingDown);
+            }
+            if q.len < self.shared.capacity {
+                break;
+            }
+            if !block {
+                self.shared.gauges.on_reject();
+                return Err(JobError::Backpressure);
+            }
+            q = self.shared.space.wait(q).unwrap();
+        }
+        q.lanes[priority.lane()].push_back(job);
+        q.len += 1;
+        self.shared.gauges.on_submit();
+        drop(q);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A pending submission, built by [`Service::job`].
+pub struct JobBuilder<'s> {
+    service: &'s Service,
+    graph: Arc<CsrGraph>,
+    algo: Option<BoxedAlgorithm>,
+    deadline: Option<Duration>,
+    priority: Priority,
+    preferred_p: Option<usize>,
+}
+
+impl std::fmt::Debug for JobBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobBuilder")
+            .field("n", &self.graph.num_vertices())
+            .field("priority", &self.priority)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl JobBuilder<'_> {
+    /// Selects the algorithm (default:
+    /// [`BaderCong::with_defaults`](st_core::BaderCong::with_defaults)).
+    pub fn algorithm<A: SpanningAlgorithm + Send + Sync + 'static>(mut self, algo: A) -> Self {
+        self.algo = Some(Box::new(algo));
+        self
+    }
+
+    /// Attaches a deadline, measured from submission and covering queue
+    /// wait plus execution. A job past its deadline resolves to
+    /// [`JobError::DeadlineExceeded`]; a running job stops at its next
+    /// cancellation boundary.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the admission priority class (default
+    /// [`Priority::Normal`]).
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Requests a specific team width, bypassing the sizing oracle. The
+    /// pool still best-fits: a busy exact-width team means the closest
+    /// idle width serves the job.
+    pub fn processors(mut self, p: usize) -> Self {
+        self.preferred_p = Some(p);
+        self
+    }
+
+    /// Submits, blocking while the admission queue is full. Fails only
+    /// when the service is shutting down.
+    pub fn submit(self) -> Result<JobHandle, JobError> {
+        self.enqueue(true)
+    }
+
+    /// Submits without blocking: a full queue is
+    /// [`JobError::Backpressure`], leaving the caller to shed load or
+    /// retry.
+    pub fn try_submit(self) -> Result<JobHandle, JobError> {
+        self.enqueue(false)
+    }
+
+    fn enqueue(self, block: bool) -> Result<JobHandle, JobError> {
+        let token = match self.deadline {
+            Some(d) => CancelToken::with_deadline(Instant::now() + d),
+            None => CancelToken::new(),
+        };
+        let state = JobState::new(token);
+        let job = QueuedJob {
+            graph: self.graph,
+            algo: self
+                .algo
+                .unwrap_or_else(|| Box::new(BaderCong::with_defaults())),
+            state: Arc::clone(&state),
+            submitted_at: Instant::now(),
+            preferred_p: self.preferred_p,
+        };
+        self.service.enqueue(job, self.priority, block)?;
+        Ok(JobHandle::new(state))
+    }
+}
+
+/// One dispatcher thread: pops admitted jobs, leases the best-fitting
+/// team, runs the job with cancellation support, and resolves its
+/// handle. Each dispatcher keeps a private [`Workspace`] so scratch
+/// allocations amortize across the jobs it runs.
+fn dispatcher(shared: &Shared) {
+    let mut ws = Workspace::new();
+    loop {
+        let (job, draining) = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop() {
+                    break (job, q.shutdown);
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+        };
+        shared.gauges.on_dequeue();
+        shared.space.notify_one();
+        if draining {
+            shared
+                .gauges
+                .on_finish(JobOutcomeKind::Cancelled, elapsed_ns(job.submitted_at), 0);
+            job.state.finish(Err(JobError::ShuttingDown));
+            continue;
+        }
+        run_job(shared, job, &mut ws);
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+
+/// Runs one job start to finish: deadline/cancel pre-check, team lease,
+/// guarded execution, outcome accounting.
+fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
+    let queue_ns = elapsed_ns(job.submitted_at);
+    // A token that fired while the job sat in the queue: resolve without
+    // paying for a lease.
+    if job.state.token.is_cancelled() {
+        let err = JobError::from_token(&job.state.token);
+        shared.gauges.on_finish(err.outcome_kind(), queue_ns, 0);
+        job.state.finish(Err(err));
+        return;
+    }
+
+    let preferred = job.preferred_p.unwrap_or_else(|| {
+        preferred_width(
+            job.graph.num_vertices(),
+            job.graph.num_edges(),
+            shared.pool.team_sizes(),
+        )
+    });
+    let lease = shared.pool.lease(preferred);
+    shared.gauges.on_team_busy();
+    ws.note_queue_wait(queue_ns);
+    let started = Instant::now();
+    // The guard isolates tenant panics: the lease returns the team on
+    // unwind (Executor survives panicked jobs) and the dispatcher
+    // replaces its workspace, so the pool keeps serving other tenants.
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        job.algo.prepare(ws, &job.graph);
+        job.algo
+            .run_with_cancel(&job.graph, &lease, ws, &job.state.token)
+    }));
+    drop(lease);
+    shared.gauges.on_team_idle();
+    let exec_ns = elapsed_ns(started);
+
+    match run {
+        Ok(Ok(forest)) => {
+            shared
+                .gauges
+                .on_finish(JobOutcomeKind::Completed, queue_ns, exec_ns);
+            job.state.finish(Ok(forest));
+        }
+        Ok(Err(st_core::Cancelled)) => {
+            let err = JobError::from_token(&job.state.token);
+            shared
+                .gauges
+                .on_finish(err.outcome_kind(), queue_ns, exec_ns);
+            job.state.finish(Err(err));
+        }
+        Err(payload) => {
+            // Mid-run unwind can leave the workspace's scratch in an
+            // arbitrary state; a fresh arena is the safe restart.
+            *ws = Workspace::new();
+            shared
+                .gauges
+                .on_finish(JobOutcomeKind::Panicked, queue_ns, exec_ns);
+            job.state
+                .finish(Err(JobError::Panicked(panic_message(&*payload))));
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,91 @@
+//! Adaptive team sizing from the §3 analytic cost model.
+//!
+//! The service's pool shards the machine into teams of different widths.
+//! For each job, the dispatcher asks: *which width should this graph
+//! get?* Pure argmin over the Helman–JáJá prediction for the new
+//! algorithm ([`st_model::analytic::new_algorithm`]) is the wrong
+//! objective in a multi-tenant pool: predicted time keeps improving
+//! (slightly) with width for all but the tiniest graphs, so argmin
+//! would route nearly everything to the widest team and starve it.
+//! Wide teams have opportunity cost — the processors a small job
+//! occupies are processors another tenant's large job can't use.
+//!
+//! Instead we walk the available widths narrow → wide and accept each
+//! step only while the added processors pay at least half of linear
+//! speedup (stepping `a → b` requires predicted speedup
+//! `≥ 1 + (b - a) / 2a`, i.e. ≥ 1.5× for a doubling). The absolute
+//! seconds are calibrated for the paper's E4500, but the *ratios*
+//! across widths — all evaluated on the same profile — are what the
+//! knee rule needs. Small graphs stop at a narrow team because their
+//! O(p) stub and barrier terms swamp the per-processor win; large
+//! graphs amortize them and climb to the widest.
+
+use st_model::analytic::new_algorithm;
+use st_model::machine::MachineProfile;
+
+/// Minimum fraction of linear speedup the added processors of a wider
+/// team must deliver (per the cost model) before a job is routed to it.
+const MIN_MARGINAL_EFFICIENCY: f64 = 0.5;
+
+/// Picks the pool team width an (n, m) job should prefer.
+///
+/// `widths` are the pool's team sizes (duplicates fine, any order).
+/// The walk is greedy over adjacent distinct widths, so a job stops at
+/// the first knee even if a much wider team would clear the bar again.
+pub fn preferred_width(n: usize, m: usize, widths: &[usize]) -> usize {
+    let machine = MachineProfile::default();
+    let mut candidates: Vec<usize> = widths.to_vec();
+    candidates.sort_unstable();
+    candidates.dedup();
+    let predict = |w: usize| new_algorithm(n, m, w).predicted_seconds(&machine, w);
+    let mut best = candidates.first().copied().unwrap_or(1);
+    let mut best_s = predict(best);
+    for &w in candidates.iter().skip(1) {
+        let s = predict(w);
+        let required = 1.0 + MIN_MARGINAL_EFFICIENCY * (w - best) as f64 / best as f64;
+        if best_s / s < required {
+            break;
+        }
+        best = w;
+        best_s = s;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_graphs_prefer_narrow_teams() {
+        // At n = 32 the stub and barrier terms dominate: no doubling
+        // pays 50% marginal efficiency. At n = 64 the first one does.
+        assert_eq!(preferred_width(32, 48, &[4, 2, 1]), 1);
+        assert_eq!(preferred_width(64, 96, &[4, 2, 1]), 2);
+    }
+
+    #[test]
+    fn large_graphs_prefer_wide_teams() {
+        assert_eq!(preferred_width(1 << 22, 3 << 21, &[4, 2, 1]), 4);
+    }
+
+    #[test]
+    fn degenerate_width_lists() {
+        assert_eq!(preferred_width(1 << 22, 1 << 22, &[2, 2, 2]), 2);
+        assert_eq!(preferred_width(0, 0, &[3]), 3);
+    }
+
+    #[test]
+    fn monotone_in_problem_size() {
+        // The preferred width never shrinks as the graph grows.
+        let widths = [8, 4, 2, 1];
+        let mut last = 1;
+        for scale in 6..24 {
+            let n = 1usize << scale;
+            let w = preferred_width(n, 3 * n / 2, &widths);
+            assert!(w >= last, "width shrank at scale {scale}: {w} < {last}");
+            last = w;
+        }
+        assert_eq!(last, 8, "largest problem should want the widest team");
+    }
+}

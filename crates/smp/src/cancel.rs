@@ -1,0 +1,182 @@
+//! Cooperative cancellation tokens.
+//!
+//! A [`CancelToken`] is the control-plane handle a job owner uses to ask
+//! a running team to stop: the owner calls [`cancel`](CancelToken::cancel)
+//! (or attaches a deadline at construction), and the algorithm checks
+//! [`is_cancelled`](CancelToken::is_cancelled) at its natural
+//! synchronization boundaries — barrier entries, frontier publications,
+//! idle transitions — never in the per-vertex hot path.
+//!
+//! The default token is **inert**: it carries no allocation, can never
+//! fire, and every check is a branch on a `None`. Algorithms therefore
+//! take a token unconditionally and pay nothing when cancellation is not
+//! in play.
+//!
+//! Tokens deliberately use `std::sync` directly rather than
+//! [`crate::sync`]: they are cross-job control-plane state observed with
+//! single relaxed-ish loads, not a lock/barrier protocol the loom models
+//! explore, and they must stay constructible outside a loom model (the
+//! service hands them across threads that are not part of any team).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Absolute deadline; the token reports cancelled once it passes.
+    deadline: Option<Instant>,
+}
+
+/// A cheap, cloneable cancellation handle shared between a job's owner
+/// and the team running it.
+///
+/// ```
+/// use st_smp::CancelToken;
+///
+/// let inert = CancelToken::none();
+/// assert!(!inert.is_cancelled());      // can never fire
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();        // same underlying flag
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// The inert token: never fires, costs nothing. This is the default.
+    pub const fn none() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live token with no deadline; fires only on explicit
+    /// [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        Self::with_opt_deadline(None)
+    }
+
+    /// A live token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::with_opt_deadline(Some(deadline))
+    }
+
+    fn with_opt_deadline(deadline: Option<Instant>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+            })),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; a no-op on the inert token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// True once [`cancel`](Self::cancel) was called or the deadline
+    /// passed. Checked by algorithms at synchronization boundaries.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// True when [`is_cancelled`](Self::is_cancelled) fired because the
+    /// deadline passed (regardless of whether `cancel` was also called).
+    /// Lets callers distinguish "deadline exceeded" from "cancelled".
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline().is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The absolute deadline, when one was attached.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// True for tokens that can actually fire (i.e. not
+    /// [`none`](Self::none)).
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+/// Tokens compare by identity: two handles are equal when they observe
+/// the same underlying flag (or are both inert). This is what lets
+/// configuration structs that carry a token stay `PartialEq`.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn inert_token_never_fires() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!t.is_live());
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn default_is_inert() {
+        assert_eq!(CancelToken::default(), CancelToken::none());
+    }
+
+    #[test]
+    fn explicit_cancel_is_seen_by_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(!c.deadline_expired(), "no deadline was attached");
+    }
+
+    #[test]
+    fn deadline_fires_without_explicit_cancel() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.deadline_expired());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        far.cancel();
+        assert!(far.is_cancelled());
+        assert!(!far.deadline_expired());
+    }
+
+    #[test]
+    fn identity_equality() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+        assert_ne!(a, CancelToken::none());
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`executor`] — the persistent version of a team: p workers spawned
 //!   once and parked between jobs, with the barrier and termination
 //!   detector owned by the team and reused across jobs.
+//! * [`pool`] — a fixed set of persistent teams with RAII lease/return,
+//!   the substrate the multi-tenant job service shards the machine over.
+//! * [`cancel`] — cooperative cancellation tokens (explicit cancel +
+//!   deadlines) that algorithms poll at synchronization boundaries.
 //! * [`barrier`] — a centralized sense-reversing software barrier.
 //! * [`lock`] — test-and-test-and-set spin lock (with a safe guard API)
 //!   and a FIFO ticket lock; used by the lock-based Shiloach–Vishkin
@@ -37,21 +41,25 @@
 
 pub mod atomics;
 pub mod barrier;
+pub mod cancel;
 pub mod detect;
 pub mod dissemination;
 pub mod executor;
 pub mod lock;
 pub mod pad;
+pub mod pool;
 pub mod steal;
 pub mod sync;
 pub mod team;
 
 pub use atomics::AtomicU32Array;
 pub use barrier::{BarrierToken, SenseBarrier};
+pub use cancel::CancelToken;
 pub use detect::{DetectorStats, IdleOutcome, TerminationDetector};
 pub use dissemination::{DisseminationBarrier, DisseminationToken};
 pub use executor::Executor;
 pub use lock::{SpinLock, TicketLock};
 pub use pad::{CacheAligned, CachePadded};
+pub use pool::{ExecutorLease, ExecutorPool};
 pub use steal::{StealPolicy, WorkQueue};
 pub use team::{run_team, TeamCtx};

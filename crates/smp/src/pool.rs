@@ -1,0 +1,271 @@
+//! A shared pool of persistent [`Executor`] teams with lease/return
+//! semantics.
+//!
+//! The multi-tenant job service shards the machine's cores into several
+//! long-lived teams (e.g. one 4-wide and two 2-wide) and hands them out
+//! to jobs one at a time. [`ExecutorPool`] owns those teams;
+//! [`ExecutorPool::lease`] blocks until a team is idle and checks one
+//! out as an RAII [`ExecutorLease`] that returns the team on drop —
+//! including when the leasing job panics, which is what keeps one
+//! poisoned job from shrinking the pool forever.
+//!
+//! Leasing prefers the idle team whose width is *closest to the
+//! requested size* (exact match first, then the smallest wider team,
+//! then the widest narrower one), so an adaptive sizing oracle can ask
+//! for "about p processors" and the pool does the best it currently
+//! can without holding the job hostage to a busy perfect-fit team.
+
+use std::ops::Deref;
+
+use crate::executor::Executor;
+use crate::sync::{Condvar, Mutex};
+
+struct PoolState {
+    /// Teams not currently leased.
+    idle: Vec<Executor>,
+}
+
+/// A fixed set of persistent teams, checked out one lease at a time.
+///
+/// ```
+/// use st_smp::ExecutorPool;
+///
+/// let pool = ExecutorPool::new([2, 1]);
+/// assert_eq!(pool.num_teams(), 2);
+/// let lease = pool.lease(2);            // exact fit
+/// assert_eq!(lease.size(), 2);
+/// let ranks = lease.run(|ctx| ctx.rank());
+/// assert_eq!(ranks, vec![0, 1]);
+/// drop(lease);                          // team returns to the pool
+/// assert_eq!(pool.idle_teams(), 2);
+/// ```
+pub struct ExecutorPool {
+    state: Mutex<PoolState>,
+    /// Signals lease waiters that a team was returned.
+    returned: Condvar,
+    /// Team widths at construction, sorted descending (stable metadata;
+    /// the live teams move between `idle` and leases).
+    sizes: Vec<usize>,
+}
+
+impl std::fmt::Debug for ExecutorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorPool")
+            .field("sizes", &self.sizes)
+            .field("idle", &self.idle_teams())
+            .finish()
+    }
+}
+
+impl ExecutorPool {
+    /// Builds a pool with one persistent team per entry of
+    /// `team_sizes`, spawning all worker threads up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `team_sizes` is empty or contains a zero.
+    pub fn new(team_sizes: impl IntoIterator<Item = usize>) -> Self {
+        let mut sizes: Vec<usize> = team_sizes.into_iter().collect();
+        assert!(!sizes.is_empty(), "pool needs at least one team");
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let idle: Vec<Executor> = sizes.iter().map(|&p| Executor::new(p)).collect();
+        Self {
+            state: Mutex::new(PoolState { idle }),
+            returned: Condvar::new(),
+            sizes,
+        }
+    }
+
+    /// Number of teams owned by the pool (leased or idle).
+    pub fn num_teams(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The team widths the pool was built with, widest first.
+    pub fn team_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total processors across all teams.
+    pub fn total_processors(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Teams currently idle (snapshot; immediately stale under
+    /// concurrency — use for gauges, not decisions).
+    pub fn idle_teams(&self) -> usize {
+        self.state.lock().idle.len()
+    }
+
+    /// Checks out the idle team closest in width to `preferred_p`,
+    /// blocking until one is available.
+    pub fn lease(&self, preferred_p: usize) -> ExecutorLease<'_> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(i) = best_fit(&s.idle, preferred_p) {
+                let exec = s.idle.swap_remove(i);
+                return ExecutorLease {
+                    pool: self,
+                    exec: Some(exec),
+                };
+            }
+            self.returned.wait(&mut s);
+        }
+    }
+
+    /// Non-blocking [`lease`](Self::lease): `None` when every team is
+    /// out.
+    pub fn try_lease(&self, preferred_p: usize) -> Option<ExecutorLease<'_>> {
+        let mut s = self.state.lock();
+        let i = best_fit(&s.idle, preferred_p)?;
+        let exec = s.idle.swap_remove(i);
+        Some(ExecutorLease {
+            pool: self,
+            exec: Some(exec),
+        })
+    }
+
+    fn give_back(&self, exec: Executor) {
+        let mut s = self.state.lock();
+        s.idle.push(exec);
+        drop(s);
+        self.returned.notify_all();
+    }
+}
+
+/// Index of the best idle team for a `preferred_p` request: exact width,
+/// else the narrowest team at least as wide, else the widest one.
+fn best_fit(idle: &[Executor], preferred_p: usize) -> Option<usize> {
+    let mut wider: Option<(usize, usize)> = None; // (index, width)
+    let mut widest: Option<(usize, usize)> = None;
+    for (i, e) in idle.iter().enumerate() {
+        let w = e.size();
+        if w == preferred_p {
+            return Some(i);
+        }
+        if w > preferred_p && wider.is_none_or(|(_, bw)| w < bw) {
+            wider = Some((i, w));
+        }
+        if widest.is_none_or(|(_, bw)| w > bw) {
+            widest = Some((i, w));
+        }
+    }
+    wider.or(widest).map(|(i, _)| i)
+}
+
+/// A checked-out team; dereferences to the [`Executor`] and returns it
+/// to the pool on drop (panic-safe: an unwinding job still runs the
+/// drop, so the team is never lost).
+pub struct ExecutorLease<'a> {
+    pool: &'a ExecutorPool,
+    exec: Option<Executor>,
+}
+
+impl Deref for ExecutorLease<'_> {
+    type Target = Executor;
+
+    fn deref(&self) -> &Executor {
+        self.exec.as_ref().expect("lease holds a team until drop")
+    }
+}
+
+impl std::fmt::Debug for ExecutorLease<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorLease")
+            .field("p", &self.size())
+            .finish()
+    }
+}
+
+impl Drop for ExecutorLease<'_> {
+    fn drop(&mut self) {
+        if let Some(exec) = self.exec.take() {
+            self.pool.give_back(exec);
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn exact_fit_preferred() {
+        let pool = ExecutorPool::new([4, 2, 1]);
+        let l = pool.lease(2);
+        assert_eq!(l.size(), 2);
+        let l2 = pool.lease(2); // 2-wide team is out: narrowest wider team wins
+        assert_eq!(l2.size(), 4);
+        let l3 = pool.lease(2); // only the 1-wide team remains
+        assert_eq!(l3.size(), 1);
+    }
+
+    #[test]
+    fn lease_blocks_until_return() {
+        let pool = ExecutorPool::new([1]);
+        let lease = pool.lease(1);
+        assert!(pool.try_lease(1).is_none());
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let l = pool.lease(1); // blocks until the main thread drops
+                done.store(1, Ordering::Release);
+                drop(l);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(done.load(Ordering::Acquire), 0, "lease returned early");
+            drop(lease);
+        });
+        assert_eq!(done.load(Ordering::Acquire), 1);
+        assert_eq!(pool.idle_teams(), 1);
+    }
+
+    #[test]
+    fn panicking_job_returns_the_team() {
+        let pool = ExecutorPool::new([2]);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let lease = pool.lease(2);
+            lease.run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The lease's drop ran during unwinding; the team is back and
+        // still usable (Executor survives panicked jobs).
+        assert_eq!(pool.idle_teams(), 1);
+        let l = pool.lease(2);
+        assert_eq!(l.run(|ctx| ctx.rank()), vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_lessees_share_the_pool() {
+        let pool = ExecutorPool::new([2, 1, 1]);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        let lease = pool.lease(2);
+                        let p = lease.size();
+                        lease.run(|_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert!(p == 1 || p == 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.idle_teams(), 3);
+        assert!(total.load(Ordering::Relaxed) >= 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one team")]
+    fn empty_pool_rejected() {
+        ExecutorPool::new([]);
+    }
+}

@@ -11,7 +11,7 @@
 
 use bader_cong_spanning::prelude::*;
 use st_bench::workloads::Workload;
-use st_core::hcs;
+use st_core::hcs::Hcs;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,6 +24,16 @@ fn main() {
         "{:<15} {:>9} {:>10} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>6}",
         "workload", "n", "m", "bfs", "dfs", "bc", "sv", "sv-lock", "hcs", "comps"
     );
+
+    // One persistent team serves every parallel algorithm and workload:
+    // threads spawn once, scratch is recycled (the engine/job API).
+    let mut engine = Engine::new(p);
+    let bc = BaderCong::with_defaults();
+    let sv_election = sv::Sv::new(SvConfig::default());
+    let sv_lock = sv::Sv::new(SvConfig {
+        variant: GraftVariant::Lock,
+        ..SvConfig::default()
+    });
 
     for w in Workload::fig4_panels() {
         let g = w.build(n, 42);
@@ -38,22 +48,28 @@ fn main() {
             );
             (ms, forest.num_trees())
         };
+        let mut time_job = |algo: &dyn SpanningAlgorithm| {
+            let s = std::time::Instant::now();
+            let forest = engine
+                .job(&g)
+                .algorithm(algo)
+                .run()
+                .expect("no cancel token attached");
+            let ms = s.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                is_spanning_forest(&g, &forest.parents),
+                "{} produced an invalid forest",
+                w.id()
+            );
+            (ms, forest.num_trees())
+        };
 
         let (bfs_ms, comps) = time(&|| seq::bfs_forest(&g));
         let (dfs_ms, c2) = time(&|| seq::dfs_forest(&g));
-        let (bc_ms, c3) = time(&|| BaderCong::with_defaults().spanning_forest(&g, p));
-        let (sv_ms, c4) = time(&|| sv::spanning_forest(&g, p, SvConfig::default()));
-        let (svl_ms, c5) = time(&|| {
-            sv::spanning_forest(
-                &g,
-                p,
-                SvConfig {
-                    variant: GraftVariant::Lock,
-                    ..SvConfig::default()
-                },
-            )
-        });
-        let (hcs_ms, c6) = time(&|| hcs::spanning_forest(&g, p));
+        let (bc_ms, c3) = time_job(&bc);
+        let (sv_ms, c4) = time_job(&sv_election);
+        let (svl_ms, c5) = time_job(&sv_lock);
+        let (hcs_ms, c6) = time_job(&Hcs);
 
         // Every algorithm must agree on the number of components.
         for (name, c) in [

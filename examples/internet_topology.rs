@@ -14,7 +14,7 @@
 use bader_cong_spanning::prelude::*;
 use st_graph::validate::forest_depths;
 
-fn analyze(name: &str, g: &CsrGraph, p: usize) {
+fn analyze(name: &str, g: &CsrGraph, engine: &mut Engine) {
     println!(
         "\n== {name}: {} routers, {} links, {:.2} mean degree",
         g.num_vertices(),
@@ -24,13 +24,14 @@ fn analyze(name: &str, g: &CsrGraph, p: usize) {
 
     // The new algorithm.
     let started = std::time::Instant::now();
-    let forest = BaderCong::with_defaults().spanning_forest(g, p);
+    let forest = engine.job(g).run().expect("no cancel token attached");
     let bc_time = started.elapsed();
     assert!(is_spanning_forest(g, &forest.parents));
 
-    // SV for comparison.
+    // SV for comparison, on the same persistent team.
+    let sv_algo = sv::Sv::new(SvConfig::default());
     let started = std::time::Instant::now();
-    let sv_forest = sv::spanning_forest(g, p, SvConfig::default());
+    let sv_forest = engine.run(&sv_algo, g);
     let sv_time = started.elapsed();
     assert!(is_spanning_forest(g, &sv_forest.parents));
 
@@ -56,6 +57,8 @@ fn analyze(name: &str, g: &CsrGraph, p: usize) {
 
 fn main() {
     let p = 4;
+    // One persistent team for the whole scenario.
+    let mut engine = Engine::new(p);
 
     // Flat mode: one administrative level, distance-dependent links.
     let flat = gen::geographic_flat(
@@ -63,13 +66,13 @@ fn main() {
         gen::GeoFlatParams::with_target_degree(60_000, 4.0),
         7,
     );
-    analyze("geographic, flat mode", &flat, p);
+    analyze("geographic, flat mode", &flat, &mut engine);
 
     // Hierarchical mode: backbone -> domains -> subdomains, like
     // transit and stub ASes.
     let params = gen::GeoHierParams::with_approx_n(60_000);
     let hier = gen::geographic_hier(params, 7);
-    analyze("geographic, hierarchical mode", &hier, p);
+    analyze("geographic, hierarchical mode", &hier, &mut engine);
 
     // The labeling experiment on the hierarchical graph: random vertex
     // ids model routers numbered in arrival order rather than by
@@ -78,15 +81,17 @@ fn main() {
     let perm = random_permutation(hier.num_vertices(), 99);
     let shuffled = relabel(&hier, &perm);
     println!("\n== same hierarchical graph, randomly relabeled");
-    let sv_row = sv::spanning_forest(&shuffled, p, SvConfig::default());
+    let sv_algo = sv::Sv::new(SvConfig::default());
+    let sv_row = engine.run(&sv_algo, &shuffled);
     println!(
         "  sv iterations: {} (vs {} with construction order)",
         sv_row.stats.iterations,
-        sv::spanning_forest(&hier, p, SvConfig::default())
-            .stats
-            .iterations
+        engine.run(&sv_algo, &hier).stats.iterations
     );
-    let f = BaderCong::with_defaults().spanning_forest(&shuffled, p);
+    let f = engine
+        .job(&shuffled)
+        .run()
+        .expect("no cancel token attached");
     assert!(is_spanning_forest(&shuffled, &f.parents));
     println!("  bader-cong: unaffected by labeling (validated)");
 }

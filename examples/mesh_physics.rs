@@ -17,6 +17,8 @@ use st_graph::preprocess::eliminate_degree2;
 
 fn main() {
     let p = 4;
+    // One persistent team across both mesh families.
+    let mut engine = Engine::new(p);
 
     for (name, g) in [
         (
@@ -36,7 +38,7 @@ fn main() {
         );
 
         // How did the domain fragment?
-        let forest = BaderCong::with_defaults().spanning_forest(&g, p);
+        let forest = engine.job(&g).run().expect("no cancel token attached");
         assert!(is_spanning_forest(&g, &forest.parents));
         let cc = components_from_forest(&forest.parents);
         let mut sizes = cc.sizes();
@@ -72,7 +74,12 @@ fn main() {
             deg2_preprocess: true,
             ..Config::default()
         };
-        let f2 = BaderCong::new(cfg).spanning_forest(&g, p);
+        let pre = BaderCong::new(cfg);
+        let f2 = engine
+            .job(&g)
+            .algorithm(&pre)
+            .run()
+            .expect("no cancel token attached");
         assert!(is_spanning_forest(&g, &f2.parents));
         assert_eq!(f2.num_trees(), forest.num_trees());
         println!("   preprocessed run agrees on the fragment structure ✓");

@@ -20,10 +20,13 @@ fn main() {
     );
 
     // The Bader-Cong algorithm: stub spanning tree + work-stealing
-    // traversal, here with 4 processors.
+    // traversal, here with 4 processors. The engine owns a persistent
+    // team plus reusable scratch; `job(&g)` phrases one run as a job
+    // (attach `.algorithm(..)`, `.cancel(token)` as needed).
     let p = 4;
+    let mut engine = Engine::new(p);
     let started = std::time::Instant::now();
-    let forest = BaderCong::with_defaults().spanning_forest(&g, p);
+    let forest = engine.job(&g).run().expect("no cancel token attached");
     let elapsed = started.elapsed();
 
     // Always verify: the crate ships the oracle the tests use.

@@ -23,6 +23,9 @@
 //! * [`obs`] — the observability layer: always-on per-rank counters,
 //!   per-job [`JobMetrics`](st_obs::JobMetrics) reports, and (behind
 //!   the `obs-trace` feature) phase spans exportable as Chrome traces.
+//! * [`service`] — the multi-tenant job service: a sharded pool of
+//!   persistent teams with admission control, priorities, deadlines,
+//!   and cooperative cancellation.
 //!
 //! ## Quickstart
 //!
@@ -50,15 +53,23 @@
 //! let sv_forest = engine.run(&sv::Sv::new(SvConfig::default()), &g);
 //! assert_eq!(sv_forest.num_trees(), forest.num_trees());
 //!
-//! // One-shot convenience entry points still exist:
-//! let once = BaderCong::with_defaults().spanning_forest(&g, 4);
-//! assert!(is_spanning_forest(&g, &once.parents));
+//! // Or phrase a run as a job: pick the algorithm fluently and get a
+//! // `Result` you can cancel (see `CancelToken`).
+//! let sv = sv::Sv::new(SvConfig::default());
+//! let again = engine.job(&g).algorithm(&sv).run().expect("no cancel token attached");
+//! assert_eq!(again.num_trees(), forest.num_trees());
 //! ```
+//!
+//! For multi-tenant workloads — many clients submitting jobs against a
+//! shared machine — see the [`service`] crate re-export: a sharded pool
+//! of persistent teams with admission control, deadlines, priorities,
+//! and cooperative cancellation.
 
 pub use st_core as core;
 pub use st_graph as graph;
 pub use st_model as model;
 pub use st_obs as obs;
+pub use st_service as service;
 pub use st_smp as smp;
 
 /// Everything a typical user needs in scope.
@@ -67,10 +78,13 @@ pub mod prelude {
     pub use st_core::biconnected::{
         biconnected_components, biconnected_components_with, Biconnectivity,
     };
+    pub use st_core::config::{ConfigError, RuntimeConfig};
     pub use st_core::connected::{components_from_forest, connected_components};
-    pub use st_core::engine::{Engine, SpanningAlgorithm, Workspace};
+    pub use st_core::engine::{Cancelled, Engine, EngineJob, SpanningAlgorithm, Workspace};
     pub use st_core::mst::{self, MstResult};
-    pub use st_core::multiroot::{spanning_forest_multiroot, Multiroot};
+    #[allow(deprecated)] // the shim stays exported until it is removed
+    pub use st_core::multiroot::spanning_forest_multiroot;
+    pub use st_core::multiroot::Multiroot;
     pub use st_core::result::{AlgoStats, SpanningForest};
     pub use st_core::seq;
     pub use st_core::sv::{self, GraftVariant, SvConfig};
@@ -80,5 +94,6 @@ pub mod prelude {
     pub use st_graph::validate::{is_spanning_forest, is_spanning_tree};
     pub use st_graph::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
     pub use st_obs::{write_chrome_trace, Counter, JobMetrics, Phase, PhaseTotal};
-    pub use st_smp::StealPolicy;
+    pub use st_service::{JobError, JobHandle, Priority, Service};
+    pub use st_smp::{CancelToken, StealPolicy};
 }

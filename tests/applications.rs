@@ -1,3 +1,7 @@
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working (and stay measurable) until they are removed.
+#![allow(deprecated)]
+
 //! Integration tests for the application layer built on spanning trees:
 //! biconnectivity, ear decomposition, MST, and the subgraph pipeline —
 //! including the skewed-degree inputs that stress work stealing hardest.

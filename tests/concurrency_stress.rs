@@ -1,3 +1,7 @@
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working (and stay measurable) until they are removed.
+#![allow(deprecated)]
+
 //! Concurrency stress: oversubscription, repeated runs, adversarial
 //! configurations. On the single-core CI host every thread interleaving
 //! is scheduler-driven, which is exactly the hostile environment these
@@ -93,7 +97,7 @@ fn repeated_runs_are_all_valid() {
             },
             ..Config::default()
         };
-        let f = BaderCong::new(cfg).spanning_forest(&g, 4);
+        let f = BaderCong::new(cfg.clone()).spanning_forest(&g, 4);
         assert!(is_spanning_forest(&g, &f.parents), "run {i}");
         assert_eq!(f.num_trees(), reference, "run {i}");
     }
@@ -123,7 +127,7 @@ fn tiny_idle_timeout_stress() {
         ..Config::default()
     };
     for _ in 0..5 {
-        let f = BaderCong::new(cfg).spanning_forest(&g, 8);
+        let f = BaderCong::new(cfg.clone()).spanning_forest(&g, 8);
         assert!(is_spanning_forest(&g, &f.parents));
     }
 }
@@ -149,7 +153,7 @@ fn aggressive_starvation_threshold_on_mixed_graph() {
         ..Config::default()
     };
     for _ in 0..3 {
-        let f = BaderCong::new(cfg).spanning_forest(&g, 8);
+        let f = BaderCong::new(cfg.clone()).spanning_forest(&g, 8);
         assert!(is_spanning_forest(&g, &f.parents));
         assert_eq!(f.num_trees(), 1);
     }
@@ -165,7 +169,7 @@ fn steal_one_policy_under_oversubscription() {
         },
         ..Config::default()
     };
-    let f = BaderCong::new(cfg).spanning_forest(&g, 8);
+    let f = BaderCong::new(cfg.clone()).spanning_forest(&g, 8);
     assert!(is_spanning_forest(&g, &f.parents));
 }
 
@@ -208,7 +212,7 @@ fn publish_threshold_sweep() {
                     },
                     ..Config::default()
                 };
-                let f = BaderCong::new(cfg).spanning_forest(g, p);
+                let f = BaderCong::new(cfg.clone()).spanning_forest(g, p);
                 let root = f
                     .parents
                     .iter()
@@ -240,7 +244,7 @@ fn round_end_drain_with_tiny_threshold() {
         ..Config::default()
     };
     for p in [2usize, 4, 8] {
-        let f = BaderCong::new(cfg).spanning_forest(&g, p);
+        let f = BaderCong::new(cfg.clone()).spanning_forest(&g, p);
         assert!(is_spanning_forest(&g, &f.parents), "p = {p}");
         assert_eq!(f.num_trees(), reference, "p = {p}");
     }

@@ -1,3 +1,7 @@
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working (and stay measurable) until they are removed.
+#![allow(deprecated)]
+
 //! Determinism guarantees across the workspace.
 //!
 //! Reproducibility is a deliverable: generators, simulators, and the

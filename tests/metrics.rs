@@ -1,3 +1,7 @@
+// The deprecated one-shot wrappers are exercised on purpose: the shims
+// must keep working (and stay measurable) until they are removed.
+#![allow(deprecated)]
+
 //! Metrics-consistency suite: the observability layer's counters must
 //! obey their documented invariants across processor counts, every
 //! engine job must return a populated `JobMetrics`, and the exporters

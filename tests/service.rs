@@ -1,0 +1,369 @@
+//! Integration tests for the multi-tenant job service (`st-service`):
+//! concurrent tenants, backpressure, deadlines, cancellation, priority
+//! ordering, panic isolation, and shutdown semantics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bader_cong_spanning::prelude::*;
+use bader_cong_spanning::smp::Executor;
+
+/// Spin-waits (with yields) until `cond` holds, failing after 5s.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Occupies its team until `release` flips, then runs Bader–Cong.
+/// `started` flips once a dispatcher has actually picked the job up.
+struct Gate {
+    inner: BaderCong,
+    started: Arc<AtomicBool>,
+    release: Arc<AtomicBool>,
+}
+
+impl Gate {
+    fn new() -> (Self, Arc<AtomicBool>, Arc<AtomicBool>) {
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = Gate {
+            inner: BaderCong::with_defaults(),
+            started: Arc::clone(&started),
+            release: Arc::clone(&release),
+        };
+        (gate, started, release)
+    }
+}
+
+impl SpanningAlgorithm for Gate {
+    fn name(&self) -> &'static str {
+        "gate"
+    }
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        self.started.store(true, Ordering::Release);
+        while !self.release.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.run(g, exec, ws)
+    }
+}
+
+/// Delegates to Bader–Cong's cancellable path, flipping `started` first
+/// so a test can cancel a job it knows is mid-traversal.
+struct Notify {
+    inner: BaderCong,
+    started: Arc<AtomicBool>,
+}
+
+impl SpanningAlgorithm for Notify {
+    fn name(&self) -> &'static str {
+        "notify"
+    }
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        self.started.store(true, Ordering::Release);
+        self.inner.run(g, exec, ws)
+    }
+
+    fn run_with_cancel(
+        &self,
+        g: &CsrGraph,
+        exec: &Executor,
+        ws: &mut Workspace,
+        cancel: &CancelToken,
+    ) -> Result<SpanningForest, Cancelled> {
+        self.started.store(true, Ordering::Release);
+        self.inner.run_with_cancel(g, exec, ws, cancel)
+    }
+}
+
+/// A tenant bug: panics as soon as it gets a team.
+struct Boom;
+
+impl SpanningAlgorithm for Boom {
+    fn name(&self) -> &'static str {
+        "boom"
+    }
+
+    fn run(&self, _g: &CsrGraph, _exec: &Executor, _ws: &mut Workspace) -> SpanningForest {
+        panic!("tenant bug: boom");
+    }
+}
+
+/// Appends its tag to a shared log before running, so dispatch order is
+/// observable.
+struct Tagged {
+    tag: &'static str,
+    log: Arc<Mutex<Vec<&'static str>>>,
+    inner: BaderCong,
+}
+
+impl SpanningAlgorithm for Tagged {
+    fn name(&self) -> &'static str {
+        self.tag
+    }
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        self.log.lock().unwrap().push(self.tag);
+        self.inner.run(g, exec, ws)
+    }
+}
+
+#[test]
+fn many_tenants_all_get_valid_forests() {
+    const TENANTS: usize = 4;
+    const JOBS_PER_TENANT: usize = 5;
+    let svc = Service::builder()
+        .teams([2, 1, 1])
+        .queue_capacity(16)
+        .build();
+    let graphs = [
+        Arc::new(gen::torus2d(40, 40)),
+        Arc::new(gen::random_gnm(2_000, 3_000, 7)),
+    ];
+    std::thread::scope(|s| {
+        for t in 0..TENANTS {
+            let svc = &svc;
+            let graphs = &graphs;
+            s.spawn(move || {
+                for j in 0..JOBS_PER_TENANT {
+                    let g = &graphs[(t + j) % graphs.len()];
+                    let handle = svc.job(g).submit().expect("service is open");
+                    let forest = handle.wait().expect("no deadline, no cancel");
+                    assert!(
+                        is_spanning_forest(g, &forest.parents),
+                        "tenant {t} job {j} got an invalid forest"
+                    );
+                }
+            });
+        }
+    });
+    let snap = svc.shutdown();
+    let total = (TENANTS * JOBS_PER_TENANT) as u64;
+    assert_eq!(snap.submitted, total);
+    assert_eq!(snap.completed, total);
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.busy_teams, 0);
+    assert!(snap.exec_ns_total > 0);
+}
+
+#[test]
+fn full_queue_try_submit_reports_backpressure() {
+    let svc = Service::builder().teams([1]).queue_capacity(1).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    // The team is busy and the queue holds one job: admission is full.
+    let queued = svc.job(&g).submit().expect("one slot free");
+    let rejected = svc.job(&g).try_submit();
+    assert!(matches!(rejected, Err(JobError::Backpressure)));
+    assert_eq!(svc.snapshot().rejected, 1);
+
+    release.store(true, Ordering::Release);
+    assert!(gated.wait().is_ok());
+    assert!(queued.wait().is_ok());
+}
+
+#[test]
+fn deadline_in_queue_reports_deadline_exceeded() {
+    let svc = Service::builder().teams([1]).queue_capacity(4).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    // This job's deadline expires while the gate holds the only team.
+    let doomed = svc
+        .job(&g)
+        .deadline(Duration::from_millis(10))
+        .submit()
+        .expect("queue has room");
+    std::thread::sleep(Duration::from_millis(30));
+    release.store(true, Ordering::Release);
+
+    assert!(matches!(doomed.wait(), Err(JobError::DeadlineExceeded)));
+    assert!(gated.wait().is_ok());
+    assert_eq!(svc.snapshot().deadline_exceeded, 1);
+}
+
+#[test]
+fn queued_job_can_be_cancelled_before_running() {
+    let svc = Service::builder().teams([1]).queue_capacity(4).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    let victim = svc.job(&g).submit().expect("queue has room");
+    victim.cancel();
+    release.store(true, Ordering::Release);
+
+    assert!(matches!(victim.wait(), Err(JobError::Cancelled)));
+    assert!(gated.wait().is_ok());
+    assert_eq!(svc.snapshot().cancelled, 1);
+}
+
+#[test]
+fn cancellation_mid_traversal_leaves_pool_reusable() {
+    let svc = Service::builder().teams([2]).queue_capacity(4).build();
+    let big = Arc::new(gen::torus2d(150, 150));
+    let started = Arc::new(AtomicBool::new(false));
+    let notify = Notify {
+        inner: BaderCong::with_defaults(),
+        started: Arc::clone(&started),
+    };
+    let handle = svc.job(&big).algorithm(notify).submit().expect("open");
+    wait_until("job to start traversing", || {
+        started.load(Ordering::Acquire)
+    });
+    handle.cancel();
+    // The cancel races the traversal: either it lost and the forest is
+    // complete (and valid), or it won and the job reports Cancelled.
+    match handle.wait() {
+        Ok(forest) => assert!(is_spanning_forest(&big, &forest.parents)),
+        Err(e) => assert!(matches!(e, JobError::Cancelled)),
+    }
+
+    // Either way, the team went back to the pool in working order.
+    let again = svc.job(&big).submit().expect("open");
+    let forest = again.wait().expect("no cancel on the second job");
+    assert!(is_spanning_forest(&big, &forest.parents));
+}
+
+#[test]
+fn panicked_job_is_isolated_from_other_tenants() {
+    let svc = Service::builder().teams([1]).queue_capacity(4).build();
+    let g = Arc::new(gen::torus2d(16, 16));
+
+    let bad = svc.job(&g).algorithm(Boom).submit().expect("open");
+    let good = svc.job(&g).submit().expect("open");
+
+    match bad.wait() {
+        Err(JobError::Panicked(msg)) => assert!(msg.contains("boom"), "message was {msg:?}"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    let forest = good.wait().expect("the pool must survive a tenant panic");
+    assert!(is_spanning_forest(&g, &forest.parents));
+
+    let snap = svc.snapshot();
+    assert_eq!(snap.panicked, 1);
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.busy_teams, 0, "the panicked team must be returned");
+}
+
+#[test]
+fn queued_jobs_dispatch_in_priority_order() {
+    let svc = Service::builder().teams([1]).queue_capacity(8).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    // Queue in "wrong" order while the single team is held.
+    let tag = |tag| Tagged {
+        tag,
+        log: Arc::clone(&log),
+        inner: BaderCong::with_defaults(),
+    };
+    let low = svc
+        .job(&g)
+        .algorithm(tag("low"))
+        .priority(Priority::Low)
+        .submit()
+        .expect("open");
+    let normal = svc.job(&g).algorithm(tag("normal")).submit().expect("open");
+    let high = svc
+        .job(&g)
+        .algorithm(tag("high"))
+        .priority(Priority::High)
+        .submit()
+        .expect("open");
+
+    release.store(true, Ordering::Release);
+    for h in [gated, high, normal, low] {
+        assert!(h.wait().is_ok());
+    }
+    assert_eq!(*log.lock().unwrap(), ["high", "normal", "low"]);
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_without_running_them() {
+    let svc = Service::builder().teams([1]).queue_capacity(4).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+    let q1 = svc.job(&g).submit().expect("open");
+    let q2 = svc.job(&g).submit().expect("open");
+
+    // Let the running job finish shortly after shutdown starts; the
+    // queued ones must resolve as ShuttingDown, not run.
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        release.store(true, Ordering::Release);
+    });
+    let snap = svc.shutdown();
+    releaser.join().unwrap();
+
+    assert!(gated.wait().is_ok(), "the in-flight job runs to completion");
+    assert!(matches!(q1.wait(), Err(JobError::ShuttingDown)));
+    assert!(matches!(q2.wait(), Err(JobError::ShuttingDown)));
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.cancelled, 2, "drained jobs land in the cancelled lane");
+}
+
+#[test]
+fn blocking_submit_waits_for_space_instead_of_failing() {
+    let svc = Service::builder().teams([1]).queue_capacity(1).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+    let queued = svc.job(&g).submit().expect("one slot free");
+
+    // The queue is now full. A blocking submit parks instead of
+    // reporting Backpressure, and is admitted once the gate lifts.
+    let blocked_submitted = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let svc = &svc;
+        let g = &g;
+        let flag = Arc::clone(&blocked_submitted);
+        let submitter = s.spawn(move || {
+            let handle = svc.job(g).submit().expect("unblocked by dequeue");
+            flag.store(true, Ordering::Release);
+            handle.wait()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !blocked_submitted.load(Ordering::Acquire),
+            "submit must block while the queue is full"
+        );
+        release.store(true, Ordering::Release);
+        assert!(submitter.join().unwrap().is_ok());
+    });
+    assert!(gated.wait().is_ok());
+    assert!(queued.wait().is_ok());
+    let snap = svc.snapshot();
+    assert_eq!(snap.rejected, 0, "blocking submits are never rejected");
+    assert_eq!(snap.completed, 3);
+}
