@@ -1,26 +1,38 @@
 //! The `traversal-frontier` ablation: phase-2 traversal throughput of
-//! the two-level frontier vs the paper's publish-everything protocol.
+//! the two-level frontier vs the paper's publish-everything protocol,
+//! plus the direction-optimizing hybrid.
 //!
 //! ```text
 //! traversal_frontier [--scale L] [--p P] [--reps R] [--seed S] [--out FILE]
+//!                    [--sweep-scale L] [--sweep-p "1,2,4,8"] [--sweep-reps R]
+//!                    [--hugepages]
 //! ```
 //!
 //! Builds `random_connected(n = 2^L, m = 4n)` and times *only* the
 //! work-stealing traversal round (no stub phase, no driver, no degree-2
-//! preprocessing) under two configurations:
+//! preprocessing) under three configurations:
 //!
 //! * `seed` — [`TraversalConfig::paper_protocol`]: `publish_threshold
 //!   = 1`, `local_batch = 1`; every discovered vertex goes through the
 //!   shared queue, one lock acquisition per push and per pop.
 //! * `frontier` — [`TraversalConfig::default`]: the two-level frontier
-//!   with threshold publication and sleeper-driven donation.
+//!   with threshold publication and sleeper-driven donation
+//!   (`ST_DIRECTION` flows through here, which is how the CI smoke
+//!   forces the bottom-up and hybrid paths on a small scale).
+//! * `hybrid` — the two-level frontier with
+//!   [`Direction::Hybrid`]: top-down until the live frontier crosses
+//!   the α/β threshold, then barriered bottom-up sweeps.
 //!
 //! Every timed run is validated with `is_spanning_tree`; the medians and
-//! the speedup are written as JSON (default `BENCH_traversal.json`), the
-//! committed baseline the CI and the docs reference. Pass
-//! `--metrics-json FILE` to additionally dump the full
-//! [`JobMetrics`] (per-rank counters and, under `obs-trace`, phase
-//! spans) of the last repetition of each protocol.
+//! the speedups are written as JSON (default `BENCH_traversal.json`), the
+//! committed baseline the CI and the docs reference. `--sweep-scale 24`
+//! appends a memory-bound frontier-vs-hybrid p-sweep section (no seed
+//! protocol there — publish-everything at scale 24 is pointlessly slow).
+//! `--hugepages` rehomes the CSR onto a `MADV_HUGEPAGE`-advised
+//! allocation first (pair it with `ST_HUGEPAGES=1` to also back the
+//! workspace arenas). Pass `--metrics-json FILE` to additionally dump
+//! the full [`JobMetrics`] (per-rank counters and, under `obs-trace`,
+//! phase spans) of the last repetition of each protocol.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -28,7 +40,7 @@ use std::path::PathBuf;
 use serde::Serialize;
 use st_bench::timing::measure_with_result;
 use st_core::engine::Workspace;
-use st_core::traversal::{TraversalConfig, TraversalOutcome};
+use st_core::traversal::{Direction, TraversalConfig, TraversalOutcome};
 use st_graph::gen::random_connected;
 use st_graph::validate::is_spanning_tree;
 use st_graph::{CsrGraph, NO_VERTEX};
@@ -38,6 +50,7 @@ use st_smp::Executor;
 #[derive(Clone, Debug, Serialize)]
 struct ProtocolResult {
     protocol: String,
+    direction: String,
     publish_threshold: usize,
     local_batch: usize,
     median_s: f64,
@@ -54,7 +67,29 @@ struct ProtocolResult {
     detector_sleeps: usize,
     detector_wakes: usize,
     starvation_trips: usize,
+    rounds_top_down: usize,
+    rounds_bottom_up: usize,
+    frontier_peak: usize,
     phases: Vec<PhaseTotal>,
+}
+
+/// One `p` point of the memory-bound sweep: frontier vs hybrid on the
+/// same graph and team.
+#[derive(Clone, Debug, Serialize)]
+struct SweepPoint {
+    p: usize,
+    frontier: ProtocolResult,
+    hybrid: ProtocolResult,
+    speedup_hybrid: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct SweepReport {
+    scale: u32,
+    n: usize,
+    m: usize,
+    reps: usize,
+    points: Vec<SweepPoint>,
 }
 
 #[derive(Clone, Debug, Serialize)]
@@ -66,16 +101,21 @@ struct FrontierReport {
     p: usize,
     reps: usize,
     host_parallelism: usize,
+    hugepages: bool,
+    csr_hugepage_advised: bool,
     seed_protocol: ProtocolResult,
     two_level: ProtocolResult,
+    hybrid: ProtocolResult,
     speedup: f64,
+    speedup_hybrid: f64,
+    sweep: Option<SweepReport>,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: traversal_frontier [--scale L] [--p P] [--reps R] [--seed S] [--out FILE] \
-         [--metrics-json FILE]"
+         [--metrics-json FILE] [--sweep-scale L] [--sweep-p LIST] [--sweep-reps R] [--hugepages]"
     );
     std::process::exit(2)
 }
@@ -87,6 +127,10 @@ struct Opts {
     seed: u64,
     out: PathBuf,
     metrics_json: Option<PathBuf>,
+    sweep_scale: Option<u32>,
+    sweep_p: Vec<usize>,
+    sweep_reps: usize,
+    hugepages: bool,
 }
 
 fn parse_args() -> Opts {
@@ -97,6 +141,10 @@ fn parse_args() -> Opts {
         seed: 42,
         out: PathBuf::from("BENCH_traversal.json"),
         metrics_json: None,
+        sweep_scale: None,
+        sweep_p: vec![1, 2, 4, 8],
+        sweep_reps: 3,
+        hugepages: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -126,10 +174,55 @@ fn parse_args() -> Opts {
             "--metrics-json" => {
                 opts.metrics_json = Some(PathBuf::from(need("--metrics-json needs a value")))
             }
+            "--sweep-scale" => {
+                opts.sweep_scale = Some(
+                    need("--sweep-scale needs a value")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--sweep-scale must be an integer")),
+                )
+            }
+            "--sweep-p" => {
+                opts.sweep_p = need("--sweep-p needs a value")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage("--sweep-p must be a comma list of integers"))
+                    })
+                    .collect();
+                if opts.sweep_p.is_empty() {
+                    usage("--sweep-p must name at least one team size");
+                }
+            }
+            "--sweep-reps" => {
+                opts.sweep_reps = need("--sweep-reps needs a value")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--sweep-reps must be an integer"))
+            }
+            "--hugepages" => opts.hugepages = true,
             other => usage(&format!("unknown option {other}")),
         }
     }
     opts
+}
+
+fn direction_name(d: Direction) -> &'static str {
+    match d {
+        Direction::TopDown => "top-down",
+        Direction::BottomUp => "bottom-up",
+        Direction::Hybrid => "hybrid",
+    }
+}
+
+/// Rehomes `g` onto a hugepage-advised allocation when asked, reporting
+/// whether the kernel accepted the advice.
+fn maybe_hugepage(g: CsrGraph, want: bool) -> (CsrGraph, bool) {
+    if !want {
+        return (g, false);
+    }
+    let (g, advised) = g.into_hugepage_backed();
+    eprintln!("  hugepages: CSR rehomed (kernel advised: {advised})");
+    (g, advised)
 }
 
 /// One phase-2 traversal round over connected `g`, on the persistent
@@ -148,7 +241,7 @@ fn traverse_once(
         t.begin_round();
         t.seed(0, 0, NO_VERTEX);
         exec.run(|ctx| {
-            let (_, outcome) = t.run_worker(ctx.rank());
+            let (_, outcome) = t.run_worker_ctx(&ctx);
             assert_eq!(outcome, TraversalOutcome::Completed);
         });
     }
@@ -172,15 +265,19 @@ fn run_protocol(
     );
     let count = |c: Counter| metrics.get(c) as usize;
     eprintln!(
-        "  {name:<10} median {:.3}s  (min {:.3}s, max {:.3}s, steals {}, stolen {})",
+        "  {name:<10} median {:.3}s  (min {:.3}s, max {:.3}s, steals {}, stolen {}, \
+         rounds td/bu {}/{})",
         m.median(),
         m.min(),
         m.max(),
         count(Counter::Steals),
         count(Counter::StolenItems),
+        count(Counter::RoundsTopDown),
+        count(Counter::RoundsBottomUp),
     );
     let result = ProtocolResult {
         protocol: name.to_owned(),
+        direction: direction_name(cfg.direction).to_owned(),
         publish_threshold: cfg.publish_threshold,
         local_batch: cfg.local_batch,
         median_s: m.median(),
@@ -197,7 +294,10 @@ fn run_protocol(
         detector_sleeps: count(Counter::DetectorSleeps),
         detector_wakes: count(Counter::DetectorWakes),
         starvation_trips: count(Counter::StarvationTrips),
-        phases: metrics.phase_totals(),
+        rounds_top_down: count(Counter::RoundsTopDown),
+        rounds_bottom_up: count(Counter::RoundsBottomUp),
+        frontier_peak: count(Counter::FrontierPeak),
+        phases: metrics.phases.clone(),
     };
     (result, metrics)
 }
@@ -210,12 +310,18 @@ fn main() {
         "traversal-frontier: random_connected(n = {n}, m = {m}), p = {}, reps = {}",
         opts.p, opts.reps
     );
-    let g = random_connected(n, m, opts.seed);
+    let (g, csr_hugepage_advised) =
+        maybe_hugepage(random_connected(n, m, opts.seed), opts.hugepages);
 
-    // One persistent team + workspace for the whole process: both
-    // protocols and every repetition reuse the same threads and arrays.
+    // One persistent team + workspace for the whole process: every
+    // protocol and every repetition reuse the same threads and arrays.
     let exec = Executor::new(opts.p);
     let mut ws = Workspace::new();
+
+    let hybrid_cfg = TraversalConfig {
+        direction: Direction::Hybrid,
+        ..TraversalConfig::default()
+    };
 
     let (seed_protocol, seed_metrics) = run_protocol(
         "seed",
@@ -233,11 +339,14 @@ fn main() {
         opts.reps,
         TraversalConfig::default(),
     );
+    let (hybrid, hybrid_metrics) =
+        run_protocol("hybrid", &g, &exec, &mut ws, opts.reps, hybrid_cfg.clone());
 
     if let Some(path) = &opts.metrics_json {
         let mut by_protocol = BTreeMap::new();
         by_protocol.insert("seed_protocol".to_owned(), seed_metrics.to_value());
         by_protocol.insert("two_level".to_owned(), two_level_metrics.to_value());
+        by_protocol.insert("hybrid".to_owned(), hybrid_metrics.to_value());
         let json = serde_json::to_string_pretty(&serde::Value::Object(by_protocol))
             .expect("serialize metrics");
         std::fs::write(path, json + "\n").expect("write metrics json");
@@ -245,7 +354,55 @@ fn main() {
     }
 
     let speedup = seed_protocol.median_s / two_level.median_s;
-    eprintln!("  speedup: {speedup:.2}x");
+    let speedup_hybrid = two_level.median_s / hybrid.median_s;
+    eprintln!("  speedup (seed/frontier): {speedup:.2}x");
+    eprintln!("  speedup (frontier/hybrid): {speedup_hybrid:.2}x");
+
+    let sweep = opts.sweep_scale.map(|scale| {
+        let sn = 1usize << scale;
+        let sm = 4 * sn;
+        eprintln!(
+            "sweep: random_connected(n = {sn}, m = {sm}), p in {:?}, reps = {}",
+            opts.sweep_p, opts.sweep_reps
+        );
+        let (sg, _) = maybe_hugepage(random_connected(sn, sm, opts.seed), opts.hugepages);
+        let mut points = Vec::new();
+        for &p in &opts.sweep_p {
+            eprintln!("  p = {p}");
+            let exec = Executor::new(p);
+            let (frontier, _) = run_protocol(
+                "frontier",
+                &sg,
+                &exec,
+                &mut ws,
+                opts.sweep_reps,
+                TraversalConfig::default(),
+            );
+            let (hybrid, _) = run_protocol(
+                "hybrid",
+                &sg,
+                &exec,
+                &mut ws,
+                opts.sweep_reps,
+                hybrid_cfg.clone(),
+            );
+            let speedup_hybrid = frontier.median_s / hybrid.median_s;
+            eprintln!("    hybrid speedup at p = {p}: {speedup_hybrid:.2}x");
+            points.push(SweepPoint {
+                p,
+                frontier,
+                hybrid,
+                speedup_hybrid,
+            });
+        }
+        SweepReport {
+            scale,
+            n: sn,
+            m: sg.num_edges(),
+            reps: opts.sweep_reps,
+            points,
+        }
+    });
 
     let report = FrontierReport {
         benchmark: "traversal-frontier".to_owned(),
@@ -255,9 +412,14 @@ fn main() {
         p: opts.p,
         reps: opts.reps,
         host_parallelism: std::thread::available_parallelism().map_or(1, |c| c.get()),
+        hugepages: opts.hugepages,
+        csr_hugepage_advised,
         seed_protocol,
         two_level,
+        hybrid,
         speedup,
+        speedup_hybrid,
+        sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&opts.out, json + "\n").expect("write report");

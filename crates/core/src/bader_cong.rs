@@ -34,7 +34,7 @@ use crate::sv::{self, SvConfig};
 use crate::traversal::{Traversal, TraversalConfig, TraversalOutcome};
 
 /// Configuration of the Bader–Cong algorithm.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Config {
     /// Traversal tuning (steal policy, idle timeout, starvation
     /// threshold, RNG seed).

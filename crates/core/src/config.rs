@@ -24,11 +24,18 @@
 //! | `ST_PUBLISH_THRESHOLD` | integer ≥ 1 or `max` | private-buffer size that triggers publication |
 //! | `ST_PUBLISH_ON_SLEEPERS` | bool | publish the buffer whenever sleepers are reported |
 //! | `ST_LOCAL_BATCH` | integer ≥ 1 | owner dequeue batch per queue lock |
+//! | `ST_DIRECTION` | `top-down` / `bottom-up` / `hybrid` | traversal direction strategy |
+//! | `ST_HYBRID_ALPHA` | finite float > 0 | hybrid switch-forward weight (Beamer's α) |
+//! | `ST_HYBRID_BETA` | finite float ≥ 1 | hybrid switch-back weight (Beamer's β) |
+//! | `ST_PREFETCH_DISTANCE` | integer 0–256 | software-prefetch lookahead (0 disables) |
+//! | `ST_HUGEPAGES` | bool | back CSR/workspace arrays with transparent huge pages |
 //! | `ST_BENCH_SCALE` | integer (log2 n) | default problem scale of the bench bins |
 //! | `ST_SERVICE_TEAMS` | comma list of integers ≥ 1 | service pool team widths, e.g. `4,2,2` |
 //! | `ST_SERVICE_QUEUE_CAP` | integer ≥ 1 | service admission-queue capacity |
 
 use std::fmt;
+
+use crate::traversal::Direction;
 
 /// A rejected environment value.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,7 +65,7 @@ impl std::error::Error for ConfigError {}
 /// Every field is `None` when the corresponding variable is unset —
 /// callers keep their own defaults. Construction fails loudly on the
 /// first malformed value.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RuntimeConfig {
     /// `ST_PUBLISH_THRESHOLD`: frontier publication threshold
     /// (`usize::MAX` for `max`).
@@ -67,6 +74,17 @@ pub struct RuntimeConfig {
     pub publish_on_sleepers: Option<bool>,
     /// `ST_LOCAL_BATCH`: owner dequeue batch size.
     pub local_batch: Option<usize>,
+    /// `ST_DIRECTION`: traversal direction strategy.
+    pub direction: Option<Direction>,
+    /// `ST_HYBRID_ALPHA`: hybrid switch-forward weight.
+    pub hybrid_alpha: Option<f64>,
+    /// `ST_HYBRID_BETA`: hybrid switch-back weight.
+    pub hybrid_beta: Option<f64>,
+    /// `ST_PREFETCH_DISTANCE`: software-prefetch lookahead (0 disables).
+    pub prefetch_distance: Option<usize>,
+    /// `ST_HUGEPAGES`: transparent-hugepage advice for the CSR and
+    /// workspace arrays.
+    pub hugepages: Option<bool>,
     /// `ST_BENCH_SCALE`: default log2 problem size of the bench bins.
     pub bench_scale: Option<u32>,
     /// `ST_SERVICE_TEAMS`: job-service team widths.
@@ -83,6 +101,11 @@ impl RuntimeConfig {
             publish_threshold: read("ST_PUBLISH_THRESHOLD", parse_threshold)?,
             publish_on_sleepers: read("ST_PUBLISH_ON_SLEEPERS", parse_bool)?,
             local_batch: read("ST_LOCAL_BATCH", parse_positive)?,
+            direction: read("ST_DIRECTION", parse_direction)?,
+            hybrid_alpha: read("ST_HYBRID_ALPHA", parse_alpha)?,
+            hybrid_beta: read("ST_HYBRID_BETA", parse_beta)?,
+            prefetch_distance: read("ST_PREFETCH_DISTANCE", parse_prefetch)?,
+            hugepages: read("ST_HUGEPAGES", parse_bool)?,
             bench_scale: read("ST_BENCH_SCALE", parse_scale)?,
             service_teams: read("ST_SERVICE_TEAMS", parse_team_list)?,
             service_queue_capacity: read("ST_SERVICE_QUEUE_CAP", parse_positive)?,
@@ -100,6 +123,18 @@ impl RuntimeConfig {
         }
         if let Some(b) = self.local_batch {
             cfg.local_batch = b;
+        }
+        if let Some(d) = self.direction {
+            cfg.direction = d;
+        }
+        if let Some(a) = self.hybrid_alpha {
+            cfg.alpha = a;
+        }
+        if let Some(b) = self.hybrid_beta {
+            cfg.beta = b;
+        }
+        if let Some(d) = self.prefetch_distance {
+            cfg.prefetch_distance = d;
         }
     }
 }
@@ -141,6 +176,44 @@ fn parse_bool(s: &str) -> Result<bool, &'static str> {
         "1" | "true" | "on" | "yes" => Ok(true),
         "0" | "false" | "off" | "no" => Ok(false),
         _ => Err("a boolean (1/0, true/false, on/off, yes/no)"),
+    }
+}
+
+fn parse_direction(s: &str) -> Result<Direction, &'static str> {
+    match s.to_ascii_lowercase().as_str() {
+        "top-down" | "topdown" | "td" => Ok(Direction::TopDown),
+        "bottom-up" | "bottomup" | "bu" => Ok(Direction::BottomUp),
+        "hybrid" => Ok(Direction::Hybrid),
+        _ => Err("one of `top-down`, `bottom-up`, `hybrid`"),
+    }
+}
+
+fn parse_alpha(s: &str) -> Result<f64, &'static str> {
+    const REASON: &str = "a finite float > 0";
+    match s.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_beta(s: &str) -> Result<f64, &'static str> {
+    // β < 1 would demand a frontier larger than the graph before ever
+    // switching forward, and a switch-back threshold above n: the knob
+    // would silently disable the hybrid while looking configured.
+    const REASON: &str = "a finite float ≥ 1";
+    match s.parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= 1.0 => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_prefetch(s: &str) -> Result<usize, &'static str> {
+    // 256 entries is already far beyond any useful lookahead; larger
+    // values are a typo (e.g. a threshold pasted into the wrong var).
+    const REASON: &str = "an integer between 0 (off) and 256";
+    match s.parse::<usize>() {
+        Ok(v) if v <= 256 => Ok(v),
+        _ => Err(REASON),
     }
 }
 
@@ -192,6 +265,66 @@ mod tests {
         assert!(parse_team_list("4,0,2").is_err());
         assert!(parse_team_list("").is_err());
         assert!(parse_team_list("a,b").is_err());
+    }
+
+    #[test]
+    fn direction_accepts_all_spellings() {
+        for s in ["top-down", "TopDown", "td"] {
+            assert_eq!(parse_direction(s), Ok(Direction::TopDown), "{s}");
+        }
+        for s in ["bottom-up", "bottomup", "BU"] {
+            assert_eq!(parse_direction(s), Ok(Direction::BottomUp), "{s}");
+        }
+        assert_eq!(parse_direction("hybrid"), Ok(Direction::Hybrid));
+        assert!(parse_direction("sideways").is_err());
+    }
+
+    #[test]
+    fn alpha_requires_positive_finite() {
+        assert_eq!(parse_alpha("14"), Ok(14.0));
+        assert_eq!(parse_alpha("0.5"), Ok(0.5));
+        assert!(parse_alpha("0").is_err());
+        assert!(parse_alpha("-2").is_err());
+        assert!(parse_alpha("inf").is_err());
+        assert!(parse_alpha("NaN").is_err());
+        assert!(parse_alpha("fast").is_err());
+    }
+
+    #[test]
+    fn beta_requires_at_least_one() {
+        assert_eq!(parse_beta("24"), Ok(24.0));
+        assert_eq!(parse_beta("1"), Ok(1.0));
+        assert!(parse_beta("0.5").is_err());
+        assert!(parse_beta("-1").is_err());
+        assert!(parse_beta("inf").is_err());
+    }
+
+    #[test]
+    fn prefetch_distance_is_bounded() {
+        assert_eq!(parse_prefetch("0"), Ok(0));
+        assert_eq!(parse_prefetch("1"), Ok(1));
+        assert_eq!(parse_prefetch("256"), Ok(256));
+        assert!(parse_prefetch("257").is_err());
+        assert!(parse_prefetch("-1").is_err());
+        assert!(parse_prefetch("near").is_err());
+    }
+
+    #[test]
+    fn hybrid_knobs_overlay_traversal_config() {
+        use crate::traversal::TraversalConfig;
+        let cfg = RuntimeConfig {
+            direction: Some(Direction::Hybrid),
+            hybrid_alpha: Some(7.5),
+            hybrid_beta: Some(12.0),
+            prefetch_distance: Some(0),
+            ..RuntimeConfig::default()
+        };
+        let mut t = TraversalConfig::paper_protocol();
+        cfg.apply_frontier(&mut t);
+        assert_eq!(t.direction, Direction::Hybrid);
+        assert_eq!(t.alpha, 7.5);
+        assert_eq!(t.beta, 12.0);
+        assert_eq!(t.prefetch_distance, 0);
     }
 
     #[test]

@@ -49,6 +49,12 @@ use crate::traversal::{Traversal, TraversalConfig, UNCOLORED};
 /// Sentinel for an empty election/candidate slot.
 pub(crate) const EMPTY_SLOT: u64 = u64::MAX;
 
+/// Whether `ST_HUGEPAGES` asked for transparent-hugepage backing of
+/// the big per-vertex arenas (validated once per process).
+pub(crate) fn hugepages_enabled() -> bool {
+    crate::traversal::runtime_env().hugepages.unwrap_or(false)
+}
+
 /// One rank's tree-edge collection list (locked once per run by its
 /// owning rank, drained by the driver afterwards).
 pub(crate) type GraftList = CacheAligned<SpinLock<Vec<(VertexId, VertexId)>>>;
@@ -106,11 +112,14 @@ impl Workspace {
 
     /// Pre-grows the arena for an `n`-vertex, `m`-edge graph (the
     /// default [`SpanningAlgorithm::prepare`]). Purely an allocation
-    /// hint — every entry point re-initializes what it uses.
+    /// hint — every entry point re-initializes what it uses. Fresh
+    /// array growth honors `ST_HUGEPAGES` (advised before first touch,
+    /// so the initializing writes fault 2 MiB pages directly).
     pub fn reserve(&mut self, n: usize, m: usize) {
-        self.color.ensure_len(n);
-        self.parent.ensure_len(n);
-        self.labels.ensure_len(n);
+        let huge = hugepages_enabled();
+        self.color.ensure_len_with(n, huge);
+        self.parent.ensure_len_with(n, huge);
+        self.labels.ensure_len_with(n, huge);
         if self.edges.capacity() < m {
             self.edges.reserve(m - self.edges.len());
         }
@@ -126,9 +135,10 @@ impl Workspace {
         exec: &Executor,
         threshold: Option<usize>,
     ) {
-        self.color.ensure_len(n);
+        let huge = hugepages_enabled();
+        self.color.ensure_len_with(n, huge);
         self.color.fill_prefix(n, UNCOLORED);
-        self.parent.ensure_len(n);
+        self.parent.ensure_len_with(n, huge);
         self.parent.fill_prefix(n, NO_VERTEX);
         while self.queues.len() < p {
             self.queues.push(CacheAligned::new(WorkQueue::new()));
@@ -193,6 +203,7 @@ impl Workspace {
             exec_ns,
             totals: self.counters.merged(),
             per_rank: self.counters.snapshots(p),
+            phases: self.trace.phase_totals(),
             spans: self.trace.drain(),
             spans_dropped: self.trace.dropped(),
         }
@@ -266,7 +277,7 @@ impl Workspace {
     /// Initializes the hook array prefix: identity, or the caller's
     /// pre-contraction (which must form rooted stars).
     pub(crate) fn init_labels(&mut self, n: usize, init: Option<&[VertexId]>) {
-        self.labels.ensure_len(n);
+        self.labels.ensure_len_with(n, hugepages_enabled());
         match init {
             Some(init) => {
                 assert_eq!(init.len(), n, "init must cover all vertices");

@@ -72,3 +72,4 @@ pub use bader_cong::{BaderCong, Config};
 pub use config::{ConfigError, RuntimeConfig};
 pub use engine::{Cancelled, Engine, EngineJob, SpanningAlgorithm, Workspace};
 pub use result::{AlgoStats, SpanningForest};
+pub use traversal::{Direction, TraversalConfig};

@@ -43,6 +43,40 @@
 //! been processed, and sleeper-driven publication guarantees thieves see
 //! any surplus before the starvation threshold can misfire.
 //!
+//! ## Direction-optimizing traversal (deviation from the paper)
+//!
+//! The paper's traversal is pure top-down: work is proportional to the
+//! edges leaving the frontier. On low-diameter graphs the frontier
+//! briefly spans most of the graph, and in those rounds a Beamer-style
+//! *bottom-up* sweep is cheaper: every unvisited vertex scans its own
+//! CSR row for *any* visited neighbor and claims itself. Spanning trees
+//! make this simpler than level-synchronous BFS — any visited vertex is
+//! a valid parent, no level check needed.
+//!
+//! With [`Direction::Hybrid`], workers maintain a frontier-size
+//! estimate (shared `visited`/`drained` tallies flushed on the cancel
+//! cadence) and any worker that observes
+//! `frontier × alpha > unvisited` *and* `frontier × beta > n` raises a
+//! direction switch through the round's abort byte. The team rendezvous
+//! at a barrier and runs bottom-up sweeps, partitioned by an atomic
+//! chunk cursor; since the cursor hands each vertex to exactly one
+//! rank, a claim is a single relaxed store, not a CAS (model-checked in
+//! st-smp's `loom_models/bottom_up.rs`). Each sweep is decided by a
+//! leader-written control word: rank 0 alone reads the claim tally in
+//! the window between barriers and publishes run/done/switch-back/
+//! cancel, so followers never race the reset. When a sweep's claims
+//! fall below `n / beta` the team switches back, reseeding each rank's
+//! private buffer with its own last-sweep claims — which are exactly
+//! the live frontier: any vertex still unvisited after a full sweep
+//! had no visited neighbor *before* that sweep, so all its visited
+//! neighbors are last-sweep claims. The same argument lets the switch
+//! *into* bottom-up drop the pre-switch frontier (queues and private
+//! buffers) entirely.
+//!
+//! The entry point with team context, [`Traversal::run_worker_ctx`],
+//! is required for the barriers; the legacy [`Traversal::run_worker`]
+//! stays pure top-down regardless of the configured direction.
+//!
 //! ## Engine integration
 //!
 //! A [`Traversal`] is a *borrowed view*: the color/parent arrays and the
@@ -67,19 +101,39 @@ use st_graph::{CsrGraph, VertexId};
 use st_obs::{now_ns, Counter, CounterSet, Phase, TraceSet};
 use st_smp::pad::CacheAligned;
 use st_smp::steal::{StealPolicy, WorkQueue};
-use st_smp::{AtomicU32Array, CancelToken, Executor, IdleOutcome, TerminationDetector};
+use st_smp::{AtomicU32Array, CancelToken, Executor, IdleOutcome, TeamCtx, TerminationDetector};
 
 use crate::config::RuntimeConfig;
 
 /// Color value meaning "not yet visited".
 pub const UNCOLORED: u32 = 0;
 
+/// Which strategy phase 2 uses to expand the frontier (see the
+/// direction-optimizing section of the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Direction {
+    /// Classic frontier expansion (the paper's Alg. 1). The default.
+    #[default]
+    TopDown,
+    /// Bottom-up sweeps only: every sweep, each unvisited vertex scans
+    /// its CSR row for a visited parent. A forced mode for tests and
+    /// ablation — it takes O(graph diameter) full-vertex sweeps, so it
+    /// is only reasonable on small or low-diameter graphs.
+    BottomUp,
+    /// Direction-optimizing: start top-down, switch to bottom-up when
+    /// the frontier gets dense (`frontier × alpha > unvisited` and
+    /// `frontier × beta > n`), and back once a sweep claims fewer than
+    /// `n / beta` vertices. Only [`Traversal::run_worker_ctx`] honors
+    /// it; the legacy [`Traversal::run_worker`] entry stays top-down.
+    Hybrid,
+}
+
 /// Tuning knobs of the traversal.
 ///
 /// Not `Copy` since it carries a [`CancelToken`]; clone it where the
 /// old code copied (the token clone is an `Arc` bump — or free for the
 /// default inert token).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraversalConfig {
     /// How much a thief takes from a victim.
     pub steal_policy: StealPolicy,
@@ -118,6 +172,24 @@ pub struct TraversalConfig {
     /// round barriers, ending the traversal with
     /// [`TraversalOutcome::Cancelled`].
     pub cancel: CancelToken,
+    /// Traversal direction strategy. [`Direction::Hybrid`] requires the
+    /// team entry point [`Traversal::run_worker_ctx`].
+    pub direction: Direction,
+    /// Hybrid switch-forward weight (Beamer's α): switch to bottom-up
+    /// when the estimated live frontier times `alpha` exceeds the
+    /// unvisited count. Larger values switch later. Must be positive.
+    pub alpha: f64,
+    /// Hybrid switch-back weight (Beamer's β): return to top-down once
+    /// a sweep claims fewer than `n / beta` vertices; also guards the
+    /// forward switch (`frontier × beta > n`) so the end-game tail
+    /// never flips to bottom-up. Must be at least 1.
+    pub beta: f64,
+    /// Software-prefetch lookahead, in frontier entries. Top-down
+    /// prefetches the CSR row of the vertex `distance` below the top of
+    /// the private buffer; bottom-up additionally prefetches the color
+    /// cell `distance` neighbors ahead in the row being scanned. `0`
+    /// disables software prefetch entirely.
+    pub prefetch_distance: usize,
 }
 
 /// The process-wide [`RuntimeConfig`], parsed and validated once.
@@ -155,6 +227,12 @@ impl TraversalConfig {
             publish_threshold: 64,
             publish_on_sleepers: true,
             cancel: CancelToken::none(),
+            direction: Direction::TopDown,
+            // Beamer's published constants, adapted to vertex counts
+            // (the estimator tracks frontier vertices, not edges).
+            alpha: 14.0,
+            beta: 24.0,
+            prefetch_distance: 1,
         }
     }
 
@@ -190,6 +268,27 @@ const ABORT_NONE: u8 = 0;
 const ABORT_STARVED: u8 = 1;
 /// The cancel token fired; abandon the job.
 const ABORT_CANCELLED: u8 = 2;
+/// A hybrid worker requested a top-down → bottom-up switch; the team
+/// rendezvous at a barrier instead of exiting. Every transition out of
+/// [`ABORT_NONE`] is a CAS, so the byte settles exactly once per round
+/// and all ranks route to the same destination (the loser of a racing
+/// CAS follows the settled value — model-checked in st-smp's
+/// `loom_models/bottom_up.rs`).
+const ABORT_SWITCH: u8 = 3;
+
+/// Leader-written per-sweep control word (see [`Traversal::bottom_up_phase`]).
+const CTL_RUN: u8 = 0;
+/// Quiescence: the previous sweep claimed nothing.
+const CTL_DONE: u8 = 1;
+/// The frontier went sparse; switch back to top-down.
+const CTL_SWITCH: u8 = 2;
+/// The cancel token fired.
+const CTL_CANCEL: u8 = 3;
+
+/// Vertices per bottom-up cursor grab: large enough to amortize the
+/// shared `fetch_add`, small enough to balance tail sweeps across the
+/// team.
+const BU_CHUNK: usize = 4096;
 
 /// Poll the cancel token every this many processed vertices (power of
 /// two). Keeps the per-vertex cost at one abort-flag load; the token
@@ -219,9 +318,31 @@ pub struct Traversal<'a> {
     trace: &'a TraceSet,
     cfg: TraversalConfig,
     /// Round-wide abort flag ([`ABORT_NONE`]/[`ABORT_STARVED`]/
-    /// [`ABORT_CANCELLED`]): one byte so the per-vertex check stays a
-    /// single Acquire load regardless of how many abort reasons exist.
+    /// [`ABORT_CANCELLED`]/[`ABORT_SWITCH`]): one byte so the per-vertex
+    /// check stays a single Acquire load regardless of how many abort
+    /// reasons exist.
     abort: AtomicU8,
+    /// Job-cumulative count of colored vertices (discoveries + seeds +
+    /// marks), flushed on the poll cadence. `n - visited` estimates the
+    /// unvisited count for the direction heuristic.
+    visited: AtomicUsize,
+    /// Job-cumulative count of vertices no longer on the live frontier
+    /// (expanded top-down, marked, discarded at a switch, or claimed in
+    /// a non-final bottom-up sweep). `visited - drained` estimates the
+    /// live frontier.
+    drained: AtomicUsize,
+    /// Largest frontier estimate observed this round; rank 0 flushes it
+    /// into [`Counter::FrontierPeak`] at the end of
+    /// [`run_worker_ctx`](Self::run_worker_ctx).
+    frontier_peak: AtomicUsize,
+    /// Bottom-up sweep chunk cursor (reset by the sweep leader).
+    cursor: AtomicUsize,
+    /// Claims made in the current bottom-up sweep; read only by the
+    /// sweep leader in the window between barriers.
+    sweep_claims: AtomicUsize,
+    /// Leader-written sweep decision ([`CTL_RUN`]…), read by followers
+    /// only after the sweep-start barrier.
+    sweep_ctl: AtomicU8,
 }
 
 impl<'a> Traversal<'a> {
@@ -256,6 +377,12 @@ impl<'a> Traversal<'a> {
             trace,
             cfg,
             abort: AtomicU8::new(ABORT_NONE),
+            visited: AtomicUsize::new(0),
+            drained: AtomicUsize::new(0),
+            frontier_peak: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            sweep_claims: AtomicUsize::new(0),
+            sweep_ctl: AtomicU8::new(CTL_RUN),
         }
     }
 
@@ -290,6 +417,8 @@ impl<'a> Traversal<'a> {
         // A seed lands straight in the shared queue: stealable, hence
         // published.
         self.counters.rank(rank).incr(Counter::ItemsPublished);
+        // Seeds are colored and on the frontier: visited, not drained.
+        self.visited.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Colors `v` and sets its parent *without* enqueueing it. Used by
@@ -299,6 +428,11 @@ impl<'a> Traversal<'a> {
         let label = self.queues.len() as u32 + 1;
         self.color.store(v as usize, label, Ordering::Release);
         self.parent.store(v as usize, parent, Ordering::Release);
+        // Marked vertices never expand: visited *and* drained, so the
+        // frontier estimate is untouched (stub-heavy many-component
+        // graphs would otherwise inflate it permanently).
+        self.visited.fetch_add(1, Ordering::Relaxed);
+        self.drained.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Resets the detector and round-local flags between per-component
@@ -313,28 +447,83 @@ impl<'a> Traversal<'a> {
         self.abort.store(ABORT_NONE, Ordering::Release);
     }
 
-    /// Maps the abort flag to an early-exit outcome ([`None`] when no
-    /// abort is pending).
+    /// Maps the abort flag to a segment exit ([`None`] when no abort is
+    /// pending). `allow_switch` is set only on the hybrid path, where a
+    /// pending [`ABORT_SWITCH`] routes to the rendezvous barrier; the
+    /// legacy top-down path can never observe it (nothing raises a
+    /// switch without a team context).
     #[inline]
-    fn abort_outcome(&self) -> Option<TraversalOutcome> {
+    fn pending_exit(&self, allow_switch: bool) -> Option<SegmentExit> {
         match self.abort.load(Ordering::Acquire) {
             ABORT_NONE => None,
-            ABORT_STARVED => Some(TraversalOutcome::Starved),
-            _ => Some(TraversalOutcome::Cancelled),
+            ABORT_STARVED => Some(SegmentExit::Done(TraversalOutcome::Starved)),
+            ABORT_CANCELLED => Some(SegmentExit::Done(TraversalOutcome::Cancelled)),
+            _ => {
+                debug_assert!(allow_switch, "switch raised without a team context");
+                Some(SegmentExit::Switch)
+            }
         }
     }
 
-    /// Polls the cancel token; on fire, raises the abort flag and wakes
-    /// any sleeping ranks so every worker observes the abort within one
-    /// idle timeout.
+    /// Polls the cancel token; on fire, claims the abort byte (CAS from
+    /// clean) and wakes any sleeping ranks so every worker observes the
+    /// abort within one idle timeout. Returns `true` when the byte has
+    /// settled on cancellation — a pending direction switch is left in
+    /// place (the rendezvous leader re-polls the token, so the
+    /// cancellation is honored one barrier later instead).
     #[inline]
     fn poll_cancel(&self) -> bool {
-        if self.cfg.cancel.is_cancelled() {
-            self.abort.store(ABORT_CANCELLED, Ordering::Release);
-            self.detector.notify_work();
-            true
-        } else {
-            false
+        if !self.cfg.cancel.is_cancelled() {
+            return false;
+        }
+        let mut current = self.abort.load(Ordering::Acquire);
+        loop {
+            match current {
+                ABORT_CANCELLED => return true,
+                ABORT_SWITCH => return false,
+                _ => {
+                    // Cancellation claims a clean byte and outranks a
+                    // starvation that already settled (a cancelled job
+                    // is being torn down, not asking for the fallback).
+                    match self.abort.compare_exchange(
+                        current,
+                        ABORT_CANCELLED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            self.detector.notify_work();
+                            return true;
+                        }
+                        Err(actual) => current = actual,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts to raise a top-down → bottom-up switch. Returns `true`
+    /// when the byte settled on [`ABORT_SWITCH`] (ours or a racing
+    /// rank's) — the caller heads to the rendezvous barrier; `false`
+    /// means a starvation or cancellation won the byte and the next
+    /// [`pending_exit`](Self::pending_exit) check routes it.
+    #[inline]
+    fn raise_switch(&self) -> bool {
+        match self.abort.compare_exchange(
+            ABORT_NONE,
+            ABORT_SWITCH,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // Wake sleepers so they observe the switch and reach the
+                // barrier within one idle timeout. The raiser itself
+                // stays awake until the rendezvous, so the detector can
+                // never report AllDone while a switch is pending.
+                self.detector.notify_work();
+                true
+            }
+            Err(actual) => actual == ABORT_SWITCH,
         }
     }
 
@@ -352,26 +541,114 @@ impl<'a> Traversal<'a> {
     pub fn run_worker(&self, rank: usize) -> (usize, TraversalOutcome) {
         let t0 = now_ns();
         let mut tally = WorkerTally::default();
-        let (processed, outcome) = self.worker_loop(rank, &mut tally);
+        let mut state = WorkerState::new(rank, &self.cfg);
+        let outcome = match self.top_down_segment(rank, &mut state, &mut tally, false) {
+            SegmentExit::Done(outcome) => outcome,
+            SegmentExit::Switch => unreachable!("switch raised without a team context"),
+        };
+        self.flush_tally(rank, &state, &tally);
+        self.trace.rank(rank).record(Phase::Traverse, t0);
+        (state.processed, outcome)
+    }
+
+    /// [`run_worker`](Self::run_worker) with a team context: required
+    /// for [`Direction::Hybrid`] and [`Direction::BottomUp`], whose
+    /// sweeps synchronize through the team barrier. All `p` ranks must
+    /// call it exactly once per round (the barrier schedules of the
+    /// directions are uniform by construction). With
+    /// [`Direction::TopDown`] it is exactly `run_worker`.
+    pub fn run_worker_ctx(&self, ctx: &TeamCtx<'_>) -> (usize, TraversalOutcome) {
+        let rank = ctx.rank();
+        let t0 = now_ns();
+        let mut tally = WorkerTally::default();
+        let mut state = WorkerState::new(rank, &self.cfg);
+        let outcome = match self.cfg.direction {
+            Direction::TopDown => {
+                match self.top_down_segment(rank, &mut state, &mut tally, false) {
+                    SegmentExit::Done(outcome) => outcome,
+                    SegmentExit::Switch => unreachable!("switch raised in top-down mode"),
+                }
+            }
+            Direction::BottomUp => match self.bottom_up_phase(ctx, &mut state, &mut tally, true) {
+                BottomUpExit::Done(outcome) => outcome,
+                BottomUpExit::SwitchBack => unreachable!("forced bottom-up never switches back"),
+            },
+            Direction::Hybrid => loop {
+                match self.top_down_segment(rank, &mut state, &mut tally, true) {
+                    SegmentExit::Done(outcome) => break outcome,
+                    SegmentExit::Switch => {
+                        // Rendezvous: every rank observed ABORT_SWITCH
+                        // and arrives here with its frontier state
+                        // frozen; the sweep leader takes over from the
+                        // far side of this barrier.
+                        self.timed_ctx_barrier(ctx);
+                        match self.bottom_up_phase(ctx, &mut state, &mut tally, false) {
+                            BottomUpExit::Done(outcome) => break outcome,
+                            BottomUpExit::SwitchBack => continue,
+                        }
+                    }
+                }
+            },
+        };
+        if rank == 0 {
+            // Telemetry flush. A straggler's last fetch_max can land
+            // after this swap and carry into the next round's tally —
+            // harmless for an estimator counter.
+            let peak = self.frontier_peak.swap(0, Ordering::Relaxed);
+            if peak > 0 {
+                self.counters
+                    .rank(0)
+                    .add(Counter::FrontierPeak, peak as u64);
+            }
+        }
+        self.flush_tally(rank, &state, &tally);
+        self.trace.rank(rank).record(Phase::Traverse, t0);
+        (state.processed, outcome)
+    }
+
+    /// Flushes a worker's round-local tallies to its counter slot.
+    fn flush_tally(&self, rank: usize, state: &WorkerState, tally: &WorkerTally) {
         let slot = self.counters.rank(rank);
-        slot.add(Counter::Processed, processed as u64);
+        slot.add(Counter::Processed, state.processed as u64);
         slot.add(Counter::Discovered, tally.discovered);
         slot.add(Counter::MultiColored, tally.multi_colored);
         slot.add(Counter::ItemsPublished, tally.published);
         slot.add(Counter::ItemsKeptLocal, tally.kept_local);
-        self.trace.rank(rank).record(Phase::Traverse, t0);
-        (processed, outcome)
     }
 
-    /// The worker hot loop; counts into `tally` without touching shared
-    /// state.
-    fn worker_loop(&self, rank: usize, tally: &mut WorkerTally) -> (usize, TraversalOutcome) {
+    /// Adds the worker's pending frontier-estimate deltas to the shared
+    /// tallies (cheap no-op when nothing accumulated).
+    #[inline]
+    fn flush_frontier_deltas(&self, state: &mut WorkerState) {
+        if state.visited_delta != 0 {
+            self.visited
+                .fetch_add(state.visited_delta, Ordering::Relaxed);
+            state.visited_delta = 0;
+        }
+        if state.drained_delta != 0 {
+            self.drained
+                .fetch_add(state.drained_delta, Ordering::Relaxed);
+            state.drained_delta = 0;
+        }
+    }
+
+    /// One top-down work-stealing shift (the paper's Alg. 1 hot loop);
+    /// counts into `tally` without touching shared counters. With
+    /// `hybrid` set it additionally maintains the frontier estimate and
+    /// may exit with [`SegmentExit::Switch`]; re-entering after a
+    /// switch-back resumes from the `state` the bottom-up phase seeded.
+    fn top_down_segment(
+        &self,
+        rank: usize,
+        state: &mut WorkerState,
+        tally: &mut WorkerTally,
+        hybrid: bool,
+    ) -> SegmentExit {
+        if rank == 0 {
+            self.counters.rank(0).incr(Counter::RoundsTopDown);
+        }
         let my_label = rank as u32 + 1;
         let my_q = &*self.queues[rank];
-        let mut rng = SmallRng::seed_from_u64(
-            self.cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        let mut processed = 0usize;
         // Hoisted: an inert token (the default) can never fire, so the
         // hot loop skips the poll cadence entirely and cancellation
         // costs nothing unless a caller actually armed a token.
@@ -390,53 +667,46 @@ impl<'a> Traversal<'a> {
         // semantics; refilled vertices land in the private buffer and so
         // remain eligible for sleeper-driven re-publication.
         let refill_size = batch_size.max(keep_after_publish);
-        // Level 1 of the frontier: the owner-private LIFO buffer. No
-        // synchronization; invisible to thieves until published. Always
-        // fully drained before this worker registers as idle, which is
-        // what keeps quiescence detection sound.
-        let mut private: Vec<VertexId> = Vec::with_capacity(publish_threshold.min(1 << 12));
-        // Watermark separating shared-origin entries (below: refilled
-        // from the shared queue) from locally discovered ones (above).
-        // A pop at or above it processed a vertex that was never
-        // published — the `items_kept_local` the two-level frontier
-        // exists to maximize.
-        let mut shared_origin = 0usize;
-        // Scratch buffers hoisted out of the hot loops: one for shared-
-        // queue refills, one for steal sweeps.
-        let mut refill: VecDeque<VertexId> = VecDeque::new();
-        let mut steal_buf: VecDeque<VertexId> = VecDeque::new();
+        let prefetch = self.cfg.prefetch_distance;
+        let n = self.g.num_vertices();
+        let state = &mut *state;
 
         loop {
             // Drain the frontier (Alg. 1 lines 2.1-2.7): private buffer
             // first (no lock), then the shared queue.
             loop {
-                let v = match private.pop() {
+                let v = match state.private.pop() {
                     Some(v) => {
-                        if private.len() >= shared_origin {
+                        if state.private.len() >= state.shared_origin {
                             tally.kept_local += 1;
                         } else {
-                            shared_origin = private.len();
+                            state.shared_origin = state.private.len();
                         }
                         v
                     }
                     None => {
-                        if my_q.pop_chunk(&mut refill, refill_size) == 0 {
+                        if my_q.pop_chunk(&mut state.refill, refill_size) == 0 {
                             break;
                         }
-                        private.extend(refill.drain(..));
-                        let v = private.pop().expect("pop_chunk reported items");
+                        state.private.extend(state.refill.drain(..));
+                        let v = state.private.pop().expect("pop_chunk reported items");
                         // Everything just refilled came from the shared
                         // queue (the buffer was empty), so the whole
                         // remaining buffer is shared-origin.
-                        shared_origin = private.len();
+                        state.shared_origin = state.private.len();
                         v
                     }
                 };
-                // We already know the next vertex we will expand; request
-                // its CSR row now so its neighbor list arrives while we
-                // chase this one's.
-                if let Some(&next) = private.last() {
-                    self.g.prefetch_neighbors(next);
+                // We already know which vertex we will expand `prefetch`
+                // pops from now; request its CSR row so the neighbor
+                // list arrives while we chase the intervening ones.
+                if prefetch != 0 {
+                    if let Some(&next) = state
+                        .private
+                        .get(state.private.len().wrapping_sub(prefetch))
+                    {
+                        self.g.prefetch_neighbors(next);
+                    }
                 }
                 for &w in self.g.neighbors(v) {
                     if self.color.load(w as usize, Ordering::Acquire) == UNCOLORED {
@@ -455,59 +725,87 @@ impl<'a> Traversal<'a> {
                         // round barrier, both of which order all prior
                         // writes.
                         self.parent.store(w as usize, v, Ordering::Relaxed);
-                        private.push(w);
+                        state.private.push(w);
+                        if hybrid {
+                            state.visited_delta += 1;
+                        }
                     }
                 }
-                processed += 1;
+                state.processed += 1;
+                if hybrid {
+                    state.drained_delta += 1;
+                }
                 // Level 2: publish surplus in one batched push when the
                 // private buffer overflows, or donate everything as soon
                 // as sleepers are waiting for work.
                 let sleepers = self.detector.approx_sleeping() > 0;
-                let overflow = private.len() >= publish_threshold;
+                let overflow = state.private.len() >= publish_threshold;
                 if overflow || (self.cfg.publish_on_sleepers && sleepers) {
                     let keep = if overflow { keep_after_publish } else { 0 };
-                    if private.len() > keep {
+                    if state.private.len() > keep {
                         // Publish the oldest entries (the bottom of the
                         // stack); the newest stay private and cache-hot.
-                        let surplus = private.len() - keep;
-                        my_q.push_all(private.drain(..surplus));
+                        let surplus = state.private.len() - keep;
+                        my_q.push_all(state.private.drain(..surplus));
                         tally.published += surplus as u64;
                         // The drain took from the bottom, shared-origin
                         // entries first.
-                        shared_origin = shared_origin.saturating_sub(surplus);
+                        state.shared_origin = state.shared_origin.saturating_sub(surplus);
                     }
                 }
                 if sleepers && my_q.approx_len() > 1 {
                     self.detector.notify_work();
                 }
-                if let Some(outcome) = self.abort_outcome() {
-                    return (processed, outcome);
+                if let Some(exit) = self.pending_exit(hybrid) {
+                    return exit;
                 }
-                // Amortized cancellation poll: the flag check above is
-                // the per-vertex cost; the token itself is consulted
-                // every CANCEL_POLL_MASK+1 vertices.
-                if cancellable && processed & CANCEL_POLL_MASK == 0 && self.poll_cancel() {
-                    return (processed, TraversalOutcome::Cancelled);
+                // Amortized slow-path work, every CANCEL_POLL_MASK+1
+                // vertices: the cancel token (which may read the clock)
+                // and, on the hybrid path, the direction heuristic.
+                if state.processed & CANCEL_POLL_MASK == 0 {
+                    if cancellable && self.poll_cancel() {
+                        return SegmentExit::Done(TraversalOutcome::Cancelled);
+                    }
+                    if hybrid {
+                        self.flush_frontier_deltas(state);
+                        let visited = self.visited.load(Ordering::Relaxed);
+                        let frontier = visited.saturating_sub(self.drained.load(Ordering::Relaxed));
+                        self.frontier_peak.fetch_max(frontier, Ordering::Relaxed);
+                        let unvisited = n.saturating_sub(visited);
+                        // Switch forward when the frontier dominates the
+                        // unvisited remainder — and is itself a real
+                        // fraction of the graph, so the end-game tail
+                        // never flips back to bottom-up.
+                        if (frontier as f64) * self.cfg.alpha > unvisited as f64
+                            && (frontier as f64) * self.cfg.beta > n as f64
+                            && self.raise_switch()
+                        {
+                            return SegmentExit::Switch;
+                        }
+                    }
                 }
             }
             debug_assert!(
-                private.is_empty(),
+                state.private.is_empty(),
                 "private frontier must be drained before idling"
             );
 
             // Cold path: out of local work. Check aborts here too so a
             // rank cycling steal-idle-retry (which never touches the
-            // per-vertex check) still observes a cancellation raised by
-            // another rank within one idle timeout.
-            if let Some(outcome) = self.abort_outcome() {
-                return (processed, outcome);
+            // per-vertex check) still observes a cancellation or switch
+            // raised by another rank within one idle timeout.
+            if hybrid {
+                self.flush_frontier_deltas(state);
+            }
+            if let Some(exit) = self.pending_exit(hybrid) {
+                return exit;
             }
             if cancellable && self.poll_cancel() {
-                return (processed, TraversalOutcome::Cancelled);
+                return SegmentExit::Done(TraversalOutcome::Cancelled);
             }
 
             // Local queues empty: try to steal.
-            if self.try_steal(rank, &mut rng, &mut steal_buf) {
+            if self.try_steal(rank, &mut state.rng, &mut state.steal_buf) {
                 continue;
             }
 
@@ -515,21 +813,211 @@ impl<'a> Traversal<'a> {
             let outcome = self.detector.idle_wait(self.cfg.idle_timeout);
             self.trace.rank(rank).record(Phase::Idle, t_idle);
             match outcome {
-                IdleOutcome::AllDone => return (processed, TraversalOutcome::Completed),
+                IdleOutcome::AllDone => return SegmentExit::Done(TraversalOutcome::Completed),
                 IdleOutcome::Starved => {
-                    // Keep a cancellation that raced in; starvation only
-                    // claims a clean flag.
+                    // Starvation only claims a clean byte; whatever the
+                    // byte settled on — a cancellation or switch that
+                    // raced in — routes every rank identically.
                     let _ = self.abort.compare_exchange(
                         ABORT_NONE,
                         ABORT_STARVED,
                         Ordering::AcqRel,
                         Ordering::Acquire,
                     );
-                    return (processed, TraversalOutcome::Starved);
+                    return self
+                        .pending_exit(hybrid)
+                        .expect("abort byte settled before routing");
                 }
                 IdleOutcome::Retry => continue,
             }
         }
+    }
+
+    /// The bottom-up phase: full-vertex sweeps until quiescence, a
+    /// switch-back (hybrid only), or cancellation. Entered by the whole
+    /// team together — after the rendezvous barrier (hybrid) or
+    /// directly from [`run_worker_ctx`](Self::run_worker_ctx) (forced).
+    ///
+    /// Every sweep runs the same two-barrier protocol (model-checked in
+    /// st-smp's `loom_models/bottom_up.rs`): rank 0 decides the sweep in
+    /// the window between the previous sweep-end barrier and the next
+    /// sweep-start barrier — it alone reads `sweep_claims`, polls the
+    /// cancel token, resets the cursor, and publishes the decision in
+    /// `sweep_ctl` — and followers read only the control word after the
+    /// sweep-start barrier, so no read ever races the leader's reset.
+    fn bottom_up_phase(
+        &self,
+        ctx: &TeamCtx<'_>,
+        state: &mut WorkerState,
+        tally: &mut WorkerTally,
+        forced: bool,
+    ) -> BottomUpExit {
+        let t0 = now_ns();
+        let rank = ctx.rank();
+        let n = self.g.num_vertices();
+        let my_label = rank as u32 + 1;
+        let cancellable = self.cfg.cancel.is_live();
+        let prefetch = self.cfg.prefetch_distance;
+        let my_q = &*self.queues[rank];
+
+        // Entry: drop the pre-switch frontier. Safe because the first
+        // sweep visits every unvisited vertex and the pre-sweep colors
+        // are barrier-published, so anything the dropped entries would
+        // have discovered is claimed by the sweep instead (module docs).
+        // Each rank clears its *own* queue — no thief is running.
+        let mut discarded = state.private.len();
+        state.private.clear();
+        state.shared_origin = 0;
+        loop {
+            let got = my_q.pop_chunk(&mut state.refill, usize::MAX);
+            if got == 0 {
+                break;
+            }
+            discarded += got;
+            state.refill.clear();
+        }
+        // Dropped entries were visited but will never expand: drain
+        // them so the estimate reflects the (empty) live frontier.
+        state.drained_delta += discarded;
+        self.flush_frontier_deltas(state);
+        state.claims.clear();
+
+        let mut first = true;
+        loop {
+            if rank == 0 {
+                // Leader window: everything here happens between
+                // barriers, unobserved by followers until the control
+                // word is republished.
+                let ctl = if cancellable && self.cfg.cancel.is_cancelled() {
+                    CTL_CANCEL
+                } else if first {
+                    // Always run the first sweep — the dropped frontier
+                    // above is only covered by a *completed* sweep.
+                    CTL_RUN
+                } else {
+                    let claimed = self.sweep_claims.load(Ordering::Relaxed);
+                    if claimed == 0 {
+                        CTL_DONE
+                    } else if !forced && (claimed as f64) * self.cfg.beta < n as f64 {
+                        CTL_SWITCH
+                    } else {
+                        CTL_RUN
+                    }
+                };
+                if !forced && first {
+                    // Consume the ABORT_SWITCH that brought us here so
+                    // the round can abort or switch again later.
+                    self.abort.store(ABORT_NONE, Ordering::Release);
+                }
+                self.cursor.store(0, Ordering::Relaxed);
+                self.sweep_claims.store(0, Ordering::Relaxed);
+                self.sweep_ctl.store(ctl, Ordering::Relaxed);
+                if ctl == CTL_RUN {
+                    self.counters.rank(0).incr(Counter::RoundsBottomUp);
+                }
+            }
+            first = false;
+            self.timed_ctx_barrier(ctx); // sweep start: ctl published
+            match self.sweep_ctl.load(Ordering::Relaxed) {
+                CTL_DONE => {
+                    self.trace.rank(rank).record(Phase::BottomUp, t0);
+                    return BottomUpExit::Done(TraversalOutcome::Completed);
+                }
+                CTL_CANCEL => {
+                    self.trace.rank(rank).record(Phase::BottomUp, t0);
+                    return BottomUpExit::Done(TraversalOutcome::Cancelled);
+                }
+                CTL_SWITCH => {
+                    // The last sweep's claims are exactly the live
+                    // frontier (module docs); seed them back into the
+                    // private buffer for the top-down tail.
+                    state.private.append(&mut state.claims);
+                    state.shared_origin = 0;
+                    self.trace.rank(rank).record(Phase::BottomUp, t0);
+                    return BottomUpExit::SwitchBack;
+                }
+                _ => {}
+            }
+            // A new sweep is running, so the previous sweep's claims
+            // are interior vertices now, not frontier.
+            state.drained_delta += state.claims.len();
+            state.claims.clear();
+            loop {
+                let base = self.cursor.fetch_add(BU_CHUNK, Ordering::Relaxed);
+                if base >= n {
+                    break;
+                }
+                let hi = (base + BU_CHUNK).min(n);
+                for v in base..hi {
+                    // Relaxed scan loads: pre-sweep colors are barrier-
+                    // published, and seeing (or missing) a same-sweep
+                    // claim is benign — any visited vertex is a valid
+                    // parent.
+                    if self.color.load(v, Ordering::Relaxed) != UNCOLORED {
+                        continue;
+                    }
+                    if prefetch != 0 {
+                        self.g.prefetch_neighbors((v + prefetch) as VertexId);
+                    }
+                    let row = self.g.neighbors(v as VertexId);
+                    let mut found = None;
+                    for (i, &w) in row.iter().enumerate() {
+                        if prefetch != 0 {
+                            if let Some(&ahead) = row.get(i + prefetch) {
+                                self.color.prefetch(ahead as usize);
+                            }
+                        }
+                        if self.color.load(w as usize, Ordering::Relaxed) != UNCOLORED {
+                            found = Some(w);
+                            break;
+                        }
+                    }
+                    if let Some(w) = found {
+                        // The cursor handed this chunk to this rank
+                        // exclusively, so the claim is a plain relaxed
+                        // store — no CAS — published by the sweep-end
+                        // barrier.
+                        self.color.store(v, my_label, Ordering::Relaxed);
+                        self.parent.store(v, w, Ordering::Relaxed);
+                        state.claims.push(v as VertexId);
+                    }
+                }
+                // Per-chunk cancellation poll: stop claiming and let the
+                // leader turn the (monotone) token into CTL_CANCEL at
+                // the next decision window.
+                if cancellable && self.cfg.cancel.is_cancelled() {
+                    break;
+                }
+            }
+            // Bottom-up claims are both discovered and processed: the
+            // sweep colored them and no later expansion revisits them.
+            tally.discovered += state.claims.len() as u64;
+            state.processed += state.claims.len();
+            state.visited_delta += state.claims.len();
+            self.flush_frontier_deltas(state);
+            if !state.claims.is_empty() {
+                self.sweep_claims
+                    .fetch_add(state.claims.len(), Ordering::Relaxed);
+            }
+            self.timed_ctx_barrier(ctx); // sweep end: claims published
+        }
+    }
+
+    /// A team barrier with the same per-rank accounting as
+    /// [`run_rounds`](Self::run_rounds)' round barriers (episode count,
+    /// wait time, span). Returns `true` on exactly one rank.
+    fn timed_ctx_barrier(&self, ctx: &TeamCtx<'_>) -> bool {
+        let t_ns = now_ns();
+        let t0 = Instant::now();
+        let leader = ctx.barrier();
+        let waited = t0.elapsed().as_nanos() as u64;
+        let slot = self.counters.rank(ctx.rank());
+        slot.incr(Counter::Barriers);
+        slot.add(Counter::BarrierWaitNs, waited);
+        self.trace
+            .rank(ctx.rank())
+            .record_span(Phase::Barrier, t_ns, waited);
+        leader
     }
 
     /// One steal sweep for `rank`; updates the steal counters. Returns
@@ -626,7 +1114,7 @@ impl<'a> Traversal<'a> {
                 if finished.load(Ordering::Acquire) {
                     break;
                 }
-                let (count, outcome) = self.run_worker(ctx.rank());
+                let (count, outcome) = self.run_worker_ctx(&ctx);
                 total += count;
                 match outcome {
                     TraversalOutcome::Completed => {}
@@ -704,6 +1192,74 @@ struct WorkerTally {
     multi_colored: u64,
     published: u64,
     kept_local: u64,
+}
+
+/// How a top-down segment ended.
+enum SegmentExit {
+    /// The round is over for this rank.
+    Done(TraversalOutcome),
+    /// The abort byte settled on [`ABORT_SWITCH`]: head to the
+    /// rendezvous barrier and enter the bottom-up phase.
+    Switch,
+}
+
+/// How a bottom-up phase ended (leader-decided, uniform across ranks).
+enum BottomUpExit {
+    /// Quiescence or cancellation.
+    Done(TraversalOutcome),
+    /// The frontier went sparse; resume top-down with the private
+    /// buffer seeded from this rank's last-sweep claims.
+    SwitchBack,
+}
+
+/// A worker's per-round mutable state, hoisted into one struct so the
+/// top-down segment can be exited (for a direction switch) and
+/// re-entered without losing the frontier buffers, RNG stream, or
+/// tallies-in-flight.
+struct WorkerState {
+    /// Victim-selection RNG.
+    rng: SmallRng,
+    /// Level 1 of the frontier: the owner-private LIFO buffer. No
+    /// synchronization; invisible to thieves until published. Always
+    /// fully drained before this worker registers as idle, which is
+    /// what keeps quiescence detection sound.
+    private: Vec<VertexId>,
+    /// Watermark separating shared-origin entries (below: refilled from
+    /// the shared queue) from locally discovered ones (above). A pop at
+    /// or above it processed a vertex that was never published — the
+    /// `items_kept_local` the two-level frontier exists to maximize.
+    shared_origin: usize,
+    /// Scratch for shared-queue refills.
+    refill: VecDeque<VertexId>,
+    /// Scratch for steal sweeps.
+    steal_buf: VecDeque<VertexId>,
+    /// Vertices this rank dequeued and expanded (plus bottom-up claims).
+    processed: usize,
+    /// This rank's claims in the current bottom-up sweep; becomes the
+    /// switch-back seed when the sweep goes sparse.
+    claims: Vec<VertexId>,
+    /// Pending (unflushed) additions to [`Traversal::visited`].
+    visited_delta: usize,
+    /// Pending (unflushed) additions to [`Traversal::drained`].
+    drained_delta: usize,
+}
+
+impl WorkerState {
+    fn new(rank: usize, cfg: &TraversalConfig) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(
+                cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            private: Vec::with_capacity(cfg.publish_threshold.clamp(1, 1 << 12)),
+            shared_origin: 0,
+            refill: VecDeque::new(),
+            steal_buf: VecDeque::new(),
+            processed: 0,
+            claims: Vec::new(),
+            visited_delta: 0,
+            drained_delta: 0,
+        }
+    }
 }
 
 /// One steal sweep over `queues`: a few random probes, then a

@@ -262,6 +262,38 @@ impl CsrGraph {
         }
     }
 
+    /// Rebuilds both CSR arrays in fresh allocations advised with
+    /// `madvise(MADV_HUGEPAGE)` *before* the copy-in, so the copy — the
+    /// first touch — faults 2 MiB transparent huge pages directly.
+    ///
+    /// At traversal scale the `targets` array dominates the workload's
+    /// random reads; backing it with huge pages cuts TLB misses on both
+    /// traversal directions. Returns the rehomed graph and whether at
+    /// least one array accepted the advice (graphs smaller than a huge
+    /// page and non-Linux hosts report `false`; the graph itself is
+    /// identical either way).
+    pub fn into_hugepage_backed(self) -> (Self, bool) {
+        fn rehome<T: Copy>(src: Box<[T]>) -> (Box<[T]>, bool) {
+            let mut v: Vec<T> = Vec::with_capacity(src.len());
+            let advised = st_smp::mem::advise_hugepages(
+                v.as_ptr() as *const u8,
+                src.len() * std::mem::size_of::<T>(),
+            );
+            v.extend_from_slice(&src);
+            (v.into_boxed_slice(), advised)
+        }
+        let (offsets, offsets_advised) = rehome(self.offsets);
+        let (targets, targets_advised) = rehome(self.targets);
+        (
+            Self {
+                offsets,
+                targets,
+                num_edges: self.num_edges,
+            },
+            offsets_advised || targets_advised,
+        )
+    }
+
     /// Iterator over all vertex ids `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
@@ -513,6 +545,27 @@ mod tests {
         let tiny = CsrGraph::from_edge_list_parallel(&el);
         assert_eq!(tiny.num_edges(), 1);
         assert_eq!(tiny.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn hugepage_rehoming_preserves_the_graph() {
+        let g = triangle();
+        let (h, _advised) = g.clone().into_hugepage_backed();
+        assert_eq!(h, g);
+
+        // Large enough that targets spans a huge page: advice must be
+        // accepted on Linux and the graph must survive byte-for-byte.
+        let n = 300_000usize;
+        let mut el = EdgeList::new(n);
+        for v in 0..n as VertexId - 1 {
+            el.push(v, v + 1);
+        }
+        let big = CsrGraph::from_edge_list(&el);
+        let (rehomed, advised) = big.clone().into_hugepage_backed();
+        assert_eq!(rehomed, big);
+        if cfg!(target_os = "linux") {
+            assert!(advised, "multi-megabyte CSR should accept THP advice");
+        }
     }
 
     #[test]

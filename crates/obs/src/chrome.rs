@@ -98,6 +98,7 @@ mod tests {
             exec_ns: 500,
             totals: set.merged(),
             per_rank: set.snapshots(2),
+            phases: Vec::new(),
             spans: vec![SpanEvent {
                 rank: 1,
                 phase: Phase::Traverse,

@@ -62,10 +62,19 @@ pub enum Counter {
     StubVertices,
     /// Stub walks performed.
     StubWalks,
+    /// Top-down traversal segments executed (recorded by rank 0 once
+    /// per segment, so the value is segments, not segments × p).
+    RoundsTopDown,
+    /// Bottom-up sweeps executed (rank 0, once per sweep).
+    RoundsBottomUp,
+    /// Largest estimated live frontier observed by the direction
+    /// heuristic, summed across rounds (hybrid traversals only; a
+    /// single-component job reports its true peak).
+    FrontierPeak,
 }
 
 /// Number of counter lanes.
-pub const NUM_COUNTERS: usize = 18;
+pub const NUM_COUNTERS: usize = 21;
 
 impl Counter {
     /// Every counter, in lane order.
@@ -88,6 +97,9 @@ impl Counter {
         Counter::ShortcutRounds,
         Counter::StubVertices,
         Counter::StubWalks,
+        Counter::RoundsTopDown,
+        Counter::RoundsBottomUp,
+        Counter::FrontierPeak,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -111,6 +123,9 @@ impl Counter {
             Counter::ShortcutRounds => "shortcut_rounds",
             Counter::StubVertices => "stub_vertices",
             Counter::StubWalks => "stub_walks",
+            Counter::RoundsTopDown => "rounds_top_down",
+            Counter::RoundsBottomUp => "rounds_bottom_up",
+            Counter::FrontierPeak => "frontier_peak",
         }
     }
 }

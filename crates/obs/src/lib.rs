@@ -10,9 +10,10 @@
 //! * [`counters`] — always-on, cache-padded per-rank [`CounterSlot`]s
 //!   (Relaxed increments on rank-private lines), merged into a
 //!   [`CounterSnapshot`] at job completion.
-//! * [`trace`] — feature-gated (`obs-trace`) per-rank span ring buffers
-//!   recording phase intervals against a process-monotonic clock;
-//!   compiled to no-ops when the feature is off.
+//! * [`trace`] — per-rank phase timing: always-on coarse per-phase
+//!   totals (count + wall ns, in every build), plus feature-gated
+//!   (`obs-trace`) span ring buffers recording individual phase
+//!   intervals against a process-monotonic clock.
 //! * [`metrics`] — [`JobMetrics`], the per-job report every
 //!   `Engine`/`Executor` job returns: wall time, merged and per-rank
 //!   counters, and recorded spans.
@@ -35,4 +36,4 @@ pub use chrome::write_chrome_trace;
 pub use counters::{Counter, CounterSet, CounterSlot, CounterSnapshot, NUM_COUNTERS};
 pub use metrics::{JobMetrics, PhaseTotal};
 pub use pool::{JobOutcomeKind, PoolGauges, PoolSnapshot};
-pub use trace::{now_ns, Phase, SpanEvent, SpanRing, TraceSet, DEFAULT_SPAN_CAPACITY};
+pub use trace::{now_ns, Phase, SpanEvent, SpanRing, TraceSet, DEFAULT_SPAN_CAPACITY, NUM_PHASES};

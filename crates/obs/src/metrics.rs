@@ -5,6 +5,8 @@ use serde::Serialize;
 use crate::counters::{Counter, CounterSnapshot};
 use crate::trace::{Phase, SpanEvent};
 
+pub use crate::trace::PhaseTotal;
+
 /// Everything one engine job reported: merged counters, per-rank
 /// breakdowns, and (when `obs-trace` is compiled in) the recorded phase
 /// spans.
@@ -30,22 +32,14 @@ pub struct JobMetrics {
     pub totals: CounterSnapshot,
     /// Per-rank counter snapshots, `per_rank.len() == p`.
     pub per_rank: Vec<CounterSnapshot>,
+    /// Coarse per-phase wall totals from the always-on accumulators —
+    /// populated in every build, unlike [`spans`](Self::spans).
+    pub phases: Vec<PhaseTotal>,
     /// Phase spans across all ranks, sorted by start time. Empty unless
     /// built with `--features obs-trace`.
     pub spans: Vec<SpanEvent>,
     /// Spans lost to ring overflow (0 when tracing is compiled out).
     pub spans_dropped: u64,
-}
-
-/// Aggregate time attributed to one phase across all ranks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
-pub struct PhaseTotal {
-    /// The phase.
-    pub phase: Phase,
-    /// Number of spans recorded for it.
-    pub count: u64,
-    /// Summed span duration in nanoseconds.
-    pub total_ns: u64,
 }
 
 impl JobMetrics {
@@ -55,7 +49,10 @@ impl JobMetrics {
         self.totals.get(c)
     }
 
-    /// Per-phase span totals (phases with no spans are omitted).
+    /// Per-phase totals derived from the recorded [`spans`](Self::spans)
+    /// (phases with no spans are omitted; empty without `obs-trace`).
+    /// For totals that exist in every build, read
+    /// [`phases`](Self::phases) instead.
     pub fn phase_totals(&self) -> Vec<PhaseTotal> {
         Phase::ALL
             .iter()
@@ -110,6 +107,11 @@ mod tests {
             exec_ns: 700,
             totals: set.merged(),
             per_rank: set.snapshots(2),
+            phases: vec![PhaseTotal {
+                phase: Phase::Traverse,
+                count: 2,
+                total_ns: 1350,
+            }],
             spans: vec![
                 SpanEvent {
                     rank: 0,

@@ -1,16 +1,25 @@
-//! Feature-gated per-worker phase span tracing.
+//! Per-worker phase timing: always-on coarse totals, feature-gated
+//! span rings.
 //!
-//! With the `obs-trace` feature enabled, each rank owns a fixed-capacity
-//! ring buffer of [`SpanEvent`]s stamped with a monotonic coarse clock
-//! ([`now_ns`], nanoseconds since a process-wide epoch). The ring drops
-//! the oldest span on overflow and counts what it dropped, so a long job
-//! keeps its tail — the part a Perfetto reader usually cares about —
-//! without unbounded memory.
+//! Every [`SpanRing`] keeps an always-on pair of per-phase accumulators
+//! (span count and summed nanoseconds, Relaxed adds to rank-private
+//! lines), so default builds still report where wall time went — this is
+//! what fills the `phases` section of the benchmark reports. Recording
+//! happens at *phase* granularity (one per traversal shift, idle
+//! episode, barrier episode, or bottom-up sweep, never per vertex), so
+//! the always-on cost is one `Instant` read plus two Relaxed adds per
+//! phase boundary.
 //!
-//! Without the feature (the default), [`now_ns`] returns 0, [`SpanRing`]
-//! carries no state, and every recording call is an empty `#[inline]`
-//! body the optimizer deletes — the zero-cost-when-disabled claim CI
-//! enforces by building the cfg-off configuration.
+//! With the `obs-trace` feature enabled, each rank additionally owns a
+//! fixed-capacity ring buffer of [`SpanEvent`]s stamped with a monotonic
+//! coarse clock ([`now_ns`], nanoseconds since a process-wide epoch).
+//! The ring drops the oldest span on overflow and counts what it
+//! dropped, so a long job keeps its tail — the part a Perfetto reader
+//! usually cares about — without unbounded memory. Without the feature
+//! (the default), the ring carries no state and individual spans are
+//! never kept; only the coarse totals remain.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use serde::{Serialize, Value};
 use st_smp::pad::CachePadded;
@@ -22,9 +31,15 @@ use st_smp::SpinLock;
 pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
 
 /// What a span covers. Serializes as its [`Phase::name`].
+///
+/// The discriminant is the lane index of the always-on per-phase
+/// accumulators; [`Phase::ALL`] lists every variant in lane order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
 pub enum Phase {
-    /// A worker's whole traversal shift (pop/scan/publish/steal loop).
+    /// A worker's whole traversal shift (pop/scan/publish/steal loop,
+    /// including any idle waits and bottom-up sweeps inside it — phases
+    /// nest, they do not partition).
     Traverse,
     /// Waiting inside the termination detector.
     Idle,
@@ -38,11 +53,17 @@ pub enum Phase {
     Shortcut,
     /// The starvation fallback (SV core run mid-job).
     Fallback,
+    /// One bottom-up sweep of the direction-optimizing traversal
+    /// (nested inside [`Phase::Traverse`]).
+    BottomUp,
 }
+
+/// Number of phase lanes.
+pub const NUM_PHASES: usize = 8;
 
 impl Phase {
     /// Every phase.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; NUM_PHASES] = [
         Phase::Traverse,
         Phase::Idle,
         Phase::Barrier,
@@ -50,6 +71,7 @@ impl Phase {
         Phase::Graft,
         Phase::Shortcut,
         Phase::Fallback,
+        Phase::BottomUp,
     ];
 
     /// Stable lowercase name used in JSON and trace output.
@@ -62,8 +84,24 @@ impl Phase {
             Phase::Graft => "graft",
             Phase::Shortcut => "shortcut",
             Phase::Fallback => "fallback",
+            Phase::BottomUp => "bottom_up",
         }
     }
+}
+
+/// Aggregate time attributed to one phase across all ranks.
+///
+/// Produced by [`TraceSet::phase_totals`] from the always-on
+/// accumulators (default builds included) and by
+/// `JobMetrics::phase_totals` from recorded spans (`obs-trace` only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct PhaseTotal {
+    /// The phase.
+    pub phase: Phase,
+    /// Number of spans recorded for it.
+    pub count: u64,
+    /// Summed span duration in nanoseconds.
+    pub total_ns: u64,
 }
 
 impl Serialize for Phase {
@@ -87,21 +125,14 @@ pub struct SpanEvent {
 
 /// Nanoseconds since a process-wide monotonic epoch (first call wins).
 ///
-/// Coarse by design: spans are recorded at phase granularity, not per
-/// vertex, so one `Instant` read per record is the whole cost.
-#[cfg(feature = "obs-trace")]
+/// Always on: the coarse per-phase totals in default builds need a real
+/// clock. Coarse by design — spans are recorded at phase granularity,
+/// not per vertex, so one `Instant` read per record is the whole cost.
 pub fn now_ns() -> u64 {
     use std::sync::OnceLock;
     use std::time::Instant;
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
-}
-
-/// Tracing disabled: the clock is a constant and spans are never kept.
-#[cfg(not(feature = "obs-trace"))]
-#[inline(always)]
-pub fn now_ns() -> u64 {
-    0
 }
 
 #[cfg(feature = "obs-trace")]
@@ -116,60 +147,69 @@ struct RingInner {
     cap: usize,
 }
 
-/// A fixed-capacity, drop-oldest span ring for one rank.
+/// A fixed-capacity, drop-oldest span ring for one rank, plus the
+/// always-on per-phase totals.
 ///
-/// All methods take `&self`; the (feature-gated) interior is a
+/// All methods take `&self`; the (feature-gated) ring interior is a
 /// `SpinLock`, uncontended in practice because each rank writes only
 /// its own ring — the lock exists so a driver thread can drain rings
-/// after the team quiesces without unsafe code.
+/// after the team quiesces without unsafe code. The totals are plain
+/// Relaxed atomics on the rank-private line, present in every build.
 #[derive(Debug)]
 pub struct SpanRing {
+    /// Always-on per-phase span counts, indexed by discriminant.
+    counts: [AtomicU64; NUM_PHASES],
+    /// Always-on per-phase summed durations (ns).
+    total_ns: [AtomicU64; NUM_PHASES],
     #[cfg(feature = "obs-trace")]
     inner: SpinLock<RingInner>,
 }
 
 impl SpanRing {
-    /// A ring holding at most `cap` spans (ignored when tracing is
-    /// compiled out).
+    /// A ring holding at most `cap` spans (the cap only affects the
+    /// feature-gated span storage, never the always-on totals).
     pub fn with_capacity(cap: usize) -> Self {
-        #[cfg(feature = "obs-trace")]
-        {
-            Self {
-                inner: SpinLock::new(RingInner {
-                    events: Vec::with_capacity(cap.max(1)),
-                    head: 0,
-                    dropped: 0,
-                    cap: cap.max(1),
-                }),
-            }
-        }
         #[cfg(not(feature = "obs-trace"))]
-        {
-            let _ = cap;
-            Self {}
+        let _ = cap;
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            #[cfg(feature = "obs-trace")]
+            inner: SpinLock::new(RingInner {
+                events: Vec::with_capacity(cap.max(1)),
+                head: 0,
+                dropped: 0,
+                cap: cap.max(1),
+            }),
         }
     }
 
     /// Records a span from `start_ns` until now.
     #[inline]
     pub fn record(&self, phase: Phase, start_ns: u64) {
-        #[cfg(feature = "obs-trace")]
-        self.push(phase, start_ns, now_ns().saturating_sub(start_ns));
-        #[cfg(not(feature = "obs-trace"))]
-        {
-            let _ = (phase, start_ns);
-        }
+        self.record_span(phase, start_ns, now_ns().saturating_sub(start_ns));
     }
 
     /// Records a span with an explicit duration.
     #[inline]
     pub fn record_span(&self, phase: Phase, start_ns: u64, dur_ns: u64) {
+        self.counts[phase as usize].fetch_add(1, Relaxed);
+        self.total_ns[phase as usize].fetch_add(dur_ns, Relaxed);
         #[cfg(feature = "obs-trace")]
         self.push(phase, start_ns, dur_ns);
         #[cfg(not(feature = "obs-trace"))]
         {
-            let _ = (phase, start_ns, dur_ns);
+            let _ = start_ns;
         }
+    }
+
+    /// This rank's always-on totals for one phase, as `(count, ns)`.
+    #[inline]
+    pub fn phase_total(&self, phase: Phase) -> (u64, u64) {
+        (
+            self.counts[phase as usize].load(Relaxed),
+            self.total_ns[phase as usize].load(Relaxed),
+        )
     }
 
     #[cfg(feature = "obs-trace")]
@@ -224,8 +264,11 @@ impl SpanRing {
         }
     }
 
-    /// Empties the ring.
+    /// Empties the ring and zeroes the always-on totals.
     pub fn clear(&self) {
+        for lane in self.counts.iter().chain(self.total_ns.iter()) {
+            lane.store(0, Relaxed);
+        }
         #[cfg(feature = "obs-trace")]
         {
             let mut r = self.inner.lock();
@@ -299,6 +342,29 @@ impl TraceSet {
     pub fn dropped(&self) -> u64 {
         self.rings.iter().map(|r| r.dropped()).sum()
     }
+
+    /// Per-phase totals summed across ranks from the always-on
+    /// accumulators (phases never recorded are omitted). Available in
+    /// every build — this is what the default-build benchmark reports
+    /// ship as their `phases` section.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        Phase::ALL
+            .iter()
+            .filter_map(|&phase| {
+                let (mut count, mut total_ns) = (0u64, 0u64);
+                for r in &self.rings {
+                    let (c, ns) = r.phase_total(phase);
+                    count += c;
+                    total_ns += ns;
+                }
+                (count > 0).then_some(PhaseTotal {
+                    phase,
+                    count,
+                    total_ns,
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -368,5 +434,40 @@ mod tests {
             assert!(!p.name().is_empty());
             assert_eq!(p.to_value(), serde::Value::String(p.name().to_string()));
         }
+    }
+
+    #[test]
+    fn phase_lanes_match_discriminants() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn totals_are_always_on() {
+        // The coarse per-phase accumulators work in every build, with or
+        // without obs-trace.
+        let mut ts = TraceSet::default();
+        ts.ensure(2);
+        ts.rank(0).record_span(Phase::BottomUp, 0, 100);
+        ts.rank(1).record_span(Phase::BottomUp, 5, 50);
+        ts.rank(1).record_span(Phase::Barrier, 0, 7);
+        let totals = ts.phase_totals();
+        assert_eq!(totals.len(), 2);
+        let bu = totals
+            .iter()
+            .find(|t| t.phase == Phase::BottomUp)
+            .expect("bottom_up total present");
+        assert_eq!(bu.count, 2);
+        assert_eq!(bu.total_ns, 150);
+        ts.clear();
+        assert!(ts.phase_totals().is_empty(), "clear zeroes the totals");
+    }
+
+    #[test]
+    fn clock_runs_in_every_build() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(now_ns() > a, "now_ns must be a real clock in all builds");
     }
 }

@@ -124,13 +124,37 @@ impl AtomicU32Array {
     /// and existing cell contents are unspecified — callers re-init the
     /// prefix they use. No-op when capacity suffices.
     pub fn ensure_len(&mut self, n: usize) {
+        self.ensure_len_with(n, false);
+    }
+
+    /// [`ensure_len`](Self::ensure_len) with an optional
+    /// transparent-hugepage hint: when `huge` is set, a fresh allocation
+    /// is advised with [`crate::mem::advise_hugepages`] *before* the
+    /// cells are initialized, so the initializing writes — the first
+    /// touch — fault huge pages directly. The hint only applies when
+    /// this call actually reallocates.
+    pub fn ensure_len_with(&mut self, n: usize, huge: bool) {
         if self.cells.len() >= n {
             return;
         }
         let target = n.max(self.cells.len() * 2);
-        let mut v = Vec::with_capacity(target);
+        let mut v: Vec<AtomicU32> = Vec::with_capacity(target);
+        if huge {
+            crate::mem::advise_hugepages(
+                v.as_ptr() as *const u8,
+                target * std::mem::size_of::<AtomicU32>(),
+            );
+        }
         v.resize_with(target, || AtomicU32::new(0));
         self.cells = v.into_boxed_slice();
+    }
+
+    /// Hints the CPU to pull cell `i` toward L1 (no-op out of range).
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        if let Some(cell) = self.cells.get(i) {
+            crate::mem::prefetch_read(cell as *const AtomicU32);
+        }
     }
 }
 
@@ -200,6 +224,26 @@ mod tests {
         for i in 0..N {
             assert!((a.load(i, Ordering::Relaxed) as usize) < P);
         }
+    }
+
+    #[test]
+    fn ensure_len_with_hugepages_grows_and_zeroes() {
+        let mut a = AtomicU32Array::new(0, 0);
+        a.ensure_len_with(1000, true);
+        assert!(a.len() >= 1000);
+        assert!(a.snapshot_prefix(1000).iter().all(|&v| v == 0));
+        // Growing again without the hint keeps contents usable.
+        a.store(5, 42, Ordering::Relaxed);
+        a.ensure_len_with(100, false);
+        assert_eq!(a.load(5, Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn prefetch_tolerates_out_of_range() {
+        let a = AtomicU32Array::new(4, 0);
+        a.prefetch(0);
+        a.prefetch(3);
+        a.prefetch(4_000_000);
     }
 
     #[test]

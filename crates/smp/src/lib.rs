@@ -27,6 +27,8 @@
 //!   of §2: sleeping processors are counted; all-asleep means the
 //!   traversal is done, and crossing a configurable threshold triggers
 //!   the fallback algorithm.
+//! * [`mem`] — memory-placement hints: transparent-hugepage advice for
+//!   the big shared arrays and the software-prefetch primitive.
 //! * [`pad`] — cache-line padding to keep per-processor counters off
 //!   shared lines.
 //! * [`atomics`] — a shared atomic `u32` array used for vertex colors and
@@ -46,6 +48,7 @@ pub mod detect;
 pub mod dissemination;
 pub mod executor;
 pub mod lock;
+pub mod mem;
 pub mod pad;
 pub mod pool;
 pub mod steal;

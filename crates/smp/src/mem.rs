@@ -1,0 +1,129 @@
+//! Memory-placement helpers: transparent-hugepage advice and software
+//! prefetch.
+//!
+//! The traversal at scale ≥ 20 is memory-bound: the CSR arrays and the
+//! color/parent workspace span hundreds of megabytes, and with the
+//! default 4 KiB pages the random vertex accesses of both traversal
+//! directions thrash the TLB. [`advise_hugepages`] asks the kernel
+//! (`madvise(MADV_HUGEPAGE)`) to back a buffer with transparent huge
+//! pages — effective when issued *before* the first touch, so the
+//! initial population faults 2 MiB pages directly; on hosts where THP
+//! is in `madvise` mode this is the only way to get huge pages at all.
+//!
+//! [`prefetch_read`] is the one software-prefetch primitive the
+//! workspace uses; the traversal engine routes its lookahead distance
+//! through a config knob rather than hard-coding it at call sites.
+//!
+//! Everything here is a hint: failures are reported but never fatal,
+//! and non-Linux / non-x86_64 builds compile to no-ops.
+
+#[cfg(target_os = "linux")]
+use std::ffi::c_void;
+
+/// The transparent-hugepage size the advice targets (x86_64: 2 MiB).
+pub const HUGE_PAGE_BYTES: usize = 2 * 1024 * 1024;
+
+/// Base page size used to align the advised range inward.
+const PAGE_BYTES: usize = 4096;
+
+/// `MADV_HUGEPAGE` from `<sys/mman.h>` (Linux, stable ABI constant).
+#[cfg(target_os = "linux")]
+const MADV_HUGEPAGE: i32 = 14;
+
+// `std` already links libc on Linux; declaring the one symbol we need
+// avoids growing the dependency tree for a single hint call.
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn madvise(addr: *mut c_void, length: usize, advice: i32) -> i32;
+}
+
+/// Advises the kernel to back `[ptr, ptr + bytes)` with transparent
+/// huge pages. Returns `true` when the advice was applied to at least
+/// one full huge page.
+///
+/// Call this right after allocating and *before* writing the buffer:
+/// `khugepaged` may eventually collapse already-touched memory, but
+/// only pre-touch advice makes the initial population fault 2 MiB pages
+/// directly. The range is aligned inward to base-page boundaries
+/// (`madvise` rejects unaligned starts); buffers smaller than one huge
+/// page are skipped. Purely a performance hint — never required for
+/// correctness, a no-op off Linux.
+pub fn advise_hugepages(ptr: *const u8, bytes: usize) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        if bytes < HUGE_PAGE_BYTES {
+            return false;
+        }
+        let start = (ptr as usize).next_multiple_of(PAGE_BYTES);
+        let end = (ptr as usize).saturating_add(bytes) & !(PAGE_BYTES - 1);
+        if end <= start || end - start < HUGE_PAGE_BYTES {
+            return false;
+        }
+        // SAFETY: the range lies within the caller's allocation (aligned
+        // inward), and MADV_HUGEPAGE only adjusts kernel page-size
+        // policy — it cannot unmap, discard, or otherwise alter the
+        // memory's contents.
+        unsafe { madvise(start as *mut c_void, end - start, MADV_HUGEPAGE) == 0 }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (ptr, bytes);
+        false
+    }
+}
+
+/// Hints the CPU to pull the cache line holding `*ptr` toward L1.
+///
+/// No architectural effect: dangling or unaligned pointers are allowed
+/// (the CPU drops bad prefetches), and non-x86_64 targets compile this
+/// to nothing.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch instructions never fault and have no effect
+    // beyond the cache hierarchy, regardless of the address.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(ptr as *const i8, std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_buffers_are_skipped() {
+        let buf = [0u8; 64];
+        assert!(!advise_hugepages(buf.as_ptr(), buf.len()));
+    }
+
+    #[test]
+    fn null_range_is_rejected_not_fatal() {
+        // Zero bytes never covers a huge page; must not call madvise.
+        assert!(!advise_hugepages(std::ptr::null(), 0));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn large_buffer_accepts_advice() {
+        // 3 huge pages guarantees at least one aligned huge page inside
+        // the allocation regardless of where malloc placed it.
+        let mut buf: Vec<u8> = Vec::with_capacity(3 * HUGE_PAGE_BYTES);
+        assert!(advise_hugepages(buf.as_ptr(), 3 * HUGE_PAGE_BYTES));
+        // The buffer stays fully usable after the advice.
+        buf.resize(3 * HUGE_PAGE_BYTES, 7);
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn prefetch_accepts_any_pointer() {
+        let v = [1u32, 2, 3];
+        prefetch_read(v.as_ptr());
+        prefetch_read(v.as_ptr().wrapping_add(1 << 20));
+        prefetch_read::<u32>(std::ptr::null());
+    }
+}

@@ -120,13 +120,12 @@ impl<T> WorkQueue<T> {
         if take == 0 {
             return 0;
         }
-        if take == q.len() {
-            out.append(&mut q);
-        } else {
-            let rest = q.split_off(take);
-            out.append(&mut q);
-            *q = rest;
-        }
+        // Drain in place: the ring buffer's head advances, so the cost
+        // is O(take) regardless of queue length. (A `split_off(take)`
+        // here allocates a fresh buffer and copies the *remainder* —
+        // O(len) per call, quadratic over a drain, and a page-fault
+        // storm once the queue holds millions of entries.)
+        out.extend(q.drain(..take));
         self.approx_len.store(q.len(), Ordering::Release);
         take
     }
@@ -140,11 +139,12 @@ impl<T> WorkQueue<T> {
         if take == 0 {
             return 0;
         }
+        // Drain the tail in place rather than `split_off`: same O(take)
+        // element moves while the lock is held, without allocating a
+        // transfer buffer per steal.
         let split_at = q.len() - take;
-        let mut tail = q.split_off(split_at);
+        out.extend(q.drain(split_at..));
         self.approx_len.store(q.len(), Ordering::Release);
-        drop(q);
-        out.append(&mut tail);
         take
     }
 

@@ -33,6 +33,7 @@
 #![cfg(feature = "loom")]
 
 mod barriers;
+mod bottom_up;
 mod detector;
 mod executor;
 mod locks;

@@ -148,6 +148,7 @@ impl AtomicBool {
 }
 
 atomic_int!(AtomicUsize, AtomicUsize, usize);
+atomic_int!(AtomicU8, AtomicU8, u8);
 atomic_int!(AtomicU32, AtomicU32, u32);
 atomic_int!(AtomicU64, AtomicU64, u64);
 atomic_int!(AtomicI64, AtomicI64, i64);
