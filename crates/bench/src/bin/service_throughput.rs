@@ -18,11 +18,21 @@
 //! * `service` — one [`Service`](st_service::Service) with the given
 //!   team layout and admission-queue capacity; clients submit through
 //!   the job builder and block in `wait()`.
+//! * `server_cold` — the same service behind the TCP front-end: `C`
+//!   loopback [`Client`](st_service::net::Client) connections submit
+//!   catalog-addressed jobs with per-job distinct seeds, so every job
+//!   misses the result cache and executes. Measures the full wire path
+//!   (framing + admission + execution + forest download).
+//! * `server_hot` — identical, but every client reuses one seed, so
+//!   after the first execution the result cache short-circuits every
+//!   job: no queue entry, no team lease. The report asserts the hit
+//!   count proves it.
 //!
 //! Every forest is validated for tree count; per-job latencies
 //! (submit → result) give p50/p99. The report (default
-//! `BENCH_service.json`) records both models, their jobs/s, and the
-//! speedup, plus the service's final [`PoolSnapshot`] gauges.
+//! `BENCH_service.json`) records all models, their jobs/s, and the
+//! in-process speedup, plus each service's final [`PoolSnapshot`]
+//! gauges.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -33,6 +43,7 @@ use st_core::bader_cong::BaderCong;
 use st_graph::gen::random_gnm;
 use st_graph::CsrGraph;
 use st_obs::PoolSnapshot;
+use st_service::net::{Client, RemoteGraph, Server, ServerConfig, SubmitRequest};
 use st_service::Service;
 
 #[derive(Clone, Debug, Serialize)]
@@ -60,6 +71,8 @@ struct ServiceReport {
     host_parallelism: usize,
     naive: ModelResult,
     service: ModelResult,
+    server_cold: ModelResult,
+    server_hot: ModelResult,
     speedup: f64,
 }
 
@@ -185,6 +198,54 @@ where
     (wall, latencies)
 }
 
+/// One remote job: submit with `seed`, wait, return the tree count.
+fn remote_trees(conn: &mut Client, remote: RemoteGraph, seed: u64) -> usize {
+    let reply = conn
+        .submit(SubmitRequest::new(remote).seed(seed))
+        .expect("remote submit");
+    conn.wait(reply.ticket).expect("remote wait").num_trees()
+}
+
+/// As [`drive`], but each client thread owns one TCP connection to
+/// `addr`. `run_job` receives `(connection, client index, job index)`.
+fn drive_server<F>(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    jobs: usize,
+    expected_trees: usize,
+    run_job: F,
+) -> (f64, Vec<f64>)
+where
+    F: Fn(&mut Client, usize, usize) -> usize + Sync,
+{
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let run_job = &run_job;
+                s.spawn(move || {
+                    let mut conn = Client::connect(addr).expect("loopback connect");
+                    let mut lats = Vec::with_capacity(jobs);
+                    for job in 0..jobs {
+                        let t0 = Instant::now();
+                        let trees = run_job(&mut conn, client, job);
+                        lats.push(t0.elapsed().as_secs_f64());
+                        assert_eq!(trees, expected_trees, "wrong forest");
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (wall, latencies)
+}
+
 fn model_result(
     model: &str,
     total_jobs: usize,
@@ -245,6 +306,72 @@ fn main() {
     let snapshot = svc.shutdown();
     let service = model_result("service", total_jobs, svc_wall, &svc_lats, Some(snapshot));
 
+    // Server models: the same pool behind the TCP front-end, driven by
+    // `clients` concurrent loopback connections.
+    let (server_cold, server_hot) = {
+        let svc = Arc::new(
+            Service::builder()
+                .teams(opts.teams.iter().copied())
+                .queue_capacity(opts.queue_cap)
+                .result_cache_capacity(opts.clients * opts.jobs + 1)
+                .build(),
+        );
+        let server = Server::start(Arc::clone(&svc), ServerConfig::default())
+            .expect("binding a loopback port");
+        let remote = Client::connect(server.local_addr())
+            .expect("connect")
+            .register(&g)
+            .expect("register");
+
+        // Cold: per-client, per-job unique seeds — every job misses the
+        // cache and runs a real traversal over the wire path.
+        let (cold_wall, cold_lats) = drive_server(
+            server.local_addr(),
+            opts.clients,
+            opts.jobs,
+            expected_trees,
+            |conn, client, job| remote_trees(conn, remote, 1 + (client * opts.jobs + job) as u64),
+        );
+        let cold_snapshot = svc.snapshot();
+        assert_eq!(
+            cold_snapshot.cache_hits, 0,
+            "cold pass must never hit the cache"
+        );
+        let server_cold = model_result(
+            "server_cold",
+            total_jobs,
+            cold_wall,
+            &cold_lats,
+            Some(cold_snapshot),
+        );
+
+        // Hot: one shared seed — after at most a few racing cold runs,
+        // every job is a cache hit that bypasses queue and pool.
+        let (hot_wall, hot_lats) = drive_server(
+            server.local_addr(),
+            opts.clients,
+            opts.jobs,
+            expected_trees,
+            |conn, _, _| remote_trees(conn, remote, 0),
+        );
+        let hot_snapshot = svc.snapshot();
+        let hot_hits = hot_snapshot.cache_hits - cold_snapshot.cache_hits;
+        assert!(
+            hot_hits >= (total_jobs as u64).saturating_sub(opts.clients as u64),
+            "hot pass must be cache-served (got {hot_hits} hits of {total_jobs} jobs)"
+        );
+        eprintln!("  server_hot cache hits: {hot_hits}/{total_jobs}");
+        let server_hot = model_result(
+            "server_hot",
+            total_jobs,
+            hot_wall,
+            &hot_lats,
+            Some(hot_snapshot),
+        );
+        server.shutdown();
+        (server_cold, server_hot)
+    };
+
     let speedup = service.jobs_per_s / naive.jobs_per_s;
     eprintln!("  speedup: {speedup:.2}x");
 
@@ -262,6 +389,8 @@ fn main() {
         host_parallelism: std::thread::available_parallelism().map_or(1, |c| c.get()),
         naive,
         service,
+        server_cold,
+        server_hot,
         speedup,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

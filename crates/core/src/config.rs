@@ -32,6 +32,9 @@
 //! | `ST_BENCH_SCALE` | integer (log2 n) | default problem scale of the bench bins |
 //! | `ST_SERVICE_TEAMS` | comma list of integers ≥ 1 | service pool team widths, e.g. `4,2,2` |
 //! | `ST_SERVICE_QUEUE_CAP` | integer ≥ 1 | service admission-queue capacity |
+//! | `ST_LISTEN_ADDR` | `host:port` socket address | TCP bind address of the service front-end |
+//! | `ST_MAX_CONNECTIONS` | integer ≥ 1 | concurrent TCP connections before `Busy` |
+//! | `ST_RESULT_CACHE_CAP` | integer ≥ 0 | result-cache entries (0 disables caching) |
 
 use std::fmt;
 
@@ -91,6 +94,14 @@ pub struct RuntimeConfig {
     pub service_teams: Option<Vec<usize>>,
     /// `ST_SERVICE_QUEUE_CAP`: job-service admission queue capacity.
     pub service_queue_capacity: Option<usize>,
+    /// `ST_LISTEN_ADDR`: TCP bind address of the service front-end.
+    pub listen_addr: Option<std::net::SocketAddr>,
+    /// `ST_MAX_CONNECTIONS`: concurrent TCP connections the front-end
+    /// accepts before answering `Busy`.
+    pub max_connections: Option<usize>,
+    /// `ST_RESULT_CACHE_CAP`: result-cache entry capacity (0 disables
+    /// the cache).
+    pub result_cache_capacity: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -109,6 +120,9 @@ impl RuntimeConfig {
             bench_scale: read("ST_BENCH_SCALE", parse_scale)?,
             service_teams: read("ST_SERVICE_TEAMS", parse_team_list)?,
             service_queue_capacity: read("ST_SERVICE_QUEUE_CAP", parse_positive)?,
+            listen_addr: read("ST_LISTEN_ADDR", parse_socket_addr)?,
+            max_connections: read("ST_MAX_CONNECTIONS", parse_positive)?,
+            result_cache_capacity: read("ST_RESULT_CACHE_CAP", parse_nonnegative)?,
         })
     }
 
@@ -165,6 +179,15 @@ fn parse_positive(s: &str) -> Result<usize, &'static str> {
         Ok(0) | Err(_) => Err("an integer ≥ 1"),
         Ok(v) => Ok(v),
     }
+}
+
+fn parse_nonnegative(s: &str) -> Result<usize, &'static str> {
+    s.parse::<usize>().map_err(|_| "an integer ≥ 0")
+}
+
+fn parse_socket_addr(s: &str) -> Result<std::net::SocketAddr, &'static str> {
+    s.parse()
+        .map_err(|_| "a socket address like `127.0.0.1:7077` or `[::1]:7077`")
 }
 
 fn parse_scale(s: &str) -> Result<u32, &'static str> {
@@ -325,6 +348,29 @@ mod tests {
         assert_eq!(t.alpha, 7.5);
         assert_eq!(t.beta, 12.0);
         assert_eq!(t.prefetch_distance, 0);
+    }
+
+    #[test]
+    fn listen_addr_requires_a_socket_address() {
+        assert_eq!(
+            parse_socket_addr("127.0.0.1:7077"),
+            Ok("127.0.0.1:7077".parse().unwrap())
+        );
+        assert_eq!(
+            parse_socket_addr("[::1]:9000"),
+            Ok("[::1]:9000".parse().unwrap())
+        );
+        assert!(parse_socket_addr("localhost:7077").is_err(), "no DNS here");
+        assert!(parse_socket_addr("127.0.0.1").is_err(), "port required");
+        assert!(parse_socket_addr("").is_err());
+    }
+
+    #[test]
+    fn cache_capacity_accepts_zero() {
+        assert_eq!(parse_nonnegative("0"), Ok(0), "0 disables the cache");
+        assert_eq!(parse_nonnegative("4096"), Ok(4096));
+        assert!(parse_nonnegative("-1").is_err());
+        assert!(parse_nonnegative("lots").is_err());
     }
 
     #[test]

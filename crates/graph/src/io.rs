@@ -1,6 +1,6 @@
-//! Plain-text graph persistence.
+//! Graph persistence: plain-text edge lists and the binary CSR format.
 //!
-//! Format (whitespace-separated):
+//! Text format (whitespace-separated):
 //!
 //! ```text
 //! # optional comment lines
@@ -10,11 +10,40 @@
 //!
 //! This is the minimal interchange the benchmark harness and the examples
 //! use to save generated inputs and share them across runs.
+//!
+//! # Binary CSR format (`STCSRv01`)
+//!
+//! The job service's graph catalog loads graphs at startup and on
+//! remote registration; parsing multi-million-edge text files there is
+//! a non-starter. The binary format stores the CSR arrays directly so a
+//! load is a header check plus (on Linux) an `mmap` — the arrays are
+//! used in place, zero-copy, with the kernel sharing clean pages across
+//! every process serving the same file. All integers little-endian:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"STCSRv01"
+//!      8     8  n      vertex count (u64)
+//!     16     8  m      undirected edge count (u64)
+//!     24     8  checksum  FNV-1a 64 over the payload bytes
+//!     32     8  reserved  (zero)
+//!     40  8(n+1)  offsets   u64 each, CSR row starts
+//!      …  4·2m    targets   u32 each, concatenated neighbor lists
+//! ```
+//!
+//! The header is 40 bytes, so `offsets` lands 8-byte aligned and
+//! `targets` 4-byte aligned inside any page-aligned mapping. Loads
+//! validate the magic, declared lengths against the file size, the
+//! checksum, and the full CSR structural invariants (monotone offsets,
+//! in-range targets) before the graph is handed out — a corrupt or
+//! truncated file is an [`io::Error`], never a panic or an
+//! out-of-bounds index later.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-use crate::repr::{CsrGraph, EdgeList, VertexId};
+use crate::repr::{CsrGraph, EdgeList, MapRegion, SharedSlice, VertexId};
 
 /// Writes `g` in edge-list format to `w`.
 pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
@@ -105,6 +134,250 @@ pub fn load<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
     read_edge_list(std::fs::File::open(path)?)
 }
 
+/// Magic bytes opening every binary CSR file.
+pub const BINARY_MAGIC: [u8; 8] = *b"STCSRv01";
+
+/// Size of the fixed binary header in bytes.
+pub const BINARY_HEADER_BYTES: usize = 40;
+
+/// How [`load_binary_with_info`] actually brought the graph in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadKind {
+    /// Zero-copy: the CSR arrays alias a shared `mmap` of the file.
+    Mapped,
+    /// The file was read and decoded into owned heap arrays.
+    Buffered,
+}
+
+/// FNV-1a 64-bit over `bytes`, continuing from `state` (seed with
+/// [`FNV_OFFSET`]). Chosen because it is trivially portable, streams,
+/// and one multiply per byte is invisible next to the disk read.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes `g` in the binary CSR format to `w`.
+pub fn write_binary<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let offsets = g.raw_offsets();
+    let targets = g.raw_targets();
+
+    // Payload checksum first: one streaming pass over the encoded bytes.
+    let mut sum = FNV_OFFSET;
+    for &o in offsets {
+        sum = fnv1a(sum, &(o as u64).to_le_bytes());
+    }
+    for &t in targets {
+        sum = fnv1a(sum, &t.to_le_bytes());
+    }
+
+    w.write_all(&BINARY_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&sum.to_le_bytes())?;
+    w.write_all(&0u64.to_le_bytes())?;
+    for &o in offsets {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &t in targets {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// The binary encoding of `g` as an in-memory buffer (the wire
+/// protocol's `REGISTER` payload).
+pub fn to_binary_vec(g: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
+        BINARY_HEADER_BYTES + 8 * (g.num_vertices() + 1) + 4 * 2 * g.num_edges(),
+    );
+    write_binary(g, &mut buf).expect("writing to a Vec is infallible");
+    buf
+}
+
+/// Decoded and validated header fields.
+struct BinaryHeader {
+    n: usize,
+    arcs: usize,
+    checksum: u64,
+}
+
+impl BinaryHeader {
+    /// Parses and sanity-checks the fixed header against `total_len`,
+    /// the number of bytes available for header + payload.
+    fn parse(bytes: &[u8; BINARY_HEADER_BYTES], total_len: Option<u64>) -> io::Result<Self> {
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().expect("8-byte window"))
+        };
+        if bytes[..8] != BINARY_MAGIC {
+            return Err(bad_data("not a binary CSR file (bad magic)"));
+        }
+        let n = word(1);
+        let m = word(2);
+        let checksum = word(3);
+        if n >= VertexId::MAX as u64 {
+            return Err(bad_data(format!(
+                "vertex count {n} exceeds the VertexId range"
+            )));
+        }
+        let arcs = m
+            .checked_mul(2)
+            .ok_or_else(|| bad_data("edge count overflows"))?;
+        let expected = (BINARY_HEADER_BYTES as u64)
+            .checked_add(
+                (n + 1)
+                    .checked_mul(8)
+                    .ok_or_else(|| bad_data("n overflows"))?,
+            )
+            .and_then(|b| b.checked_add(arcs.checked_mul(4)?))
+            .ok_or_else(|| bad_data("declared sizes overflow"))?;
+        if let Some(total) = total_len {
+            if total != expected {
+                return Err(bad_data(format!(
+                    "file is {total} bytes but the header declares {expected} \
+                     (n = {n}, m = {m}): truncated or corrupt"
+                )));
+            }
+        }
+        // The byte budget was validated against u64 sizes; on 32-bit
+        // hosts a graph this large cannot be represented anyway.
+        let n = usize::try_from(n).map_err(|_| bad_data("graph too large for this host"))?;
+        let arcs = usize::try_from(arcs).map_err(|_| bad_data("graph too large for this host"))?;
+        Ok(Self { n, arcs, checksum })
+    }
+}
+
+/// Reads a graph in the binary CSR format from `r`, decoding into owned
+/// arrays (portable; works from sockets and compressed streams).
+///
+/// Validates magic, declared lengths, checksum, and the CSR structural
+/// invariants.
+pub fn read_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let mut r = BufReader::new(r);
+    let mut header = [0u8; BINARY_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let hdr = BinaryHeader::parse(&header, None)?;
+
+    let mut sum = FNV_OFFSET;
+    let mut offsets = Vec::with_capacity(hdr.n + 1);
+    let mut buf8 = [0u8; 8];
+    for _ in 0..hdr.n + 1 {
+        r.read_exact(&mut buf8)?;
+        sum = fnv1a(sum, &buf8);
+        let o = u64::from_le_bytes(buf8);
+        let o = usize::try_from(o).map_err(|_| bad_data("offset exceeds host pointer width"))?;
+        offsets.push(o);
+    }
+    let mut targets = Vec::with_capacity(hdr.arcs);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..hdr.arcs {
+        r.read_exact(&mut buf4)?;
+        sum = fnv1a(sum, &buf4);
+        targets.push(u32::from_le_bytes(buf4));
+    }
+    // Trailing garbage after the declared payload is corruption too.
+    if r.read(&mut buf4)? != 0 {
+        return Err(bad_data("trailing bytes after the declared payload"));
+    }
+    if sum != hdr.checksum {
+        return Err(bad_data(format!(
+            "checksum mismatch: stored {:#x}, computed {sum:#x}",
+            hdr.checksum
+        )));
+    }
+    CsrGraph::try_from_shared_parts(offsets.into(), targets.into()).map_err(bad_data)
+}
+
+/// Decodes a graph from an in-memory binary CSR buffer (e.g. a wire
+/// `REGISTER` payload).
+pub fn read_binary_slice(bytes: &[u8]) -> io::Result<CsrGraph> {
+    read_binary(bytes)
+}
+
+/// Writes `g` in the binary CSR format to the file at `path`.
+pub fn save_binary<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Loads a binary CSR file, preferring the zero-copy `mmap` path.
+///
+/// See [`load_binary_with_info`]; this drops the [`LoadKind`].
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    load_binary_with_info(path).map(|(g, _)| g)
+}
+
+/// Loads a binary CSR file and reports how.
+///
+/// On 64-bit little-endian Linux the file is `mmap`ed and the CSR
+/// arrays are used in place ([`LoadKind::Mapped`]): no allocation, no
+/// copy, and clean pages shared with every other mapping of the same
+/// file. Everywhere else — and whenever the mapping fails — the load
+/// falls back to the portable buffered decoder ([`LoadKind::Buffered`]).
+/// Both paths run the full header/checksum/structure validation.
+pub fn load_binary_with_info<P: AsRef<Path>>(path: P) -> io::Result<(CsrGraph, LoadKind)> {
+    let file = std::fs::File::open(path.as_ref())?;
+    #[cfg(all(
+        target_os = "linux",
+        target_pointer_width = "64",
+        target_endian = "little"
+    ))]
+    {
+        match MapRegion::map_file(&file).map(Arc::new).map(load_mapped) {
+            Ok(Ok(g)) => return Ok((g, LoadKind::Mapped)),
+            // Structural/checksum failures are real errors either way;
+            // re-decoding the same bytes buffered cannot fix them.
+            Ok(Err(e)) => return Err(e),
+            // Only the mapping itself failing (e.g. a pseudo-file that
+            // cannot be mapped) falls back to the buffered path.
+            Err(_) => {}
+        }
+    }
+    read_binary(file).map(|g| (g, LoadKind::Buffered))
+}
+
+/// Zero-copy construction from a mapped file: validate, then window the
+/// CSR arrays directly onto the mapping.
+#[cfg(all(
+    target_os = "linux",
+    target_pointer_width = "64",
+    target_endian = "little"
+))]
+fn load_mapped(region: Arc<MapRegion>) -> io::Result<CsrGraph> {
+    let bytes = region.bytes();
+    if bytes.len() < BINARY_HEADER_BYTES {
+        return Err(bad_data("file shorter than the binary header"));
+    }
+    let header: &[u8; BINARY_HEADER_BYTES] = bytes[..BINARY_HEADER_BYTES]
+        .try_into()
+        .expect("length checked");
+    let hdr = BinaryHeader::parse(header, Some(bytes.len() as u64))?;
+    if fnv1a(FNV_OFFSET, &bytes[BINARY_HEADER_BYTES..]) != hdr.checksum {
+        return Err(bad_data("checksum mismatch: file corrupt"));
+    }
+    // On this target usize is exactly the stored u64 and the byte order
+    // matches, so the payload can be viewed in place. The header is 40
+    // bytes, keeping both windows naturally aligned in the page-aligned
+    // mapping.
+    let offsets_at = BINARY_HEADER_BYTES;
+    let targets_at = offsets_at + 8 * (hdr.n + 1);
+    let offsets = SharedSlice::<usize>::from_region(Arc::clone(&region), offsets_at, hdr.n + 1)
+        .ok_or_else(|| bad_data("offsets window out of bounds or misaligned"))?;
+    let targets = SharedSlice::<VertexId>::from_region(region, targets_at, hdr.arcs)
+        .ok_or_else(|| bad_data("targets window out of bounds or misaligned"))?;
+    CsrGraph::try_from_shared_parts(offsets, targets).map_err(bad_data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +449,118 @@ mod tests {
         let h = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(g.num_edges(), h.num_edges());
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("st_graph_bin_{tag}_{}.stcsr", std::process::id()))
+    }
+
+    #[test]
+    fn binary_roundtrip_in_memory() {
+        for g in [
+            random_gnm(200, 500, 3),
+            torus2d(9, 9),
+            CsrGraph::empty(5),
+            CsrGraph::empty(0),
+        ] {
+            let buf = to_binary_vec(&g);
+            let h = read_binary_slice(&buf).unwrap();
+            assert_eq!(g, h);
+        }
+    }
+
+    #[test]
+    fn binary_file_roundtrip_prefers_mmap() {
+        let g = random_gnm(300, 700, 11);
+        let path = tmp("roundtrip");
+        save_binary(&g, &path).unwrap();
+        let (h, kind) = load_binary_with_info(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g, h);
+        if cfg!(all(
+            target_os = "linux",
+            target_pointer_width = "64",
+            target_endian = "little"
+        )) {
+            assert_eq!(kind, LoadKind::Mapped, "linux loads must map");
+            assert!(h.is_mapped());
+            // Clones of a mapped graph alias the same pages.
+            let c = h.clone();
+            assert!(c.is_mapped());
+            assert_eq!(c, h);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = to_binary_vec(&torus2d(4, 4));
+        buf[0] ^= 0xFF;
+        let err = read_binary_slice(&buf).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_flipped_payload_bit() {
+        let mut buf = to_binary_vec(&torus2d(4, 4));
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_binary_slice(&buf).unwrap_err();
+        // Either the checksum or the structural validation trips,
+        // depending on which field the flip landed in.
+        assert!(
+            err.to_string().contains("checksum") || err.to_string().contains("targets"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_truncation_and_trailing_garbage() {
+        let buf = to_binary_vec(&torus2d(4, 4));
+        assert!(read_binary_slice(&buf[..buf.len() - 3]).is_err());
+        assert!(read_binary_slice(&buf[..BINARY_HEADER_BYTES / 2]).is_err());
+        let mut padded = buf.clone();
+        padded.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(read_binary_slice(&padded).is_err());
+    }
+
+    #[test]
+    fn mapped_load_rejects_corruption_without_fallback() {
+        let g = torus2d(8, 8);
+        let path = tmp("corrupt");
+        let mut buf = to_binary_vec(&g);
+        // Flip a byte inside the targets payload.
+        let idx = buf.len() - 2;
+        buf[idx] ^= 0x40;
+        std::fs::write(&path, &buf).unwrap();
+        assert!(load_binary(&path).is_err());
+        // Truncated file: header/length mismatch.
+        std::fs::write(&path, &buf[..buf.len() - 8]).unwrap();
+        assert!(load_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_graph_runs_like_an_owned_one() {
+        // The arrays coming from a mapping must be indistinguishable to
+        // consumers: same neighbors, same degree stats, same edges.
+        let g = random_gnm(500, 1200, 5);
+        let path = tmp("consume");
+        save_binary(&g, &path).unwrap();
+        let h = load_binary(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g.degree_stats(), h.degree_stats());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), h.neighbors(v));
+        }
+        assert!(h.is_symmetric());
+    }
+
+    #[test]
+    fn text_files_are_not_binary() {
+        let g = torus2d(4, 4);
+        let path = tmp("text");
+        save(&g, &path).unwrap();
+        assert!(load_binary(&path).is_err(), "text must fail the magic");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,5 +1,6 @@
 //! Compressed sparse row (adjacency array) graph.
 
+use super::storage::SharedSlice;
 use super::{EdgeList, VertexId};
 
 /// An immutable, undirected graph in compressed-sparse-row form.
@@ -22,13 +23,17 @@ use super::{EdgeList, VertexId};
 /// implementation: one non-contiguous memory access reaches a vertex's
 /// offset, and its neighbor list is then a contiguous scan — the access
 /// pattern the Helman–JáJá analysis in §3 of the paper counts.
+/// The arrays live in [`SharedSlice`] storage: owned allocations for
+/// every constructive path, or zero-copy windows into a shared `mmap`
+/// region when the graph came from [`crate::io::load_binary`] — the
+/// catalog's instant-startup path. Cloning a mapped graph is O(1).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v] .. offsets[v + 1]` indexes `targets` for vertex `v`;
     /// length n + 1.
-    offsets: Box<[usize]>,
+    offsets: SharedSlice<usize>,
     /// Concatenated neighbor lists; length 2 m.
-    targets: Box<[VertexId]>,
+    targets: SharedSlice<VertexId>,
     /// Number of undirected edges m.
     num_edges: usize,
 }
@@ -42,37 +47,51 @@ impl CsrGraph {
     /// must be non-empty, non-decreasing, start at 0 and end at
     /// `targets.len()`, and every target must be `< n`.
     pub fn from_raw_parts(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must have length n + 1 >= 1");
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(
-            *offsets.last().unwrap(),
-            targets.len(),
-            "offsets must end at targets.len()"
-        );
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be non-decreasing"
-        );
-        let n = offsets.len() - 1;
-        assert!(
-            targets.iter().all(|&t| (t as usize) < n),
-            "all targets must be < n"
-        );
-        assert!(
-            targets.len().is_multiple_of(2),
-            "undirected CSR must contain an even number of directed arcs"
-        );
-        Self {
-            offsets: offsets.into_boxed_slice(),
-            targets: targets.into_boxed_slice(),
-            num_edges: 0,
+        match Self::try_from_shared_parts(offsets.into(), targets.into()) {
+            Ok(g) => g,
+            Err(msg) => panic!("{msg}"),
         }
-        .with_recounted_edges()
     }
 
-    fn with_recounted_edges(mut self) -> Self {
-        self.num_edges = self.targets.len() / 2;
-        self
+    /// Builds a graph from pre-validated shared storage, checking the
+    /// same structural invariants as [`from_raw_parts`](Self::from_raw_parts)
+    /// but reporting violations as an error instead of panicking — the
+    /// shape the binary loader needs for untrusted files.
+    pub(crate) fn try_from_shared_parts(
+        offsets: SharedSlice<usize>,
+        targets: SharedSlice<VertexId>,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets must have length n + 1 >= 1".into());
+        }
+        if offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return Err("offsets must end at targets.len()".into());
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets must be non-decreasing".into());
+        }
+        let n = offsets.len() - 1;
+        if !targets.iter().all(|&t| (t as usize) < n) {
+            return Err("all targets must be < n".into());
+        }
+        if !targets.len().is_multiple_of(2) {
+            return Err("undirected CSR must contain an even number of directed arcs".into());
+        }
+        let num_edges = targets.len() / 2;
+        Ok(Self {
+            offsets,
+            targets,
+            num_edges,
+        })
+    }
+
+    /// True when both CSR arrays alias an `mmap`ed file (the zero-copy
+    /// load path) rather than owned heap memory.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() && self.targets.is_mapped()
     }
 
     /// Builds the CSR form of an edge list via counting sort.
@@ -100,8 +119,8 @@ impl CsrGraph {
             cursor[v as usize] += 1;
         }
         Self {
-            offsets: offsets.into_boxed_slice(),
-            targets: targets.into_boxed_slice(),
+            offsets: offsets.into(),
+            targets: targets.into(),
             num_edges: edges.len(),
         }
     }
@@ -177,30 +196,24 @@ impl CsrGraph {
             });
         }
         // Neighbor order differs from the sequential build (placement
-        // races between chunks), so canonicalize the lists.
-        let mut g = Self {
-            offsets: offsets.into_boxed_slice(),
-            targets: targets.into_boxed_slice(),
-            num_edges: edges.len(),
-        };
-        g.sort_neighbor_lists();
-        g
-    }
-
-    /// Sorts each vertex's neighbor list ascending (canonical form).
-    fn sort_neighbor_lists(&mut self) {
-        let n = self.num_vertices();
+        // races between chunks), so canonicalize the lists before the
+        // arrays move into immutable shared storage.
         for v in 0..n {
-            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
-            self.targets[lo..hi].sort_unstable();
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            targets[lo..hi].sort_unstable();
+        }
+        Self {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            num_edges: edges.len(),
         }
     }
 
     /// A graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
         Self {
-            offsets: vec![0usize; n + 1].into_boxed_slice(),
-            targets: Vec::new().into_boxed_slice(),
+            offsets: vec![0usize; n + 1].into(),
+            targets: Vec::new().into(),
             num_edges: 0,
         }
     }
@@ -273,17 +286,15 @@ impl CsrGraph {
     /// page and non-Linux hosts report `false`; the graph itself is
     /// identical either way).
     pub fn into_hugepage_backed(self) -> (Self, bool) {
-        fn rehome<T: Copy>(src: Box<[T]>) -> (Box<[T]>, bool) {
+        fn rehome<T: Copy>(src: &[T]) -> (SharedSlice<T>, bool) {
             let mut v: Vec<T> = Vec::with_capacity(src.len());
-            let advised = st_smp::mem::advise_hugepages(
-                v.as_ptr() as *const u8,
-                src.len() * std::mem::size_of::<T>(),
-            );
-            v.extend_from_slice(&src);
-            (v.into_boxed_slice(), advised)
+            let advised =
+                st_smp::mem::advise_hugepages(v.as_ptr() as *const u8, std::mem::size_of_val(src));
+            v.extend_from_slice(src);
+            (v.into(), advised)
         }
-        let (offsets, offsets_advised) = rehome(self.offsets);
-        let (targets, targets_advised) = rehome(self.targets);
+        let (offsets, offsets_advised) = rehome(&self.offsets);
+        let (targets, targets_advised) = rehome(&self.targets);
         (
             Self {
                 offsets,

@@ -8,10 +8,12 @@
 mod builder;
 mod csr;
 mod edge_list;
+mod storage;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, DegreeStats};
 pub use edge_list::EdgeList;
+pub use storage::{MapRegion, SharedSlice};
 
 /// Vertex identifier.
 ///

@@ -1,0 +1,307 @@
+//! Backing storage for the CSR arrays: owned heap allocations or
+//! shared, read-only `mmap` regions.
+//!
+//! The graph catalog of the job service loads graphs from the binary
+//! on-disk format ([`crate::io`]) and wants *instant* startup: no parse,
+//! no copy, no double-resident pages when several processes serve the
+//! same graph. [`MapRegion`] wraps one `mmap(2)` of a whole file;
+//! [`SharedSlice`] is the array type [`CsrGraph`](super::CsrGraph)
+//! actually stores — either a plain owned boxed slice (every
+//! constructive path: generators, edge lists, preprocessing) or a typed
+//! window into a shared mapping (the zero-copy load path). Dereference
+//! cost is identical: both variants resolve to a `&[T]`.
+//!
+//! Mapped storage is reference-counted, so cloning a mapped graph is
+//! O(1) — all clones alias the same physical pages, which is exactly
+//! the sharing story the catalog needs for "one immutable CSR across
+//! all tenants".
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+#[cfg(target_os = "linux")]
+use std::ffi::c_void;
+#[cfg(target_os = "linux")]
+use std::os::unix::io::AsRawFd;
+
+/// One read-only memory mapping of an entire file.
+///
+/// Only constructed on Linux (the only target the workspace maps on);
+/// elsewhere the binary loader falls back to buffered reads. The region
+/// is `PROT_READ`/`MAP_PRIVATE`: the kernel shares clean page-cache
+/// pages between every mapping of the same file.
+#[derive(Debug)]
+pub struct MapRegion {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the region is immutable for its whole lifetime (PROT_READ,
+// never handed out mutably), so concurrent access from any thread is a
+// plain shared read.
+unsafe impl Send for MapRegion {}
+unsafe impl Sync for MapRegion {}
+
+#[cfg(target_os = "linux")]
+const PROT_READ: i32 = 1;
+#[cfg(target_os = "linux")]
+const MAP_PRIVATE: i32 = 2;
+
+// `std` already links libc on Linux; declaring the two symbols we need
+// keeps the dependency tree flat (same pattern as `st_smp::mem`).
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> i32;
+}
+
+impl MapRegion {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// Fails on empty files (`mmap` rejects zero-length maps) and
+    /// whenever the kernel refuses the mapping; callers are expected to
+    /// fall back to a buffered read.
+    #[cfg(target_os = "linux")]
+    pub fn map_file(file: &std::fs::File) -> std::io::Result<Self> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "cannot map an empty file",
+            ));
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to map")
+        })?;
+        // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of a file we
+        // hold open; the result is checked against MAP_FAILED before
+        // use, and the region owns the pointer until Drop unmaps it.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live mapping of exactly `len` readable
+        // bytes for as long as `self` exists.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for MapRegion {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        // SAFETY: `ptr`/`len` came from a successful mmap that nothing
+        // else unmaps; after Drop no SharedSlice can alias the region
+        // (each holds its own Arc keeping the region alive).
+        unsafe {
+            munmap(self.ptr as *mut c_void, self.len);
+        }
+    }
+}
+
+/// An immutable array that is either owned or a window into a shared
+/// [`MapRegion`].
+pub struct SharedSlice<T: Copy> {
+    backing: Backing<T>,
+}
+
+enum Backing<T: Copy> {
+    Owned(Box<[T]>),
+    Mapped {
+        /// Keeps the mapping alive; dropped last.
+        region: Arc<MapRegion>,
+        /// Typed view into `region` (alignment checked at creation).
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+// SAFETY: owned data is Send/Sync whenever T is; mapped data is
+// immutable shared memory guarded by the Arc'd region.
+unsafe impl<T: Copy + Send> Send for SharedSlice<T> {}
+unsafe impl<T: Copy + Sync> Sync for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    /// Wraps an owned boxed slice.
+    pub fn owned(data: Box<[T]>) -> Self {
+        Self {
+            backing: Backing::Owned(data),
+        }
+    }
+
+    /// Creates a typed window of `len` elements starting `byte_offset`
+    /// bytes into `region`.
+    ///
+    /// Returns `None` when the window is out of bounds or misaligned
+    /// for `T` — the loader treats that as a corrupt file, not a panic.
+    pub fn from_region(region: Arc<MapRegion>, byte_offset: usize, len: usize) -> Option<Self> {
+        let bytes = len.checked_mul(std::mem::size_of::<T>())?;
+        let end = byte_offset.checked_add(bytes)?;
+        if end > region.len() {
+            return None;
+        }
+        let ptr = region.bytes()[byte_offset..].as_ptr();
+        if ptr.align_offset(std::mem::align_of::<T>()) != 0 {
+            return None;
+        }
+        Some(Self {
+            backing: Backing::Mapped {
+                region,
+                ptr: ptr as *const T,
+                len,
+            },
+        })
+    }
+
+    /// True when this slice aliases a mapped region (used by tests and
+    /// the catalog's load diagnostics).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped { .. })
+    }
+
+    /// The elements as a plain slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.backing {
+            Backing::Owned(b) => b,
+            Backing::Mapped { ptr, len, .. } => {
+                // SAFETY: `from_region` verified bounds and alignment,
+                // and the Arc'd region outlives this borrow.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+}
+
+impl<T: Copy> Deref for SharedSlice<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for SharedSlice<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::owned(v.into_boxed_slice())
+    }
+}
+
+impl<T: Copy> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        match &self.backing {
+            Backing::Owned(b) => Self::owned(b.clone()),
+            Backing::Mapped { region, ptr, len } => Self {
+                backing: Backing::Mapped {
+                    region: Arc::clone(region),
+                    ptr: *ptr,
+                    len: *len,
+                },
+            },
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for SharedSlice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq> Eq for SharedSlice<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_roundtrip_and_equality() {
+        let a: SharedSlice<u32> = vec![1, 2, 3].into();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&a[..], &[1, 2, 3]);
+        assert!(!a.is_mapped());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn mapped_window_aliases_the_file() {
+        let path = std::env::temp_dir().join(format!("st_map_test_{}", std::process::id()));
+        let payload: Vec<u8> = (0..64u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let region = Arc::new(MapRegion::map_file(&file).unwrap());
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(region.bytes(), &payload[..]);
+        let words: SharedSlice<u32> = SharedSlice::from_region(Arc::clone(&region), 0, 4).unwrap();
+        assert!(words.is_mapped());
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[0], u32::from_le_bytes([0, 1, 2, 3]));
+        // A clone shares the same region (no copy).
+        let again = words.clone();
+        assert_eq!(words, again);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn out_of_bounds_and_misaligned_windows_are_rejected() {
+        let path = std::env::temp_dir().join(format!("st_map_test2_{}", std::process::id()));
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let region = Arc::new(MapRegion::map_file(&file).unwrap());
+        std::fs::remove_file(&path).ok();
+
+        assert!(SharedSlice::<u64>::from_region(Arc::clone(&region), 0, 3).is_none());
+        assert!(SharedSlice::<u64>::from_region(Arc::clone(&region), 1, 1).is_none());
+        assert!(SharedSlice::<u64>::from_region(Arc::clone(&region), 8, 1).is_some());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn empty_files_do_not_map() {
+        let path = std::env::temp_dir().join(format!("st_map_test3_{}", std::process::id()));
+        std::fs::write(&path, []).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        assert!(MapRegion::map_file(&file).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -20,7 +20,10 @@
 //! * [`chrome`] — a Chrome trace-event (Perfetto-loadable) JSON writer
 //!   for those spans.
 //! * [`pool`] — aggregate gauges for the multi-tenant job service
-//!   (admission/outcome counters, queue depth, team busyness).
+//!   (admission/outcome counters, per-lane queue depth, team busyness,
+//!   result-cache hit rates).
+//! * [`prometheus`] — text-exposition rendering of a [`PoolSnapshot`]
+//!   for scrape endpoints (the service's `METRICS` wire op).
 //!
 //! The layer is algorithm-agnostic: `st-core` owns *when* to count
 //! (claim races, publications, grafts); this crate owns the storage,
@@ -30,10 +33,12 @@ pub mod chrome;
 pub mod counters;
 pub mod metrics;
 pub mod pool;
+pub mod prometheus;
 pub mod trace;
 
 pub use chrome::write_chrome_trace;
 pub use counters::{Counter, CounterSet, CounterSlot, CounterSnapshot, NUM_COUNTERS};
 pub use metrics::{JobMetrics, PhaseTotal};
-pub use pool::{JobOutcomeKind, PoolGauges, PoolSnapshot};
+pub use pool::{JobOutcomeKind, PoolGauges, PoolSnapshot, QUEUE_LANES};
+pub use prometheus::{render_pool_prometheus, PROMETHEUS_CONTENT_TYPE};
 pub use trace::{now_ns, Phase, SpanEvent, SpanRing, TraceSet, DEFAULT_SPAN_CAPACITY, NUM_PHASES};

@@ -16,6 +16,10 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use serde::Serialize;
 
+/// Number of admission-queue priority lanes the gauges track (the
+/// service's High / Normal / Low classes, in that order).
+pub const QUEUE_LANES: usize = 3;
+
 /// Aggregate counters and gauges for one service pool.
 #[derive(Debug, Default)]
 pub struct PoolGauges {
@@ -33,6 +37,8 @@ pub struct PoolGauges {
     panicked: AtomicU64,
     /// Jobs currently waiting in the admission queue.
     queue_depth: AtomicU64,
+    /// Jobs currently waiting, split by priority lane (0 = highest).
+    lane_depth: [AtomicU64; QUEUE_LANES],
     /// High-water mark of `queue_depth`.
     max_queue_depth: AtomicU64,
     /// Teams currently executing a job.
@@ -41,6 +47,11 @@ pub struct PoolGauges {
     queue_ns_total: AtomicU64,
     /// Summed execution nanoseconds over all finished jobs.
     exec_ns_total: AtomicU64,
+    /// Catalog-addressed submissions answered from the result cache
+    /// without touching a team.
+    cache_hits: AtomicU64,
+    /// Catalog-addressed submissions that had to execute.
+    cache_misses: AtomicU64,
 }
 
 impl PoolGauges {
@@ -49,9 +60,11 @@ impl PoolGauges {
         Self::default()
     }
 
-    /// Records an accepted submission (queue depth rises).
-    pub fn on_submit(&self) {
+    /// Records an accepted submission into priority lane `lane`
+    /// (queue depth rises).
+    pub fn on_submit(&self, lane: usize) {
         self.submitted.fetch_add(1, Relaxed);
+        self.lane_depth[lane].fetch_add(1, Relaxed);
         let depth = self.queue_depth.fetch_add(1, Relaxed) + 1;
         self.max_queue_depth.fetch_max(depth, Relaxed);
     }
@@ -61,9 +74,22 @@ impl PoolGauges {
         self.rejected.fetch_add(1, Relaxed);
     }
 
-    /// Records a job leaving the queue for a dispatcher.
-    pub fn on_dequeue(&self) {
+    /// Records a job leaving lane `lane` of the queue for a dispatcher.
+    pub fn on_dequeue(&self, lane: usize) {
+        self.lane_depth[lane].fetch_sub(1, Relaxed);
         self.queue_depth.fetch_sub(1, Relaxed);
+    }
+
+    /// Records a submission served entirely from the result cache: it
+    /// counts as submitted and completed but never enters the queue.
+    pub fn on_cache_hit(&self) {
+        self.submitted.fetch_add(1, Relaxed);
+        self.cache_hits.fetch_add(1, Relaxed);
+    }
+
+    /// Records a catalog-addressed submission the cache could not serve.
+    pub fn on_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Relaxed);
     }
 
     /// Records a team starting a job.
@@ -100,10 +126,15 @@ impl PoolGauges {
             deadline_exceeded: self.deadline_exceeded.load(Relaxed),
             panicked: self.panicked.load(Relaxed),
             queue_depth: self.queue_depth.load(Relaxed),
+            queue_depth_high: self.lane_depth[0].load(Relaxed),
+            queue_depth_normal: self.lane_depth[1].load(Relaxed),
+            queue_depth_low: self.lane_depth[2].load(Relaxed),
             max_queue_depth: self.max_queue_depth.load(Relaxed),
             busy_teams: self.busy_teams.load(Relaxed),
             queue_ns_total: self.queue_ns_total.load(Relaxed),
             exec_ns_total: self.exec_ns_total.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
         }
     }
 }
@@ -138,6 +169,12 @@ pub struct PoolSnapshot {
     pub panicked: u64,
     /// Current admission-queue depth.
     pub queue_depth: u64,
+    /// Jobs waiting in the High lane.
+    pub queue_depth_high: u64,
+    /// Jobs waiting in the Normal lane.
+    pub queue_depth_normal: u64,
+    /// Jobs waiting in the Low lane.
+    pub queue_depth_low: u64,
     /// High-water mark of the queue depth.
     pub max_queue_depth: u64,
     /// Teams currently executing.
@@ -146,6 +183,10 @@ pub struct PoolSnapshot {
     pub queue_ns_total: u64,
     /// Summed execution nanoseconds of finished jobs.
     pub exec_ns_total: u64,
+    /// Submissions answered from the result cache (no execution).
+    pub cache_hits: u64,
+    /// Catalog-addressed submissions that executed.
+    pub cache_misses: u64,
 }
 
 impl PoolSnapshot {
@@ -174,24 +215,31 @@ mod tests {
     #[test]
     fn lifecycle_accounting() {
         let g = PoolGauges::new();
-        g.on_submit();
-        g.on_submit();
+        g.on_submit(1);
+        g.on_submit(2);
         g.on_reject();
         let s = g.snapshot();
         assert_eq!(s.submitted, 2);
         assert_eq!(s.rejected, 1);
         assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth_normal, 1);
+        assert_eq!(s.queue_depth_low, 1);
+        assert_eq!(s.queue_depth_high, 0);
         assert_eq!(s.max_queue_depth, 2);
 
-        g.on_dequeue();
+        g.on_dequeue(1);
         g.on_team_busy();
         g.on_finish(JobOutcomeKind::Completed, 100, 900);
         g.on_team_idle();
-        g.on_dequeue();
+        g.on_dequeue(2);
         g.on_finish(JobOutcomeKind::Cancelled, 50, 0);
 
         let s = g.snapshot();
         assert_eq!(s.queue_depth, 0);
+        assert_eq!(
+            s.queue_depth_high + s.queue_depth_normal + s.queue_depth_low,
+            0
+        );
         assert_eq!(s.max_queue_depth, 2, "high-water mark must persist");
         assert_eq!(s.busy_teams, 0);
         assert_eq!(s.completed, 1);
@@ -200,6 +248,24 @@ mod tests {
         assert_eq!(s.queue_ns_total, 150);
         assert_eq!(s.exec_ns_total, 900);
         assert_eq!(s.mean_queue_ns(), 75);
+    }
+
+    #[test]
+    fn cache_hits_count_as_submissions_not_queue_entries() {
+        let g = PoolGauges::new();
+        g.on_cache_miss();
+        g.on_submit(1);
+        g.on_dequeue(1);
+        g.on_finish(JobOutcomeKind::Completed, 10, 20);
+        g.on_cache_hit();
+        g.on_finish(JobOutcomeKind::Completed, 0, 0);
+        let s = g.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.queue_depth, 0, "hits never enter the queue");
+        assert_eq!(s.max_queue_depth, 1);
     }
 
     #[test]
@@ -212,9 +278,10 @@ mod tests {
     #[test]
     fn snapshot_serializes() {
         let g = PoolGauges::new();
-        g.on_submit();
+        g.on_submit(0);
         let json = g.snapshot().to_json();
         assert!(json.contains("\"submitted\""));
         assert!(json.contains("\"queue_depth\""));
+        assert!(json.contains("\"cache_hits\""));
     }
 }

@@ -1,0 +1,380 @@
+//! Prometheus text exposition of the service pool gauges.
+//!
+//! The service's `/metrics` (wire op `METRICS`) endpoint renders one
+//! [`PoolSnapshot`] in the [Prometheus text exposition format]: for
+//! each metric family a `# HELP` line, a `# TYPE` line, then the
+//! samples. Counters follow the `_total` suffix convention; durations
+//! are exported in seconds as Prometheus prescribes; the per-outcome
+//! and per-lane breakdowns use labels so dashboards can aggregate or
+//! slice without new metric names.
+//!
+//! The renderer is deliberately dependency-free — the format is line
+//! oriented and this module emits a fixed metric set — but the unit
+//! tests run every rendered page through a small grammar checker
+//! ([`tests::check_exposition`]) covering the subset we emit: metric
+//! name charset, label syntax, float-parsable values, HELP/TYPE
+//! ordering, and no duplicate samples.
+//!
+//! [Prometheus text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::pool::PoolSnapshot;
+
+/// Content type remote scrapers should be told (`text/plain; version
+/// 0.0.4` is the canonical exposition content type).
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+struct Page {
+    out: String,
+}
+
+impl Page {
+    fn new() -> Self {
+        Self {
+            out: String::with_capacity(2048),
+        }
+    }
+
+    /// Opens a metric family: HELP + TYPE header lines.
+    fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        debug_assert!(is_valid_metric_name(name), "bad metric name {name}");
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// One unlabeled sample.
+    fn sample(&mut self, name: &str, value: f64) -> &mut Self {
+        let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+        self
+    }
+
+    /// One sample carrying a single label.
+    fn labeled(&mut self, name: &str, label: &str, label_value: &str, value: f64) -> &mut Self {
+        let _ = writeln!(
+            self.out,
+            "{name}{{{label}=\"{label_value}\"}} {}",
+            fmt_value(value)
+        );
+        self
+    }
+}
+
+/// Values render as integers when they are integral (the common case
+/// for counters) and as plain decimals otherwise — both are valid
+/// exposition floats.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// True for names matching `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub(crate) fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Renders `snap` as a Prometheus text-format page.
+///
+/// Every metric is prefixed `st_service_`; nanosecond totals are
+/// converted to seconds.
+pub fn render_pool_prometheus(snap: &PoolSnapshot) -> String {
+    let mut p = Page::new();
+    p.family(
+        "st_service_jobs_submitted_total",
+        "counter",
+        "Jobs accepted by the admission queue or served from the result cache.",
+    )
+    .sample("st_service_jobs_submitted_total", snap.submitted as f64);
+    p.family(
+        "st_service_jobs_rejected_total",
+        "counter",
+        "Submissions rejected with backpressure (full queue).",
+    )
+    .sample("st_service_jobs_rejected_total", snap.rejected as f64);
+
+    p.family(
+        "st_service_jobs_finished_total",
+        "counter",
+        "Jobs that left the service, by outcome.",
+    );
+    for (outcome, v) in [
+        ("completed", snap.completed),
+        ("cancelled", snap.cancelled),
+        ("deadline_exceeded", snap.deadline_exceeded),
+        ("panicked", snap.panicked),
+    ] {
+        p.labeled(
+            "st_service_jobs_finished_total",
+            "outcome",
+            outcome,
+            v as f64,
+        );
+    }
+
+    p.family(
+        "st_service_queue_depth",
+        "gauge",
+        "Jobs currently waiting in the admission queue.",
+    )
+    .sample("st_service_queue_depth", snap.queue_depth as f64);
+
+    p.family(
+        "st_service_lane_queue_depth",
+        "gauge",
+        "Jobs currently waiting, by priority lane.",
+    );
+    for (lane, v) in [
+        ("high", snap.queue_depth_high),
+        ("normal", snap.queue_depth_normal),
+        ("low", snap.queue_depth_low),
+    ] {
+        p.labeled("st_service_lane_queue_depth", "lane", lane, v as f64);
+    }
+
+    p.family(
+        "st_service_queue_depth_peak",
+        "gauge",
+        "High-water mark of the admission queue depth.",
+    )
+    .sample("st_service_queue_depth_peak", snap.max_queue_depth as f64);
+    p.family(
+        "st_service_busy_teams",
+        "gauge",
+        "Executor teams currently running a job.",
+    )
+    .sample("st_service_busy_teams", snap.busy_teams as f64);
+
+    p.family(
+        "st_service_queue_wait_seconds_total",
+        "counter",
+        "Summed queue wait of finished jobs, seconds.",
+    )
+    .sample(
+        "st_service_queue_wait_seconds_total",
+        snap.queue_ns_total as f64 / 1e9,
+    );
+    p.family(
+        "st_service_exec_seconds_total",
+        "counter",
+        "Summed execution time of finished jobs, seconds.",
+    )
+    .sample(
+        "st_service_exec_seconds_total",
+        snap.exec_ns_total as f64 / 1e9,
+    );
+
+    p.family(
+        "st_service_result_cache_hits_total",
+        "counter",
+        "Catalog-addressed submissions served from the result cache.",
+    )
+    .sample("st_service_result_cache_hits_total", snap.cache_hits as f64);
+    p.family(
+        "st_service_result_cache_misses_total",
+        "counter",
+        "Catalog-addressed submissions that had to execute.",
+    )
+    .sample(
+        "st_service_result_cache_misses_total",
+        snap.cache_misses as f64,
+    );
+    p.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{JobOutcomeKind, PoolGauges};
+    use std::collections::{HashMap, HashSet};
+
+    /// Checks `page` against the exposition-format grammar subset the
+    /// exporter emits. Panics with a line-qualified message on any
+    /// violation; returns the parsed (name or name+labels) → value map.
+    pub(crate) fn check_exposition(page: &str) -> HashMap<String, f64> {
+        let mut typed: HashMap<String, String> = HashMap::new();
+        let mut helped: HashSet<String> = HashSet::new();
+        let mut samples: HashMap<String, f64> = HashMap::new();
+        for (i, line) in page.lines().enumerate() {
+            let ctx = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
+            assert!(!line.is_empty(), "{}", ctx("empty line"));
+            if let Some(rest) = line.strip_prefix("# ") {
+                let (kw, rest) = rest
+                    .split_once(' ')
+                    .unwrap_or_else(|| panic!("{}", ctx("comment must be `# HELP|TYPE name …`")));
+                let (name, payload) = rest
+                    .split_once(' ')
+                    .unwrap_or_else(|| panic!("{}", ctx("missing payload")));
+                assert!(is_valid_metric_name(name), "{}", ctx("bad metric name"));
+                match kw {
+                    "HELP" => {
+                        assert!(helped.insert(name.to_owned()), "{}", ctx("duplicate HELP"));
+                        assert!(!payload.is_empty(), "{}", ctx("empty help text"));
+                    }
+                    "TYPE" => {
+                        assert!(
+                            helped.contains(name),
+                            "{}",
+                            ctx("TYPE must follow its HELP")
+                        );
+                        assert!(
+                            ["counter", "gauge", "histogram", "summary", "untyped"]
+                                .contains(&payload),
+                            "{}",
+                            ctx("unknown metric type")
+                        );
+                        assert!(
+                            typed.insert(name.to_owned(), payload.to_owned()).is_none(),
+                            "{}",
+                            ctx("duplicate TYPE")
+                        );
+                    }
+                    _ => panic!("{}", ctx("unknown comment keyword")),
+                }
+                continue;
+            }
+            // Sample line: name[{label="value",…}] value
+            let (series, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("{}", ctx("sample must be `series value`")));
+            let name = match series.split_once('{') {
+                None => series,
+                Some((name, labels)) => {
+                    let labels = labels
+                        .strip_suffix('}')
+                        .unwrap_or_else(|| panic!("{}", ctx("unterminated label set")));
+                    for pair in labels.split(',') {
+                        let (k, v) = pair
+                            .split_once('=')
+                            .unwrap_or_else(|| panic!("{}", ctx("label without `=`")));
+                        assert!(is_valid_metric_name(k), "{}", ctx("bad label name"));
+                        assert!(
+                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                            "{}",
+                            ctx("label value must be quoted")
+                        );
+                    }
+                    name
+                }
+            };
+            assert!(is_valid_metric_name(name), "{}", ctx("bad sample name"));
+            assert!(
+                typed.contains_key(name),
+                "{}",
+                ctx("sample before its TYPE")
+            );
+            if typed[name] == "counter" {
+                assert!(
+                    name.ends_with("_total"),
+                    "{}",
+                    ctx("counter without _total")
+                );
+            }
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("{}", ctx("unparsable sample value")));
+            assert!(
+                samples.insert(series.to_owned(), value).is_none(),
+                "{}",
+                ctx("duplicate sample")
+            );
+        }
+        samples
+    }
+
+    #[test]
+    fn rendered_page_passes_the_grammar() {
+        let g = PoolGauges::new();
+        for lane in [0, 1, 1, 2] {
+            g.on_submit(lane);
+        }
+        g.on_dequeue(1);
+        g.on_finish(JobOutcomeKind::Completed, 1_500_000_000, 500_000_000);
+        g.on_reject();
+        g.on_cache_hit();
+        g.on_cache_miss();
+        let page = render_pool_prometheus(&g.snapshot());
+        let samples = check_exposition(&page);
+
+        assert_eq!(samples["st_service_jobs_submitted_total"], 5.0);
+        assert_eq!(samples["st_service_jobs_rejected_total"], 1.0);
+        assert_eq!(
+            samples["st_service_jobs_finished_total{outcome=\"completed\"}"],
+            1.0
+        );
+        assert_eq!(samples["st_service_queue_depth"], 3.0);
+        assert_eq!(samples["st_service_lane_queue_depth{lane=\"high\"}"], 1.0);
+        assert_eq!(samples["st_service_lane_queue_depth{lane=\"normal\"}"], 1.0);
+        assert_eq!(samples["st_service_lane_queue_depth{lane=\"low\"}"], 1.0);
+        assert_eq!(samples["st_service_queue_wait_seconds_total"], 1.5);
+        assert_eq!(samples["st_service_exec_seconds_total"], 0.5);
+        assert_eq!(samples["st_service_result_cache_hits_total"], 1.0);
+        assert_eq!(samples["st_service_result_cache_misses_total"], 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_every_family_at_zero() {
+        let page = render_pool_prometheus(&PoolSnapshot::default());
+        let samples = check_exposition(&page);
+        assert!(samples.values().all(|&v| v == 0.0));
+        // Every family the exporter promises is present even when zero
+        // (scrapers need stable series).
+        for name in [
+            "st_service_jobs_submitted_total",
+            "st_service_queue_depth",
+            "st_service_busy_teams",
+            "st_service_queue_depth_peak",
+            "st_service_result_cache_hits_total",
+        ] {
+            assert!(samples.contains_key(name), "missing {name}");
+        }
+        assert_eq!(
+            samples
+                .keys()
+                .filter(|k| k.starts_with("st_service_jobs_finished_total"))
+                .count(),
+            4,
+            "all four outcome labels must be exported"
+        );
+    }
+
+    #[test]
+    fn grammar_checker_rejects_violations() {
+        let bad_pages = [
+            "st_service_x 1\n",                       // sample before TYPE
+            "# HELP m h\n# TYPE m counter\nm{x=y} 1", // unquoted label value
+            "# HELP m h\n# TYPE m counter\nm one",    // non-numeric value
+            "# HELP m h\n# TYPE m wibble\n",          // unknown type
+            "# HELP m h\n# TYPE m counter\nm 1\nm 1", // duplicate sample
+        ];
+        for page in bad_pages {
+            let failed = std::panic::catch_unwind(|| check_exposition(page)).is_err();
+            assert!(failed, "checker accepted invalid page {page:?}");
+        }
+    }
+
+    #[test]
+    fn metric_name_charset() {
+        assert!(is_valid_metric_name("st_service_jobs_total"));
+        assert!(is_valid_metric_name("_private:metric"));
+        assert!(!is_valid_metric_name("9leading_digit"));
+        assert!(!is_valid_metric_name("has-dash"));
+        assert!(!is_valid_metric_name(""));
+    }
+
+    #[test]
+    fn values_render_compactly() {
+        assert_eq!(fmt_value(42.0), "42");
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(1.5), "1.5");
+    }
+}

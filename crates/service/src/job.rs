@@ -50,6 +50,10 @@ pub enum JobError {
     Panicked(String),
     /// The service was shut down before the job ran.
     ShuttingDown,
+    /// A catalog-addressed submission named a
+    /// [`GraphId`](crate::GraphId) that is not (or no longer)
+    /// registered.
+    UnknownGraph,
 }
 
 impl std::fmt::Display for JobError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for JobError {
             JobError::DeadlineExceeded => f.write_str("job deadline exceeded"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::ShuttingDown => f.write_str("service shutting down"),
+            JobError::UnknownGraph => f.write_str("graph not in catalog"),
         }
     }
 }
@@ -73,9 +78,10 @@ impl JobError {
     /// folded into the cancelled lane.
     pub(crate) fn outcome_kind(&self) -> JobOutcomeKind {
         match self {
-            JobError::Cancelled | JobError::ShuttingDown | JobError::Backpressure => {
-                JobOutcomeKind::Cancelled
-            }
+            JobError::Cancelled
+            | JobError::ShuttingDown
+            | JobError::Backpressure
+            | JobError::UnknownGraph => JobOutcomeKind::Cancelled,
             JobError::DeadlineExceeded => JobOutcomeKind::DeadlineExceeded,
             JobError::Panicked(_) => JobOutcomeKind::Panicked,
         }

@@ -50,9 +50,14 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod job;
+pub mod net;
 pub mod service;
 pub mod sizing;
+pub mod spec;
 
+pub use catalog::{CacheKey, GraphCatalog, GraphId, GraphRef, ResultCache};
 pub use job::{JobError, JobHandle, Priority};
-pub use service::{JobBuilder, Service, ServiceBuilder};
+pub use service::{JobBuilder, Service, ServiceBuilder, Submitted};
+pub use spec::{AlgorithmId, JobSpec};

@@ -1,0 +1,346 @@
+//! A blocking client for the TCP front-end.
+//!
+//! One [`Client`] is one connection — one ordered request/response
+//! session with its own ticket namespace. The client is deliberately
+//! synchronous (the server is thread-per-connection; concurrency comes
+//! from opening more connections), and every method maps a non-`Ok`
+//! response status to a typed [`WireError`] so remote backpressure,
+//! deadlines, and cancellations are as visible as their in-process
+//! counterparts.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use st_graph::{CsrGraph, VertexId};
+
+use crate::job::Priority;
+use crate::net::proto::{
+    ops, read_frame, write_frame, Cursor, ReadFrame, Status, DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::spec::AlgorithmId;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The socket failed (or closed mid-frame).
+    Io(io::Error),
+    /// The server answered with a non-`Ok` status; the string carries
+    /// any diagnostic payload (e.g. a panic message or parse error).
+    Remote(Status, String),
+    /// The response could not be parsed (protocol bug or version skew).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Remote(status, msg) if msg.is_empty() => {
+                write!(f, "server answered: {status}")
+            }
+            WireError::Remote(status, msg) => write!(f, "server answered: {status} ({msg})"),
+            WireError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// The remote status, when the failure was a server answer.
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            WireError::Remote(status, _) => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+/// A graph registered through this connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteGraph {
+    /// Catalog id, valid across all connections to this server.
+    pub id: u64,
+    /// Version assigned at registration.
+    pub version: u32,
+}
+
+/// A ticket for a submitted job, scoped to the connection that
+/// submitted it.
+#[derive(Debug)]
+pub struct SubmitReply {
+    /// Pass to [`Client::wait`] / [`Client::cancel`].
+    pub ticket: u32,
+    /// True when the result came from the server's cache (the job
+    /// never queued or executed; `wait` returns immediately).
+    pub cached: bool,
+}
+
+/// A spanning forest received over the wire (parents + roots; the
+/// per-run statistics stay on the server).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteForest {
+    /// `parents[v]` is v's tree parent, or
+    /// [`NO_VERTEX`](st_graph::NO_VERTEX) for roots.
+    pub parents: Vec<VertexId>,
+    /// Tree roots in discovery order.
+    pub roots: Vec<VertexId>,
+}
+
+impl RemoteForest {
+    /// Number of trees (= components).
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Re-checks the forest against a local copy of the graph.
+    pub fn is_valid_for(&self, g: &CsrGraph) -> bool {
+        st_graph::validate::is_spanning_forest(g, &self.parents)
+    }
+}
+
+/// Everything a remote submission can specify; mirrors
+/// [`JobSpec`](crate::JobSpec).
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitRequest {
+    /// The catalog graph to span.
+    pub graph: RemoteGraph,
+    /// Algorithm to run.
+    pub algorithm: AlgorithmId,
+    /// Traversal seed.
+    pub seed: u64,
+    /// Admission priority.
+    pub priority: Priority,
+    /// Deadline from submission (queue + execution).
+    pub deadline: Option<Duration>,
+    /// Explicit team width (`None` = sizing oracle).
+    pub processors: Option<usize>,
+}
+
+impl SubmitRequest {
+    /// Default-algorithm, default-seed request for `graph`.
+    pub fn new(graph: RemoteGraph) -> Self {
+        Self {
+            graph,
+            algorithm: AlgorithmId::BaderCong,
+            seed: crate::spec::DEFAULT_SEED,
+            priority: Priority::Normal,
+            deadline: None,
+            processors: None,
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, a: AlgorithmId) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Sets the traversal seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the priority class.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Attaches a deadline (rounded up to at least 1 ms — 0 encodes
+    /// "none" on the wire).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Requests an explicit team width.
+    pub fn processors(mut self, p: usize) -> Self {
+        self.processors = Some(p);
+        self
+    }
+}
+
+/// One blocking connection to a [`Server`](crate::net::Server).
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &[u8]) -> Result<(Status, Vec<u8>), WireError> {
+        write_frame(&mut BufWriter::new(&mut self.stream), request)?;
+        match read_frame(&mut self.stream, self.max_frame_bytes)? {
+            ReadFrame::Frame(frame) => {
+                let mut c = Cursor::new(&frame);
+                let code = c.u8().ok_or(WireError::Protocol("empty response"))?;
+                let status =
+                    Status::from_code(code).ok_or(WireError::Protocol("unknown status code"))?;
+                Ok((status, c.remaining().to_vec()))
+            }
+            ReadFrame::Eof => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            ))),
+            ReadFrame::TooLarge(_) => Err(WireError::Protocol("oversized response frame")),
+        }
+    }
+
+    /// As [`call`](Self::call), but any non-`Ok` status becomes
+    /// [`WireError::Remote`] with the payload as its message.
+    fn call_ok(&mut self, request: &[u8]) -> Result<Vec<u8>, WireError> {
+        let (status, body) = self.call(request)?;
+        if status == Status::Ok {
+            Ok(body)
+        } else {
+            Err(WireError::Remote(
+                status,
+                String::from_utf8_lossy(&body).into_owned(),
+            ))
+        }
+    }
+
+    /// Round-trips `payload` through the server's echo op.
+    pub fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+        let mut req = Vec::with_capacity(1 + payload.len());
+        req.push(ops::PING);
+        req.extend_from_slice(payload);
+        self.call_ok(&req)
+    }
+
+    /// Uploads `graph` into the server's catalog.
+    pub fn register(&mut self, graph: &CsrGraph) -> Result<RemoteGraph, WireError> {
+        let mut req = Vec::with_capacity(1 + st_graph::io::BINARY_HEADER_BYTES);
+        req.push(ops::REGISTER);
+        req.extend_from_slice(&st_graph::io::to_binary_vec(graph));
+        let body = self.call_ok(&req)?;
+        let mut c = Cursor::new(&body);
+        let id = c.u64().ok_or(WireError::Protocol("short REGISTER reply"))?;
+        let version = c.u32().ok_or(WireError::Protocol("short REGISTER reply"))?;
+        Ok(RemoteGraph { id, version })
+    }
+
+    /// Submits a job. Non-blocking on the server side: a full admission
+    /// queue is `WireError::Remote(Status::Backpressure, _)`.
+    pub fn submit(&mut self, r: SubmitRequest) -> Result<SubmitReply, WireError> {
+        let mut req = Vec::with_capacity(31);
+        req.push(ops::SUBMIT);
+        req.extend_from_slice(&r.graph.id.to_le_bytes());
+        req.push(r.algorithm.code());
+        req.push(match r.priority {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        });
+        req.extend_from_slice(&r.seed.to_le_bytes());
+        let deadline_ms = r
+            .deadline
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1))
+            .unwrap_or(0);
+        req.extend_from_slice(&deadline_ms.to_le_bytes());
+        let processors = r
+            .processors
+            .map_or(0u32, |p| p.try_into().unwrap_or(u32::MAX));
+        req.extend_from_slice(&processors.to_le_bytes());
+        let body = self.call_ok(&req)?;
+        let mut c = Cursor::new(&body);
+        let ticket = c.u32().ok_or(WireError::Protocol("short SUBMIT reply"))?;
+        let cached = c.u8().ok_or(WireError::Protocol("short SUBMIT reply"))? != 0;
+        Ok(SubmitReply { ticket, cached })
+    }
+
+    /// Blocks until the job behind `ticket` resolves and claims its
+    /// forest. The ticket is consumed — waiting twice is
+    /// [`Status::UnknownTicket`].
+    pub fn wait(&mut self, ticket: u32) -> Result<RemoteForest, WireError> {
+        let mut req = Vec::with_capacity(5);
+        req.push(ops::WAIT);
+        req.extend_from_slice(&ticket.to_le_bytes());
+        let body = self.call_ok(&req)?;
+        let mut c = Cursor::new(&body);
+        let err = WireError::Protocol("short WAIT reply");
+        let n = c.u64().ok_or(err)? as usize;
+        let parents = c.u32s(n).ok_or(WireError::Protocol("short WAIT reply"))?;
+        let r = c.u64().ok_or(WireError::Protocol("short WAIT reply"))? as usize;
+        let roots = c.u32s(r).ok_or(WireError::Protocol("short WAIT reply"))?;
+        Ok(RemoteForest { parents, roots })
+    }
+
+    /// Fires the cancellation token of the job behind `ticket`. The
+    /// ticket stays valid: a later [`wait`](Self::wait) claims the
+    /// cancelled (or raced-to-completion) result.
+    pub fn cancel(&mut self, ticket: u32) -> Result<(), WireError> {
+        let mut req = Vec::with_capacity(5);
+        req.push(ops::CANCEL);
+        req.extend_from_slice(&ticket.to_le_bytes());
+        self.call_ok(&req).map(drop)
+    }
+
+    /// Fetches the server's Prometheus metrics page.
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        let body = self.call_ok(&[ops::METRICS])?;
+        String::from_utf8(body).map_err(|_| WireError::Protocol("metrics page not UTF-8"))
+    }
+
+    /// Sends a raw frame and reads one response frame — for protocol
+    /// tests that need to speak malformed requests.
+    #[doc(hidden)]
+    pub fn raw_call(&mut self, request: &[u8]) -> Result<(Status, Vec<u8>), WireError> {
+        self.call(request)
+    }
+
+    /// Writes raw bytes without framing — for tests that corrupt the
+    /// framing layer itself.
+    #[doc(hidden)]
+    pub fn raw_write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one raw response frame — pairs with
+    /// [`raw_write`](Self::raw_write).
+    #[doc(hidden)]
+    pub fn raw_read(&mut self) -> Result<(Status, Vec<u8>), WireError> {
+        match read_frame(&mut self.stream, self.max_frame_bytes)? {
+            ReadFrame::Frame(frame) => {
+                let mut c = Cursor::new(&frame);
+                let code = c.u8().ok_or(WireError::Protocol("empty response"))?;
+                let status =
+                    Status::from_code(code).ok_or(WireError::Protocol("unknown status code"))?;
+                Ok((status, c.remaining().to_vec()))
+            }
+            ReadFrame::Eof => Err(WireError::Io(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed the connection",
+            ))),
+            ReadFrame::TooLarge(_) => Err(WireError::Protocol("oversized response frame")),
+        }
+    }
+}

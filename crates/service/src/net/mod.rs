@@ -1,0 +1,48 @@
+//! TCP front-end: the service as an operable network server.
+//!
+//! Everything the in-process API offers — admission control,
+//! priorities, deadlines, cancellation, panic isolation, the graph
+//! catalog and its result cache — exposed over a deliberately small
+//! wire protocol so remote tenants get the *same* semantics:
+//!
+//! * a remote `SUBMIT` goes through
+//!   [`Service::try_submit_spec`](crate::Service::try_submit_spec), so
+//!   a full admission queue surfaces as [`Status::Backpressure`] on the
+//!   client rather than unbounded buffering in the server;
+//! * deadlines and `CANCEL` drive the job's
+//!   [`CancelToken`](st_smp::CancelToken) exactly as local handles do;
+//! * `METRICS` renders the live [`PoolSnapshot`](st_obs::PoolSnapshot)
+//!   in Prometheus text format.
+//!
+//! # Wire format
+//!
+//! Both directions speak length-prefixed binary frames: a `u32`
+//! little-endian payload length, then the payload. Requests start with
+//! a one-byte opcode ([`ops`]); responses start with a one-byte status
+//! ([`Status`]), then a status-specific payload. All integers are
+//! little-endian. One connection is one session: requests are processed
+//! strictly in order by a dedicated server thread, and tickets returned
+//! by `SUBMIT` are scoped to their connection.
+//!
+//! | op | request payload | OK response payload |
+//! |---|---|---|
+//! | `PING` | anything | the same bytes echoed |
+//! | `REGISTER` | an [`st_graph::io`] binary graph | graph id `u64`, version `u32` |
+//! | `SUBMIT` | id `u64`, algo `u8`, prio `u8`, seed `u64`, deadline-ms `u64` (0 = none), width `u32` (0 = auto) | ticket `u32`, cached `u8` |
+//! | `WAIT` | ticket `u32` | n `u64`, parents `n×u32`, r `u64`, roots `r×u32` |
+//! | `CANCEL` | ticket `u32` | empty |
+//! | `METRICS` | empty | UTF-8 Prometheus text page |
+//!
+//! `WAIT` blocks the connection's thread until the job resolves — with
+//! one request in flight per connection there is nothing else the
+//! session could do meanwhile. `CANCEL` before `WAIT` is the supported
+//! way to stop a job remotely; a deadline attached at `SUBMIT` needs no
+//! further round trips at all.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, RemoteForest, RemoteGraph, SubmitReply, SubmitRequest, WireError};
+pub use proto::{ops, Status, DEFAULT_MAX_FRAME_BYTES};
+pub use server::{Server, ServerConfig};

@@ -12,8 +12,10 @@ use st_graph::CsrGraph;
 use st_obs::{JobOutcomeKind, PoolGauges, PoolSnapshot};
 use st_smp::{CancelToken, ExecutorPool};
 
+use crate::catalog::{CacheKey, GraphCatalog, ResultCache};
 use crate::job::{JobError, JobHandle, JobState, Priority};
 use crate::sizing::preferred_width;
+use crate::spec::JobSpec;
 
 /// An algorithm a tenant can submit: the engine trait plus the thread
 /// bounds the dispatcher needs to carry it across the queue.
@@ -27,6 +29,11 @@ struct QueuedJob {
     submitted_at: Instant,
     /// Explicit width request; `None` = let the sizing oracle decide.
     preferred_p: Option<usize>,
+    /// Admission lane the job waits in (for per-lane gauge accounting).
+    lane: usize,
+    /// When the job came through the catalog-addressed path: the key to
+    /// publish its forest under on completion.
+    cache_slot: Option<CacheKey>,
 }
 
 /// The bounded, priority-laned admission queue.
@@ -58,6 +65,8 @@ struct Shared {
     capacity: usize,
     gauges: PoolGauges,
     pool: ExecutorPool,
+    catalog: Arc<GraphCatalog>,
+    cache: ResultCache,
 }
 
 /// Builds a [`Service`]; obtained from [`Service::builder`].
@@ -70,6 +79,8 @@ struct Shared {
 pub struct ServiceBuilder {
     teams: Option<Vec<usize>>,
     queue_capacity: Option<usize>,
+    catalog: Option<Arc<GraphCatalog>>,
+    result_cache_capacity: Option<usize>,
 }
 
 impl ServiceBuilder {
@@ -97,6 +108,22 @@ impl ServiceBuilder {
         self
     }
 
+    /// Attaches an existing [`GraphCatalog`] (e.g. one pre-loaded from
+    /// disk, or shared with another service). By default the service
+    /// creates its own empty catalog.
+    pub fn catalog(mut self, catalog: Arc<GraphCatalog>) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// Sets the result-cache capacity in entries; 0 disables caching.
+    /// Falls back to `ST_RESULT_CACHE_CAP`, then to
+    /// [`DEFAULT_RESULT_CACHE_CAPACITY`].
+    pub fn result_cache_capacity(mut self, cap: usize) -> Self {
+        self.result_cache_capacity = Some(cap);
+        self
+    }
+
     /// Spawns the teams and dispatcher threads and opens the service.
     pub fn build(self) -> Service {
         let env = RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
@@ -113,6 +140,10 @@ impl ServiceBuilder {
             .or(env.service_queue_capacity)
             .unwrap_or(DEFAULT_QUEUE_CAPACITY);
         assert!(capacity > 0, "queue capacity must be >= 1");
+        let cache_capacity = self
+            .result_cache_capacity
+            .or(env.result_cache_capacity)
+            .unwrap_or(DEFAULT_RESULT_CACHE_CAPACITY);
 
         let num_teams = teams.len();
         let shared = Arc::new(Shared {
@@ -126,6 +157,8 @@ impl ServiceBuilder {
             capacity,
             gauges: PoolGauges::new(),
             pool: ExecutorPool::new(teams),
+            catalog: self.catalog.unwrap_or_default(),
+            cache: ResultCache::new(cache_capacity),
         });
         // One dispatcher per team: enough to keep every team busy, and a
         // dispatcher's leased width still adapts per job via best-fit.
@@ -148,6 +181,10 @@ impl ServiceBuilder {
 /// Default admission-queue capacity when neither the builder nor the
 /// environment sets one.
 const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Default result-cache capacity (entries) when neither the builder nor
+/// `ST_RESULT_CACHE_CAP` sets one.
+pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 64;
 
 /// Default pool layout: half the cores in one wide team for big jobs,
 /// a quarter in each of two narrower teams for small ones (e.g. 8 cores
@@ -211,9 +248,99 @@ impl Service {
     }
 
     /// A point-in-time copy of the pool gauges (submissions, outcomes,
-    /// queue depth, busy teams, queue/exec time totals).
+    /// per-lane queue depth, busy teams, cache hit rates, queue/exec
+    /// time totals).
     pub fn snapshot(&self) -> PoolSnapshot {
         self.shared.gauges.snapshot()
+    }
+
+    /// The pool gauges rendered as a Prometheus text-exposition page
+    /// (what the TCP front-end's `METRICS` op returns).
+    pub fn render_metrics(&self) -> String {
+        st_obs::render_pool_prometheus(&self.snapshot())
+    }
+
+    /// The service's graph catalog: register/load graphs here, then
+    /// address them from [`JobSpec`]s.
+    pub fn catalog(&self) -> &Arc<GraphCatalog> {
+        &self.shared.catalog
+    }
+
+    /// Entries currently held by the result cache.
+    pub fn result_cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Removes `id` from the catalog and purges its cached results.
+    /// In-flight jobs keep their graph `Arc` and finish normally.
+    pub fn remove_graph(&self, id: crate::catalog::GraphId) -> bool {
+        let removed = self.shared.catalog.remove(id);
+        if removed {
+            self.shared.cache.purge_graph(id);
+        }
+        removed
+    }
+
+    /// Submits a catalog-addressed job, blocking while the admission
+    /// queue is full. A cached result resolves the handle immediately
+    /// without queueing ([`Submitted::cached`]).
+    pub fn submit_spec(&self, spec: JobSpec) -> Result<Submitted, JobError> {
+        self.submit_spec_inner(spec, true)
+    }
+
+    /// Submits a catalog-addressed job without blocking: a full queue is
+    /// [`JobError::Backpressure`]. Cache hits always succeed — they
+    /// never need queue space.
+    pub fn try_submit_spec(&self, spec: JobSpec) -> Result<Submitted, JobError> {
+        self.submit_spec_inner(spec, false)
+    }
+
+    fn submit_spec_inner(&self, spec: JobSpec, block: bool) -> Result<Submitted, JobError> {
+        let (graph, gref) = self
+            .shared
+            .catalog
+            .resolve(spec.graph)
+            .ok_or(JobError::UnknownGraph)?;
+        let key = CacheKey {
+            graph: gref,
+            algorithm: spec.algorithm,
+            seed: spec.seed,
+            processors: spec.processors.unwrap_or(0),
+        };
+        let token = match spec.deadline {
+            Some(d) => CancelToken::with_deadline(Instant::now() + d),
+            None => CancelToken::new(),
+        };
+        let state = JobState::new(token);
+        if let Some(forest) = self.shared.cache.get(&key) {
+            // Short-circuit: the forest is already known for this exact
+            // (graph version, algorithm, seed, width). No queue entry,
+            // no team lease — the handle resolves before it is returned.
+            self.shared.gauges.on_cache_hit();
+            self.shared
+                .gauges
+                .on_finish(JobOutcomeKind::Completed, 0, 0);
+            state.finish(Ok(forest));
+            return Ok(Submitted {
+                handle: JobHandle::new(state),
+                cached: true,
+            });
+        }
+        self.shared.gauges.on_cache_miss();
+        let job = QueuedJob {
+            graph,
+            algo: spec.algorithm.instantiate(spec.seed),
+            state: Arc::clone(&state),
+            submitted_at: Instant::now(),
+            preferred_p: spec.processors,
+            lane: spec.priority.lane(),
+            cache_slot: Some(key),
+        };
+        self.enqueue(job, spec.priority, block)?;
+        Ok(Submitted {
+            handle: JobHandle::new(state),
+            cached: false,
+        })
     }
 
     /// Starts a job submission for `g`. The graph is shared by `Arc` so
@@ -266,7 +393,7 @@ impl Service {
         }
         q.lanes[priority.lane()].push_back(job);
         q.len += 1;
-        self.shared.gauges.on_submit();
+        self.shared.gauges.on_submit(priority.lane());
         drop(q);
         self.shared.work.notify_one();
         Ok(())
@@ -276,6 +403,23 @@ impl Service {
 impl Drop for Service {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// The outcome of a [`JobSpec`] submission.
+#[derive(Debug)]
+pub struct Submitted {
+    /// The job's handle; already resolved when `cached` is true.
+    pub handle: JobHandle,
+    /// True when the result came from the cache and no job was queued.
+    pub cached: bool,
+}
+
+impl Submitted {
+    /// Unwraps into the handle when the caller does not care about
+    /// provenance.
+    pub fn into_handle(self) -> JobHandle {
+        self.handle
     }
 }
 
@@ -358,6 +502,10 @@ impl JobBuilder<'_> {
             state: Arc::clone(&state),
             submitted_at: Instant::now(),
             preferred_p: self.preferred_p,
+            lane: self.priority.lane(),
+            // Ad-hoc graphs have no catalog identity, so their results
+            // cannot be cached or shared.
+            cache_slot: None,
         };
         self.service.enqueue(job, self.priority, block)?;
         Ok(JobHandle::new(state))
@@ -383,7 +531,7 @@ fn dispatcher(shared: &Shared) {
                 q = shared.work.wait(q).unwrap();
             }
         };
-        shared.gauges.on_dequeue();
+        shared.gauges.on_dequeue(job.lane);
         shared.space.notify_one();
         if draining {
             shared
@@ -438,6 +586,9 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
 
     match run {
         Ok(Ok(forest)) => {
+            if let Some(key) = job.cache_slot {
+                shared.cache.insert(key, forest.clone());
+            }
             shared
                 .gauges
                 .on_finish(JobOutcomeKind::Completed, queue_ns, exec_ns);

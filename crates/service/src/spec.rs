@@ -1,0 +1,233 @@
+//! Catalog-addressed job descriptions.
+//!
+//! The in-process [`JobBuilder`](crate::JobBuilder) carries a live
+//! `Arc<CsrGraph>` and a boxed algorithm — neither of which can cross a
+//! wire or key a cache. A [`JobSpec`] is the serializable alternative:
+//! it names its graph by [`GraphId`], its algorithm by [`AlgorithmId`],
+//! and pins the traversal seed, so the whole description is a handful
+//! of integers. The service resolves the id against its
+//! [`GraphCatalog`](crate::GraphCatalog) at submission, checks the
+//! result cache, and only then instantiates the algorithm.
+
+use std::time::Duration;
+
+use st_core::engine::SpanningAlgorithm;
+use st_core::hcs::Hcs;
+use st_core::multiroot::Multiroot;
+use st_core::sv::{Sv, SvConfig};
+use st_core::{BaderCong, Config, TraversalConfig};
+
+use crate::catalog::GraphId;
+use crate::job::Priority;
+
+/// Default traversal seed, matching
+/// [`TraversalConfig::default`](st_core::TraversalConfig)'s `0x5eed`.
+pub const DEFAULT_SEED: u64 = 0x5eed;
+
+/// The algorithms a catalog-addressed job can name.
+///
+/// Each variant has a stable wire code ([`code`](Self::code)) used by
+/// the TCP protocol and a lowercase name used in logs and listings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AlgorithmId {
+    /// The paper's work-stealing graph traversal (the default).
+    #[default]
+    BaderCong,
+    /// Independent multi-root traversal with graft-based merging.
+    Multiroot,
+    /// Shiloach–Vishkin graft-and-shortcut.
+    Sv,
+    /// Hybrid connected-components + spanning structure.
+    Hcs,
+}
+
+impl AlgorithmId {
+    /// Every algorithm, in wire-code order.
+    pub const ALL: [AlgorithmId; 4] = [
+        AlgorithmId::BaderCong,
+        AlgorithmId::Multiroot,
+        AlgorithmId::Sv,
+        AlgorithmId::Hcs,
+    ];
+
+    /// Stable one-byte wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            AlgorithmId::BaderCong => 0,
+            AlgorithmId::Multiroot => 1,
+            AlgorithmId::Sv => 2,
+            AlgorithmId::Hcs => 3,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|a| a.code() == code)
+    }
+
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmId::BaderCong => "bader-cong",
+            AlgorithmId::Multiroot => "multiroot",
+            AlgorithmId::Sv => "sv",
+            AlgorithmId::Hcs => "hcs",
+        }
+    }
+
+    /// Builds the boxed engine algorithm this id names, with the
+    /// traversal RNG seeded at `seed` (ignored by the traversal-free
+    /// SV and HCS kernels).
+    pub(crate) fn instantiate(self, seed: u64) -> Box<dyn SpanningAlgorithm + Send + Sync> {
+        let traversal = TraversalConfig {
+            seed,
+            ..TraversalConfig::default()
+        };
+        match self {
+            AlgorithmId::BaderCong => Box::new(BaderCong::new(Config {
+                traversal,
+                ..Config::default()
+            })),
+            AlgorithmId::Multiroot => Box::new(Multiroot::new(traversal)),
+            AlgorithmId::Sv => Box::new(Sv::new(SvConfig::default())),
+            AlgorithmId::Hcs => Box::new(Hcs),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete, serializable description of one job.
+///
+/// This is the unit both the TCP front-end and the result cache speak:
+/// everything that determines the output (graph, algorithm, seed,
+/// requested width) plus the scheduling envelope (priority, deadline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Which catalog graph to span (resolved to its current version at
+    /// submission).
+    pub graph: GraphId,
+    /// Which algorithm to run.
+    pub algorithm: AlgorithmId,
+    /// Traversal RNG seed ([`DEFAULT_SEED`] by default).
+    pub seed: u64,
+    /// Admission priority class.
+    pub priority: Priority,
+    /// Deadline measured from submission (queue wait + execution).
+    pub deadline: Option<Duration>,
+    /// Explicit team-width request; `None` lets the sizing oracle pick.
+    pub processors: Option<usize>,
+}
+
+impl JobSpec {
+    /// A default-algorithm, default-seed, normal-priority spec for
+    /// `graph`.
+    pub fn new(graph: GraphId) -> Self {
+        Self {
+            graph,
+            algorithm: AlgorithmId::default(),
+            seed: DEFAULT_SEED,
+            priority: Priority::Normal,
+            deadline: None,
+            processors: None,
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algo: AlgorithmId) -> Self {
+        self.algorithm = algo;
+        self
+    }
+
+    /// Sets the traversal seed (distinct seeds cache separately).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the admission priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Attaches a deadline covering queue wait plus execution.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Requests an explicit team width.
+    pub fn processors(mut self, p: usize) -> Self {
+        self.processors = Some(p);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_codes_roundtrip() {
+        for algo in AlgorithmId::ALL {
+            assert_eq!(AlgorithmId::from_code(algo.code()), Some(algo));
+        }
+        assert_eq!(AlgorithmId::from_code(200), None);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            AlgorithmId::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), AlgorithmId::ALL.len());
+    }
+
+    #[test]
+    fn spec_builder_chains() {
+        let spec = JobSpec::new(GraphId(3))
+            .algorithm(AlgorithmId::Sv)
+            .seed(42)
+            .priority(Priority::High)
+            .deadline(Duration::from_secs(1))
+            .processors(4);
+        assert_eq!(spec.graph, GraphId(3));
+        assert_eq!(spec.algorithm, AlgorithmId::Sv);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.priority, Priority::High);
+        assert_eq!(spec.deadline, Some(Duration::from_secs(1)));
+        assert_eq!(spec.processors, Some(4));
+    }
+
+    #[test]
+    fn defaults_match_the_in_process_path() {
+        let spec = JobSpec::new(GraphId(0));
+        assert_eq!(spec.algorithm, AlgorithmId::BaderCong);
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.priority, Priority::Normal);
+        assert_eq!(spec.deadline, None);
+        assert_eq!(spec.processors, None);
+    }
+
+    #[test]
+    fn every_algorithm_instantiates_and_runs() {
+        use st_core::engine::Workspace;
+        let g = st_graph::gen::torus2d(8, 8);
+        let pool = st_smp::ExecutorPool::new([2]);
+        let mut ws = Workspace::new();
+        for algo in AlgorithmId::ALL {
+            let boxed = algo.instantiate(7);
+            boxed.prepare(&mut ws, &g);
+            let lease = pool.lease(2);
+            let forest = boxed
+                .run_with_cancel(&g, &lease, &mut ws, &st_smp::CancelToken::new())
+                .unwrap_or_else(|_| panic!("{algo} cancelled unexpectedly"));
+            assert_eq!(forest.num_trees(), 1, "{algo}");
+            assert!(forest.is_valid_for(&g), "{algo}");
+        }
+    }
+}

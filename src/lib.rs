@@ -25,7 +25,9 @@
 //!   the `obs-trace` feature) phase spans exportable as Chrome traces.
 //! * [`service`] — the multi-tenant job service: a sharded pool of
 //!   persistent teams with admission control, priorities, deadlines,
-//!   and cooperative cancellation.
+//!   and cooperative cancellation — plus the graph catalog, result
+//!   cache, and TCP front-end that make it an operable server (see
+//!   [`st_service::net`]).
 //!
 //! ## Quickstart
 //!
@@ -94,6 +96,9 @@ pub mod prelude {
     pub use st_graph::validate::{is_spanning_forest, is_spanning_tree};
     pub use st_graph::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
     pub use st_obs::{write_chrome_trace, Counter, JobMetrics, Phase, PhaseTotal};
-    pub use st_service::{JobError, JobHandle, Priority, Service};
+    pub use st_service::net::{Client, Server, ServerConfig, SubmitRequest};
+    pub use st_service::{
+        AlgorithmId, GraphCatalog, GraphId, JobError, JobHandle, JobSpec, Priority, Service,
+    };
     pub use st_smp::{CancelToken, StealPolicy};
 }

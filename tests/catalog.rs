@@ -1,0 +1,188 @@
+//! Integration tests for the catalog-addressed job path: graph
+//! registration and versioning, spec submission, the result cache's
+//! short-circuit, and the gauges that make its behavior observable.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bader_cong_spanning::prelude::*;
+use bader_cong_spanning::service::Submitted;
+
+fn small_service() -> Service {
+    Service::builder()
+        .teams([2, 1])
+        .queue_capacity(16)
+        .result_cache_capacity(8)
+        .build()
+}
+
+#[test]
+fn spec_submission_spans_a_registered_graph() {
+    let svc = small_service();
+    let g = Arc::new(gen::torus2d(16, 16));
+    let gref = svc.catalog().register(Arc::clone(&g));
+
+    let Submitted { handle, cached } = svc.submit_spec(JobSpec::new(gref.id)).unwrap();
+    assert!(!cached, "first submission must execute");
+    let forest = handle.wait().expect("no deadline, no cancel");
+    assert_eq!(forest.num_trees(), 1);
+    assert!(is_spanning_forest(&g, &forest.parents));
+}
+
+#[test]
+fn unknown_graph_is_rejected_at_submission() {
+    let svc = small_service();
+    let err = svc.submit_spec(JobSpec::new(GraphId(404))).unwrap_err();
+    assert_eq!(err, JobError::UnknownGraph);
+    let s = svc.snapshot();
+    assert_eq!(s.submitted, 0, "rejected specs never count as submitted");
+}
+
+#[test]
+fn repeat_submissions_hit_the_cache() {
+    let svc = small_service();
+    let g = Arc::new(gen::torus2d(16, 16));
+    let gref = svc.catalog().register(g);
+    let spec = JobSpec::new(gref.id).seed(99);
+
+    let first = svc.submit_spec(spec).unwrap();
+    assert!(!first.cached);
+    let cold = first.handle.wait().unwrap();
+
+    let second = svc.submit_spec(spec).unwrap();
+    assert!(second.cached, "identical spec must be served from cache");
+    assert!(
+        second.handle.is_finished(),
+        "cache hits resolve before the handle is returned"
+    );
+    let hot = second.handle.wait().unwrap();
+    assert_eq!(hot.parents, cold.parents);
+    assert_eq!(hot.roots, cold.roots);
+
+    let s = svc.snapshot();
+    assert_eq!(s.cache_hits, 1);
+    assert_eq!(s.cache_misses, 1);
+    assert_eq!(s.submitted, 2, "hits still count as submissions");
+    assert_eq!(s.completed, 2);
+}
+
+#[test]
+fn distinct_seeds_algorithms_and_widths_cache_separately() {
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(8, 8)));
+    let base = JobSpec::new(gref.id);
+
+    for spec in [
+        base,
+        base.seed(7),
+        base.algorithm(AlgorithmId::Sv),
+        base.processors(1),
+    ] {
+        let sub = svc.submit_spec(spec).unwrap();
+        assert!(!sub.cached, "each distinct key must miss: {spec:?}");
+        sub.handle.wait().unwrap();
+    }
+    assert_eq!(svc.snapshot().cache_misses, 4);
+    assert_eq!(svc.result_cache_len(), 4);
+}
+
+#[test]
+fn publishing_a_new_version_makes_old_results_unreachable() {
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(4, 4)));
+    let spec = JobSpec::new(gref.id);
+
+    svc.submit_spec(spec).unwrap().handle.wait().unwrap();
+    assert!(svc.submit_spec(spec).unwrap().cached);
+
+    // Republish under the same id: next submission resolves to v2 and
+    // must execute against the new bytes.
+    svc.catalog()
+        .publish(gref.id, Arc::new(gen::torus2d(32, 32)))
+        .unwrap();
+    let after = svc.submit_spec(spec).unwrap();
+    assert!(!after.cached, "version bump must invalidate addressing");
+    let forest = after.handle.wait().unwrap();
+    assert_eq!(forest.parents.len(), 32 * 32, "ran against the new bytes");
+}
+
+#[test]
+fn removing_a_graph_purges_its_cache_entries() {
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(4, 4)));
+    let spec = JobSpec::new(gref.id);
+    svc.submit_spec(spec).unwrap().handle.wait().unwrap();
+    assert_eq!(svc.result_cache_len(), 1);
+
+    assert!(svc.remove_graph(gref.id));
+    assert_eq!(svc.result_cache_len(), 0);
+    assert_eq!(
+        svc.submit_spec(spec).unwrap_err(),
+        JobError::UnknownGraph,
+        "removed ids no longer resolve"
+    );
+}
+
+#[test]
+fn cached_results_respect_deadlines_trivially() {
+    // A cache hit resolves instantly, so even a tiny deadline passes.
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(8, 8)));
+    let spec = JobSpec::new(gref.id);
+    svc.submit_spec(spec).unwrap().handle.wait().unwrap();
+
+    let hit = svc
+        .submit_spec(spec.deadline(Duration::from_millis(1)))
+        .unwrap();
+    assert!(hit.cached);
+    assert!(hit.handle.wait().is_ok());
+}
+
+#[test]
+fn every_algorithm_id_produces_a_valid_forest() {
+    let svc = small_service();
+    let g = Arc::new(gen::random_gnm(2_000, 6_000, 11));
+    let gref = svc.catalog().register(Arc::clone(&g));
+    for algo in [
+        AlgorithmId::BaderCong,
+        AlgorithmId::Multiroot,
+        AlgorithmId::Sv,
+        AlgorithmId::Hcs,
+    ] {
+        let forest = svc
+            .submit_spec(JobSpec::new(gref.id).algorithm(algo))
+            .unwrap()
+            .handle
+            .wait()
+            .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        assert!(is_spanning_forest(&g, &forest.parents), "{algo:?}");
+    }
+}
+
+#[test]
+fn in_process_job_builder_still_bypasses_the_catalog() {
+    // The pre-catalog API: ad-hoc Arc<CsrGraph> jobs, no cache
+    // interaction at all.
+    let svc = small_service();
+    let g = Arc::new(gen::torus2d(8, 8));
+    svc.job(&g).submit().unwrap().wait().unwrap();
+    svc.job(&g).submit().unwrap().wait().unwrap();
+    let s = svc.snapshot();
+    assert_eq!(s.cache_hits + s.cache_misses, 0);
+    assert_eq!(svc.result_cache_len(), 0);
+}
+
+#[test]
+fn prometheus_page_reflects_cache_traffic() {
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(8, 8)));
+    let spec = JobSpec::new(gref.id);
+    svc.submit_spec(spec).unwrap().handle.wait().unwrap();
+    svc.submit_spec(spec).unwrap().handle.wait().unwrap();
+
+    let page = svc.render_metrics();
+    assert!(page.contains("st_service_result_cache_hits_total 1"));
+    assert!(page.contains("st_service_result_cache_misses_total 1"));
+    assert!(page.contains("st_service_jobs_submitted_total 2"));
+    assert!(page.contains("# TYPE st_service_lane_queue_depth gauge"));
+}
