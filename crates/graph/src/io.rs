@@ -258,19 +258,45 @@ impl BinaryHeader {
     }
 }
 
+/// Ceiling on the bytes pre-reserved per array while decoding a stream
+/// whose total length is unknown. The header's declared sizes are
+/// untrusted until the payload actually arrives: reserving them
+/// verbatim would let a 40-byte header demand a multi-TB allocation
+/// (or a `Vec` capacity-overflow panic). Under the cap the arrays grow
+/// as real bytes come in, so a lying header fails in `read_exact`
+/// with `UnexpectedEof` instead of aborting the process.
+const MAX_UNVERIFIED_PREALLOC_BYTES: usize = 1 << 20;
+
 /// Reads a graph in the binary CSR format from `r`, decoding into owned
 /// arrays (portable; works from sockets and compressed streams).
 ///
 /// Validates magic, declared lengths, checksum, and the CSR structural
 /// invariants.
 pub fn read_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
+    read_binary_from(r, None)
+}
+
+/// Buffered decode; `total_len`, when known, is the exact number of
+/// bytes (header + payload) available, and the declared sizes are
+/// validated against it before anything is allocated.
+fn read_binary_from<R: Read>(r: R, total_len: Option<u64>) -> io::Result<CsrGraph> {
     let mut r = BufReader::new(r);
     let mut header = [0u8; BINARY_HEADER_BYTES];
     r.read_exact(&mut header)?;
-    let hdr = BinaryHeader::parse(&header, None)?;
+    let hdr = BinaryHeader::parse(&header, total_len)?;
 
+    // With a validated total length the declared sizes are backed by
+    // real bytes and exact reservation is safe; on an open-ended
+    // stream they are untrusted, so cap the speculative reservation.
+    let cap = |elems: usize, elem_bytes: usize| {
+        if total_len.is_some() {
+            elems
+        } else {
+            elems.min(MAX_UNVERIFIED_PREALLOC_BYTES / elem_bytes)
+        }
+    };
     let mut sum = FNV_OFFSET;
-    let mut offsets = Vec::with_capacity(hdr.n + 1);
+    let mut offsets = Vec::with_capacity(cap(hdr.n + 1, 8));
     let mut buf8 = [0u8; 8];
     for _ in 0..hdr.n + 1 {
         r.read_exact(&mut buf8)?;
@@ -279,7 +305,7 @@ pub fn read_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
         let o = usize::try_from(o).map_err(|_| bad_data("offset exceeds host pointer width"))?;
         offsets.push(o);
     }
-    let mut targets = Vec::with_capacity(hdr.arcs);
+    let mut targets = Vec::with_capacity(cap(hdr.arcs, 4));
     let mut buf4 = [0u8; 4];
     for _ in 0..hdr.arcs {
         r.read_exact(&mut buf4)?;
@@ -301,8 +327,12 @@ pub fn read_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
 
 /// Decodes a graph from an in-memory binary CSR buffer (e.g. a wire
 /// `REGISTER` payload).
+///
+/// The buffer's length is known, so the declared sizes are checked
+/// against it up front: a header claiming billions of edges over a
+/// tiny payload is an [`io::Error`], never a huge allocation.
 pub fn read_binary_slice(bytes: &[u8]) -> io::Result<CsrGraph> {
-    read_binary(bytes)
+    read_binary_from(bytes, Some(bytes.len() as u64))
 }
 
 /// Writes `g` in the binary CSR format to the file at `path`.
@@ -521,6 +551,43 @@ mod tests {
         let mut padded = buf.clone();
         padded.extend_from_slice(&[0, 0, 0, 0]);
         assert!(read_binary_slice(&padded).is_err());
+    }
+
+    /// A 40-byte header whose declared sizes are attacker-controlled.
+    fn hostile_header(n: u64, m: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(BINARY_HEADER_BYTES);
+        buf.extend_from_slice(&BINARY_MAGIC);
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&m.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum
+        buf.extend_from_slice(&0u64.to_le_bytes()); // reserved
+        buf
+    }
+
+    #[test]
+    fn huge_declared_sizes_error_without_allocating() {
+        // A bare header declaring astronomical sizes must be a clean
+        // error on both decode paths — no capacity-overflow panic, no
+        // multi-TB reservation (the wire REGISTER path feeds exactly
+        // these bytes to read_binary_slice).
+        for (n, m) in [
+            (3, 1u64 << 59),               // arcs*4 still fits u64
+            (u32::MAX as u64 - 1, 3),      // offsets alone would be ~32 GB
+            (u32::MAX as u64 - 1, 1 << 59) // both
+        ] {
+            let buf = hostile_header(n, m);
+            assert!(read_binary_slice(&buf).is_err(), "slice n={n} m={m}");
+            assert!(read_binary(&buf[..]).is_err(), "stream n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn slice_decode_rejects_length_mismatch_before_reading_payload() {
+        // Declared sizes must match the slice length exactly.
+        let mut buf = hostile_header(3, 2);
+        buf.extend_from_slice(&[0u8; 16]); // far short of 8*4 + 4*4
+        let err = read_binary_slice(&buf).unwrap_err();
+        assert!(err.to_string().contains("truncated or corrupt"), "{err}");
     }
 
     #[test]

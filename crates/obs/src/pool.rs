@@ -87,6 +87,14 @@ impl PoolGauges {
         self.cache_hits.fetch_add(1, Relaxed);
     }
 
+    /// Records an accepted submission that resolved at the door
+    /// without ever entering a queue lane (e.g. its deadline was
+    /// already expired): it counts as submitted so the finish counters
+    /// stay reconcilable against `submitted`.
+    pub fn on_submit_unqueued(&self) {
+        self.submitted.fetch_add(1, Relaxed);
+    }
+
     /// Records a catalog-addressed submission the cache could not serve.
     pub fn on_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Relaxed);

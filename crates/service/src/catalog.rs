@@ -85,13 +85,24 @@ impl GraphCatalog {
 
     /// Registers an already-built graph under a fresh id (version 1).
     pub fn register(&self, graph: Arc<CsrGraph>) -> GraphRef {
+        self.register_bounded(graph, usize::MAX)
+            .expect("an unbounded registration cannot fail")
+    }
+
+    /// As [`register`](Self::register), but refuses (returning `None`)
+    /// when the catalog already holds `max_entries` graphs. The check
+    /// and insertion are atomic, so concurrent registrations cannot
+    /// overshoot the bound. Used by the TCP front-end to keep
+    /// untrusted `REGISTER` traffic from growing server memory without
+    /// limit.
+    pub fn register_bounded(&self, graph: Arc<CsrGraph>, max_entries: usize) -> Option<GraphRef> {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() >= max_entries {
+            return None;
+        }
         let id = GraphId(self.next_id.fetch_add(1, Relaxed));
-        let gref = GraphRef { id, version: 1 };
-        self.entries
-            .lock()
-            .unwrap()
-            .insert(id, Entry { graph, version: 1 });
-        gref
+        entries.insert(id, Entry { graph, version: 1 });
+        Some(GraphRef { id, version: 1 })
     }
 
     /// Replaces the bytes published under `id`, bumping its version.

@@ -173,6 +173,10 @@ impl SubmitRequest {
 pub struct Client {
     stream: TcpStream,
     max_frame_bytes: usize,
+    /// Set once the stream is no longer frame-aligned (an oversized
+    /// response frame was flagged but its payload never consumed).
+    /// Every later call fails instead of parsing garbage.
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for Client {
@@ -191,12 +195,35 @@ impl Client {
         Ok(Self {
             stream,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            poisoned: false,
         })
     }
 
-    /// One request/response round trip.
-    fn call(&mut self, request: &[u8]) -> Result<(Status, Vec<u8>), WireError> {
-        write_frame(&mut BufWriter::new(&mut self.stream), request)?;
+    /// Lowers (or raises) the response-frame ceiling; frames above it
+    /// poison the connection. Defaults to
+    /// [`DEFAULT_MAX_FRAME_BYTES`], matching the server.
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Fails fast when a previous oversized response left the stream
+    /// unaligned.
+    fn check_poisoned(&self) -> Result<(), WireError> {
+        if self.poisoned {
+            Err(WireError::Protocol(
+                "connection poisoned by an oversized response frame",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one response frame and splits it into status + body. An
+    /// oversized frame poisons the client and shuts the socket down:
+    /// its payload was never consumed, so nothing after it can be
+    /// trusted to be frame-aligned.
+    fn read_response(&mut self) -> Result<(Status, Vec<u8>), WireError> {
         match read_frame(&mut self.stream, self.max_frame_bytes)? {
             ReadFrame::Frame(frame) => {
                 let mut c = Cursor::new(&frame);
@@ -209,8 +236,19 @@ impl Client {
                 io::ErrorKind::ConnectionAborted,
                 "server closed the connection",
             ))),
-            ReadFrame::TooLarge(_) => Err(WireError::Protocol("oversized response frame")),
+            ReadFrame::TooLarge(_) => {
+                self.poisoned = true;
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                Err(WireError::Protocol("oversized response frame"))
+            }
         }
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &[u8]) -> Result<(Status, Vec<u8>), WireError> {
+        self.check_poisoned()?;
+        write_frame(&mut BufWriter::new(&mut self.stream), request)?;
+        self.read_response()
     }
 
     /// As [`call`](Self::call), but any non-`Ok` status becomes
@@ -328,19 +366,7 @@ impl Client {
     /// [`raw_write`](Self::raw_write).
     #[doc(hidden)]
     pub fn raw_read(&mut self) -> Result<(Status, Vec<u8>), WireError> {
-        match read_frame(&mut self.stream, self.max_frame_bytes)? {
-            ReadFrame::Frame(frame) => {
-                let mut c = Cursor::new(&frame);
-                let code = c.u8().ok_or(WireError::Protocol("empty response"))?;
-                let status =
-                    Status::from_code(code).ok_or(WireError::Protocol("unknown status code"))?;
-                Ok((status, c.remaining().to_vec()))
-            }
-            ReadFrame::Eof => Err(WireError::Io(io::Error::new(
-                io::ErrorKind::ConnectionAborted,
-                "server closed the connection",
-            ))),
-            ReadFrame::TooLarge(_) => Err(WireError::Protocol("oversized response frame")),
-        }
+        self.check_poisoned()?;
+        self.read_response()
     }
 }

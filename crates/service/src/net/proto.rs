@@ -61,6 +61,9 @@ pub enum Status {
     /// A `REGISTER` payload was not a valid binary graph; payload is
     /// the parse error.
     BadGraph = 11,
+    /// The server's catalog is at its configured entry limit; remove a
+    /// graph (or raise the limit) before registering another.
+    CatalogFull = 12,
 }
 
 impl Status {
@@ -85,6 +88,7 @@ impl Status {
             TooLarge,
             Busy,
             BadGraph,
+            CatalogFull,
         ]
         .into_iter()
         .find(|s| s.code() == code)
@@ -106,6 +110,7 @@ impl std::fmt::Display for Status {
             Status::TooLarge => "frame too large",
             Status::Busy => "server busy",
             Status::BadGraph => "bad graph payload",
+            Status::CatalogFull => "catalog full",
         };
         f.write_str(s)
     }
@@ -309,11 +314,11 @@ mod tests {
 
     #[test]
     fn status_codes_roundtrip() {
-        for code in 0..=11 {
+        for code in 0..=12 {
             let status = Status::from_code(code).expect("defined");
             assert_eq!(status.code(), code);
         }
-        assert_eq!(Status::from_code(12), None);
+        assert_eq!(Status::from_code(13), None);
         assert_eq!(Status::from_code(255), None);
     }
 

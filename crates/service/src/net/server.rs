@@ -45,6 +45,13 @@ pub struct ServerConfig {
     /// Per-frame payload ceiling; larger requests get
     /// [`Status::TooLarge`] and the connection closes.
     pub max_frame_bytes: usize,
+    /// Ceiling on catalog entries reachable through remote `REGISTER`:
+    /// uploads that would grow the catalog past this answer
+    /// [`Status::CatalogFull`]. Without a bound any client could grow
+    /// server memory forever — the catalog never evicts on its own;
+    /// entries leave only via explicit removal. In-process
+    /// registration is not limited by this knob.
+    pub max_catalog_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,9 +60,14 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".parse().expect("literal address"),
             max_connections: 64,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_catalog_entries: DEFAULT_MAX_CATALOG_ENTRIES,
         }
     }
 }
+
+/// Default remote-registration ceiling when [`ServerConfig`] does not
+/// set one.
+pub const DEFAULT_MAX_CATALOG_ENTRIES: usize = 256;
 
 impl ServerConfig {
     /// Defaults overlaid with the `ST_LISTEN_ADDR` and
@@ -175,18 +187,31 @@ fn accept_loop(
         active.fetch_add(1, SeqCst);
         let service = Arc::clone(service);
         let shutdown = Arc::clone(shutdown);
-        let active = Arc::clone(active);
+        let slot = SlotGuard(Arc::clone(active));
         let max_frame = cfg.max_frame_bytes;
+        let max_catalog = cfg.max_catalog_entries;
         let handle = std::thread::Builder::new()
             .name("st-server-session".into())
             .spawn(move || {
-                session(&service, stream, max_frame, &shutdown);
-                active.fetch_sub(1, SeqCst);
+                let _slot = slot;
+                session(&service, stream, max_frame, max_catalog, &shutdown);
             })
             .expect("spawning a session thread");
         let mut sessions = sessions.lock().unwrap();
         sessions.retain(|s| !s.is_finished());
         sessions.push(handle);
+    }
+}
+
+/// Owns one slot of the `active` connection budget, releasing it when
+/// the session thread exits — including by panic, which would
+/// otherwise leak the slot and eventually wedge the accept loop into
+/// answering `Busy` forever.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, SeqCst);
     }
 }
 
@@ -234,7 +259,13 @@ fn read_full_interruptible(
 
 /// One connection's lifetime: frame loop, ticket table, ordered
 /// request handling.
-fn session(service: &Arc<Service>, mut stream: TcpStream, max_frame: usize, shutdown: &AtomicBool) {
+fn session(
+    service: &Arc<Service>,
+    mut stream: TcpStream,
+    max_frame: usize,
+    max_catalog: usize,
+    shutdown: &AtomicBool,
+) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
     let mut tickets: HashMap<u32, JobHandle> = HashMap::new();
@@ -259,7 +290,8 @@ fn session(service: &Arc<Service>, mut stream: TcpStream, max_frame: usize, shut
             Ok(Fill::Full) => {}
             Ok(Fill::Eof | Fill::Shutdown) | Err(_) => return,
         }
-        let (response, close) = handle_request(service, &payload, &mut tickets, &mut next_ticket);
+        let (response, close) =
+            handle_request(service, &payload, max_catalog, &mut tickets, &mut next_ticket);
         if write_frame(&mut stream, &response).is_err() || close {
             return;
         }
@@ -293,6 +325,7 @@ fn job_error_status(err: &JobError) -> Status {
 fn handle_request(
     service: &Arc<Service>,
     payload: &[u8],
+    max_catalog: usize,
     tickets: &mut HashMap<u32, JobHandle>,
     next_ticket: &mut u32,
 ) -> (Vec<u8>, bool) {
@@ -303,13 +336,18 @@ fn handle_request(
     match op {
         ops::PING => (resp_with(Status::Ok, c.remaining()), false),
         ops::REGISTER => match st_graph::io::read_binary_slice(c.remaining()) {
-            Ok(graph) => {
-                let gref = service.catalog().register(Arc::new(graph));
-                let mut body = Vec::with_capacity(12);
-                body.extend_from_slice(&gref.id.0.to_le_bytes());
-                body.extend_from_slice(&gref.version.to_le_bytes());
-                (resp_with(Status::Ok, &body), false)
-            }
+            Ok(graph) => match service
+                .catalog()
+                .register_bounded(Arc::new(graph), max_catalog)
+            {
+                Some(gref) => {
+                    let mut body = Vec::with_capacity(12);
+                    body.extend_from_slice(&gref.id.0.to_le_bytes());
+                    body.extend_from_slice(&gref.version.to_le_bytes());
+                    (resp_with(Status::Ok, &body), false)
+                }
+                None => (resp(Status::CatalogFull), false),
+            },
             Err(e) => (resp_with(Status::BadGraph, e.to_string().as_bytes()), false),
         },
         ops::SUBMIT => {

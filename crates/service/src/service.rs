@@ -312,6 +312,20 @@ impl Service {
             None => CancelToken::new(),
         };
         let state = JobState::new(token);
+        // A cache hit completes instantly, so any live deadline is met
+        // trivially — but a deadline that is already expired at
+        // submission (e.g. Duration::ZERO) must still report
+        // DeadlineExceeded, exactly as the executed path would.
+        if state.token.is_cancelled() {
+            let err = JobError::from_token(&state.token);
+            self.shared.gauges.on_submit_unqueued();
+            self.shared.gauges.on_finish(err.outcome_kind(), 0, 0);
+            state.finish(Err(err));
+            return Ok(Submitted {
+                handle: JobHandle::new(state),
+                cached: false,
+            });
+        }
         if let Some(forest) = self.shared.cache.get(&key) {
             // Short-circuit: the forest is already known for this exact
             // (graph version, algorithm, seed, width). No queue entry,

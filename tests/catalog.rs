@@ -139,6 +139,27 @@ fn cached_results_respect_deadlines_trivially() {
 }
 
 #[test]
+fn expired_deadline_is_reported_even_when_the_result_is_cached() {
+    // A deadline that has already passed at submission must resolve to
+    // DeadlineExceeded — the cache must not rewrite it as Completed.
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(8, 8)));
+    let spec = JobSpec::new(gref.id);
+    svc.submit_spec(spec).unwrap().handle.wait().unwrap();
+
+    let dead = svc.submit_spec(spec.deadline(Duration::ZERO)).unwrap();
+    assert!(!dead.cached, "an expired submission is not a cache hit");
+    assert!(dead.handle.is_finished(), "resolved at the door");
+    assert_eq!(
+        dead.handle.wait().unwrap_err(),
+        JobError::DeadlineExceeded
+    );
+    let s = svc.snapshot();
+    assert_eq!(s.deadline_exceeded, 1);
+    assert_eq!(s.submitted, 2, "the dead submission still counts");
+}
+
+#[test]
 fn every_algorithm_id_produces_a_valid_forest() {
     let svc = small_service();
     let g = Arc::new(gen::random_gnm(2_000, 6_000, 11));

@@ -164,6 +164,66 @@ fn bad_graph_bytes_are_rejected() {
 }
 
 #[test]
+fn register_with_lying_header_is_rejected_not_fatal() {
+    let (server, _svc) = serve(&[1], 4);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // A valid STCSRv01 magic with astronomical declared sizes and no
+    // payload: must come back as a clean BadGraph, not crash the
+    // session (or the server) with an allocation failure.
+    let mut req = vec![ops::REGISTER];
+    req.extend_from_slice(b"STCSRv01");
+    req.extend_from_slice(&3u64.to_le_bytes()); // n
+    req.extend_from_slice(&(1u64 << 60).to_le_bytes()); // m
+    req.extend_from_slice(&[0u8; 16]); // checksum + reserved
+    let (status, msg) = c.raw_call(&req).unwrap();
+    assert_eq!(status, Status::BadGraph);
+    assert!(!msg.is_empty(), "diagnostic message expected");
+    // The same session and fresh connections both still get service.
+    assert_eq!(c.ping(b"alive").unwrap(), b"alive");
+    let mut c2 = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(c2.ping(b"fresh").unwrap(), b"fresh");
+    server.shutdown();
+}
+
+#[test]
+fn catalog_limit_bounds_remote_registration() {
+    let cfg = ServerConfig {
+        max_catalog_entries: 2,
+        ..ServerConfig::default()
+    };
+    let (server, svc) = serve_with(&[1], 4, cfg);
+    let g = gen::torus2d(4, 4);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let first = c.register(&g).unwrap();
+    c.register(&g).unwrap();
+    let err = c.register(&g).unwrap_err();
+    assert_eq!(err.status(), Some(Status::CatalogFull), "{err}");
+    // Removing an entry frees a slot for the next upload.
+    assert!(svc.remove_graph(GraphId(first.id)));
+    c.register(&g).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn oversized_response_poisons_the_client() {
+    let (server, _svc) = serve(&[1], 4);
+    let mut c = Client::connect(server.local_addr())
+        .unwrap()
+        .with_max_frame_bytes(8);
+    // The echo of a >8-byte payload overflows the client's ceiling;
+    // its payload is never consumed, so the stream is unaligned.
+    let err = c.ping(b"this echo exceeds eight bytes").unwrap_err();
+    assert!(matches!(err, WireError::Protocol(_)), "{err}");
+    // Later calls must fail fast instead of parsing garbage.
+    let err = c.ping(b"x").unwrap_err();
+    assert!(
+        matches!(err, WireError::Protocol(_) | WireError::Io(_)),
+        "{err}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn oversized_frames_are_rejected_and_close_the_connection() {
     let cfg = ServerConfig {
         max_frame_bytes: 1024,
