@@ -51,8 +51,15 @@ struct ModelResult {
     model: String,
     wall_s: f64,
     jobs_per_s: f64,
+    /// Client-side stopwatch percentiles (submit → result claimed).
     p50_ms: f64,
     p99_ms: f64,
+    /// Server-side percentiles from the service's own latency
+    /// histograms (queue + exec wall for executed jobs, cached-path
+    /// wall for the hot model); `None` for the serviceless naive model.
+    /// The client/server gap is the wire + framing overhead.
+    server_p50_ms: Option<f64>,
+    server_p99_ms: Option<f64>,
     pool: Option<PoolSnapshot>,
 }
 
@@ -251,6 +258,7 @@ fn model_result(
     total_jobs: usize,
     wall_s: f64,
     latencies: &[f64],
+    server_quantiles_ns: Option<(u64, u64)>,
     pool: Option<PoolSnapshot>,
 ) -> ModelResult {
     let r = ModelResult {
@@ -259,13 +267,35 @@ fn model_result(
         jobs_per_s: total_jobs as f64 / wall_s,
         p50_ms: percentile_ms(latencies, 0.50),
         p99_ms: percentile_ms(latencies, 0.99),
+        server_p50_ms: server_quantiles_ns.map(|(p50, _)| p50 as f64 / 1e6),
+        server_p99_ms: server_quantiles_ns.map(|(_, p99)| p99 as f64 / 1e6),
         pool,
     };
-    eprintln!(
-        "  {model:<8} {:.1} jobs/s  (wall {:.3}s, p50 {:.2}ms, p99 {:.2}ms)",
-        r.jobs_per_s, r.wall_s, r.p50_ms, r.p99_ms
-    );
+    match (r.server_p50_ms, r.server_p99_ms) {
+        (Some(sp50), Some(sp99)) => eprintln!(
+            "  {model:<8} {:.1} jobs/s  (wall {:.3}s, client p50 {:.2}ms / p99 {:.2}ms, \
+             server p50 {sp50:.2}ms / p99 {sp99:.2}ms)",
+            r.jobs_per_s, r.wall_s, r.p50_ms, r.p99_ms
+        ),
+        _ => eprintln!(
+            "  {model:<8} {:.1} jobs/s  (wall {:.3}s, p50 {:.2}ms, p99 {:.2}ms)",
+            r.jobs_per_s, r.wall_s, r.p50_ms, r.p99_ms
+        ),
+    }
     r
+}
+
+/// p50/p99 (ns) of the service's cached-path wall histogram — the
+/// server-side counterpart of the hot model's client stopwatch.
+fn cached_quantiles_ns(svc: &Service) -> (u64, u64) {
+    let families = svc.telemetry().histogram_families();
+    let snap = families
+        .iter()
+        .find(|f| f.name == "st_service_cached_wall_seconds")
+        .and_then(|f| f.series.first())
+        .map(|s| s.snapshot.clone())
+        .expect("cached-wall family is always exported");
+    (snap.quantile(0.50), snap.quantile(0.99))
 }
 
 fn main() {
@@ -292,7 +322,7 @@ fn main() {
         let forest = algo.spanning_forest(&g, naive_p);
         forest.num_trees()
     });
-    let naive = model_result("naive", total_jobs, naive_wall, &naive_lats, None);
+    let naive = model_result("naive", total_jobs, naive_wall, &naive_lats, None, None);
 
     // Service model: one shared pool behind admission control.
     let svc = Service::builder()
@@ -303,8 +333,18 @@ fn main() {
         let handle = svc.job(&g).submit().expect("service is open");
         handle.wait().expect("no deadline, no cancel").num_trees()
     });
+    // Server-side wall quantiles must be read before shutdown consumes
+    // the service.
+    let svc_quantiles = svc.telemetry().wall_quantiles();
     let snapshot = svc.shutdown();
-    let service = model_result("service", total_jobs, svc_wall, &svc_lats, Some(snapshot));
+    let service = model_result(
+        "service",
+        total_jobs,
+        svc_wall,
+        &svc_lats,
+        Some(svc_quantiles),
+        Some(snapshot),
+    );
 
     // Server models: the same pool behind the TCP front-end, driven by
     // `clients` concurrent loopback connections.
@@ -342,6 +382,7 @@ fn main() {
             total_jobs,
             cold_wall,
             &cold_lats,
+            Some(svc.telemetry().wall_quantiles()),
             Some(cold_snapshot),
         );
 
@@ -361,11 +402,14 @@ fn main() {
             "hot pass must be cache-served (got {hot_hits} hits of {total_jobs} jobs)"
         );
         eprintln!("  server_hot cache hits: {hot_hits}/{total_jobs}");
+        // The hot pass is cache-served, so its server-side view is the
+        // cached-path wall histogram, not the execution histograms.
         let server_hot = model_result(
             "server_hot",
             total_jobs,
             hot_wall,
             &hot_lats,
+            Some(cached_quantiles_ns(&svc)),
             Some(hot_snapshot),
         );
         server.shutdown();

@@ -35,6 +35,8 @@
 //! | `ST_LISTEN_ADDR` | `host:port` socket address | TCP bind address of the service front-end |
 //! | `ST_MAX_CONNECTIONS` | integer ≥ 1 | concurrent TCP connections before `Busy` |
 //! | `ST_RESULT_CACHE_CAP` | integer ≥ 0 | result-cache entries (0 disables caching) |
+//! | `ST_JOURNAL_CAP` | integer 1–1048576 | telemetry event-journal ring capacity |
+//! | `ST_SLOW_JOB_MS` | integer 1–3600000 | slow-job threshold (wall ms) for the full-metrics dump |
 
 use std::fmt;
 
@@ -102,6 +104,11 @@ pub struct RuntimeConfig {
     /// `ST_RESULT_CACHE_CAP`: result-cache entry capacity (0 disables
     /// the cache).
     pub result_cache_capacity: Option<usize>,
+    /// `ST_JOURNAL_CAP`: telemetry event-journal ring capacity.
+    pub journal_capacity: Option<usize>,
+    /// `ST_SLOW_JOB_MS`: wall-latency threshold, in milliseconds, past
+    /// which the service dumps a job's full `JobMetrics`.
+    pub slow_job_ms: Option<u64>,
 }
 
 impl RuntimeConfig {
@@ -123,6 +130,8 @@ impl RuntimeConfig {
             listen_addr: read("ST_LISTEN_ADDR", parse_socket_addr)?,
             max_connections: read("ST_MAX_CONNECTIONS", parse_positive)?,
             result_cache_capacity: read("ST_RESULT_CACHE_CAP", parse_nonnegative)?,
+            journal_capacity: read("ST_JOURNAL_CAP", parse_journal_cap)?,
+            slow_job_ms: read("ST_SLOW_JOB_MS", parse_slow_job_ms)?,
         })
     }
 
@@ -236,6 +245,28 @@ fn parse_prefetch(s: &str) -> Result<usize, &'static str> {
     const REASON: &str = "an integer between 0 (off) and 256";
     match s.parse::<usize>() {
         Ok(v) if v <= 256 => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_journal_cap(s: &str) -> Result<usize, &'static str> {
+    // A zero cap silently discards every event; a multi-million-entry
+    // ring is a unit mix-up (each entry is ~100 bytes). Either way the
+    // operator meant something else.
+    const REASON: &str = "an integer between 1 and 1048576 (journal entries)";
+    match s.parse::<usize>() {
+        Ok(v) if (1..=1_048_576).contains(&v) => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_slow_job_ms(s: &str) -> Result<u64, &'static str> {
+    // 0 would dump metrics for every job (that is what the journal is
+    // for); beyond an hour the knob can never fire before a deadline
+    // or the operator's patience does — both are configuration typos.
+    const REASON: &str = "an integer between 1 and 3600000 (milliseconds)";
+    match s.parse::<u64>() {
+        Ok(v) if (1..=3_600_000).contains(&v) => Ok(v),
         _ => Err(REASON),
     }
 }
@@ -371,6 +402,28 @@ mod tests {
         assert_eq!(parse_nonnegative("4096"), Ok(4096));
         assert!(parse_nonnegative("-1").is_err());
         assert!(parse_nonnegative("lots").is_err());
+    }
+
+    #[test]
+    fn journal_cap_rejects_zero_and_absurd_values() {
+        assert_eq!(parse_journal_cap("1"), Ok(1));
+        assert_eq!(parse_journal_cap("4096"), Ok(4096));
+        assert_eq!(parse_journal_cap("1048576"), Ok(1_048_576));
+        assert!(parse_journal_cap("0").is_err(), "0 discards every event");
+        assert!(parse_journal_cap("1048577").is_err(), "unit mix-up");
+        assert!(parse_journal_cap("-5").is_err());
+        assert!(parse_journal_cap("big").is_err());
+    }
+
+    #[test]
+    fn slow_job_threshold_rejects_zero_and_absurd_values() {
+        assert_eq!(parse_slow_job_ms("1"), Ok(1));
+        assert_eq!(parse_slow_job_ms("250"), Ok(250));
+        assert_eq!(parse_slow_job_ms("3600000"), Ok(3_600_000));
+        assert!(parse_slow_job_ms("0").is_err(), "0 dumps every job");
+        assert!(parse_slow_job_ms("3600001").is_err(), "beyond an hour");
+        assert!(parse_slow_job_ms("-1").is_err());
+        assert!(parse_slow_job_ms("slow").is_err());
     }
 
     #[test]

@@ -102,6 +102,9 @@ pub struct Workspace {
     /// [`note_queue_wait`](Self::note_queue_wait), consumed by the next
     /// [`finish_job`](Self::finish_job).
     pending_queue_ns: u64,
+    /// Trace id noted via [`note_trace_id`](Self::note_trace_id),
+    /// consumed by the next [`finish_job`](Self::finish_job).
+    pending_trace_id: u64,
 }
 
 impl Workspace {
@@ -178,6 +181,15 @@ impl Workspace {
         self.pending_queue_ns = ns;
     }
 
+    /// Stamps the upcoming job's [`JobMetrics`] with a service trace
+    /// id, so the per-job report can be joined against the service
+    /// event journal. Consumed by the next
+    /// [`finish_job`](Self::finish_job); jobs submitted outside the
+    /// service report zero.
+    pub fn note_trace_id(&mut self, trace_id: u64) {
+        self.pending_trace_id = trace_id;
+    }
+
     /// Closes the window opened by [`begin_job`](Self::begin_job):
     /// folds the detector's cumulative stats into rank 0's counters and
     /// returns the job's [`JobMetrics`] (merged totals, per-rank
@@ -197,6 +209,7 @@ impl Workspace {
         slot0.add(Counter::StarvationTrips, det.starvation_trips);
         exec.detector().reset_stats();
         JobMetrics {
+            trace_id: std::mem::take(&mut self.pending_trace_id),
             p,
             wall_ns: queue_ns + exec_ns,
             queue_ns,

@@ -571,9 +571,9 @@ mod tests {
         // multi-TB reservation (the wire REGISTER path feeds exactly
         // these bytes to read_binary_slice).
         for (n, m) in [
-            (3, 1u64 << 59),               // arcs*4 still fits u64
-            (u32::MAX as u64 - 1, 3),      // offsets alone would be ~32 GB
-            (u32::MAX as u64 - 1, 1 << 59) // both
+            (3, 1u64 << 59),                // arcs*4 still fits u64
+            (u32::MAX as u64 - 1, 3),       // offsets alone would be ~32 GB
+            (u32::MAX as u64 - 1, 1 << 59), // both
         ] {
             let buf = hostile_header(n, m);
             assert!(read_binary_slice(&buf).is_err(), "slice n={n} m={m}");

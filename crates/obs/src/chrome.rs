@@ -92,6 +92,7 @@ mod tests {
         let set = CounterSet::new(2);
         set.rank(0).add(Counter::Steals, 2);
         JobMetrics {
+            trace_id: 0,
             p: 2,
             wall_ns: 500,
             queue_ns: 0,

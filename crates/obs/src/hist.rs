@@ -1,0 +1,399 @@
+//! Lock-free log-linear latency histograms.
+//!
+//! The paper's argument is distributional — a mean hides exactly the
+//! tail behavior (steal storms, direction switches, queue spikes) the
+//! Helman–JáJá methodology exists to expose. [`Histogram`] records
+//! nanosecond values into HDR-style log-linear buckets: exact below
+//! [`SUB`](Histogram) and a fixed relative error (≤ 1/16 ≈ 6%) above
+//! it, over the full `u64` range, with every update a handful of
+//! `Relaxed` `fetch_add`s — no locks, no allocation, no floating
+//! point on the hot path.
+//!
+//! [`ShardedHistogram`] spreads recorders across cache-padded shards
+//! (one per recording thread, assigned round-robin on first use) so
+//! concurrent dispatchers never contend on the same bucket lines;
+//! [`snapshot`](ShardedHistogram::snapshot) merges the shards into a
+//! [`HistogramSnapshot`] for quantile extraction
+//! ([`quantile`](HistogramSnapshot::quantile) walks the exact buckets)
+//! and Prometheus `_bucket`/`_sum`/`_count` rendering (see
+//! [`crate::prometheus`]).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+use st_smp::pad::CachePadded;
+
+/// Sub-bucket resolution exponent: each power-of-two octave is split
+/// into `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 4;
+
+/// Linear sub-buckets per octave (16): the worst-case relative error of
+/// a bucket bound is `1 / 16`.
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering all of `u64`: indices `0..2*SUB` are
+/// exact values, then 16 buckets per octave up to `2^63`.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB as usize;
+
+/// Bucket index for `v` (total order preserving: `v <= w` implies
+/// `index(v) <= index(w)`).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 2 * SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) - SUB; // in 0..SUB
+    ((msb - SUB_BITS + 1) as u64 * SUB + sub) as usize
+}
+
+/// Largest value stored in bucket `i` (the bucket's inclusive upper
+/// bound — what quantile extraction reports).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i < 2 * SUB as usize {
+        return i as u64;
+    }
+    let octave = (i as u64) >> SUB_BITS; // >= 2
+    let sub = (i as u64) & (SUB - 1);
+    let shift = (octave - 1) as u32;
+    // Upper bound is one below the next bucket's first value.
+    ((SUB + sub + 1) << shift).wrapping_sub(1)
+}
+
+/// One lock-free log-linear histogram: fixed bucket array plus running
+/// sum and count, all `Relaxed` atomics. Snapshots are therefore
+/// approximate under concurrency (each cell individually correct, the
+/// set not an atomic cut) — statistics, not synchronization.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Relaxed))
+            .field("sum", &self.sum.load(Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array in place.
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = (0..NUM_BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("length is NUM_BUCKETS by construction"));
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (typically nanoseconds). Lock-free; callable
+    /// from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Merges this histogram's cells into `snap`.
+    fn merge_into(&self, snap: &mut HistogramSnapshot) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            snap.buckets[i] += b.load(Relaxed);
+        }
+        snap.count += self.count.load(Relaxed);
+        snap.sum += self.sum.load(Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        self.merge_into(&mut snap);
+        snap
+    }
+}
+
+/// Process-wide dense thread index for shard selection: each thread is
+/// assigned the next integer on first use, so the first `k` recording
+/// threads land on `k` distinct shards of any `k`-shard histogram.
+fn thread_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: usize = NEXT.fetch_add(1, Relaxed);
+    }
+    INDEX.with(|i| *i)
+}
+
+/// A histogram sharded across cache-padded sub-histograms, one per
+/// recording thread (round-robin when threads outnumber shards), merged
+/// on [`snapshot`](Self::snapshot).
+pub struct ShardedHistogram {
+    shards: Box<[CachePadded<Histogram>]>,
+}
+
+impl std::fmt::Debug for ShardedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHistogram")
+            .field("shards", &self.shards.len())
+            .field("count", &self.snapshot().count)
+            .finish()
+    }
+}
+
+impl ShardedHistogram {
+    /// A histogram with `shards` independent recorders (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| CachePadded::new(Histogram::new()))
+                .collect(),
+        }
+    }
+
+    /// Records one value into the calling thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.shards[thread_index() % self.shards.len()].record(v);
+    }
+
+    /// Merges all shards into one snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        for s in self.shards.iter() {
+            s.merge_into(&mut snap);
+        }
+        snap
+    }
+}
+
+/// A merged, immutable copy of a histogram: per-bucket counts plus the
+/// running sum and count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Raw (non-cumulative) bucket counts, index order = value order.
+    pub buckets: Vec<u64>,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The exact-bucket quantile: the inclusive upper bound of the
+    /// bucket containing the `q`-th ranked value (`q` in `[0, 1]`).
+    /// Returns 0 when the histogram is empty. The reported value is
+    /// never below the true quantile and overshoots by at most one
+    /// bucket width (≤ 1/16 relative).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(NUM_BUCKETS - 1)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Cumulative counts for a ladder of inclusive upper bounds (in the
+    /// recorded unit): entry `i` is the number of values whose *bucket*
+    /// lies entirely at or below `bounds[i]`. Monotone non-decreasing
+    /// by construction; a trailing `+Inf` bound is the caller's job
+    /// (it equals [`count`](Self::count)).
+    pub fn cumulative_le(&self, bounds: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(bounds.len());
+        let mut cum = 0u64;
+        let mut next_bucket = 0usize;
+        for &bound in bounds {
+            while next_bucket < NUM_BUCKETS && bucket_upper(next_bucket) <= bound {
+                cum += self.buckets[next_bucket];
+                next_bucket += 1;
+            }
+            out.push(cum);
+        }
+        debug_assert!(out.windows(2).all(|w| w[0] <= w[1]), "monotone cumulative");
+        out
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 32);
+        assert_eq!(snap.sum, (0..32).sum::<u64>());
+        for i in 0..32 {
+            assert_eq!(snap.buckets[i], 1, "bucket {i}");
+            assert_eq!(bucket_upper(i), i as u64);
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_bounded() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        loop {
+            let i = bucket_index(v);
+            assert!(i >= last, "index must not decrease (v = {v})");
+            assert!(i < NUM_BUCKETS);
+            last = i;
+            v = match v.checked_mul(3) {
+                Some(t) => t / 2 + 1,
+                None => break,
+            };
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn upper_bound_brackets_its_bucket() {
+        for v in [
+            1u64,
+            100,
+            1_000,
+            65_535,
+            1_000_000,
+            123_456_789,
+            u64::MAX / 3,
+        ] {
+            let i = bucket_index(v);
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "upper({i}) = {upper} < v = {v}");
+            // Relative error of reporting the upper bound is <= 1/SUB.
+            assert!(
+                (upper - v) as f64 <= v as f64 / SUB as f64 + 1.0,
+                "error too large: v = {v}, upper = {upper}"
+            );
+            if i + 1 < NUM_BUCKETS {
+                assert!(bucket_upper(i + 1) > upper);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_exact_buckets() {
+        let h = Histogram::new();
+        // 100 values: 1..=100 (all exact or near-exact buckets).
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        let p50 = snap.quantile(0.50);
+        let p99 = snap.quantile(0.99);
+        assert!((48..=56).contains(&p50), "p50 = {p50}");
+        assert!((95..=103).contains(&p99), "p99 = {p99}");
+        assert_eq!(snap.quantile(0.0), 1, "q=0 is the minimum's bucket");
+        assert!(snap.quantile(1.0) >= 100);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_ladder_is_monotone_and_complete() {
+        let h = Histogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let bounds = [50u64, 500, 5_000, 50_000, 500_000, u64::MAX];
+        let cum = snap.cumulative_le(&bounds);
+        assert_eq!(cum, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn sharded_merges_across_threads() {
+        let h = ShardedHistogram::new(4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.sum, (0..4000u64).sum::<u64>());
+        assert_eq!(snap.cumulative_le(&[u64::MAX]), vec![4000]);
+    }
+
+    #[test]
+    fn merge_folds_snapshots() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 505);
+    }
+}

@@ -1,0 +1,374 @@
+//! Trace identity and the bounded structured event journal.
+//!
+//! A `/metrics` page answers "how is the pool doing?"; it cannot answer
+//! "what happened to *my* job?". [`TraceId`] is the per-job identity
+//! minted at submission and carried through the wire protocol, queue,
+//! dispatcher, and [`JobMetrics`](crate::JobMetrics); [`EventJournal`]
+//! is the bounded ring of lifecycle events
+//! (submitted → admitted → dequeued → started → finished, plus
+//! direction switches) stamped with that id, the tenant lane, the
+//! executing team, and a monotonic timestamp. When the ring is full the
+//! oldest events are dropped and counted — the journal never blocks or
+//! grows without bound.
+//!
+//! Events render as JSONL (one JSON object per line), hand-written so
+//! the format is stable and dependency-free.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-unique identity of one job, minted at submission.
+///
+/// Ids are sequential from a process-wide counter (never 0), rendered
+/// as 16-digit hex. Sequential rather than random: the journal is
+/// in-process, collisions are impossible, and ordered ids make ring
+/// dumps greppable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mints the next process-unique id.
+    pub fn mint() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        TraceId(NEXT.fetch_add(1, Relaxed))
+    }
+
+    /// The raw id value (never 0 for minted ids).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One step of a job's lifecycle, in causal order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobEventKind {
+    /// The submission arrived (wire or in-process) and was assigned a
+    /// trace id.
+    Submitted,
+    /// The job entered a queue lane (or resolved at the door: a cache
+    /// hit or an already-expired deadline — see `detail`).
+    Admitted,
+    /// A dispatcher popped the job from its lane.
+    Dequeued,
+    /// Execution began on a team.
+    Started,
+    /// The hybrid traversal switched direction at least once while the
+    /// job ran (recorded when execution metrics show bottom-up rounds).
+    DirectionSwitched,
+    /// The job left the service; `detail` carries the outcome.
+    Finished,
+}
+
+impl JobEventKind {
+    /// Stable lowercase name used in the JSONL rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobEventKind::Submitted => "submitted",
+            JobEventKind::Admitted => "admitted",
+            JobEventKind::Dequeued => "dequeued",
+            JobEventKind::Started => "started",
+            JobEventKind::DirectionSwitched => "direction_switched",
+            JobEventKind::Finished => "finished",
+        }
+    }
+}
+
+/// One journal entry: what happened, to which job, when, and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobEvent {
+    /// The job this event belongs to.
+    pub trace: TraceId,
+    /// Lifecycle step.
+    pub kind: JobEventKind,
+    /// Nanoseconds since the journal's epoch (monotonic, comparable
+    /// across events of one process).
+    pub t_ns: u64,
+    /// Priority lane (0 = highest) when known.
+    pub lane: Option<u8>,
+    /// Executing team id when known (only from `Started` onward).
+    pub team: Option<u32>,
+    /// Free-form annotation: outcome for `Finished`, "cache_hit" for
+    /// door-resolved admissions, round counts for direction switches.
+    pub detail: Option<String>,
+}
+
+impl JobEvent {
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"trace\":\"");
+        out.push_str(&format!("{:016x}", self.trace.0));
+        out.push_str("\",\"event\":\"");
+        out.push_str(self.kind.name());
+        out.push_str("\",\"t_ns\":");
+        out.push_str(&self.t_ns.to_string());
+        if let Some(lane) = self.lane {
+            out.push_str(",\"lane\":");
+            out.push_str(&lane.to_string());
+        }
+        if let Some(team) = self.team {
+            out.push_str(",\"team\":");
+            out.push_str(&team.to_string());
+        }
+        if let Some(detail) = &self.detail {
+            out.push_str(",\"detail\":\"");
+            escape_json_into(detail, &mut out);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A bounded ring of [`JobEvent`]s with drop-oldest overflow.
+///
+/// Writers take a short mutex per event (the critical section is a
+/// `VecDeque` push plus possible pop — no allocation beyond the event
+/// itself); readers copy the ring out. The cap bounds memory, the
+/// `dropped` counter makes overflow observable instead of silent.
+pub struct EventJournal {
+    ring: Mutex<VecDeque<JobEvent>>,
+    cap: usize,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("cap", &self.cap)
+            .field("dropped", &self.dropped.load(Relaxed))
+            .finish()
+    }
+}
+
+impl EventJournal {
+    /// A journal holding at most `cap` events (at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(cap.min(4096))),
+            cap,
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since this journal's epoch (saturating at `u64::MAX`
+    /// after ~584 years).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Appends an event, dropping the oldest if the ring is full.
+    pub fn record(&self, mut event: JobEvent) {
+        if event.t_ns == 0 {
+            event.t_ns = self.now_ns();
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= self.cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Convenience: records `kind` for `trace` now.
+    pub fn record_now(
+        &self,
+        trace: TraceId,
+        kind: JobEventKind,
+        lane: Option<u8>,
+        team: Option<u32>,
+        detail: Option<String>,
+    ) {
+        self.record(JobEvent {
+            trace,
+            kind,
+            t_ns: self.now_ns(),
+            lane,
+            team,
+            detail,
+        });
+    }
+
+    /// Events dropped to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Copies the ring out, oldest first.
+    pub fn events(&self) -> Vec<JobEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Copies out only the events for `trace`, oldest first.
+    pub fn events_for(&self, trace: TraceId) -> Vec<JobEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|e| e.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the ring as JSONL, oldest first, one event per line
+    /// (trailing newline included when non-empty). `trace` filters to
+    /// one job.
+    pub fn to_jsonl(&self, trace: Option<TraceId>) -> String {
+        let events = match trace {
+            Some(t) => self.events_for(t),
+            None => self.events(),
+        };
+        let mut out = String::with_capacity(events.len() * 96);
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_ne!(a.as_u64(), 0);
+        assert_ne!(b.as_u64(), 0);
+        assert_eq!(format!("{a}").len(), 16);
+    }
+
+    #[test]
+    fn journal_records_in_order() {
+        let j = EventJournal::new(16);
+        let t = TraceId::mint();
+        j.record_now(t, JobEventKind::Submitted, Some(1), None, None);
+        j.record_now(t, JobEventKind::Admitted, Some(1), None, None);
+        j.record_now(t, JobEventKind::Dequeued, Some(1), None, None);
+        j.record_now(t, JobEventKind::Started, Some(1), Some(0), None);
+        j.record_now(
+            t,
+            JobEventKind::Finished,
+            Some(1),
+            Some(0),
+            Some("completed".into()),
+        );
+        let events = j.events_for(t);
+        assert_eq!(events.len(), 5);
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                JobEventKind::Submitted,
+                JobEventKind::Admitted,
+                JobEventKind::Dequeued,
+                JobEventKind::Started,
+                JobEventKind::Finished,
+            ]
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns),
+            "timestamps must be monotone"
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let j = EventJournal::new(3);
+        for i in 0..5u64 {
+            j.record_now(TraceId(i + 1), JobEventKind::Submitted, None, None, None);
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(events[0].trace, TraceId(3), "oldest two were dropped");
+        assert_eq!(events[2].trace, TraceId(5));
+    }
+
+    #[test]
+    fn jsonl_rendering_is_parseable() {
+        let j = EventJournal::new(8);
+        let t = TraceId(0xabcd);
+        j.record_now(
+            t,
+            JobEventKind::Finished,
+            Some(2),
+            Some(1),
+            Some("panicked: \"boom\"\n".into()),
+        );
+        let jsonl = j.to_jsonl(Some(t));
+        let line = jsonl.trim_end();
+        let v = serde_json::parse_value(line).expect("valid JSON");
+        let o = match v {
+            serde::Value::Object(o) => o,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert_eq!(
+            o.get("trace"),
+            Some(&serde::Value::String("000000000000abcd".into()))
+        );
+        assert_eq!(
+            o.get("event"),
+            Some(&serde::Value::String("finished".into()))
+        );
+        assert_eq!(o.get("lane"), Some(&serde::Value::Number(2.0)));
+        assert_eq!(o.get("team"), Some(&serde::Value::Number(1.0)));
+        assert_eq!(
+            o.get("detail"),
+            Some(&serde::Value::String("panicked: \"boom\"\n".into()))
+        );
+    }
+
+    #[test]
+    fn filter_by_trace() {
+        let j = EventJournal::new(8);
+        j.record_now(TraceId(1), JobEventKind::Submitted, None, None, None);
+        j.record_now(TraceId(2), JobEventKind::Submitted, None, None, None);
+        j.record_now(TraceId(1), JobEventKind::Finished, None, None, None);
+        assert_eq!(j.events_for(TraceId(1)).len(), 2);
+        assert_eq!(j.events_for(TraceId(2)).len(), 1);
+        assert_eq!(j.to_jsonl(Some(TraceId(3))), "");
+    }
+}

@@ -22,8 +22,15 @@
 //! * [`pool`] — aggregate gauges for the multi-tenant job service
 //!   (admission/outcome counters, per-lane queue depth, team busyness,
 //!   result-cache hit rates).
+//! * [`hist`] — lock-free log-linear latency [`Histogram`]s with
+//!   cache-padded sharding, exact-bucket quantiles, and cumulative
+//!   ladders for Prometheus `_bucket` rendering.
+//! * [`journal`] — per-job [`TraceId`]s and the bounded structured
+//!   [`EventJournal`] of lifecycle events (JSONL ring buffer).
 //! * [`prometheus`] — text-exposition rendering of a [`PoolSnapshot`]
-//!   for scrape endpoints (the service's `METRICS` wire op).
+//!   (plus latency histogram families) for scrape endpoints, and
+//!   [`lint_exposition`], an offline grammar checker for the rendered
+//!   page.
 //!
 //! The layer is algorithm-agnostic: `st-core` owns *when* to count
 //! (claim races, publications, grafts); this crate owns the storage,
@@ -31,6 +38,8 @@
 
 pub mod chrome;
 pub mod counters;
+pub mod hist;
+pub mod journal;
 pub mod metrics;
 pub mod pool;
 pub mod prometheus;
@@ -38,7 +47,12 @@ pub mod trace;
 
 pub use chrome::write_chrome_trace;
 pub use counters::{Counter, CounterSet, CounterSlot, CounterSnapshot, NUM_COUNTERS};
+pub use hist::{Histogram, HistogramSnapshot, ShardedHistogram};
+pub use journal::{EventJournal, JobEvent, JobEventKind, TraceId};
 pub use metrics::{JobMetrics, PhaseTotal};
 pub use pool::{JobOutcomeKind, PoolGauges, PoolSnapshot, QUEUE_LANES};
-pub use prometheus::{render_pool_prometheus, PROMETHEUS_CONTENT_TYPE};
+pub use prometheus::{
+    lint_exposition, render_pool_prometheus, render_service_prometheus, HistogramFamily,
+    HistogramSeries, PROMETHEUS_CONTENT_TYPE,
+};
 pub use trace::{now_ns, Phase, SpanEvent, SpanRing, TraceSet, DEFAULT_SPAN_CAPACITY, NUM_PHASES};

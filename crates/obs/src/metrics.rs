@@ -15,6 +15,11 @@ pub use crate::trace::PhaseTotal;
 /// every `Engine` run hands one back.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct JobMetrics {
+    /// Trace id of the service job this report belongs to (0 when the
+    /// job ran outside the service and no id was minted). Matches the
+    /// `trace` field of the service event journal, so a slow-job dump
+    /// can be joined against its lifecycle events.
+    pub trace_id: u64,
     /// Team size the job ran with.
     pub p: usize,
     /// Total wall-clock nanoseconds attributed to the job: always
@@ -101,6 +106,7 @@ mod tests {
         set.rank(1).add(Counter::Processed, 4);
         set.rank(1).incr(Counter::Steals);
         JobMetrics {
+            trace_id: 7,
             p: 2,
             wall_ns: 1_000,
             queue_ns: 300,

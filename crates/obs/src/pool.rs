@@ -27,8 +27,14 @@ pub struct PoolGauges {
     submitted: AtomicU64,
     /// Jobs rejected at admission (backpressure on a full queue).
     rejected: AtomicU64,
-    /// Jobs that finished with a valid result.
+    /// Rejected submissions, split by the lane they would have entered.
+    lane_rejected: [AtomicU64; QUEUE_LANES],
+    /// Jobs that finished with a valid result after real execution.
     completed: AtomicU64,
+    /// Submissions answered from the result cache (zero-cost
+    /// completions, kept out of `completed` so execution latency
+    /// statistics are not understated).
+    completed_cached: AtomicU64,
     /// Jobs that ended via explicit cancellation.
     cancelled: AtomicU64,
     /// Jobs that ended because their deadline passed.
@@ -69,22 +75,38 @@ impl PoolGauges {
         self.max_queue_depth.fetch_max(depth, Relaxed);
     }
 
-    /// Records a rejected submission (backpressure).
-    pub fn on_reject(&self) {
+    /// Records a submission rejected before entering lane `lane`
+    /// (backpressure).
+    pub fn on_reject(&self, lane: usize) {
         self.rejected.fetch_add(1, Relaxed);
+        self.lane_rejected[lane].fetch_add(1, Relaxed);
     }
 
     /// Records a job leaving lane `lane` of the queue for a dispatcher.
+    ///
+    /// A dequeue without a matching [`on_submit`](Self::on_submit)
+    /// (a double-dequeue bug) would wrap the gauge to ~2^64 and poison
+    /// every subsequent scrape; the decrement therefore asserts in
+    /// debug builds and saturates at zero in release.
     pub fn on_dequeue(&self, lane: usize) {
-        self.lane_depth[lane].fetch_sub(1, Relaxed);
-        self.queue_depth.fetch_sub(1, Relaxed);
+        Self::dec_guarded(&self.lane_depth[lane], "lane_depth");
+        Self::dec_guarded(&self.queue_depth, "queue_depth");
+    }
+
+    /// Decrements `gauge`, refusing to wrap below zero.
+    fn dec_guarded(gauge: &AtomicU64, name: &str) {
+        let res = gauge.fetch_update(Relaxed, Relaxed, |v| v.checked_sub(1));
+        debug_assert!(res.is_ok(), "gauge underflow: {name} decremented below 0");
+        let _ = (res, name);
     }
 
     /// Records a submission served entirely from the result cache: it
-    /// counts as submitted and completed but never enters the queue.
+    /// counts as submitted and as a cached completion but never enters
+    /// the queue and never touches the execution-latency series.
     pub fn on_cache_hit(&self) {
         self.submitted.fetch_add(1, Relaxed);
         self.cache_hits.fetch_add(1, Relaxed);
+        self.completed_cached.fetch_add(1, Relaxed);
     }
 
     /// Records an accepted submission that resolved at the door
@@ -129,7 +151,11 @@ impl PoolGauges {
         PoolSnapshot {
             submitted: self.submitted.load(Relaxed),
             rejected: self.rejected.load(Relaxed),
+            rejected_high: self.lane_rejected[0].load(Relaxed),
+            rejected_normal: self.lane_rejected[1].load(Relaxed),
+            rejected_low: self.lane_rejected[2].load(Relaxed),
             completed: self.completed.load(Relaxed),
+            completed_cached: self.completed_cached.load(Relaxed),
             cancelled: self.cancelled.load(Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Relaxed),
             panicked: self.panicked.load(Relaxed),
@@ -167,8 +193,16 @@ pub struct PoolSnapshot {
     pub submitted: u64,
     /// Jobs rejected at admission (backpressure).
     pub rejected: u64,
-    /// Jobs finished with a result.
+    /// Rejections bound for the High lane.
+    pub rejected_high: u64,
+    /// Rejections bound for the Normal lane.
+    pub rejected_normal: u64,
+    /// Rejections bound for the Low lane.
+    pub rejected_low: u64,
+    /// Jobs finished with a result after real execution.
     pub completed: u64,
+    /// Submissions answered from the result cache (no execution).
+    pub completed_cached: u64,
     /// Jobs cancelled.
     pub cancelled: u64,
     /// Jobs past their deadline.
@@ -198,15 +232,27 @@ pub struct PoolSnapshot {
 }
 
 impl PoolSnapshot {
-    /// Jobs that left the service, by any road.
+    /// Jobs that left the service, by any road (including cached
+    /// completions, which never executed).
     pub fn finished(&self) -> u64 {
+        self.completed
+            + self.completed_cached
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.panicked
+    }
+
+    /// Jobs that left the service after actually running or waiting —
+    /// the population the queue/exec time totals describe.
+    pub fn finished_executed(&self) -> u64 {
         self.completed + self.cancelled + self.deadline_exceeded + self.panicked
     }
 
-    /// Mean queue wait over finished jobs, nanoseconds (0 when none).
+    /// Mean queue wait over executed finished jobs, nanoseconds
+    /// (0 when none).
     pub fn mean_queue_ns(&self) -> u64 {
         self.queue_ns_total
-            .checked_div(self.finished())
+            .checked_div(self.finished_executed())
             .unwrap_or(0)
     }
 
@@ -225,10 +271,12 @@ mod tests {
         let g = PoolGauges::new();
         g.on_submit(1);
         g.on_submit(2);
-        g.on_reject();
+        g.on_reject(0);
         let s = g.snapshot();
         assert_eq!(s.submitted, 2);
         assert_eq!(s.rejected, 1);
+        assert_eq!(s.rejected_high, 1);
+        assert_eq!(s.rejected_normal + s.rejected_low, 0);
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.queue_depth_normal, 1);
         assert_eq!(s.queue_depth_low, 1);
@@ -266,14 +314,43 @@ mod tests {
         g.on_dequeue(1);
         g.on_finish(JobOutcomeKind::Completed, 10, 20);
         g.on_cache_hit();
-        g.on_finish(JobOutcomeKind::Completed, 0, 0);
         let s = g.snapshot();
         assert_eq!(s.submitted, 2);
-        assert_eq!(s.completed, 2);
+        assert_eq!(s.completed, 1, "cached completions stay out of completed");
+        assert_eq!(s.completed_cached, 1);
+        assert_eq!(s.finished(), 2);
+        assert_eq!(s.finished_executed(), 1);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.queue_depth, 0, "hits never enter the queue");
         assert_eq!(s.max_queue_depth, 1);
+        assert_eq!(
+            s.mean_queue_ns(),
+            10,
+            "zero-cost cache hits must not dilute the mean"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "gauge underflow")]
+    fn double_dequeue_asserts_in_debug() {
+        let g = PoolGauges::new();
+        g.on_submit(0);
+        g.on_dequeue(0);
+        g.on_dequeue(0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn double_dequeue_saturates_in_release() {
+        let g = PoolGauges::new();
+        g.on_submit(0);
+        g.on_dequeue(0);
+        g.on_dequeue(0);
+        let s = g.snapshot();
+        assert_eq!(s.queue_depth, 0, "must saturate, not wrap to ~2^64");
+        assert_eq!(s.queue_depth_high, 0);
     }
 
     #[test]

@@ -1,30 +1,85 @@
-//! Prometheus text exposition of the service pool gauges.
+//! Prometheus text exposition of the service pool gauges and latency
+//! histograms.
 //!
-//! The service's `/metrics` (wire op `METRICS`) endpoint renders one
-//! [`PoolSnapshot`] in the [Prometheus text exposition format]: for
-//! each metric family a `# HELP` line, a `# TYPE` line, then the
+//! The service's `/metrics` endpoint (HTTP, plus the wire op `METRICS`)
+//! renders one [`PoolSnapshot`] — and optionally a set of
+//! [`HistogramFamily`]s — in the [Prometheus text exposition format]:
+//! for each metric family a `# HELP` line, a `# TYPE` line, then the
 //! samples. Counters follow the `_total` suffix convention; durations
 //! are exported in seconds as Prometheus prescribes; the per-outcome
 //! and per-lane breakdowns use labels so dashboards can aggregate or
-//! slice without new metric names.
+//! slice without new metric names. Histograms render the canonical
+//! `_bucket{le=…}`/`_sum`/`_count` triple over a fixed ladder of
+//! second-denominated bounds ([`DEFAULT_LATENCY_BOUNDS_NS`]),
+//! cumulative by construction.
 //!
-//! The renderer is deliberately dependency-free — the format is line
-//! oriented and this module emits a fixed metric set — but the unit
-//! tests run every rendered page through a small grammar checker
-//! ([`tests::check_exposition`]) covering the subset we emit: metric
-//! name charset, label syntax, float-parsable values, HELP/TYPE
-//! ordering, and no duplicate samples.
+//! The renderer is deliberately dependency-free, and the format is
+//! checkable offline: [`lint_exposition`] validates a rendered page
+//! against the grammar subset we emit (metric name charset, label
+//! syntax, float-parsable values, HELP/TYPE ordering, no duplicate
+//! samples) plus the histogram invariants (bucket monotonicity,
+//! `+Inf` bucket equal to `_count`, `_sum` present). CI curls the live
+//! `/metrics` page through it so a broken scrape fails the build.
 //!
 //! [Prometheus text exposition format]:
 //!     https://prometheus.io/docs/instrumenting/exposition_formats/
 
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
+use crate::hist::HistogramSnapshot;
 use crate::pool::PoolSnapshot;
 
 /// Content type remote scrapers should be told (`text/plain; version
 /// 0.0.4` is the canonical exposition content type).
 pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// The `le` ladder for latency histograms, in nanoseconds: 50µs to 30s
+/// in a 1–2.5–5 progression. Rendered bounds are divided by 1e9 into
+/// seconds; a final `+Inf` bucket is always appended.
+pub const DEFAULT_LATENCY_BOUNDS_NS: [u64; 18] = [
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    30_000_000_000,
+];
+
+/// One labeled series inside a [`HistogramFamily`]: a label set (e.g.
+/// `lane="high"` or `algorithm="bader-cong"`) and the merged snapshot
+/// to render under it.
+pub struct HistogramSeries {
+    /// Label pairs attached to every `_bucket`/`_sum`/`_count` sample
+    /// (the `le` label is appended by the renderer).
+    pub labels: Vec<(&'static str, String)>,
+    /// The histogram data, in nanoseconds.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// One histogram metric family: a name, help text, and its labeled
+/// series.
+pub struct HistogramFamily {
+    /// Family name (`st_service_…_seconds`); the renderer appends the
+    /// `_bucket`/`_sum`/`_count` suffixes.
+    pub name: &'static str,
+    /// HELP text.
+    pub help: &'static str,
+    /// The labeled series to render.
+    pub series: Vec<HistogramSeries>,
+}
 
 struct Page {
     out: String,
@@ -33,7 +88,7 @@ struct Page {
 impl Page {
     fn new() -> Self {
         Self {
-            out: String::with_capacity(2048),
+            out: String::with_capacity(4096),
         }
     }
 
@@ -60,6 +115,54 @@ impl Page {
         );
         self
     }
+
+    /// One sample carrying an arbitrary label set (rendered in order).
+    fn multi_labeled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        let _ = write!(self.out, "{name}");
+        if !labels.is_empty() {
+            let _ = write!(self.out, "{{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(self.out, ",");
+                }
+                let _ = write!(self.out, "{k}=\"{v}\"");
+            }
+            let _ = write!(self.out, "}}");
+        }
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+        self
+    }
+
+    /// Renders one histogram series: the cumulative `_bucket` ladder
+    /// (in seconds), then `_sum` and `_count` under the same labels.
+    fn histogram_series(&mut self, family: &str, series: &HistogramSeries) {
+        let cum = series.snapshot.cumulative_le(&DEFAULT_LATENCY_BOUNDS_NS);
+        let bucket = format!("{family}_bucket");
+        let base: Vec<(&str, &str)> = series
+            .labels
+            .iter()
+            .map(|(k, v)| (*k, v.as_str()))
+            .collect();
+        for (i, &bound_ns) in DEFAULT_LATENCY_BOUNDS_NS.iter().enumerate() {
+            let le = fmt_value(bound_ns as f64 / 1e9);
+            let mut labels = base.clone();
+            labels.push(("le", le.as_str()));
+            self.multi_labeled(&bucket, &labels, cum[i] as f64);
+        }
+        let mut labels = base.clone();
+        labels.push(("le", "+Inf"));
+        self.multi_labeled(&bucket, &labels, series.snapshot.count as f64);
+        self.multi_labeled(
+            &format!("{family}_sum"),
+            &base,
+            series.snapshot.sum as f64 / 1e9,
+        );
+        self.multi_labeled(
+            &format!("{family}_count"),
+            &base,
+            series.snapshot.count as f64,
+        );
+    }
 }
 
 /// Values render as integers when they are integral (the common case
@@ -83,11 +186,21 @@ pub(crate) fn is_valid_metric_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
-/// Renders `snap` as a Prometheus text-format page.
+/// Renders `snap` as a Prometheus text-format page with no histogram
+/// families (the pre-telemetry page; the wire `METRICS` op still
+/// serves it).
+pub fn render_pool_prometheus(snap: &PoolSnapshot) -> String {
+    render_service_prometheus(snap, &[])
+}
+
+/// Renders `snap` plus the given latency histogram families as a
+/// Prometheus text-format page.
 ///
 /// Every metric is prefixed `st_service_`; nanosecond totals are
-/// converted to seconds.
-pub fn render_pool_prometheus(snap: &PoolSnapshot) -> String {
+/// converted to seconds. Alongside the raw gauges the page carries the
+/// SLO series ROADMAP item 5 needs: deadline-miss ratio, result-cache
+/// hit ratio, and per-lane rejects.
+pub fn render_service_prometheus(snap: &PoolSnapshot, histograms: &[HistogramFamily]) -> String {
     let mut p = Page::new();
     p.family(
         "st_service_jobs_submitted_total",
@@ -103,12 +216,26 @@ pub fn render_pool_prometheus(snap: &PoolSnapshot) -> String {
     .sample("st_service_jobs_rejected_total", snap.rejected as f64);
 
     p.family(
+        "st_service_lane_rejected_total",
+        "counter",
+        "Submissions rejected with backpressure, by target priority lane.",
+    );
+    for (lane, v) in [
+        ("high", snap.rejected_high),
+        ("normal", snap.rejected_normal),
+        ("low", snap.rejected_low),
+    ] {
+        p.labeled("st_service_lane_rejected_total", "lane", lane, v as f64);
+    }
+
+    p.family(
         "st_service_jobs_finished_total",
         "counter",
-        "Jobs that left the service, by outcome.",
+        "Jobs that left the service, by outcome (cached = served from the result cache without executing).",
     );
     for (outcome, v) in [
         ("completed", snap.completed),
+        ("cached", snap.completed_cached),
         ("cancelled", snap.cancelled),
         ("deadline_exceeded", snap.deadline_exceeded),
         ("panicked", snap.panicked),
@@ -188,107 +315,229 @@ pub fn render_pool_prometheus(snap: &PoolSnapshot) -> String {
         "st_service_result_cache_misses_total",
         snap.cache_misses as f64,
     );
+
+    // SLO ratio gauges: ready-made series so dashboards and alert rules
+    // need no PromQL division (and stay correct across counter resets).
+    let finished = snap.finished();
+    let miss_ratio = if finished == 0 {
+        0.0
+    } else {
+        snap.deadline_exceeded as f64 / finished as f64
+    };
+    p.family(
+        "st_service_deadline_miss_ratio",
+        "gauge",
+        "Fraction of finished jobs that exceeded their deadline.",
+    )
+    .sample("st_service_deadline_miss_ratio", miss_ratio);
+    let lookups = snap.cache_hits + snap.cache_misses;
+    let hit_ratio = if lookups == 0 {
+        0.0
+    } else {
+        snap.cache_hits as f64 / lookups as f64
+    };
+    p.family(
+        "st_service_result_cache_hit_ratio",
+        "gauge",
+        "Fraction of catalog-addressed submissions served from the result cache.",
+    )
+    .sample("st_service_result_cache_hit_ratio", hit_ratio);
+
+    for family in histograms {
+        p.family(family.name, "histogram", family.help);
+        for series in &family.series {
+            p.histogram_series(family.name, series);
+        }
+    }
     p.out
+}
+
+/// Validates `page` against the exposition-format grammar subset the
+/// exporter emits, plus histogram invariants (monotone cumulative
+/// buckets, `+Inf` bucket equal to `_count`, `_sum` present).
+///
+/// Returns the parsed (name or name+labels) → value map on success, a
+/// line-qualified description of the first violation otherwise. This
+/// is the offline lint CI runs against the live `/metrics` page.
+pub fn lint_exposition(page: &str) -> Result<HashMap<String, f64>, String> {
+    let mut typed: HashMap<String, String> = HashMap::new();
+    let mut helped: HashSet<String> = HashSet::new();
+    let mut samples: HashMap<String, f64> = HashMap::new();
+    // (family, non-le labels) → ladder of (le, cumulative count).
+    let mut buckets: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+
+    // The TYPE-declared family a sample belongs to: histogram samples
+    // carry a suffix on top of the family name.
+    fn family_of<'a>(name: &'a str, typed: &HashMap<String, String>) -> Option<(&'a str, String)> {
+        if let Some(kind) = typed.get(name) {
+            return Some((name, kind.clone()));
+        }
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if typed.get(base).map(String::as_str) == Some("histogram") {
+                    return Some((base, "histogram".to_owned()));
+                }
+            }
+        }
+        None
+    }
+
+    for (i, line) in page.lines().enumerate() {
+        let ctx = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
+        if line.is_empty() {
+            return Err(ctx("empty line"));
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (kw, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| ctx("comment must be `# HELP|TYPE name …`"))?;
+            let (name, payload) = rest.split_once(' ').ok_or_else(|| ctx("missing payload"))?;
+            if !is_valid_metric_name(name) {
+                return Err(ctx("bad metric name"));
+            }
+            match kw {
+                "HELP" => {
+                    if !helped.insert(name.to_owned()) {
+                        return Err(ctx("duplicate HELP"));
+                    }
+                    if payload.is_empty() {
+                        return Err(ctx("empty help text"));
+                    }
+                }
+                "TYPE" => {
+                    if !helped.contains(name) {
+                        return Err(ctx("TYPE must follow its HELP"));
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&payload) {
+                        return Err(ctx("unknown metric type"));
+                    }
+                    if typed.insert(name.to_owned(), payload.to_owned()).is_some() {
+                        return Err(ctx("duplicate TYPE"));
+                    }
+                }
+                _ => return Err(ctx("unknown comment keyword")),
+            }
+            continue;
+        }
+        // Sample line: name[{label="value",…}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| ctx("sample must be `series value`"))?;
+        let mut labels: Vec<(String, String)> = Vec::new();
+        let name = match series.split_once('{') {
+            None => series,
+            Some((name, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| ctx("unterminated label set"))?;
+                for pair in rest.split(',') {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| ctx("label without `=`"))?;
+                    if !is_valid_metric_name(k) {
+                        return Err(ctx("bad label name"));
+                    }
+                    if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                        return Err(ctx("label value must be quoted"));
+                    }
+                    labels.push((k.to_owned(), v[1..v.len() - 1].to_owned()));
+                }
+                name
+            }
+        };
+        if !is_valid_metric_name(name) {
+            return Err(ctx("bad sample name"));
+        }
+        let (fam, kind) = family_of(name, &typed).ok_or_else(|| ctx("sample before its TYPE"))?;
+        if kind == "counter" && !name.ends_with("_total") {
+            return Err(ctx("counter without _total"));
+        }
+        let value: f64 = value.parse().map_err(|_| ctx("unparsable sample value"))?;
+        if samples.insert(series.to_owned(), value).is_some() {
+            return Err(ctx("duplicate sample"));
+        }
+        if kind == "histogram" && name.ends_with("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| ctx("histogram bucket without le label"))?;
+            let le_value = if le.1 == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.1.parse::<f64>()
+                    .map_err(|_| ctx("unparsable le bound"))?
+            };
+            let rest: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            buckets
+                .entry((fam.to_owned(), rest.join(",")))
+                .or_default()
+                .push((le_value, value));
+        }
+    }
+
+    // Histogram invariants, per (family, label-set) series.
+    for ((fam, label_set), ladder) in &buckets {
+        let here = |what: &str| format!("histogram {fam}{{{label_set}}}: {what}");
+        if !ladder.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(here("le bounds out of order or duplicated"));
+        }
+        if !ladder.windows(2).all(|w| w[0].1 <= w[1].1) {
+            return Err(here("bucket counts are not monotone non-decreasing"));
+        }
+        let last = ladder.last().expect("group exists implies non-empty");
+        if last.0 != f64::INFINITY {
+            return Err(here("missing +Inf bucket"));
+        }
+        // Rebuild the label strings the way the renderer quotes them.
+        let quoted: String = label_set
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|pair| {
+                let (k, v) = pair.split_once('=').expect("built above with =");
+                format!("{k}=\"{v}\"")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let count_key = if quoted.is_empty() {
+            format!("{fam}_count")
+        } else {
+            format!("{fam}_count{{{quoted}}}")
+        };
+        let sum_key = if quoted.is_empty() {
+            format!("{fam}_sum")
+        } else {
+            format!("{fam}_sum{{{quoted}}}")
+        };
+        let count = samples
+            .get(&count_key)
+            .ok_or_else(|| here("missing _count sample"))?;
+        if last.1 != *count {
+            return Err(here(&format!(
+                "+Inf bucket ({}) disagrees with _count ({count})",
+                last.1
+            )));
+        }
+        if !samples.contains_key(&sum_key) {
+            return Err(here("missing _sum sample"));
+        }
+    }
+    Ok(samples)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::Histogram;
     use crate::pool::{JobOutcomeKind, PoolGauges};
-    use std::collections::{HashMap, HashSet};
 
-    /// Checks `page` against the exposition-format grammar subset the
-    /// exporter emits. Panics with a line-qualified message on any
-    /// violation; returns the parsed (name or name+labels) → value map.
-    pub(crate) fn check_exposition(page: &str) -> HashMap<String, f64> {
-        let mut typed: HashMap<String, String> = HashMap::new();
-        let mut helped: HashSet<String> = HashSet::new();
-        let mut samples: HashMap<String, f64> = HashMap::new();
-        for (i, line) in page.lines().enumerate() {
-            let ctx = |what: &str| format!("line {}: {what}: {line:?}", i + 1);
-            assert!(!line.is_empty(), "{}", ctx("empty line"));
-            if let Some(rest) = line.strip_prefix("# ") {
-                let (kw, rest) = rest
-                    .split_once(' ')
-                    .unwrap_or_else(|| panic!("{}", ctx("comment must be `# HELP|TYPE name …`")));
-                let (name, payload) = rest
-                    .split_once(' ')
-                    .unwrap_or_else(|| panic!("{}", ctx("missing payload")));
-                assert!(is_valid_metric_name(name), "{}", ctx("bad metric name"));
-                match kw {
-                    "HELP" => {
-                        assert!(helped.insert(name.to_owned()), "{}", ctx("duplicate HELP"));
-                        assert!(!payload.is_empty(), "{}", ctx("empty help text"));
-                    }
-                    "TYPE" => {
-                        assert!(
-                            helped.contains(name),
-                            "{}",
-                            ctx("TYPE must follow its HELP")
-                        );
-                        assert!(
-                            ["counter", "gauge", "histogram", "summary", "untyped"]
-                                .contains(&payload),
-                            "{}",
-                            ctx("unknown metric type")
-                        );
-                        assert!(
-                            typed.insert(name.to_owned(), payload.to_owned()).is_none(),
-                            "{}",
-                            ctx("duplicate TYPE")
-                        );
-                    }
-                    _ => panic!("{}", ctx("unknown comment keyword")),
-                }
-                continue;
-            }
-            // Sample line: name[{label="value",…}] value
-            let (series, value) = line
-                .rsplit_once(' ')
-                .unwrap_or_else(|| panic!("{}", ctx("sample must be `series value`")));
-            let name = match series.split_once('{') {
-                None => series,
-                Some((name, labels)) => {
-                    let labels = labels
-                        .strip_suffix('}')
-                        .unwrap_or_else(|| panic!("{}", ctx("unterminated label set")));
-                    for pair in labels.split(',') {
-                        let (k, v) = pair
-                            .split_once('=')
-                            .unwrap_or_else(|| panic!("{}", ctx("label without `=`")));
-                        assert!(is_valid_metric_name(k), "{}", ctx("bad label name"));
-                        assert!(
-                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
-                            "{}",
-                            ctx("label value must be quoted")
-                        );
-                    }
-                    name
-                }
-            };
-            assert!(is_valid_metric_name(name), "{}", ctx("bad sample name"));
-            assert!(
-                typed.contains_key(name),
-                "{}",
-                ctx("sample before its TYPE")
-            );
-            if typed[name] == "counter" {
-                assert!(
-                    name.ends_with("_total"),
-                    "{}",
-                    ctx("counter without _total")
-                );
-            }
-            let value: f64 = value
-                .parse()
-                .unwrap_or_else(|_| panic!("{}", ctx("unparsable sample value")));
-            assert!(
-                samples.insert(series.to_owned(), value).is_none(),
-                "{}",
-                ctx("duplicate sample")
-            );
-        }
-        samples
+    /// Test-local shim over [`lint_exposition`] that panics on
+    /// violations (the historical interface of this module's tests).
+    fn check_exposition(page: &str) -> HashMap<String, f64> {
+        lint_exposition(page).unwrap_or_else(|e| panic!("invalid exposition: {e}"))
     }
 
     #[test]
@@ -299,7 +548,7 @@ mod tests {
         }
         g.on_dequeue(1);
         g.on_finish(JobOutcomeKind::Completed, 1_500_000_000, 500_000_000);
-        g.on_reject();
+        g.on_reject(2);
         g.on_cache_hit();
         g.on_cache_miss();
         let page = render_pool_prometheus(&g.snapshot());
@@ -307,8 +556,13 @@ mod tests {
 
         assert_eq!(samples["st_service_jobs_submitted_total"], 5.0);
         assert_eq!(samples["st_service_jobs_rejected_total"], 1.0);
+        assert_eq!(samples["st_service_lane_rejected_total{lane=\"low\"}"], 1.0);
         assert_eq!(
             samples["st_service_jobs_finished_total{outcome=\"completed\"}"],
+            1.0
+        );
+        assert_eq!(
+            samples["st_service_jobs_finished_total{outcome=\"cached\"}"],
             1.0
         );
         assert_eq!(samples["st_service_queue_depth"], 3.0);
@@ -319,6 +573,52 @@ mod tests {
         assert_eq!(samples["st_service_exec_seconds_total"], 0.5);
         assert_eq!(samples["st_service_result_cache_hits_total"], 1.0);
         assert_eq!(samples["st_service_result_cache_misses_total"], 1.0);
+        assert_eq!(samples["st_service_result_cache_hit_ratio"], 0.5);
+        assert_eq!(samples["st_service_deadline_miss_ratio"], 0.0);
+    }
+
+    #[test]
+    fn histograms_render_and_lint() {
+        let h = Histogram::new();
+        // 1ms, 3ms, 40ms, 2s — spread across the ladder.
+        for ns in [1_000_000u64, 3_000_000, 40_000_000, 2_000_000_000] {
+            h.record(ns);
+        }
+        let families = [HistogramFamily {
+            name: "st_service_job_wall_seconds",
+            help: "End-to-end job latency.",
+            series: vec![
+                HistogramSeries {
+                    labels: vec![("lane", "high".to_owned())],
+                    snapshot: h.snapshot(),
+                },
+                HistogramSeries {
+                    labels: vec![("lane", "normal".to_owned())],
+                    snapshot: Histogram::new().snapshot(),
+                },
+            ],
+        }];
+        let page = render_service_prometheus(&PoolSnapshot::default(), &families);
+        let samples = check_exposition(&page);
+        assert_eq!(
+            samples["st_service_job_wall_seconds_count{lane=\"high\"}"],
+            4.0
+        );
+        assert_eq!(
+            samples["st_service_job_wall_seconds_bucket{lane=\"high\",le=\"+Inf\"}"],
+            4.0
+        );
+        // 1ms and 3ms land at or below the 5ms bound; 40ms and 2s above.
+        assert_eq!(
+            samples["st_service_job_wall_seconds_bucket{lane=\"high\",le=\"0.005\"}"],
+            2.0
+        );
+        let sum = samples["st_service_job_wall_seconds_sum{lane=\"high\"}"];
+        assert!((sum - 2.044).abs() < 1e-9, "sum = {sum}");
+        assert_eq!(
+            samples["st_service_job_wall_seconds_count{lane=\"normal\"}"], 0.0,
+            "empty series still render (stable scrape set)"
+        );
     }
 
     #[test]
@@ -334,6 +634,8 @@ mod tests {
             "st_service_busy_teams",
             "st_service_queue_depth_peak",
             "st_service_result_cache_hits_total",
+            "st_service_deadline_miss_ratio",
+            "st_service_result_cache_hit_ratio",
         ] {
             assert!(samples.contains_key(name), "missing {name}");
         }
@@ -342,13 +644,20 @@ mod tests {
                 .keys()
                 .filter(|k| k.starts_with("st_service_jobs_finished_total"))
                 .count(),
-            4,
-            "all four outcome labels must be exported"
+            5,
+            "all five outcome labels must be exported"
+        );
+        assert_eq!(
+            samples
+                .keys()
+                .filter(|k| k.starts_with("st_service_lane_rejected_total"))
+                .count(),
+            3
         );
     }
 
     #[test]
-    fn grammar_checker_rejects_violations() {
+    fn lint_rejects_violations() {
         let bad_pages = [
             "st_service_x 1\n",                       // sample before TYPE
             "# HELP m h\n# TYPE m counter\nm{x=y} 1", // unquoted label value
@@ -357,9 +666,36 @@ mod tests {
             "# HELP m h\n# TYPE m counter\nm 1\nm 1", // duplicate sample
         ];
         for page in bad_pages {
-            let failed = std::panic::catch_unwind(|| check_exposition(page)).is_err();
-            assert!(failed, "checker accepted invalid page {page:?}");
+            assert!(
+                lint_exposition(page).is_err(),
+                "lint accepted invalid page {page:?}"
+            );
         }
+    }
+
+    #[test]
+    fn lint_rejects_histogram_violations() {
+        // Non-monotone buckets.
+        let shrinking = "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+             h_sum 1\nh_count 5";
+        assert!(lint_exposition(shrinking).is_err(), "shrinking buckets");
+        // +Inf disagrees with _count.
+        let mismatch = "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3";
+        assert!(lint_exposition(mismatch).is_err(), "+Inf != _count");
+        // Missing +Inf.
+        let no_inf = "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2";
+        assert!(lint_exposition(no_inf).is_err(), "missing +Inf");
+        // Missing _sum.
+        let no_sum = "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2";
+        assert!(lint_exposition(no_sum).is_err(), "missing _sum");
+        // A correct histogram passes.
+        let good = "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1.5\nh_count 3";
+        assert!(lint_exposition(good).is_ok(), "valid histogram rejected");
     }
 
     #[test]

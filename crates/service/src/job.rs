@@ -4,7 +4,7 @@
 use std::sync::{Arc, Condvar, Mutex};
 
 use st_core::SpanningForest;
-use st_obs::JobOutcomeKind;
+use st_obs::{JobOutcomeKind, TraceId};
 use st_smp::CancelToken;
 
 /// Admission-queue priority class. Within a class, jobs run in
@@ -119,14 +119,18 @@ pub(crate) struct JobState {
     /// its deadline, polled by the algorithm at barrier/publication
     /// boundaries and by the dispatcher before leasing a team.
     pub(crate) token: CancelToken,
+    /// The job's trace id, minted at submission; joins the handle to
+    /// the event journal and the Prometheus plane.
+    pub(crate) trace: TraceId,
 }
 
 impl JobState {
-    pub(crate) fn new(token: CancelToken) -> Arc<Self> {
+    pub(crate) fn new(token: CancelToken, trace: TraceId) -> Arc<Self> {
         Arc::new(Self {
             slot: Mutex::new(Slot::Pending),
             done: Condvar::new(),
             token,
+            trace,
         })
     }
 
@@ -178,6 +182,12 @@ impl JobHandle {
     /// that outlives the handle).
     pub fn cancel_token(&self) -> CancelToken {
         self.state.token.clone()
+    }
+
+    /// The job's trace id — the key under which the service's event
+    /// journal (`/debug/journal`) and slow-job log record this job.
+    pub fn trace_id(&self) -> u64 {
+        self.state.trace.as_u64()
     }
 
     /// True once the job resolved (result, error, or cancellation).
@@ -245,8 +255,10 @@ mod tests {
 
     #[test]
     fn handle_lifecycle() {
-        let state = JobState::new(CancelToken::new());
+        let state = JobState::new(CancelToken::new(), TraceId::mint());
         let mut handle = JobHandle::new(Arc::clone(&state));
+        assert_eq!(handle.trace_id(), state.trace.as_u64());
+        assert_ne!(handle.trace_id(), 0, "minted ids start at 1");
         assert!(!handle.is_finished());
         assert!(handle.try_wait().is_none());
         state.finish(Err(JobError::Cancelled));
@@ -257,7 +269,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already claimed")]
     fn double_claim_panics() {
-        let state = JobState::new(CancelToken::new());
+        let state = JobState::new(CancelToken::new(), TraceId::mint());
         let mut handle = JobHandle::new(Arc::clone(&state));
         state.finish(Err(JobError::Cancelled));
         let _ = handle.try_wait();
@@ -266,7 +278,7 @@ mod tests {
 
     #[test]
     fn wait_blocks_until_finish() {
-        let state = JobState::new(CancelToken::new());
+        let state = JobState::new(CancelToken::new(), TraceId::mint());
         let handle = JobHandle::new(Arc::clone(&state));
         std::thread::scope(|s| {
             s.spawn(move || {

@@ -47,6 +47,11 @@
 //! - **Observability.** [`Service::snapshot`] exposes the
 //!   [`PoolSnapshot`](st_obs::PoolSnapshot) gauges: submissions,
 //!   rejections, per-outcome counts, and queue/execution time totals.
+//!   The [`telemetry`] plane adds per-lane/per-algorithm latency
+//!   histograms, a per-job trace-id event journal, an in-flight table,
+//!   and a slow-job log — served over HTTP (`/metrics`, `/healthz`,
+//!   `/debug/jobs`, `/debug/journal`) by the same listener as the TCP
+//!   job protocol.
 
 #![warn(missing_docs)]
 
@@ -56,8 +61,10 @@ pub mod net;
 pub mod service;
 pub mod sizing;
 pub mod spec;
+pub mod telemetry;
 
 pub use catalog::{CacheKey, GraphCatalog, GraphId, GraphRef, ResultCache};
 pub use job::{JobError, JobHandle, Priority};
 pub use service::{JobBuilder, Service, ServiceBuilder, Submitted};
 pub use spec::{AlgorithmId, JobSpec};
+pub use telemetry::{InflightJob, SlowJob, Telemetry};

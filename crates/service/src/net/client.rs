@@ -81,6 +81,9 @@ pub struct SubmitReply {
     /// True when the result came from the server's cache (the job
     /// never queued or executed; `wait` returns immediately).
     pub cached: bool,
+    /// Server-minted trace id: the key into the server's event journal
+    /// (`/debug/journal?trace=<hex>`) and slow-job log.
+    pub trace: u64,
 }
 
 /// A spanning forest received over the wire (parents + roots; the
@@ -311,7 +314,12 @@ impl Client {
         let mut c = Cursor::new(&body);
         let ticket = c.u32().ok_or(WireError::Protocol("short SUBMIT reply"))?;
         let cached = c.u8().ok_or(WireError::Protocol("short SUBMIT reply"))? != 0;
-        Ok(SubmitReply { ticket, cached })
+        let trace = c.u64().ok_or(WireError::Protocol("short SUBMIT reply"))?;
+        Ok(SubmitReply {
+            ticket,
+            cached,
+            trace,
+        })
     }
 
     /// Blocks until the job behind `ticket` resolves and claims its

@@ -28,7 +28,7 @@
 //! |---|---|---|
 //! | `PING` | anything | the same bytes echoed |
 //! | `REGISTER` | an [`st_graph::io`] binary graph | graph id `u64`, version `u32` |
-//! | `SUBMIT` | id `u64`, algo `u8`, prio `u8`, seed `u64`, deadline-ms `u64` (0 = none), width `u32` (0 = auto) | ticket `u32`, cached `u8` |
+//! | `SUBMIT` | id `u64`, algo `u8`, prio `u8`, seed `u64`, deadline-ms `u64` (0 = none), width `u32` (0 = auto) | ticket `u32`, cached `u8`, trace `u64` |
 //! | `WAIT` | ticket `u32` | n `u64`, parents `n×u32`, r `u64`, roots `r×u32` |
 //! | `CANCEL` | ticket `u32` | empty |
 //! | `METRICS` | empty | UTF-8 Prometheus text page |
@@ -38,8 +38,21 @@
 //! session could do meanwhile. `CANCEL` before `WAIT` is the supported
 //! way to stop a job remotely; a deadline attached at `SUBMIT` needs no
 //! further round trips at all.
+//!
+//! The `trace` returned by `SUBMIT` is the server-minted trace id: it
+//! stamps every journal event and metrics report the job produces, and
+//! keys the HTTP plane's `/debug/journal?trace=<hex>` filter.
+//!
+//! # HTTP observability plane
+//!
+//! The same listener also answers plain HTTP/1.1 `GET`s (the first
+//! bytes of a connection distinguish the protocols — see
+//! [`http`](self) module docs): `/metrics`, `/healthz`, `/debug/jobs`,
+//! and `/debug/journal`, so `curl` and a Prometheus scraper need no
+//! extra port.
 
 pub mod client;
+mod http;
 pub mod proto;
 pub mod server;
 

@@ -24,6 +24,7 @@ use std::time::Duration;
 
 use st_core::ConfigError;
 use st_core::RuntimeConfig;
+use st_obs::TraceId;
 
 use crate::job::{JobError, JobHandle, Priority};
 use crate::net::proto::{ops, write_frame, Cursor, Status, DEFAULT_MAX_FRAME_BYTES};
@@ -257,6 +258,47 @@ fn read_full_interruptible(
     Ok(Fill::Full)
 }
 
+/// What one append-read into a growable buffer produced.
+pub(crate) enum Gulp {
+    /// At least one byte arrived.
+    Data,
+    /// The peer closed the stream.
+    Eof,
+    /// The shutdown flag fired while waiting.
+    Shutdown,
+}
+
+/// Appends whatever bytes are available to `buf` (used by the HTTP
+/// plane, where message boundaries are textual rather than
+/// length-prefixed), re-checking `shutdown` on every read timeout.
+pub(crate) fn read_some_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> io::Result<Gulp> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        if shutdown.load(SeqCst) {
+            return Ok(Gulp::Shutdown);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(Gulp::Eof),
+            Ok(k) => {
+                buf.extend_from_slice(&chunk[..k]);
+                return Ok(Gulp::Data);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// One connection's lifetime: frame loop, ticket table, ordered
 /// request handling.
 fn session(
@@ -271,6 +313,7 @@ fn session(
     let mut tickets: HashMap<u32, JobHandle> = HashMap::new();
     let mut next_ticket: u32 = 0;
 
+    let mut first_frame = true;
     loop {
         let mut header = [0u8; 4];
         match read_full_interruptible(&mut stream, &mut header, shutdown) {
@@ -280,6 +323,15 @@ fn session(
             // results are simply unclaimed.
             Ok(Fill::Eof | Fill::Shutdown) | Err(_) => return,
         }
+        // Protocol sniff: a connection whose first "length prefix" is
+        // the bytes `GET ` is an HTTP client; hand it to the
+        // observability plane. Only the first frame is sniffed — after
+        // that the connection has committed to the binary protocol.
+        if first_frame && header == *b"GET " {
+            crate::net::http::serve_http(service, stream, header, shutdown);
+            return;
+        }
+        first_frame = false;
         let len = u32::from_le_bytes(header) as usize;
         if len > max_frame {
             let _ = write_frame(&mut stream, &[Status::TooLarge.code()]);
@@ -290,8 +342,13 @@ fn session(
             Ok(Fill::Full) => {}
             Ok(Fill::Eof | Fill::Shutdown) | Err(_) => return,
         }
-        let (response, close) =
-            handle_request(service, &payload, max_catalog, &mut tickets, &mut next_ticket);
+        let (response, close) = handle_request(
+            service,
+            &payload,
+            max_catalog,
+            &mut tickets,
+            &mut next_ticket,
+        );
         if write_frame(&mut stream, &response).is_err() || close {
             return;
         }
@@ -375,9 +432,14 @@ fn handle_request(
                 }
                 Some(spec)
             })();
-            let Some(spec) = parsed else {
+            let Some(mut spec) = parsed else {
                 return (resp(Status::Malformed), false);
             };
+            // The trace id is minted here — at the wire boundary — so
+            // it covers the job's entire server-side life and the reply
+            // can return it before the job resolves.
+            let trace = TraceId::mint();
+            spec = spec.trace(trace.as_u64());
             // Non-blocking admission: remote callers must see
             // backpressure instead of silently tying up the session
             // thread while the queue is full.
@@ -387,9 +449,10 @@ fn handle_request(
                     *next_ticket = next_ticket.wrapping_add(1);
                     let cached = submitted.cached;
                     tickets.insert(ticket, submitted.handle);
-                    let mut body = Vec::with_capacity(5);
+                    let mut body = Vec::with_capacity(13);
                     body.extend_from_slice(&ticket.to_le_bytes());
                     body.push(cached as u8);
+                    body.extend_from_slice(&trace.as_u64().to_le_bytes());
                     (resp_with(Status::Ok, &body), false)
                 }
                 Err(e) => (resp(job_error_status(&e)), false),

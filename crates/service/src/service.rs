@@ -9,13 +9,14 @@ use std::time::{Duration, Instant};
 use st_core::engine::{SpanningAlgorithm, Workspace};
 use st_core::{BaderCong, RuntimeConfig};
 use st_graph::CsrGraph;
-use st_obs::{JobOutcomeKind, PoolGauges, PoolSnapshot};
+use st_obs::{JobEventKind, JobOutcomeKind, PoolGauges, PoolSnapshot, TraceId};
 use st_smp::{CancelToken, ExecutorPool};
 
 use crate::catalog::{CacheKey, GraphCatalog, ResultCache};
 use crate::job::{JobError, JobHandle, JobState, Priority};
 use crate::sizing::preferred_width;
 use crate::spec::JobSpec;
+use crate::telemetry::{Telemetry, DEFAULT_JOURNAL_CAPACITY, DEFAULT_SLOW_JOB_MS};
 
 /// An algorithm a tenant can submit: the engine trait plus the thread
 /// bounds the dispatcher needs to carry it across the queue.
@@ -31,6 +32,11 @@ struct QueuedJob {
     preferred_p: Option<usize>,
     /// Admission lane the job waits in (for per-lane gauge accounting).
     lane: usize,
+    /// The job's trace id (same id as `state.trace`, duplicated so the
+    /// dispatcher never locks the state just to journal an event).
+    trace: TraceId,
+    /// Bounded algorithm label for the per-algorithm histograms.
+    algo_label: &'static str,
     /// When the job came through the catalog-addressed path: the key to
     /// publish its forest under on completion.
     cache_slot: Option<CacheKey>,
@@ -67,6 +73,7 @@ struct Shared {
     pool: ExecutorPool,
     catalog: Arc<GraphCatalog>,
     cache: ResultCache,
+    telemetry: Telemetry,
 }
 
 /// Builds a [`Service`]; obtained from [`Service::builder`].
@@ -81,6 +88,8 @@ pub struct ServiceBuilder {
     queue_capacity: Option<usize>,
     catalog: Option<Arc<GraphCatalog>>,
     result_cache_capacity: Option<usize>,
+    journal_capacity: Option<usize>,
+    slow_job_threshold: Option<Duration>,
 }
 
 impl ServiceBuilder {
@@ -124,6 +133,23 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the event-journal capacity (lifecycle events retained for
+    /// `/debug/journal`, drop-oldest). Falls back to `ST_JOURNAL_CAP`,
+    /// then to [`DEFAULT_JOURNAL_CAPACITY`](crate::telemetry::DEFAULT_JOURNAL_CAPACITY).
+    pub fn journal_capacity(mut self, cap: usize) -> Self {
+        self.journal_capacity = Some(cap);
+        self
+    }
+
+    /// Sets the slow-job threshold: a completed job whose wall latency
+    /// (queue + exec) meets it has its full [`st_obs::JobMetrics`] kept
+    /// in the slow-job log. Falls back to `ST_SLOW_JOB_MS`, then to
+    /// [`DEFAULT_SLOW_JOB_MS`](crate::telemetry::DEFAULT_SLOW_JOB_MS).
+    pub fn slow_job_threshold(mut self, d: Duration) -> Self {
+        self.slow_job_threshold = Some(d);
+        self
+    }
+
     /// Spawns the teams and dispatcher threads and opens the service.
     pub fn build(self) -> Service {
         let env = RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
@@ -144,6 +170,15 @@ impl ServiceBuilder {
             .result_cache_capacity
             .or(env.result_cache_capacity)
             .unwrap_or(DEFAULT_RESULT_CACHE_CAPACITY);
+        let journal_capacity = self
+            .journal_capacity
+            .or(env.journal_capacity)
+            .unwrap_or(DEFAULT_JOURNAL_CAPACITY);
+        let slow_threshold_ns = self
+            .slow_job_threshold
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .or(env.slow_job_ms.map(|ms| ms.saturating_mul(1_000_000)))
+            .unwrap_or(DEFAULT_SLOW_JOB_MS * 1_000_000);
 
         let num_teams = teams.len();
         let shared = Arc::new(Shared {
@@ -159,6 +194,7 @@ impl ServiceBuilder {
             pool: ExecutorPool::new(teams),
             catalog: self.catalog.unwrap_or_default(),
             cache: ResultCache::new(cache_capacity),
+            telemetry: Telemetry::new(journal_capacity, slow_threshold_ns),
         });
         // One dispatcher per team: enough to keep every team busy, and a
         // dispatcher's leased width still adapts per job via best-fit.
@@ -254,10 +290,26 @@ impl Service {
         self.shared.gauges.snapshot()
     }
 
-    /// The pool gauges rendered as a Prometheus text-exposition page
-    /// (what the TCP front-end's `METRICS` op returns).
+    /// The full observability page in Prometheus text exposition —
+    /// pool gauges, SLO series, and latency histograms. Served by the
+    /// TCP front-end's `METRICS` op and the HTTP `/metrics` endpoint.
     pub fn render_metrics(&self) -> String {
-        st_obs::render_pool_prometheus(&self.snapshot())
+        st_obs::render_service_prometheus(
+            &self.snapshot(),
+            &self.shared.telemetry.histogram_families(),
+        )
+    }
+
+    /// The service's telemetry plane: event journal, latency
+    /// histograms, in-flight table, slow-job log.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// True while the admission queue accepts submissions (false once
+    /// shutdown began). The HTTP `/healthz` endpoint keys off this.
+    pub fn is_accepting(&self) -> bool {
+        !self.shared.queue.lock().unwrap().shutdown
     }
 
     /// The service's graph catalog: register/load graphs here, then
@@ -296,6 +348,7 @@ impl Service {
     }
 
     fn submit_spec_inner(&self, spec: JobSpec, block: bool) -> Result<Submitted, JobError> {
+        let arrived = Instant::now();
         let (graph, gref) = self
             .shared
             .catalog
@@ -308,10 +361,22 @@ impl Service {
             processors: spec.processors.unwrap_or(0),
         };
         let token = match spec.deadline {
-            Some(d) => CancelToken::with_deadline(Instant::now() + d),
+            Some(d) => CancelToken::with_deadline(arrived + d),
             None => CancelToken::new(),
         };
-        let state = JobState::new(token);
+        // Front-ends may pre-mint the id (the TCP server does, so the
+        // wire reply and the journal agree); otherwise mint here.
+        let trace = spec.trace.map(TraceId).unwrap_or_else(TraceId::mint);
+        let lane = spec.priority.lane();
+        let state = JobState::new(token, trace);
+        let journal = self.shared.telemetry.journal();
+        journal.record_now(
+            trace,
+            JobEventKind::Submitted,
+            Some(lane as u8),
+            None,
+            Some(spec.algorithm.name().to_owned()),
+        );
         // A cache hit completes instantly, so any live deadline is met
         // trivially — but a deadline that is already expired at
         // submission (e.g. Duration::ZERO) must still report
@@ -320,6 +385,13 @@ impl Service {
             let err = JobError::from_token(&state.token);
             self.shared.gauges.on_submit_unqueued();
             self.shared.gauges.on_finish(err.outcome_kind(), 0, 0);
+            journal.record_now(
+                trace,
+                JobEventKind::Finished,
+                Some(lane as u8),
+                None,
+                Some(outcome_name(err.outcome_kind()).to_owned()),
+            );
             state.finish(Err(err));
             return Ok(Submitted {
                 handle: JobHandle::new(state),
@@ -330,10 +402,13 @@ impl Service {
             // Short-circuit: the forest is already known for this exact
             // (graph version, algorithm, seed, width). No queue entry,
             // no team lease — the handle resolves before it is returned.
+            // `on_cache_hit` counts the completion under the dedicated
+            // cached series; the zero-latency hit stays out of the
+            // execution histograms.
             self.shared.gauges.on_cache_hit();
             self.shared
-                .gauges
-                .on_finish(JobOutcomeKind::Completed, 0, 0);
+                .telemetry
+                .on_cached(trace, lane as u8, elapsed_ns(arrived));
             state.finish(Ok(forest));
             return Ok(Submitted {
                 handle: JobHandle::new(state),
@@ -345,9 +420,11 @@ impl Service {
             graph,
             algo: spec.algorithm.instantiate(spec.seed),
             state: Arc::clone(&state),
-            submitted_at: Instant::now(),
+            submitted_at: arrived,
             preferred_p: spec.processors,
-            lane: spec.priority.lane(),
+            lane,
+            trace,
+            algo_label: spec.algorithm.name(),
             cache_slot: Some(key),
         };
         self.enqueue(job, spec.priority, block)?;
@@ -391,23 +468,48 @@ impl Service {
     }
 
     fn enqueue(&self, job: QueuedJob, priority: Priority, block: bool) -> Result<(), JobError> {
+        let lane = priority.lane();
+        let (trace, algo_label) = (job.trace, job.algo_label);
         let mut q = self.shared.queue.lock().unwrap();
         loop {
             if q.shutdown {
+                drop(q);
+                self.shared.telemetry.journal().record_now(
+                    trace,
+                    JobEventKind::Finished,
+                    Some(lane as u8),
+                    None,
+                    Some("shutting_down".to_owned()),
+                );
                 return Err(JobError::ShuttingDown);
             }
             if q.len < self.shared.capacity {
                 break;
             }
             if !block {
-                self.shared.gauges.on_reject();
+                self.shared.gauges.on_reject(lane);
+                drop(q);
+                self.shared.telemetry.journal().record_now(
+                    trace,
+                    JobEventKind::Finished,
+                    Some(lane as u8),
+                    None,
+                    Some("backpressure".to_owned()),
+                );
                 return Err(JobError::Backpressure);
             }
             q = self.shared.space.wait(q).unwrap();
         }
-        q.lanes[priority.lane()].push_back(job);
+        q.lanes[lane].push_back(job);
         q.len += 1;
-        self.shared.gauges.on_submit(priority.lane());
+        self.shared.gauges.on_submit(lane);
+        // Journaled while still holding the queue lock: the dispatcher
+        // can only pop (and journal `dequeued`) after this lock drops,
+        // so a trace's events always read submitted < admitted <
+        // dequeued.
+        self.shared
+            .telemetry
+            .on_admitted(trace, lane as u8, algo_label);
         drop(q);
         self.shared.work.notify_one();
         Ok(())
@@ -507,16 +609,31 @@ impl JobBuilder<'_> {
             Some(d) => CancelToken::with_deadline(Instant::now() + d),
             None => CancelToken::new(),
         };
-        let state = JobState::new(token);
+        let trace = TraceId::mint();
+        let lane = self.priority.lane();
+        let state = JobState::new(token, trace);
+        let algo = self
+            .algo
+            .unwrap_or_else(|| Box::new(BaderCong::with_defaults()));
+        // Custom algorithms outside the catalog set share one "other"
+        // histogram label — the Prometheus series set stays bounded.
+        let algo_label = Telemetry::algo_label(algo.name());
+        self.service.shared.telemetry.journal().record_now(
+            trace,
+            JobEventKind::Submitted,
+            Some(lane as u8),
+            None,
+            Some(algo_label.to_owned()),
+        );
         let job = QueuedJob {
             graph: self.graph,
-            algo: self
-                .algo
-                .unwrap_or_else(|| Box::new(BaderCong::with_defaults())),
+            algo,
             state: Arc::clone(&state),
             submitted_at: Instant::now(),
             preferred_p: self.preferred_p,
-            lane: self.priority.lane(),
+            lane,
+            trace,
+            algo_label,
             // Ad-hoc graphs have no catalog identity, so their results
             // cannot be cached or shared.
             cache_slot: None,
@@ -546,11 +663,30 @@ fn dispatcher(shared: &Shared) {
             }
         };
         shared.gauges.on_dequeue(job.lane);
+        shared.telemetry.journal().record_now(
+            job.trace,
+            st_obs::JobEventKind::Dequeued,
+            Some(job.lane as u8),
+            None,
+            None,
+        );
         shared.space.notify_one();
         if draining {
+            let queue_ns = elapsed_ns(job.submitted_at);
             shared
                 .gauges
-                .on_finish(JobOutcomeKind::Cancelled, elapsed_ns(job.submitted_at), 0);
+                .on_finish(JobOutcomeKind::Cancelled, queue_ns, 0);
+            shared.telemetry.on_finished(
+                job.trace,
+                job.lane as u8,
+                None,
+                "shutting_down",
+                queue_ns,
+                0,
+                false,
+                job.algo_label,
+                None,
+            );
             job.state.finish(Err(JobError::ShuttingDown));
             continue;
         }
@@ -571,6 +707,17 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
     if job.state.token.is_cancelled() {
         let err = JobError::from_token(&job.state.token);
         shared.gauges.on_finish(err.outcome_kind(), queue_ns, 0);
+        shared.telemetry.on_finished(
+            job.trace,
+            job.lane as u8,
+            None,
+            outcome_name(err.outcome_kind()),
+            queue_ns,
+            0,
+            false,
+            job.algo_label,
+            None,
+        );
         job.state.finish(Err(err));
         return;
     }
@@ -583,8 +730,11 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
         )
     });
     let lease = shared.pool.lease(preferred);
+    let team = lease.team_id() as u32;
     shared.gauges.on_team_busy();
+    shared.telemetry.on_started(job.trace, job.lane as u8, team);
     ws.note_queue_wait(queue_ns);
+    ws.note_trace_id(job.trace.as_u64());
     let started = Instant::now();
     // The guard isolates tenant panics: the lease returns the team on
     // unwind (Executor survives panicked jobs) and the dispatcher
@@ -606,6 +756,17 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
             shared
                 .gauges
                 .on_finish(JobOutcomeKind::Completed, queue_ns, exec_ns);
+            shared.telemetry.on_finished(
+                job.trace,
+                job.lane as u8,
+                Some(team),
+                "completed",
+                queue_ns,
+                exec_ns,
+                true,
+                job.algo_label,
+                Some(&forest.stats.metrics),
+            );
             job.state.finish(Ok(forest));
         }
         Ok(Err(st_core::Cancelled)) => {
@@ -613,6 +774,17 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
             shared
                 .gauges
                 .on_finish(err.outcome_kind(), queue_ns, exec_ns);
+            shared.telemetry.on_finished(
+                job.trace,
+                job.lane as u8,
+                Some(team),
+                outcome_name(err.outcome_kind()),
+                queue_ns,
+                exec_ns,
+                false,
+                job.algo_label,
+                None,
+            );
             job.state.finish(Err(err));
         }
         Err(payload) => {
@@ -622,9 +794,32 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
             shared
                 .gauges
                 .on_finish(JobOutcomeKind::Panicked, queue_ns, exec_ns);
+            shared.telemetry.on_finished(
+                job.trace,
+                job.lane as u8,
+                Some(team),
+                "panicked",
+                queue_ns,
+                exec_ns,
+                false,
+                job.algo_label,
+                None,
+            );
             job.state
                 .finish(Err(JobError::Panicked(panic_message(&*payload))));
         }
+    }
+}
+
+/// Stable lowercase outcome names used in journal `finished` events
+/// (matching the `outcome` label values of
+/// `st_service_jobs_finished_total`).
+fn outcome_name(kind: JobOutcomeKind) -> &'static str {
+    match kind {
+        JobOutcomeKind::Completed => "completed",
+        JobOutcomeKind::Cancelled => "cancelled",
+        JobOutcomeKind::DeadlineExceeded => "deadline_exceeded",
+        JobOutcomeKind::Panicked => "panicked",
     }
 }
 

@@ -121,6 +121,11 @@ pub struct JobSpec {
     pub deadline: Option<Duration>,
     /// Explicit team-width request; `None` lets the sizing oracle pick.
     pub processors: Option<usize>,
+    /// Pre-minted trace id, set by front-ends (the TCP server mints one
+    /// at `SUBMIT` parse so the wire reply and the journal agree);
+    /// `None` lets the service mint one at submission. Not part of the
+    /// job's identity — the result cache ignores it.
+    pub trace: Option<u64>,
 }
 
 impl JobSpec {
@@ -134,6 +139,7 @@ impl JobSpec {
             priority: Priority::Normal,
             deadline: None,
             processors: None,
+            trace: None,
         }
     }
 
@@ -164,6 +170,13 @@ impl JobSpec {
     /// Requests an explicit team width.
     pub fn processors(mut self, p: usize) -> Self {
         self.processors = Some(p);
+        self
+    }
+
+    /// Attaches a pre-minted trace id (front-ends that must report the
+    /// id before the service sees the spec).
+    pub fn trace(mut self, trace: u64) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -211,6 +224,8 @@ mod tests {
         assert_eq!(spec.priority, Priority::Normal);
         assert_eq!(spec.deadline, None);
         assert_eq!(spec.processors, None);
+        assert_eq!(spec.trace, None);
+        assert_eq!(spec.trace(9).trace, Some(9));
     }
 
     #[test]

@@ -21,8 +21,11 @@ use crate::executor::Executor;
 use crate::sync::{Condvar, Mutex};
 
 struct PoolState {
-    /// Teams not currently leased.
-    idle: Vec<Executor>,
+    /// Teams not currently leased, tagged with their stable team id
+    /// (the index into [`ExecutorPool::team_sizes`] each team was
+    /// created from — observability needs a name that survives the
+    /// team's travels through leases).
+    idle: Vec<(usize, Executor)>,
 }
 
 /// A fixed set of persistent teams, checked out one lease at a time.
@@ -68,7 +71,11 @@ impl ExecutorPool {
         let mut sizes: Vec<usize> = team_sizes.into_iter().collect();
         assert!(!sizes.is_empty(), "pool needs at least one team");
         sizes.sort_unstable_by(|a, b| b.cmp(a));
-        let idle: Vec<Executor> = sizes.iter().map(|&p| Executor::new(p)).collect();
+        let idle: Vec<(usize, Executor)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(id, &p)| (id, Executor::new(p)))
+            .collect();
         Self {
             state: Mutex::new(PoolState { idle }),
             returned: Condvar::new(),
@@ -103,9 +110,10 @@ impl ExecutorPool {
         let mut s = self.state.lock();
         loop {
             if let Some(i) = best_fit(&s.idle, preferred_p) {
-                let exec = s.idle.swap_remove(i);
+                let (team_id, exec) = s.idle.swap_remove(i);
                 return ExecutorLease {
                     pool: self,
+                    team_id,
                     exec: Some(exec),
                 };
             }
@@ -118,16 +126,17 @@ impl ExecutorPool {
     pub fn try_lease(&self, preferred_p: usize) -> Option<ExecutorLease<'_>> {
         let mut s = self.state.lock();
         let i = best_fit(&s.idle, preferred_p)?;
-        let exec = s.idle.swap_remove(i);
+        let (team_id, exec) = s.idle.swap_remove(i);
         Some(ExecutorLease {
             pool: self,
+            team_id,
             exec: Some(exec),
         })
     }
 
-    fn give_back(&self, exec: Executor) {
+    fn give_back(&self, team_id: usize, exec: Executor) {
         let mut s = self.state.lock();
-        s.idle.push(exec);
+        s.idle.push((team_id, exec));
         drop(s);
         self.returned.notify_all();
     }
@@ -135,10 +144,10 @@ impl ExecutorPool {
 
 /// Index of the best idle team for a `preferred_p` request: exact width,
 /// else the narrowest team at least as wide, else the widest one.
-fn best_fit(idle: &[Executor], preferred_p: usize) -> Option<usize> {
+fn best_fit(idle: &[(usize, Executor)], preferred_p: usize) -> Option<usize> {
     let mut wider: Option<(usize, usize)> = None; // (index, width)
     let mut widest: Option<(usize, usize)> = None;
-    for (i, e) in idle.iter().enumerate() {
+    for (i, (_, e)) in idle.iter().enumerate() {
         let w = e.size();
         if w == preferred_p {
             return Some(i);
@@ -158,7 +167,17 @@ fn best_fit(idle: &[Executor], preferred_p: usize) -> Option<usize> {
 /// drop, so the team is never lost).
 pub struct ExecutorLease<'a> {
     pool: &'a ExecutorPool,
+    team_id: usize,
     exec: Option<Executor>,
+}
+
+impl ExecutorLease<'_> {
+    /// The leased team's stable id: its index into
+    /// [`ExecutorPool::team_sizes`] (0 = widest team). Ids survive
+    /// lease/return cycles, so telemetry can attribute jobs to teams.
+    pub fn team_id(&self) -> usize {
+        self.team_id
+    }
 }
 
 impl Deref for ExecutorLease<'_> {
@@ -172,6 +191,7 @@ impl Deref for ExecutorLease<'_> {
 impl std::fmt::Debug for ExecutorLease<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecutorLease")
+            .field("team", &self.team_id)
             .field("p", &self.size())
             .finish()
     }
@@ -180,7 +200,7 @@ impl std::fmt::Debug for ExecutorLease<'_> {
 impl Drop for ExecutorLease<'_> {
     fn drop(&mut self) {
         if let Some(exec) = self.exec.take() {
-            self.pool.give_back(exec);
+            self.pool.give_back(self.team_id, exec);
         }
     }
 }
@@ -261,6 +281,24 @@ mod tests {
         });
         assert_eq!(pool.idle_teams(), 3);
         assert!(total.load(Ordering::Relaxed) >= 40);
+    }
+
+    #[test]
+    fn team_ids_are_stable_across_lease_cycles() {
+        let pool = ExecutorPool::new([4, 2, 1]);
+        // Ids index team_sizes: 0 = 4-wide, 1 = 2-wide, 2 = 1-wide.
+        let a = pool.lease(4);
+        assert_eq!((a.team_id(), a.size()), (0, 4));
+        let b = pool.lease(2);
+        assert_eq!((b.team_id(), b.size()), (1, 2));
+        drop(a);
+        drop(b);
+        // Re-leasing after returns keeps the id/width pairing.
+        let c = pool.lease(1);
+        assert_eq!((c.team_id(), c.size()), (2, 1));
+        let d = pool.lease(2);
+        assert_eq!((d.team_id(), d.size()), (1, 2));
+        assert_eq!(pool.team_sizes()[d.team_id()], d.size());
     }
 
     #[test]

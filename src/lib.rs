@@ -95,7 +95,9 @@ pub mod prelude {
     pub use st_graph::label::{random_permutation, relabel};
     pub use st_graph::validate::{is_spanning_forest, is_spanning_tree};
     pub use st_graph::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
-    pub use st_obs::{write_chrome_trace, Counter, JobMetrics, Phase, PhaseTotal};
+    pub use st_obs::{
+        lint_exposition, write_chrome_trace, Counter, JobMetrics, Phase, PhaseTotal, TraceId,
+    };
     pub use st_service::net::{Client, Server, ServerConfig, SubmitRequest};
     pub use st_service::{
         AlgorithmId, GraphCatalog, GraphId, JobError, JobHandle, JobSpec, Priority, Service,

@@ -63,7 +63,9 @@ fn repeat_submissions_hit_the_cache() {
     assert_eq!(s.cache_hits, 1);
     assert_eq!(s.cache_misses, 1);
     assert_eq!(s.submitted, 2, "hits still count as submissions");
-    assert_eq!(s.completed, 2);
+    assert_eq!(s.completed, 1, "only the cold run executed");
+    assert_eq!(s.completed_cached, 1, "the hit lands in its own series");
+    assert_eq!(s.finished(), 2, "finished() spans executed and cached");
 }
 
 #[test]
@@ -150,10 +152,7 @@ fn expired_deadline_is_reported_even_when_the_result_is_cached() {
     let dead = svc.submit_spec(spec.deadline(Duration::ZERO)).unwrap();
     assert!(!dead.cached, "an expired submission is not a cache hit");
     assert!(dead.handle.is_finished(), "resolved at the door");
-    assert_eq!(
-        dead.handle.wait().unwrap_err(),
-        JobError::DeadlineExceeded
-    );
+    assert_eq!(dead.handle.wait().unwrap_err(), JobError::DeadlineExceeded);
     let s = svc.snapshot();
     assert_eq!(s.deadline_exceeded, 1);
     assert_eq!(s.submitted, 2, "the dead submission still counts");

@@ -1,0 +1,304 @@
+//! End-to-end telemetry tests: trace-id propagation from the wire to
+//! the journal, the Prometheus exposition (grammar + histogram
+//! invariants + count reconciliation), and the HTTP observability
+//! plane multiplexed onto the job protocol's listener.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bader_cong_spanning::prelude::*;
+
+fn serve(teams: &[usize]) -> (Server, Arc<Service>) {
+    let svc = Arc::new(
+        Service::builder()
+            .teams(teams.to_vec())
+            .queue_capacity(16)
+            .result_cache_capacity(8)
+            .build(),
+    );
+    let server = Server::start(Arc::clone(&svc), ServerConfig::default()).expect("bind loopback");
+    (server, svc)
+}
+
+/// One plain HTTP/1.1 GET over a raw socket; returns (status line,
+/// body). Connection: close keeps the read loop trivial.
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(
+        s,
+        "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+#[test]
+fn submit_trace_appears_in_journal_with_full_lifecycle() {
+    let (server, svc) = serve(&[2]);
+    let g = gen::torus2d(24, 24);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let remote = c.register(&g).unwrap();
+
+    let reply = c.submit(SubmitRequest::new(remote)).unwrap();
+    assert_ne!(reply.trace, 0, "the wire reply carries a minted trace id");
+    let forest = c.wait(reply.ticket).unwrap();
+    assert!(forest.is_valid_for(&g));
+
+    // The journal holds the job's ordered lifecycle under that id.
+    let events = svc.telemetry().journal().events_for(TraceId(reply.trace));
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(
+        kinds,
+        vec!["submitted", "admitted", "dequeued", "started", "finished"],
+        "full ordered chain for trace {:016x}",
+        reply.trace
+    );
+    let finished = events.last().unwrap();
+    assert_eq!(finished.detail.as_deref(), Some("completed"));
+    assert!(finished.team.is_some(), "finish is attributed to a team");
+    // Timestamps never run backwards within a trace.
+    assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+
+    // And the job's metrics report carries the same id.
+    let hot = c.submit(SubmitRequest::new(remote)).unwrap();
+    assert!(hot.cached);
+    assert_ne!(hot.trace, reply.trace, "every submission gets its own id");
+    let hit_events = svc.telemetry().journal().events_for(TraceId(hot.trace));
+    let hit_kinds: Vec<&str> = hit_events.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(hit_kinds, vec!["submitted", "finished"]);
+    assert_eq!(hit_events[1].detail.as_deref(), Some("cache_hit"));
+    server.shutdown();
+}
+
+#[test]
+fn handle_trace_id_matches_journal_for_in_process_jobs() {
+    let svc = Service::builder().teams([2]).queue_capacity(8).build();
+    let g = Arc::new(gen::torus2d(16, 16));
+    let handle = svc.job(&g).submit().expect("open");
+    let trace = handle.trace_id();
+    assert_ne!(trace, 0);
+    handle.wait().expect("completes");
+    let kinds: Vec<&str> = svc
+        .telemetry()
+        .journal()
+        .events_for(TraceId(trace))
+        .iter()
+        .map(|e| e.kind.name())
+        .collect();
+    assert_eq!(
+        kinds,
+        vec!["submitted", "admitted", "dequeued", "started", "finished"]
+    );
+}
+
+#[test]
+fn live_metrics_page_passes_exposition_lint_and_reconciles() {
+    let svc = Service::builder().teams([2, 1]).queue_capacity(16).build();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(32, 32)));
+    for seed in 0..5u64 {
+        svc.submit_spec(JobSpec::new(gref.id).seed(seed))
+            .unwrap()
+            .handle
+            .wait()
+            .unwrap();
+    }
+    // One cache hit, one deadline miss.
+    assert!(
+        svc.submit_spec(JobSpec::new(gref.id).seed(0))
+            .unwrap()
+            .cached
+    );
+    let missed = svc
+        .submit_spec(JobSpec::new(gref.id).seed(9).deadline(Duration::ZERO))
+        .unwrap();
+    assert!(missed.handle.wait().is_err());
+
+    let page = svc.render_metrics();
+    let samples = lint_exposition(&page).expect("page passes the lint");
+
+    let wall_count: f64 = samples
+        .iter()
+        .filter(|(k, _)| k.starts_with("st_service_job_wall_seconds_count"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(wall_count, 5.0, "one _count per executed completion");
+    assert_eq!(
+        samples["st_service_jobs_finished_total{outcome=\"completed\"}"],
+        5.0
+    );
+    assert_eq!(
+        samples["st_service_jobs_finished_total{outcome=\"cached\"}"],
+        1.0
+    );
+    assert_eq!(
+        samples["st_service_jobs_finished_total{outcome=\"deadline_exceeded\"}"],
+        1.0
+    );
+    assert_eq!(samples["st_service_cached_wall_seconds_count"], 1.0);
+    let miss = samples["st_service_deadline_miss_ratio"];
+    assert!(
+        (miss - 1.0 / 7.0).abs() < 1e-9,
+        "1 miss / 7 finished, got {miss}"
+    );
+    // Quantile accessor agrees with a non-empty distribution.
+    let (p50, p99) = svc.telemetry().wall_quantiles();
+    assert!(p50 > 0 && p99 >= p50);
+}
+
+#[test]
+fn http_endpoints_share_the_listener_with_the_binary_protocol() {
+    let (server, svc) = serve(&[2]);
+    let addr = server.local_addr();
+    let g = gen::torus2d(24, 24);
+
+    // Binary protocol first: run one job so the page has data.
+    let mut c = Client::connect(addr).unwrap();
+    let remote = c.register(&g).unwrap();
+    let reply = c.submit(SubmitRequest::new(remote)).unwrap();
+    c.wait(reply.ticket).unwrap();
+
+    // /metrics: valid exposition over plain HTTP.
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let samples = lint_exposition(&body).expect("scraped page passes the lint");
+    assert_eq!(
+        samples["st_service_jobs_finished_total{outcome=\"completed\"}"],
+        1.0
+    );
+
+    // /healthz while accepting.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+
+    // /debug/jobs: valid JSON with the expected top-level keys.
+    let (status, body) = http_get(addr, "/debug/jobs");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.starts_with("{\"inflight\":["), "got: {body}");
+    assert!(body.contains("\"slow\":["));
+
+    // /debug/journal?trace= filters to the submitted job's chain.
+    let (status, body) = http_get(addr, &format!("/debug/journal?trace={:016x}", reply.trace));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(
+        lines.len(),
+        5,
+        "full lifecycle, one JSONL line each: {body}"
+    );
+    assert!(lines[0].contains("\"event\":\"submitted\""));
+    assert!(lines[4].contains("\"event\":\"finished\""));
+    let want = format!("\"trace\":\"{:016x}\"", reply.trace);
+    assert!(lines.iter().all(|l| l.contains(&want)));
+
+    // Unknown path → 404; bad trace filter → 400.
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = http_get(addr, "/debug/journal?trace=zzz");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    // 405: once a connection has committed to HTTP via the `GET `
+    // sniff, a later keep-alive request may use another method.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut buf = [0u8; 512];
+        let n = s.read(&mut buf).unwrap();
+        assert!(buf[..n].starts_with(b"HTTP/1.1 200 OK"));
+        write!(
+            s,
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut rest = String::new();
+        s.read_to_string(&mut rest).unwrap();
+        assert!(
+            rest.starts_with("HTTP/1.1 405 Method Not Allowed"),
+            "got: {rest}"
+        );
+    }
+
+    // The binary client still works on the same listener afterwards.
+    let mut c2 = Client::connect(addr).unwrap();
+    assert_eq!(c2.ping(b"still binary").unwrap(), b"still binary");
+
+    // Keep-alive: two requests over one connection.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut buf = [0u8; 512];
+        let n = s.read(&mut buf).unwrap();
+        let first = String::from_utf8_lossy(&buf[..n]).into_owned();
+        assert!(first.starts_with("HTTP/1.1 200 OK"), "got: {first}");
+        assert!(first.contains("Connection: keep-alive"));
+        write!(
+            s,
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut rest = String::new();
+        s.read_to_string(&mut rest).unwrap();
+        assert!(rest.starts_with("HTTP/1.1 200 OK"), "got: {rest}");
+    }
+
+    // The service keeps accepting: the TCP front-end and the service
+    // drain independently (the server holds only an Arc).
+    assert!(svc.is_accepting());
+    server.shutdown();
+}
+
+#[test]
+fn slow_job_log_keeps_full_metrics() {
+    let svc = Service::builder()
+        .teams([2])
+        .queue_capacity(8)
+        .slow_job_threshold(Duration::from_nanos(1))
+        .build();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(32, 32)));
+    let sub = svc.submit_spec(JobSpec::new(gref.id)).unwrap();
+    let trace = sub.handle.trace_id();
+    sub.handle.wait().unwrap();
+
+    // Every job is "slow" at a 1ns threshold.
+    let slow = svc.telemetry().slow_jobs();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].trace.as_u64(), trace);
+    assert!(slow[0].wall_ns > 0);
+    // The report embeds the full JobMetrics, joined by trace id.
+    assert!(
+        slow[0]
+            .metrics_json
+            .contains(&format!("\"trace_id\":{trace}")),
+        "metrics dump carries the trace id: {}",
+        slow[0].metrics_json
+    );
+    assert!(slow[0].metrics_json.contains("\"per_rank\""));
+}
+
+#[test]
+fn journal_capacity_knob_bounds_and_counts_drops() {
+    let svc = Service::builder()
+        .teams([1])
+        .queue_capacity(8)
+        .journal_capacity(4)
+        .build();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(8, 8)));
+    for seed in 0..4u64 {
+        svc.submit_spec(JobSpec::new(gref.id).seed(seed))
+            .unwrap()
+            .handle
+            .wait()
+            .unwrap();
+    }
+    let journal = svc.telemetry().journal();
+    assert_eq!(journal.capacity(), 4);
+    assert_eq!(journal.events().len(), 4, "ring is clamped at capacity");
+    // 4 jobs × 5 lifecycle events = 20 recorded, 16 dropped.
+    assert_eq!(journal.dropped(), 16);
+}
