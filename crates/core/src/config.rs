@@ -37,6 +37,12 @@
 //! | `ST_RESULT_CACHE_CAP` | integer ≥ 0 | result-cache entries (0 disables caching) |
 //! | `ST_JOURNAL_CAP` | integer 1–1048576 | telemetry event-journal ring capacity |
 //! | `ST_SLOW_JOB_MS` | integer 1–3600000 | slow-job threshold (wall ms) for the full-metrics dump |
+//! | `ST_LANE_WEIGHTS` | three integers ≥ 1, e.g. `4,2,1` | deficit-round-robin credits per High/Normal/Low lane |
+//! | `ST_TENANT_QUOTA` | integer ≥ 1 | max queued jobs per tenant id |
+//! | `ST_ELASTIC` | bool | enable the elastic pool controller |
+//! | `ST_ELASTIC_IDLE_MS` | integer 1–3600000 | idle time before a team is shrunk |
+//! | `ST_ELASTIC_BACKLOG` | integer ≥ 1 | queue depth that counts as sustained backlog |
+//! | `ST_ELASTIC_MAX_WIDTH` | integer 1–512 | widest a team may grow |
 
 use std::fmt;
 
@@ -109,6 +115,23 @@ pub struct RuntimeConfig {
     /// `ST_SLOW_JOB_MS`: wall-latency threshold, in milliseconds, past
     /// which the service dumps a job's full `JobMetrics`.
     pub slow_job_ms: Option<u64>,
+    /// `ST_LANE_WEIGHTS`: deficit-round-robin credits granted per
+    /// scheduling round to the High/Normal/Low admission lanes.
+    pub lane_weights: Option<[u32; 3]>,
+    /// `ST_TENANT_QUOTA`: maximum queued jobs per tenant id.
+    pub tenant_quota: Option<usize>,
+    /// `ST_ELASTIC`: whether the service runs the elastic pool
+    /// controller.
+    pub elastic: Option<bool>,
+    /// `ST_ELASTIC_IDLE_MS`: how long a team must sit idle before the
+    /// controller shrinks it.
+    pub elastic_idle_ms: Option<u64>,
+    /// `ST_ELASTIC_BACKLOG`: admission-queue depth the controller
+    /// treats as sustained backlog (triggers growth).
+    pub elastic_backlog: Option<usize>,
+    /// `ST_ELASTIC_MAX_WIDTH`: the widest the controller may grow any
+    /// team.
+    pub elastic_max_width: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -132,6 +155,12 @@ impl RuntimeConfig {
             result_cache_capacity: read("ST_RESULT_CACHE_CAP", parse_nonnegative)?,
             journal_capacity: read("ST_JOURNAL_CAP", parse_journal_cap)?,
             slow_job_ms: read("ST_SLOW_JOB_MS", parse_slow_job_ms)?,
+            lane_weights: read("ST_LANE_WEIGHTS", parse_lane_weights)?,
+            tenant_quota: read("ST_TENANT_QUOTA", parse_positive)?,
+            elastic: read("ST_ELASTIC", parse_bool)?,
+            elastic_idle_ms: read("ST_ELASTIC_IDLE_MS", parse_bounded_ms)?,
+            elastic_backlog: read("ST_ELASTIC_BACKLOG", parse_positive)?,
+            elastic_max_width: read("ST_ELASTIC_MAX_WIDTH", parse_team_width)?,
         })
     }
 
@@ -267,6 +296,41 @@ fn parse_slow_job_ms(s: &str) -> Result<u64, &'static str> {
     const REASON: &str = "an integer between 1 and 3600000 (milliseconds)";
     match s.parse::<u64>() {
         Ok(v) if (1..=3_600_000).contains(&v) => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_lane_weights(s: &str) -> Result<[u32; 3], &'static str> {
+    // The admission queue has exactly three lanes; a zero weight would
+    // starve its lane outright, which is what the scheduler exists to
+    // prevent.
+    const REASON: &str = "exactly three comma-separated weights ≥ 1, e.g. `4,2,1`";
+    let parts: Vec<u32> = s
+        .split(',')
+        .map(|part| match part.trim().parse::<u32>() {
+            Ok(0) | Err(_) => Err(REASON),
+            Ok(v) => Ok(v),
+        })
+        .collect::<Result<_, _>>()?;
+    <[u32; 3]>::try_from(parts).map_err(|_| REASON)
+}
+
+fn parse_bounded_ms(s: &str) -> Result<u64, &'static str> {
+    // Same bounds rationale as the slow-job threshold: 0 would fire
+    // continuously, beyond an hour is a unit mix-up.
+    const REASON: &str = "an integer between 1 and 3600000 (milliseconds)";
+    match s.parse::<u64>() {
+        Ok(v) if (1..=3_600_000).contains(&v) => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_team_width(s: &str) -> Result<usize, &'static str> {
+    // 512 processors in one team is already far past any SMP this
+    // targets; larger values are a pasted queue capacity.
+    const REASON: &str = "an integer between 1 and 512 (processors per team)";
+    match s.parse::<usize>() {
+        Ok(v) if (1..=512).contains(&v) => Ok(v),
         _ => Err(REASON),
     }
 }
@@ -424,6 +488,29 @@ mod tests {
         assert!(parse_slow_job_ms("3600001").is_err(), "beyond an hour");
         assert!(parse_slow_job_ms("-1").is_err());
         assert!(parse_slow_job_ms("slow").is_err());
+    }
+
+    #[test]
+    fn lane_weights_require_exactly_three_positive_entries() {
+        assert_eq!(parse_lane_weights("4,2,1"), Ok([4, 2, 1]));
+        assert_eq!(parse_lane_weights(" 10 , 1 , 1 "), Ok([10, 1, 1]));
+        assert!(parse_lane_weights("4,2").is_err(), "three lanes, not two");
+        assert!(parse_lane_weights("4,2,1,1").is_err());
+        assert!(parse_lane_weights("4,0,1").is_err(), "zero starves a lane");
+        assert!(parse_lane_weights("").is_err());
+        assert!(parse_lane_weights("a,b,c").is_err());
+    }
+
+    #[test]
+    fn elastic_windows_and_widths_are_bounded() {
+        assert_eq!(parse_bounded_ms("250"), Ok(250));
+        assert!(parse_bounded_ms("0").is_err(), "would fire continuously");
+        assert!(parse_bounded_ms("3600001").is_err(), "unit mix-up");
+        assert_eq!(parse_team_width("1"), Ok(1));
+        assert_eq!(parse_team_width("512"), Ok(512));
+        assert!(parse_team_width("0").is_err());
+        assert!(parse_team_width("513").is_err());
+        assert!(parse_team_width("wide").is_err());
     }
 
     #[test]

@@ -25,10 +25,19 @@ pub const QUEUE_LANES: usize = 3;
 pub struct PoolGauges {
     /// Jobs accepted into the admission queue.
     submitted: AtomicU64,
-    /// Jobs rejected at admission (backpressure on a full queue).
+    /// Jobs rejected at admission, any reason (backpressure, tenant
+    /// quota, unmeetable deadline).
     rejected: AtomicU64,
     /// Rejected submissions, split by the lane they would have entered.
     lane_rejected: [AtomicU64; QUEUE_LANES],
+    /// Rejections because the tenant's queued-job quota was full.
+    rejected_quota: AtomicU64,
+    /// Rejections because the lane's queue-delay estimate already
+    /// exceeded the job's deadline at arrival.
+    rejected_deadline_unmeetable: AtomicU64,
+    /// Jobs that left each lane for a dispatcher (or were swept out by
+    /// an eager cancel) — the scheduler's per-lane service rate.
+    lane_dequeued: [AtomicU64; QUEUE_LANES],
     /// Jobs that finished with a valid result after real execution.
     completed: AtomicU64,
     /// Submissions answered from the result cache (zero-cost
@@ -58,6 +67,10 @@ pub struct PoolGauges {
     cache_hits: AtomicU64,
     /// Catalog-addressed submissions that had to execute.
     cache_misses: AtomicU64,
+    /// Elastic resizes that widened a team.
+    teams_grown: AtomicU64,
+    /// Elastic resizes that narrowed a team.
+    teams_shrunk: AtomicU64,
 }
 
 impl PoolGauges {
@@ -82,6 +95,22 @@ impl PoolGauges {
         self.lane_rejected[lane].fetch_add(1, Relaxed);
     }
 
+    /// Records a submission rejected because its tenant's queued-job
+    /// quota was already full.
+    pub fn on_reject_quota(&self, lane: usize) {
+        self.rejected.fetch_add(1, Relaxed);
+        self.lane_rejected[lane].fetch_add(1, Relaxed);
+        self.rejected_quota.fetch_add(1, Relaxed);
+    }
+
+    /// Records a submission rejected at arrival because the lane's
+    /// queue-delay estimate already exceeded the job's deadline.
+    pub fn on_reject_deadline_unmeetable(&self, lane: usize) {
+        self.rejected.fetch_add(1, Relaxed);
+        self.lane_rejected[lane].fetch_add(1, Relaxed);
+        self.rejected_deadline_unmeetable.fetch_add(1, Relaxed);
+    }
+
     /// Records a job leaving lane `lane` of the queue for a dispatcher.
     ///
     /// A dequeue without a matching [`on_submit`](Self::on_submit)
@@ -89,6 +118,7 @@ impl PoolGauges {
     /// every subsequent scrape; the decrement therefore asserts in
     /// debug builds and saturates at zero in release.
     pub fn on_dequeue(&self, lane: usize) {
+        self.lane_dequeued[lane].fetch_add(1, Relaxed);
         Self::dec_guarded(&self.lane_depth[lane], "lane_depth");
         Self::dec_guarded(&self.queue_depth, "queue_depth");
     }
@@ -132,6 +162,16 @@ impl PoolGauges {
         self.busy_teams.fetch_sub(1, Relaxed);
     }
 
+    /// Records an elastic resize that widened a team.
+    pub fn on_team_grown(&self) {
+        self.teams_grown.fetch_add(1, Relaxed);
+    }
+
+    /// Records an elastic resize that narrowed a team.
+    pub fn on_team_shrunk(&self) {
+        self.teams_shrunk.fetch_add(1, Relaxed);
+    }
+
     /// Records a finished job: its outcome lane plus the queue/exec
     /// time totals.
     pub fn on_finish(&self, outcome: JobOutcomeKind, queue_ns: u64, exec_ns: u64) {
@@ -154,6 +194,11 @@ impl PoolGauges {
             rejected_high: self.lane_rejected[0].load(Relaxed),
             rejected_normal: self.lane_rejected[1].load(Relaxed),
             rejected_low: self.lane_rejected[2].load(Relaxed),
+            rejected_quota: self.rejected_quota.load(Relaxed),
+            rejected_deadline_unmeetable: self.rejected_deadline_unmeetable.load(Relaxed),
+            dequeued_high: self.lane_dequeued[0].load(Relaxed),
+            dequeued_normal: self.lane_dequeued[1].load(Relaxed),
+            dequeued_low: self.lane_dequeued[2].load(Relaxed),
             completed: self.completed.load(Relaxed),
             completed_cached: self.completed_cached.load(Relaxed),
             cancelled: self.cancelled.load(Relaxed),
@@ -169,6 +214,8 @@ impl PoolGauges {
             exec_ns_total: self.exec_ns_total.load(Relaxed),
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
+            teams_grown: self.teams_grown.load(Relaxed),
+            teams_shrunk: self.teams_shrunk.load(Relaxed),
         }
     }
 }
@@ -199,6 +246,16 @@ pub struct PoolSnapshot {
     pub rejected_normal: u64,
     /// Rejections bound for the Low lane.
     pub rejected_low: u64,
+    /// Rejections because the tenant's queued-job quota was full.
+    pub rejected_quota: u64,
+    /// Rejections because the deadline was unmeetable at arrival.
+    pub rejected_deadline_unmeetable: u64,
+    /// Jobs that left the High lane for a dispatcher.
+    pub dequeued_high: u64,
+    /// Jobs that left the Normal lane for a dispatcher.
+    pub dequeued_normal: u64,
+    /// Jobs that left the Low lane for a dispatcher.
+    pub dequeued_low: u64,
     /// Jobs finished with a result after real execution.
     pub completed: u64,
     /// Submissions answered from the result cache (no execution).
@@ -229,6 +286,10 @@ pub struct PoolSnapshot {
     pub cache_hits: u64,
     /// Catalog-addressed submissions that executed.
     pub cache_misses: u64,
+    /// Elastic resizes that widened a team.
+    pub teams_grown: u64,
+    /// Elastic resizes that narrowed a team.
+    pub teams_shrunk: u64,
 }
 
 impl PoolSnapshot {
@@ -240,6 +301,14 @@ impl PoolSnapshot {
             + self.cancelled
             + self.deadline_exceeded
             + self.panicked
+    }
+
+    /// Rejections that were plain backpressure (full queue), i.e. not
+    /// attributed to a tenant quota or an unmeetable deadline.
+    pub fn rejected_backpressure(&self) -> u64 {
+        self.rejected
+            .saturating_sub(self.rejected_quota)
+            .saturating_sub(self.rejected_deadline_unmeetable)
     }
 
     /// Jobs that left the service after actually running or waiting —
@@ -296,6 +365,9 @@ mod tests {
             s.queue_depth_high + s.queue_depth_normal + s.queue_depth_low,
             0
         );
+        assert_eq!(s.dequeued_normal, 1);
+        assert_eq!(s.dequeued_low, 1);
+        assert_eq!(s.dequeued_high, 0);
         assert_eq!(s.max_queue_depth, 2, "high-water mark must persist");
         assert_eq!(s.busy_teams, 0);
         assert_eq!(s.completed, 1);
@@ -351,6 +423,34 @@ mod tests {
         let s = g.snapshot();
         assert_eq!(s.queue_depth, 0, "must saturate, not wrap to ~2^64");
         assert_eq!(s.queue_depth_high, 0);
+    }
+
+    #[test]
+    fn reject_reasons_split_the_total() {
+        let g = PoolGauges::new();
+        g.on_reject(0);
+        g.on_reject_quota(1);
+        g.on_reject_quota(1);
+        g.on_reject_deadline_unmeetable(2);
+        let s = g.snapshot();
+        assert_eq!(s.rejected, 4, "every reason counts toward the total");
+        assert_eq!(s.rejected_quota, 2);
+        assert_eq!(s.rejected_deadline_unmeetable, 1);
+        assert_eq!(s.rejected_backpressure(), 1);
+        assert_eq!(s.rejected_high, 1);
+        assert_eq!(s.rejected_normal, 2);
+        assert_eq!(s.rejected_low, 1);
+    }
+
+    #[test]
+    fn elastic_resizes_are_counted() {
+        let g = PoolGauges::new();
+        g.on_team_grown();
+        g.on_team_grown();
+        g.on_team_shrunk();
+        let s = g.snapshot();
+        assert_eq!(s.teams_grown, 2);
+        assert_eq!(s.teams_shrunk, 1);
     }
 
     #[test]

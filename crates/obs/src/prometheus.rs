@@ -211,14 +211,14 @@ pub fn render_service_prometheus(snap: &PoolSnapshot, histograms: &[HistogramFam
     p.family(
         "st_service_jobs_rejected_total",
         "counter",
-        "Submissions rejected with backpressure (full queue).",
+        "Submissions rejected at admission, any reason.",
     )
     .sample("st_service_jobs_rejected_total", snap.rejected as f64);
 
     p.family(
         "st_service_lane_rejected_total",
         "counter",
-        "Submissions rejected with backpressure, by target priority lane.",
+        "Submissions rejected at admission, by target priority lane.",
     );
     for (lane, v) in [
         ("high", snap.rejected_high),
@@ -226,6 +226,32 @@ pub fn render_service_prometheus(snap: &PoolSnapshot, histograms: &[HistogramFam
         ("low", snap.rejected_low),
     ] {
         p.labeled("st_service_lane_rejected_total", "lane", lane, v as f64);
+    }
+
+    p.family(
+        "st_service_reject_reason_total",
+        "counter",
+        "Submissions rejected at admission, by reason.",
+    );
+    for (reason, v) in [
+        ("backpressure", snap.rejected_backpressure()),
+        ("quota", snap.rejected_quota),
+        ("deadline_unmeetable", snap.rejected_deadline_unmeetable),
+    ] {
+        p.labeled("st_service_reject_reason_total", "reason", reason, v as f64);
+    }
+
+    p.family(
+        "st_service_lane_dequeued_total",
+        "counter",
+        "Jobs the scheduler drained from each priority lane (its per-lane service rate).",
+    );
+    for (lane, v) in [
+        ("high", snap.dequeued_high),
+        ("normal", snap.dequeued_normal),
+        ("low", snap.dequeued_low),
+    ] {
+        p.labeled("st_service_lane_dequeued_total", "lane", lane, v as f64);
     }
 
     p.family(
@@ -280,6 +306,20 @@ pub fn render_service_prometheus(snap: &PoolSnapshot, histograms: &[HistogramFam
         "Executor teams currently running a job.",
     )
     .sample("st_service_busy_teams", snap.busy_teams as f64);
+
+    p.family(
+        "st_service_pool_resizes_total",
+        "counter",
+        "Elastic team resizes, by direction.",
+    );
+    for (direction, v) in [("grow", snap.teams_grown), ("shrink", snap.teams_shrunk)] {
+        p.labeled(
+            "st_service_pool_resizes_total",
+            "direction",
+            direction,
+            v as f64,
+        );
+    }
 
     p.family(
         "st_service_queue_wait_seconds_total",
@@ -558,6 +598,18 @@ mod tests {
         assert_eq!(samples["st_service_jobs_rejected_total"], 1.0);
         assert_eq!(samples["st_service_lane_rejected_total{lane=\"low\"}"], 1.0);
         assert_eq!(
+            samples["st_service_reject_reason_total{reason=\"backpressure\"}"],
+            1.0
+        );
+        assert_eq!(
+            samples["st_service_reject_reason_total{reason=\"quota\"}"],
+            0.0
+        );
+        assert_eq!(
+            samples["st_service_lane_dequeued_total{lane=\"normal\"}"],
+            1.0
+        );
+        assert_eq!(
             samples["st_service_jobs_finished_total{outcome=\"completed\"}"],
             1.0
         );
@@ -653,6 +705,29 @@ mod tests {
                 .filter(|k| k.starts_with("st_service_lane_rejected_total"))
                 .count(),
             3
+        );
+        assert_eq!(
+            samples
+                .keys()
+                .filter(|k| k.starts_with("st_service_reject_reason_total"))
+                .count(),
+            3,
+            "backpressure, quota, and deadline_unmeetable reasons"
+        );
+        assert_eq!(
+            samples
+                .keys()
+                .filter(|k| k.starts_with("st_service_lane_dequeued_total"))
+                .count(),
+            3
+        );
+        assert_eq!(
+            samples
+                .keys()
+                .filter(|k| k.starts_with("st_service_pool_resizes_total"))
+                .count(),
+            2,
+            "grow and shrink directions"
         );
     }
 

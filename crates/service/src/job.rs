@@ -1,7 +1,7 @@
 //! Job-side types: submission priorities, terminal errors, and the
 //! [`JobHandle`] a tenant polls, waits on, or cancels.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 
 use st_core::SpanningForest;
 use st_obs::{JobOutcomeKind, TraceId};
@@ -54,6 +54,13 @@ pub enum JobError {
     /// [`GraphId`](crate::GraphId) that is not (or no longer)
     /// registered.
     UnknownGraph,
+    /// The submitting tenant already holds its full quota of queued
+    /// jobs; this submission was rejected at admission.
+    QuotaExceeded,
+    /// The job's deadline was shorter than the expected queue delay of
+    /// its priority lane, so it was rejected at admission rather than
+    /// queued to miss.
+    DeadlineUnmeetable,
 }
 
 impl std::fmt::Display for JobError {
@@ -65,6 +72,10 @@ impl std::fmt::Display for JobError {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::ShuttingDown => f.write_str("service shutting down"),
             JobError::UnknownGraph => f.write_str("graph not in catalog"),
+            JobError::QuotaExceeded => f.write_str("tenant queued-job quota exceeded"),
+            JobError::DeadlineUnmeetable => {
+                f.write_str("deadline shorter than the expected queue delay")
+            }
         }
     }
 }
@@ -81,7 +92,9 @@ impl JobError {
             JobError::Cancelled
             | JobError::ShuttingDown
             | JobError::Backpressure
-            | JobError::UnknownGraph => JobOutcomeKind::Cancelled,
+            | JobError::UnknownGraph
+            | JobError::QuotaExceeded
+            | JobError::DeadlineUnmeetable => JobOutcomeKind::Cancelled,
             JobError::DeadlineExceeded => JobOutcomeKind::DeadlineExceeded,
             JobError::Panicked(_) => JobOutcomeKind::Panicked,
         }
@@ -97,6 +110,17 @@ impl JobError {
             JobError::Cancelled
         }
     }
+}
+
+/// Service-side hook a [`JobHandle::cancel`] fires so the admission
+/// queue can release the job's bounded lane slot *eagerly* instead of
+/// letting the dead job occupy it until a dispatcher happens to drain
+/// it (which let a submit-then-cancel tenant starve honest tenants
+/// into `Backpressure`).
+pub(crate) trait CancelObserver: Send + Sync {
+    /// A handle cancelled the job with this trace id; if it is still
+    /// queued, sweep it out and resolve it now.
+    fn on_handle_cancel(&self, trace: TraceId);
 }
 
 /// The result slot a job resolves into, guarded by [`JobState::slot`].
@@ -122,6 +146,10 @@ pub(crate) struct JobState {
     /// The job's trace id, minted at submission; joins the handle to
     /// the event journal and the Prometheus plane.
     pub(crate) trace: TraceId,
+    /// Set once the job is queued: lets [`JobHandle::cancel`] tell the
+    /// service to release the lane slot eagerly. Weak so a handle that
+    /// outlives the service does not keep the whole pool alive.
+    observer: OnceLock<Weak<dyn CancelObserver>>,
 }
 
 impl JobState {
@@ -131,7 +159,14 @@ impl JobState {
             done: Condvar::new(),
             token,
             trace,
+            observer: OnceLock::new(),
         })
+    }
+
+    /// Registers the service hook cancel should notify. Called at
+    /// enqueue (jobs that resolve at the door never need it).
+    pub(crate) fn set_cancel_observer(&self, observer: Weak<dyn CancelObserver>) {
+        let _ = self.observer.set(observer);
     }
 
     /// Resolves the job and wakes every waiter. Called exactly once.
@@ -174,8 +209,18 @@ impl JobHandle {
     /// Requests cancellation. Idempotent; safe at any point in the job's
     /// life. The job resolves to [`JobError::Cancelled`] unless it
     /// completed (or its deadline fired) first.
+    ///
+    /// A job still waiting in the admission queue is swept out
+    /// immediately — its bounded lane slot is released to other
+    /// tenants right away rather than when a dispatcher eventually
+    /// drains the dead entry.
     pub fn cancel(&self) {
+        // Trip the token first so a job mid-execution observes the
+        // cancel even if the queue sweep finds nothing to do.
         self.state.token.cancel();
+        if let Some(obs) = self.state.observer.get().and_then(Weak::upgrade) {
+            obs.on_handle_cancel(self.state.trace);
+        }
     }
 
     /// A clone of the job's cancellation token (e.g. to hand a watchdog

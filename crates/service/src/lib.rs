@@ -31,7 +31,18 @@
 //! - **Admission control.** The queue is bounded: [`JobBuilder::submit`]
 //!   blocks when it is full, [`JobBuilder::try_submit`] returns
 //!   [`JobError::Backpressure`] so the caller can shed load instead of
-//!   piling it up.
+//!   piling it up. Per-tenant quotas cap how much of the queue any one
+//!   tenant may hold ([`JobError::QuotaExceeded`]), and deadline-aware
+//!   admission rejects a job whose deadline the lane's observed queue
+//!   delay already cannot meet ([`JobError::DeadlineUnmeetable`]).
+//! - **Weighted-fair dispatch.** Priority lanes drain under deficit
+//!   round-robin ([`service::DEFAULT_LANE_WEIGHTS`]), so a saturated
+//!   high-priority tenant gets proportionally more throughput — never
+//!   all of it — and bulk jobs keep a bounded dispatch share.
+//! - **Elasticity.** An opt-in controller
+//!   ([`ServiceBuilder::elastic`]) widens teams under sustained
+//!   backlog and narrows them after sustained idleness, using the
+//!   pool's lease machinery so a running job is never disturbed.
 //! - **Adaptive sizing.** Each job is routed to the team width the §3
 //!   analytic cost model predicts will finish it soonest
 //!   ([`sizing::preferred_width`]) — small graphs take a narrow team and

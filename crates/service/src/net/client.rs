@@ -125,6 +125,9 @@ pub struct SubmitRequest {
     pub deadline: Option<Duration>,
     /// Explicit team width (`None` = sizing oracle).
     pub processors: Option<usize>,
+    /// Tenant the job's queued-slot quota is charged to (0 =
+    /// anonymous).
+    pub tenant: u64,
 }
 
 impl SubmitRequest {
@@ -137,6 +140,7 @@ impl SubmitRequest {
             priority: Priority::Normal,
             deadline: None,
             processors: None,
+            tenant: 0,
         }
     }
 
@@ -168,6 +172,13 @@ impl SubmitRequest {
     /// Requests an explicit team width.
     pub fn processors(mut self, p: usize) -> Self {
         self.processors = Some(p);
+        self
+    }
+
+    /// Names the tenant whose queued-job quota this submission is
+    /// charged against (default 0, the shared anonymous tenant).
+    pub fn tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -289,9 +300,12 @@ impl Client {
     }
 
     /// Submits a job. Non-blocking on the server side: a full admission
-    /// queue is `WireError::Remote(Status::Backpressure, _)`.
+    /// queue is `WireError::Remote(Status::Backpressure, _)`; a tenant
+    /// over its quota is `Status::QuotaExceeded`, and a deadline the
+    /// lane's queue-delay estimate cannot meet is
+    /// `Status::DeadlineUnmeetable`.
     pub fn submit(&mut self, r: SubmitRequest) -> Result<SubmitReply, WireError> {
-        let mut req = Vec::with_capacity(31);
+        let mut req = Vec::with_capacity(39);
         req.push(ops::SUBMIT);
         req.extend_from_slice(&r.graph.id.to_le_bytes());
         req.push(r.algorithm.code());
@@ -310,6 +324,7 @@ impl Client {
             .processors
             .map_or(0u32, |p| p.try_into().unwrap_or(u32::MAX));
         req.extend_from_slice(&processors.to_le_bytes());
+        req.extend_from_slice(&r.tenant.to_le_bytes());
         let body = self.call_ok(&req)?;
         let mut c = Cursor::new(&body);
         let ticket = c.u32().ok_or(WireError::Protocol("short SUBMIT reply"))?;

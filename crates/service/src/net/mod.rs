@@ -8,7 +8,11 @@
 //! * a remote `SUBMIT` goes through
 //!   [`Service::try_submit_spec`](crate::Service::try_submit_spec), so
 //!   a full admission queue surfaces as [`Status::Backpressure`] on the
-//!   client rather than unbounded buffering in the server;
+//!   client rather than unbounded buffering in the server — and the
+//!   admission-path rejections keep their diagnosis on the wire: a
+//!   tenant over its queued-job quota sees [`Status::QuotaExceeded`],
+//!   a deadline the lane's queue-delay estimate cannot meet sees
+//!   [`Status::DeadlineUnmeetable`];
 //! * deadlines and `CANCEL` drive the job's
 //!   [`CancelToken`](st_smp::CancelToken) exactly as local handles do;
 //! * `METRICS` renders the live [`PoolSnapshot`](st_obs::PoolSnapshot)
@@ -28,7 +32,7 @@
 //! |---|---|---|
 //! | `PING` | anything | the same bytes echoed |
 //! | `REGISTER` | an [`st_graph::io`] binary graph | graph id `u64`, version `u32` |
-//! | `SUBMIT` | id `u64`, algo `u8`, prio `u8`, seed `u64`, deadline-ms `u64` (0 = none), width `u32` (0 = auto) | ticket `u32`, cached `u8`, trace `u64` |
+//! | `SUBMIT` | id `u64`, algo `u8`, prio `u8`, seed `u64`, deadline-ms `u64` (0 = none), width `u32` (0 = auto), tenant `u64` (optional, 0 = anonymous) | ticket `u32`, cached `u8`, trace `u64` |
 //! | `WAIT` | ticket `u32` | n `u64`, parents `n×u32`, r `u64`, roots `r×u32` |
 //! | `CANCEL` | ticket `u32` | empty |
 //! | `METRICS` | empty | UTF-8 Prometheus text page |

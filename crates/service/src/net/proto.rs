@@ -64,6 +64,13 @@ pub enum Status {
     /// The server's catalog is at its configured entry limit; remove a
     /// graph (or raise the limit) before registering another.
     CatalogFull = 12,
+    /// The submitting tenant already holds its full quota of queued
+    /// jobs; resubmit after one of them resolves.
+    QuotaExceeded = 13,
+    /// The job's deadline is shorter than the expected queue delay of
+    /// its priority lane; it was rejected at admission rather than
+    /// queued to miss.
+    DeadlineUnmeetable = 14,
 }
 
 impl Status {
@@ -89,6 +96,8 @@ impl Status {
             Busy,
             BadGraph,
             CatalogFull,
+            QuotaExceeded,
+            DeadlineUnmeetable,
         ]
         .into_iter()
         .find(|s| s.code() == code)
@@ -111,6 +120,8 @@ impl std::fmt::Display for Status {
             Status::Busy => "server busy",
             Status::BadGraph => "bad graph payload",
             Status::CatalogFull => "catalog full",
+            Status::QuotaExceeded => "tenant quota exceeded",
+            Status::DeadlineUnmeetable => "deadline unmeetable",
         };
         f.write_str(s)
     }
@@ -314,11 +325,11 @@ mod tests {
 
     #[test]
     fn status_codes_roundtrip() {
-        for code in 0..=12 {
+        for code in 0..=14 {
             let status = Status::from_code(code).expect("defined");
             assert_eq!(status.code(), code);
         }
-        assert_eq!(Status::from_code(13), None);
+        assert_eq!(Status::from_code(15), None);
         assert_eq!(Status::from_code(255), None);
     }
 

@@ -374,6 +374,8 @@ fn job_error_status(err: &JobError) -> Status {
         JobError::Panicked(_) => Status::Panicked,
         JobError::ShuttingDown => Status::ShuttingDown,
         JobError::UnknownGraph => Status::UnknownGraph,
+        JobError::QuotaExceeded => Status::QuotaExceeded,
+        JobError::DeadlineUnmeetable => Status::DeadlineUnmeetable,
     }
 }
 
@@ -429,6 +431,11 @@ fn handle_request(
                 }
                 if processors > 0 {
                     spec = spec.processors(processors as usize);
+                }
+                // Optional trailing tenant id: absent on frames from
+                // older clients, which stay on the anonymous tenant.
+                if let Some(tenant) = c.u64() {
+                    spec = spec.tenant(tenant);
                 }
                 Some(spec)
             })();

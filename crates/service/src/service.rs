@@ -1,8 +1,9 @@
 //! The service: builder, admission queue, and dispatcher threads.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -13,7 +14,7 @@ use st_obs::{JobEventKind, JobOutcomeKind, PoolGauges, PoolSnapshot, TraceId};
 use st_smp::{CancelToken, ExecutorPool};
 
 use crate::catalog::{CacheKey, GraphCatalog, ResultCache};
-use crate::job::{JobError, JobHandle, JobState, Priority};
+use crate::job::{CancelObserver, JobError, JobHandle, JobState, Priority};
 use crate::sizing::preferred_width;
 use crate::spec::JobSpec;
 use crate::telemetry::{Telemetry, DEFAULT_JOURNAL_CAPACITY, DEFAULT_SLOW_JOB_MS};
@@ -40,20 +41,109 @@ struct QueuedJob {
     /// When the job came through the catalog-addressed path: the key to
     /// publish its forest under on completion.
     cache_slot: Option<CacheKey>,
+    /// Tenant the job's queued-slot quota is charged to (0 = anonymous).
+    tenant: u64,
 }
 
 /// The bounded, priority-laned admission queue.
+///
+/// Lanes drain under deficit round-robin rather than strict priority:
+/// each lane has a weight, and a full rotation of the cursor grants
+/// every lane `weight` job credits. A saturated high lane therefore
+/// gets `weight_high / weight_low` times the bulk lane's throughput
+/// instead of starving it outright. Jobs are unit cost — the service
+/// cannot know a job's runtime at pop time — so the deficit counts
+/// jobs, not bytes.
 struct Admission {
     lanes: [VecDeque<QueuedJob>; Priority::LANES],
     len: usize,
     shutdown: bool,
+    /// Per-lane DRR weights (jobs granted per cursor rotation).
+    weights: [u32; Priority::LANES],
+    /// Per-lane unspent credits for the current rotation.
+    deficit: [u32; Priority::LANES],
+    /// The lane the round-robin cursor currently serves.
+    cursor: usize,
+    /// Queued jobs per tenant, for the admission quota. Entries are
+    /// removed at zero so an idle tenant costs nothing.
+    tenants: HashMap<u64, usize>,
 }
 
 impl Admission {
+    fn new(weights: [u32; Priority::LANES]) -> Self {
+        Self {
+            lanes: Default::default(),
+            len: 0,
+            shutdown: false,
+            weights,
+            // Start the cursor *past* the last lane with no credits:
+            // the first pop advances onto lane 0 with a fresh quantum,
+            // so a cold queue drains highest-priority-first.
+            deficit: [0; Priority::LANES],
+            cursor: Priority::LANES - 1,
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Queued jobs currently charged to `tenant`.
+    fn tenant_load(&self, tenant: u64) -> usize {
+        self.tenants.get(&tenant).copied().unwrap_or(0)
+    }
+
+    fn charge_tenant(&mut self, tenant: u64) {
+        *self.tenants.entry(tenant).or_insert(0) += 1;
+    }
+
+    fn release_tenant(&mut self, tenant: u64) {
+        if let Some(count) = self.tenants.get_mut(&tenant) {
+            *count -= 1;
+            if *count == 0 {
+                self.tenants.remove(&tenant);
+            }
+        }
+    }
+
+    /// Pops the next job under deficit round-robin. The loop always
+    /// terminates when a job is queued: every full rotation refreshes
+    /// every lane's credits, and at least one lane is non-empty.
     fn pop(&mut self) -> Option<QueuedJob> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if self.deficit[self.cursor] > 0 {
+                if let Some(job) = self.lanes[self.cursor].pop_front() {
+                    self.deficit[self.cursor] -= 1;
+                    self.len -= 1;
+                    self.release_tenant(job.tenant);
+                    if self.len == 0 {
+                        // The queue drained: every flow went inactive,
+                        // so the round ends. The next burst starts a
+                        // fresh rotation and drains
+                        // highest-priority-first instead of resuming on
+                        // stale mid-round credits.
+                        self.deficit = [0; Priority::LANES];
+                        self.cursor = Priority::LANES - 1;
+                    }
+                    return Some(job);
+                }
+                // Lane drained mid-round: forfeit its remaining credits
+                // (banking them would let a long-idle lane burst past
+                // its weight later).
+                self.deficit[self.cursor] = 0;
+            }
+            self.cursor = (self.cursor + 1) % Priority::LANES;
+            self.deficit[self.cursor] = self.weights[self.cursor];
+        }
+    }
+
+    /// Removes a still-queued job by trace id (the eager cancel sweep).
+    fn remove_by_trace(&mut self, trace: TraceId) -> Option<QueuedJob> {
         for lane in &mut self.lanes {
-            if let Some(job) = lane.pop_front() {
+            if let Some(i) = lane.iter().position(|j| j.trace == trace) {
+                let job = lane.remove(i).expect("position came from this lane");
                 self.len -= 1;
+                self.release_tenant(job.tenant);
                 return Some(job);
             }
         }
@@ -69,11 +159,115 @@ struct Shared {
     /// Signals dispatchers waiting for work.
     work: Condvar,
     capacity: usize,
+    /// Max queued jobs any single tenant may hold; `None` = unlimited.
+    tenant_quota: Option<usize>,
+    /// Per-lane EWMA of observed queue delay (ns), fed at every
+    /// dispatcher dequeue and read by deadline-aware admission. The
+    /// first sample seeds the estimate directly; after that
+    /// `new = old - old/8 + sample/8` (α = 1/8). Relaxed everywhere —
+    /// an estimator tolerates torn freshness by construction.
+    queue_delay_est: [AtomicU64; Priority::LANES],
+    /// Width changes the elastic controller has decided but not yet
+    /// landed (team id → target width). Under saturation every team is
+    /// leased almost continuously, so the controller alone would
+    /// practically never find one idle; dispatchers apply the posted
+    /// change right after returning their lease — the one moment a
+    /// saturated pool reliably has an idle team.
+    pending_resizes: Mutex<HashMap<usize, usize>>,
     gauges: PoolGauges,
     pool: ExecutorPool,
     catalog: Arc<GraphCatalog>,
     cache: ResultCache,
     telemetry: Telemetry,
+}
+
+impl Shared {
+    /// Feeds one observed queue delay into the per-lane estimator.
+    fn note_queue_delay(&self, lane: usize, sample_ns: u64) {
+        let est = &self.queue_delay_est[lane];
+        let old = est.load(Relaxed);
+        let new = if old == 0 {
+            sample_ns
+        } else {
+            old - old / 8 + sample_ns / 8
+        };
+        est.store(new, Relaxed);
+    }
+
+    /// The current queue-delay estimate for `lane`, in nanoseconds
+    /// (zero until the first job dequeues from that lane).
+    fn queue_delay_estimate_ns(&self, lane: usize) -> u64 {
+        self.queue_delay_est[lane].load(Relaxed)
+    }
+
+    /// Lands a posted width change for `team` if the team is idle right
+    /// now. Called by the controller on its tick (catches a fully idle
+    /// pool) and by each dispatcher just after returning its lease
+    /// (catches a saturated one). A still-leased team simply stays
+    /// posted for the next attempt.
+    fn apply_pending_resize(&self, team: usize) {
+        let Some(target) = self.pending_resizes.lock().unwrap().get(&team).copied() else {
+            return;
+        };
+        let old = self.pool.team_sizes()[team];
+        if old == target || self.pool.try_resize_team(team, target) {
+            self.pending_resizes.lock().unwrap().remove(&team);
+            if target > old {
+                self.gauges.on_team_grown();
+            } else if target < old {
+                self.gauges.on_team_shrunk();
+            }
+        }
+    }
+
+    /// Posts a width change and immediately tries to land it.
+    fn request_resize(&self, team: usize, target: usize) {
+        self.pending_resizes.lock().unwrap().insert(team, target);
+        self.apply_pending_resize(team);
+    }
+}
+
+impl CancelObserver for Shared {
+    /// The eager cancel sweep: if the cancelled job is still queued,
+    /// remove it now so its bounded lane slot (and tenant quota charge)
+    /// frees immediately instead of when a dispatcher eventually drains
+    /// the dead entry. Racing the dispatcher is fine — whoever takes
+    /// the job out of the queue first resolves it, the other finds
+    /// nothing.
+    fn on_handle_cancel(&self, trace: TraceId) {
+        let Some(job) = self.queue.lock().unwrap().remove_by_trace(trace) else {
+            return;
+        };
+        // Accounting mirrors the dispatcher's dead-job path, done
+        // outside the queue lock: dequeue gauges, journal, outcome
+        // classification from the token (deadline wins over cancel),
+        // then the handle resolves and a blocked submitter gets the
+        // freed slot.
+        self.gauges.on_dequeue(job.lane);
+        self.telemetry.journal().record_now(
+            job.trace,
+            JobEventKind::Dequeued,
+            Some(job.lane as u8),
+            None,
+            None,
+        );
+        let queue_ns = elapsed_ns(job.submitted_at);
+        let err = JobError::from_token(&job.state.token);
+        self.gauges.on_finish(err.outcome_kind(), queue_ns, 0);
+        self.telemetry.on_finished(
+            job.trace,
+            job.lane as u8,
+            None,
+            outcome_name(err.outcome_kind()),
+            queue_ns,
+            0,
+            false,
+            job.algo_label,
+            None,
+        );
+        job.state.finish(Err(err));
+        self.space.notify_one();
+    }
 }
 
 /// Builds a [`Service`]; obtained from [`Service::builder`].
@@ -90,6 +284,12 @@ pub struct ServiceBuilder {
     result_cache_capacity: Option<usize>,
     journal_capacity: Option<usize>,
     slow_job_threshold: Option<Duration>,
+    lane_weights: Option<[u32; Priority::LANES]>,
+    tenant_quota: Option<usize>,
+    elastic: Option<bool>,
+    elastic_idle_ms: Option<u64>,
+    elastic_backlog: Option<usize>,
+    elastic_max_width: Option<usize>,
 }
 
 impl ServiceBuilder {
@@ -150,6 +350,67 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the deficit-round-robin lane weights `[high, normal, low]`:
+    /// jobs granted to each lane per full cursor rotation, so a
+    /// saturated high lane gets `high/low` times the low lane's
+    /// dispatch rate instead of starving it. Falls back to
+    /// `ST_LANE_WEIGHTS`, then to [`DEFAULT_LANE_WEIGHTS`].
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics on a zero weight (a zero-weight
+    /// lane would never drain).
+    pub fn lane_weights(mut self, weights: [u32; Priority::LANES]) -> Self {
+        self.lane_weights = Some(weights);
+        self
+    }
+
+    /// Caps how many queued jobs one tenant may hold at once; a
+    /// submission past the cap is rejected with
+    /// [`JobError::QuotaExceeded`] without blocking. Falls back to
+    /// `ST_TENANT_QUOTA`; unset means unlimited.
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics on zero.
+    pub fn tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = Some(quota);
+        self
+    }
+
+    /// Enables (or explicitly disables) the elastic controller, which
+    /// widens teams under sustained backlog and narrows them again
+    /// after a sustained idle window. Falls back to `ST_ELASTIC`;
+    /// default off.
+    pub fn elastic(mut self, on: bool) -> Self {
+        self.elastic = Some(on);
+        self
+    }
+
+    /// Sets how long the whole pool must sit idle (empty queue, no
+    /// leased team) before the controller shrinks one team. Falls back
+    /// to `ST_ELASTIC_IDLE_MS`, then [`DEFAULT_ELASTIC_IDLE_MS`].
+    pub fn elastic_idle_ms(mut self, ms: u64) -> Self {
+        self.elastic_idle_ms = Some(ms);
+        self
+    }
+
+    /// Sets the queue depth that counts as backlog; sustained backlog
+    /// (two consecutive controller ticks) grows one team. Falls back to
+    /// `ST_ELASTIC_BACKLOG`, then [`DEFAULT_ELASTIC_BACKLOG`].
+    pub fn elastic_backlog(mut self, depth: usize) -> Self {
+        self.elastic_backlog = Some(depth);
+        self
+    }
+
+    /// Caps how wide the controller may grow any team. Falls back to
+    /// `ST_ELASTIC_MAX_WIDTH`, then to the machine's available
+    /// parallelism.
+    pub fn elastic_max_width(mut self, width: usize) -> Self {
+        self.elastic_max_width = Some(width);
+        self
+    }
+
     /// Spawns the teams and dispatcher threads and opens the service.
     pub fn build(self) -> Service {
         let env = RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
@@ -179,17 +440,47 @@ impl ServiceBuilder {
             .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
             .or(env.slow_job_ms.map(|ms| ms.saturating_mul(1_000_000)))
             .unwrap_or(DEFAULT_SLOW_JOB_MS * 1_000_000);
+        let weights = self
+            .lane_weights
+            .or(env.lane_weights)
+            .unwrap_or(DEFAULT_LANE_WEIGHTS);
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "lane weights must all be >= 1, got {weights:?}"
+        );
+        let tenant_quota = self.tenant_quota.or(env.tenant_quota);
+        assert!(
+            tenant_quota != Some(0),
+            "a tenant quota of zero would reject every submission"
+        );
+        let elastic = ElasticConfig {
+            enabled: self.elastic.or(env.elastic).unwrap_or(false),
+            idle: Duration::from_millis(
+                self.elastic_idle_ms
+                    .or(env.elastic_idle_ms)
+                    .unwrap_or(DEFAULT_ELASTIC_IDLE_MS),
+            ),
+            backlog: self
+                .elastic_backlog
+                .or(env.elastic_backlog)
+                .unwrap_or(DEFAULT_ELASTIC_BACKLOG)
+                .max(1),
+            max_width: self
+                .elastic_max_width
+                .or(env.elastic_max_width)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |c| c.get()))
+                .max(1),
+        };
 
         let num_teams = teams.len();
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Admission {
-                lanes: Default::default(),
-                len: 0,
-                shutdown: false,
-            }),
+            queue: Mutex::new(Admission::new(weights)),
             space: Condvar::new(),
             work: Condvar::new(),
             capacity,
+            tenant_quota,
+            queue_delay_est: Default::default(),
+            pending_resizes: Mutex::new(HashMap::new()),
             gauges: PoolGauges::new(),
             pool: ExecutorPool::new(teams),
             catalog: self.catalog.unwrap_or_default(),
@@ -207,9 +498,17 @@ impl ServiceBuilder {
                     .expect("spawning a dispatcher thread")
             })
             .collect();
+        let elastic_controller = elastic.enabled.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("st-service-elastic".to_owned())
+                .spawn(move || elastic_controller(&shared, &elastic))
+                .expect("spawning the elastic controller thread")
+        });
         Service {
             shared,
             dispatchers,
+            elastic_controller,
         }
     }
 }
@@ -221,6 +520,114 @@ const DEFAULT_QUEUE_CAPACITY: usize = 64;
 /// Default result-cache capacity (entries) when neither the builder nor
 /// `ST_RESULT_CACHE_CAP` sets one.
 pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 64;
+
+/// Default deficit-round-robin lane weights `[high, normal, low]` when
+/// neither the builder nor `ST_LANE_WEIGHTS` sets them: a saturated
+/// high lane gets 4× the low lane's dispatch rate, never all of it.
+pub const DEFAULT_LANE_WEIGHTS: [u32; Priority::LANES] = [4, 2, 1];
+
+/// Default sustained-idle window before the elastic controller shrinks
+/// a team (overridden by `ST_ELASTIC_IDLE_MS` / the builder).
+pub const DEFAULT_ELASTIC_IDLE_MS: u64 = 250;
+
+/// Default queue depth the elastic controller treats as backlog
+/// (overridden by `ST_ELASTIC_BACKLOG` / the builder).
+pub const DEFAULT_ELASTIC_BACKLOG: usize = 4;
+
+/// Resolved elastic-controller settings (builder → env → defaults).
+#[derive(Clone, Copy, Debug)]
+struct ElasticConfig {
+    enabled: bool,
+    idle: Duration,
+    backlog: usize,
+    max_width: usize,
+}
+
+/// How often the elastic controller samples queue depth and pool
+/// idleness. Short enough that tests with tight idle windows converge,
+/// long enough that the controller's lock traffic is negligible.
+const ELASTIC_TICK: Duration = Duration::from_millis(10);
+
+/// The elastic controller: widens one team after sustained backlog
+/// (two consecutive ticks at or above `backlog`), narrows one after a
+/// sustained fully-idle window.
+///
+/// Resizes ride the pool's lease machinery — [`ExecutorPool::try_resize_team`]
+/// only ever claims an *idle* team, so a running job is never
+/// disturbed. Decisions are *posted* to the pending-resize board and
+/// landed either here (an idle pool) or by a dispatcher the moment it
+/// returns its lease (a saturated one). Grow doubles the narrowest team
+/// (capped at `max_width`), shrink halves the widest (floored at 1), so
+/// width converges geometrically in both directions.
+fn elastic_controller(shared: &Shared, cfg: &ElasticConfig) {
+    let mut backlog_ticks = 0u32;
+    let mut idle_since: Option<Instant> = None;
+    loop {
+        std::thread::sleep(ELASTIC_TICK);
+        let (depth, shutdown) = {
+            let q = shared.queue.lock().unwrap();
+            (q.len, q.shutdown)
+        };
+        if shutdown {
+            return;
+        }
+        // Retry earlier postings first — the pool may have gone idle
+        // since a busy dispatcher last refused one.
+        let posted: Vec<usize> = shared
+            .pending_resizes
+            .lock()
+            .unwrap()
+            .keys()
+            .copied()
+            .collect();
+        for team in posted {
+            shared.apply_pending_resize(team);
+        }
+
+        let all_idle = shared.pool.idle_teams() == shared.pool.num_teams();
+        if depth >= cfg.backlog {
+            backlog_ticks += 1;
+            idle_since = None;
+        } else if depth == 0 && all_idle {
+            backlog_ticks = 0;
+            idle_since.get_or_insert_with(Instant::now);
+        } else {
+            backlog_ticks = 0;
+            idle_since = None;
+        }
+
+        if backlog_ticks >= 2 {
+            // Sustained backlog: grow the narrowest team with headroom.
+            let sizes = shared.pool.team_sizes();
+            if let Some((id, w)) = sizes
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, w)| w < cfg.max_width)
+                .min_by_key(|&(_, w)| w)
+            {
+                shared.request_resize(id, (w * 2).min(cfg.max_width));
+            }
+            // One decision per sustained-backlog observation; the next
+            // needs backlog to persist two more ticks.
+            backlog_ticks = 0;
+        } else if idle_since.is_some_and(|t| t.elapsed() >= cfg.idle) {
+            // Sustained idle: narrow the widest team above the floor.
+            let sizes = shared.pool.team_sizes();
+            if let Some((id, w)) = sizes
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, w)| w > 1)
+                .max_by_key(|&(_, w)| w)
+            {
+                shared.request_resize(id, (w / 2).max(1));
+            }
+            // Restart the idle clock either way: one shrink per window.
+            idle_since = Some(Instant::now());
+        }
+    }
+}
 
 /// Default pool layout: half the cores in one wide team for big jobs,
 /// a quarter in each of two narrower teams for small ones (e.g. 8 cores
@@ -256,6 +663,7 @@ fn default_teams() -> Vec<usize> {
 pub struct Service {
     shared: Arc<Shared>,
     dispatchers: Vec<JoinHandle<()>>,
+    elastic_controller: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Service {
@@ -273,8 +681,9 @@ impl Service {
         ServiceBuilder::default()
     }
 
-    /// The pool's team widths, widest first.
-    pub fn team_sizes(&self) -> &[usize] {
+    /// The pool's current team widths (a snapshot — the elastic
+    /// controller may retune idle teams between calls).
+    pub fn team_sizes(&self) -> Vec<usize> {
         self.shared.pool.team_sizes()
     }
 
@@ -426,8 +835,9 @@ impl Service {
             trace,
             algo_label: spec.algorithm.name(),
             cache_slot: Some(key),
+            tenant: spec.tenant,
         };
-        self.enqueue(job, spec.priority, block)?;
+        self.enqueue(job, block)?;
         Ok(Submitted {
             handle: JobHandle::new(state),
             cached: false,
@@ -444,6 +854,7 @@ impl Service {
             deadline: None,
             priority: Priority::Normal,
             preferred_p: None,
+            tenant: 0,
         }
     }
 
@@ -465,11 +876,38 @@ impl Service {
         for d in self.dispatchers.drain(..) {
             let _ = d.join();
         }
+        if let Some(c) = self.elastic_controller.take() {
+            let _ = c.join();
+        }
     }
 
-    fn enqueue(&self, job: QueuedJob, priority: Priority, block: bool) -> Result<(), JobError> {
-        let lane = priority.lane();
+    /// Records a rejected submission: the reason-tagged reject gauge
+    /// plus the journal's terminal event for the trace.
+    fn reject(&self, trace: TraceId, lane: usize, reason: &str, err: JobError) -> JobError {
+        match err {
+            JobError::QuotaExceeded => self.shared.gauges.on_reject_quota(lane),
+            JobError::DeadlineUnmeetable => {
+                self.shared.gauges.on_reject_deadline_unmeetable(lane);
+            }
+            _ => self.shared.gauges.on_reject(lane),
+        }
+        self.shared.telemetry.journal().record_now(
+            trace,
+            JobEventKind::Finished,
+            Some(lane as u8),
+            None,
+            Some(reason.to_owned()),
+        );
+        err
+    }
+
+    fn enqueue(&self, job: QueuedJob, block: bool) -> Result<(), JobError> {
+        let lane = job.lane;
         let (trace, algo_label) = (job.trace, job.algo_label);
+        // Register the eager-cancel hook before the job can be queued,
+        // so a cancel racing this submission can never miss the sweep.
+        job.state
+            .set_cancel_observer(Arc::downgrade(&self.shared) as Weak<dyn CancelObserver>);
         let mut q = self.shared.queue.lock().unwrap();
         loop {
             if q.shutdown {
@@ -483,23 +921,51 @@ impl Service {
                 );
                 return Err(JobError::ShuttingDown);
             }
+            // Per-tenant quota: rejected even on the blocking path —
+            // the tenant is over *its own* cap, so waiting for global
+            // space would not help and would stall the caller forever
+            // if its own jobs are the ones gated behind it.
+            if let Some(quota) = self.shared.tenant_quota {
+                if q.tenant_load(job.tenant) >= quota {
+                    drop(q);
+                    return Err(self.reject(
+                        trace,
+                        lane,
+                        "quota_exceeded",
+                        JobError::QuotaExceeded,
+                    ));
+                }
+            }
+            // Deadline-aware admission: when this lane's observed queue
+            // delay already exceeds the job's remaining deadline, the
+            // job would almost surely expire in the queue — reject now
+            // so the tenant can retry elsewhere instead of burning a
+            // bounded slot on a doomed job.
+            if let Some(deadline) = job.state.token.deadline() {
+                let remaining = deadline
+                    .saturating_duration_since(Instant::now())
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64;
+                if self.shared.queue_delay_estimate_ns(lane) > remaining {
+                    drop(q);
+                    return Err(self.reject(
+                        trace,
+                        lane,
+                        "deadline_unmeetable",
+                        JobError::DeadlineUnmeetable,
+                    ));
+                }
+            }
             if q.len < self.shared.capacity {
                 break;
             }
             if !block {
-                self.shared.gauges.on_reject(lane);
                 drop(q);
-                self.shared.telemetry.journal().record_now(
-                    trace,
-                    JobEventKind::Finished,
-                    Some(lane as u8),
-                    None,
-                    Some("backpressure".to_owned()),
-                );
-                return Err(JobError::Backpressure);
+                return Err(self.reject(trace, lane, "backpressure", JobError::Backpressure));
             }
             q = self.shared.space.wait(q).unwrap();
         }
+        q.charge_tenant(job.tenant);
         q.lanes[lane].push_back(job);
         q.len += 1;
         self.shared.gauges.on_submit(lane);
@@ -547,6 +1013,7 @@ pub struct JobBuilder<'s> {
     deadline: Option<Duration>,
     priority: Priority,
     preferred_p: Option<usize>,
+    tenant: u64,
 }
 
 impl std::fmt::Debug for JobBuilder<'_> {
@@ -588,6 +1055,13 @@ impl JobBuilder<'_> {
     /// idle width serves the job.
     pub fn processors(mut self, p: usize) -> Self {
         self.preferred_p = Some(p);
+        self
+    }
+
+    /// Names the tenant whose queued-job quota this submission is
+    /// charged against (default 0, the shared anonymous tenant).
+    pub fn tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -637,8 +1111,9 @@ impl JobBuilder<'_> {
             // Ad-hoc graphs have no catalog identity, so their results
             // cannot be cached or shared.
             cache_slot: None,
+            tenant: self.tenant,
         };
-        self.service.enqueue(job, self.priority, block)?;
+        self.service.enqueue(job, block)?;
         Ok(JobHandle::new(state))
     }
 }
@@ -663,6 +1138,11 @@ fn dispatcher(shared: &Shared) {
             }
         };
         shared.gauges.on_dequeue(job.lane);
+        let queue_ns = elapsed_ns(job.submitted_at);
+        // Every dequeue feeds the lane's queue-delay estimator — the
+        // drained and cancelled paths included, since they waited just
+        // as long as a job that goes on to run.
+        shared.note_queue_delay(job.lane, queue_ns);
         shared.telemetry.journal().record_now(
             job.trace,
             st_obs::JobEventKind::Dequeued,
@@ -672,22 +1152,33 @@ fn dispatcher(shared: &Shared) {
         );
         shared.space.notify_one();
         if draining {
-            let queue_ns = elapsed_ns(job.submitted_at);
-            shared
-                .gauges
-                .on_finish(JobOutcomeKind::Cancelled, queue_ns, 0);
+            // Classify from the token, exactly as the executed path
+            // would: a job whose deadline expired while it sat in the
+            // queue reports `DeadlineExceeded`, not a bogus
+            // shutdown-cancellation — shutdown is merely when the
+            // queue got around to noticing.
+            let err = if job.state.token.is_cancelled() {
+                JobError::from_token(&job.state.token)
+            } else {
+                JobError::ShuttingDown
+            };
+            let outcome = match err {
+                JobError::ShuttingDown => "shutting_down",
+                ref e => outcome_name(e.outcome_kind()),
+            };
+            shared.gauges.on_finish(err.outcome_kind(), queue_ns, 0);
             shared.telemetry.on_finished(
                 job.trace,
                 job.lane as u8,
                 None,
-                "shutting_down",
+                outcome,
                 queue_ns,
                 0,
                 false,
                 job.algo_label,
                 None,
             );
-            job.state.finish(Err(JobError::ShuttingDown));
+            job.state.finish(Err(err));
             continue;
         }
         run_job(shared, job, &mut ws);
@@ -726,7 +1217,7 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
         preferred_width(
             job.graph.num_vertices(),
             job.graph.num_edges(),
-            shared.pool.team_sizes(),
+            &shared.pool.team_sizes(),
         )
     });
     let lease = shared.pool.lease(preferred);
@@ -746,6 +1237,10 @@ fn run_job(shared: &Shared, job: QueuedJob, ws: &mut Workspace) {
     }));
     drop(lease);
     shared.gauges.on_team_idle();
+    // The lease just came back: if the elastic controller posted a
+    // width change for this team, this is the guaranteed-idle window
+    // to land it, even when the pool as a whole is saturated.
+    shared.apply_pending_resize(team as usize);
     let exec_ns = elapsed_ns(started);
 
     match run {

@@ -126,6 +126,10 @@ pub struct JobSpec {
     /// `None` lets the service mint one at submission. Not part of the
     /// job's identity — the result cache ignores it.
     pub trace: Option<u64>,
+    /// Tenant id the per-tenant queued-job quota is charged against
+    /// (0, the default, is the shared anonymous tenant). Not part of
+    /// the job's identity — the result cache ignores it.
+    pub tenant: u64,
 }
 
 impl JobSpec {
@@ -140,6 +144,7 @@ impl JobSpec {
             deadline: None,
             processors: None,
             trace: None,
+            tenant: 0,
         }
     }
 
@@ -179,6 +184,13 @@ impl JobSpec {
         self.trace = Some(trace);
         self
     }
+
+    /// Names the tenant whose queued-job quota this submission is
+    /// charged against (0 = the shared anonymous tenant).
+    pub fn tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -207,13 +219,15 @@ mod tests {
             .seed(42)
             .priority(Priority::High)
             .deadline(Duration::from_secs(1))
-            .processors(4);
+            .processors(4)
+            .tenant(17);
         assert_eq!(spec.graph, GraphId(3));
         assert_eq!(spec.algorithm, AlgorithmId::Sv);
         assert_eq!(spec.seed, 42);
         assert_eq!(spec.priority, Priority::High);
         assert_eq!(spec.deadline, Some(Duration::from_secs(1)));
         assert_eq!(spec.processors, Some(4));
+        assert_eq!(spec.tenant, 17);
     }
 
     #[test]
@@ -225,6 +239,7 @@ mod tests {
         assert_eq!(spec.deadline, None);
         assert_eq!(spec.processors, None);
         assert_eq!(spec.trace, None);
+        assert_eq!(spec.tenant, 0, "anonymous tenant by default");
         assert_eq!(spec.trace(9).trace, Some(9));
     }
 

@@ -14,6 +14,14 @@
 //! then the widest narrower one), so an adaptive sizing oracle can ask
 //! for "about p processors" and the pool does the best it currently
 //! can without holding the job hostage to a busy perfect-fit team.
+//!
+//! The pool is also *elastic*: [`ExecutorPool::try_resize_team`]
+//! replaces an **idle** team's executor with one of a different width,
+//! so a controller can widen teams under sustained backlog and narrow
+//! teams that sit idle. A leased team can never be resized — the lease
+//! owns the executor, and the resize protocol only ever touches teams
+//! currently parked in the idle set (checked and removed under the pool
+//! lock, so a resize and a lease can never both claim one team).
 
 use std::ops::Deref;
 
@@ -26,6 +34,11 @@ struct PoolState {
     /// created from — observability needs a name that survives the
     /// team's travels through leases).
     idle: Vec<(usize, Executor)>,
+    /// Current team widths, indexed by team id. Mutable because
+    /// [`ExecutorPool::try_resize_team`] rebuilds teams at new widths;
+    /// an entry may briefly disagree with a mid-resize team, which is
+    /// fine because such a team is not in `idle` and cannot be leased.
+    sizes: Vec<usize>,
 }
 
 /// A fixed set of persistent teams, checked out one lease at a time.
@@ -46,15 +59,15 @@ pub struct ExecutorPool {
     state: Mutex<PoolState>,
     /// Signals lease waiters that a team was returned.
     returned: Condvar,
-    /// Team widths at construction, sorted descending (stable metadata;
-    /// the live teams move between `idle` and leases).
-    sizes: Vec<usize>,
+    /// Number of teams — fixed for the pool's lifetime (elastic resizes
+    /// change widths, never the team count).
+    num_teams: usize,
 }
 
 impl std::fmt::Debug for ExecutorPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecutorPool")
-            .field("sizes", &self.sizes)
+            .field("sizes", &self.team_sizes())
             .field("idle", &self.idle_teams())
             .finish()
     }
@@ -76,26 +89,29 @@ impl ExecutorPool {
             .enumerate()
             .map(|(id, &p)| (id, Executor::new(p)))
             .collect();
+        let num_teams = sizes.len();
         Self {
-            state: Mutex::new(PoolState { idle }),
+            state: Mutex::new(PoolState { idle, sizes }),
             returned: Condvar::new(),
-            sizes,
+            num_teams,
         }
     }
 
     /// Number of teams owned by the pool (leased or idle).
     pub fn num_teams(&self) -> usize {
-        self.sizes.len()
+        self.num_teams
     }
 
-    /// The team widths the pool was built with, widest first.
-    pub fn team_sizes(&self) -> &[usize] {
-        &self.sizes
+    /// The current team widths, indexed by team id (snapshot; elastic
+    /// resizes may change widths between calls).
+    pub fn team_sizes(&self) -> Vec<usize> {
+        self.state.lock().sizes.clone()
     }
 
-    /// Total processors across all teams.
+    /// Total processors across all teams (snapshot, like
+    /// [`team_sizes`](Self::team_sizes)).
     pub fn total_processors(&self) -> usize {
-        self.sizes.iter().sum()
+        self.state.lock().sizes.iter().sum()
     }
 
     /// Teams currently idle (snapshot; immediately stale under
@@ -139,6 +155,44 @@ impl ExecutorPool {
         s.idle.push((team_id, exec));
         drop(s);
         self.returned.notify_all();
+    }
+
+    /// Replaces team `team_id`'s executor with a fresh one of width
+    /// `new_p`, provided the team is currently idle.
+    ///
+    /// Returns `false` without side effects when the team is leased,
+    /// unknown, mid-resize, or already `new_p` wide. The idle entry is
+    /// claimed under the pool lock (so a concurrent lease can never
+    /// grab the same team), but the old executor's worker threads are
+    /// joined and the new ones spawned *outside* the lock — lessees of
+    /// other teams are not stalled by a resize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_p` is zero.
+    pub fn try_resize_team(&self, team_id: usize, new_p: usize) -> bool {
+        assert!(new_p >= 1, "a team needs at least one processor");
+        let old = {
+            let mut s = self.state.lock();
+            if s.sizes.get(team_id).copied() == Some(new_p) {
+                return false;
+            }
+            let Some(i) = s.idle.iter().position(|(id, _)| *id == team_id) else {
+                return false;
+            };
+            s.idle.swap_remove(i).1
+        };
+        // Joining the old workers and spawning the new team happens
+        // unlocked; the team id is simply absent from `idle` meanwhile,
+        // exactly as if it were leased.
+        drop(old);
+        let exec = Executor::new(new_p);
+        let mut s = self.state.lock();
+        s.sizes[team_id] = new_p;
+        s.idle.push((team_id, exec));
+        drop(s);
+        self.returned.notify_all();
+        true
     }
 }
 
@@ -299,6 +353,64 @@ mod tests {
         let d = pool.lease(2);
         assert_eq!((d.team_id(), d.size()), (1, 2));
         assert_eq!(pool.team_sizes()[d.team_id()], d.size());
+    }
+
+    #[test]
+    fn resize_changes_width_of_idle_team() {
+        let pool = ExecutorPool::new([2, 1]);
+        // Team 0 is the 2-wide one; grow it to 4 and run on it.
+        assert!(pool.try_resize_team(0, 4));
+        assert_eq!(pool.team_sizes(), vec![4, 1]);
+        assert_eq!(pool.total_processors(), 5);
+        let l = pool.lease(4);
+        assert_eq!((l.team_id(), l.size()), (0, 4));
+        assert_eq!(l.run(|ctx| ctx.rank()), vec![0, 1, 2, 3]);
+        drop(l);
+        // Shrink it back below its construction width.
+        assert!(pool.try_resize_team(0, 1));
+        assert_eq!(pool.team_sizes(), vec![1, 1]);
+        let l = pool.lease(4);
+        assert_eq!(l.size(), 1, "widest available after the shrink");
+    }
+
+    #[test]
+    fn resize_refuses_leased_unknown_and_noop() {
+        let pool = ExecutorPool::new([2]);
+        assert!(!pool.try_resize_team(0, 2), "same width is a no-op");
+        assert!(!pool.try_resize_team(7, 4), "unknown team id");
+        let lease = pool.lease(2);
+        assert!(!pool.try_resize_team(0, 4), "a leased team cannot resize");
+        assert_eq!(pool.team_sizes(), vec![2], "refusal leaves widths alone");
+        drop(lease);
+        assert!(pool.try_resize_team(0, 4));
+        assert_eq!(pool.team_sizes(), vec![4]);
+        let l = pool.lease(4);
+        assert_eq!(l.run(|ctx| ctx.rank()).len(), 4);
+    }
+
+    #[test]
+    fn resize_races_leases_without_losing_teams() {
+        let pool = ExecutorPool::new([2, 1]);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for p in [4, 2, 3, 1, 2] {
+                    pool.try_resize_team(0, p);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..20 {
+                    let lease = pool.lease(2);
+                    lease.run(|_| {});
+                }
+            });
+        });
+        // Both teams are back and the width metadata matches reality.
+        assert_eq!(pool.idle_teams(), 2);
+        let sizes = pool.team_sizes();
+        let a = pool.lease(sizes[0]);
+        let b = pool.lease(sizes[1]);
+        assert_eq!(sizes[a.team_id()], a.size());
+        assert_eq!(sizes[b.team_id()], b.size());
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //!   timeout/notify races, starvation threshold, and sleeps==wakes
 //!   pairing,
 //! * [`executor`] — the persistent team's job-epoch publish/consume
-//!   handshake, panic lifecycle, and detector reuse between jobs.
+//!   handshake, panic lifecycle, and detector reuse between jobs,
+//! * [`pool`] — the executor pool's lease/resize handshake (elastic
+//!   width changes may only claim idle teams; teams are conserved).
 
 #![cfg(feature = "loom")]
 
@@ -37,4 +39,5 @@ mod bottom_up;
 mod detector;
 mod executor;
 mod locks;
+mod pool;
 mod queue;

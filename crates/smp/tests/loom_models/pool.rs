@@ -1,0 +1,75 @@
+//! Loom models for the executor pool's lease/resize handshake.
+//!
+//! The elastic resize protocol claims an idle team under the pool lock,
+//! rebuilds the executor unlocked, then publishes the new width and the
+//! new executor back atomically. The properties the models check:
+//!
+//! * a resize and a lease can never both own the same team — whoever
+//!   claims the idle entry first wins, the other observes "not idle";
+//! * teams are conserved: any interleaving of lease / return / resize
+//!   ends with the team back in the idle set exactly once;
+//! * width metadata is consistent: whenever a lease holds a team, the
+//!   pool's `team_sizes()` entry for that id equals the leased width.
+
+use st_smp::sync::{model, thread, Arc};
+use st_smp::ExecutorPool;
+
+#[test]
+fn lease_and_resize_race_exactly_one_claims_the_team() {
+    model(|| {
+        let pool = Arc::new(ExecutorPool::new([1]));
+        let p2 = Arc::clone(&pool);
+        let lessee = thread::spawn(move || {
+            match p2.try_lease(1) {
+                Some(lease) => {
+                    // While held, the metadata must describe this team:
+                    // a resize either ran fully before the lease or was
+                    // refused — it can never retune a held team.
+                    assert_eq!(
+                        p2.team_sizes()[lease.team_id()],
+                        lease.size(),
+                        "width metadata must match the leased team"
+                    );
+                    drop(lease);
+                }
+                None => {
+                    // The resizer owns the team right now; nothing to
+                    // assert beyond not deadlocking.
+                }
+            }
+        });
+        let resized = pool.try_resize_team(0, 2);
+        lessee.join().unwrap();
+
+        // Quiescent again: the team is idle exactly once and the
+        // metadata matches whatever executor actually sits there.
+        assert_eq!(pool.idle_teams(), 1, "the team must be conserved");
+        let sizes = pool.team_sizes();
+        let lease = pool.try_lease(sizes[0]).expect("team is idle");
+        assert_eq!(lease.size(), sizes[0]);
+        if resized {
+            assert_eq!(lease.size(), 2, "a successful resize must stick");
+        }
+        drop(lease);
+    });
+}
+
+#[test]
+fn resize_races_the_give_back_without_losing_the_team() {
+    model(|| {
+        let pool = Arc::new(ExecutorPool::new([1]));
+        let lease = pool.try_lease(1).expect("fresh pool");
+        let p2 = Arc::clone(&pool);
+        let resizer = thread::spawn(move || p2.try_resize_team(0, 2));
+        drop(lease); // the return races the resize attempt
+        let resized = resizer.join().unwrap();
+
+        assert_eq!(pool.idle_teams(), 1, "never zero, never duplicated");
+        let sizes = pool.team_sizes();
+        let expected = if resized { 2 } else { 1 };
+        assert_eq!(sizes, vec![expected]);
+        let lease = pool.try_lease(expected).expect("team is idle");
+        assert_eq!(lease.size(), expected);
+        drop(lease);
+    });
+}

@@ -319,6 +319,82 @@ fn remote_backpressure_when_the_queue_fills() {
 }
 
 #[test]
+fn remote_tenant_quota_is_a_typed_error() {
+    // Quota of one queued job per tenant.
+    let svc = Arc::new(
+        Service::builder()
+            .teams(vec![1])
+            .queue_capacity(8)
+            .result_cache_capacity(8)
+            .tenant_quota(1)
+            .build(),
+    );
+    let server = Server::start(Arc::clone(&svc), ServerConfig::default()).expect("bind loopback");
+    let g = gen::random_gnm(100_000, 200_000, 6);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let remote = c.register(&g).unwrap();
+
+    // Occupy the only team (anonymous tenant), then queue one job for
+    // tenant 7. Tenant 7's second queued job trips the quota; tenant 8
+    // is unaffected.
+    let busy = c.submit(SubmitRequest::new(remote).seed(1)).unwrap();
+    let queued = c
+        .submit(SubmitRequest::new(remote).seed(2).tenant(7))
+        .unwrap();
+    let err = c
+        .submit(SubmitRequest::new(remote).seed(3).tenant(7))
+        .unwrap_err();
+    assert_eq!(err.status(), Some(Status::QuotaExceeded), "{err}");
+    assert!(matches!(err, WireError::Remote { .. }), "{err}");
+    let other = c
+        .submit(SubmitRequest::new(remote).seed(4).tenant(8))
+        .unwrap();
+
+    for ticket in [busy.ticket, queued.ticket, other.ticket] {
+        c.wait(ticket).unwrap();
+    }
+    assert_eq!(svc.snapshot().rejected_quota, 1);
+    server.shutdown();
+}
+
+#[test]
+fn remote_unmeetable_deadline_is_a_typed_error() {
+    let (server, svc) = serve(&[1], 8);
+    let g = gen::random_gnm(100_000, 200_000, 7);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let remote = c.register(&g).unwrap();
+
+    // Occupy the only team, then queue a second job: its dequeue feeds
+    // the lane's queue-delay estimator with the first job's runtime.
+    let busy = c.submit(SubmitRequest::new(remote).seed(1)).unwrap();
+    let warm = c.submit(SubmitRequest::new(remote).seed(2)).unwrap();
+    c.wait(busy.ticket).unwrap();
+    c.wait(warm.ticket).unwrap();
+
+    // A deadline far below the observed queue delay is rejected on
+    // arrival with a diagnosis, not accepted and then deadline-tripped.
+    let err = c
+        .submit(
+            SubmitRequest::new(remote)
+                .seed(3)
+                .deadline(Duration::from_micros(1)),
+        )
+        .unwrap_err();
+    assert_eq!(err.status(), Some(Status::DeadlineUnmeetable), "{err}");
+    // A generous deadline sails through the same estimator.
+    let ok = c
+        .submit(
+            SubmitRequest::new(remote)
+                .seed(4)
+                .deadline(Duration::from_secs(60)),
+        )
+        .unwrap();
+    c.wait(ok.ticket).unwrap();
+    assert_eq!(svc.snapshot().rejected_deadline_unmeetable, 1);
+    server.shutdown();
+}
+
+#[test]
 fn remote_cancel_resolves_the_job() {
     let (server, _svc) = serve(&[1], 8);
     let g = gen::random_gnm(100_000, 200_000, 4);

@@ -367,3 +367,288 @@ fn blocking_submit_waits_for_space_instead_of_failing() {
     assert_eq!(snap.rejected, 0, "blocking submits are never rejected");
     assert_eq!(snap.completed, 3);
 }
+
+/// Sleeps a few milliseconds before spanning, so a stream of these
+/// keeps the admission queue backed up long enough for the elastic
+/// controller to observe sustained backlog.
+struct Slow {
+    ms: u64,
+    inner: BaderCong,
+}
+
+impl SpanningAlgorithm for Slow {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+
+    fn run(&self, g: &CsrGraph, exec: &Executor, ws: &mut Workspace) -> SpanningForest {
+        std::thread::sleep(Duration::from_millis(self.ms));
+        self.inner.run(g, exec, ws)
+    }
+}
+
+#[test]
+fn cancelled_queued_job_releases_its_lane_slot_eagerly() {
+    let svc = Service::builder().teams([1]).queue_capacity(1).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    // The queue's only slot is taken; admission is full.
+    let parked = svc.job(&g).submit().expect("one slot free");
+    assert!(matches!(
+        svc.job(&g).try_submit(),
+        Err(JobError::Backpressure)
+    ));
+
+    // Cancel while queued: the slot must free *synchronously*, with the
+    // team still gated — regression for the bug where the dead job held
+    // its bounded slot until a dispatcher happened to drain it.
+    parked.cancel();
+    assert!(matches!(parked.wait(), Err(JobError::Cancelled)));
+    let replacement = svc
+        .job(&g)
+        .try_submit()
+        .expect("the cancelled job's slot must free eagerly, not at dequeue");
+
+    release.store(true, Ordering::Release);
+    assert!(gated.wait().is_ok());
+    assert!(replacement.wait().is_ok());
+    let snap = svc.shutdown();
+    assert_eq!(snap.cancelled, 1);
+    assert_eq!(snap.completed, 2);
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(
+        snap.queue_depth, 0,
+        "the swept job must leave the depth gauge"
+    );
+}
+
+#[test]
+fn shutdown_drain_classifies_tripped_deadline_from_the_token() {
+    let svc = Service::builder().teams([1]).queue_capacity(4).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("queue empty");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    let doomed = svc
+        .job(&g)
+        .deadline(Duration::from_millis(10))
+        .submit()
+        .expect("queue has room");
+    // The deadline trips while the job is queued and the team is held.
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Shut down while the dead job is still queued: the drain must
+    // diagnose the tripped deadline, not report a generic shutdown
+    // cancellation — regression for the drain path hardcoding
+    // `Cancelled`/"shutting_down" regardless of the token's reason.
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        release.store(true, Ordering::Release);
+    });
+    let snap = svc.shutdown();
+    releaser.join().unwrap();
+
+    assert!(gated.wait().is_ok());
+    assert!(matches!(doomed.wait(), Err(JobError::DeadlineExceeded)));
+    assert_eq!(snap.deadline_exceeded, 1);
+    assert_eq!(snap.cancelled, 0, "a deadline miss is not a cancellation");
+}
+
+#[test]
+fn tenant_quota_caps_queued_jobs_and_frees_on_cancel() {
+    let svc = Service::builder()
+        .teams([1])
+        .queue_capacity(8)
+        .tenant_quota(2)
+        .build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc
+        .job(&g)
+        .algorithm(gate)
+        .tenant(7)
+        .submit()
+        .expect("open");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    // The gated job is *running*, so tenant 7's queued-job count is 0.
+    let a = svc.job(&g).tenant(7).submit().expect("within quota");
+    let b = svc.job(&g).tenant(7).submit().expect("within quota");
+    // Over quota: rejected without blocking, even on the blocking path —
+    // waiting for global space would never clear the tenant's own cap.
+    assert!(matches!(
+        svc.job(&g).tenant(7).submit(),
+        Err(JobError::QuotaExceeded)
+    ));
+    // Another tenant still has the whole queue available.
+    let c = svc.job(&g).tenant(8).submit().expect("different tenant");
+
+    // The eager cancel sweep releases the quota charge too.
+    a.cancel();
+    assert!(matches!(a.wait(), Err(JobError::Cancelled)));
+    let d = svc.job(&g).tenant(7).submit().expect("cancel freed quota");
+
+    release.store(true, Ordering::Release);
+    for h in [gated, b, c, d] {
+        assert!(h.wait().is_ok());
+    }
+    let snap = svc.shutdown();
+    assert_eq!(snap.rejected_quota, 1);
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(snap.cancelled, 1);
+}
+
+#[test]
+fn deadline_shorter_than_estimated_queue_delay_is_rejected() {
+    let svc = Service::builder().teams([1]).queue_capacity(8).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("open");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    // Warm the normal lane's estimator with a genuinely delayed job:
+    // its ~60 ms queue wait feeds the EWMA at dequeue.
+    let delayed = svc.job(&g).submit().expect("open");
+    std::thread::sleep(Duration::from_millis(60));
+    release.store(true, Ordering::Release);
+    assert!(gated.wait().is_ok());
+    assert!(delayed.wait().is_ok());
+
+    // One EWMA step of a 60 ms sample leaves an estimate of at least
+    // ~7 ms, so a 1 ms deadline is rejected at the door...
+    assert!(matches!(
+        svc.job(&g).deadline(Duration::from_millis(1)).submit(),
+        Err(JobError::DeadlineUnmeetable)
+    ));
+    // ...while a roomy deadline is still admitted and runs.
+    let ok = svc
+        .job(&g)
+        .deadline(Duration::from_secs(30))
+        .submit()
+        .expect("the estimator must not reject meetable deadlines");
+    assert!(ok.wait().is_ok());
+
+    let snap = svc.shutdown();
+    assert_eq!(snap.rejected_deadline_unmeetable, 1);
+    assert_eq!(snap.rejected, 1);
+}
+
+#[test]
+fn saturated_high_lane_cannot_starve_the_bulk_lane() {
+    // Default weights [4, 2, 1]: one rotation grants the high lane 4
+    // dispatches and the (empty) normal lane's turn passes to low.
+    let svc = Service::builder().teams([1]).queue_capacity(16).build();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let (gate, started, release) = Gate::new();
+    let gated = svc.job(&g).algorithm(gate).submit().expect("open");
+    wait_until("gate job to occupy the team", || {
+        started.load(Ordering::Acquire)
+    });
+
+    let tag = |tag| Tagged {
+        tag,
+        log: Arc::clone(&log),
+        inner: BaderCong::with_defaults(),
+    };
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        handles.push(
+            svc.job(&g)
+                .algorithm(tag("high"))
+                .priority(Priority::High)
+                .submit()
+                .expect("open"),
+        );
+    }
+    for _ in 0..2 {
+        handles.push(
+            svc.job(&g)
+                .algorithm(tag("low"))
+                .priority(Priority::Low)
+                .submit()
+                .expect("open"),
+        );
+    }
+    release.store(true, Ordering::Release);
+    assert!(gated.wait().is_ok());
+    for h in handles {
+        assert!(h.wait().is_ok());
+    }
+
+    // Strict priority would run all 8 high jobs before any low one;
+    // DRR must interleave a low dispatch after every 4 high credits.
+    let order = log.lock().unwrap().clone();
+    assert_eq!(
+        order,
+        [
+            "high", "high", "high", "high", "low", //
+            "high", "high", "high", "high", "low",
+        ],
+        "bulk-lane jobs must be interleaved at the weight ratio"
+    );
+    let snap = svc.shutdown();
+    assert_eq!(snap.dequeued_high, 8);
+    assert_eq!(snap.dequeued_low, 2);
+}
+
+#[test]
+fn elastic_pool_grows_under_backlog_and_shrinks_when_idle() {
+    // Width trajectory under load: 1 → 2 → 4 → 8 (doubling per grow
+    // decision), then back down 8 → 4 → 2 → 1 across idle windows —
+    // covering p ∈ {1, 4, 8} in both directions.
+    let svc = Service::builder()
+        .teams([1])
+        .queue_capacity(64)
+        .elastic(true)
+        .elastic_backlog(2)
+        .elastic_idle_ms(40)
+        .elastic_max_width(8)
+        .build();
+    assert_eq!(svc.team_sizes(), vec![1]);
+    let g = Arc::new(gen::torus2d(8, 8));
+    let handles: Vec<_> = (0..60)
+        .map(|_| {
+            svc.job(&g)
+                .algorithm(Slow {
+                    ms: 5,
+                    inner: BaderCong::with_defaults(),
+                })
+                .submit()
+                .expect("open")
+        })
+        .collect();
+    wait_until("sustained backlog to grow the team to max width", || {
+        svc.team_sizes()[0] == 8
+    });
+    for h in handles {
+        assert!(h.wait().is_ok());
+    }
+    wait_until("sustained idleness to shrink the team back down", || {
+        svc.team_sizes()[0] == 1
+    });
+    let snap = svc.shutdown();
+    assert!(
+        snap.teams_grown >= 3,
+        "1→8 needs at least three grow steps, saw {}",
+        snap.teams_grown
+    );
+    assert!(
+        snap.teams_shrunk >= 3,
+        "8→1 needs at least three shrink steps, saw {}",
+        snap.teams_shrunk
+    );
+    assert_eq!(snap.completed, 60);
+}

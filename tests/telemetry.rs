@@ -302,3 +302,100 @@ fn journal_capacity_knob_bounds_and_counts_drops() {
     // 4 jobs × 5 lifecycle events = 20 recorded, 16 dropped.
     assert_eq!(journal.dropped(), 16);
 }
+
+/// Occupies its team until `release` flips (see tests/service.rs);
+/// local copy so this suite can hold a queue slot deterministically.
+struct HoldTeam {
+    inner: BaderCong,
+    started: Arc<std::sync::atomic::AtomicBool>,
+    release: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl SpanningAlgorithm for HoldTeam {
+    fn name(&self) -> &'static str {
+        "hold"
+    }
+
+    fn run(
+        &self,
+        g: &CsrGraph,
+        exec: &bader_cong_spanning::smp::Executor,
+        ws: &mut Workspace,
+    ) -> SpanningForest {
+        self.started
+            .store(true, std::sync::atomic::Ordering::Release);
+        while !self.release.load(std::sync::atomic::Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.run(g, exec, ws)
+    }
+}
+
+/// The outcome-classification reconciliation: a job whose deadline
+/// trips while queued must be diagnosed as `deadline_exceeded` by
+/// *every* surface — the handle's error, the journal's finished event,
+/// the gauges, and the Prometheus page — even when the queue entry is
+/// removed by the eager cancel sweep rather than a dispatcher, and
+/// never misreported as a generic cancellation.
+#[test]
+fn swept_deadline_job_reconciles_journal_gauges_and_exposition() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let svc = Service::builder().teams([1]).queue_capacity(4).build();
+    let g = Arc::new(gen::torus2d(16, 16));
+    let started = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let gated = svc
+        .job(&g)
+        .algorithm(HoldTeam {
+            inner: BaderCong::with_defaults(),
+            started: Arc::clone(&started),
+            release: Arc::clone(&release),
+        })
+        .submit()
+        .expect("open");
+    while !started.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let doomed = svc
+        .job(&g)
+        .deadline(Duration::from_millis(10))
+        .submit()
+        .expect("queue has room");
+    let trace = doomed.trace_id();
+    std::thread::sleep(Duration::from_millis(30));
+    // The deadline has tripped; the explicit cancel triggers the eager
+    // sweep, whose classification must come from the token.
+    doomed.cancel();
+    assert!(matches!(doomed.wait(), Err(JobError::DeadlineExceeded)));
+
+    // Journal: the swept job still gets its dequeued + finished chain,
+    // and the finished detail names the real outcome.
+    let events = svc.telemetry().journal().events_for(TraceId(trace));
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+    assert_eq!(kinds, vec!["submitted", "admitted", "dequeued", "finished"]);
+    assert_eq!(
+        events.last().unwrap().detail.as_deref(),
+        Some("deadline_exceeded"),
+        "the journal must agree with the handle's diagnosis"
+    );
+
+    // Gauges and the exposition page agree too.
+    let snap = svc.snapshot();
+    assert_eq!(snap.deadline_exceeded, 1);
+    assert_eq!(snap.cancelled, 0, "not a generic cancellation");
+    assert_eq!(snap.queue_depth, 0, "the sweep released the slot");
+    let page = svc.render_metrics();
+    let samples = lint_exposition(&page).expect("page passes the lint");
+    assert_eq!(
+        samples["st_service_jobs_finished_total{outcome=\"deadline_exceeded\"}"],
+        1.0
+    );
+    assert_eq!(
+        samples["st_service_lane_dequeued_total{lane=\"normal\"}"], 2.0,
+        "the gate job and the swept job both count as lane dequeues"
+    );
+
+    release.store(true, Ordering::Release);
+    assert!(gated.wait().is_ok());
+}
