@@ -43,6 +43,8 @@
 //! | `ST_ELASTIC_IDLE_MS` | integer 1–3600000 | idle time before a team is shrunk |
 //! | `ST_ELASTIC_BACKLOG` | integer ≥ 1 | queue depth that counts as sustained backlog |
 //! | `ST_ELASTIC_MAX_WIDTH` | integer 1–512 | widest a team may grow |
+//! | `ST_DELTA_REBUILD_FRACTION` | finite float 0–1 | patched-row fraction past which a COW delta is flattened to a fresh CSR |
+//! | `ST_DYN_RECOMPUTE_FRACTION` | finite float ≥ 0 | touched-component fraction past which a batch triggers full recompute instead of incremental maintenance |
 
 use std::fmt;
 
@@ -132,6 +134,13 @@ pub struct RuntimeConfig {
     /// `ST_ELASTIC_MAX_WIDTH`: the widest the controller may grow any
     /// team.
     pub elastic_max_width: Option<usize>,
+    /// `ST_DELTA_REBUILD_FRACTION`: patched-row fraction past which the
+    /// catalog flattens a COW delta into a fresh CSR.
+    pub delta_rebuild_fraction: Option<f64>,
+    /// `ST_DYN_RECOMPUTE_FRACTION`: touched-component fraction past
+    /// which a batch falls back to full recompute (0 forces recompute
+    /// on every batch; > 1 never recomputes).
+    pub dyn_recompute_fraction: Option<f64>,
 }
 
 impl RuntimeConfig {
@@ -161,6 +170,8 @@ impl RuntimeConfig {
             elastic_idle_ms: read("ST_ELASTIC_IDLE_MS", parse_bounded_ms)?,
             elastic_backlog: read("ST_ELASTIC_BACKLOG", parse_positive)?,
             elastic_max_width: read("ST_ELASTIC_MAX_WIDTH", parse_team_width)?,
+            delta_rebuild_fraction: read("ST_DELTA_REBUILD_FRACTION", parse_unit_fraction)?,
+            dyn_recompute_fraction: read("ST_DYN_RECOMPUTE_FRACTION", parse_fraction)?,
         })
     }
 
@@ -331,6 +342,27 @@ fn parse_team_width(s: &str) -> Result<usize, &'static str> {
     const REASON: &str = "an integer between 1 and 512 (processors per team)";
     match s.parse::<usize>() {
         Ok(v) if (1..=512).contains(&v) => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_unit_fraction(s: &str) -> Result<f64, &'static str> {
+    // The patched-row fraction is a proportion; anything past 1 can
+    // never trigger, which silently disables flattening.
+    const REASON: &str = "a finite float between 0 and 1";
+    match s.parse::<f64>() {
+        Ok(v) if v.is_finite() && (0.0..=1.0).contains(&v) => Ok(v),
+        _ => Err(REASON),
+    }
+}
+
+fn parse_fraction(s: &str) -> Result<f64, &'static str> {
+    // Unlike the rebuild knob, values above 1 are deliberate here: a
+    // touched-fraction threshold > 1 means "never recompute", which the
+    // bench uses to isolate the incremental path.
+    const REASON: &str = "a finite float ≥ 0";
+    match s.parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= 0.0 => Ok(v),
         _ => Err(REASON),
     }
 }
@@ -511,6 +543,22 @@ mod tests {
         assert!(parse_team_width("0").is_err());
         assert!(parse_team_width("513").is_err());
         assert!(parse_team_width("wide").is_err());
+    }
+
+    #[test]
+    fn dynamic_fractions_are_validated() {
+        assert_eq!(parse_unit_fraction("0"), Ok(0.0));
+        assert_eq!(parse_unit_fraction("0.25"), Ok(0.25));
+        assert_eq!(parse_unit_fraction("1"), Ok(1.0));
+        assert!(parse_unit_fraction("1.5").is_err(), "can never trigger");
+        assert!(parse_unit_fraction("-0.1").is_err());
+        assert!(parse_unit_fraction("inf").is_err());
+        assert_eq!(parse_fraction("0"), Ok(0.0), "0 forces recompute");
+        assert_eq!(parse_fraction("0.1"), Ok(0.1));
+        assert_eq!(parse_fraction("2"), Ok(2.0), "> 1 never recomputes");
+        assert!(parse_fraction("-1").is_err());
+        assert!(parse_fraction("NaN").is_err());
+        assert!(parse_fraction("half").is_err());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod bader_cong;
 pub mod biconnected;
 pub mod config;
 pub mod connected;
+pub mod dyn_forest;
 pub mod ears;
 pub mod engine;
 pub mod hcs;
@@ -70,6 +71,7 @@ pub mod tree;
 
 pub use bader_cong::{BaderCong, Config};
 pub use config::{ConfigError, RuntimeConfig};
+pub use dyn_forest::{DynForest, UpdateStats};
 pub use engine::{Cancelled, Engine, EngineJob, SpanningAlgorithm, Workspace};
 pub use result::{AlgoStats, SpanningForest};
 pub use traversal::{Direction, TraversalConfig};

@@ -1,0 +1,519 @@
+//! Batch edge mutations and copy-on-write CSR overlays.
+//!
+//! A flat CSR cannot be edited in place — inserting one edge shifts
+//! every offset after it — so mutation happens at two granularities:
+//!
+//! * an [`EdgeBatch`] names the insertions and deletions of one atomic
+//!   update, validated against the graph's vertex range;
+//! * a [`CsrDelta`] is a *persistent* overlay on an immutable base
+//!   [`CsrGraph`]: untouched vertices read their neighbor row straight
+//!   from the base, touched vertices own a private copy-on-write row.
+//!   Applying a batch produces a **new** delta sharing every untouched
+//!   row with its predecessor, so readers of older versions are never
+//!   invalidated — the versioned-catalog property the service builds
+//!   on.
+//!
+//! Overlay reads cost one hash probe before the row access, so a delta
+//! whose patch set has grown past a threshold fraction of the vertices
+//! should be flattened back to a plain CSR ([`CsrDelta::materialize`],
+//! gated by [`CsrDelta::patched_fraction`]); the catalog does this
+//! automatically.
+//!
+//! The [`Neighbors`] trait abstracts over both representations so graph
+//! consumers that only need adjacency (the incremental forest
+//! maintainer's replacement-edge search, validation walks) run on
+//! either without materializing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::repr::{CsrGraph, VertexId};
+
+/// Read-only adjacency, implemented by both the flat [`CsrGraph`] and
+/// the copy-on-write [`CsrDelta`].
+pub trait Neighbors {
+    /// Number of vertices n.
+    fn num_vertices(&self) -> usize;
+    /// Number of undirected edges m.
+    fn num_edges(&self) -> usize;
+    /// The neighbor row of `v`.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+    /// Degree of `v`.
+    fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
+impl Neighbors for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrGraph::neighbors(self, v)
+    }
+}
+
+/// A rejected batch: the offending edge and why it cannot apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// An endpoint is ≥ the graph's vertex count (batches mutate edges,
+    /// never grow the vertex set).
+    VertexOutOfRange(VertexId, VertexId),
+    /// Self-loops carry no connectivity and are rejected outright.
+    SelfLoop(VertexId),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::VertexOutOfRange(u, v) => {
+                write!(f, "edge ({u}, {v}) names a vertex outside the graph")
+            }
+            BatchError::SelfLoop(u) => write!(f, "self-loop ({u}, {u}) rejected"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// One atomic set of edge insertions and deletions.
+///
+/// Semantics are idempotent and order-defined: **deletions apply
+/// first**, then insertions (an edge in both lists ends up present).
+/// Inserting an edge that already exists and deleting one that does
+/// not are no-ops, reported through
+/// [`BatchOutcome::edges_added`] / [`edges_removed`](BatchOutcome::edges_removed)
+/// so callers can see what actually changed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeBatch {
+    /// Undirected edges to insert.
+    pub inserts: Vec<(VertexId, VertexId)>,
+    /// Undirected edges to delete.
+    pub deletes: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an insertion.
+    pub fn insert(mut self, u: VertexId, v: VertexId) -> Self {
+        self.inserts.push((u, v));
+        self
+    }
+
+    /// Adds a deletion.
+    pub fn delete(mut self, u: VertexId, v: VertexId) -> Self {
+        self.deletes.push((u, v));
+        self
+    }
+
+    /// Total operations named by the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// True when the batch names no operations.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Checks every edge against an `n`-vertex graph.
+    pub fn validate(&self, n: usize) -> Result<(), BatchError> {
+        for &(u, v) in self.inserts.iter().chain(self.deletes.iter()) {
+            if u == v {
+                return Err(BatchError::SelfLoop(u));
+            }
+            if u as usize >= n || v as usize >= n {
+                return Err(BatchError::VertexOutOfRange(u, v));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What applying a batch actually changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Insertions that were not already present.
+    pub edges_added: usize,
+    /// Deletions that named a live edge.
+    pub edges_removed: usize,
+}
+
+/// A persistent copy-on-write overlay over an immutable base CSR.
+///
+/// Cloning is cheap (`Arc` per patched row); [`apply`](Self::apply)
+/// returns a new delta and leaves `self` untouched, so every graph
+/// version stays readable for as long as something holds it.
+#[derive(Clone, Debug)]
+pub struct CsrDelta {
+    base: Arc<CsrGraph>,
+    /// Replacement neighbor rows, sorted ascending (base rows are in
+    /// construction order; a row is sorted when first copied out so
+    /// later edits binary-search instead of scanning).
+    rows: HashMap<VertexId, Arc<Vec<VertexId>>>,
+    num_edges: usize,
+}
+
+impl CsrDelta {
+    /// An overlay with no patches: every read falls through to `base`.
+    pub fn from_base(base: Arc<CsrGraph>) -> Self {
+        let num_edges = base.num_edges();
+        Self {
+            base,
+            rows: HashMap::new(),
+            num_edges,
+        }
+    }
+
+    /// The immutable base graph this overlay patches.
+    pub fn base(&self) -> &Arc<CsrGraph> {
+        &self.base
+    }
+
+    /// Number of vertices (fixed by the base — batches never grow it).
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Current number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Vertices whose rows are patched.
+    pub fn patched_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Patched fraction of the vertex set — the catalog's rebuild
+    /// trigger: once a delta covers this much of the graph, overlay
+    /// reads stop paying for themselves.
+    pub fn patched_fraction(&self) -> f64 {
+        if self.base.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.rows.len() as f64 / self.base.num_vertices() as f64
+    }
+
+    /// The neighbor row of `v` (patched row if present, else base).
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        match self.rows.get(&v) {
+            Some(row) => row,
+            None => self.base.neighbors(v),
+        }
+    }
+
+    /// True when the undirected edge (u, v) is present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        match self.rows.get(&u) {
+            Some(row) => row.binary_search(&v).is_ok(),
+            None => self.base.neighbors(u).contains(&v),
+        }
+    }
+
+    /// Applies `batch` (deletes first, then inserts), returning the
+    /// successor delta and what actually changed. `self` is untouched;
+    /// rows not named by the batch are shared between the versions.
+    pub fn apply(&self, batch: &EdgeBatch) -> Result<(CsrDelta, BatchOutcome), BatchError> {
+        batch.validate(self.num_vertices())?;
+        let mut next = self.clone();
+        let mut outcome = BatchOutcome::default();
+        for &(u, v) in &batch.deletes {
+            if next.remove_one(u, v) {
+                let existed = next.remove_one(v, u);
+                debug_assert!(existed, "undirected rows out of sync");
+                next.num_edges -= 1;
+                outcome.edges_removed += 1;
+            }
+        }
+        for &(u, v) in &batch.inserts {
+            if next.insert_one(u, v) {
+                let fresh = next.insert_one(v, u);
+                debug_assert!(fresh, "undirected rows out of sync");
+                next.num_edges += 1;
+                outcome.edges_added += 1;
+            }
+        }
+        Ok((next, outcome))
+    }
+
+    /// Copies `v`'s row out of the base (sorted) on first touch and
+    /// returns it mutably; `Arc::make_mut` keeps rows still shared with
+    /// predecessor versions intact.
+    fn row_mut(&mut self, v: VertexId) -> &mut Vec<VertexId> {
+        let base = &self.base;
+        let row = self.rows.entry(v).or_insert_with(|| {
+            let mut copy = base.neighbors(v).to_vec();
+            copy.sort_unstable();
+            Arc::new(copy)
+        });
+        Arc::make_mut(row)
+    }
+
+    /// Removes one occurrence of `target` from `v`'s row; false when
+    /// absent (the row is then left unpatched).
+    fn remove_one(&mut self, v: VertexId, target: VertexId) -> bool {
+        let present = match self.rows.get(&v) {
+            Some(row) => row.binary_search(&target).is_ok(),
+            None => self.base.neighbors(v).contains(&target),
+        };
+        if !present {
+            return false;
+        }
+        let row = self.row_mut(v);
+        let at = row.binary_search(&target).expect("presence checked above");
+        row.remove(at);
+        true
+    }
+
+    /// Inserts `target` into `v`'s sorted row; false when already
+    /// present (the row is then left unpatched).
+    fn insert_one(&mut self, v: VertexId, target: VertexId) -> bool {
+        let present = match self.rows.get(&v) {
+            Some(row) => row.binary_search(&target).is_ok(),
+            None => self.base.neighbors(v).contains(&target),
+        };
+        if present {
+            return false;
+        }
+        let row = self.row_mut(v);
+        let at = row.binary_search(&target).expect_err("absence checked above");
+        row.insert(at, target);
+        true
+    }
+
+    /// Flattens the overlay into a plain CSR (one merge pass over the
+    /// rows). The result is a fresh, offset-contiguous graph suitable
+    /// as the base of future deltas.
+    pub fn materialize(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for v in 0..n {
+            total += self.neighbors(v as VertexId).len();
+            offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total);
+        for v in 0..n {
+            targets.extend_from_slice(self.neighbors(v as VertexId));
+        }
+        CsrGraph::from_raw_parts(offsets, targets)
+    }
+}
+
+impl Neighbors for CsrDelta {
+    fn num_vertices(&self) -> usize {
+        CsrDelta::num_vertices(self)
+    }
+    fn num_edges(&self) -> usize {
+        CsrDelta::num_edges(self)
+    }
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrDelta::neighbors(self, v)
+    }
+}
+
+/// A graph version as the catalog stores it: either a flat CSR or a
+/// copy-on-write overlay. Cloning clones `Arc`s, never graph data.
+#[derive(Clone, Debug)]
+pub enum GraphView {
+    /// A plain contiguous CSR (registered graphs, rebuilt versions).
+    Flat(Arc<CsrGraph>),
+    /// A copy-on-write overlay produced by a batch update.
+    Delta(Arc<CsrDelta>),
+}
+
+impl GraphView {
+    /// Applies a batch, producing the successor view (always a delta;
+    /// the caller decides when to flatten via
+    /// [`patched_fraction`](Self::patched_fraction)).
+    pub fn apply(&self, batch: &EdgeBatch) -> Result<(GraphView, BatchOutcome), BatchError> {
+        let delta = match self {
+            GraphView::Flat(g) => CsrDelta::from_base(Arc::clone(g)),
+            GraphView::Delta(d) => (**d).clone(),
+        };
+        let (next, outcome) = delta.apply(batch)?;
+        Ok((GraphView::Delta(Arc::new(next)), outcome))
+    }
+
+    /// Patched fraction of the underlying delta (0 for flat views).
+    pub fn patched_fraction(&self) -> f64 {
+        match self {
+            GraphView::Flat(_) => 0.0,
+            GraphView::Delta(d) => d.patched_fraction(),
+        }
+    }
+
+    /// A flat CSR of this version: free for flat views, one merge pass
+    /// for deltas. Callers should memoize per version.
+    pub fn materialize(&self) -> Arc<CsrGraph> {
+        match self {
+            GraphView::Flat(g) => Arc::clone(g),
+            GraphView::Delta(d) => Arc::new(d.materialize()),
+        }
+    }
+}
+
+impl Neighbors for GraphView {
+    fn num_vertices(&self) -> usize {
+        match self {
+            GraphView::Flat(g) => g.num_vertices(),
+            GraphView::Delta(d) => d.num_vertices(),
+        }
+    }
+    fn num_edges(&self) -> usize {
+        match self {
+            GraphView::Flat(g) => g.num_edges(),
+            GraphView::Delta(d) => d.num_edges(),
+        }
+    }
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        match self {
+            GraphView::Flat(g) => g.neighbors(v),
+            GraphView::Delta(d) => d.neighbors(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn delta_of(g: CsrGraph) -> CsrDelta {
+        CsrDelta::from_base(Arc::new(g))
+    }
+
+    #[test]
+    fn empty_delta_reads_through_to_base() {
+        let g = gen::torus2d(4, 4);
+        let d = delta_of(g.clone());
+        assert_eq!(d.num_vertices(), 16);
+        assert_eq!(d.num_edges(), g.num_edges());
+        for v in 0..16u32 {
+            assert_eq!(d.neighbors(v), g.neighbors(v));
+        }
+        assert_eq!(d.patched_vertices(), 0);
+        assert_eq!(d.patched_fraction(), 0.0);
+    }
+
+    #[test]
+    fn insert_and_delete_roundtrip() {
+        // chain 0-1-2-3: delete (1,2), insert (0,3).
+        let d = delta_of(gen::chain(4));
+        let batch = EdgeBatch::new().delete(1, 2).insert(0, 3);
+        let (next, out) = d.apply(&batch).unwrap();
+        assert_eq!(out, BatchOutcome { edges_added: 1, edges_removed: 1 });
+        assert_eq!(next.num_edges(), 3);
+        assert!(!next.has_edge(1, 2));
+        assert!(!next.has_edge(2, 1));
+        assert!(next.has_edge(0, 3));
+        assert!(next.has_edge(3, 0));
+        // The predecessor version is untouched.
+        assert!(d.has_edge(1, 2));
+        assert!(!d.has_edge(0, 3));
+        assert_eq!(d.num_edges(), 3);
+    }
+
+    #[test]
+    fn redundant_operations_are_noops() {
+        let d = delta_of(gen::chain(3));
+        let batch = EdgeBatch::new()
+            .insert(0, 1) // already present
+            .delete(0, 2); // never existed
+        let (next, out) = d.apply(&batch).unwrap();
+        assert_eq!(out, BatchOutcome::default());
+        assert_eq!(next.num_edges(), d.num_edges());
+        assert_eq!(next.patched_vertices(), 0, "no-ops patch nothing");
+    }
+
+    #[test]
+    fn deletes_apply_before_inserts() {
+        let d = delta_of(gen::chain(3));
+        let batch = EdgeBatch::new().delete(0, 1).insert(0, 1);
+        let (next, out) = d.apply(&batch).unwrap();
+        assert!(next.has_edge(0, 1), "delete-then-insert ends present");
+        assert_eq!(out.edges_added, 1);
+        assert_eq!(out.edges_removed, 1);
+        assert_eq!(next.num_edges(), d.num_edges());
+    }
+
+    #[test]
+    fn validation_rejects_bad_edges() {
+        let d = delta_of(gen::chain(3));
+        assert_eq!(
+            d.apply(&EdgeBatch::new().insert(1, 1)).unwrap_err(),
+            BatchError::SelfLoop(1)
+        );
+        assert_eq!(
+            d.apply(&EdgeBatch::new().delete(0, 7)).unwrap_err(),
+            BatchError::VertexOutOfRange(0, 7)
+        );
+    }
+
+    #[test]
+    fn materialize_matches_overlay_reads() {
+        let d = delta_of(gen::torus2d(4, 4));
+        let (next, _) = d
+            .apply(&EdgeBatch::new().delete(0, 1).insert(0, 10).insert(3, 12))
+            .unwrap();
+        let flat = next.materialize();
+        assert_eq!(flat.num_vertices(), next.num_vertices());
+        assert_eq!(flat.num_edges(), next.num_edges());
+        for v in 0..16u32 {
+            assert_eq!(flat.neighbors(v), next.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn successive_versions_share_untouched_rows() {
+        let d = delta_of(gen::torus2d(8, 8));
+        let (v2, _) = d.apply(&EdgeBatch::new().delete(0, 1)).unwrap();
+        let (v3, _) = v2.apply(&EdgeBatch::new().delete(2, 3)).unwrap();
+        // v3 patched rows 0,1 (from v2, shared) and 2,3 (fresh).
+        assert_eq!(v2.patched_vertices(), 2);
+        assert_eq!(v3.patched_vertices(), 4);
+        assert!(Arc::ptr_eq(
+            v2.rows.get(&0).unwrap(),
+            v3.rows.get(&0).unwrap()
+        ));
+    }
+
+    #[test]
+    fn graph_view_applies_and_flattens() {
+        let view = GraphView::Flat(Arc::new(gen::chain(5)));
+        let (next, out) = view.apply(&EdgeBatch::new().insert(0, 4)).unwrap();
+        assert_eq!(out.edges_added, 1);
+        assert_eq!(Neighbors::num_edges(&next), 5);
+        let flat = next.materialize();
+        assert!(flat.neighbors(0).contains(&4));
+        assert!(next.patched_fraction() > 0.0);
+        assert_eq!(view.patched_fraction(), 0.0);
+    }
+
+    #[test]
+    fn multigraph_duplicates_delete_one_at_a_time() {
+        // Base built with a duplicated edge (0,1) x2.
+        let edges = crate::repr::EdgeList::from_edges(3, vec![(0, 1), (0, 1), (1, 2)]);
+        let g = CsrGraph::from_edge_list(&edges);
+        assert_eq!(g.num_edges(), 3);
+        let d = delta_of(g);
+        let (v2, out) = d.apply(&EdgeBatch::new().delete(0, 1)).unwrap();
+        assert_eq!(out.edges_removed, 1);
+        assert!(v2.has_edge(0, 1), "one duplicate remains");
+        let (v3, _) = v2.apply(&EdgeBatch::new().delete(0, 1)).unwrap();
+        assert!(!v3.has_edge(0, 1));
+        // Inserting onto a still-present duplicate is a no-op.
+        let (v4, out) = v2.apply(&EdgeBatch::new().insert(0, 1)).unwrap();
+        assert_eq!(out.edges_added, 0);
+        assert_eq!(v4.num_edges(), v2.num_edges());
+    }
+}

@@ -19,10 +19,14 @@
 //! * [`validate`] — spanning-tree/forest verification oracles and a
 //!   reference sequential connected-components implementation.
 //! * [`io`] — plain-text edge-list persistence.
+//! * [`delta`] — batch edge mutations ([`EdgeBatch`]) and persistent
+//!   copy-on-write CSR overlays ([`CsrDelta`]) for the versioned,
+//!   batch-dynamic graph path.
 //!
 //! All generators are deterministic functions of an explicit seed so that
 //! every experiment in the benchmark harness is reproducible.
 
+pub mod delta;
 pub mod dsu;
 pub mod gen;
 pub mod io;
@@ -34,6 +38,7 @@ pub mod subgraph;
 pub mod validate;
 pub mod weighted;
 
+pub use delta::{BatchError, BatchOutcome, CsrDelta, EdgeBatch, GraphView, Neighbors};
 pub use dsu::DisjointSets;
 pub use repr::{CsrGraph, EdgeList, GraphBuilder, VertexId, NO_VERTEX};
 pub use weighted::{Weight, WeightedGraph};

@@ -71,6 +71,14 @@ pub struct PoolGauges {
     teams_grown: AtomicU64,
     /// Elastic resizes that narrowed a team.
     teams_shrunk: AtomicU64,
+    /// Batch updates whose forest was maintained incrementally.
+    updates_incremental: AtomicU64,
+    /// Batch updates that fell back to a full recompute.
+    updates_recomputed: AtomicU64,
+    /// Edges actually added across all batch updates.
+    update_edges_added: AtomicU64,
+    /// Edges actually removed across all batch updates.
+    update_edges_removed: AtomicU64,
 }
 
 impl PoolGauges {
@@ -172,6 +180,19 @@ impl PoolGauges {
         self.teams_shrunk.fetch_add(1, Relaxed);
     }
 
+    /// Records one applied batch update: which maintenance path ran
+    /// (incremental splice vs full recompute) and what the batch
+    /// actually changed.
+    pub fn on_update(&self, incremental: bool, edges_added: u64, edges_removed: u64) {
+        if incremental {
+            self.updates_incremental.fetch_add(1, Relaxed);
+        } else {
+            self.updates_recomputed.fetch_add(1, Relaxed);
+        }
+        self.update_edges_added.fetch_add(edges_added, Relaxed);
+        self.update_edges_removed.fetch_add(edges_removed, Relaxed);
+    }
+
     /// Records a finished job: its outcome lane plus the queue/exec
     /// time totals.
     pub fn on_finish(&self, outcome: JobOutcomeKind, queue_ns: u64, exec_ns: u64) {
@@ -216,6 +237,10 @@ impl PoolGauges {
             cache_misses: self.cache_misses.load(Relaxed),
             teams_grown: self.teams_grown.load(Relaxed),
             teams_shrunk: self.teams_shrunk.load(Relaxed),
+            updates_incremental: self.updates_incremental.load(Relaxed),
+            updates_recomputed: self.updates_recomputed.load(Relaxed),
+            update_edges_added: self.update_edges_added.load(Relaxed),
+            update_edges_removed: self.update_edges_removed.load(Relaxed),
         }
     }
 }
@@ -290,6 +315,14 @@ pub struct PoolSnapshot {
     pub teams_grown: u64,
     /// Elastic resizes that narrowed a team.
     pub teams_shrunk: u64,
+    /// Batch updates whose forest was maintained incrementally.
+    pub updates_incremental: u64,
+    /// Batch updates that fell back to a full recompute.
+    pub updates_recomputed: u64,
+    /// Edges actually added across all batch updates.
+    pub update_edges_added: u64,
+    /// Edges actually removed across all batch updates.
+    pub update_edges_removed: u64,
 }
 
 impl PoolSnapshot {
@@ -451,6 +484,19 @@ mod tests {
         let s = g.snapshot();
         assert_eq!(s.teams_grown, 2);
         assert_eq!(s.teams_shrunk, 1);
+    }
+
+    #[test]
+    fn batch_updates_split_by_maintenance_path() {
+        let g = PoolGauges::new();
+        g.on_update(true, 8, 2);
+        g.on_update(true, 1, 0);
+        g.on_update(false, 100, 50);
+        let s = g.snapshot();
+        assert_eq!(s.updates_incremental, 2);
+        assert_eq!(s.updates_recomputed, 1);
+        assert_eq!(s.update_edges_added, 109);
+        assert_eq!(s.update_edges_removed, 52);
     }
 
     #[test]

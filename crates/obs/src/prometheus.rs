@@ -356,6 +356,43 @@ pub fn render_service_prometheus(snap: &PoolSnapshot, histograms: &[HistogramFam
         snap.cache_misses as f64,
     );
 
+    p.family(
+        "st_service_updates_incremental_total",
+        "counter",
+        "Batch updates whose spanning forest was repaired in place.",
+    )
+    .sample(
+        "st_service_updates_incremental_total",
+        snap.updates_incremental as f64,
+    );
+    p.family(
+        "st_service_updates_recomputed_total",
+        "counter",
+        "Batch updates that fell back to a full recompute.",
+    )
+    .sample(
+        "st_service_updates_recomputed_total",
+        snap.updates_recomputed as f64,
+    );
+    p.family(
+        "st_service_update_edges_added_total",
+        "counter",
+        "Edges actually added across all applied batch updates.",
+    )
+    .sample(
+        "st_service_update_edges_added_total",
+        snap.update_edges_added as f64,
+    );
+    p.family(
+        "st_service_update_edges_removed_total",
+        "counter",
+        "Edges actually removed across all applied batch updates.",
+    )
+    .sample(
+        "st_service_update_edges_removed_total",
+        snap.update_edges_removed as f64,
+    );
+
     // SLO ratio gauges: ready-made series so dashboards and alert rules
     // need no PromQL division (and stay correct across counter resets).
     let finished = snap.finished();

@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use st_core::SpanningForest;
 use st_graph::io::LoadKind;
-use st_graph::CsrGraph;
+use st_graph::{BatchError, BatchOutcome, CsrGraph, EdgeBatch, GraphView};
 
 use crate::spec::AlgorithmId;
 
@@ -54,8 +54,50 @@ pub struct GraphRef {
     pub version: u32,
 }
 
+/// Why a batch apply was rejected by the catalog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The id was never registered (or was removed).
+    UnknownGraph(GraphId),
+    /// The batch itself is malformed for this graph.
+    Batch(BatchError),
+    /// The entry's version moved between read and install — another
+    /// writer (a concurrent `publish` or `apply`) got there first.
+    Conflict {
+        /// The version the writer read and based its work on.
+        expected: u32,
+        /// The version actually found at install time.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::UnknownGraph(id) => write!(f, "graph {id} is not in the catalog"),
+            ApplyError::Batch(e) => write!(f, "invalid batch: {e}"),
+            ApplyError::Conflict { expected, found } => write!(
+                f,
+                "version moved during apply (based on v{expected}, found v{found})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<BatchError> for ApplyError {
+    fn from(e: BatchError) -> Self {
+        ApplyError::Batch(e)
+    }
+}
+
 struct Entry {
-    graph: Arc<CsrGraph>,
+    view: GraphView,
+    /// Memoized flat CSR of `view` at `version` — populated lazily by
+    /// [`GraphCatalog::resolve_latest`] so repeated submissions against
+    /// a delta version pay for one materialization, not one per job.
+    flat: Option<Arc<CsrGraph>>,
     version: u32,
 }
 
@@ -101,7 +143,14 @@ impl GraphCatalog {
             return None;
         }
         let id = GraphId(self.next_id.fetch_add(1, Relaxed));
-        entries.insert(id, Entry { graph, version: 1 });
+        entries.insert(
+            id,
+            Entry {
+                view: GraphView::Flat(Arc::clone(&graph)),
+                flat: Some(graph),
+                version: 1,
+            },
+        );
         Some(GraphRef { id, version: 1 })
     }
 
@@ -113,11 +162,93 @@ impl GraphCatalog {
         let mut entries = self.entries.lock().unwrap();
         let entry = entries.get_mut(&id)?;
         entry.version += 1;
-        entry.graph = graph;
+        entry.view = GraphView::Flat(Arc::clone(&graph));
+        entry.flat = Some(graph);
         Some(GraphRef {
             id,
             version: entry.version,
         })
+    }
+
+    /// The current view of `id` with its exact ref — the read half of
+    /// the optimistic apply protocol. The view is a cheap `Arc`-level
+    /// clone; holding it never blocks writers.
+    pub fn view(&self, id: GraphId) -> Option<(GraphView, GraphRef)> {
+        let entries = self.entries.lock().unwrap();
+        let entry = entries.get(&id)?;
+        Some((
+            entry.view.clone(),
+            GraphRef {
+                id,
+                version: entry.version,
+            },
+        ))
+    }
+
+    /// Installs a successor view computed from version `expected` of
+    /// `id`, bumping to `expected + 1` — the write half of the
+    /// optimistic apply protocol. Fails with [`ApplyError::Conflict`]
+    /// when another writer moved the version first, so a stale
+    /// computation can never clobber a newer one. `flat` carries an
+    /// already-materialized CSR when the writer flattened (rebuild
+    /// threshold crossed); otherwise materialization stays lazy.
+    pub fn install(
+        &self,
+        id: GraphId,
+        expected: u32,
+        view: GraphView,
+        flat: Option<Arc<CsrGraph>>,
+    ) -> Result<GraphRef, ApplyError> {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.get_mut(&id).ok_or(ApplyError::UnknownGraph(id))?;
+        if entry.version != expected {
+            return Err(ApplyError::Conflict {
+                expected,
+                found: entry.version,
+            });
+        }
+        entry.version += 1;
+        entry.view = view;
+        entry.flat = flat;
+        Ok(GraphRef {
+            id,
+            version: entry.version,
+        })
+    }
+
+    /// Applies one edge batch to `id`, producing a new version whose
+    /// view shares every untouched row with its predecessor. When the
+    /// overlay's patched fraction exceeds `rebuild_fraction` the new
+    /// version is flattened to a fresh contiguous CSR instead.
+    ///
+    /// This is the catalog-only mutation path (no forest maintenance) —
+    /// the service's [`Service::apply`](crate::Service::apply) wraps it
+    /// together with the incremental maintainer. Concurrent applies to
+    /// the same id retry internally, so callers always see either
+    /// success or a real error.
+    pub fn apply(
+        &self,
+        id: GraphId,
+        batch: &EdgeBatch,
+        rebuild_fraction: f64,
+    ) -> Result<(GraphRef, BatchOutcome), ApplyError> {
+        loop {
+            let (view, gref) = self.view(id).ok_or(ApplyError::UnknownGraph(id))?;
+            // Compute the successor outside the catalog lock: readers
+            // and other graphs stay unblocked during the row edits.
+            let (next, outcome) = view.apply(batch)?;
+            let (next, flat) = if next.patched_fraction() > rebuild_fraction {
+                let flat = next.materialize();
+                (GraphView::Flat(Arc::clone(&flat)), Some(flat))
+            } else {
+                (next, None)
+            };
+            match self.install(id, gref.version, next, flat) {
+                Ok(new_ref) => return Ok((new_ref, outcome)),
+                Err(ApplyError::Conflict { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Loads an [`st_graph::io`] binary file and registers it. Returns
@@ -128,18 +259,75 @@ impl GraphCatalog {
         Ok((self.register(Arc::new(graph)), kind))
     }
 
-    /// The current graph under `id`, with the exact ref (including
-    /// version) it resolves to right now.
+    /// The current graph under `id` as a flat CSR, with the exact ref
+    /// (including version) it resolves to right now.
+    ///
+    /// When the live version is a delta, this materializes it (outside
+    /// the catalog lock) and memoizes the result against the version,
+    /// so at most one submission per version pays the merge pass.
+    pub fn resolve_latest(&self, id: GraphId) -> Option<(Arc<CsrGraph>, GraphRef)> {
+        let view = {
+            let entries = self.entries.lock().unwrap();
+            let entry = entries.get(&id)?;
+            if let Some(flat) = &entry.flat {
+                return Some((
+                    Arc::clone(flat),
+                    GraphRef {
+                        id,
+                        version: entry.version,
+                    },
+                ));
+            }
+            (
+                entry.view.clone(),
+                GraphRef {
+                    id,
+                    version: entry.version,
+                },
+            )
+        };
+        let (view, gref) = view;
+        let flat = view.materialize();
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get_mut(&id) {
+            // Memoize only if the version we materialized is still the
+            // live one — a concurrent apply may have moved on.
+            if entry.version == gref.version && entry.flat.is_none() {
+                entry.flat = Some(Arc::clone(&flat));
+            }
+        }
+        Some((flat, gref))
+    }
+
+    /// Resolves an *exact* pinned ref: the graph only if `gref.version`
+    /// is still the live version of `gref.id`. On a version mismatch
+    /// returns `Err(current_version)` so callers can distinguish "stale
+    /// pin" from "unknown graph" (`Ok(None)`-style is collapsed to the
+    /// outer `Option`).
+    #[allow(clippy::result_unit_err)]
+    pub fn resolve_pinned(&self, gref: GraphRef) -> Option<Result<Arc<CsrGraph>, u32>> {
+        let current = {
+            let entries = self.entries.lock().unwrap();
+            let entry = entries.get(&gref.id)?;
+            entry.version
+        };
+        if current != gref.version {
+            return Some(Err(current));
+        }
+        // Delegate to the memoizing path; re-check the version it
+        // actually resolved (an apply may land between the two locks).
+        let (graph, resolved) = self.resolve_latest(gref.id)?;
+        if resolved.version == gref.version {
+            Some(Ok(graph))
+        } else {
+            Some(Err(resolved.version))
+        }
+    }
+
+    /// The current graph under `id`, with the exact ref it resolves to.
+    #[deprecated(note = "use `resolve_latest`, or `resolve_pinned` for an exact version")]
     pub fn resolve(&self, id: GraphId) -> Option<(Arc<CsrGraph>, GraphRef)> {
-        let entries = self.entries.lock().unwrap();
-        let entry = entries.get(&id)?;
-        Some((
-            Arc::clone(&entry.graph),
-            GraphRef {
-                id,
-                version: entry.version,
-            },
-        ))
+        self.resolve_latest(id)
     }
 
     /// Unregisters `id`. Later submissions addressing it fail with
@@ -161,6 +349,7 @@ impl GraphCatalog {
 
     /// Current refs with their sizes, for listings: `(ref, n, m)`.
     pub fn list(&self) -> Vec<(GraphRef, usize, usize)> {
+        use st_graph::Neighbors as _;
         let entries = self.entries.lock().unwrap();
         let mut out: Vec<_> = entries
             .iter()
@@ -170,8 +359,8 @@ impl GraphCatalog {
                         id,
                         version: e.version,
                     },
-                    e.graph.num_vertices(),
-                    e.graph.num_edges(),
+                    e.view.num_vertices(),
+                    e.view.num_edges(),
                 )
             })
             .collect();
@@ -327,10 +516,10 @@ mod tests {
         let g = Arc::new(gen::torus2d(8, 8));
         let gref = cat.register(Arc::clone(&g));
         assert_eq!(gref.version, 1);
-        let (resolved, exact) = cat.resolve(gref.id).expect("registered");
+        let (resolved, exact) = cat.resolve_latest(gref.id).expect("registered");
         assert!(Arc::ptr_eq(&resolved, &g), "no copy on resolve");
         assert_eq!(exact, gref);
-        assert!(cat.resolve(GraphId(999)).is_none());
+        assert!(cat.resolve_latest(GraphId(999)).is_none());
     }
 
     #[test]
@@ -342,7 +531,7 @@ mod tests {
             .expect("id exists");
         assert_eq!(v2.id, gref.id);
         assert_eq!(v2.version, 2);
-        let (g, exact) = cat.resolve(gref.id).unwrap();
+        let (g, exact) = cat.resolve_latest(gref.id).unwrap();
         assert_eq!(g.num_vertices(), 64, "new bytes are live");
         assert_eq!(exact.version, 2);
         assert_ne!(exact, gref, "old ref no longer matches");
@@ -356,7 +545,7 @@ mod tests {
         assert_eq!(cat.len(), 1);
         assert!(cat.remove(gref.id));
         assert!(!cat.remove(gref.id), "second remove is a no-op");
-        assert!(cat.resolve(gref.id).is_none());
+        assert!(cat.resolve_latest(gref.id).is_none());
         assert!(cat.is_empty());
     }
 
@@ -381,9 +570,104 @@ mod tests {
 
         let cat = GraphCatalog::new();
         let (gref, _kind) = cat.load(&path).unwrap();
-        let (loaded, _) = cat.resolve(gref.id).unwrap();
+        let (loaded, _) = cat.resolve_latest(gref.id).unwrap();
         assert_eq!(*loaded, g);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn apply_bumps_version_and_mutates_edges() {
+        let cat = GraphCatalog::new();
+        let gref = cat.register(Arc::new(gen::chain(4)));
+        let batch = EdgeBatch::new().delete(1, 2).insert(0, 3);
+        let (v2, out) = cat.apply(gref.id, &batch, 0.5).expect("applies");
+        assert_eq!(v2.version, 2);
+        assert_eq!(out, BatchOutcome { edges_added: 1, edges_removed: 1 });
+        let (g, exact) = cat.resolve_latest(gref.id).unwrap();
+        assert_eq!(exact, v2);
+        assert!(g.neighbors(0).contains(&3));
+        assert!(!g.neighbors(1).contains(&2));
+        // Unknown ids and malformed batches are rejected.
+        assert_eq!(
+            cat.apply(GraphId(99), &EdgeBatch::new(), 0.5),
+            Err(ApplyError::UnknownGraph(GraphId(99)))
+        );
+        assert!(matches!(
+            cat.apply(gref.id, &EdgeBatch::new().insert(0, 0), 0.5),
+            Err(ApplyError::Batch(BatchError::SelfLoop(0)))
+        ));
+    }
+
+    #[test]
+    fn apply_flattens_past_the_rebuild_fraction() {
+        let cat = GraphCatalog::new();
+        let gref = cat.register(Arc::new(gen::chain(4)));
+        // Touch 2 of 4 vertices with threshold 0.25: must flatten.
+        let (_, _) = cat
+            .apply(gref.id, &EdgeBatch::new().insert(0, 2), 0.25)
+            .unwrap();
+        let (view, _) = cat.view(gref.id).unwrap();
+        assert!(
+            matches!(view, GraphView::Flat(_)),
+            "delta past the threshold is rebuilt"
+        );
+        // Threshold 1.0 keeps the overlay.
+        let (_, _) = cat
+            .apply(gref.id, &EdgeBatch::new().insert(1, 3), 1.0)
+            .unwrap();
+        let (view, _) = cat.view(gref.id).unwrap();
+        assert!(matches!(view, GraphView::Delta(_)));
+    }
+
+    #[test]
+    fn install_refuses_stale_versions() {
+        let cat = GraphCatalog::new();
+        let gref = cat.register(Arc::new(gen::chain(3)));
+        let (view, r) = cat.view(gref.id).unwrap();
+        // A concurrent publish moves the version under us.
+        cat.publish(gref.id, Arc::new(gen::chain(3))).unwrap();
+        assert_eq!(
+            cat.install(gref.id, r.version, view, None),
+            Err(ApplyError::Conflict {
+                expected: 1,
+                found: 2
+            })
+        );
+    }
+
+    #[test]
+    fn resolve_pinned_distinguishes_stale_from_unknown() {
+        let cat = GraphCatalog::new();
+        let gref = cat.register(Arc::new(gen::chain(3)));
+        assert!(matches!(cat.resolve_pinned(gref), Some(Ok(_))));
+        let v2 = cat.publish(gref.id, Arc::new(gen::chain(5))).unwrap();
+        assert_eq!(cat.resolve_pinned(gref), Some(Err(2)), "stale pin");
+        assert!(matches!(cat.resolve_pinned(v2), Some(Ok(_))));
+        cat.remove(gref.id);
+        assert!(cat.resolve_pinned(v2).is_none(), "unknown graph");
+    }
+
+    #[test]
+    fn resolve_latest_memoizes_delta_materialization() {
+        let cat = GraphCatalog::new();
+        let gref = cat.register(Arc::new(gen::torus2d(4, 4)));
+        cat.apply(gref.id, &EdgeBatch::new().delete(0, 1), 1.0)
+            .unwrap();
+        let (a, r1) = cat.resolve_latest(gref.id).unwrap();
+        let (b, r2) = cat.resolve_latest(gref.id).unwrap();
+        assert_eq!(r1, r2);
+        assert!(Arc::ptr_eq(&a, &b), "second resolve reuses the memo");
+        assert!(!a.neighbors(0).contains(&1));
+    }
+
+    #[test]
+    fn deprecated_resolve_still_delegates() {
+        let cat = GraphCatalog::new();
+        let gref = cat.register(Arc::new(gen::chain(3)));
+        #[allow(deprecated)]
+        let (g, exact) = cat.resolve(gref.id).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(exact, gref);
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub enum JobError {
     /// its priority lane, so it was rejected at admission rather than
     /// queued to miss.
     DeadlineUnmeetable,
+    /// The submission pinned an exact graph version
+    /// ([`GraphSel::Pinned`](crate::GraphSel)) that is no longer the
+    /// live one and whose result is no longer cached; the payload is
+    /// the version the catalog holds now.
+    StaleVersion(u32),
 }
 
 impl std::fmt::Display for JobError {
@@ -75,6 +80,9 @@ impl std::fmt::Display for JobError {
             JobError::QuotaExceeded => f.write_str("tenant queued-job quota exceeded"),
             JobError::DeadlineUnmeetable => {
                 f.write_str("deadline shorter than the expected queue delay")
+            }
+            JobError::StaleVersion(current) => {
+                write!(f, "pinned graph version is stale (catalog is at v{current})")
             }
         }
     }
@@ -94,7 +102,8 @@ impl JobError {
             | JobError::Backpressure
             | JobError::UnknownGraph
             | JobError::QuotaExceeded
-            | JobError::DeadlineUnmeetable => JobOutcomeKind::Cancelled,
+            | JobError::DeadlineUnmeetable
+            | JobError::StaleVersion(_) => JobOutcomeKind::Cancelled,
             JobError::DeadlineExceeded => JobOutcomeKind::DeadlineExceeded,
             JobError::Panicked(_) => JobOutcomeKind::Panicked,
         }

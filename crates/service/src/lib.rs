@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod dynamic;
 pub mod job;
 pub mod net;
 pub mod service;
@@ -74,8 +75,13 @@ pub mod sizing;
 pub mod spec;
 pub mod telemetry;
 
-pub use catalog::{CacheKey, GraphCatalog, GraphId, GraphRef, ResultCache};
+pub use catalog::{ApplyError, CacheKey, GraphCatalog, GraphId, GraphRef, ResultCache};
+pub use dynamic::{UpdateError, UpdateReport};
 pub use job::{JobError, JobHandle, Priority};
 pub use service::{JobBuilder, Service, ServiceBuilder, Submitted};
-pub use spec::{AlgorithmId, JobSpec};
+pub use spec::{AlgorithmId, GraphSel, JobSpec};
 pub use telemetry::{InflightJob, SlowJob, Telemetry};
+
+// Batch-update building blocks, re-exported so tenants can build an
+// [`EdgeBatch`] without depending on `st_graph` directly.
+pub use st_graph::{BatchError, BatchOutcome, EdgeBatch};

@@ -128,6 +128,12 @@ pub struct SubmitRequest {
     /// Tenant the job's queued-slot quota is charged to (0 =
     /// anonymous).
     pub tenant: u64,
+    /// When true, the submission is pinned to `graph.version` exactly:
+    /// if the server's catalog has moved past it and no cached result
+    /// matches, the reply is [`Status::StaleVersion`] carrying the live
+    /// version. When false (the default) the submission follows the
+    /// latest version.
+    pub pinned: bool,
 }
 
 impl SubmitRequest {
@@ -141,6 +147,7 @@ impl SubmitRequest {
             deadline: None,
             processors: None,
             tenant: 0,
+            pinned: false,
         }
     }
 
@@ -181,6 +188,29 @@ impl SubmitRequest {
         self.tenant = tenant;
         self
     }
+
+    /// Pins the submission to `graph.version` exactly instead of
+    /// following the catalog's latest version.
+    pub fn pinned(mut self) -> Self {
+        self.pinned = true;
+        self
+    }
+}
+
+/// What one [`Client::update`] batch did on the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteUpdate {
+    /// The new version the batch produced.
+    pub version: u32,
+    /// True when the forest was repaired incrementally rather than
+    /// recomputed from scratch.
+    pub incremental: bool,
+    /// Components in the maintained forest after the batch.
+    pub components: u64,
+    /// Insertions that were not already present.
+    pub edges_added: u64,
+    /// Deletions that named a live edge.
+    pub edges_removed: u64,
 }
 
 /// One blocking connection to a [`Server`](crate::net::Server).
@@ -325,6 +355,12 @@ impl Client {
             .map_or(0u32, |p| p.try_into().unwrap_or(u32::MAX));
         req.extend_from_slice(&processors.to_le_bytes());
         req.extend_from_slice(&r.tenant.to_le_bytes());
+        if r.pinned {
+            req.push(1);
+            req.extend_from_slice(&r.graph.version.to_le_bytes());
+        } else {
+            req.push(0);
+        }
         let body = self.call_ok(&req)?;
         let mut c = Cursor::new(&body);
         let ticket = c.u32().ok_or(WireError::Protocol("short SUBMIT reply"))?;
@@ -362,6 +398,42 @@ impl Client {
         req.push(ops::CANCEL);
         req.extend_from_slice(&ticket.to_le_bytes());
         self.call_ok(&req).map(drop)
+    }
+
+    /// Applies a batch of edge insertions and deletions to catalog
+    /// graph `graph_id`, returning the new version and what the batch
+    /// changed. The server keeps the graph's spanning forest current —
+    /// incrementally for small batches, by full recompute otherwise
+    /// ([`RemoteUpdate::incremental`] says which ran).
+    pub fn update(
+        &mut self,
+        graph_id: u64,
+        inserts: &[(VertexId, VertexId)],
+        deletes: &[(VertexId, VertexId)],
+    ) -> Result<RemoteUpdate, WireError> {
+        let mut req = Vec::with_capacity(17 + 8 * (inserts.len() + deletes.len()));
+        req.push(ops::UPDATE);
+        req.extend_from_slice(&graph_id.to_le_bytes());
+        let n_ins =
+            u32::try_from(inserts.len()).map_err(|_| WireError::Protocol("batch too large"))?;
+        let n_del =
+            u32::try_from(deletes.len()).map_err(|_| WireError::Protocol("batch too large"))?;
+        req.extend_from_slice(&n_ins.to_le_bytes());
+        req.extend_from_slice(&n_del.to_le_bytes());
+        for &(u, v) in inserts.iter().chain(deletes) {
+            req.extend_from_slice(&u.to_le_bytes());
+            req.extend_from_slice(&v.to_le_bytes());
+        }
+        let body = self.call_ok(&req)?;
+        let mut c = Cursor::new(&body);
+        let short = || WireError::Protocol("short UPDATE reply");
+        Ok(RemoteUpdate {
+            version: c.u32().ok_or_else(short)?,
+            incremental: c.u8().ok_or_else(short)? != 0,
+            components: c.u64().ok_or_else(short)?,
+            edges_added: c.u64().ok_or_else(short)?,
+            edges_removed: c.u64().ok_or_else(short)?,
+        })
     }
 
     /// Fetches the server's Prometheus metrics page.

@@ -32,10 +32,19 @@
 //! |---|---|---|
 //! | `PING` | anything | the same bytes echoed |
 //! | `REGISTER` | an [`st_graph::io`] binary graph | graph id `u64`, version `u32` |
-//! | `SUBMIT` | id `u64`, algo `u8`, prio `u8`, seed `u64`, deadline-ms `u64` (0 = none), width `u32` (0 = auto), tenant `u64` (optional, 0 = anonymous) | ticket `u32`, cached `u8`, trace `u64` |
+//! | `SUBMIT` | id `u64`, algo `u8`, prio `u8`, seed `u64`, deadline-ms `u64` (0 = none), width `u32` (0 = auto), tenant `u64` (optional, 0 = anonymous), pin `u8` (optional, 0 = latest) + pinned version `u32` (only when pin = 1) | ticket `u32`, cached `u8`, trace `u64` |
 //! | `WAIT` | ticket `u32` | n `u64`, parents `n×u32`, r `u64`, roots `r×u32` |
 //! | `CANCEL` | ticket `u32` | empty |
 //! | `METRICS` | empty | UTF-8 Prometheus text page |
+//! | `UPDATE` | id `u64`, n-inserts `u32`, n-deletes `u32`, insert pairs `2×u32` each, delete pairs `2×u32` each | new version `u32`, incremental `u8`, components `u64`, edges added `u64`, edges removed `u64` |
+//!
+//! A `SUBMIT` pinned to a superseded version that no cached result can
+//! serve answers [`Status::StaleVersion`] with the live version as a
+//! `u32` payload. `UPDATE` applies the batch to the catalog graph,
+//! bumps its version, and keeps its spanning forest current on the
+//! server — incrementally when the batch touches little of the graph,
+//! by full recompute otherwise (the `incremental` reply byte says which
+//! ran).
 //!
 //! `WAIT` blocks the connection's thread until the job resolves — with
 //! one request in flight per connection there is nothing else the
@@ -60,6 +69,8 @@ mod http;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, RemoteForest, RemoteGraph, SubmitReply, SubmitRequest, WireError};
+pub use client::{
+    Client, RemoteForest, RemoteGraph, RemoteUpdate, SubmitReply, SubmitRequest, WireError,
+};
 pub use proto::{ops, Status, DEFAULT_MAX_FRAME_BYTES};
 pub use server::{Server, ServerConfig};

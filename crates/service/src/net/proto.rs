@@ -27,6 +27,9 @@ pub mod ops {
     pub const CANCEL: u8 = 0x05;
     /// Fetch the Prometheus metrics page.
     pub const METRICS: u8 = 0x06;
+    /// Apply an edge batch to a catalog graph, producing a new version
+    /// with its spanning forest maintained.
+    pub const UPDATE: u8 = 0x07;
 }
 
 /// Response status (first payload byte of every response frame).
@@ -71,6 +74,9 @@ pub enum Status {
     /// its priority lane; it was rejected at admission rather than
     /// queued to miss.
     DeadlineUnmeetable = 14,
+    /// A version-pinned submission named a superseded graph version and
+    /// no cached result could serve it; payload is the current version.
+    StaleVersion = 15,
 }
 
 impl Status {
@@ -98,6 +104,7 @@ impl Status {
             CatalogFull,
             QuotaExceeded,
             DeadlineUnmeetable,
+            StaleVersion,
         ]
         .into_iter()
         .find(|s| s.code() == code)
@@ -122,6 +129,7 @@ impl std::fmt::Display for Status {
             Status::CatalogFull => "catalog full",
             Status::QuotaExceeded => "tenant quota exceeded",
             Status::DeadlineUnmeetable => "deadline unmeetable",
+            Status::StaleVersion => "stale graph version",
         };
         f.write_str(s)
     }
@@ -325,11 +333,11 @@ mod tests {
 
     #[test]
     fn status_codes_roundtrip() {
-        for code in 0..=14 {
+        for code in 0..=15 {
             let status = Status::from_code(code).expect("defined");
             assert_eq!(status.code(), code);
         }
-        assert_eq!(Status::from_code(15), None);
+        assert_eq!(Status::from_code(16), None);
         assert_eq!(Status::from_code(255), None);
     }
 

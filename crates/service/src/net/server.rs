@@ -29,7 +29,7 @@ use st_obs::TraceId;
 use crate::job::{JobError, JobHandle, Priority};
 use crate::net::proto::{ops, write_frame, Cursor, Status, DEFAULT_MAX_FRAME_BYTES};
 use crate::service::Service;
-use crate::spec::{AlgorithmId, JobSpec};
+use crate::spec::{AlgorithmId, GraphSel, JobSpec};
 
 /// How often an idle session re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(150);
@@ -376,6 +376,7 @@ fn job_error_status(err: &JobError) -> Status {
         JobError::UnknownGraph => Status::UnknownGraph,
         JobError::QuotaExceeded => Status::QuotaExceeded,
         JobError::DeadlineUnmeetable => Status::DeadlineUnmeetable,
+        JobError::StaleVersion(_) => Status::StaleVersion,
     }
 }
 
@@ -422,7 +423,20 @@ fn handle_request(
                 let seed = c.u64()?;
                 let deadline_ms = c.u64()?;
                 let processors = c.u32()?;
-                let mut spec = JobSpec::new(crate::catalog::GraphId(graph))
+                // Optional trailing fields, oldest clients first: a
+                // tenant id, then a version pin (flag byte + version).
+                // Absent bytes mean anonymous tenant / latest version.
+                let tenant = c.u64();
+                let id = crate::catalog::GraphId(graph);
+                let sel = match c.u8() {
+                    None | Some(0) => GraphSel::Latest(id),
+                    Some(1) => GraphSel::Pinned(crate::catalog::GraphRef {
+                        id,
+                        version: c.u32()?,
+                    }),
+                    Some(_) => return None,
+                };
+                let mut spec = JobSpec::new(sel)
                     .algorithm(algo)
                     .seed(seed)
                     .priority(priority);
@@ -432,9 +446,7 @@ fn handle_request(
                 if processors > 0 {
                     spec = spec.processors(processors as usize);
                 }
-                // Optional trailing tenant id: absent on frames from
-                // older clients, which stay on the anonymous tenant.
-                if let Some(tenant) = c.u64() {
+                if let Some(tenant) = tenant {
                     spec = spec.tenant(tenant);
                 }
                 Some(spec)
@@ -462,6 +474,13 @@ fn handle_request(
                     body.extend_from_slice(&trace.as_u64().to_le_bytes());
                     (resp_with(Status::Ok, &body), false)
                 }
+                // A stale pin's reply carries the live version so the
+                // client can re-pin (or fall back to latest) in one
+                // round trip.
+                Err(JobError::StaleVersion(current)) => (
+                    resp_with(Status::StaleVersion, &current.to_le_bytes()),
+                    false,
+                ),
                 Err(e) => (resp(job_error_status(&e)), false),
             }
         }
@@ -510,6 +529,43 @@ fn handle_request(
             resp_with(Status::Ok, service.render_metrics().as_bytes()),
             false,
         ),
+        ops::UPDATE => {
+            let parsed = (|| {
+                let graph = c.u64()?;
+                let n_ins = c.u32()? as usize;
+                let n_del = c.u32()? as usize;
+                let mut batch = st_graph::EdgeBatch::new();
+                for _ in 0..n_ins {
+                    batch = batch.insert(c.u32()?, c.u32()?);
+                }
+                for _ in 0..n_del {
+                    batch = batch.delete(c.u32()?, c.u32()?);
+                }
+                Some((crate::catalog::GraphId(graph), batch))
+            })();
+            let Some((id, batch)) = parsed else {
+                return (resp(Status::Malformed), false);
+            };
+            match service.apply(id, &batch) {
+                Ok(report) => {
+                    // version u32, incremental u8, components u64,
+                    // edges added u64, edges removed u64.
+                    let mut body = Vec::with_capacity(29);
+                    body.extend_from_slice(&report.graph.version.to_le_bytes());
+                    body.push(report.incremental as u8);
+                    body.extend_from_slice(&(report.components as u64).to_le_bytes());
+                    body.extend_from_slice(&(report.outcome.edges_added as u64).to_le_bytes());
+                    body.extend_from_slice(&(report.outcome.edges_removed as u64).to_le_bytes());
+                    (resp_with(Status::Ok, &body), false)
+                }
+                Err(crate::dynamic::UpdateError::UnknownGraph(_)) => {
+                    (resp(Status::UnknownGraph), false)
+                }
+                Err(crate::dynamic::UpdateError::Batch(e)) => {
+                    (resp_with(Status::Malformed, e.to_string().as_bytes()), false)
+                }
+            }
+        }
         _ => (resp(Status::Malformed), false),
     }
 }

@@ -9,14 +9,15 @@ use std::time::{Duration, Instant};
 
 use st_core::engine::{SpanningAlgorithm, Workspace};
 use st_core::{BaderCong, RuntimeConfig};
-use st_graph::CsrGraph;
+use st_graph::{CsrGraph, EdgeBatch};
 use st_obs::{JobEventKind, JobOutcomeKind, PoolGauges, PoolSnapshot, TraceId};
 use st_smp::{CancelToken, ExecutorPool};
 
-use crate::catalog::{CacheKey, GraphCatalog, ResultCache};
+use crate::catalog::{CacheKey, GraphCatalog, GraphId, ResultCache};
+use crate::dynamic::{self, UpdateError, UpdateReport};
 use crate::job::{CancelObserver, JobError, JobHandle, JobState, Priority};
 use crate::sizing::preferred_width;
-use crate::spec::JobSpec;
+use crate::spec::{GraphSel, JobSpec};
 use crate::telemetry::{Telemetry, DEFAULT_JOURNAL_CAPACITY, DEFAULT_SLOW_JOB_MS};
 
 /// An algorithm a tenant can submit: the engine trait plus the thread
@@ -179,6 +180,12 @@ struct Shared {
     catalog: Arc<GraphCatalog>,
     cache: ResultCache,
     telemetry: Telemetry,
+    /// Per-graph incremental forest maintainers for the batch-update
+    /// path ([`Service::apply`]); the per-slot inner mutex serializes
+    /// updates to one graph while leaving other graphs free.
+    updaters: Mutex<HashMap<GraphId, Arc<Mutex<dynamic::GraphUpdater>>>>,
+    /// Resolved dynamic-update knobs (builder → env → defaults).
+    dyn_cfg: dynamic::DynConfig,
 }
 
 impl Shared {
@@ -290,6 +297,8 @@ pub struct ServiceBuilder {
     elastic_idle_ms: Option<u64>,
     elastic_backlog: Option<usize>,
     elastic_max_width: Option<usize>,
+    delta_rebuild_fraction: Option<f64>,
+    dyn_recompute_fraction: Option<f64>,
 }
 
 impl ServiceBuilder {
@@ -411,6 +420,36 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the overlay patched-fraction above which a batch update
+    /// flattens the new graph version to a contiguous CSR instead of
+    /// stacking another delta. Falls back to
+    /// `ST_DELTA_REBUILD_FRACTION`, then
+    /// [`DEFAULT_DELTA_REBUILD_FRACTION`](crate::dynamic::DEFAULT_DELTA_REBUILD_FRACTION).
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics unless the value is finite and in
+    /// `0.0..=1.0`.
+    pub fn delta_rebuild_fraction(mut self, fraction: f64) -> Self {
+        self.delta_rebuild_fraction = Some(fraction);
+        self
+    }
+
+    /// Sets the touched-component fraction at which
+    /// [`Service::apply`] abandons incremental forest repair for a full
+    /// recompute: `0` recomputes every batch, anything above `1` never
+    /// recomputes. Falls back to `ST_DYN_RECOMPUTE_FRACTION`, then
+    /// [`DEFAULT_DYN_RECOMPUTE_FRACTION`](crate::dynamic::DEFAULT_DYN_RECOMPUTE_FRACTION).
+    ///
+    /// # Panics
+    ///
+    /// [`build`](Self::build) panics unless the value is finite and
+    /// non-negative.
+    pub fn dyn_recompute_fraction(mut self, fraction: f64) -> Self {
+        self.dyn_recompute_fraction = Some(fraction);
+        self
+    }
+
     /// Spawns the teams and dispatcher threads and opens the service.
     pub fn build(self) -> Service {
         let env = RuntimeConfig::from_env().unwrap_or_else(|e| panic!("{e}"));
@@ -471,6 +510,26 @@ impl ServiceBuilder {
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |c| c.get()))
                 .max(1),
         };
+        let dyn_cfg = dynamic::DynConfig {
+            rebuild_fraction: self
+                .delta_rebuild_fraction
+                .or(env.delta_rebuild_fraction)
+                .unwrap_or(dynamic::DEFAULT_DELTA_REBUILD_FRACTION),
+            recompute_fraction: self
+                .dyn_recompute_fraction
+                .or(env.dyn_recompute_fraction)
+                .unwrap_or(dynamic::DEFAULT_DYN_RECOMPUTE_FRACTION),
+        };
+        assert!(
+            dyn_cfg.rebuild_fraction.is_finite() && (0.0..=1.0).contains(&dyn_cfg.rebuild_fraction),
+            "delta rebuild fraction must be finite and in 0..=1, got {}",
+            dyn_cfg.rebuild_fraction
+        );
+        assert!(
+            dyn_cfg.recompute_fraction.is_finite() && dyn_cfg.recompute_fraction >= 0.0,
+            "dynamic recompute fraction must be finite and >= 0, got {}",
+            dyn_cfg.recompute_fraction
+        );
 
         let num_teams = teams.len();
         let shared = Arc::new(Shared {
@@ -486,6 +545,8 @@ impl ServiceBuilder {
             catalog: self.catalog.unwrap_or_default(),
             cache: ResultCache::new(cache_capacity),
             telemetry: Telemetry::new(journal_capacity, slow_threshold_ns),
+            updaters: Mutex::new(HashMap::new()),
+            dyn_cfg,
         });
         // One dispatcher per team: enough to keep every team busy, and a
         // dispatcher's leased width still adapts per job via best-fit.
@@ -732,14 +793,52 @@ impl Service {
         self.shared.cache.len()
     }
 
-    /// Removes `id` from the catalog and purges its cached results.
-    /// In-flight jobs keep their graph `Arc` and finish normally.
-    pub fn remove_graph(&self, id: crate::catalog::GraphId) -> bool {
+    /// Removes `id` from the catalog, purges its cached results, and
+    /// drops its incremental maintainer. In-flight jobs keep their
+    /// graph `Arc` and finish normally.
+    pub fn remove_graph(&self, id: GraphId) -> bool {
         let removed = self.shared.catalog.remove(id);
         if removed {
             self.shared.cache.purge_graph(id);
+            dynamic::drop_updater(&self.shared.updaters, id);
         }
         removed
+    }
+
+    /// Applies one batch of edge insertions and deletions to catalog
+    /// graph `id`, producing a new version and keeping its spanning
+    /// forest current.
+    ///
+    /// The forest is repaired *incrementally* when the batch's
+    /// touched-component estimate stays under the recompute fraction
+    /// (see [`ServiceBuilder::dyn_recompute_fraction`]); otherwise the
+    /// static algorithm recomputes it from scratch. Either way the
+    /// report says which path ran and what the batch actually changed.
+    ///
+    /// Jobs already in flight keep the version they were admitted with;
+    /// results cached against older versions stay valid for pinned
+    /// submissions and simply never match latest-addressed ones again.
+    pub fn apply(&self, id: GraphId, batch: &EdgeBatch) -> Result<UpdateReport, UpdateError> {
+        let started = Instant::now();
+        let out = dynamic::apply_update(
+            &self.shared.catalog,
+            &self.shared.pool,
+            &self.shared.updaters,
+            self.shared.dyn_cfg,
+            id,
+            batch,
+        );
+        if let Ok(report) = &out {
+            self.shared.gauges.on_update(
+                report.incremental,
+                report.outcome.edges_added as u64,
+                report.outcome.edges_removed as u64,
+            );
+            self.shared
+                .telemetry
+                .on_update(report.incremental, elapsed_ns(started));
+        }
+        out
     }
 
     /// Submits a catalog-addressed job, blocking while the admission
@@ -758,11 +857,25 @@ impl Service {
 
     fn submit_spec_inner(&self, spec: JobSpec, block: bool) -> Result<Submitted, JobError> {
         let arrived = Instant::now();
-        let (graph, gref) = self
-            .shared
-            .catalog
-            .resolve(spec.graph)
-            .ok_or(JobError::UnknownGraph)?;
+        // Resolve the selector to a pinned snapshot. A pinned selector
+        // whose version has been superseded may still be served from the
+        // result cache — the cache key is exact-version — so the stale
+        // error is deferred until after the cache lookup below.
+        let (graph, gref, stale) = match spec.graph {
+            GraphSel::Latest(id) => {
+                let (graph, gref) = self
+                    .shared
+                    .catalog
+                    .resolve_latest(id)
+                    .ok_or(JobError::UnknownGraph)?;
+                (Some(graph), gref, None)
+            }
+            GraphSel::Pinned(gref) => match self.shared.catalog.resolve_pinned(gref) {
+                None => return Err(JobError::UnknownGraph),
+                Some(Ok(graph)) => (Some(graph), gref, None),
+                Some(Err(current)) => (None, gref, Some(current)),
+            },
+        };
         let key = CacheKey {
             graph: gref,
             algorithm: spec.algorithm,
@@ -825,6 +938,17 @@ impl Service {
             });
         }
         self.shared.gauges.on_cache_miss();
+        // A stale pin that the cache could not serve cannot execute:
+        // the pinned version's CSR is gone (superseded or evicted).
+        let Some(graph) = graph else {
+            let current = stale.unwrap_or(gref.version);
+            return Err(self.reject(
+                trace,
+                lane,
+                "stale_version",
+                JobError::StaleVersion(current),
+            ));
+        };
         let job = QueuedJob {
             graph,
             algo: spec.algorithm.instantiate(spec.seed),

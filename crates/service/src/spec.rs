@@ -17,7 +17,7 @@ use st_core::multiroot::Multiroot;
 use st_core::sv::{Sv, SvConfig};
 use st_core::{BaderCong, Config, TraversalConfig};
 
-use crate::catalog::GraphId;
+use crate::catalog::{GraphId, GraphRef};
 use crate::job::Priority;
 
 /// Default traversal seed, matching
@@ -101,6 +101,71 @@ impl std::fmt::Display for AlgorithmId {
     }
 }
 
+/// How a job names its graph: by id at whatever version is live when
+/// the service admits it, or pinned to one exact published version.
+///
+/// `From` impls make both spellings ergonomic at the call site —
+/// `JobSpec::new(gref)` pins, `JobSpec::new(gref.id)` floats:
+///
+/// ```
+/// use st_service::{GraphId, GraphRef, GraphSel};
+/// let gref = GraphRef { id: GraphId(3), version: 2 };
+/// assert_eq!(GraphSel::from(gref.id), GraphSel::Latest(GraphId(3)));
+/// assert_eq!(GraphSel::from(gref), GraphSel::Pinned(gref));
+/// ```
+///
+/// A pinned submission whose version is no longer live (and whose
+/// result is no longer cached) fails with
+/// [`JobError::StaleVersion`](crate::JobError::StaleVersion) instead of
+/// silently running against different bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphSel {
+    /// Resolve to the live version at admission (the pre-batch-update
+    /// behavior of raw-id submissions).
+    Latest(GraphId),
+    /// Require this exact `(id, version)`.
+    Pinned(GraphRef),
+}
+
+impl GraphSel {
+    /// The catalog id, regardless of pinning.
+    pub fn id(self) -> GraphId {
+        match self {
+            GraphSel::Latest(id) => id,
+            GraphSel::Pinned(r) => r.id,
+        }
+    }
+
+    /// The pinned version, when there is one.
+    pub fn pinned_version(self) -> Option<u32> {
+        match self {
+            GraphSel::Latest(_) => None,
+            GraphSel::Pinned(r) => Some(r.version),
+        }
+    }
+}
+
+impl From<GraphId> for GraphSel {
+    fn from(id: GraphId) -> Self {
+        GraphSel::Latest(id)
+    }
+}
+
+impl From<GraphRef> for GraphSel {
+    fn from(r: GraphRef) -> Self {
+        GraphSel::Pinned(r)
+    }
+}
+
+impl std::fmt::Display for GraphSel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphSel::Latest(id) => write!(f, "{id}@latest"),
+            GraphSel::Pinned(r) => write!(f, "{}@v{}", r.id, r.version),
+        }
+    }
+}
+
 /// A complete, serializable description of one job.
 ///
 /// This is the unit both the TCP front-end and the result cache speak:
@@ -108,9 +173,9 @@ impl std::fmt::Display for AlgorithmId {
 /// requested width) plus the scheduling envelope (priority, deadline).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct JobSpec {
-    /// Which catalog graph to span (resolved to its current version at
-    /// submission).
-    pub graph: GraphId,
+    /// Which catalog graph to span: latest-at-admission or pinned to
+    /// an exact version.
+    pub graph: GraphSel,
     /// Which algorithm to run.
     pub algorithm: AlgorithmId,
     /// Traversal RNG seed ([`DEFAULT_SEED`] by default).
@@ -134,10 +199,11 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// A default-algorithm, default-seed, normal-priority spec for
-    /// `graph`.
-    pub fn new(graph: GraphId) -> Self {
+    /// `graph` — a [`GraphId`] (run against the latest version) or a
+    /// [`GraphRef`] (pin to that exact version).
+    pub fn new(graph: impl Into<GraphSel>) -> Self {
         Self {
-            graph,
+            graph: graph.into(),
             algorithm: AlgorithmId::default(),
             seed: DEFAULT_SEED,
             priority: Priority::Normal,
@@ -221,13 +287,31 @@ mod tests {
             .deadline(Duration::from_secs(1))
             .processors(4)
             .tenant(17);
-        assert_eq!(spec.graph, GraphId(3));
+        assert_eq!(spec.graph, GraphSel::Latest(GraphId(3)));
         assert_eq!(spec.algorithm, AlgorithmId::Sv);
         assert_eq!(spec.seed, 42);
         assert_eq!(spec.priority, Priority::High);
         assert_eq!(spec.deadline, Some(Duration::from_secs(1)));
         assert_eq!(spec.processors, Some(4));
         assert_eq!(spec.tenant, 17);
+    }
+
+    #[test]
+    fn graph_selectors_pin_or_float() {
+        let gref = GraphRef {
+            id: GraphId(5),
+            version: 3,
+        };
+        let floating = JobSpec::new(gref.id);
+        assert_eq!(floating.graph, GraphSel::Latest(GraphId(5)));
+        assert_eq!(floating.graph.id(), GraphId(5));
+        assert_eq!(floating.graph.pinned_version(), None);
+        let pinned = JobSpec::new(gref);
+        assert_eq!(pinned.graph, GraphSel::Pinned(gref));
+        assert_eq!(pinned.graph.id(), GraphId(5));
+        assert_eq!(pinned.graph.pinned_version(), Some(3));
+        assert_eq!(floating.graph.to_string(), "g5@latest");
+        assert_eq!(pinned.graph.to_string(), "g5@v3");
     }
 
     #[test]

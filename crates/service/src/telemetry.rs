@@ -91,6 +91,10 @@ pub struct Telemetry {
     cached_wall: ShardedHistogram,
     /// Execution latency per algorithm, nanoseconds.
     algo_exec: Vec<(&'static str, ShardedHistogram)>,
+    /// Per-batch update latency, incremental-maintenance path.
+    update_incremental: ShardedHistogram,
+    /// Per-batch update latency, full-recompute fallback path.
+    update_recomputed: ShardedHistogram,
     /// Wall-latency threshold past which a job's full metrics are kept.
     slow_threshold_ns: u64,
     /// Recent slow-job reports (drop-oldest ring).
@@ -134,6 +138,8 @@ impl Telemetry {
             lane_wall: lane_histograms(),
             cached_wall: ShardedHistogram::new(HIST_SHARDS),
             algo_exec,
+            update_incremental: ShardedHistogram::new(HIST_SHARDS),
+            update_recomputed: ShardedHistogram::new(HIST_SHARDS),
             slow_threshold_ns,
             slow: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
             inflight: Mutex::new(HashMap::new()),
@@ -279,6 +285,16 @@ impl Telemetry {
         );
     }
 
+    /// Records one applied batch update's wall latency under the
+    /// maintenance path that ran.
+    pub(crate) fn on_update(&self, incremental: bool, wall_ns: u64) {
+        if incremental {
+            self.update_incremental.record(wall_ns);
+        } else {
+            self.update_recomputed.record(wall_ns);
+        }
+    }
+
     // ---- read side (HTTP observability plane, tests, bench) ----
 
     /// p50/p99 of completed-job wall latency across all lanes,
@@ -319,6 +335,20 @@ impl Telemetry {
                 name: "st_service_job_wall_seconds",
                 help: "End-to-end latency (queue + exec) of completed jobs, by priority lane.",
                 series: lane_series(&self.lane_wall),
+            },
+            HistogramFamily {
+                name: "st_service_update_seconds",
+                help: "Wall latency of applied batch updates, by maintenance mode.",
+                series: vec![
+                    HistogramSeries {
+                        labels: vec![("mode", "incremental".to_owned())],
+                        snapshot: self.update_incremental.snapshot(),
+                    },
+                    HistogramSeries {
+                        labels: vec![("mode", "recomputed".to_owned())],
+                        snapshot: self.update_recomputed.snapshot(),
+                    },
+                ],
             },
             HistogramFamily {
                 name: "st_service_cached_wall_seconds",

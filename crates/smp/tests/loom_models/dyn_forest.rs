@@ -1,0 +1,149 @@
+//! Models: the two sync protocols the batch-dynamic forest maintainer
+//! (st-core `dyn_forest`) adds on top of the workspace arena.
+//!
+//! Insertion waves union touched components with the CAS-hook idiom:
+//! a rank first claims the smaller root's *hook cell* (CAS from EMPTY
+//! to its edge index), and only the claim winner writes the union-find
+//! parent. The claim makes the parent store exclusive; between claim
+//! and store there is a window where the hook is taken but the parent
+//! still reads EMPTY, which `find` must (and does) treat as "still a
+//! root".
+//!
+//! Deletion's parallel replacement scan elects one crossing edge into a
+//! shared `AtomicU64` slot (packed `(x << 32) | y`, `u64::MAX` = no
+//! winner yet) via CAS-from-empty. The slot is write-once: scanners
+//! poll it to stop early, and a failed CAS exposes the winner, so every
+//! rank retires agreeing on the same replacement edge.
+
+use st_smp::sync::atomic::{AtomicU64, Ordering};
+use st_smp::sync::{model, thread, Arc};
+use st_smp::AtomicU32Array;
+
+/// The arena's EMPTY sentinel (`u32::MAX`), as used by dyn_forest for
+/// both unclaimed hook cells and root union-find entries.
+const EMPTY: u32 = u32::MAX;
+
+/// Two ranks race to hook root 0 under two different larger roots.
+/// Exactly one hook claim may win; only the winner stores the parent;
+/// and any rank reading the parent afterwards sees either EMPTY (the
+/// claim/store window — still a root to `find`) or the winner's value,
+/// never the loser's.
+#[test]
+fn hook_claim_makes_the_parent_store_exclusive() {
+    model(|| {
+        // hooks[0] guards root 0; uf holds three roots (all EMPTY).
+        let hooks = Arc::new(AtomicU32Array::new(1, EMPTY));
+        let uf = Arc::new(AtomicU32Array::new(3, EMPTY));
+
+        let handles: Vec<_> = [(1u32, 7u32), (2u32, 9u32)]
+            .into_iter()
+            .map(|(parent, edge)| {
+                let hooks = Arc::clone(&hooks);
+                let uf = Arc::clone(&uf);
+                thread::spawn(move || {
+                    if hooks.try_claim(0, EMPTY, edge) {
+                        // The claim is exclusive, so the parent store
+                        // needs no CAS — Release pairs with the readers'
+                        // Acquire loads in `find`.
+                        uf.store(0, parent, Ordering::Release);
+                        (Some((parent, edge)), uf.load(0, Ordering::Acquire))
+                    } else {
+                        // The loser walks away; its `find` keeps
+                        // treating whatever it reads as the truth.
+                        (None, uf.load(0, Ordering::Acquire))
+                    }
+                })
+            })
+            .collect();
+
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let winners: Vec<(u32, u32)> = results.iter().filter_map(|(w, _)| *w).collect();
+        assert_eq!(winners.len(), 1, "exactly one hook claim must win");
+        let (won_parent, won_edge) = winners[0];
+        assert_eq!(
+            hooks.load(0, Ordering::Acquire),
+            won_edge,
+            "the hook cell must record the winning edge"
+        );
+        assert_eq!(
+            uf.load(0, Ordering::Acquire),
+            won_parent,
+            "the parent must settle on the claim winner's root"
+        );
+        for (won, observed) in &results {
+            if won.is_none() {
+                // The window between claim and store may expose EMPTY
+                // (root 0 still its own root); it must never expose a
+                // value nobody stored.
+                assert!(
+                    *observed == EMPTY || *observed == won_parent,
+                    "loser observed parent {observed} that no winner stored"
+                );
+            }
+        }
+    });
+}
+
+/// Replacement-edge election sentinel: no winner yet.
+const NO_WINNER: u64 = u64::MAX;
+
+/// Packs a crossing edge the way the replacement scan does.
+fn pack(x: u32, y: u32) -> u64 {
+    (u64::from(x) << 32) | u64::from(y)
+}
+
+/// Two scanners each find a crossing edge and CAS it into the shared
+/// election slot while a third rank polls the slot (the every-16-pops
+/// early-exit check). The slot is write-once from NO_WINNER, so every
+/// rank — winner, CAS loser, and poller — must retire agreeing on the
+/// single settled edge.
+#[test]
+fn replacement_election_elects_exactly_one_edge() {
+    model(|| {
+        let slot = Arc::new(AtomicU64::new(NO_WINNER));
+
+        let scanners: Vec<_> = [pack(1, 2), pack(3, 4)]
+            .into_iter()
+            .map(|candidate| {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    match slot.compare_exchange(
+                        NO_WINNER,
+                        candidate,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => candidate,
+                        Err(seen) => {
+                            // A failed CAS exposes the winner, and the
+                            // scanner stops with that edge.
+                            assert_ne!(seen, NO_WINNER, "failed CAS must expose the winner");
+                            seen
+                        }
+                    }
+                })
+            })
+            .collect();
+        let poller = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || slot.load(Ordering::Acquire))
+        };
+
+        let agreed: Vec<u64> = scanners.into_iter().map(|h| h.join().unwrap()).collect();
+        let polled = poller.join().unwrap();
+        let settled = slot.load(Ordering::Acquire);
+        assert!(
+            settled == pack(1, 2) || settled == pack(3, 4),
+            "slot settled on an edge nobody proposed"
+        );
+        for edge in agreed {
+            assert_eq!(edge, settled, "a scanner retired with a different edge");
+        }
+        // The slot is write-once: a poll sees NO_WINNER (keep scanning)
+        // or the final edge, never a value that later changes.
+        assert!(
+            polled == NO_WINNER || polled == settled,
+            "poller observed a non-final winner"
+        );
+    });
+}

@@ -30,13 +30,17 @@
 //! * [`executor`] — the persistent team's job-epoch publish/consume
 //!   handshake, panic lifecycle, and detector reuse between jobs,
 //! * [`pool`] — the executor pool's lease/resize handshake (elastic
-//!   width changes may only claim idle teams; teams are conserved).
+//!   width changes may only claim idle teams; teams are conserved),
+//! * [`dyn_forest`] — the batch-dynamic maintainer's CAS-hook union
+//!   (claim-then-store exclusivity) and the replacement scan's
+//!   write-once edge election.
 
 #![cfg(feature = "loom")]
 
 mod barriers;
 mod bottom_up;
 mod detector;
+mod dyn_forest;
 mod executor;
 mod locks;
 mod pool;

@@ -98,9 +98,12 @@ pub mod prelude {
     pub use st_obs::{
         lint_exposition, write_chrome_trace, Counter, JobMetrics, Phase, PhaseTotal, TraceId,
     };
+    pub use st_core::{DynForest, UpdateStats};
+    pub use st_graph::{EdgeBatch, GraphView};
     pub use st_service::net::{Client, Server, ServerConfig, SubmitRequest};
     pub use st_service::{
-        AlgorithmId, GraphCatalog, GraphId, JobError, JobHandle, JobSpec, Priority, Service,
+        AlgorithmId, GraphCatalog, GraphId, GraphRef, GraphSel, JobError, JobHandle, JobSpec,
+        Priority, Service, UpdateReport,
     };
     pub use st_smp::{CancelToken, StealPolicy};
 }

@@ -206,3 +206,239 @@ fn prometheus_page_reflects_cache_traffic() {
     assert!(page.contains("st_service_jobs_submitted_total 2"));
     assert!(page.contains("# TYPE st_service_lane_queue_depth gauge"));
 }
+
+// ---- batch-dynamic updates: the versioned mutation path ----
+
+use bader_cong_spanning::graph::validate::count_components;
+use bader_cong_spanning::service::UpdateError;
+
+/// xorshift64*: deterministic stream for randomized batches.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn vertex(&mut self, n: usize) -> VertexId {
+        (self.next() % n as u64) as VertexId
+    }
+}
+
+#[test]
+fn apply_bumps_the_version_and_maintains_the_forest() {
+    let svc = small_service();
+    let g = Arc::new(gen::torus2d(16, 16));
+    let gref = svc.catalog().register(Arc::clone(&g));
+
+    let report = svc
+        .apply(gref.id, &EdgeBatch::new().insert(0, 255).insert(3, 200))
+        .unwrap();
+    assert_eq!(report.graph.version, gref.version + 1);
+    assert_eq!(report.outcome.edges_added, 2);
+    assert_eq!(report.outcome.edges_removed, 0);
+    assert!(report.incremental, "a 2-edge batch must repair in place");
+    assert_eq!(report.components, 1);
+
+    let (after, newest) = svc.catalog().resolve_latest(gref.id).unwrap();
+    assert_eq!(newest.version, report.graph.version);
+    assert_eq!(after.num_edges(), g.num_edges() + 2);
+    assert_eq!(count_components(&after), 1);
+}
+
+#[test]
+fn apply_rejects_unknown_graphs_and_bad_batches() {
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(4, 4)));
+    assert!(matches!(
+        svc.apply(GraphId(404), &EdgeBatch::new().insert(0, 1)),
+        Err(UpdateError::UnknownGraph(GraphId(404)))
+    ));
+    assert!(matches!(
+        svc.apply(gref.id, &EdgeBatch::new().insert(0, 9_999)),
+        Err(UpdateError::Batch(_))
+    ));
+    let (_, same) = svc.catalog().resolve_latest(gref.id).unwrap();
+    assert_eq!(same.version, gref.version, "failed applies must not bump");
+}
+
+/// The oracle-equivalence suite: randomized insert/delete batch streams
+/// maintained incrementally at p ∈ {1, 4, 8}, checked after every batch
+/// against a sequential component count over the materialized graph.
+#[test]
+fn randomized_batch_streams_track_the_oracle_across_widths() {
+    for p in [1usize, 4, 8] {
+        let svc = Service::builder()
+            .teams([p])
+            // Never fall back: this test must exercise the incremental
+            // maintainer itself at every width.
+            .dyn_recompute_fraction(2.0)
+            .build();
+        let n = 600;
+        let g = Arc::new(gen::random_gnm(n, 900, 7 + p as u64));
+        let gref = svc.catalog().register(g);
+        let mut rng = Rng(0x5eed_0000 + p as u64);
+        let mut live: Vec<(VertexId, VertexId)> = Vec::new();
+        for round in 0..20 {
+            let mut batch = EdgeBatch::new();
+            for op in 0..12 {
+                if op % 3 == 2 && !live.is_empty() {
+                    let i = (rng.next() % live.len() as u64) as usize;
+                    let (u, v) = live.swap_remove(i);
+                    batch = batch.delete(u, v);
+                } else {
+                    let (u, v) = (rng.vertex(n), rng.vertex(n));
+                    if u != v {
+                        live.push((u, v));
+                        batch = batch.insert(u, v);
+                    }
+                }
+            }
+            let report = svc.apply(gref.id, &batch).unwrap();
+            assert!(report.incremental, "p={p} round={round}: fell back");
+            let (flat, _) = svc.catalog().resolve_latest(gref.id).unwrap();
+            assert_eq!(
+                report.components,
+                count_components(&flat),
+                "p={p} round={round}: maintained components diverged"
+            );
+        }
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn recompute_fraction_zero_forces_the_fallback_path() {
+    let svc = Service::builder()
+        .teams([2])
+        .dyn_recompute_fraction(0.0)
+        .build();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(8, 8)));
+    let report = svc
+        .apply(gref.id, &EdgeBatch::new().insert(0, 63))
+        .unwrap();
+    assert!(!report.incremental, "fraction 0 must always recompute");
+    assert_eq!(report.components, 1);
+    let page = svc.render_metrics();
+    assert!(page.contains("st_service_updates_recomputed_total 1"));
+    assert!(page.contains("st_service_updates_incremental_total 0"));
+}
+
+#[test]
+fn pinned_submissions_follow_their_version_not_the_latest() {
+    let svc = small_service();
+    let g = Arc::new(gen::torus2d(8, 8));
+    let gref = svc.catalog().register(g);
+
+    // Warm the cache at v1, then move the catalog to v2.
+    let spec_v1 = JobSpec::new(gref);
+    svc.submit_spec(spec_v1).unwrap().handle.wait().unwrap();
+    svc.apply(gref.id, &EdgeBatch::new().insert(0, 63)).unwrap();
+
+    // The stale pin is still served — from the exact-version cache.
+    let hit = svc.submit_spec(spec_v1).unwrap();
+    assert!(hit.cached, "stale pin with a cached result must hit");
+    hit.handle.wait().unwrap();
+
+    // A stale pin the cache cannot serve reports the live version.
+    let uncached = svc.submit_spec(JobSpec::new(gref).seed(1234)).unwrap_err();
+    assert_eq!(uncached, JobError::StaleVersion(gref.version + 1));
+
+    // Pinning the live version executes normally.
+    let (_, live) = svc.catalog().resolve_latest(gref.id).unwrap();
+    let fresh = svc.submit_spec(JobSpec::new(live)).unwrap();
+    assert!(!fresh.cached);
+    fresh.handle.wait().unwrap();
+}
+
+/// Regression: a version bump (or removal) racing an admitted job must
+/// never hand the dispatcher a dangling graph — jobs pin their
+/// `Arc<CsrGraph>` at admission and finish against it.
+#[test]
+fn version_churn_never_dangles_in_flight_jobs() {
+    let svc = Service::builder().teams([2]).queue_capacity(64).build();
+    let n = 32 * 32;
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(32, 32)));
+
+    // Queue a wave of latest-addressed jobs with distinct seeds (no
+    // cache hits), then immediately churn versions underneath them and
+    // finally remove the graph outright.
+    let waves: Vec<_> = (0..24)
+        .map(|i| {
+            svc.submit_spec(JobSpec::new(gref.id).seed(1_000 + i))
+                .unwrap()
+        })
+        .collect();
+    for i in 0..6 {
+        svc.apply(gref.id, &EdgeBatch::new().insert(i, i + 40)).unwrap();
+    }
+    assert!(svc.remove_graph(gref.id));
+    for sub in waves {
+        let forest = sub.handle.wait().expect("admitted jobs must finish");
+        assert_eq!(forest.parents.len(), n, "ran against its pinned snapshot");
+    }
+}
+
+/// Concurrent submitters against a graph whose versions churn under
+/// them: every admission must resolve to a forest of the right shape,
+/// and the maintained component count must still match the oracle at
+/// quiescence.
+#[test]
+fn concurrent_submissions_survive_version_churn() {
+    let svc = Arc::new(
+        Service::builder()
+            .teams([2, 2])
+            .queue_capacity(128)
+            .build(),
+    );
+    let n = 24 * 24;
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(24, 24)));
+
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                for i in 0..30 {
+                    let sub = svc
+                        .submit_spec(JobSpec::new(gref.id).seed(t * 1_000 + i))
+                        .unwrap();
+                    let forest = sub.handle.wait().expect("churn must not break jobs");
+                    assert_eq!(forest.parents.len(), n);
+                }
+            });
+        }
+        let svc = Arc::clone(&svc);
+        s.spawn(move || {
+            let mut rng = Rng(0xc0ffee);
+            for _ in 0..30 {
+                let (u, v) = (rng.vertex(n), rng.vertex(n));
+                if u != v {
+                    svc.apply(gref.id, &EdgeBatch::new().insert(u, v)).unwrap();
+                }
+            }
+        });
+    });
+
+    let (flat, _) = svc.catalog().resolve_latest(gref.id).unwrap();
+    let report = svc
+        .apply(gref.id, &EdgeBatch::new().insert(0, 1))
+        .unwrap();
+    assert_eq!(report.components, count_components(&flat));
+}
+
+#[test]
+fn removing_a_graph_drops_its_updater_state() {
+    let svc = small_service();
+    let gref = svc.catalog().register(Arc::new(gen::torus2d(8, 8)));
+    svc.apply(gref.id, &EdgeBatch::new().insert(0, 63)).unwrap();
+    assert!(svc.remove_graph(gref.id));
+    assert!(matches!(
+        svc.apply(gref.id, &EdgeBatch::new().insert(0, 1)),
+        Err(UpdateError::UnknownGraph(_))
+    ));
+}

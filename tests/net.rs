@@ -520,3 +520,100 @@ fn shutdown_drains_idle_and_active_connections() {
     let handle = svc.submit_spec(JobSpec::new(GraphId(0))).unwrap();
     assert!(handle.handle.wait().is_ok());
 }
+
+// ---- batch-dynamic updates and version pinning over the wire ----
+
+#[test]
+fn update_bumps_versions_and_keeps_the_forest_current() {
+    let (server, svc) = serve(&[2], 8);
+    let g = gen::torus2d(16, 16);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let remote = c.register(&g).unwrap();
+
+    // A small insert batch repairs the forest in place.
+    let up = c.update(remote.id, &[(0, 255), (3, 200)], &[]).unwrap();
+    assert_eq!(up.version, remote.version + 1);
+    assert!(up.incremental, "a 2-edge batch must repair in place");
+    assert_eq!(up.components, 1);
+    assert_eq!(up.edges_added, 2);
+    assert_eq!(up.edges_removed, 0);
+
+    // Deleting one of them comes back out, still connected.
+    let down = c.update(remote.id, &[], &[(0, 255)]).unwrap();
+    assert_eq!(down.version, up.version + 1);
+    assert_eq!(down.components, 1);
+    assert_eq!(down.edges_removed, 1);
+
+    // A latest-addressed submit runs against the mutated graph.
+    let reply = c.submit(SubmitRequest::new(remote).seed(9)).unwrap();
+    let forest = c.wait(reply.ticket).unwrap();
+    let (latest, newest) = svc.catalog().resolve_latest(GraphId(remote.id)).unwrap();
+    assert_eq!(newest.version, down.version);
+    assert!(forest.is_valid_for(&latest));
+    server.shutdown();
+}
+
+#[test]
+fn update_rejects_unknown_graphs_and_bad_batches() {
+    let (server, _svc) = serve(&[1], 4);
+    let g = gen::torus2d(4, 4);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let remote = c.register(&g).unwrap();
+
+    let err = c.update(999, &[(0, 1)], &[]).unwrap_err();
+    assert_eq!(err.status(), Some(Status::UnknownGraph), "{err}");
+    // An out-of-range endpoint is a malformed batch, not a crash; the
+    // session survives it.
+    let err = c.update(remote.id, &[(0, 9_999)], &[]).unwrap_err();
+    assert_eq!(err.status(), Some(Status::Malformed), "{err}");
+    assert_eq!(c.ping(b"alive").unwrap(), b"alive");
+    server.shutdown();
+}
+
+#[test]
+fn pinned_submissions_and_stale_versions_on_the_wire() {
+    let (server, _svc) = serve(&[2], 8);
+    let g = gen::torus2d(8, 8);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let remote = c.register(&g).unwrap();
+
+    // Warm the result cache at v1, then bump the catalog to v2.
+    let warm = c.submit(SubmitRequest::new(remote).pinned()).unwrap();
+    let at_v1 = c.wait(warm.ticket).unwrap();
+    let up = c.update(remote.id, &[(0, 63)], &[]).unwrap();
+
+    // The stale pin is still served — from the exact-version cache.
+    let hit = c.submit(SubmitRequest::new(remote).pinned()).unwrap();
+    assert!(hit.cached, "stale pin with a cached result must hit");
+    assert_eq!(c.wait(hit.ticket).unwrap(), at_v1);
+
+    // A stale pin the cache cannot serve answers StaleVersion, with the
+    // live version as the payload (checked on the raw frame).
+    let err = c
+        .submit(SubmitRequest::new(remote).pinned().seed(77))
+        .unwrap_err();
+    assert_eq!(err.status(), Some(Status::StaleVersion), "{err}");
+    let mut req = vec![ops::SUBMIT];
+    req.extend_from_slice(&remote.id.to_le_bytes());
+    req.push(AlgorithmId::BaderCong.code());
+    req.push(1); // Priority::Normal
+    req.extend_from_slice(&78u64.to_le_bytes()); // seed: another cache miss
+    req.extend_from_slice(&0u64.to_le_bytes()); // no deadline
+    req.extend_from_slice(&0u32.to_le_bytes()); // auto width
+    req.extend_from_slice(&0u64.to_le_bytes()); // anonymous tenant
+    req.push(1); // pinned…
+    req.extend_from_slice(&remote.version.to_le_bytes()); // …to stale v1
+    let (status, body) = c.raw_call(&req).unwrap();
+    assert_eq!(status, Status::StaleVersion);
+    assert_eq!(body, up.version.to_le_bytes(), "payload is the live version");
+
+    // Re-pinning at the live version executes normally.
+    let live = bader_cong_spanning::service::net::RemoteGraph {
+        id: remote.id,
+        version: up.version,
+    };
+    let fresh = c.submit(SubmitRequest::new(live).pinned()).unwrap();
+    assert!(!fresh.cached);
+    c.wait(fresh.ticket).unwrap();
+    server.shutdown();
+}
